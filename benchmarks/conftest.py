@@ -1,0 +1,31 @@
+"""Benchmark configuration.
+
+Each benchmark regenerates one of the paper's tables or figures end to end
+(workload generation, pretraining, unlearning, metric collection) and
+prints the resulting rows/series. Because a single run is an entire
+experiment (tens of seconds), benchmarks execute exactly once
+(``rounds=1, iterations=1``) via the :func:`run_once` helper.
+
+Scale selection: set ``REPRO_BENCH_SCALE`` to ``smoke`` (default, fast
+wiring check) or ``small`` (minutes per experiment; large enough for the
+paper-shape comparisons recorded in EXPERIMENTS.md).
+"""
+
+import os
+
+import pytest
+
+from repro.experiments import get_scale
+
+BENCH_SCALE_NAME = os.environ.get("REPRO_BENCH_SCALE", "smoke")
+
+
+@pytest.fixture(scope="session")
+def scale():
+    """The ExperimentScale every benchmark runs at."""
+    return get_scale(BENCH_SCALE_NAME)
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run ``fn`` exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)

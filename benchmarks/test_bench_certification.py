@@ -1,0 +1,31 @@
+"""Extension bench: unlearning certification against the retrained reference.
+
+Not a paper artifact — operationalises the (ε, δ)-indistinguishability
+criterion the paper's introduction cites (Ginart et al. [10]).
+Shape targets:
+
+* B1 vs itself is perfectly indistinguishable (ε̂ = 0);
+* the origin (backdoored, never unlearned) model is the most
+  distinguishable from the retrained reference and the most attackable
+  by the membership inference on the forget set;
+* Goldfish lands well below the origin on ε̂.
+"""
+
+from repro.experiments import certification
+
+from .conftest import run_once
+
+
+def test_certification_table(benchmark, scale):
+    result = run_once(benchmark, certification.run, "mnist", scale, seed=0)
+    print()
+    result.print()
+
+    rows = {row["method"]: row for row in result.rows}
+    assert set(rows) == {"origin", "ours", "b3", "b1"}
+
+    assert rows["b1"]["eps_hat"] == 0.0
+    assert rows["b1"]["mean_jsd"] == 0.0
+
+    assert rows["ours"]["eps_hat"] < rows["origin"]["eps_hat"]
+    assert rows["ours"]["mia_adv"] < rows["origin"]["mia_adv"]

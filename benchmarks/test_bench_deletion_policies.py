@@ -1,0 +1,94 @@
+"""Extension bench: deletion-scheduling policies (latency vs cost).
+
+Not a paper artifact — quantifies the trade-off behind the paper's
+"sporadic nature of data removal requests" motivation. A fixed stream of
+deletion requests arrives during federated training; three scheduling
+policies process it:
+
+* immediate  — unlearn on every request (latency 0, most executions);
+* batch(2)   — wait until 2 requests pend;
+* periodic(3)— unlearn only on every 3rd round.
+
+Structural invariants: immediate runs the most executions at zero latency;
+batching/periodic cut executions and pay with latency.
+"""
+
+import numpy as np
+
+from repro.experiments.common import (
+    build_backdoor_federation,
+    goldfish_config,
+    pretrain,
+)
+from repro.training import evaluate
+from repro.unlearning import (
+    BatchSizePolicy,
+    DeletionManager,
+    ImmediatePolicy,
+    PeriodicPolicy,
+    federated_goldfish,
+)
+
+from .conftest import run_once
+
+# (client_id, num_samples, submission_round) — the request stream.
+REQUEST_STREAM = ((1, 3, 1), (2, 4, 2), (3, 3, 4))
+TOTAL_ROUNDS = 6
+
+
+def _run_policy(policy_name, policy, scale):
+    setup = build_backdoor_federation("mnist", scale, deletion_rate=0.04, seed=3)
+    pretrain(setup, scale)
+    sim = setup.sim
+    config = goldfish_config(scale, train=setup.config)
+    unlearn = lambda s: federated_goldfish(s, config, num_rounds=1)
+    manager = DeletionManager(policy)
+
+    rng = np.random.default_rng(9)
+    stream = {r: (cid, n) for cid, n, r in REQUEST_STREAM}
+    for round_index in range(TOTAL_ROUNDS):
+        if round_index in stream:
+            client_id, num_samples = stream[round_index]
+            dataset = sim.clients[client_id].dataset
+            indices = rng.choice(len(dataset), num_samples, replace=False)
+            manager.submit(client_id, indices, round_index)
+        manager.maybe_execute(sim, round_index, unlearn)
+
+    # Flush anything still pending so every policy ends fully compliant
+    # (a real deployment would run a final sweep before reporting).
+    if manager.num_pending:
+        manager.policy = ImmediatePolicy()
+        manager.maybe_execute(sim, TOTAL_ROUNDS, unlearn)
+
+    _, accuracy = evaluate(sim.global_model(), setup.test_set)
+    return {
+        "policy": policy_name,
+        "executions": manager.num_executions,
+        "mean_latency": manager.mean_latency(),
+        "acc": 100.0 * accuracy,
+    }
+
+
+def test_deletion_policy_frontier(benchmark, scale):
+    policies = (
+        ("immediate", ImmediatePolicy()),
+        ("batch2", BatchSizePolicy(min_requests=2)),
+        ("periodic3", PeriodicPolicy(every_rounds=3)),
+    )
+
+    def sweep():
+        return [_run_policy(name, policy, scale) for name, policy in policies]
+
+    rows = run_once(benchmark, sweep)
+    print()
+    for row in rows:
+        print(f"{row['policy']:10s} executions {row['executions']}  "
+              f"mean latency {row['mean_latency']:.1f} rounds  "
+              f"acc {row['acc']:.1f}%")
+
+    by_name = {row["policy"]: row for row in rows}
+    assert by_name["immediate"]["mean_latency"] == 0.0
+    assert by_name["immediate"]["executions"] == len(REQUEST_STREAM)
+    for lazy in ("batch2", "periodic3"):
+        assert by_name[lazy]["executions"] <= by_name["immediate"]["executions"]
+        assert by_name[lazy]["mean_latency"] >= 0.0

@@ -1,0 +1,34 @@
+"""Extension bench: systems-cost comparison of all six unlearning methods.
+
+Not a paper artifact — the measurable backbone of the paper's efficiency
+claims. Regenerates the ``efficiency`` experiment table (accuracy,
+backdoor ASR, wall-clock, epochs, communication, server storage) and
+checks the structural invariants that hold at any scale:
+
+* the paper's flows need no server-side history; the update-adjustment
+  family pays for its speed with storage;
+* FedRecovery is pure server arithmetic — no local epochs, no traffic,
+  and wall-clock far below any retraining flow.
+"""
+
+from repro.experiments import efficiency
+
+from .conftest import run_once
+
+
+def test_efficiency_all_methods(benchmark, scale):
+    result = run_once(benchmark, efficiency.run, "mnist", scale, seed=0)
+    print()
+    result.print()
+
+    rows = {row["method"]: row for row in result.rows}
+    assert set(rows) == {"ours", "b1", "b2", "b3", "federaser", "fedrecovery"}
+
+    for method in ("ours", "b1", "b2", "b3"):
+        assert rows[method]["storage_mb"] == 0.0
+    for method in ("federaser", "fedrecovery"):
+        assert rows[method]["storage_mb"] > 0.0
+
+    assert rows["fedrecovery"]["local_epochs"] == 0
+    assert rows["fedrecovery"]["comm_mb"] == 0.0
+    assert rows["fedrecovery"]["wall_s"] < rows["b1"]["wall_s"]

@@ -1,0 +1,176 @@
+"""Extension benches: secure aggregation, update compression, dropout.
+
+Not paper artifacts — ablations for the substrate features the paper's
+threat model and discussion motivate (gradient privacy against the server;
+client churn). Each bench drives the public API end to end and checks the
+structural invariants that hold at any scale.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.data import make_dataset, make_federated
+from repro.federated import (
+    FedAvgAggregator,
+    FederatedSimulation,
+    DropoutInjector,
+    FullParticipation,
+    IdentityCompressor,
+    SecureAggregationRound,
+    TopKCompressor,
+    state_math,
+)
+from repro.nn.models import build_model
+from repro.training import TrainConfig, evaluate
+
+from .conftest import run_once
+
+
+def _federation(scale, seed=0):
+    train_set, test_set = make_dataset(
+        "mnist", train_size=scale.train_size, test_size=scale.test_size, seed=seed
+    )
+    fed = make_federated(train_set, test_set, scale.num_clients,
+                         np.random.default_rng(seed + 1))
+    factory = lambda: build_model(
+        "lenet5", num_classes=train_set.num_classes,
+        rng=np.random.default_rng(42),
+        in_channels=train_set.in_channels, image_size=train_set.image_size,
+    )
+    config = TrainConfig(epochs=scale.local_epochs, batch_size=scale.batch_size,
+                         learning_rate=scale.learning_rate)
+    return fed, factory, config, test_set
+
+
+def test_secure_aggregation_exactness_and_overhead(benchmark, scale):
+    """Masked aggregation must equal plain FedAvg bit-for-bit (up to float
+    round-off) on real model states; the masking overhead is measured."""
+    fed, factory, config, test_set = _federation(scale)
+    sim = FederatedSimulation(factory, fed, FedAvgAggregator(), config, seed=0)
+
+    def run():
+        sim.run(1)
+        updates = [client.upload() for client in sim.clients]
+        t0 = time.perf_counter()
+        plain = FedAvgAggregator().aggregate(updates)
+        plain_seconds = time.perf_counter() - t0
+
+        t0 = time.perf_counter()
+        secure_round = SecureAggregationRound(
+            [u.client_id for u in updates], round_index=0
+        )
+        for update in updates:
+            secure_round.receive(
+                secure_round.masked_update(
+                    update.client_id, update.state, update.num_samples
+                )
+            )
+        secure = secure_round.aggregate()
+        secure_seconds = time.perf_counter() - t0
+        return plain, secure, plain_seconds, secure_seconds
+
+    plain, secure, plain_seconds, secure_seconds = run_once(benchmark, run)
+    difference = state_math.l2_distance(plain, secure)
+    print(f"\nplain {plain_seconds * 1e3:.1f}ms  "
+          f"secure {secure_seconds * 1e3:.1f}ms  "
+          f"overhead x{secure_seconds / max(plain_seconds, 1e-9):.1f}  "
+          f"|plain - secure| = {difference:.2e}")
+    assert difference < 1e-6
+
+
+def test_compression_accuracy_vs_bytes(benchmark, scale):
+    """Top-k upload compression: wire bytes must grow with the kept
+    fraction; accuracy degrades gracefully (printed for EXPERIMENTS.md)."""
+    fractions = (0.05, 0.25, 1.0)
+    rounds = max(2, scale.pretrain_rounds // 2)
+
+    def run():
+        results = {}
+        for fraction in fractions:
+            fed, factory, config, test_set = _federation(scale, seed=1)
+            compressor = (
+                IdentityCompressor() if fraction == 1.0
+                else TopKCompressor(fraction)
+            )
+            model = factory()
+            global_state = model.state_dict()
+            clients_data = fed.client_datasets
+            total_bytes = 0
+            rng = np.random.default_rng(3)
+            for _ in range(rounds):
+                deltas = []
+                sizes = []
+                for dataset in clients_data:
+                    client_model = factory()
+                    client_model.load_state_dict(global_state)
+                    from repro.training.trainer import train
+                    train(client_model, dataset, config, rng)
+                    delta = state_math.subtract(
+                        client_model.state_dict(), global_state
+                    )
+                    compressed = compressor.compress(delta)
+                    total_bytes += compressed.payload_bytes
+                    deltas.append(compressor.decompress(compressed))
+                    sizes.append(len(dataset))
+                total = sum(sizes)
+                mean_delta = state_math.weighted_sum(
+                    deltas, [s / total for s in sizes]
+                )
+                global_state = state_math.add(global_state, mean_delta)
+            model.load_state_dict(global_state)
+            _, accuracy = evaluate(model, test_set)
+            results[fraction] = (accuracy, total_bytes)
+        return results
+
+    results = run_once(benchmark, run)
+    print()
+    for fraction, (accuracy, total_bytes) in results.items():
+        print(f"topk fraction {fraction}: acc {100 * accuracy:.1f}%  "
+              f"uploads {total_bytes / 1024:.0f} KiB")
+    bytes_by_fraction = [results[f][1] for f in fractions]
+    assert bytes_by_fraction[0] < bytes_by_fraction[1] < bytes_by_fraction[2]
+    # Dense uploads should not lose to the harshest compression.
+    assert results[1.0][0] >= results[0.05][0] - 0.05
+
+
+def test_dropout_resilient_training(benchmark, scale):
+    """FL with per-round client dropout still converges above chance."""
+    fed, factory, config, test_set = _federation(scale, seed=2)
+    sampler = DropoutInjector(FullParticipation(), dropout_rate=0.3,
+                              min_survivors=2)
+    rng = np.random.default_rng(7)
+
+    def run():
+        from repro.training.trainer import train
+        model = factory()
+        global_state = model.state_dict()
+        survived_log = []
+        for round_index in range(scale.pretrain_rounds):
+            participants = sampler.sample(
+                list(range(fed.num_clients)), round_index, rng
+            )
+            survived_log.append(participants)
+            states, sizes = [], []
+            for client_id in participants:
+                client_model = factory()
+                client_model.load_state_dict(global_state)
+                train(client_model, fed.client_datasets[client_id], config, rng)
+                states.append(client_model.state_dict())
+                sizes.append(len(fed.client_datasets[client_id]))
+            total = sum(sizes)
+            global_state = state_math.weighted_sum(
+                states, [s / total for s in sizes]
+            )
+        model.load_state_dict(global_state)
+        _, accuracy = evaluate(model, test_set)
+        return accuracy, survived_log
+
+    accuracy, survived_log = run_once(benchmark, run)
+    rounds_with_dropout = sum(
+        1 for round_ids in survived_log if len(round_ids) < fed.num_clients
+    )
+    print(f"\naccuracy {100 * accuracy:.1f}% with dropouts in "
+          f"{rounds_with_dropout}/{len(survived_log)} rounds")
+    assert accuracy > 1.5 / 10  # well above the 10-class chance level

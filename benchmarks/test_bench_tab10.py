@@ -1,0 +1,22 @@
+"""Bench: Table X — composite-loss component ablation.
+
+ResNet on synthetic CIFAR-10 with four loss variants at round checkpoints.
+Paper shape: the total loss gets both high accuracy and low backdoor
+success; dropping distillation hurts accuracy; dropping confusion lets the
+backdoor linger.
+"""
+
+from repro.experiments import tab10_ablation
+
+from .conftest import run_once
+
+
+def test_loss_ablation(benchmark, scale):
+    result = run_once(benchmark, tab10_ablation.run, scale)
+    result.print()
+    variants = ("hard_only", "wo_distillation", "wo_confusion", "total")
+    metrics = {row["metric"] for row in result.rows}
+    assert metrics == {"acc", "backdoor"}
+    for row in result.rows:
+        for variant in variants:
+            assert 0.0 <= row[variant] <= 100.0

@@ -1,0 +1,21 @@
+"""Bench: Table XI — hard-loss compatibility (CE / focal / NLL).
+
+Paper shape: the framework is hard-loss-agnostic — every variant keeps
+high accuracy and a low backdoor success rate.
+"""
+
+from repro.experiments import tab11_loss_compat
+
+from .conftest import run_once
+
+
+def test_loss_compatibility(benchmark, scale):
+    result = run_once(benchmark, tab11_loss_compat.run, scale)
+    result.print()
+    for row in result.rows:
+        for variant in ("total_alpha", "total_beta", "total_gamma"):
+            assert 0.0 <= row[variant] <= 100.0
+    # Final-round accuracies should be in the same band across variants.
+    final_acc = [row for row in result.rows if row["metric"] == "acc"][-1]
+    values = [final_acc[v] for v in ("total_alpha", "total_beta", "total_gamma")]
+    assert max(values) - min(values) < 40.0

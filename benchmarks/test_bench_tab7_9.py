@@ -1,0 +1,26 @@
+"""Bench: Tables VII–IX — JSD / L2 / t-test against the B1 reference.
+
+Expected shape: both ours and B3 sit close to the retrained-from-scratch
+model (small JSD / L2, bounded by ln 2 ≈ 0.69), with ours at least as
+close as B3 in aggregate.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments import tab7_9_divergence
+
+from .conftest import run_once
+
+DATASETS = ["mnist", "fmnist", "cifar10"]
+
+
+@pytest.mark.parametrize("dataset", DATASETS)
+def test_divergence_table(benchmark, scale, dataset):
+    result = run_once(benchmark, tab7_9_divergence.run, dataset, scale)
+    result.print()
+    for row in result.rows:
+        for method in ("b3", "ours"):
+            assert 0.0 <= row[f"{method}_jsd"] <= np.log(2) + 1e-9
+            assert row[f"{method}_l2"] >= 0.0
+            assert 0.0 <= row[f"{method}_t"] <= 1.0

@@ -1,0 +1,11 @@
+"""Setuptools entry point.
+
+The pinned environment ships setuptools without the ``wheel`` package, so
+PEP 517 editable installs fail with "invalid command 'bdist_wheel'".
+Keeping a setup.py lets ``pip install -e . --no-use-pep517`` take the legacy
+``setup.py develop`` path, which works offline.
+"""
+
+from setuptools import setup
+
+setup()

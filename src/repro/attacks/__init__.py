@@ -1,0 +1,34 @@
+"""Attacks against federated learning — the paper's threat model, executable.
+
+The Introduction justifies Goldfish's design constraint (no access to
+per-client gradients or update history) by citing gradient-leakage
+attacks: "a malicious central server can exploit clients' local gradients
+to mount attacks that reconstruct private training samples" (Zhu et al.
+[19]; Huang et al. [20]). This package implements that threat concretely
+so the defences in :mod:`repro.federated.secure_agg` have something real
+to defend against:
+
+* :mod:`repro.attacks.gradient_leakage` — exact analytic reconstruction
+  of a training input from a first-linear-layer gradient (the classic
+  single-sample leakage result), plus helpers to extract gradients from
+  observed SGD model updates.
+
+(The backdoor attack used as the paper's unlearning-validity instrument
+lives with the data tooling in :mod:`repro.data.backdoor`.)
+"""
+
+from .gradient_leakage import (
+    GradientLeakageReport,
+    gradients_from_sgd_update,
+    leak_input_from_linear_gradients,
+    reconstruction_similarity,
+    run_leakage_attack,
+)
+
+__all__ = [
+    "GradientLeakageReport",
+    "gradients_from_sgd_update",
+    "leak_input_from_linear_gradients",
+    "reconstruction_similarity",
+    "run_leakage_attack",
+]

@@ -1,0 +1,152 @@
+"""Analytic gradient-leakage attack on linear-layer updates.
+
+The exact-reconstruction result behind "Deep Leakage from Gradients"
+(Zhu et al. [19]) and its follow-ups: for a fully connected layer
+``y = W x + b`` the loss gradients factor as
+
+    ∂L/∂W = δ ⊗ x        ∂L/∂b = δ
+
+so for a **single training sample** every non-zero row ``i`` of the weight
+gradient is the input scaled by ``δ_i``::
+
+    x = (∂L/∂W)[i, :] / (∂L/∂b)[i]
+
+— the server reconstructs the client's input *exactly*, no optimisation
+needed. With a batch of B samples the same formula returns a δ-weighted
+mixture of the batch (still a privacy leak, no longer pixel-exact).
+
+A server that observes a client's **model update** rather than raw
+gradients recovers the gradient first: after one plain-SGD step,
+``g = (ω_before − ω_after) / η`` (:func:`gradients_from_sgd_update`).
+This is precisely the observability the paper's threat model forbids —
+and what pairwise masking in :mod:`repro.federated.secure_agg` removes:
+run the same attack on a masked update and the reconstruction is mask
+noise (see :func:`run_leakage_attack` and the tests).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from ..federated.state_math import StateDict
+
+
+def gradients_from_sgd_update(
+    state_before: StateDict,
+    state_after: StateDict,
+    learning_rate: float,
+) -> StateDict:
+    """Invert one vanilla-SGD step: ``g = (before − after) / η``.
+
+    Exact for a single step with zero momentum and weight decay (the
+    attack's standard assumption: the server controls the round's
+    hyper-parameters and the client runs one local step).
+    """
+    if learning_rate <= 0:
+        raise ValueError(f"learning_rate must be positive, got {learning_rate}")
+    if set(state_before) != set(state_after):
+        raise KeyError("state structures differ between before and after")
+    return {
+        key: (state_before[key] - state_after[key]) / learning_rate
+        for key in state_before
+    }
+
+
+def leak_input_from_linear_gradients(
+    grad_weight: np.ndarray,
+    grad_bias: np.ndarray,
+    eps: float = 1e-12,
+) -> Optional[np.ndarray]:
+    """Reconstruct the layer input from ``(∂L/∂W, ∂L/∂b)``.
+
+    Uses the row with the largest ``|∂L/∂b|`` for numerical stability.
+    Returns None when every bias gradient is (numerically) zero — the
+    degenerate case where the sample contributed no error signal.
+    """
+    grad_weight = np.asarray(grad_weight, dtype=np.float64)
+    grad_bias = np.asarray(grad_bias, dtype=np.float64)
+    if grad_weight.ndim != 2:
+        raise ValueError(f"grad_weight must be 2-D, got shape {grad_weight.shape}")
+    if grad_bias.shape != (grad_weight.shape[0],):
+        raise ValueError(
+            f"grad_bias shape {grad_bias.shape} does not match "
+            f"grad_weight rows ({grad_weight.shape[0]})"
+        )
+    row = int(np.argmax(np.abs(grad_bias)))
+    if abs(grad_bias[row]) <= eps:
+        return None
+    return grad_weight[row] / grad_bias[row]
+
+
+def reconstruction_similarity(
+    original: np.ndarray, reconstructed: np.ndarray
+) -> float:
+    """|cosine similarity| between flattened original and reconstruction.
+
+    The analytic attack recovers the input up to sign/scale (δ_i can be
+    negative), so cosine magnitude is the honest success measure:
+    1.0 = pixel-perfect leak, ~0 = nothing recovered.
+    """
+    a = np.asarray(original, dtype=np.float64).ravel()
+    b = np.asarray(reconstructed, dtype=np.float64).ravel()
+    if a.shape != b.shape:
+        raise ValueError(f"shape mismatch: {a.shape} vs {b.shape}")
+    norm = np.linalg.norm(a) * np.linalg.norm(b)
+    if norm == 0.0:
+        return 0.0
+    return float(abs(np.dot(a, b)) / norm)
+
+
+@dataclass
+class GradientLeakageReport:
+    """Outcome of one reconstruction attempt."""
+
+    similarity: float
+    reconstructed: Optional[np.ndarray]
+    weight_key: str
+    bias_key: str
+
+    @property
+    def leaked(self) -> bool:
+        """Conventional success threshold for an exact-analytic leak."""
+        return self.similarity > 0.99
+
+
+def _first_linear_keys(state: StateDict) -> Tuple[str, str]:
+    """The first (weight, bias) pair of a 2-D layer, in key order."""
+    for key in state:
+        if key.endswith(".weight") and state[key].ndim == 2:
+            bias_key = key[: -len("weight")] + "bias"
+            if bias_key in state:
+                return key, bias_key
+    raise KeyError("no linear (weight, bias) pair found in state")
+
+
+def run_leakage_attack(
+    state_before: StateDict,
+    state_after: StateDict,
+    learning_rate: float,
+    true_input: np.ndarray,
+    weight_key: Optional[str] = None,
+    bias_key: Optional[str] = None,
+) -> GradientLeakageReport:
+    """End-to-end attack on an observed update, scored against the truth.
+
+    ``true_input`` is only used for scoring (the attacker does not need
+    it); pass the client's flattened training image.
+    """
+    gradients = gradients_from_sgd_update(state_before, state_after, learning_rate)
+    if weight_key is None or bias_key is None:
+        weight_key, bias_key = _first_linear_keys(gradients)
+    reconstructed = leak_input_from_linear_gradients(
+        gradients[weight_key], gradients[bias_key]
+    )
+    if reconstructed is None:
+        return GradientLeakageReport(0.0, None, weight_key, bias_key)
+    similarity = reconstruction_similarity(
+        np.asarray(true_input).ravel(), reconstructed
+    )
+    return GradientLeakageReport(similarity, reconstructed, weight_key, bias_key)

@@ -1,0 +1,138 @@
+"""In-memory labelled image dataset container.
+
+Everything downstream (loaders, partitioners, the FL simulator, the
+backdoor tooling) works on :class:`ArrayDataset`: a ``(N, C, H, W)`` image
+array plus integer labels, with cheap index-based views.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Sequence, Tuple
+
+import numpy as np
+
+
+@dataclass
+class ArrayDataset:
+    """Images and labels held as NumPy arrays.
+
+    Attributes
+    ----------
+    images:
+        Float array of shape ``(N, C, H, W)``.
+    labels:
+        Integer array of shape ``(N,)`` with values in ``[0, num_classes)``.
+    num_classes:
+        Total number of label classes (α in the paper's notation).
+    name:
+        Human-readable dataset name (for reports).
+    """
+
+    images: np.ndarray
+    labels: np.ndarray
+    num_classes: int
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        self.images = np.asarray(self.images, dtype=np.float64)
+        self.labels = np.asarray(self.labels, dtype=np.int64)
+        if self.images.ndim != 4:
+            raise ValueError(f"images must be (N, C, H, W), got shape {self.images.shape}")
+        if self.labels.ndim != 1:
+            raise ValueError(f"labels must be 1-D, got shape {self.labels.shape}")
+        if len(self.images) != len(self.labels):
+            raise ValueError(
+                f"image/label count mismatch: {len(self.images)} vs {len(self.labels)}"
+            )
+        if self.num_classes <= 0:
+            raise ValueError(f"num_classes must be positive, got {self.num_classes}")
+        if self.labels.size and (self.labels.min() < 0 or self.labels.max() >= self.num_classes):
+            raise ValueError("labels out of range for num_classes")
+
+    def __len__(self) -> int:
+        return len(self.labels)
+
+    @property
+    def in_channels(self) -> int:
+        return self.images.shape[1]
+
+    @property
+    def image_size(self) -> int:
+        return self.images.shape[2]
+
+    @property
+    def input_dim(self) -> int:
+        """Flattened per-sample dimension (e.g. 784 for MNIST)."""
+        return int(np.prod(self.images.shape[1:]))
+
+    def subset(self, indices: Sequence[int]) -> "ArrayDataset":
+        """Return a new dataset containing only ``indices`` (copies data)."""
+        indices = np.asarray(indices, dtype=np.int64)
+        return ArrayDataset(
+            images=self.images[indices].copy(),
+            labels=self.labels[indices].copy(),
+            num_classes=self.num_classes,
+            name=self.name,
+        )
+
+    def remove(self, indices: Sequence[int]) -> "ArrayDataset":
+        """Return a new dataset with ``indices`` removed (set difference)."""
+        mask = np.ones(len(self), dtype=bool)
+        mask[np.asarray(indices, dtype=np.int64)] = False
+        return ArrayDataset(
+            images=self.images[mask].copy(),
+            labels=self.labels[mask].copy(),
+            num_classes=self.num_classes,
+            name=self.name,
+        )
+
+    def split(self, indices: Sequence[int]) -> Tuple["ArrayDataset", "ArrayDataset"]:
+        """Split into (selected, remainder) — the paper's (D_f, D_r)."""
+        return self.subset(indices), self.remove(indices)
+
+    def concat(self, other: "ArrayDataset") -> "ArrayDataset":
+        """Concatenate two datasets with matching class spaces."""
+        if other.num_classes != self.num_classes:
+            raise ValueError("cannot concat datasets with different num_classes")
+        return ArrayDataset(
+            images=np.concatenate([self.images, other.images]),
+            labels=np.concatenate([self.labels, other.labels]),
+            num_classes=self.num_classes,
+            name=self.name,
+        )
+
+    def shuffled(self, rng: np.random.Generator) -> "ArrayDataset":
+        """Return a shuffled copy."""
+        order = rng.permutation(len(self))
+        return self.subset(order)
+
+    def class_counts(self) -> np.ndarray:
+        """Per-class sample counts, shape ``(num_classes,)``."""
+        return np.bincount(self.labels, minlength=self.num_classes)
+
+
+@dataclass
+class FederatedDataset:
+    """A test set plus one local :class:`ArrayDataset` per client."""
+
+    client_datasets: list = field(default_factory=list)
+    test_set: ArrayDataset = None  # type: ignore[assignment]
+
+    @property
+    def num_clients(self) -> int:
+        return len(self.client_datasets)
+
+    def __iter__(self) -> Iterator[ArrayDataset]:
+        return iter(self.client_datasets)
+
+    def client(self, index: int) -> ArrayDataset:
+        return self.client_datasets[index]
+
+    def sizes(self) -> np.ndarray:
+        """Local dataset sizes per client."""
+        return np.array([len(d) for d in self.client_datasets])
+
+    def size_variance(self) -> float:
+        """Variance of local dataset sizes (Table XII heterogeneity metric)."""
+        return float(np.var(self.sizes()))

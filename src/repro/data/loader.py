@@ -1,0 +1,72 @@
+"""Mini-batch iteration over :class:`~repro.data.dataset.ArrayDataset`."""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional, Tuple
+
+import numpy as np
+
+from .dataset import ArrayDataset
+
+
+class DataLoader:
+    """Yield ``(images, labels)`` mini-batches from a dataset.
+
+    Parameters
+    ----------
+    dataset:
+        Source dataset.
+    batch_size:
+        Number of samples per batch; the final batch may be smaller unless
+        ``drop_last`` is set.
+    shuffle:
+        Reshuffle sample order at the start of every epoch.
+    rng:
+        Generator used for shuffling (required when ``shuffle=True`` so
+        experiments stay deterministic).
+    drop_last:
+        Drop a trailing partial batch.
+    augment:
+        Optional per-batch transform ``(images, rng) -> images`` (e.g. an
+        :class:`~repro.data.augment.AugmentationPipeline`), applied to the
+        images of every yielded batch. Requires an rng.
+    """
+
+    def __init__(
+        self,
+        dataset: ArrayDataset,
+        batch_size: int,
+        shuffle: bool = False,
+        rng: Optional[np.random.Generator] = None,
+        drop_last: bool = False,
+        augment=None,
+    ) -> None:
+        if batch_size <= 0:
+            raise ValueError(f"batch_size must be positive, got {batch_size}")
+        if shuffle and rng is None:
+            raise ValueError("shuffle=True requires an rng for determinism")
+        if augment is not None and rng is None:
+            raise ValueError("augment requires an rng for determinism")
+        self.dataset = dataset
+        self.batch_size = batch_size
+        self.shuffle = shuffle
+        self.rng = rng
+        self.drop_last = drop_last
+        self.augment = augment
+
+    def __len__(self) -> int:
+        n = len(self.dataset)
+        if self.drop_last:
+            return n // self.batch_size
+        return (n + self.batch_size - 1) // self.batch_size
+
+    def __iter__(self) -> Iterator[Tuple[np.ndarray, np.ndarray]]:
+        n = len(self.dataset)
+        order = self.rng.permutation(n) if self.shuffle else np.arange(n)
+        stop = (n // self.batch_size) * self.batch_size if self.drop_last else n
+        for start in range(0, stop, self.batch_size):
+            batch = order[start : start + self.batch_size]
+            images = self.dataset.images[batch]
+            if self.augment is not None:
+                images = self.augment(images, self.rng)
+            yield images, self.dataset.labels[batch]

@@ -1,0 +1,186 @@
+"""Unlearning certification: indistinguishability and relearn time.
+
+The metric family the paper's introduction traces to Ginart et al. [10]:
+an unlearning algorithm is certified when its output is statistically
+indistinguishable from a model retrained without the deleted records
+(an (ε, δ)-DP-style criterion). Two complementary tools:
+
+* :func:`certify_outputs` — an **empirical** (ε̂, δ) estimate from the
+  output distributions of the unlearned vs. retrained model on a probe
+  set: ε̂ is the (1−δ)-quantile of the absolute log-probability ratio,
+  the realised privacy-loss random variable on the probe. ε̂ ≈ 0 means an
+  observer of predictions cannot tell the two models apart; this is a
+  *measurement* of the models at hand, not a worst-case proof (the
+  certified-unlearning literature's caveat, cf. Thudi et al. [26]).
+* :func:`relearn_time` — the forgetting stress test: if the unlearned
+  model re-acquires the forget set significantly faster than a fresh
+  model, information about it survived unlearning (relearn-time metrics
+  go back to the "speed of relearning" critique of approximate
+  unlearning).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+import numpy as np
+
+from ..data.dataset import ArrayDataset
+from ..federated.state_math import StateDict
+from ..nn.module import Module
+from ..training.config import TrainConfig
+from ..training.evaluation import predict_proba
+from ..training.trainer import train
+from .divergence import jensen_shannon_divergence
+
+_PROB_FLOOR = 1e-12
+
+
+@dataclass
+class CertificationReport:
+    """Empirical indistinguishability of two models' predictions."""
+
+    epsilon_hat: float      # (1-δ)-quantile of |log prob ratio| on the probe
+    delta: float
+    max_abs_log_ratio: float
+    mean_jsd: float         # mean per-sample JSD between output distributions
+    num_probe_samples: int
+
+    def indistinguishable(self, epsilon_budget: float) -> bool:
+        """Does the measured ε̂ fit inside the given budget?"""
+        if epsilon_budget <= 0:
+            raise ValueError(
+                f"epsilon_budget must be positive, got {epsilon_budget}"
+            )
+        return self.epsilon_hat <= epsilon_budget
+
+
+def certify_outputs(
+    unlearned: Module,
+    retrained: Module,
+    probe: ArrayDataset,
+    delta: float = 0.05,
+) -> CertificationReport:
+    """Estimate (ε̂, δ) indistinguishability on a probe set.
+
+    For every (sample, class) output probability pair ``(p, q)`` the
+    realised privacy loss is ``|ln(p/q)|``; ε̂ is its (1−δ)-quantile over
+    the probe. Probabilities are floored at 1e-12 so the ratio is finite —
+    a model putting literally zero mass where the other puts any is
+    maximally distinguishable and will dominate the quantile anyway.
+    """
+    if len(probe) == 0:
+        raise ValueError("probe set must be non-empty")
+    if not 0 < delta < 1:
+        raise ValueError(f"delta must be in (0, 1), got {delta}")
+    probs_u = np.clip(predict_proba(unlearned, probe.images), _PROB_FLOOR, 1.0)
+    probs_r = np.clip(predict_proba(retrained, probe.images), _PROB_FLOOR, 1.0)
+    log_ratios = np.abs(np.log(probs_u) - np.log(probs_r)).ravel()
+    epsilon_hat = float(np.quantile(log_ratios, 1.0 - delta))
+    jsd_values = [
+        jensen_shannon_divergence(probs_u[i], probs_r[i])
+        for i in range(len(probe))
+    ]
+    return CertificationReport(
+        epsilon_hat=epsilon_hat,
+        delta=delta,
+        max_abs_log_ratio=float(log_ratios.max()),
+        mean_jsd=float(np.mean(jsd_values)),
+        num_probe_samples=len(probe),
+    )
+
+
+@dataclass
+class RelearnReport:
+    """How fast the forget set is re-acquired after unlearning."""
+
+    unlearned_epochs: Optional[int]   # None = never reached the threshold
+    fresh_epochs: Optional[int]
+    loss_threshold: float
+    max_epochs: int
+
+    @property
+    def speedup(self) -> float:
+        """fresh / unlearned epoch ratio; > 1 flags residual knowledge.
+
+        When either run never converged the ratio uses ``max_epochs`` as a
+        censored value, making the statistic conservative.
+        """
+        unlearned = self.unlearned_epochs or self.max_epochs
+        fresh = self.fresh_epochs or self.max_epochs
+        return fresh / unlearned
+
+    def suspicious(self, tolerance: float = 2.0) -> bool:
+        """True when relearning was ``tolerance``× faster than fresh."""
+        if tolerance < 1.0:
+            raise ValueError(f"tolerance must be >= 1, got {tolerance}")
+        return self.speedup > tolerance
+
+
+def _epochs_to_threshold(
+    model: Module,
+    dataset: ArrayDataset,
+    config: TrainConfig,
+    threshold: float,
+    max_epochs: int,
+    rng: np.random.Generator,
+) -> Optional[int]:
+    reached: list = []
+
+    def stop_when_below(epoch_index: int, mean_loss: float) -> bool:
+        if mean_loss <= threshold:
+            reached.append(epoch_index + 1)
+            return True
+        return False
+
+    train(
+        model,
+        dataset,
+        config.with_overrides(epochs=max_epochs),
+        rng,
+        epoch_callback=stop_when_below,
+    )
+    return reached[0] if reached else None
+
+
+def relearn_time(
+    model_factory: Callable[[], Module],
+    unlearned_state: StateDict,
+    forget_set: ArrayDataset,
+    config: TrainConfig,
+    loss_threshold: float = 0.1,
+    max_epochs: int = 50,
+    rng: Optional[np.random.Generator] = None,
+) -> RelearnReport:
+    """Measure epochs-to-threshold on the forget set, unlearned vs fresh.
+
+    Both runs use the same hyper-parameters and generator seed lineage so
+    the only difference is the starting parameters.
+    """
+    if len(forget_set) == 0:
+        raise ValueError("forget set must be non-empty")
+    if loss_threshold <= 0:
+        raise ValueError(f"loss_threshold must be positive, got {loss_threshold}")
+    if max_epochs < 1:
+        raise ValueError(f"max_epochs must be >= 1, got {max_epochs}")
+    if rng is None:
+        rng = np.random.default_rng(0)
+    seeds = rng.spawn(2)
+
+    unlearned_model = model_factory()
+    unlearned_model.load_state_dict(unlearned_state)
+    unlearned_epochs = _epochs_to_threshold(
+        unlearned_model, forget_set, config, loss_threshold, max_epochs, seeds[0]
+    )
+
+    fresh_model = model_factory()
+    fresh_epochs = _epochs_to_threshold(
+        fresh_model, forget_set, config, loss_threshold, max_epochs, seeds[1]
+    )
+    return RelearnReport(
+        unlearned_epochs=unlearned_epochs,
+        fresh_epochs=fresh_epochs,
+        loss_threshold=loss_threshold,
+        max_epochs=max_epochs,
+    )

@@ -1,0 +1,122 @@
+"""Membership-inference evaluation of unlearning.
+
+The paper motivates unlearning with privacy leakage: "Predictions made by
+the global model might potentially leak client information" (citing
+ML-Leaks [7] and "When machine unlearning jeopardizes privacy" [18]).
+This module provides the standard confidence-thresholding membership
+attack (Yeom et al. / Salem et al. style) as an additional validity
+metric:
+
+* against the *original* model, the forget set should look like training
+  data (high membership advantage);
+* against a *properly unlearned* model, the forget set should be
+  indistinguishable from unseen data (advantage ≈ 0).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..data.dataset import ArrayDataset
+from ..nn.module import Module
+from ..training.evaluation import predict_proba
+
+
+@dataclass
+class MembershipReport:
+    """Outcome of the confidence-threshold membership attack."""
+
+    advantage: float        # TPR - FPR at the best threshold, in [-1, 1]
+    auc: float              # area under the member-vs-nonmember ROC
+    mean_member_confidence: float
+    mean_nonmember_confidence: float
+
+
+def _true_label_confidence(model: Module, dataset: ArrayDataset) -> np.ndarray:
+    probs = predict_proba(model, dataset.images)
+    return probs[np.arange(len(dataset)), dataset.labels]
+
+
+def ranking_auc(member_scores: np.ndarray, nonmember_scores: np.ndarray) -> float:
+    """Rank-based AUC (probability a member outranks a non-member)."""
+    scores = np.concatenate([member_scores, nonmember_scores])
+    labels = np.concatenate([
+        np.ones(len(member_scores)), np.zeros(len(nonmember_scores))
+    ])
+    order = np.argsort(scores, kind="mergesort")
+    ranks = np.empty(len(scores))
+    ranks[order] = np.arange(1, len(scores) + 1)
+    # average ranks for ties
+    sorted_scores = scores[order]
+    start = 0
+    for end in range(1, len(scores) + 1):
+        if end == len(scores) or sorted_scores[end] != sorted_scores[start]:
+            ranks[order[start:end]] = ranks[order[start:end]].mean()
+            start = end
+    positive_rank_sum = ranks[labels == 1].sum()
+    n_pos = len(member_scores)
+    n_neg = len(nonmember_scores)
+    return float(
+        (positive_rank_sum - n_pos * (n_pos + 1) / 2) / (n_pos * n_neg)
+    )
+
+
+def membership_attack(
+    model: Module,
+    member_set: ArrayDataset,
+    nonmember_set: ArrayDataset,
+) -> MembershipReport:
+    """Run the confidence-threshold membership attack.
+
+    Parameters
+    ----------
+    model:
+        The model under attack.
+    member_set:
+        Samples claimed to have been in the training data (e.g. the forget
+        set, before unlearning).
+    nonmember_set:
+        Samples provably unseen (e.g. a slice of the test split).
+
+    Returns
+    -------
+    MembershipReport with the attacker's best advantage (TPR − FPR over all
+    thresholds) and ranking AUC. Advantage ≈ 0 / AUC ≈ 0.5 means the model
+    does not distinguish the member set — the unlearning goal.
+    """
+    if len(member_set) == 0 or len(nonmember_set) == 0:
+        raise ValueError("both member and non-member sets must be non-empty")
+    member_conf = _true_label_confidence(model, member_set)
+    nonmember_conf = _true_label_confidence(model, nonmember_set)
+
+    thresholds = np.unique(np.concatenate([member_conf, nonmember_conf]))
+    best_advantage = 0.0
+    for threshold in thresholds:
+        tpr = float((member_conf >= threshold).mean())
+        fpr = float((nonmember_conf >= threshold).mean())
+        best_advantage = max(best_advantage, tpr - fpr)
+
+    return MembershipReport(
+        advantage=best_advantage,
+        auc=ranking_auc(member_conf, nonmember_conf),
+        mean_member_confidence=float(member_conf.mean()),
+        mean_nonmember_confidence=float(nonmember_conf.mean()),
+    )
+
+
+def unlearning_privacy_gain(
+    original_model: Module,
+    unlearned_model: Module,
+    forget_set: ArrayDataset,
+    holdout_set: ArrayDataset,
+) -> float:
+    """Drop in membership advantage on the forget set after unlearning.
+
+    Positive values mean the unlearned model leaks less about the removed
+    data than the original did — the quantity a deletion audit would check.
+    """
+    before = membership_attack(original_model, forget_set, holdout_set)
+    after = membership_attack(unlearned_model, forget_set, holdout_set)
+    return before.advantage - after.advantage

@@ -1,0 +1,43 @@
+"""Model-vs-model comparison report used by the divergence tables."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..data.dataset import ArrayDataset
+from ..nn.module import Module
+from ..training.evaluation import accuracy, predict_proba
+from .divergence import l2_distance, mean_jsd, t_test_p_value
+
+
+@dataclass
+class DivergenceReport:
+    """JSD / L2 / t-test triple for one model pair (one table cell group)."""
+
+    jsd: float
+    l2: float
+    t_test_p: float
+
+    def as_row(self) -> tuple:
+        return (self.jsd, self.l2, self.t_test_p)
+
+
+def compare_models(
+    model_a: Module,
+    model_b: Module,
+    dataset: ArrayDataset,
+    batch_size: int = 256,
+) -> DivergenceReport:
+    """Compute the Tables VII–IX metrics between two models on a dataset."""
+    probs_a = predict_proba(model_a, dataset.images, batch_size)
+    probs_b = predict_proba(model_b, dataset.images, batch_size)
+    return DivergenceReport(
+        jsd=mean_jsd(probs_a, probs_b),
+        l2=l2_distance(probs_a, probs_b),
+        t_test_p=t_test_p_value(probs_a, probs_b),
+    )
+
+
+def accuracy_pct(model: Module, dataset: ArrayDataset) -> float:
+    """Accuracy in percent (the unit the paper's tables use)."""
+    return 100.0 * accuracy(model, dataset)

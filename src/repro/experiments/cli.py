@@ -1,0 +1,134 @@
+"""Command-line interface for regenerating the paper's tables and figures.
+
+Usage::
+
+    python -m repro.experiments <experiment> [--scale smoke|small|paper]
+                                             [--dataset NAME] [--seed N]
+
+    python -m repro.experiments list             # show available experiments
+    python -m repro.experiments fig5 --dataset mnist --scale small
+    python -m repro.experiments all --scale smoke
+
+Each run prints the reproduced rows/series (the same data the paper's
+table or figure reports).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Dict, List
+
+from . import (
+    certification,
+    efficiency,
+    fig4_retraining,
+    fig5_backdoor,
+    fig6_shards,
+    fig7_shard_deletion,
+    fig8_heterogeneous,
+    fig9_iid,
+    tab7_9_divergence,
+    tab10_ablation,
+    tab11_loss_compat,
+)
+from .results import ExperimentResult
+from .scale import SCALES, get_scale
+
+_DATASET_EXPERIMENTS = {
+    "fig4": (fig4_retraining, "Fig 4a-e retraining accuracy curves"),
+    "fig5": (fig5_backdoor, "Fig 5a-e + Tables III-VI backdoor validity"),
+    "tab7_9": (tab7_9_divergence, "Tables VII-IX JSD/L2/t-test"),
+}
+
+EXPERIMENTS = {
+    "fig4": "Fig 4: retraining accuracy curves (--dataset, default all panels)",
+    "fig5": "Fig 5 + Tables III-VI: backdoor vs deletion rate (--dataset)",
+    "tab7_9": "Tables VII-IX: divergence vs B1 (--dataset)",
+    "tab10": "Table X: loss-component ablation",
+    "tab11": "Table XI: hard-loss compatibility",
+    "fig6": "Fig 6: shard-count convergence",
+    "fig7": "Fig 7: deletion-recovery timelines",
+    "fig8": "Fig 8 + Table XII: heterogeneous aggregation",
+    "fig9": "Fig 9: IID aggregation",
+    "efficiency": "Extension: systems cost of all six unlearning methods (--dataset)",
+    "certification": "Extension: eps-hat / MIA / relearn-time certification (--dataset)",
+    "all": "run every experiment",
+}
+
+
+def _print_results(results) -> None:
+    if isinstance(results, ExperimentResult):
+        results = {"": results}
+    for result in results.values():
+        result.print()
+        print()
+
+
+def run_experiment(name: str, scale_name: str, dataset: str, seed: int) -> None:
+    """Run one experiment (or all) and print the reproduced artifact(s)."""
+    scale = get_scale(scale_name)
+    start = time.time()
+    if name in _DATASET_EXPERIMENTS:
+        module, _ = _DATASET_EXPERIMENTS[name]
+        if dataset:
+            _print_results(module.run(dataset, scale, seed=seed))
+        else:
+            _print_results(module.run_all(scale, seed=seed))
+    elif name == "tab10":
+        _print_results(tab10_ablation.run(scale, seed=seed))
+    elif name == "tab11":
+        _print_results(tab11_loss_compat.run(scale, seed=seed))
+    elif name == "fig6":
+        _print_results(fig6_shards.run(scale, seed=seed))
+    elif name == "fig7":
+        _print_results(fig7_shard_deletion.run_all(scale, seed=seed))
+    elif name == "fig8":
+        _print_results(fig8_heterogeneous.run_all(scale, seed=seed))
+    elif name == "fig9":
+        _print_results(fig9_iid.run(scale, seed=seed))
+    elif name == "efficiency":
+        _print_results(efficiency.run(dataset or "mnist", scale, seed=seed))
+    elif name == "certification":
+        _print_results(certification.run(dataset or "mnist", scale, seed=seed))
+    elif name == "all":
+        for each in [k for k in EXPERIMENTS if k != "all"]:
+            print(f"##### {each} #####")
+            run_experiment(each, scale_name, dataset="", seed=seed)
+    else:
+        raise ValueError(f"unknown experiment {name!r}; see 'list'")
+    print(f"[{name} done in {time.time() - start:.0f}s at scale={scale_name}]")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Regenerate the Goldfish paper's tables and figures.",
+    )
+    parser.add_argument("experiment",
+                        help=f"one of: {', '.join(EXPERIMENTS)} — or 'list'")
+    parser.add_argument("--scale", default="smoke", choices=sorted(SCALES),
+                        help="experiment scale preset (default: smoke)")
+    parser.add_argument("--dataset", default="",
+                        help="restrict fig4/fig5/tab7_9 to one dataset")
+    parser.add_argument("--seed", type=int, default=0)
+    return parser
+
+
+def main(argv: List[str] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.experiment == "list":
+        for name, description in EXPERIMENTS.items():
+            print(f"  {name:8s} {description}")
+        return 0
+    try:
+        run_experiment(args.experiment, args.scale, args.dataset, args.seed)
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

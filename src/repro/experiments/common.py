@@ -1,0 +1,260 @@
+"""Shared plumbing for the per-table/figure experiment runners.
+
+The canonical workflow each experiment builds on:
+
+1. :func:`build_backdoor_federation` — synthesise the dataset, partition it
+   across clients, poison the to-be-deleted subset of client 0 with the
+   backdoor trigger (the paper's validity instrument).
+2. :func:`pretrain` — run federated training to obtain the *origin* model
+   (the teacher, contaminated by the backdoor).
+3. :func:`run_unlearning_method` — dispatch to ours / B1 / B2 / B3.
+4. Snapshot/restore helpers so one expensive pretrain can be reused across
+   every method being compared.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+import numpy as np
+
+from ..data import (
+    ArrayDataset,
+    BackdoorAttack,
+    FederatedDataset,
+    TriggerPattern,
+    make_dataset,
+    make_federated,
+    select_attack_target,
+)
+from ..data.synthetic import SPECS
+from ..federated import FedAvgAggregator, FederatedSimulation
+from ..federated.state_math import StateDict
+from ..nn.models import build_model
+from ..nn.module import Module
+from ..training import TrainConfig, evaluate
+from ..unlearning import (
+    GoldfishConfig,
+    GoldfishLossConfig,
+    IncompetentTeacherConfig,
+    UnlearnOutcome,
+    federated_goldfish,
+    federated_incompetent_teacher,
+    federated_rapid_retrain,
+    federated_retrain,
+)
+from .scale import ExperimentScale
+
+# The paper's loss-weight configuration (Section IV-B).
+PAPER_TEMPERATURE = 3.0
+PAPER_MU_D = 1.0
+PAPER_MU_C = 0.25
+
+# Trigger calibrated so the origin model's attack success rate is high at
+# reproduction scale (see DESIGN.md §1 and EXPERIMENTS.md).
+DEFAULT_TRIGGER = TriggerPattern(size=7, value=6.0)
+
+
+def model_factory_for(
+    dataset: ArrayDataset, model_name: str, seed: int = 42
+) -> Callable[[], Module]:
+    """A zero-arg factory producing identically-initialised fresh models."""
+
+    def factory() -> Module:
+        return build_model(
+            model_name,
+            num_classes=dataset.num_classes,
+            rng=np.random.default_rng(seed),
+            in_channels=dataset.in_channels,
+            image_size=dataset.image_size,
+        )
+
+    return factory
+
+
+def train_config(scale: ExperimentScale, **overrides) -> TrainConfig:
+    """The scale's local-training hyper-parameters."""
+    config = TrainConfig(
+        epochs=scale.local_epochs,
+        batch_size=scale.batch_size,
+        learning_rate=scale.learning_rate,
+        momentum=0.9,
+    )
+    return config.with_overrides(**overrides) if overrides else config
+
+
+@dataclass
+class BackdoorFederation:
+    """Everything a backdoor-unlearning experiment needs."""
+
+    sim: FederatedSimulation
+    fed_data: FederatedDataset
+    test_set: ArrayDataset
+    attack: BackdoorAttack
+    poison_indices: np.ndarray  # local indices within client 0
+    model_factory: Callable[[], Module]
+    config: TrainConfig
+
+    def register_deletion(self) -> None:
+        """File client 0's deletion request for exactly the poisoned data."""
+        self.sim.clients[0].request_deletion(self.poison_indices)
+
+
+def build_backdoor_federation(
+    dataset_name: str,
+    scale: ExperimentScale,
+    deletion_rate: float,
+    seed: int = 0,
+    model_name: Optional[str] = None,
+    trigger: TriggerPattern = DEFAULT_TRIGGER,
+    target_label: Optional[int] = None,
+) -> BackdoorFederation:
+    """Steps 1 of the canonical workflow (see module docstring).
+
+    ``deletion_rate`` is the paper's "deleted data rate": the poisoned
+    subset size as a fraction of the *total* training data, all residing at
+    client 0.
+    """
+    if dataset_name not in SPECS:
+        raise ValueError(f"unknown dataset {dataset_name!r}")
+    train_set, test_set = make_dataset(
+        dataset_name, train_size=scale.train_size, test_size=scale.test_size, seed=seed
+    )
+    rng = np.random.default_rng(seed + 1000)
+    fed = make_federated(train_set, test_set, scale.num_clients, rng)
+
+    if target_label is None:
+        # Pick the class least naturally associated with the trigger so the
+        # attack-success metric measures implanted behaviour only.
+        target_label = select_attack_target(train_set, trigger)
+    attack = BackdoorAttack(trigger, target_label=target_label)
+    client0 = fed.client_datasets[0]
+    num_poison = max(1, int(round(deletion_rate * len(train_set))))
+    if num_poison >= len(client0):
+        raise ValueError(
+            f"deletion rate {deletion_rate} exceeds client 0's local data "
+            f"({num_poison} >= {len(client0)})"
+        )
+    poison_indices = np.sort(rng.choice(len(client0), num_poison, replace=False))
+    fed.client_datasets[0] = attack.poison(client0, poison_indices)
+
+    resolved_model = model_name or scale.model_for(dataset_name)
+    factory = model_factory_for(train_set, resolved_model)
+    config = train_config(
+        scale, learning_rate=scale.learning_rate_for(resolved_model)
+    )
+    sim = FederatedSimulation(factory, fed, FedAvgAggregator(), config, seed=seed + 2000)
+    return BackdoorFederation(
+        sim=sim,
+        fed_data=fed,
+        test_set=test_set,
+        attack=attack,
+        poison_indices=poison_indices,
+        model_factory=factory,
+        config=config,
+    )
+
+
+def pretrain(setup: BackdoorFederation, scale: ExperimentScale) -> Module:
+    """Step 2: federated training producing the (backdoored) origin model."""
+    setup.sim.run(scale.pretrain_rounds)
+    return setup.sim.global_model()
+
+
+@dataclass
+class SimulationSnapshot:
+    """Restorable capture of a simulation: model states *and* client data.
+
+    Unlearning flows finalize deletions (physically dropping D_f from the
+    client), so re-running a second method from the same pretrained state
+    requires restoring the datasets as well.
+    """
+
+    server_state: StateDict
+    client_states: List[StateDict]
+    client_datasets: List[ArrayDataset]
+
+    @classmethod
+    def capture(cls, sim: FederatedSimulation) -> "SimulationSnapshot":
+        return cls(
+            server_state=sim.server.global_state,
+            client_states=[client.model.state_dict() for client in sim.clients],
+            client_datasets=[client.dataset for client in sim.clients],
+        )
+
+    def restore(self, sim: FederatedSimulation) -> None:
+        sim.server.model.load_state_dict(self.server_state)
+        for client, state, dataset in zip(
+            sim.clients, self.client_states, self.client_datasets
+        ):
+            client.model.load_state_dict(state)
+            client.dataset = dataset
+            client.forget_indices = None
+
+
+def goldfish_config(
+    scale: ExperimentScale,
+    *,
+    temperature: float = PAPER_TEMPERATURE,
+    mu_c: float = PAPER_MU_C,
+    mu_d: float = PAPER_MU_D,
+    hard_loss: str = "cross_entropy",
+    use_confusion: bool = True,
+    use_distillation: bool = True,
+    adaptive_temperature: bool = False,
+    early_stop=None,
+    train: Optional[TrainConfig] = None,
+) -> GoldfishConfig:
+    """The paper's Goldfish configuration at the given scale.
+
+    ``train`` overrides the SGD hyper-parameters (used by experiments whose
+    architecture needs a non-default learning rate, e.g. the ResNets).
+    """
+    from ..unlearning import EarlyStopConfig
+
+    return GoldfishConfig(
+        loss=GoldfishLossConfig(
+            temperature=temperature,
+            mu_c=mu_c,
+            mu_d=mu_d,
+            hard_loss=hard_loss,
+            use_confusion=use_confusion,
+            use_distillation=use_distillation,
+        ),
+        train=train or train_config(scale),
+        early_stop=early_stop or EarlyStopConfig(enabled=False),
+        adaptive_temperature=adaptive_temperature,
+    )
+
+
+METHOD_NAMES = ("ours", "b1", "b2", "b3")
+
+
+def run_unlearning_method(
+    method: str,
+    setup: BackdoorFederation,
+    scale: ExperimentScale,
+    config_override: Optional[GoldfishConfig] = None,
+) -> UnlearnOutcome:
+    """Step 3: run one unlearning flow on a federation with a pending deletion."""
+    sim = setup.sim
+    if method == "ours":
+        config = config_override or goldfish_config(scale, train=setup.config)
+        return federated_goldfish(sim, config, scale.unlearn_rounds)
+    if method == "b1":
+        return federated_retrain(sim, setup.config, scale.unlearn_rounds)
+    if method == "b2":
+        return federated_rapid_retrain(sim, setup.config, scale.unlearn_rounds)
+    if method == "b3":
+        return federated_incompetent_teacher(
+            sim, IncompetentTeacherConfig(train=setup.config), scale.unlearn_rounds
+        )
+    raise ValueError(f"unknown method {method!r}; available: {METHOD_NAMES}")
+
+
+def evaluate_model(model: Module, setup: BackdoorFederation) -> Dict[str, float]:
+    """Accuracy (%) and backdoor success rate (%) — the tables' two columns."""
+    _, acc = evaluate(model, setup.test_set)
+    asr = setup.attack.success_rate(model, setup.test_set)
+    return {"acc": 100.0 * acc, "backdoor": 100.0 * asr}

@@ -1,0 +1,89 @@
+"""Fig. 7a–c: accuracy around a deletion event for different shard counts.
+
+Training proceeds for a few rounds, a deletion lands at the marked round
+(the paper's red dashed line at round 3), only the affected shards are
+retrained from their checkpoints, and training continues. The paper's
+observations to reproduce:
+
+* at a 2% deletion rate the deleted data touches few shards, so sharded
+  models recover much faster than the unsharded (τ=1) model;
+* as the rate grows (6%, 10%) more shards are hit and the advantage of
+  small τ shrinks, while moderate τ (6–9) still recovers quickly.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..data import make_dataset
+from ..training import evaluate
+from ..unlearning import ShardedClientTrainer
+from .common import model_factory_for, train_config
+from .results import ExperimentResult
+from .scale import ExperimentScale
+
+
+def run_one_rate(
+    scale: ExperimentScale,
+    deletion_rate: float,
+    shard_counts: Sequence[int] = (),
+    deletion_round: int = 3,
+    num_rounds: int = 0,
+    dataset: str = "mnist",
+    seed: int = 0,
+) -> ExperimentResult:
+    """One panel: accuracy timeline per shard count at one deletion rate."""
+    shard_counts = tuple(shard_counts) or scale.shard_counts
+    num_rounds = num_rounds or deletion_round + max(3, scale.unlearn_rounds)
+    if deletion_round >= num_rounds:
+        raise ValueError("deletion_round must fall inside the training window")
+    train_set, test_set = make_dataset(
+        dataset, train_size=scale.train_size, test_size=scale.test_size, seed=seed
+    )
+    factory = model_factory_for(train_set, scale.model_for(dataset))
+    config = train_config(scale, epochs=1)
+
+    deletion_rng = np.random.default_rng(seed + 99)
+    num_delete = max(1, int(round(deletion_rate * len(train_set))))
+    delete_indices = np.sort(
+        deletion_rng.choice(len(train_set), num_delete, replace=False)
+    )
+
+    result = ExperimentResult(
+        experiment_id=f"Fig 7 ({100 * deletion_rate:.0f}% deletion)",
+        title=f"Accuracy around deletion at round {deletion_round}",
+        columns=("shards", "pre_delete_acc", "post_delete_acc", "final_acc",
+                 "affected_shards"),
+    )
+    for tau in shard_counts:
+        trainer = ShardedClientTrainer(
+            train_set, tau, factory, np.random.default_rng(seed + tau)
+        )
+        accuracies = []
+        affected = 0
+        for round_index in range(num_rounds):
+            if round_index == deletion_round:
+                report = trainer.delete(delete_indices, config)
+                affected = len(report.affected_shards)
+            trainer.train_all(config)
+            _, acc = evaluate(trainer.local_model(), test_set)
+            accuracies.append(100 * acc)
+        result.add_series(f"tau={tau}", accuracies)
+        result.add_row(
+            shards=tau,
+            pre_delete_acc=accuracies[deletion_round - 1],
+            post_delete_acc=accuracies[deletion_round],
+            final_acc=accuracies[-1],
+            affected_shards=affected,
+        )
+    return result
+
+
+def run_all(scale: ExperimentScale, rates: Sequence[float] = (0.02, 0.06, 0.10),
+            seed: int = 0):
+    """All three Fig. 7 panels."""
+    return {
+        f"{100 * rate:.0f}%": run_one_rate(scale, rate, seed=seed) for rate in rates
+    }

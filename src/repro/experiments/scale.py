@@ -1,0 +1,150 @@
+"""Experiment scale presets.
+
+The paper's evaluation ran on GPUs with the full 50–60k-sample datasets;
+this reproduction runs on CPU with the NumPy substrate. Every experiment
+runner takes an :class:`ExperimentScale` so the *same code* can execute at
+three sizes:
+
+* ``smoke``  — seconds per experiment; used by the test suite.
+* ``small``  — the default for ``benchmarks/`` and ``examples/``; minutes
+  per experiment, large enough for the paper's relative shapes (who wins,
+  where crossovers fall) to emerge.
+* ``paper``  — the paper's sample counts, deletion-rate grid, shard grid
+  and client counts, with the full-depth ResNets. Provided for
+  completeness; expect long CPU runtimes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, Tuple
+
+
+@dataclass(frozen=True)
+class ExperimentScale:
+    """All knobs that trade fidelity for runtime."""
+
+    name: str
+    train_size: int
+    test_size: int
+    num_clients: int
+    pretrain_rounds: int
+    local_epochs: int
+    unlearn_rounds: int
+    batch_size: int
+    learning_rate: float
+    deletion_rates: Tuple[float, ...]
+    shard_counts: Tuple[int, ...]
+    client_counts: Tuple[int, ...]
+    models: Dict[str, str] = field(default_factory=dict)  # dataset -> model name
+    # Narrow ResNets under FedAvg need a larger step size than LeNet at
+    # reduced scale (BatchNorm + few local steps slow early convergence);
+    # 0.0 means "use learning_rate".
+    resnet_learning_rate: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.train_size <= 0 or self.test_size <= 0:
+            raise ValueError("dataset sizes must be positive")
+        if self.num_clients <= 0:
+            raise ValueError("num_clients must be positive")
+        if not self.deletion_rates:
+            raise ValueError("need at least one deletion rate")
+        if any(not 0 < r < 1 for r in self.deletion_rates):
+            raise ValueError("deletion rates must be in (0, 1)")
+
+    def learning_rate_for(self, model_name: str) -> float:
+        """Learning rate for a given architecture at this scale."""
+        if "resnet" in model_name and self.resnet_learning_rate > 0:
+            return self.resnet_learning_rate
+        return self.learning_rate
+
+    def model_for(self, dataset: str) -> str:
+        """Model architecture to use for ``dataset`` at this scale."""
+        try:
+            return self.models[dataset]
+        except KeyError:
+            raise ValueError(
+                f"no model configured for dataset {dataset!r} at scale {self.name!r}"
+            ) from None
+
+    def with_overrides(self, **kwargs) -> "ExperimentScale":
+        return replace(self, **kwargs)
+
+
+SMOKE = ExperimentScale(
+    name="smoke",
+    train_size=400,
+    test_size=200,
+    num_clients=5,
+    pretrain_rounds=5,
+    local_epochs=2,
+    unlearn_rounds=2,
+    batch_size=50,
+    learning_rate=0.02,
+    deletion_rates=(0.06,),
+    shard_counts=(1, 3),
+    client_counts=(5,),
+    models={
+        "mnist": "lenet5",
+        "fmnist": "lenet5",
+        "cifar10": "modified_lenet5",
+        "cifar10_resnet": "resnet8_slim",
+        "cifar100": "resnet8_slim",
+    },
+    resnet_learning_rate=0.1,
+)
+
+SMALL = ExperimentScale(
+    name="small",
+    train_size=1000,
+    test_size=400,
+    num_clients=5,
+    pretrain_rounds=10,
+    local_epochs=3,
+    unlearn_rounds=3,
+    batch_size=50,
+    learning_rate=0.02,
+    deletion_rates=(0.02, 0.06, 0.12),
+    shard_counts=(1, 3, 6, 9),
+    client_counts=(5, 15, 25),
+    models={
+        "mnist": "lenet5",
+        "fmnist": "lenet5",
+        "cifar10": "modified_lenet5",
+        "cifar10_resnet": "resnet8_slim",
+        "cifar100": "resnet8_slim",
+    },
+    resnet_learning_rate=0.1,
+)
+
+PAPER = ExperimentScale(
+    name="paper",
+    train_size=60_000,
+    test_size=10_000,
+    num_clients=5,
+    pretrain_rounds=40,
+    local_epochs=5,
+    unlearn_rounds=10,
+    batch_size=100,
+    learning_rate=0.001,
+    deletion_rates=(0.02, 0.04, 0.06, 0.08, 0.10, 0.12),
+    shard_counts=(1, 3, 6, 9, 12, 15, 18),
+    client_counts=(5, 15, 25),
+    models={
+        "mnist": "lenet5",
+        "fmnist": "lenet5",
+        "cifar10": "modified_lenet5",
+        "cifar10_resnet": "resnet32",
+        "cifar100": "resnet56",
+    },
+)
+
+SCALES = {"smoke": SMOKE, "small": SMALL, "paper": PAPER}
+
+
+def get_scale(name: str) -> ExperimentScale:
+    """Look up a preset by name."""
+    try:
+        return SCALES[name]
+    except KeyError:
+        raise ValueError(f"unknown scale {name!r}; available: {sorted(SCALES)}") from None

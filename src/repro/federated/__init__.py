@@ -1,0 +1,92 @@
+"""``repro.federated`` — the federated-learning substrate.
+
+Clients, server, aggregation strategies (FedAvg and the paper's
+adaptive-weight extension) and the synchronous round simulator, plus the
+hardened-deployment substrates: per-round update retention for the
+update-adjustment unlearning family (:mod:`.history`), pairwise-masking
+secure aggregation with dropout recovery (:mod:`.secure_agg`), top-k /
+quantization upload compression with error feedback (:mod:`.compression`),
+client sampling and dropout injection (:mod:`.sampling`), and
+communication/compute cost metering (:mod:`.metering`).
+"""
+
+from . import state_math
+from .aggregation import (
+    AdaptiveWeightAggregator,
+    Aggregator,
+    ClientUpdate,
+    FedAvgAggregator,
+)
+from .churn import ChurnEvent, ChurnSchedule, ChurnSimulation
+from .client import Client
+from .compression import (
+    CompressedState,
+    Compressor,
+    ErrorFeedback,
+    IdentityCompressor,
+    QuantizationCompressor,
+    TopKCompressor,
+)
+from .history import (
+    RoundHistoryStore,
+    RoundSnapshot,
+    StorageReport,
+    attach_history,
+)
+from .metering import CostMeter, CostReport, MeteredSimulationProxy, state_bytes
+from .sampling import (
+    ClientSampler,
+    DropoutInjector,
+    FullParticipation,
+    ParticipationLog,
+    UniformSampler,
+    WeightedSampler,
+)
+from .secure_agg import MaskedUpdate, SecureAggregationRound, pairwise_seed
+from .server import Server
+from .simulation import (
+    FederatedSimulation,
+    RoundRecord,
+    SimulationHistory,
+    make_aggregator,
+)
+
+__all__ = [
+    "state_math",
+    "Client",
+    "RoundHistoryStore",
+    "RoundSnapshot",
+    "StorageReport",
+    "attach_history",
+    "CompressedState",
+    "Compressor",
+    "ErrorFeedback",
+    "IdentityCompressor",
+    "QuantizationCompressor",
+    "TopKCompressor",
+    "CostMeter",
+    "CostReport",
+    "MeteredSimulationProxy",
+    "state_bytes",
+    "ClientSampler",
+    "DropoutInjector",
+    "FullParticipation",
+    "ParticipationLog",
+    "UniformSampler",
+    "WeightedSampler",
+    "MaskedUpdate",
+    "SecureAggregationRound",
+    "pairwise_seed",
+    "ChurnEvent",
+    "ChurnSchedule",
+    "ChurnSimulation",
+    "Server",
+    "ClientUpdate",
+    "Aggregator",
+    "FedAvgAggregator",
+    "AdaptiveWeightAggregator",
+    "FederatedSimulation",
+    "SimulationHistory",
+    "RoundRecord",
+    "make_aggregator",
+]

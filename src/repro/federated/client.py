@@ -1,0 +1,104 @@
+"""Federated-learning client: local data, local model, local training."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..data.dataset import ArrayDataset
+from ..nn.module import Module
+from ..training.config import TrainConfig, TrainHistory
+from ..training.trainer import train
+from .aggregation import ClientUpdate
+from .state_math import StateDict
+
+
+class Client:
+    """One FL participant holding a private local dataset.
+
+    The client never ships raw data — only model states move between the
+    client and the server, matching the paper's threat model (a server that
+    must not see samples or per-step gradients).
+    """
+
+    def __init__(
+        self,
+        client_id: int,
+        dataset: ArrayDataset,
+        model: Module,
+        rng: np.random.Generator,
+    ) -> None:
+        if len(dataset) == 0:
+            raise ValueError(f"client {client_id} has an empty dataset")
+        self.client_id = client_id
+        self.dataset = dataset
+        self.model = model
+        self.rng = rng
+        self.forget_indices: Optional[np.ndarray] = None
+
+    # ------------------------------------------------------------------
+    # Server interaction
+    # ------------------------------------------------------------------
+    def receive_global(self, state: StateDict) -> None:
+        """Install the server's current global parameters."""
+        self.model.load_state_dict(state)
+
+    def upload(self) -> ClientUpdate:
+        """Package the local model for aggregation."""
+        return ClientUpdate(
+            state=self.model.state_dict(),
+            num_samples=len(self.active_dataset),
+            client_id=self.client_id,
+        )
+
+    # ------------------------------------------------------------------
+    # Deletion requests
+    # ------------------------------------------------------------------
+    def request_deletion(self, indices: np.ndarray) -> None:
+        """Mark local samples (by local index) for removal — D_f^c."""
+        indices = np.asarray(indices, dtype=np.int64)
+        if indices.size == 0:
+            raise ValueError("deletion request with no indices")
+        if indices.min() < 0 or indices.max() >= len(self.dataset):
+            raise ValueError("deletion indices out of range")
+        if indices.size >= len(self.dataset):
+            raise ValueError("cannot delete the client's entire dataset")
+        self.forget_indices = np.unique(indices)
+
+    @property
+    def has_pending_deletion(self) -> bool:
+        return self.forget_indices is not None
+
+    @property
+    def forget_set(self) -> Optional[ArrayDataset]:
+        """D_f^c — the data the user asked to remove."""
+        if self.forget_indices is None:
+            return None
+        return self.dataset.subset(self.forget_indices)
+
+    @property
+    def retain_set(self) -> ArrayDataset:
+        """D_r^c — the remaining data (whole dataset if nothing pending)."""
+        if self.forget_indices is None:
+            return self.dataset
+        return self.dataset.remove(self.forget_indices)
+
+    @property
+    def active_dataset(self) -> ArrayDataset:
+        """The data the client may legally train on right now."""
+        return self.retain_set
+
+    def finalize_deletion(self) -> None:
+        """Physically drop the forget set after unlearning completed."""
+        if self.forget_indices is None:
+            return
+        self.dataset = self.dataset.remove(self.forget_indices)
+        self.forget_indices = None
+
+    # ------------------------------------------------------------------
+    # Local work
+    # ------------------------------------------------------------------
+    def local_train(self, config: TrainConfig) -> TrainHistory:
+        """Algorithm 1 ``LocalTraining``: plain SGD on the active data."""
+        return train(self.model, self.active_dataset, config, self.rng)

@@ -1,0 +1,210 @@
+"""Pairwise-masking secure aggregation.
+
+The paper's threat model forbids the server from seeing per-client
+gradients ("a malicious central server can exploit clients' local
+gradients to reconstruct private training samples", citing Zhu et al. [19]
+and Huang et al. [20]). Secure aggregation (Bonawitz et al., CCS 2017) is
+the standard countermeasure: each pair of clients ``(u, v)`` derives a
+shared mask from a common seed; ``u`` adds it, ``v`` subtracts it, so the
+masks cancel **exactly in the unweighted sum** and the server learns only
+the aggregate.
+
+Because cancellation only holds for the plain sum, size-weighted FedAvg is
+realised the standard way: each client pre-scales its state by its sample
+count before masking, the server sums the masked uploads (masks vanish)
+and divides by the total sample count it learns as plaintext metadata.
+
+This module implements the single-round protocol faithfully at the
+arithmetic level (float masks instead of finite-field arithmetic — the
+cancellation is exact because both sides generate bit-identical streams
+from the same seed):
+
+* pairwise seeds via a deterministic key-agreement stand-in
+  (:func:`pairwise_seed` — order-independent hash of the two ids + round);
+* per-client masked uploads (:meth:`SecureAggregationRound.masked_update`);
+* dropout recovery: if a client drops before submitting, the surviving
+  clients reveal their pairwise seeds with the dropped one and the server
+  subtracts the orphaned masks
+  (:meth:`SecureAggregationRound.aggregate_with_dropouts`).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Set
+
+import numpy as np
+
+from . import state_math
+from .state_math import StateDict
+
+
+def pairwise_seed(client_a: int, client_b: int, round_index: int, salt: int = 0) -> int:
+    """Deterministic shared seed for a client pair in one round.
+
+    Symmetric in the two ids (both sides derive the same value), distinct
+    across rounds and salts. Stands in for a Diffie–Hellman key agreement;
+    the protocol logic above it is unchanged by the substitution.
+    """
+    if client_a == client_b:
+        raise ValueError("a client does not share a mask with itself")
+    low, high = sorted((client_a, client_b))
+    payload = f"{low}:{high}:{round_index}:{salt}".encode()
+    digest = hashlib.sha256(payload).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+def _mask_for(seed: int, reference: StateDict, scale: float) -> StateDict:
+    rng = np.random.default_rng(seed)
+    return {
+        key: rng.normal(0.0, scale, size=value.shape)
+        for key, value in reference.items()
+    }
+
+
+@dataclass
+class MaskedUpdate:
+    """One client's masked upload plus its plaintext sample count."""
+
+    client_id: int
+    masked_state: StateDict  # num_samples · true state + net mask
+    num_samples: int
+
+
+class SecureAggregationRound:
+    """One round of pairwise-masked aggregation among known participants.
+
+    Parameters
+    ----------
+    participant_ids:
+        Clients expected this round. Masks are set up pairwise among them.
+    round_index:
+        Freshness input to the seed derivation (masks never repeat).
+    mask_scale:
+        Standard deviation of the Gaussian masks. Large enough to hide the
+        update, irrelevant to correctness (they cancel exactly).
+    """
+
+    def __init__(
+        self,
+        participant_ids: Sequence[int],
+        round_index: int,
+        mask_scale: float = 10.0,
+        salt: int = 0,
+    ) -> None:
+        ids = list(participant_ids)
+        if len(ids) != len(set(ids)):
+            raise ValueError("participant ids must be unique")
+        if len(ids) < 2:
+            raise ValueError("secure aggregation needs at least 2 participants")
+        if mask_scale <= 0:
+            raise ValueError(f"mask_scale must be positive, got {mask_scale}")
+        self.participant_ids: List[int] = sorted(ids)
+        self.round_index = round_index
+        self.mask_scale = mask_scale
+        self.salt = salt
+        self._received: Dict[int, MaskedUpdate] = {}
+
+    # ------------------------------------------------------------------
+    # Client side
+    # ------------------------------------------------------------------
+    def net_mask(self, client_id: int, reference: StateDict) -> StateDict:
+        """The sum of signed pairwise masks client ``client_id`` applies.
+
+        For each peer ``p``: add the shared mask if ``client_id < p``,
+        subtract it otherwise — the usual antisymmetric convention that
+        makes the total cancel.
+        """
+        if client_id not in self.participant_ids:
+            raise KeyError(f"client {client_id} is not a participant")
+        total = state_math.zeros_like(reference)
+        for peer in self.participant_ids:
+            if peer == client_id:
+                continue
+            seed = pairwise_seed(client_id, peer, self.round_index, self.salt)
+            mask = _mask_for(seed, reference, self.mask_scale)
+            sign = 1.0 if client_id < peer else -1.0
+            total = state_math.add(total, state_math.scale(mask, sign))
+        return total
+
+    def masked_update(
+        self, client_id: int, state: StateDict, num_samples: int
+    ) -> MaskedUpdate:
+        """What the client sends: size-scaled state plus its net mask."""
+        if num_samples <= 0:
+            raise ValueError(f"num_samples must be positive, got {num_samples}")
+        scaled = state_math.scale(state, float(num_samples))
+        masked = state_math.add(scaled, self.net_mask(client_id, state))
+        return MaskedUpdate(
+            client_id=client_id, masked_state=masked, num_samples=num_samples
+        )
+
+    # ------------------------------------------------------------------
+    # Server side
+    # ------------------------------------------------------------------
+    def receive(self, update: MaskedUpdate) -> None:
+        if update.client_id not in self.participant_ids:
+            raise KeyError(f"client {update.client_id} is not a participant")
+        if update.client_id in self._received:
+            raise ValueError(f"client {update.client_id} already submitted")
+        self._received[update.client_id] = update
+
+    @property
+    def received_ids(self) -> List[int]:
+        return sorted(self._received)
+
+    @property
+    def missing_ids(self) -> List[int]:
+        return [c for c in self.participant_ids if c not in self._received]
+
+    def aggregate(self) -> StateDict:
+        """Size-weighted FedAvg of the true states, from masked uploads.
+
+        Requires every participant's upload — the masks then cancel in the
+        plain sum. With dropouts use :meth:`aggregate_with_dropouts`.
+        """
+        if self.missing_ids:
+            raise RuntimeError(
+                f"cannot aggregate: missing uploads from {self.missing_ids}; "
+                "use aggregate_with_dropouts() for dropout recovery"
+            )
+        return self._sum_and_normalise(extra_masks=None)
+
+    def aggregate_with_dropouts(self) -> StateDict:
+        """Aggregate the survivors, removing orphaned masks of dropouts.
+
+        Simulates the recovery phase of Bonawitz et al.: every survivor
+        reveals its pairwise seed with each dropped client, letting the
+        server subtract the mask that no longer has a cancelling
+        counterpart. Exact — the recovered aggregate equals the FedAvg of
+        the survivors' true states.
+        """
+        survivors = self.received_ids
+        if len(survivors) < 2:
+            raise RuntimeError("dropout recovery needs at least 2 surviving clients")
+        dropped: Set[int] = set(self.missing_ids)
+        if not dropped:
+            return self.aggregate()
+        reference = next(iter(self._received.values())).masked_state
+        orphaned = state_math.zeros_like(reference)
+        for survivor in survivors:
+            for ghost in dropped:
+                seed = pairwise_seed(survivor, ghost, self.round_index, self.salt)
+                mask = _mask_for(seed, reference, self.mask_scale)
+                sign = 1.0 if survivor < ghost else -1.0
+                orphaned = state_math.add(orphaned, state_math.scale(mask, sign))
+        return self._sum_and_normalise(extra_masks=orphaned)
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _sum_and_normalise(self, extra_masks) -> StateDict:
+        updates = list(self._received.values())
+        total_samples = sum(u.num_samples for u in updates)
+        total = state_math.zeros_like(updates[0].masked_state)
+        for update in updates:
+            total = state_math.add(total, update.masked_state)
+        if extra_masks is not None:
+            total = state_math.subtract(total, extra_masks)
+        return state_math.scale(total, 1.0 / total_samples)

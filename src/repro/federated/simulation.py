@@ -1,0 +1,185 @@
+"""Round-based federated-learning simulation.
+
+:class:`FederatedSimulation` wires clients, server and aggregator together
+and runs synchronous FL rounds (Algorithm 1's outer loop in the
+no-deletion case). The unlearning protocols in
+:mod:`repro.unlearning.protocols` drive the same objects through the
+deletion path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence
+
+import numpy as np
+
+from ..data.dataset import ArrayDataset, FederatedDataset
+from ..nn.module import Module
+from ..training.config import TrainConfig
+from ..training.evaluation import evaluate
+from .aggregation import Aggregator, AdaptiveWeightAggregator, FedAvgAggregator
+from .client import Client
+from .sampling import ClientSampler
+from .server import Server
+
+
+@dataclass
+class RoundRecord:
+    """Metrics for one completed FL round."""
+
+    round_index: int
+    global_loss: float
+    global_accuracy: float
+    client_accuracies: List[float] = field(default_factory=list)
+
+
+@dataclass
+class SimulationHistory:
+    """Per-round records of a simulation run."""
+
+    rounds: List[RoundRecord] = field(default_factory=list)
+
+    @property
+    def accuracies(self) -> List[float]:
+        return [r.global_accuracy for r in self.rounds]
+
+    @property
+    def final_accuracy(self) -> float:
+        if not self.rounds:
+            raise ValueError("no rounds recorded")
+        return self.rounds[-1].global_accuracy
+
+    def __len__(self) -> int:
+        return len(self.rounds)
+
+
+def make_aggregator(
+    name: str,
+    test_set: Optional[ArrayDataset] = None,
+    model_factory: Optional[Callable[[], Module]] = None,
+) -> Aggregator:
+    """Build an aggregator by name.
+
+    ``"fedavg"`` = size-weighted FedAvg, ``"fedavg_uniform"`` = plain mean,
+    ``"adaptive"`` = the paper's quality-weighted extension (needs the
+    server test set and a model factory for scoring uploads).
+    """
+    if name == "fedavg":
+        return FedAvgAggregator()
+    if name == "fedavg_uniform":
+        return FedAvgAggregator(weighting="uniform")
+    if name == "adaptive":
+        if test_set is None or model_factory is None:
+            raise ValueError("adaptive aggregation needs test_set and model_factory")
+        return AdaptiveWeightAggregator(test_set, model_factory)
+    raise ValueError(
+        f"unknown aggregator {name!r}; "
+        "available: ['fedavg', 'fedavg_uniform', 'adaptive']"
+    )
+
+
+class FederatedSimulation:
+    """Synchronous FL over in-process clients.
+
+    Parameters
+    ----------
+    model_factory:
+        Zero-argument callable producing a fresh model. Used for the global
+        model and every client replica (all share one architecture).
+    fed_data:
+        Client datasets plus the server-side test set.
+    aggregator:
+        Aggregation strategy instance.
+    train_config:
+        Local-training hyper-parameters applied at every client.
+    seed:
+        Base seed; every client derives an independent child generator, so
+        runs are reproducible regardless of client count.
+    """
+
+    def __init__(
+        self,
+        model_factory: Callable[[], Module],
+        fed_data: FederatedDataset,
+        aggregator: Aggregator,
+        train_config: TrainConfig,
+        seed: int = 0,
+        sampler: Optional[ClientSampler] = None,
+    ) -> None:
+        if fed_data.num_clients == 0:
+            raise ValueError("no clients in federated dataset")
+        self.model_factory = model_factory
+        self.fed_data = fed_data
+        self.train_config = train_config
+        self.sampler = sampler
+        seeds = np.random.SeedSequence(seed).spawn(fed_data.num_clients + 1)
+        self.clients: List[Client] = [
+            Client(
+                client_id=index,
+                dataset=dataset,
+                model=model_factory(),
+                rng=np.random.default_rng(seeds[index]),
+            )
+            for index, dataset in enumerate(fed_data.client_datasets)
+        ]
+        self.server = Server(model_factory(), aggregator, test_set=fed_data.test_set)
+        self.rng = np.random.default_rng(seeds[-1])
+        # Who actually trained in the most recent round (== clients until a
+        # round runs; history recording reads this rather than re-sampling).
+        self.last_participants: List[Client] = self.clients
+
+    def round_participants(self, round_index: int) -> List[Client]:
+        """Clients taking part in this round (all, unless a sampler is set)."""
+        if self.sampler is None:
+            return self.clients
+        chosen = self.sampler.sample(
+            [client.client_id for client in self.clients], round_index, self.rng
+        )
+        by_id = {client.client_id: client for client in self.clients}
+        return [by_id[client_id] for client_id in chosen]
+
+    def run_round(self, round_index: int, record_client_metrics: bool = False) -> RoundRecord:
+        """One synchronous round: (sample →) broadcast → local train → aggregate."""
+        participants = self.round_participants(round_index)
+        self.last_participants = participants
+        self.server.broadcast(participants)
+        updates = []
+        client_accuracies: List[float] = []
+        for client in participants:
+            client.local_train(self.train_config)
+            if record_client_metrics:
+                _, acc = evaluate(client.model, self.fed_data.test_set)
+                client_accuracies.append(acc)
+            updates.append(client.upload())
+        self.server.aggregate(updates)
+        loss, accuracy = self.server.evaluate_global()
+        return RoundRecord(
+            round_index=round_index,
+            global_loss=loss,
+            global_accuracy=accuracy,
+            client_accuracies=client_accuracies,
+        )
+
+    def run(
+        self,
+        num_rounds: int,
+        record_client_metrics: bool = False,
+        round_callback: Optional[Callable[[RoundRecord], None]] = None,
+    ) -> SimulationHistory:
+        """Run ``num_rounds`` rounds, recording global metrics each round."""
+        if num_rounds <= 0:
+            raise ValueError(f"num_rounds must be positive, got {num_rounds}")
+        history = SimulationHistory()
+        for round_index in range(num_rounds):
+            record = self.run_round(round_index, record_client_metrics)
+            history.rounds.append(record)
+            if round_callback is not None:
+                round_callback(record)
+        return history
+
+    def global_model(self) -> Module:
+        """A fresh model loaded with the current global parameters."""
+        model = self.model_factory()
+        model.load_state_dict(self.server.global_state)
+        return model

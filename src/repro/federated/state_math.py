@@ -1,0 +1,106 @@
+"""Arithmetic on model state dicts.
+
+State dicts (``{parameter name: numpy array}``) are the unit of exchange in
+the FL simulator, the aggregators and the shard-checkpoint arithmetic of
+the paper's Eq. 8–10. These helpers implement elementwise linear algebra
+over them with strict key/shape checking.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence
+
+import numpy as np
+
+StateDict = Dict[str, np.ndarray]
+
+
+def check_compatible(states: Sequence[StateDict]) -> None:
+    """Raise if the states do not share identical keys and shapes."""
+    if not states:
+        raise ValueError("no states given")
+    reference = states[0]
+    for index, state in enumerate(states[1:], start=1):
+        if set(state) != set(reference):
+            missing = set(reference) - set(state)
+            extra = set(state) - set(reference)
+            raise KeyError(
+                f"state {index} key mismatch: missing={sorted(missing)}, "
+                f"extra={sorted(extra)}"
+            )
+        for key, value in state.items():
+            if value.shape != reference[key].shape:
+                raise ValueError(
+                    f"state {index} shape mismatch at {key!r}: "
+                    f"{value.shape} vs {reference[key].shape}"
+                )
+
+
+def check_finite(state: StateDict, context: str = "state") -> None:
+    """Raise if any parameter contains NaN or Inf.
+
+    A client whose local training diverged uploads a poisoned-by-accident
+    model; one such upload silently corrupts every future global model
+    under plain averaging, so aggregation rejects it loudly instead.
+    """
+    for key, value in state.items():
+        if not np.isfinite(value).all():
+            bad = int((~np.isfinite(value)).sum())
+            raise ValueError(
+                f"{context} has {bad} non-finite value(s) in {key!r} "
+                "(diverged local training?)"
+            )
+
+
+def zeros_like(state: StateDict) -> StateDict:
+    """An all-zero state with the same structure."""
+    return {key: np.zeros_like(value) for key, value in state.items()}
+
+
+def scale(state: StateDict, factor: float) -> StateDict:
+    """Multiply every array by ``factor``."""
+    return {key: value * factor for key, value in state.items()}
+
+
+def add(a: StateDict, b: StateDict) -> StateDict:
+    """Elementwise ``a + b``."""
+    check_compatible([a, b])
+    return {key: a[key] + b[key] for key in a}
+
+
+def subtract(a: StateDict, b: StateDict) -> StateDict:
+    """Elementwise ``a - b``."""
+    check_compatible([a, b])
+    return {key: a[key] - b[key] for key in a}
+
+
+def weighted_sum(states: Sequence[StateDict], weights: Sequence[float]) -> StateDict:
+    """``sum_i weights[i] * states[i]`` (the workhorse of Eq. 8, 9, 13)."""
+    states = list(states)
+    weights = [float(w) for w in weights]
+    if len(states) != len(weights):
+        raise ValueError(f"{len(states)} states but {len(weights)} weights")
+    check_compatible(states)
+    result = zeros_like(states[0])
+    for state, weight in zip(states, weights):
+        for key in result:
+            result[key] += weight * state[key]
+    return result
+
+
+def mean(states: Sequence[StateDict]) -> StateDict:
+    """Unweighted average of states."""
+    states = list(states)
+    return weighted_sum(states, [1.0 / len(states)] * len(states))
+
+
+def l2_distance(a: StateDict, b: StateDict) -> float:
+    """Global L2 distance between two parameter vectors."""
+    check_compatible([a, b])
+    total = sum(float(((a[key] - b[key]) ** 2).sum()) for key in a)
+    return float(np.sqrt(total))
+
+
+def flatten(state: StateDict) -> np.ndarray:
+    """Concatenate all arrays (sorted by key) into one flat vector."""
+    return np.concatenate([state[key].ravel() for key in sorted(state)])

@@ -1,0 +1,198 @@
+"""Neural-network functional primitives built on the autograd engine.
+
+Contains the convolution / pooling kernels (implemented with im2col on top
+of :func:`numpy.lib.stride_tricks.sliding_window_view`) and numerically
+stable softmax utilities. All functions take and return
+:class:`repro.nn.tensor.Tensor` and participate in autodiff.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+from numpy.lib.stride_tricks import sliding_window_view
+
+from .tensor import Tensor, ensure_tensor
+
+
+def _conv_output_size(size: int, kernel: int, stride: int, padding: int) -> int:
+    out = (size + 2 * padding - kernel) // stride + 1
+    if out <= 0:
+        raise ValueError(
+            f"convolution produces non-positive output size: input={size}, "
+            f"kernel={kernel}, stride={stride}, padding={padding}"
+        )
+    return out
+
+
+def conv2d(
+    x: Tensor,
+    weight: Tensor,
+    bias: Optional[Tensor] = None,
+    stride: int = 1,
+    padding: int = 0,
+) -> Tensor:
+    """2-D cross-correlation (the deep-learning "convolution").
+
+    Parameters
+    ----------
+    x:
+        Input of shape ``(N, C_in, H, W)``.
+    weight:
+        Filters of shape ``(C_out, C_in, KH, KW)``.
+    bias:
+        Optional per-output-channel bias of shape ``(C_out,)``.
+    stride, padding:
+        Spatial stride and symmetric zero padding.
+    """
+    if x.ndim != 4:
+        raise ValueError(f"conv2d expects 4-D input, got shape {x.shape}")
+    if weight.ndim != 4:
+        raise ValueError(f"conv2d expects 4-D weight, got shape {weight.shape}")
+    n, c_in, h, w = x.shape
+    c_out, c_in_w, kh, kw = weight.shape
+    if c_in != c_in_w:
+        raise ValueError(f"input channels {c_in} != weight channels {c_in_w}")
+    h_out = _conv_output_size(h, kh, stride, padding)
+    w_out = _conv_output_size(w, kw, stride, padding)
+
+    x_padded = np.pad(x.data, ((0, 0), (0, 0), (padding, padding), (padding, padding)))
+    # windows: (N, C, H', W', KH, KW) where H'/W' enumerate window origins.
+    windows = sliding_window_view(x_padded, (kh, kw), axis=(2, 3))
+    windows = windows[:, :, ::stride, ::stride, :, :]
+    # cols: (N * H_out * W_out, C * KH * KW)
+    cols = windows.transpose(0, 2, 3, 1, 4, 5).reshape(n * h_out * w_out, c_in * kh * kw)
+    w_flat = weight.data.reshape(c_out, -1)
+
+    out_flat = cols @ w_flat.T
+    if bias is not None:
+        out_flat = out_flat + bias.data
+    out_data = out_flat.reshape(n, h_out, w_out, c_out).transpose(0, 3, 1, 2)
+
+    parents = (x, weight) if bias is None else (x, weight, bias)
+
+    def backward_fn(grad: np.ndarray) -> None:
+        # grad: (N, C_out, H_out, W_out)
+        grad_flat = grad.transpose(0, 2, 3, 1).reshape(n * h_out * w_out, c_out)
+        if bias is not None and bias.requires_grad:
+            bias._accumulate(grad_flat.sum(axis=0))
+        if weight.requires_grad:
+            weight._accumulate((grad_flat.T @ cols).reshape(weight.shape))
+        if x.requires_grad:
+            dcols = grad_flat @ w_flat  # (N*H_out*W_out, C*KH*KW)
+            dwindows = dcols.reshape(n, h_out, w_out, c_in, kh, kw).transpose(0, 3, 1, 2, 4, 5)
+            dx_padded = np.zeros_like(x_padded)
+            for ki in range(kh):
+                for kj in range(kw):
+                    dx_padded[
+                        :, :, ki : ki + h_out * stride : stride, kj : kj + w_out * stride : stride
+                    ] += dwindows[:, :, :, :, ki, kj]
+            if padding:
+                dx = dx_padded[:, :, padding:-padding, padding:-padding]
+            else:
+                dx = dx_padded
+            x._accumulate(dx)
+
+    return Tensor._make(out_data, parents, backward_fn)
+
+
+def max_pool2d(x: Tensor, kernel_size: int) -> Tensor:
+    """Non-overlapping max pooling with ``stride == kernel_size``.
+
+    The spatial dimensions must be divisible by ``kernel_size`` (this covers
+    every architecture in the paper: LeNet-5 uses 2x2 pools on even sizes).
+    """
+    n, c, h, w = x.shape
+    k = kernel_size
+    if h % k or w % k:
+        raise ValueError(f"spatial size ({h}, {w}) not divisible by kernel {k}")
+    h_out, w_out = h // k, w // k
+    windows = x.data.reshape(n, c, h_out, k, w_out, k).transpose(0, 1, 2, 4, 3, 5)
+    flat = windows.reshape(n, c, h_out, w_out, k * k)
+    arg = flat.argmax(axis=-1)
+    out_data = np.take_along_axis(flat, arg[..., None], axis=-1)[..., 0]
+
+    def backward_fn(grad: np.ndarray) -> None:
+        if not x.requires_grad:
+            return
+        dflat = np.zeros_like(flat)
+        np.put_along_axis(dflat, arg[..., None], grad[..., None], axis=-1)
+        dx = (
+            dflat.reshape(n, c, h_out, w_out, k, k)
+            .transpose(0, 1, 2, 4, 3, 5)
+            .reshape(n, c, h, w)
+        )
+        x._accumulate(dx)
+
+    return Tensor._make(out_data, (x,), backward_fn)
+
+
+def avg_pool2d(x: Tensor, kernel_size: int) -> Tensor:
+    """Non-overlapping average pooling with ``stride == kernel_size``."""
+    n, c, h, w = x.shape
+    k = kernel_size
+    if h % k or w % k:
+        raise ValueError(f"spatial size ({h}, {w}) not divisible by kernel {k}")
+    return x.reshape(n, c, h // k, k, w // k, k).mean(axis=(3, 5))
+
+
+def global_avg_pool2d(x: Tensor) -> Tensor:
+    """Average over the full spatial extent, returning ``(N, C)``."""
+    return x.mean(axis=(2, 3))
+
+
+def log_softmax(x: Tensor, axis: int = -1) -> Tensor:
+    """Numerically stable ``log(softmax(x))`` along ``axis``."""
+    # Subtracting the (detached) max is exact for both value and gradient.
+    shift = Tensor(x.data.max(axis=axis, keepdims=True))
+    shifted = x - shift
+    return shifted - shifted.exp().sum(axis=axis, keepdims=True).log()
+
+
+def softmax(x: Tensor, axis: int = -1, temperature: float = 1.0) -> Tensor:
+    """Softmax with optional distillation temperature (paper Eq. 3–4).
+
+    ``temperature > 1`` smooths the distribution, which is how the teacher's
+    "dark knowledge" is exposed to the student during distillation.
+    """
+    if temperature <= 0:
+        raise ValueError(f"temperature must be positive, got {temperature}")
+    scaled = x / float(temperature) if temperature != 1.0 else x
+    return log_softmax(scaled, axis=axis).exp()
+
+
+def one_hot(labels: np.ndarray, num_classes: int) -> np.ndarray:
+    """Return a float64 one-hot matrix of shape ``(len(labels), num_classes)``."""
+    labels = np.asarray(labels)
+    if labels.ndim != 1:
+        raise ValueError(f"labels must be 1-D, got shape {labels.shape}")
+    if labels.size and (labels.min() < 0 or labels.max() >= num_classes):
+        raise ValueError("labels out of range for num_classes")
+    out = np.zeros((labels.shape[0], num_classes), dtype=np.float64)
+    out[np.arange(labels.shape[0]), labels] = 1.0
+    return out
+
+
+def dropout(x: Tensor, p: float, rng: np.random.Generator, training: bool = True) -> Tensor:
+    """Inverted dropout: zero activations with probability ``p`` and rescale."""
+    if not 0.0 <= p < 1.0:
+        raise ValueError(f"dropout probability must be in [0, 1), got {p}")
+    if not training or p == 0.0:
+        return x
+    mask = (rng.random(x.shape) >= p) / (1.0 - p)
+    return x * Tensor(mask)
+
+
+def linear(x: Tensor, weight: Tensor, bias: Optional[Tensor] = None) -> Tensor:
+    """Affine map ``x @ weight.T + bias``."""
+    out = x @ weight.T
+    if bias is not None:
+        out = out + bias
+    return out
+
+
+def flatten_images(x: np.ndarray) -> np.ndarray:
+    """Flatten image batches ``(N, C, H, W)`` to ``(N, C*H*W)`` (no grad)."""
+    x = np.asarray(x)
+    return x.reshape(x.shape[0], -1)

@@ -1,0 +1,280 @@
+"""Standard neural-network layers used by the paper's model zoo."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from . import functional as F
+from . import init
+from .module import Module, Parameter
+from .tensor import Tensor
+
+
+class Identity(Module):
+    """No-op layer, handy as a placeholder in residual blocks."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        return x
+
+
+class ReLU(Module):
+    """Rectified linear unit."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        return x.relu()
+
+
+class Flatten(Module):
+    """Flatten all dimensions after the batch dimension."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        return x.flatten(start_dim=1)
+
+
+class Linear(Module):
+    """Fully connected layer ``y = x @ W.T + b``."""
+
+    def __init__(self, in_features: int, out_features: int, rng: np.random.Generator,
+                 bias: bool = True) -> None:
+        super().__init__()
+        self.in_features = in_features
+        self.out_features = out_features
+        self.weight = Parameter(init.kaiming_uniform((out_features, in_features), rng))
+        if bias:
+            self.bias: Optional[Parameter] = Parameter(
+                init.bias_uniform((out_features,), in_features, rng)
+            )
+        else:
+            self.bias = None
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.linear(x, self.weight, self.bias)
+
+    def __repr__(self) -> str:
+        return f"Linear(in={self.in_features}, out={self.out_features})"
+
+
+class Conv2d(Module):
+    """2-D convolution layer (cross-correlation, as in PyTorch)."""
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        kernel_size: int,
+        rng: np.random.Generator,
+        stride: int = 1,
+        padding: int = 0,
+        bias: bool = True,
+    ) -> None:
+        super().__init__()
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+        self.kernel_size = kernel_size
+        self.stride = stride
+        self.padding = padding
+        shape = (out_channels, in_channels, kernel_size, kernel_size)
+        self.weight = Parameter(init.kaiming_uniform(shape, rng))
+        if bias:
+            fan_in = in_channels * kernel_size * kernel_size
+            self.bias: Optional[Parameter] = Parameter(
+                init.bias_uniform((out_channels,), fan_in, rng)
+            )
+        else:
+            self.bias = None
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.conv2d(x, self.weight, self.bias, stride=self.stride, padding=self.padding)
+
+    def __repr__(self) -> str:
+        return (
+            f"Conv2d(in={self.in_channels}, out={self.out_channels}, "
+            f"k={self.kernel_size}, s={self.stride}, p={self.padding})"
+        )
+
+
+class MaxPool2d(Module):
+    """Non-overlapping max pooling."""
+
+    def __init__(self, kernel_size: int) -> None:
+        super().__init__()
+        self.kernel_size = kernel_size
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.max_pool2d(x, self.kernel_size)
+
+    def __repr__(self) -> str:
+        return f"MaxPool2d(k={self.kernel_size})"
+
+
+class AvgPool2d(Module):
+    """Non-overlapping average pooling."""
+
+    def __init__(self, kernel_size: int) -> None:
+        super().__init__()
+        self.kernel_size = kernel_size
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.avg_pool2d(x, self.kernel_size)
+
+
+class Dropout(Module):
+    """Inverted dropout; inactive in eval mode."""
+
+    def __init__(self, p: float, rng: np.random.Generator) -> None:
+        super().__init__()
+        if not 0.0 <= p < 1.0:
+            raise ValueError(f"dropout probability must be in [0, 1), got {p}")
+        self.p = p
+        self._rng = rng
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.dropout(x, self.p, self._rng, training=self.training)
+
+    def __repr__(self) -> str:
+        return f"Dropout(p={self.p})"
+
+
+class BatchNorm2d(Module):
+    """Batch normalisation over ``(N, H, W)`` per channel.
+
+    Uses batch statistics during training (tracked into running buffers with
+    exponential moving average) and the running statistics in eval mode.
+    """
+
+    def __init__(self, num_features: int, eps: float = 1e-5, momentum: float = 0.1) -> None:
+        super().__init__()
+        self.num_features = num_features
+        self.eps = eps
+        self.momentum = momentum
+        self.gamma = Parameter(init.ones((num_features,)))
+        self.beta = Parameter(init.zeros((num_features,)))
+        self.register_buffer("running_mean", init.zeros((num_features,)))
+        self.register_buffer("running_var", init.ones((num_features,)))
+
+    def forward(self, x: Tensor) -> Tensor:
+        if x.ndim != 4:
+            raise ValueError(f"BatchNorm2d expects 4-D input, got shape {x.shape}")
+        axes = (0, 2, 3)
+        if self.training:
+            mean = x.mean(axis=axes, keepdims=True)
+            var = x.var(axis=axes, keepdims=True)
+            m = self.momentum
+            self._set_buffer(
+                "running_mean", (1 - m) * self.running_mean + m * mean.data.reshape(-1)
+            )
+            self._set_buffer(
+                "running_var", (1 - m) * self.running_var + m * var.data.reshape(-1)
+            )
+        else:
+            mean = Tensor(self.running_mean.reshape(1, -1, 1, 1))
+            var = Tensor(self.running_var.reshape(1, -1, 1, 1))
+        x_hat = (x - mean) / ((var + self.eps) ** 0.5)
+        gamma = self.gamma.reshape(1, -1, 1, 1)
+        beta = self.beta.reshape(1, -1, 1, 1)
+        return x_hat * gamma + beta
+
+    def __repr__(self) -> str:
+        return f"BatchNorm2d({self.num_features})"
+
+
+class GroupNorm(Module):
+    """Group normalisation (Wu & He, 2018) over ``(C/G, H, W)`` groups.
+
+    Unlike :class:`BatchNorm2d` it carries no running statistics and is
+    independent of the batch composition, which makes it the standard
+    substitute for batch norm in federated learning: FedAvg-averaging BN
+    statistics across clients with heterogeneous data is a known source of
+    divergence, while group-normalised models average cleanly.
+    """
+
+    def __init__(self, num_groups: int, num_channels: int, eps: float = 1e-5) -> None:
+        super().__init__()
+        if num_groups <= 0 or num_channels % num_groups:
+            raise ValueError(
+                f"num_channels {num_channels} must be divisible by "
+                f"num_groups {num_groups}"
+            )
+        self.num_groups = num_groups
+        self.num_channels = num_channels
+        self.eps = eps
+        self.gamma = Parameter(init.ones((num_channels,)))
+        self.beta = Parameter(init.zeros((num_channels,)))
+
+    def forward(self, x: Tensor) -> Tensor:
+        if x.ndim != 4:
+            raise ValueError(f"GroupNorm expects 4-D input, got shape {x.shape}")
+        n, c, h, w = x.shape
+        if c != self.num_channels:
+            raise ValueError(f"expected {self.num_channels} channels, got {c}")
+        grouped = x.reshape(n, self.num_groups, c // self.num_groups, h, w)
+        mean = grouped.mean(axis=(2, 3, 4), keepdims=True)
+        var = grouped.var(axis=(2, 3, 4), keepdims=True)
+        normalised = (grouped - mean) / ((var + self.eps) ** 0.5)
+        out = normalised.reshape(n, c, h, w)
+        gamma = self.gamma.reshape(1, -1, 1, 1)
+        beta = self.beta.reshape(1, -1, 1, 1)
+        return out * gamma + beta
+
+    def __repr__(self) -> str:
+        return f"GroupNorm(groups={self.num_groups}, channels={self.num_channels})"
+
+
+class LayerNorm(Module):
+    """Layer normalisation (Ba et al., 2016) over the trailing feature axis.
+
+    Normalises each sample independently — like :class:`GroupNorm`, it is
+    batch-composition-free and therefore FedAvg-friendly. Operates on the
+    last dimension of 2-D ``(N, F)`` inputs (the MLP / classifier-head
+    case).
+    """
+
+    def __init__(self, num_features: int, eps: float = 1e-5) -> None:
+        super().__init__()
+        if num_features <= 0:
+            raise ValueError(f"num_features must be positive, got {num_features}")
+        self.num_features = num_features
+        self.eps = eps
+        self.gamma = Parameter(init.ones((num_features,)))
+        self.beta = Parameter(init.zeros((num_features,)))
+
+    def forward(self, x: Tensor) -> Tensor:
+        if x.ndim != 2:
+            raise ValueError(f"LayerNorm expects 2-D input, got shape {x.shape}")
+        if x.shape[1] != self.num_features:
+            raise ValueError(
+                f"expected {self.num_features} features, got {x.shape[1]}"
+            )
+        mean = x.mean(axis=1, keepdims=True)
+        var = x.var(axis=1, keepdims=True)
+        x_hat = (x - mean) / ((var + self.eps) ** 0.5)
+        return x_hat * self.gamma.reshape(1, -1) + self.beta.reshape(1, -1)
+
+    def __repr__(self) -> str:
+        return f"LayerNorm({self.num_features})"
+
+
+class Sequential(Module):
+    """Chain of sub-modules applied in order."""
+
+    def __init__(self, *modules: Module) -> None:
+        super().__init__()
+        for index, module in enumerate(modules):
+            setattr(self, f"layer{index}", module)
+        self._layers = list(modules)
+
+    def forward(self, x: Tensor) -> Tensor:
+        for layer in self._layers:
+            x = layer(x)
+        return x
+
+    def __iter__(self):
+        return iter(self._layers)
+
+    def __getitem__(self, index: int) -> Module:
+        return self._layers[index]
+
+    def __len__(self) -> int:
+        return len(self._layers)

@@ -1,0 +1,28 @@
+"""Model zoo matching the architectures used in the paper's evaluation.
+
+* :class:`LeNet5` — MNIST / Fashion-MNIST (2 conv, 2 max-pool, 2 FC).
+* :class:`ModifiedLeNet5` — CIFAR-10 (2 conv, 2 max-pool, 3 FC).
+* :func:`resnet` — CIFAR-style residual networks of depth ``6n + 2``
+  (ResNet8/20/32/56 constructible; the paper uses 32 and 56).
+* :class:`MLP` — generic baseline for tests and examples.
+* :func:`build_model` — string-keyed factory used by the experiment harness.
+"""
+
+from .lenet import LeNet5, ModifiedLeNet5
+from .mlp import MLP
+from .resnet import ResNet, resnet, resnet8, resnet20, resnet32, resnet56
+from .registry import MODEL_BUILDERS, build_model
+
+__all__ = [
+    "LeNet5",
+    "ModifiedLeNet5",
+    "MLP",
+    "ResNet",
+    "resnet",
+    "resnet8",
+    "resnet20",
+    "resnet32",
+    "resnet56",
+    "MODEL_BUILDERS",
+    "build_model",
+]

@@ -1,0 +1,36 @@
+"""Checkpoint persistence: save/load state dicts as ``.npz`` archives."""
+
+from __future__ import annotations
+
+import os
+from typing import Dict
+
+import numpy as np
+
+from .module import Module
+
+
+def save_state_dict(state: Dict[str, np.ndarray], path: str) -> None:
+    """Write a state dict to ``path`` (``.npz`` appended if missing)."""
+    directory = os.path.dirname(os.path.abspath(path))
+    os.makedirs(directory, exist_ok=True)
+    np.savez(path if path.endswith(".npz") else path + ".npz", **state)
+
+
+def load_state_dict(path: str) -> Dict[str, np.ndarray]:
+    """Read a state dict previously written by :func:`save_state_dict`."""
+    if not path.endswith(".npz"):
+        path = path + ".npz"
+    with np.load(path) as archive:
+        return {name: archive[name].copy() for name in archive.files}
+
+
+def save_model(model: Module, path: str) -> None:
+    """Persist a model's parameters and buffers."""
+    save_state_dict(model.state_dict(), path)
+
+
+def load_model(model: Module, path: str) -> Module:
+    """Restore a model in place from a checkpoint and return it."""
+    model.load_state_dict(load_state_dict(path))
+    return model

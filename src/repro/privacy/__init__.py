@@ -1,0 +1,32 @@
+"""Differential-privacy primitives used by unlearning certification.
+
+The unlearning literature the paper builds on measures forgetting with
+(ε, δ)-indistinguishability between the unlearned and the retrained model
+(Ginart et al. [10]; FedRecovery [23] realises it with calibrated Gaussian
+noise). This package provides the standard machinery:
+
+* :mod:`repro.privacy.dp` — L2 clipping, the Gaussian mechanism, and a
+  zCDP-based privacy accountant for composing noise additions.
+"""
+
+from .dp import (
+    GaussianMechanism,
+    PrivacyAccountant,
+    add_gaussian_noise,
+    clip_state_by_l2,
+    clip_vector_by_l2,
+    gaussian_sigma,
+    rho_to_epsilon,
+    zcdp_rho,
+)
+
+__all__ = [
+    "GaussianMechanism",
+    "PrivacyAccountant",
+    "add_gaussian_noise",
+    "clip_state_by_l2",
+    "clip_vector_by_l2",
+    "gaussian_sigma",
+    "rho_to_epsilon",
+    "zcdp_rho",
+]

@@ -1,0 +1,30 @@
+"""``repro.training`` — configs, the plain training loop and evaluation."""
+
+from .config import EpochStats, TrainConfig, TrainHistory
+from .evaluation import (
+    accuracy,
+    confusion_matrix,
+    evaluate,
+    mean_loss,
+    per_class_accuracy,
+    predict_logits,
+    predict_proba,
+    prediction_mse,
+)
+from .trainer import make_optimizer, train
+
+__all__ = [
+    "TrainConfig",
+    "TrainHistory",
+    "EpochStats",
+    "train",
+    "make_optimizer",
+    "evaluate",
+    "accuracy",
+    "mean_loss",
+    "predict_logits",
+    "predict_proba",
+    "prediction_mse",
+    "confusion_matrix",
+    "per_class_accuracy",
+]

@@ -1,0 +1,94 @@
+"""``repro.unlearning`` — the Goldfish framework (the paper's contribution).
+
+Modules map one-to-one onto the paper's four framework modules:
+
+* basic model (teacher/student distillation): :mod:`~repro.unlearning.goldfish`
+* loss function (Eq. 1–6): :mod:`~repro.unlearning.losses`
+* optimisation (Eq. 7–10): :mod:`~repro.unlearning.early_stop`,
+  :mod:`~repro.unlearning.sharding`
+* extension (Eq. 11–13): :mod:`~repro.unlearning.temperature` and
+  :class:`repro.federated.AdaptiveWeightAggregator`
+
+plus the baselines (B1/B2/B3) and the federation-level protocols.
+"""
+
+from .audit import AuditThresholds, DeletionAuditReport, audit_deletion
+from .baselines import (
+    DiagonalFIMSGD,
+    FedEraser,
+    FedEraserConfig,
+    FedEraserReport,
+    FedRecovery,
+    FedRecoveryConfig,
+    FedRecoveryReport,
+    IncompetentTeacherConfig,
+    IncompetentTeacherUnlearner,
+    RapidRetrainer,
+    retrain_from_scratch,
+)
+from .deletion_manager import (
+    BatchSizePolicy,
+    DeletionManager,
+    DeletionPolicy,
+    DeletionRequest,
+    ExecutedBatch,
+    ImmediatePolicy,
+    PeriodicPolicy,
+)
+from .early_stop import EarlyStopConfig, ExcessRiskStopper
+from .goldfish import GoldfishConfig, GoldfishResult, GoldfishUnlearner
+from .losses import GoldfishLoss, GoldfishLossConfig, LossBreakdown, confusion_loss
+from .protocols import (
+    UnlearnOutcome,
+    federated_goldfish,
+    federated_incompetent_teacher,
+    federated_rapid_retrain,
+    federated_retrain,
+)
+from .sharding import DeletionReport, ShardedClientTrainer
+from .sisa import SisaConfig, SisaDeletionReport, SisaEnsemble
+from .temperature import adaptive_temperature
+
+__all__ = [
+    "AuditThresholds",
+    "DeletionAuditReport",
+    "audit_deletion",
+    "GoldfishConfig",
+    "GoldfishUnlearner",
+    "GoldfishResult",
+    "GoldfishLoss",
+    "GoldfishLossConfig",
+    "LossBreakdown",
+    "confusion_loss",
+    "EarlyStopConfig",
+    "ExcessRiskStopper",
+    "DeletionManager",
+    "DeletionPolicy",
+    "DeletionRequest",
+    "ExecutedBatch",
+    "ImmediatePolicy",
+    "BatchSizePolicy",
+    "PeriodicPolicy",
+    "adaptive_temperature",
+    "ShardedClientTrainer",
+    "DeletionReport",
+    "SisaConfig",
+    "SisaDeletionReport",
+    "SisaEnsemble",
+    "retrain_from_scratch",
+    "FedEraser",
+    "FedEraserConfig",
+    "FedEraserReport",
+    "FedRecovery",
+    "FedRecoveryConfig",
+    "FedRecoveryReport",
+    "RapidRetrainer",
+    "DiagonalFIMSGD",
+    "IncompetentTeacherUnlearner",
+    "IncompetentTeacherConfig",
+    "UnlearnOutcome",
+    "federated_goldfish",
+    "federated_retrain",
+    "federated_rapid_retrain",
+    "federated_incompetent_teacher",
+]

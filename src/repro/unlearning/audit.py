@@ -1,0 +1,179 @@
+"""Deletion audit: one structured report over every validity metric.
+
+A downstream operator who just ran an unlearning flow wants a single
+answer to "did it work?". This module bundles the paper's validity
+instruments (backdoor attack success, JSD / L2 / t-test against a
+retrained reference) with the membership-inference audit and the
+relearn-time stress test into one :class:`DeletionAuditReport`, plus a
+conservative pass/fail verdict.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+import numpy as np
+
+from ..data.backdoor import BackdoorAttack
+from ..data.dataset import ArrayDataset
+from ..eval.certification import RelearnReport, relearn_time
+from ..eval.membership import MembershipReport, membership_attack
+from ..eval.metrics import DivergenceReport, compare_models
+from ..nn.module import Module
+from ..training.config import TrainConfig
+from ..training.evaluation import accuracy
+
+
+@dataclass(frozen=True)
+class AuditThresholds:
+    """Pass criteria for the conservative verdict.
+
+    Defaults follow the magnitudes the paper's evaluation treats as
+    success: backdoor attack collapsed to ≤ 10%, utility within 15 points
+    of the original, membership advantage on the deleted data ≤ 0.3, and
+    (when a retrained reference is supplied) JSD ≤ 0.3.
+    """
+
+    max_backdoor_success: float = 0.10
+    max_accuracy_drop: float = 0.15
+    max_membership_advantage: float = 0.30
+    max_jsd_vs_reference: float = 0.30
+    max_relearn_speedup: float = 2.0
+
+
+@dataclass
+class DeletionAuditReport:
+    """All validity measurements for one unlearning run."""
+
+    accuracy_before: float
+    accuracy_after: float
+    backdoor_before: Optional[float] = None
+    backdoor_after: Optional[float] = None
+    membership_before: Optional[MembershipReport] = None
+    membership_after: Optional[MembershipReport] = None
+    divergence_vs_reference: Optional[DivergenceReport] = None
+    relearn: Optional[RelearnReport] = None
+    passed: bool = False
+    failures: tuple = ()
+
+    @property
+    def accuracy_drop(self) -> float:
+        return self.accuracy_before - self.accuracy_after
+
+    def summary(self) -> str:
+        lines = [
+            f"accuracy: {self.accuracy_before:.3f} -> {self.accuracy_after:.3f}"
+        ]
+        if self.backdoor_after is not None:
+            lines.append(
+                f"backdoor success: {self.backdoor_before:.3f} -> "
+                f"{self.backdoor_after:.3f}"
+            )
+        if self.membership_after is not None:
+            lines.append(
+                f"membership advantage: {self.membership_before.advantage:.3f} -> "
+                f"{self.membership_after.advantage:.3f}"
+            )
+        if self.divergence_vs_reference is not None:
+            report = self.divergence_vs_reference
+            lines.append(
+                f"vs retrained reference: JSD {report.jsd:.3f} L2 {report.l2:.3f}"
+            )
+        if self.relearn is not None:
+            lines.append(
+                f"relearn speedup: x{self.relearn.speedup:.1f} "
+                f"({self.relearn.unlearned_epochs} vs fresh "
+                f"{self.relearn.fresh_epochs} epochs)"
+            )
+        verdict = "PASS" if self.passed else f"FAIL ({', '.join(self.failures)})"
+        lines.append(f"verdict: {verdict}")
+        return "\n".join(lines)
+
+
+def audit_deletion(
+    original_model: Module,
+    unlearned_model: Module,
+    test_set: ArrayDataset,
+    forget_set: Optional[ArrayDataset] = None,
+    attack: Optional[BackdoorAttack] = None,
+    reference_model: Optional[Module] = None,
+    model_factory: Optional[Callable[[], Module]] = None,
+    relearn_config: Optional[TrainConfig] = None,
+    thresholds: AuditThresholds = AuditThresholds(),
+) -> DeletionAuditReport:
+    """Run every applicable validity check and return the audit report.
+
+    Parameters
+    ----------
+    original_model / unlearned_model:
+        The global model before and after the unlearning flow.
+    test_set:
+        Held-out evaluation data (also the non-member set for the
+        membership audit).
+    forget_set:
+        The deleted data, if available — enables the membership audit.
+    attack:
+        The backdoor used for validity instrumentation, if any.
+    reference_model:
+        A retrained-from-scratch model (B1) — enables the divergence check.
+    model_factory / relearn_config:
+        Supply both (together with ``forget_set``) to enable the
+        relearn-time stress test: the unlearned model must not re-acquire
+        the forget set more than ``thresholds.max_relearn_speedup`` times
+        faster than a fresh model.
+    """
+    if len(test_set) == 0:
+        raise ValueError("audit requires a non-empty test set")
+
+    failures = []
+    accuracy_before = accuracy(original_model, test_set)
+    accuracy_after = accuracy(unlearned_model, test_set)
+    if accuracy_before - accuracy_after > thresholds.max_accuracy_drop:
+        failures.append("accuracy_drop")
+
+    backdoor_before = backdoor_after = None
+    if attack is not None:
+        backdoor_before = attack.success_rate(original_model, test_set)
+        backdoor_after = attack.success_rate(unlearned_model, test_set)
+        if backdoor_after > thresholds.max_backdoor_success:
+            failures.append("backdoor_retained")
+
+    membership_before = membership_after = None
+    if forget_set is not None and len(forget_set) > 0:
+        membership_before = membership_attack(original_model, forget_set, test_set)
+        membership_after = membership_attack(unlearned_model, forget_set, test_set)
+        if membership_after.advantage > thresholds.max_membership_advantage:
+            failures.append("membership_leak")
+
+    divergence = None
+    if reference_model is not None:
+        divergence = compare_models(unlearned_model, reference_model, test_set)
+        if divergence.jsd > thresholds.max_jsd_vs_reference:
+            failures.append("diverges_from_reference")
+
+    relearn = None
+    if (model_factory is not None and relearn_config is not None
+            and forget_set is not None and len(forget_set) > 0):
+        relearn = relearn_time(
+            model_factory,
+            unlearned_model.state_dict(),
+            forget_set,
+            relearn_config,
+            rng=np.random.default_rng(0),
+        )
+        if relearn.speedup > thresholds.max_relearn_speedup:
+            failures.append("relearns_too_fast")
+
+    return DeletionAuditReport(
+        accuracy_before=accuracy_before,
+        accuracy_after=accuracy_after,
+        backdoor_before=backdoor_before,
+        backdoor_after=backdoor_after,
+        membership_before=membership_before,
+        membership_after=membership_after,
+        divergence_vs_reference=divergence,
+        relearn=relearn,
+        passed=not failures,
+        failures=tuple(failures),
+    )

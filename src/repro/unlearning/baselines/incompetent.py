@@ -1,0 +1,131 @@
+"""Baseline B3: incompetent-teacher unlearning.
+
+Chundawat et al. ("Can bad teaching induce forgetting? Unlearning in deep
+networks using an incompetent teacher", AAAI 2023): a student initialised
+*from the original model* is taught by two teachers —
+
+* the **competent** teacher (the original model) on the remaining data,
+  preserving utility;
+* an **incompetent** teacher (a randomly initialised network) on the
+  removed data, actively destroying whatever the student knows about it.
+
+The per-batch objective is a KL-divergence mixture::
+
+    L = (1-β) · KL(P_competent ‖ P_student) over D_r
+      +   β   · KL(P_incompetent ‖ P_student) over D_f
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import List
+
+import numpy as np
+
+from ...data.dataset import ArrayDataset
+from ...data.loader import DataLoader
+from ...nn import Tensor, no_grad
+from ...nn.losses import distillation_loss
+from ...nn.module import Module
+from ...nn.optim import SGD
+from ...training.config import TrainConfig
+
+
+@dataclass(frozen=True)
+class IncompetentTeacherConfig:
+    """Hyper-parameters for B3."""
+
+    beta: float = 0.5  # weight of the incompetent (forgetting) term
+    temperature: float = 1.0
+    train: TrainConfig = field(default_factory=lambda: TrainConfig(epochs=5))
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.beta <= 1.0:
+            raise ValueError(f"beta must be in [0, 1], got {self.beta}")
+        if self.temperature <= 0:
+            raise ValueError(f"temperature must be positive, got {self.temperature}")
+
+
+@dataclass
+class IncompetentTeacherResult:
+    epochs_run: int
+    epoch_losses: List[float]
+    wall_seconds: float
+
+
+class IncompetentTeacherUnlearner:
+    """Runs the dual-teacher unlearning loop."""
+
+    def __init__(self, config: IncompetentTeacherConfig) -> None:
+        self.config = config
+
+    def unlearn(
+        self,
+        student: Module,
+        competent_teacher: Module,
+        incompetent_teacher: Module,
+        retain_set: ArrayDataset,
+        forget_set: ArrayDataset,
+        rng: np.random.Generator,
+    ) -> IncompetentTeacherResult:
+        """Unlearn ``forget_set`` from ``student`` in place.
+
+        ``student`` should be loaded with the original model's weights
+        (B3 adjusts the trained model rather than restarting).
+        ``incompetent_teacher`` should be freshly initialised.
+        """
+        start = time.perf_counter()
+        config = self.config
+        competent_teacher.eval()
+        incompetent_teacher.eval()
+        student.train()
+        optimizer = SGD(
+            student.parameters(),
+            lr=config.train.learning_rate,
+            momentum=config.train.momentum,
+        )
+        retain_loader = DataLoader(retain_set, batch_size=config.train.batch_size,
+                                   shuffle=True, rng=rng)
+        forget_order = rng.permutation(len(forget_set))
+        forget_batch = min(config.train.batch_size, len(forget_set))
+        cursor = 0
+
+        epoch_losses: List[float] = []
+        for _ in range(config.train.epochs):
+            total = 0.0
+            batches = 0
+            for images, labels in retain_loader:
+                del labels  # B3 is purely distillation-based
+                optimizer.zero_grad()
+                student_logits = student(Tensor(images))
+                with no_grad():
+                    competent_logits = competent_teacher(Tensor(images))
+                loss = (1.0 - config.beta) * distillation_loss(
+                    competent_logits, student_logits, temperature=config.temperature
+                )
+
+                if cursor + forget_batch > len(forget_order):
+                    forget_order = rng.permutation(len(forget_set))
+                    cursor = 0
+                picked = forget_order[cursor : cursor + forget_batch]
+                cursor += forget_batch
+                forget_images = forget_set.images[picked]
+                student_forget = student(Tensor(forget_images))
+                with no_grad():
+                    incompetent_logits = incompetent_teacher(Tensor(forget_images))
+                loss = loss + config.beta * distillation_loss(
+                    incompetent_logits, student_forget, temperature=config.temperature
+                )
+
+                loss.backward()
+                optimizer.step()
+                total += loss.item()
+                batches += 1
+            epoch_losses.append(total / batches)
+
+        return IncompetentTeacherResult(
+            epochs_run=len(epoch_losses),
+            epoch_losses=epoch_losses,
+            wall_seconds=time.perf_counter() - start,
+        )

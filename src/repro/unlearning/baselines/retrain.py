@@ -1,0 +1,33 @@
+"""Baseline B1: retrain from scratch on the remaining data.
+
+The reference point for every unlearning method: a freshly initialised
+model trained only on D_r provably contains no information about D_f.
+All validity metrics in the paper (Tables VII–IX) measure *closeness to
+this baseline's behaviour*.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Tuple
+
+import numpy as np
+
+from ...data.dataset import ArrayDataset
+from ...nn.module import Module
+from ...training.config import TrainConfig, TrainHistory
+from ...training.trainer import train
+
+
+def retrain_from_scratch(
+    model_factory: Callable[[], Module],
+    retain_set: ArrayDataset,
+    config: TrainConfig,
+    rng: np.random.Generator,
+) -> Tuple[Module, TrainHistory]:
+    """Train a brand-new model on ``retain_set`` only.
+
+    Returns the trained model and its loss history.
+    """
+    model = model_factory()
+    history = train(model, retain_set, config, rng)
+    return model, history

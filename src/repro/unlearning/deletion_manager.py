@@ -1,0 +1,232 @@
+"""Deletion-request queue management.
+
+The paper motivates its optimization module with "the sporadic nature of
+data removal requests": requests arrive unpredictably, and each unlearning
+run costs rounds of federation work, so *when* to run unlearning is a
+policy decision. GDPR-style regulation bounds the latency ("within a
+reasonable time frame"); the operator pays per execution. This module
+makes the trade-off explicit:
+
+* :class:`DeletionManager` — accepts requests as they arrive, merges
+  multiple requests per client, and executes a batch when its
+  :class:`DeletionPolicy` fires;
+* policies: :class:`ImmediatePolicy` (lowest latency, most executions),
+  :class:`BatchSizePolicy` (wait for k pending requests),
+  :class:`PeriodicPolicy` (fixed cadence — bounded worst-case latency);
+* every executed batch records per-request latency in rounds, so the
+  latency/cost frontier of a policy is measurable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class DeletionRequest:
+    """One client's request to remove some of its local samples."""
+
+    client_id: int
+    indices: np.ndarray
+    submitted_round: int
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self, "indices", np.unique(np.asarray(self.indices, dtype=np.int64))
+        )
+        if self.indices.size == 0:
+            raise ValueError("deletion request with no indices")
+        if self.submitted_round < 0:
+            raise ValueError(
+                f"submitted_round must be non-negative, got {self.submitted_round}"
+            )
+
+
+class DeletionPolicy:
+    """Interface: decide whether the pending queue should execute now."""
+
+    def should_execute(
+        self, pending: Sequence[DeletionRequest], round_index: int
+    ) -> bool:
+        raise NotImplementedError
+
+
+class ImmediatePolicy(DeletionPolicy):
+    """Execute as soon as anything is pending (per-request latency 0)."""
+
+    def should_execute(self, pending, round_index) -> bool:
+        return len(pending) > 0
+
+
+class BatchSizePolicy(DeletionPolicy):
+    """Execute once at least ``min_requests`` requests are pending."""
+
+    def __init__(self, min_requests: int) -> None:
+        if min_requests < 1:
+            raise ValueError(f"min_requests must be >= 1, got {min_requests}")
+        self.min_requests = min_requests
+
+    def should_execute(self, pending, round_index) -> bool:
+        return len(pending) >= self.min_requests
+
+
+class PeriodicPolicy(DeletionPolicy):
+    """Execute on rounds divisible by ``every_rounds`` (if anything pends).
+
+    Worst-case latency is bounded by ``every_rounds − 1`` rounds — the
+    "reasonable time frame" knob.
+    """
+
+    def __init__(self, every_rounds: int) -> None:
+        if every_rounds < 1:
+            raise ValueError(f"every_rounds must be >= 1, got {every_rounds}")
+        self.every_rounds = every_rounds
+
+    def should_execute(self, pending, round_index) -> bool:
+        return bool(pending) and round_index % self.every_rounds == 0
+
+
+@dataclass
+class ExecutedBatch:
+    """Record of one unlearning execution."""
+
+    executed_round: int
+    requests: List[DeletionRequest]
+    latencies: List[int]  # rounds each request waited
+    outcome: object = None  # whatever the unlearn callable returned
+
+    @property
+    def num_requests(self) -> int:
+        return len(self.requests)
+
+    @property
+    def max_latency(self) -> int:
+        return max(self.latencies)
+
+
+class DeletionManager:
+    """Queue deletion requests and execute them per policy.
+
+    Parameters
+    ----------
+    policy:
+        When to run unlearning. Defaults to :class:`ImmediatePolicy`.
+
+    Usage inside an FL loop::
+
+        manager = DeletionManager(PeriodicPolicy(every_rounds=3))
+        ...
+        manager.submit(client_id=0, indices=[1, 2, 3], round_index=r)
+        batch = manager.maybe_execute(sim, r, unlearn)
+        # unlearn(sim) is only called when the policy fired; `batch` is
+        # None otherwise.
+    """
+
+    def __init__(self, policy: Optional[DeletionPolicy] = None) -> None:
+        self.policy = policy if policy is not None else ImmediatePolicy()
+        self._pending: List[DeletionRequest] = []
+        self._executed: List[ExecutedBatch] = []
+
+    # ------------------------------------------------------------------
+    # Intake
+    # ------------------------------------------------------------------
+    def submit(
+        self, client_id: int, indices: Sequence[int], round_index: int
+    ) -> DeletionRequest:
+        """File a request. Indices refer to the client's dataset as it is
+        *now* (between executions the dataset does not change, so all
+        requests in one batch share a consistent index space)."""
+        request = DeletionRequest(
+            client_id=client_id,
+            indices=np.asarray(indices),
+            submitted_round=round_index,
+        )
+        self._pending.append(request)
+        return request
+
+    @property
+    def pending(self) -> List[DeletionRequest]:
+        return list(self._pending)
+
+    @property
+    def num_pending(self) -> int:
+        return len(self._pending)
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def merged_indices(self) -> Dict[int, np.ndarray]:
+        """Pending requests folded into one index set per client."""
+        merged: Dict[int, List[int]] = {}
+        for request in self._pending:
+            merged.setdefault(request.client_id, []).extend(
+                request.indices.tolist()
+            )
+        return {
+            client_id: np.unique(np.asarray(indices, dtype=np.int64))
+            for client_id, indices in merged.items()
+        }
+
+    def maybe_execute(
+        self,
+        sim,
+        round_index: int,
+        unlearn: Callable[[object], object],
+    ) -> Optional[ExecutedBatch]:
+        """Run unlearning if the policy fires; otherwise do nothing.
+
+        On execution: every pending request is registered with its client
+        (merged per client), ``unlearn(sim)`` performs the actual flow
+        (e.g. ``lambda s: federated_goldfish(s, config, rounds)``), and the
+        batch record (with latencies) is returned. The unlearning protocols
+        finalize deletions themselves, so afterwards the queue is empty and
+        client datasets have physically shrunk.
+        """
+        if not self.policy.should_execute(self._pending, round_index):
+            return None
+        for request in self._pending:
+            if request.submitted_round > round_index:
+                raise ValueError(
+                    f"request submitted at round {request.submitted_round} "
+                    f"cannot execute at earlier round {round_index}"
+                )
+        for client_id, indices in self.merged_indices().items():
+            sim.clients[client_id].request_deletion(indices)
+        outcome = unlearn(sim)
+        batch = ExecutedBatch(
+            executed_round=round_index,
+            requests=list(self._pending),
+            latencies=[
+                round_index - request.submitted_round
+                for request in self._pending
+            ],
+            outcome=outcome,
+        )
+        self._executed.append(batch)
+        self._pending.clear()
+        return batch
+
+    # ------------------------------------------------------------------
+    # Accounting
+    # ------------------------------------------------------------------
+    @property
+    def executed_batches(self) -> List[ExecutedBatch]:
+        return list(self._executed)
+
+    @property
+    def num_executions(self) -> int:
+        return len(self._executed)
+
+    def mean_latency(self) -> float:
+        """Average rounds-waited over all executed requests."""
+        latencies = [
+            latency
+            for batch in self._executed
+            for latency in batch.latencies
+        ]
+        if not latencies:
+            raise ValueError("no executed requests yet")
+        return float(np.mean(latencies))

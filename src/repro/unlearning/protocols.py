@@ -1,0 +1,228 @@
+"""Federation-level unlearning protocols.
+
+Each function drives a :class:`~repro.federated.simulation.FederatedSimulation`
+whose clients may hold pending deletion requests through one complete
+unlearning flow, and returns the new global model plus per-round metrics.
+These are the flows compared in the paper's evaluation:
+
+* :func:`federated_goldfish` — Algorithm 1's deletion branch (ours);
+* :func:`federated_retrain` — B1, FedAvg retraining from scratch on D_r;
+* :func:`federated_rapid_retrain` — B2, from-scratch retraining with the
+  diagonal-FIM preconditioner;
+* :func:`federated_incompetent_teacher` — B3, dual-teacher adjustment of
+  the current global model (no reinitialisation).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+from ..federated.simulation import FederatedSimulation
+from ..nn.module import Module
+from ..training.config import TrainConfig
+from ..training.trainer import train
+from .baselines.incompetent import IncompetentTeacherConfig, IncompetentTeacherUnlearner
+from .baselines.rapid import DiagonalFIMSGD
+from .goldfish import GoldfishConfig, GoldfishUnlearner
+
+
+@dataclass
+class UnlearnOutcome:
+    """Result of one federated unlearning flow."""
+
+    global_model: Module
+    rounds_run: int
+    round_accuracies: List[float] = field(default_factory=list)
+    local_epochs_total: int = 0
+    wall_seconds: float = 0.0
+
+    @property
+    def final_accuracy(self) -> float:
+        if not self.round_accuracies:
+            raise ValueError("no rounds recorded")
+        return self.round_accuracies[-1]
+
+
+def _finish(sim: FederatedSimulation, start: float, rounds: int,
+            accuracies: List[float], local_epochs: int) -> UnlearnOutcome:
+    for client in sim.clients:
+        client.finalize_deletion()
+    return UnlearnOutcome(
+        global_model=sim.global_model(),
+        rounds_run=rounds,
+        round_accuracies=accuracies,
+        local_epochs_total=local_epochs,
+        wall_seconds=time.perf_counter() - start,
+    )
+
+
+RoundCallback = Callable[[int, FederatedSimulation], None]
+"""Called after each aggregation with (round_index, sim); lets experiments
+capture per-round metrics (e.g. backdoor success rate at epoch checkpoints)."""
+
+
+def federated_goldfish(
+    sim: FederatedSimulation,
+    config: GoldfishConfig,
+    num_rounds: int,
+    round_callback: Optional[RoundCallback] = None,
+) -> UnlearnOutcome:
+    """Run the Goldfish deletion branch of Algorithm 1.
+
+    The pre-deletion global model becomes the teacher; the global model is
+    reinitialised to ω^0 and every client (unlearning or not) retrains its
+    student under the composite loss, distilling from the teacher. The
+    server aggregates after every round.
+    """
+    if num_rounds <= 0:
+        raise ValueError(f"num_rounds must be positive, got {num_rounds}")
+    start = time.perf_counter()
+    teacher = sim.global_model()  # ω^{t-1}, knows D_f and D_r
+    sim.server.reinitialize()
+    unlearner = GoldfishUnlearner(config)
+
+    accuracies: List[float] = []
+    local_epochs = 0
+    for _ in range(num_rounds):
+        sim.server.broadcast(sim.clients)
+        updates = []
+        for client in sim.clients:
+            result = unlearner.unlearn(
+                student=client.model,
+                teacher=teacher,
+                retain_set=client.retain_set,
+                forget_set=client.forget_set,
+                rng=client.rng,
+            )
+            local_epochs += result.epochs_run
+            updates.append(client.upload())
+        sim.server.aggregate(updates)
+        accuracies.append(sim.server.evaluate_global()[1])
+        if round_callback is not None:
+            round_callback(len(accuracies) - 1, sim)
+    return _finish(sim, start, num_rounds, accuracies, local_epochs)
+
+
+def federated_retrain(
+    sim: FederatedSimulation,
+    train_config: TrainConfig,
+    num_rounds: int,
+    round_callback: Optional[RoundCallback] = None,
+) -> UnlearnOutcome:
+    """B1: reinitialise and run plain FedAvg training on the retained data."""
+    if num_rounds <= 0:
+        raise ValueError(f"num_rounds must be positive, got {num_rounds}")
+    start = time.perf_counter()
+    sim.server.reinitialize()
+    accuracies: List[float] = []
+    local_epochs = 0
+    for _ in range(num_rounds):
+        sim.server.broadcast(sim.clients)
+        updates = []
+        for client in sim.clients:
+            history = train(client.model, client.retain_set, train_config, client.rng)
+            local_epochs += len(history)
+            updates.append(client.upload())
+        sim.server.aggregate(updates)
+        accuracies.append(sim.server.evaluate_global()[1])
+        if round_callback is not None:
+            round_callback(len(accuracies) - 1, sim)
+    return _finish(sim, start, num_rounds, accuracies, local_epochs)
+
+
+def federated_rapid_retrain(
+    sim: FederatedSimulation,
+    train_config: TrainConfig,
+    num_rounds: int,
+    lr_scale: float = 0.1,
+    rho: float = 0.95,
+    damping: float = 1e-3,
+    round_callback: Optional[RoundCallback] = None,
+) -> UnlearnOutcome:
+    """B2: from-scratch retraining with diagonal-FIM preconditioned SGD.
+
+    The per-client FIM estimate persists across rounds (that is the whole
+    point of the method: curvature accumulated once keeps accelerating).
+    """
+    if num_rounds <= 0:
+        raise ValueError(f"num_rounds must be positive, got {num_rounds}")
+    start = time.perf_counter()
+    sim.server.reinitialize()
+    sim.server.broadcast(sim.clients)
+    optimizers = {
+        client.client_id: DiagonalFIMSGD(
+            client.model.parameters(),
+            lr=train_config.learning_rate * lr_scale,
+            rho=rho,
+            damping=damping,
+        )
+        for client in sim.clients
+    }
+    accuracies: List[float] = []
+    local_epochs = 0
+    for round_index in range(num_rounds):
+        if round_index > 0:
+            sim.server.broadcast(sim.clients)
+        updates = []
+        for client in sim.clients:
+            history = train(
+                client.model,
+                client.retain_set,
+                train_config,
+                client.rng,
+                optimizer=optimizers[client.client_id],
+            )
+            local_epochs += len(history)
+            updates.append(client.upload())
+        sim.server.aggregate(updates)
+        accuracies.append(sim.server.evaluate_global()[1])
+        if round_callback is not None:
+            round_callback(len(accuracies) - 1, sim)
+    return _finish(sim, start, num_rounds, accuracies, local_epochs)
+
+
+def federated_incompetent_teacher(
+    sim: FederatedSimulation,
+    config: IncompetentTeacherConfig,
+    num_rounds: int,
+    normal_client_config: Optional[TrainConfig] = None,
+    round_callback: Optional[RoundCallback] = None,
+) -> UnlearnOutcome:
+    """B3: the unlearning clients adjust the *current* global model with the
+    incompetent-teacher objective; normal clients train as usual."""
+    if num_rounds <= 0:
+        raise ValueError(f"num_rounds must be positive, got {num_rounds}")
+    start = time.perf_counter()
+    competent = sim.global_model()
+    incompetent = sim.model_factory()  # random weights on purpose
+    unlearner = IncompetentTeacherUnlearner(config)
+    normal_client_config = normal_client_config or config.train
+
+    accuracies: List[float] = []
+    local_epochs = 0
+    for _ in range(num_rounds):
+        sim.server.broadcast(sim.clients)
+        updates = []
+        for client in sim.clients:
+            if client.has_pending_deletion:
+                result = unlearner.unlearn(
+                    student=client.model,
+                    competent_teacher=competent,
+                    incompetent_teacher=incompetent,
+                    retain_set=client.retain_set,
+                    forget_set=client.forget_set,
+                    rng=client.rng,
+                )
+                local_epochs += result.epochs_run
+            else:
+                history = train(client.model, client.retain_set,
+                                normal_client_config, client.rng)
+                local_epochs += len(history)
+            updates.append(client.upload())
+        sim.server.aggregate(updates)
+        accuracies.append(sim.server.evaluate_global()[1])
+        if round_callback is not None:
+            round_callback(len(accuracies) - 1, sim)
+    return _finish(sim, start, num_rounds, accuracies, local_epochs)

@@ -1,0 +1,224 @@
+"""Data-partition optimisation: shard models and checkpoint arithmetic.
+
+Implements the paper's second optimisation mechanism (Fig. 2–3, Eq. 8–10):
+a client splits its local data into τ shards, trains one model per shard,
+and publishes the size-weighted aggregate
+
+    ω_c = Σ_i (|D_i| / |D|) · ω_{c,i}                      (Eq. 8)
+
+On a deletion request only the shards containing removed samples must be
+retrained. Training resumes from the *checkpoint* built out of the
+untouched shards
+
+    ω_c = Σ_{j≠i} (|D_j| / |D|) · ω_{c,j}                  (Eq. 9)
+
+and after retraining the affected shard's own weights are recovered by
+subtracting the untouched shards back out
+
+    ω_{c,i} = (|D|/|D_i|) · (ω_c − Σ_{j≠i} (|D_j|/|D|) ω_{c,j})   (Eq. 10)
+
+so the per-shard decomposition stays consistent for future deletions.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+import numpy as np
+
+from ..data.dataset import ArrayDataset
+from ..data.partition import partition_shards
+from ..federated import state_math
+from ..federated.state_math import StateDict
+from ..nn.module import Module
+from ..training.config import TrainConfig
+from ..training.trainer import train
+
+
+@dataclass
+class DeletionReport:
+    """What a shard-level deletion touched and what it cost."""
+
+    affected_shards: List[int]
+    removed_per_shard: Dict[int, int]
+    retrained_shards: List[int]
+    dropped_shards: List[int]
+    wall_seconds: float = 0.0
+
+
+class ShardedClientTrainer:
+    """Per-shard models over one client's local dataset.
+
+    Parameters
+    ----------
+    dataset:
+        The client's full local dataset.
+    num_shards:
+        τ — how many shards to split into. τ = 1 reduces to plain
+        (unsharded) local training.
+    model_factory:
+        Builds one fresh model; called once per shard.
+    rng:
+        Drives the shard split and all shard training shuffles.
+    """
+
+    def __init__(
+        self,
+        dataset: ArrayDataset,
+        num_shards: int,
+        model_factory: Callable[[], Module],
+        rng: np.random.Generator,
+    ) -> None:
+        if num_shards <= 0:
+            raise ValueError(f"num_shards must be positive, got {num_shards}")
+        self.dataset = dataset
+        self.num_shards = num_shards
+        self.model_factory = model_factory
+        self.rng = rng
+        self.shard_indices: List[np.ndarray] = partition_shards(len(dataset), num_shards, rng)
+        self._scratch: Module = model_factory()
+        self.shard_states: List[StateDict] = []
+        for _ in range(num_shards):
+            fresh = model_factory()
+            self.shard_states.append(fresh.state_dict())
+
+    # ------------------------------------------------------------------
+    # Size bookkeeping
+    # ------------------------------------------------------------------
+    def shard_sizes(self) -> np.ndarray:
+        return np.array([len(indices) for indices in self.shard_indices])
+
+    def total_size(self) -> int:
+        return int(self.shard_sizes().sum())
+
+    def shard_dataset(self, shard: int) -> ArrayDataset:
+        return self.dataset.subset(self.shard_indices[shard])
+
+    # ------------------------------------------------------------------
+    # Training and aggregation
+    # ------------------------------------------------------------------
+    def train_shard(self, shard: int, config: TrainConfig) -> None:
+        """Continue training shard ``shard`` from its stored state."""
+        self._scratch.load_state_dict(self.shard_states[shard])
+        train(self._scratch, self.shard_dataset(shard), config, self.rng)
+        self.shard_states[shard] = self._scratch.state_dict()
+
+    def train_all(self, config: TrainConfig) -> None:
+        """One local training pass over every shard."""
+        for shard in range(self.num_shards):
+            self.train_shard(shard, config)
+
+    def aggregate(self, exclude: Optional[int] = None) -> StateDict:
+        """Eq. 8 (or Eq. 9 when ``exclude`` names a shard to leave out)."""
+        total = self.total_size()
+        if exclude is not None and self.num_shards == 1:
+            raise ValueError("cannot exclude the only shard")
+        states, weights = [], []
+        for shard in range(self.num_shards):
+            if shard == exclude:
+                continue
+            states.append(self.shard_states[shard])
+            weights.append(len(self.shard_indices[shard]) / total)
+        return state_math.weighted_sum(states, weights)
+
+    def local_state(self) -> StateDict:
+        """The client's published local model ω_c (Eq. 8)."""
+        return self.aggregate()
+
+    def local_model(self) -> Module:
+        model = self.model_factory()
+        model.load_state_dict(self.local_state())
+        return model
+
+    def recover_shard_state(self, shard: int, combined: StateDict) -> StateDict:
+        """Eq. 10: extract shard ``shard``'s weights from a combined model."""
+        total = self.total_size()
+        shard_size = len(self.shard_indices[shard])
+        if shard_size == 0:
+            raise ValueError(f"shard {shard} is empty")
+        # combined = (|D_i|/|D|)·ω_i + Σ_{j≠i} (|D_j|/|D|)·ω_j and
+        # aggregate(exclude) is exactly the second term, so the residual
+        # scaled by |D|/|D_i| is ω_i.
+        others = self.aggregate(exclude=shard)
+        residual = state_math.subtract(combined, others)
+        return state_math.scale(residual, total / shard_size)
+
+    # ------------------------------------------------------------------
+    # Deletion handling (Fig. 3)
+    # ------------------------------------------------------------------
+    def locate(self, local_indices: np.ndarray) -> Dict[int, np.ndarray]:
+        """Map dataset-level indices to ``{shard: indices within it}``."""
+        local_indices = np.unique(np.asarray(local_indices, dtype=np.int64))
+        if local_indices.size and (
+            local_indices.min() < 0 or local_indices.max() >= len(self.dataset)
+        ):
+            raise ValueError("deletion indices out of range")
+        hits: Dict[int, np.ndarray] = {}
+        for shard, indices in enumerate(self.shard_indices):
+            mask = np.isin(indices, local_indices)
+            if mask.any():
+                hits[shard] = indices[mask]
+        return hits
+
+    def delete(
+        self,
+        local_indices: np.ndarray,
+        config: TrainConfig,
+        reinitialize_affected: bool = False,
+    ) -> DeletionReport:
+        """Remove samples and retrain only the shards that contained them.
+
+        Fully-emptied shards are dropped. Partially-affected shards are
+        retrained on their remaining data (Fig. 3), starting from their
+        previous state (warm start) or from scratch if
+        ``reinitialize_affected``. The per-shard decomposition is kept
+        consistent with Eq. 9/10: after retraining each affected shard, the
+        shard's stored state is recovered from the combined local model.
+        """
+        start = time.perf_counter()
+        hits = self.locate(local_indices)
+        affected = sorted(hits)
+        removed_per_shard = {shard: int(len(idx)) for shard, idx in hits.items()}
+
+        dropped: List[int] = []
+        retrained: List[int] = []
+        for shard in affected:
+            keep_mask = ~np.isin(self.shard_indices[shard], hits[shard])
+            remaining = self.shard_indices[shard][keep_mask]
+            if remaining.size == 0:
+                dropped.append(shard)
+            self.shard_indices[shard] = remaining
+
+        # Physically drop emptied shards (in reverse to keep indices valid).
+        for shard in sorted(dropped, reverse=True):
+            del self.shard_indices[shard]
+            del self.shard_states[shard]
+        self.num_shards = len(self.shard_indices)
+        if self.num_shards == 0:
+            raise ValueError("deletion emptied every shard")
+
+        # Retrain the partially-affected shards on their remaining data.
+        surviving_affected = [s for s in affected if s not in dropped]
+        # Account for index shifts caused by dropped shards.
+        shift = {old: old - sum(1 for d in dropped if d < old) for old in surviving_affected}
+        for old_shard in surviving_affected:
+            shard = shift[old_shard]
+            if reinitialize_affected:
+                self.shard_states[shard] = self.model_factory().state_dict()
+            # Warm start per Eq. 9: begin from the checkpoint of untouched
+            # shards when the shard state was dropped, otherwise continue
+            # from the shard's own previous weights.
+            if self.num_shards > 1 and reinitialize_affected:
+                self.shard_states[shard] = self.aggregate(exclude=shard)
+            self.train_shard(shard, config)
+            retrained.append(old_shard)
+
+        return DeletionReport(
+            affected_shards=affected,
+            removed_per_shard=removed_per_shard,
+            retrained_shards=retrained,
+            dropped_shards=dropped,
+            wall_seconds=time.perf_counter() - start,
+        )

@@ -1,0 +1,146 @@
+"""Data augmentation transforms and pipeline."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data import (
+    AugmentationPipeline,
+    DataLoader,
+    gaussian_noise,
+    random_crop,
+    random_horizontal_flip,
+)
+
+from ..conftest import make_blobs
+
+
+def images(seed=0, n=6, shape=(3, 8, 8)):
+    return np.random.default_rng(seed).normal(size=(n,) + shape)
+
+
+class TestHorizontalFlip:
+    def test_probability_one_flips_everything(self, rng):
+        x = images()
+        flipped = random_horizontal_flip(x, rng, probability=1.0)
+        np.testing.assert_array_equal(flipped, x[:, :, :, ::-1])
+
+    def test_probability_zero_is_identity_copy(self, rng):
+        x = images()
+        out = random_horizontal_flip(x, rng, probability=0.0)
+        np.testing.assert_array_equal(out, x)
+        out[0, 0, 0, 0] = 99.0
+        assert x[0, 0, 0, 0] != 99.0
+
+    def test_flip_is_involution(self):
+        x = images()
+        rng = np.random.default_rng(0)
+        double = random_horizontal_flip(
+            random_horizontal_flip(x, rng, 1.0), rng, 1.0
+        )
+        np.testing.assert_array_equal(double, x)
+
+    def test_validation(self, rng):
+        with pytest.raises(ValueError, match="probability"):
+            random_horizontal_flip(images(), rng, probability=1.5)
+        with pytest.raises(ValueError, match="N, C, H, W"):
+            random_horizontal_flip(np.zeros((3, 8, 8)), rng)
+
+
+class TestRandomCrop:
+    def test_shape_preserved(self, rng):
+        x = images()
+        out = random_crop(x, rng, padding=2)
+        assert out.shape == x.shape
+
+    def test_pixel_values_come_from_source(self, rng):
+        """Reflect padding introduces no new values — every output pixel
+        exists somewhere in the input image."""
+        x = images(n=3)
+        out = random_crop(x, rng, padding=3)
+        for i in range(len(x)):
+            assert np.isin(out[i].ravel(), x[i].ravel()).all()
+
+    def test_offsets_vary_between_images(self):
+        # With 9 possible offsets and 40 images, at least two distinct
+        # crops must occur (probability of all-equal is (1/81)^39).
+        x = np.tile(np.arange(64, dtype=np.float64).reshape(1, 1, 8, 8), (40, 1, 1, 1))
+        out = random_crop(x, np.random.default_rng(5), padding=4)
+        assert len({out[i].tobytes() for i in range(len(out))}) > 1
+
+    def test_validation(self, rng):
+        with pytest.raises(ValueError, match="padding"):
+            random_crop(images(), rng, padding=0)
+
+
+class TestGaussianNoise:
+    def test_zero_sigma_identity(self, rng):
+        x = images()
+        np.testing.assert_array_equal(gaussian_noise(x, rng, sigma=0.0), x)
+
+    def test_noise_magnitude(self):
+        x = np.zeros((4, 1, 32, 32))
+        noisy = gaussian_noise(x, np.random.default_rng(0), sigma=0.5)
+        assert noisy.std() == pytest.approx(0.5, rel=0.1)
+
+    def test_validation(self, rng):
+        with pytest.raises(ValueError, match="sigma"):
+            gaussian_noise(images(), rng, sigma=-0.1)
+
+
+class TestPipeline:
+    def test_cifar_recipe_composes(self, rng):
+        pipeline = AugmentationPipeline.cifar()
+        assert len(pipeline) == 2
+        x = images()
+        out = pipeline(x, rng)
+        assert out.shape == x.shape
+        assert not np.array_equal(out, x)
+
+    def test_noisy_recipe(self, rng):
+        pipeline = AugmentationPipeline.noisy(sigma=0.1)
+        x = images()
+        out = pipeline(x, rng)
+        assert np.abs(out - x).mean() > 0.01
+
+    def test_empty_pipeline_is_identity(self, rng):
+        x = images()
+        np.testing.assert_array_equal(AugmentationPipeline()(x, rng), x)
+
+    @given(seed=st.integers(0, 50))
+    @settings(max_examples=15, deadline=None)
+    def test_property_deterministic_given_generator_state(self, seed):
+        x = images(seed)
+        pipeline = AugmentationPipeline.cifar()
+        a = pipeline(x, np.random.default_rng(seed))
+        b = pipeline(x, np.random.default_rng(seed))
+        np.testing.assert_array_equal(a, b)
+
+
+class TestLoaderIntegration:
+    def test_loader_applies_augmentation(self):
+        dataset = make_blobs(num_samples=20, shape=(1, 8, 8))
+        pipeline = AugmentationPipeline.noisy(sigma=0.2)
+        loader = DataLoader(dataset, batch_size=10,
+                            rng=np.random.default_rng(0), augment=pipeline)
+        for batch_images, batch_labels in loader:
+            source = dataset.images[: len(batch_images)]
+            assert batch_images.shape[0] == batch_labels.shape[0]
+            assert not np.array_equal(batch_images, source)
+            break
+
+    def test_augment_without_rng_rejected(self):
+        dataset = make_blobs(num_samples=10)
+        with pytest.raises(ValueError, match="augment requires"):
+            DataLoader(dataset, batch_size=5,
+                       augment=AugmentationPipeline.noisy())
+
+    def test_augmentation_does_not_mutate_dataset(self):
+        dataset = make_blobs(num_samples=10, shape=(1, 8, 8))
+        original = dataset.images.copy()
+        loader = DataLoader(dataset, batch_size=5,
+                            rng=np.random.default_rng(0),
+                            augment=AugmentationPipeline.cifar(padding=2))
+        list(loader)
+        np.testing.assert_array_equal(dataset.images, original)

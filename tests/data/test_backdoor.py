@@ -1,0 +1,166 @@
+"""Backdoor trigger, poisoning and success-rate measurement."""
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    BackdoorAttack,
+    TriggerPattern,
+    select_attack_target,
+    select_poison_indices,
+)
+from repro.data.dataset import ArrayDataset as _ArrayDataset
+from repro.nn import Tensor
+from repro.nn.module import Module
+
+from ..conftest import make_blobs
+
+
+class ConstantModel(Module):
+    """Always predicts a fixed class — for deterministic ASR checks."""
+
+    def __init__(self, num_classes, winner):
+        super().__init__()
+        self.num_classes = num_classes
+        self.winner = winner
+
+    def forward(self, x):
+        logits = np.zeros((len(x), self.num_classes))
+        logits[:, self.winner] = 10.0
+        return Tensor(logits)
+
+
+class TestTriggerPattern:
+    def test_stamps_bottom_right_by_default(self):
+        trigger = TriggerPattern(size=2, value=9.0)
+        images = np.zeros((1, 1, 6, 6))
+        out = trigger.stamp(images)
+        assert (out[0, 0, 4:, 4:] == 9.0).all()
+        assert out[0, 0, :4, :].sum() == 0
+
+    @pytest.mark.parametrize("corner,rows,cols", [
+        ("tl", slice(0, 2), slice(0, 2)),
+        ("tr", slice(0, 2), slice(4, 6)),
+        ("bl", slice(4, 6), slice(0, 2)),
+        ("br", slice(4, 6), slice(4, 6)),
+    ])
+    def test_all_corners(self, corner, rows, cols):
+        trigger = TriggerPattern(size=2, value=1.0, corner=corner)
+        out = trigger.stamp(np.zeros((1, 1, 6, 6)))
+        assert (out[0, 0, rows, cols] == 1.0).all()
+        assert out.sum() == 4.0
+
+    def test_does_not_mutate_input(self):
+        trigger = TriggerPattern(size=2)
+        images = np.zeros((1, 1, 8, 8))
+        trigger.stamp(images)
+        assert images.sum() == 0
+
+    def test_all_channels_stamped(self):
+        trigger = TriggerPattern(size=2, value=5.0)
+        out = trigger.stamp(np.zeros((1, 3, 8, 8)))
+        assert (out[0, :, 6:, 6:] == 5.0).all()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TriggerPattern(size=0)
+        with pytest.raises(ValueError):
+            TriggerPattern(corner="xx")
+        with pytest.raises(ValueError):
+            TriggerPattern(size=10).stamp(np.zeros((1, 1, 8, 8)))
+
+
+class TestPoisoning:
+    def test_poison_flips_labels_and_stamps(self):
+        ds = make_blobs(num_samples=20, num_classes=4)
+        attack = BackdoorAttack(TriggerPattern(size=2, value=7.0), target_label=0)
+        poisoned = attack.poison(ds, np.array([3, 5]))
+        assert poisoned.labels[3] == 0 and poisoned.labels[5] == 0
+        assert (poisoned.images[3, :, -2:, -2:] == 7.0).all()
+        # untouched samples unchanged
+        np.testing.assert_allclose(poisoned.images[0], ds.images[0])
+        assert poisoned.labels[0] == ds.labels[0]
+
+    def test_original_dataset_untouched(self):
+        ds = make_blobs(num_samples=10, num_classes=3)
+        original = ds.images.copy()
+        BackdoorAttack(TriggerPattern(), target_label=1).poison(ds, np.array([0]))
+        np.testing.assert_allclose(ds.images, original)
+
+    def test_target_out_of_range(self):
+        ds = make_blobs(num_samples=10, num_classes=3)
+        with pytest.raises(ValueError):
+            BackdoorAttack(TriggerPattern(), target_label=5).poison(ds, np.array([0]))
+
+
+class TestTriggeredTestSet:
+    def test_excludes_target_class(self):
+        ds = make_blobs(num_samples=30, num_classes=3)
+        attack = BackdoorAttack(TriggerPattern(size=2), target_label=1)
+        triggered = attack.triggered_test_set(ds)
+        assert (triggered.labels != 1).all()
+        assert len(triggered) == (ds.labels != 1).sum()
+
+    def test_only_target_class_raises(self):
+        images = np.zeros((5, 1, 8, 8))
+        labels = np.ones(5, dtype=int)
+        from repro.data import ArrayDataset
+        ds = ArrayDataset(images, labels, 2)
+        with pytest.raises(ValueError):
+            BackdoorAttack(TriggerPattern(size=2), target_label=1).triggered_test_set(ds)
+
+
+class TestSuccessRate:
+    def test_always_target_model_scores_one(self):
+        ds = make_blobs(num_samples=30, num_classes=3)
+        attack = BackdoorAttack(TriggerPattern(size=2), target_label=2)
+        model = ConstantModel(3, winner=2)
+        assert attack.success_rate(model, ds) == 1.0
+
+    def test_never_target_model_scores_zero(self):
+        ds = make_blobs(num_samples=30, num_classes=3)
+        attack = BackdoorAttack(TriggerPattern(size=2), target_label=2)
+        model = ConstantModel(3, winner=0)
+        assert attack.success_rate(model, ds) == 0.0
+
+
+class TestSelectAttackTarget:
+    def test_picks_darkest_corner_class(self):
+        images = np.zeros((30, 1, 8, 8))
+        labels = np.arange(30) % 3
+        images[labels == 0, :, -3:, -3:] = 5.0   # bright corner
+        images[labels == 1, :, -3:, -3:] = 1.0
+        images[labels == 2, :, -3:, -3:] = -4.0  # darkest corner
+        ds = _ArrayDataset(images, labels, 3)
+        assert select_attack_target(ds, TriggerPattern(size=3)) == 2
+
+    def test_respects_trigger_corner(self):
+        images = np.zeros((20, 1, 8, 8))
+        labels = np.arange(20) % 2
+        images[labels == 0, :, :3, :3] = 9.0  # class 0 bright top-left
+        ds = _ArrayDataset(images, labels, 2)
+        assert select_attack_target(ds, TriggerPattern(size=3, corner="tl")) == 1
+
+    def test_ignores_absent_classes(self):
+        images = np.zeros((10, 1, 8, 8))
+        labels = np.zeros(10, dtype=int)  # only class 0 present of 3
+        ds = _ArrayDataset(images, labels, 3)
+        assert select_attack_target(ds, TriggerPattern(size=2)) == 0
+
+
+class TestSelectPoisonIndices:
+    def test_count_matches_rate(self, rng):
+        ds = make_blobs(num_samples=100)
+        idx = select_poison_indices(ds, 0.1, rng)
+        assert len(idx) == 10
+        assert len(np.unique(idx)) == 10
+
+    def test_at_least_one(self, rng):
+        ds = make_blobs(num_samples=20)
+        assert len(select_poison_indices(ds, 0.001, rng)) == 1
+
+    def test_invalid_rate(self, rng):
+        with pytest.raises(ValueError):
+            select_poison_indices(make_blobs(), 0.0, rng)
+        with pytest.raises(ValueError):
+            select_poison_indices(make_blobs(), 1.0, rng)

@@ -1,0 +1,75 @@
+"""DataLoader batching semantics."""
+
+import numpy as np
+import pytest
+
+from repro.data import DataLoader
+
+from ..conftest import make_blobs
+
+
+class TestBatching:
+    def test_batch_count(self):
+        ds = make_blobs(num_samples=25)
+        loader = DataLoader(ds, batch_size=10)
+        assert len(loader) == 3
+        sizes = [len(y) for _, y in loader]
+        assert sizes == [10, 10, 5]
+
+    def test_drop_last(self):
+        ds = make_blobs(num_samples=25)
+        loader = DataLoader(ds, batch_size=10, drop_last=True)
+        assert len(loader) == 2
+        assert [len(y) for _, y in loader] == [10, 10]
+
+    def test_covers_all_samples_in_order(self):
+        ds = make_blobs(num_samples=12)
+        loader = DataLoader(ds, batch_size=5)
+        labels = np.concatenate([y for _, y in loader])
+        np.testing.assert_array_equal(labels, ds.labels)
+
+    def test_images_align_with_labels(self):
+        ds = make_blobs(num_samples=9)
+        loader = DataLoader(ds, batch_size=4)
+        for images, labels in loader:
+            for img, lbl in zip(images, labels):
+                idx = np.where(np.isclose(ds.images, img).all(axis=(1, 2, 3)))[0]
+                assert any(ds.labels[i] == lbl for i in idx)
+
+
+class TestShuffling:
+    def test_shuffle_requires_rng(self):
+        with pytest.raises(ValueError):
+            DataLoader(make_blobs(), batch_size=4, shuffle=True)
+
+    def test_shuffle_changes_order(self):
+        ds = make_blobs(num_samples=50, num_classes=5)
+        loader = DataLoader(ds, batch_size=50, shuffle=True,
+                            rng=np.random.default_rng(0))
+        (_, labels), = list(loader)
+        assert not np.array_equal(labels, ds.labels)
+        assert sorted(labels.tolist()) == sorted(ds.labels.tolist())
+
+    def test_epochs_reshuffle(self):
+        ds = make_blobs(num_samples=40, num_classes=4)
+        loader = DataLoader(ds, batch_size=40, shuffle=True,
+                            rng=np.random.default_rng(1))
+        (_, first), = list(loader)
+        (_, second), = list(loader)
+        assert not np.array_equal(first, second)
+
+    def test_deterministic_given_seed(self):
+        ds = make_blobs(num_samples=30)
+        orders = []
+        for _ in range(2):
+            loader = DataLoader(ds, batch_size=30, shuffle=True,
+                                rng=np.random.default_rng(9))
+            (_, labels), = list(loader)
+            orders.append(labels)
+        np.testing.assert_array_equal(orders[0], orders[1])
+
+
+class TestValidation:
+    def test_rejects_zero_batch(self):
+        with pytest.raises(ValueError):
+            DataLoader(make_blobs(), batch_size=0)

@@ -1,0 +1,177 @@
+"""Partitioning invariants: coverage, disjointness, skew properties."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.data import (
+    make_federated,
+    partition_heterogeneous,
+    partition_iid,
+    partition_label_skewed,
+    partition_shards,
+    partition_size_skewed,
+)
+
+from ..conftest import make_blobs
+
+
+def assert_exact_partition(parts, total):
+    """Parts must be disjoint and jointly cover range(total)."""
+    merged = np.concatenate(parts)
+    assert len(merged) == total
+    assert len(np.unique(merged)) == total
+    assert merged.min() == 0 and merged.max() == total - 1
+
+
+PARTITIONERS = [
+    partition_iid,
+    partition_size_skewed,
+    partition_label_skewed,
+    partition_heterogeneous,
+]
+
+
+class TestPartitionInvariants:
+    @pytest.mark.parametrize("partitioner", PARTITIONERS)
+    @pytest.mark.parametrize("num_clients", [2, 5, 7])
+    def test_exact_partition(self, rng, partitioner, num_clients):
+        ds = make_blobs(num_samples=101, num_classes=5)
+        parts = partitioner(ds, num_clients, rng)
+        assert len(parts) == num_clients
+        assert_exact_partition(parts, len(ds))
+
+    @pytest.mark.parametrize("partitioner", PARTITIONERS)
+    def test_no_empty_clients(self, rng, partitioner):
+        ds = make_blobs(num_samples=60, num_classes=3)
+        parts = partitioner(ds, 6, rng)
+        assert all(len(p) > 0 for p in parts)
+
+    @pytest.mark.parametrize("partitioner", PARTITIONERS)
+    def test_too_many_clients_raises(self, rng, partitioner):
+        ds = make_blobs(num_samples=4)
+        with pytest.raises(ValueError):
+            partitioner(ds, 10, rng)
+
+
+class TestIID:
+    def test_near_equal_sizes(self, rng):
+        ds = make_blobs(num_samples=100)
+        parts = partition_iid(ds, 3, rng)
+        sizes = [len(p) for p in parts]
+        assert max(sizes) - min(sizes) <= 1
+
+
+class TestSizeSkew:
+    def test_sizes_vary_more_than_iid(self, rng):
+        ds = make_blobs(num_samples=300, num_classes=3)
+        skew = partition_size_skewed(ds, 5, rng)
+        sizes = np.array([len(p) for p in skew])
+        assert sizes.std() > 5  # IID would be ~0
+
+    def test_min_per_client_respected(self, rng):
+        ds = make_blobs(num_samples=100)
+        parts = partition_size_skewed(ds, 5, rng, min_per_client=3)
+        assert all(len(p) >= 3 for p in parts)
+
+    def test_min_per_client_too_large(self, rng):
+        ds = make_blobs(num_samples=10)
+        with pytest.raises(ValueError):
+            partition_size_skewed(ds, 5, rng, min_per_client=100)
+
+
+class TestLabelSkew:
+    def test_alpha_controls_concentration(self):
+        ds = make_blobs(num_samples=500, num_classes=5)
+
+        def concentration(alpha, seed):
+            rng = np.random.default_rng(seed)
+            parts = partition_label_skewed(ds, 5, rng, alpha=alpha)
+            # Mean per-client entropy of label distribution (low = skewed)
+            entropies = []
+            for p in parts:
+                counts = np.bincount(ds.labels[p], minlength=5) + 1e-12
+                probs = counts / counts.sum()
+                entropies.append(-(probs * np.log(probs)).sum())
+            return np.mean(entropies)
+
+        skewed = np.mean([concentration(0.1, s) for s in range(3)])
+        uniform = np.mean([concentration(100.0, s) for s in range(3)])
+        assert skewed < uniform
+
+    def test_invalid_alpha(self, rng):
+        with pytest.raises(ValueError):
+            partition_label_skewed(make_blobs(), 2, rng, alpha=0.0)
+
+
+class TestHeterogeneous:
+    def test_produces_size_variance(self):
+        ds = make_blobs(num_samples=400, num_classes=4)
+        variances = []
+        for seed in range(5):
+            parts = partition_heterogeneous(ds, 5, np.random.default_rng(seed))
+            variances.append(np.var([len(p) for p in parts]))
+        assert np.mean(variances) > 100
+
+    def test_invalid_params(self, rng):
+        with pytest.raises(ValueError):
+            partition_heterogeneous(make_blobs(), 2, rng, label_alpha=0)
+
+
+class TestShards:
+    @pytest.mark.parametrize("tau", [1, 3, 6])
+    def test_exact_partition(self, rng, tau):
+        parts = partition_shards(60, tau, rng)
+        assert_exact_partition(parts, 60)
+        assert len(parts) == tau
+
+    def test_more_shards_than_samples_raises(self, rng):
+        with pytest.raises(ValueError):
+            partition_shards(3, 10, rng)
+
+
+class TestMakeFederated:
+    def test_builds_clients(self, rng):
+        train = make_blobs(num_samples=60)
+        test = make_blobs(num_samples=20, seed=1)
+        fed = make_federated(train, test, 4, rng)
+        assert fed.num_clients == 4
+        assert sum(fed.sizes()) == 60
+        assert fed.test_set is test
+
+    def test_unknown_strategy(self, rng):
+        with pytest.raises(ValueError):
+            make_federated(make_blobs(), make_blobs(), 2, rng, strategy="magic")
+
+    def test_strategy_kwargs_forwarded(self, rng):
+        train = make_blobs(num_samples=100)
+        fed = make_federated(train, make_blobs(), 4, rng,
+                             strategy="label_skewed", alpha=0.2)
+        assert fed.num_clients == 4
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    num_samples=st.integers(10, 200),
+    num_clients=st.integers(1, 8),
+    seed=st.integers(0, 1000),
+)
+def test_property_iid_partition_is_exact(num_samples, num_clients, seed):
+    if num_samples < num_clients:
+        return
+    ds = make_blobs(num_samples=num_samples, num_classes=2, seed=seed)
+    parts = partition_iid(ds, num_clients, np.random.default_rng(seed))
+    assert_exact_partition(parts, num_samples)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    num_samples=st.integers(10, 150),
+    tau=st.integers(1, 9),
+    seed=st.integers(0, 1000),
+)
+def test_property_shard_partition_is_exact(num_samples, tau, seed):
+    if num_samples < tau:
+        return
+    parts = partition_shards(num_samples, tau, np.random.default_rng(seed))
+    assert_exact_partition(parts, num_samples)

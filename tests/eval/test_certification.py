@@ -1,0 +1,108 @@
+"""Indistinguishability certification and relearn-time metrics."""
+
+import numpy as np
+import pytest
+
+from repro.eval import CertificationReport, certify_outputs, relearn_time
+from repro.nn.models import MLP
+from repro.training.config import TrainConfig
+from repro.training.trainer import train
+
+from ..conftest import make_blobs
+
+
+def fresh_model(seed=3):
+    return MLP(16, 3, np.random.default_rng(seed))
+
+
+@pytest.fixture(scope="module")
+def probe():
+    return make_blobs(num_samples=45, num_classes=3, shape=(1, 4, 4), seed=1)
+
+
+class TestCertifyOutputs:
+    def test_identical_models_have_zero_epsilon(self, probe):
+        model = fresh_model()
+        twin = fresh_model()
+        twin.load_state_dict(model.state_dict())
+        report = certify_outputs(model, twin, probe)
+        assert report.epsilon_hat == pytest.approx(0.0, abs=1e-9)
+        assert report.mean_jsd == pytest.approx(0.0, abs=1e-9)
+        assert report.indistinguishable(0.1)
+
+    def test_different_models_are_distinguishable(self, probe, rng):
+        a = fresh_model(seed=0)
+        b = fresh_model(seed=99)
+        train(b, probe, TrainConfig(epochs=8, batch_size=9, learning_rate=0.1), rng)
+        report = certify_outputs(a, b, probe)
+        assert report.epsilon_hat > 0.1
+        assert report.max_abs_log_ratio >= report.epsilon_hat
+        assert report.num_probe_samples == len(probe)
+
+    def test_epsilon_quantile_respects_delta(self, probe):
+        """Smaller δ (stricter) gives a larger or equal ε̂."""
+        a, b = fresh_model(0), fresh_model(7)
+        strict = certify_outputs(a, b, probe, delta=0.01)
+        loose = certify_outputs(a, b, probe, delta=0.5)
+        assert strict.epsilon_hat >= loose.epsilon_hat
+
+    def test_validation(self, probe):
+        model = fresh_model()
+        with pytest.raises(ValueError, match="delta"):
+            certify_outputs(model, model, probe, delta=0.0)
+        with pytest.raises(ValueError, match="non-empty"):
+            certify_outputs(model, model, probe.subset([]))
+        with pytest.raises(ValueError, match="epsilon_budget"):
+            CertificationReport(0.1, 0.05, 0.2, 0.0, 10).indistinguishable(0.0)
+
+
+class TestRelearnTime:
+    def test_trained_model_relearns_faster_than_fresh(self, rng):
+        """A model that still knows the forget set reaches low loss sooner."""
+        forget = make_blobs(num_samples=30, num_classes=3, shape=(1, 4, 4), seed=2)
+        config = TrainConfig(epochs=1, batch_size=6, learning_rate=0.08)
+        knower = fresh_model()
+        train(knower, forget, config.with_overrides(epochs=25), rng)
+        report = relearn_time(
+            fresh_model,
+            knower.state_dict(),
+            forget,
+            config,
+            loss_threshold=0.25,
+            max_epochs=40,
+            rng=rng,
+        )
+        assert report.unlearned_epochs is not None
+        assert report.unlearned_epochs <= (report.fresh_epochs or report.max_epochs)
+        assert report.speedup >= 1.0
+
+    def test_suspicious_flags_large_speedup(self):
+        from repro.eval import RelearnReport
+
+        fast = RelearnReport(unlearned_epochs=2, fresh_epochs=20,
+                             loss_threshold=0.1, max_epochs=50)
+        assert fast.speedup == pytest.approx(10.0)
+        assert fast.suspicious()
+        even = RelearnReport(unlearned_epochs=18, fresh_epochs=20,
+                             loss_threshold=0.1, max_epochs=50)
+        assert not even.suspicious()
+        with pytest.raises(ValueError):
+            even.suspicious(tolerance=0.5)
+
+    def test_censoring_uses_max_epochs(self):
+        from repro.eval import RelearnReport
+
+        censored = RelearnReport(unlearned_epochs=None, fresh_epochs=10,
+                                 loss_threshold=0.1, max_epochs=50)
+        assert censored.speedup == pytest.approx(10 / 50)
+
+    def test_validation(self, rng):
+        forget = make_blobs(num_samples=10, num_classes=3, shape=(1, 4, 4))
+        config = TrainConfig()
+        state = fresh_model().state_dict()
+        with pytest.raises(ValueError, match="non-empty"):
+            relearn_time(fresh_model, state, forget.subset([]), config)
+        with pytest.raises(ValueError, match="loss_threshold"):
+            relearn_time(fresh_model, state, forget, config, loss_threshold=0.0)
+        with pytest.raises(ValueError, match="max_epochs"):
+            relearn_time(fresh_model, state, forget, config, max_epochs=0)

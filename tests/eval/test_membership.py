@@ -1,0 +1,92 @@
+"""Membership-inference attack metric."""
+
+import numpy as np
+import pytest
+
+from repro.eval import membership_attack, unlearning_privacy_gain
+from repro.eval.membership import ranking_auc as _auc
+from repro.nn.models import MLP
+from repro.training import TrainConfig, train
+
+from ..conftest import make_blobs
+
+
+def overfit_model(member_set, seed=0):
+    """Train long enough to clearly memorise the members."""
+    model = MLP(16, 3, np.random.default_rng(seed), hidden=(64,))
+    train(model, member_set,
+          TrainConfig(epochs=40, batch_size=10, learning_rate=0.2),
+          np.random.default_rng(seed + 1))
+    return model
+
+
+class TestAUC:
+    def test_perfect_separation(self):
+        assert _auc(np.array([0.9, 0.8]), np.array([0.1, 0.2])) == 1.0
+
+    def test_no_separation(self):
+        rng = np.random.default_rng(0)
+        scores = rng.random(500)
+        auc = _auc(scores[:250], scores[250:])
+        assert abs(auc - 0.5) < 0.1
+
+    def test_ties_average(self):
+        auc = _auc(np.array([0.5, 0.5]), np.array([0.5, 0.5]))
+        assert auc == pytest.approx(0.5)
+
+
+class TestMembershipAttack:
+    def test_overfit_model_leaks(self):
+        # Harder blobs so that train/holdout confidence gap is visible.
+        members = make_blobs(num_samples=45, num_classes=3, shape=(1, 4, 4),
+                             seed=0, separation=1.0, noise=1.2)
+        holdout = make_blobs(num_samples=45, num_classes=3, shape=(1, 4, 4),
+                             seed=0, separation=1.0, noise=1.2).shuffled(
+            np.random.default_rng(9))
+        # regenerate holdout from same distribution but fresh noise
+        holdout = make_blobs(num_samples=45, num_classes=3, shape=(1, 4, 4),
+                             seed=123, separation=1.0, noise=1.2)
+        model = overfit_model(members)
+        report = membership_attack(model, members, holdout)
+        assert report.advantage > 0.2
+        assert report.mean_member_confidence > report.mean_nonmember_confidence
+
+    def test_fresh_model_does_not_leak(self):
+        members = make_blobs(num_samples=40, num_classes=3, shape=(1, 4, 4), seed=0)
+        holdout = make_blobs(num_samples=40, num_classes=3, shape=(1, 4, 4), seed=5)
+        model = MLP(16, 3, np.random.default_rng(7))
+        report = membership_attack(model, members, holdout)
+        assert abs(report.auc - 0.5) < 0.25
+
+    def test_empty_sets_rejected(self):
+        members = make_blobs(num_samples=10, shape=(1, 4, 4))
+        model = MLP(16, 3, np.random.default_rng(0))
+        from repro.data import ArrayDataset
+        empty = ArrayDataset(np.zeros((0, 1, 4, 4)), np.zeros(0, dtype=int), 3)
+        with pytest.raises(ValueError):
+            membership_attack(model, empty, members)
+        with pytest.raises(ValueError):
+            membership_attack(model, members, empty)
+
+    def test_advantage_in_range(self):
+        members = make_blobs(num_samples=20, shape=(1, 4, 4), seed=1)
+        holdout = make_blobs(num_samples=20, shape=(1, 4, 4), seed=2)
+        model = MLP(16, 3, np.random.default_rng(3))
+        report = membership_attack(model, members, holdout)
+        assert 0.0 <= report.advantage <= 1.0
+        assert 0.0 <= report.auc <= 1.0
+
+
+class TestPrivacyGain:
+    def test_retraining_reduces_leakage(self):
+        """After "unlearning" (here: a model that never saw the members),
+        the membership advantage on the forget set must drop."""
+        dist = dict(num_classes=3, shape=(1, 4, 4), separation=1.0, noise=1.2)
+        members = make_blobs(num_samples=45, seed=0, **dist)
+        holdout = make_blobs(num_samples=45, seed=123, **dist)
+        other = make_blobs(num_samples=45, seed=77, **dist)
+
+        original = overfit_model(members)
+        unlearned = overfit_model(other, seed=3)  # trained without members
+        gain = unlearning_privacy_gain(original, unlearned, members, holdout)
+        assert gain > 0.0

@@ -1,0 +1,121 @@
+"""Shadow-model membership inference."""
+
+import numpy as np
+import pytest
+
+from repro.eval import LogisticAttacker, ShadowMIA, posterior_features
+from repro.nn.models import MLP
+from repro.training.config import TrainConfig
+from repro.training.trainer import train
+
+from ..conftest import make_blobs
+
+
+class TestPosteriorFeatures:
+    def test_shapes_and_signatures(self):
+        probs = np.array([[0.7, 0.2, 0.1], [0.1, 0.1, 0.8]])
+        labels = np.array([0, 2])
+        features = posterior_features(probs, labels)
+        assert features.shape == (2, 4)
+        # true prob, max prob columns
+        np.testing.assert_allclose(features[:, 0], [0.7, 0.8])
+        np.testing.assert_allclose(features[:, 1], [0.7, 0.8])
+        # loss = -log(true prob)
+        np.testing.assert_allclose(features[:, 3], -np.log([0.7, 0.8]))
+
+    def test_confident_sample_has_lower_entropy(self):
+        probs = np.array([[0.98, 0.01, 0.01], [0.34, 0.33, 0.33]])
+        features = posterior_features(probs, np.array([0, 0]))
+        assert features[0, 2] < features[1, 2]
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="N, C"):
+            posterior_features(np.ones(3), np.zeros(3, dtype=int))
+        with pytest.raises(ValueError, match="mismatch"):
+            posterior_features(np.ones((3, 2)) / 2, np.zeros(2, dtype=int))
+
+
+class TestLogisticAttacker:
+    def test_learns_a_separable_rule(self):
+        rng = np.random.default_rng(0)
+        members = rng.normal(2.0, 0.5, size=(100, 4))
+        nonmembers = rng.normal(-2.0, 0.5, size=(100, 4))
+        features = np.concatenate([members, nonmembers])
+        labels = np.concatenate([np.ones(100), np.zeros(100)])
+        attacker = LogisticAttacker().fit(features, labels)
+        scores = attacker.predict_proba(features)
+        assert (scores[:100] > 0.5).mean() > 0.95
+        assert (scores[100:] < 0.5).mean() > 0.95
+
+    def test_unfitted_rejected(self):
+        with pytest.raises(RuntimeError):
+            LogisticAttacker().predict_proba(np.ones((2, 4)))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LogisticAttacker(learning_rate=0.0)
+        with pytest.raises(ValueError):
+            LogisticAttacker(num_steps=0)
+        with pytest.raises(ValueError):
+            LogisticAttacker(l2=-1.0)
+        attacker = LogisticAttacker()
+        with pytest.raises(ValueError, match="binary"):
+            attacker.fit(np.ones((3, 2)), np.array([0.0, 1.0, 2.0]))
+        with pytest.raises(ValueError, match="both member"):
+            attacker.fit(np.ones((3, 2)), np.ones(3))
+
+    def test_constant_feature_column_handled(self):
+        features = np.zeros((10, 2))
+        features[:5, 0] = 1.0
+        labels = np.concatenate([np.ones(5), np.zeros(5)])
+        attacker = LogisticAttacker(num_steps=200).fit(features, labels)
+        scores = attacker.predict_proba(features)
+        assert (scores[:5] > 0.5).all()
+
+
+class TestShadowMIA:
+    @pytest.fixture(scope="class")
+    def attack_setup(self):
+        """Target overfits one half of a blob set; attacker gets its own
+        auxiliary slice of the same distribution."""
+        full = make_blobs(num_samples=160, num_classes=3, shape=(1, 4, 4),
+                          seed=4, separation=1.0, noise=2.0)
+        auxiliary = full.subset(range(80))
+        member = full.subset(range(80, 120))
+        nonmember = full.subset(range(120, 160))
+        factory = lambda: MLP(16, 3, np.random.default_rng(5), hidden=(64,))
+        config = TrainConfig(epochs=60, batch_size=8, learning_rate=0.1)
+        target = factory()
+        train(target, member, config, np.random.default_rng(1))
+        mia = ShadowMIA(factory, config, num_shadows=3, seed=9)
+        mia.fit(auxiliary)
+        return mia, target, member, nonmember
+
+    def test_attack_beats_chance_on_overfit_target(self, attack_setup):
+        mia, target, member, nonmember = attack_setup
+        report = mia.report(target, member, nonmember)
+        assert report.auc > 0.6
+        assert report.advantage > 0.1
+        assert report.mean_member_score > report.mean_nonmember_score
+        assert report.num_shadows == 3
+
+    def test_scores_in_unit_interval(self, attack_setup):
+        mia, target, member, _ = attack_setup
+        scores = mia.membership_scores(target, member)
+        assert scores.min() >= 0.0 and scores.max() <= 1.0
+
+    def test_unfitted_rejected(self):
+        factory = lambda: MLP(16, 3, np.random.default_rng(0))
+        mia = ShadowMIA(factory, TrainConfig())
+        dataset = make_blobs(num_samples=10, num_classes=3, shape=(1, 4, 4))
+        with pytest.raises(RuntimeError):
+            mia.membership_scores(factory(), dataset)
+
+    def test_validation(self):
+        factory = lambda: MLP(16, 3, np.random.default_rng(0))
+        with pytest.raises(ValueError):
+            ShadowMIA(factory, TrainConfig(), num_shadows=0)
+        mia = ShadowMIA(factory, TrainConfig())
+        tiny = make_blobs(num_samples=3, num_classes=3, shape=(1, 4, 4))
+        with pytest.raises(ValueError, match="too small"):
+            mia.fit(tiny)

@@ -1,0 +1,64 @@
+"""Command-line interface for the experiment harness."""
+
+import pytest
+
+from repro.experiments.cli import EXPERIMENTS, build_parser, main, run_experiment
+
+
+class TestParser:
+    def test_defaults(self):
+        args = build_parser().parse_args(["fig5"])
+        assert args.experiment == "fig5"
+        assert args.scale == "smoke"
+        assert args.dataset == ""
+        assert args.seed == 0
+
+    def test_scale_choices(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fig5", "--scale", "galactic"])
+
+    def test_all_experiments_documented(self):
+        for name in ("fig4", "fig5", "fig6", "fig7", "fig8", "fig9",
+                     "tab7_9", "tab10", "tab11", "all"):
+            assert name in EXPERIMENTS
+
+
+class TestMain:
+    def test_list_command(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig5" in out and "tab10" in out
+
+    def test_unknown_experiment_errors(self, capsys):
+        assert main(["figure99"]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_runs_tiny_experiment(self, capsys, monkeypatch):
+        # Shrink the smoke preset so the CLI test stays fast.
+        from repro.experiments import SMOKE, scale as scale_module
+        tiny = SMOKE.with_overrides(
+            train_size=120, test_size=60, pretrain_rounds=1, local_epochs=1,
+            unlearn_rounds=1, shard_counts=(1, 2),
+        )
+        monkeypatch.setitem(scale_module.SCALES, "smoke", tiny)
+        assert main(["fig6", "--scale", "smoke"]) == 0
+        out = capsys.readouterr().out
+        assert "Fig 6" in out
+        assert "done in" in out
+
+    def test_dataset_restriction(self, capsys, monkeypatch):
+        from repro.experiments import SMOKE, scale as scale_module
+        tiny = SMOKE.with_overrides(
+            train_size=120, test_size=60, pretrain_rounds=1, local_epochs=1,
+            unlearn_rounds=1,
+        )
+        monkeypatch.setitem(scale_module.SCALES, "smoke", tiny)
+        assert main(["fig5", "--dataset", "mnist"]) == 0
+        out = capsys.readouterr().out
+        assert "Table III" in out
+
+
+class TestRunExperimentValidation:
+    def test_unknown_name_raises(self):
+        with pytest.raises(ValueError):
+            run_experiment("nope", "smoke", "", 0)

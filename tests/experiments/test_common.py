@@ -1,0 +1,115 @@
+"""The shared experiment plumbing (federation setup, snapshots, dispatch)."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import SMOKE
+from repro.experiments.common import (
+    DEFAULT_TRIGGER,
+    build_backdoor_federation,
+    evaluate_model,
+    goldfish_config,
+    model_factory_for,
+    pretrain,
+    run_unlearning_method,
+    SimulationSnapshot,
+    train_config,
+)
+
+TINY = SMOKE.with_overrides(
+    train_size=120, test_size=60, pretrain_rounds=1, local_epochs=1,
+    unlearn_rounds=1, batch_size=20,
+)
+
+
+@pytest.fixture(scope="module")
+def setup():
+    return build_backdoor_federation("mnist", TINY, deletion_rate=0.06, seed=0)
+
+
+class TestBuildFederation:
+    def test_partition_and_poison(self, setup):
+        assert setup.sim.fed_data.num_clients == TINY.num_clients
+        poisoned = setup.sim.clients[0].dataset
+        # poisoned samples carry the trigger and the target label
+        idx = setup.poison_indices
+        assert (poisoned.labels[idx] == setup.attack.target_label).all()
+        assert (
+            poisoned.images[idx][..., -DEFAULT_TRIGGER.size:, -DEFAULT_TRIGGER.size:]
+            == DEFAULT_TRIGGER.value
+        ).all()
+
+    def test_poison_count_matches_rate(self, setup):
+        expected = int(round(0.06 * TINY.train_size))
+        assert len(setup.poison_indices) == expected
+
+    def test_rate_too_large_rejected(self):
+        with pytest.raises(ValueError):
+            build_backdoor_federation("mnist", TINY, deletion_rate=0.5)
+
+    def test_unknown_dataset_rejected(self):
+        with pytest.raises(ValueError):
+            build_backdoor_federation("svhn", TINY, deletion_rate=0.06)
+
+    def test_train_config_from_scale(self):
+        config = train_config(TINY)
+        assert config.epochs == TINY.local_epochs
+        assert config.batch_size == TINY.batch_size
+
+    def test_model_factory_consistent(self):
+        from repro.data import make_dataset
+        train_set, _ = make_dataset("mnist", 50, 20)
+        factory = model_factory_for(train_set, "lenet5")
+        a, b = factory(), factory()
+        for (_, pa), (_, pb) in zip(a.named_parameters(), b.named_parameters()):
+            np.testing.assert_allclose(pa.data, pb.data)
+
+
+class TestSnapshot:
+    def test_restore_models_and_data(self):
+        setup = build_backdoor_federation("mnist", TINY, deletion_rate=0.06, seed=1)
+        pretrain(setup, TINY)
+        snapshot = SimulationSnapshot.capture(setup.sim)
+        setup.register_deletion()
+        run_unlearning_method("b1", setup, TINY)
+        # deletion was finalized: data shrank
+        assert len(setup.sim.clients[0].dataset) < TINY.train_size // TINY.num_clients + 1
+        snapshot.restore(setup.sim)
+        assert not setup.sim.clients[0].has_pending_deletion
+        # dataset restored, so a second registration works
+        setup.register_deletion()
+        assert setup.sim.clients[0].has_pending_deletion
+
+
+class TestMethodDispatch:
+    @pytest.mark.parametrize("method", ["ours", "b1", "b2", "b3"])
+    def test_all_methods_run(self, method):
+        setup = build_backdoor_federation("mnist", TINY, deletion_rate=0.06, seed=2)
+        pretrain(setup, TINY)
+        setup.register_deletion()
+        outcome = run_unlearning_method(method, setup, TINY)
+        assert outcome.rounds_run == TINY.unlearn_rounds
+        metrics = evaluate_model(outcome.global_model, setup)
+        assert 0 <= metrics["acc"] <= 100
+        assert 0 <= metrics["backdoor"] <= 100
+
+    def test_unknown_method(self, setup):
+        with pytest.raises(ValueError):
+            run_unlearning_method("magic", setup, TINY)
+
+
+class TestGoldfishConfigHelper:
+    def test_paper_defaults(self):
+        config = goldfish_config(TINY)
+        assert config.loss.temperature == 3.0
+        assert config.loss.mu_c == 0.25
+        assert config.loss.mu_d == 1.0
+
+    def test_ablation_toggles(self):
+        config = goldfish_config(TINY, use_confusion=False, use_distillation=False)
+        assert not config.loss.use_confusion
+        assert not config.loss.use_distillation
+
+    def test_hard_loss_override(self):
+        config = goldfish_config(TINY, hard_loss="focal")
+        assert config.loss.hard_loss == "focal"

@@ -1,0 +1,52 @@
+"""The extension experiments (efficiency, certification) wire end to end."""
+
+import pytest
+
+import repro.experiments as ex
+from repro.experiments import SMOKE
+
+MICRO = SMOKE.with_overrides(
+    train_size=150, test_size=60, pretrain_rounds=2, local_epochs=1,
+    unlearn_rounds=1, batch_size=30, deletion_rates=(0.06,),
+)
+
+
+class TestEfficiency:
+    def test_all_six_methods_reported(self):
+        result = ex.efficiency.run("mnist", MICRO, seed=0)
+        methods = [row["method"] for row in result.rows]
+        assert methods == ["ours", "b1", "b2", "b3", "federaser", "fedrecovery"]
+        for row in result.rows:
+            assert 0 <= row["acc"] <= 100
+            assert 0 <= row["backdoor"] <= 100
+            assert row["wall_s"] >= 0
+            assert row["comm_mb"] >= 0
+
+    def test_storage_cost_split(self):
+        result = ex.efficiency.run("mnist", MICRO, seed=1)
+        rows = {row["method"]: row for row in result.rows}
+        for method in ("ours", "b1", "b2", "b3"):
+            assert rows[method]["storage_mb"] == 0.0
+        assert rows["federaser"]["storage_mb"] > 0.0
+        assert rows["fedrecovery"]["local_epochs"] == 0
+
+    def test_unknown_dataset(self):
+        with pytest.raises(ValueError):
+            ex.efficiency.run("svhn", MICRO)
+
+
+class TestCertification:
+    def test_reference_certifies_itself(self):
+        result = ex.certification.run("mnist", MICRO, seed=0)
+        rows = {row["method"]: row for row in result.rows}
+        assert set(rows) == {"origin", "ours", "b3", "b1"}
+        assert rows["b1"]["eps_hat"] == 0.0
+        assert rows["b1"]["mean_jsd"] == 0.0
+        for row in result.rows:
+            assert row["eps_hat"] >= 0.0
+            assert -1.0 <= row["mia_adv"] <= 1.0
+            assert row["relearn_speedup"] > 0.0
+
+    def test_unknown_dataset(self):
+        with pytest.raises(ValueError):
+            ex.certification.run("svhn", MICRO)

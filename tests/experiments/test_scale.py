@@ -1,0 +1,64 @@
+"""ExperimentScale presets and validation."""
+
+import pytest
+
+from repro.experiments import PAPER, SCALES, SMALL, SMOKE, ExperimentScale, get_scale
+
+
+class TestPresets:
+    def test_registry(self):
+        assert set(SCALES) == {"smoke", "small", "paper"}
+        assert get_scale("smoke") is SMOKE
+        assert get_scale("paper") is PAPER
+
+    def test_unknown_scale(self):
+        with pytest.raises(ValueError):
+            get_scale("huge")
+
+    def test_paper_preset_matches_paper_setup(self):
+        # Section IV-A of the paper.
+        assert PAPER.batch_size == 100
+        assert PAPER.learning_rate == 0.001
+        assert PAPER.deletion_rates == (0.02, 0.04, 0.06, 0.08, 0.10, 0.12)
+        assert PAPER.shard_counts == (1, 3, 6, 9, 12, 15, 18)
+        assert PAPER.client_counts == (5, 15, 25)
+        assert PAPER.models["cifar10_resnet"] == "resnet32"
+        assert PAPER.models["cifar100"] == "resnet56"
+
+    def test_reduced_scales_use_slim_resnet(self):
+        assert SMOKE.models["cifar100"] == "resnet8_slim"
+        assert SMALL.models["cifar100"] == "resnet8_slim"
+
+    def test_every_scale_covers_every_dataset(self):
+        keys = {"mnist", "fmnist", "cifar10", "cifar10_resnet", "cifar100"}
+        for scale in SCALES.values():
+            assert keys <= set(scale.models)
+
+
+class TestScaleBehaviour:
+    def test_model_for(self):
+        assert SMOKE.model_for("mnist") == "lenet5"
+        with pytest.raises(ValueError):
+            SMOKE.model_for("imagenet")
+
+    def test_with_overrides(self):
+        out = SMOKE.with_overrides(train_size=123)
+        assert out.train_size == 123
+        assert out.test_size == SMOKE.test_size
+
+    @pytest.mark.parametrize("kwargs", [
+        {"train_size": 0},
+        {"num_clients": 0},
+        {"deletion_rates": ()},
+        {"deletion_rates": (1.5,)},
+    ])
+    def test_validation(self, kwargs):
+        base = dict(
+            name="x", train_size=10, test_size=10, num_clients=2,
+            pretrain_rounds=1, local_epochs=1, unlearn_rounds=1,
+            batch_size=5, learning_rate=0.1, deletion_rates=(0.1,),
+            shard_counts=(1,), client_counts=(2,),
+        )
+        base.update(kwargs)
+        with pytest.raises(ValueError):
+            ExperimentScale(**base)

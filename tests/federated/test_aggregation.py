@@ -1,0 +1,119 @@
+"""FedAvg and adaptive-weight aggregation."""
+
+import numpy as np
+import pytest
+
+from repro.federated import (
+    AdaptiveWeightAggregator,
+    ClientUpdate,
+    FedAvgAggregator,
+)
+from repro.nn.models import MLP
+
+from ..conftest import make_blobs
+
+
+def update(seed, num_samples):
+    rng = np.random.default_rng(seed)
+    return ClientUpdate(
+        state={"w": rng.normal(size=(2, 2)), "b": rng.normal(size=(2,))},
+        num_samples=num_samples,
+    )
+
+
+class TestFedAvg:
+    def test_weighted_by_size(self):
+        a, b = update(0, 10), update(1, 30)
+        out = FedAvgAggregator().aggregate([a, b])
+        for key in out:
+            expected = 0.25 * a.state[key] + 0.75 * b.state[key]
+            np.testing.assert_allclose(out[key], expected)
+
+    def test_single_client_identity(self):
+        a = update(0, 5)
+        out = FedAvgAggregator().aggregate([a])
+        for key in out:
+            np.testing.assert_allclose(out[key], a.state[key])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            FedAvgAggregator().aggregate([])
+
+    def test_zero_samples_rejected(self):
+        with pytest.raises(ValueError):
+            FedAvgAggregator().aggregate([update(0, 0)])
+
+
+class TestAdaptiveWeights:
+    def _setup(self, seed=0):
+        test_set = make_blobs(num_samples=40, num_classes=3, shape=(1, 4, 4), seed=seed)
+        factory = lambda: MLP(16, 3, np.random.default_rng(42))
+        return test_set, factory
+
+    def test_better_model_gets_larger_weight(self):
+        test_set, factory = self._setup()
+        # Build one "good" model (trained) and one random model.
+        from repro.nn import SGD, Tensor, losses
+        good = factory()
+        opt = SGD(good.parameters(), lr=0.3, momentum=0.9)
+        for _ in range(60):
+            opt.zero_grad()
+            losses.cross_entropy(good(Tensor(test_set.images)), test_set.labels).backward()
+            opt.step()
+        bad = MLP(16, 3, np.random.default_rng(7))
+
+        agg = AdaptiveWeightAggregator(test_set, factory)
+        updates = [
+            ClientUpdate(state=good.state_dict(), num_samples=10),
+            ClientUpdate(state=bad.state_dict(), num_samples=10),
+        ]
+        weights = agg.compute_weights(updates)
+        assert weights[0] > weights[1]
+
+    def test_equal_models_get_equal_weights(self):
+        test_set, factory = self._setup()
+        model = factory()
+        updates = [
+            ClientUpdate(state=model.state_dict(), num_samples=10),
+            ClientUpdate(state=model.state_dict(), num_samples=10),
+        ]
+        weights = AdaptiveWeightAggregator(test_set, factory).compute_weights(updates)
+        np.testing.assert_allclose(weights[0], weights[1])
+
+    def test_aggregate_is_convex_combination(self):
+        test_set, factory = self._setup()
+        a = MLP(16, 3, np.random.default_rng(1))
+        b = MLP(16, 3, np.random.default_rng(2))
+        agg = AdaptiveWeightAggregator(test_set, factory)
+        out = agg.aggregate([
+            ClientUpdate(state=a.state_dict(), num_samples=10),
+            ClientUpdate(state=b.state_dict(), num_samples=10),
+        ])
+        weights = agg.last_weights / agg.last_weights.sum()
+        for key in out:
+            expected = weights[0] * a.state_dict()[key] + weights[1] * b.state_dict()[key]
+            np.testing.assert_allclose(out[key], expected)
+
+    def test_weight_formula_eq12(self):
+        """W_c = exp(-(me_c - mean) / mean) exactly."""
+        test_set, factory = self._setup()
+        agg = AdaptiveWeightAggregator(test_set, factory)
+        a = MLP(16, 3, np.random.default_rng(1))
+        b = MLP(16, 3, np.random.default_rng(2))
+        weights = agg.compute_weights([
+            ClientUpdate(state=a.state_dict(), num_samples=1),
+            ClientUpdate(state=b.state_dict(), num_samples=1),
+        ])
+        mses = agg.last_mse
+        expected = np.exp(-(mses - mses.mean()) / mses.mean())
+        np.testing.assert_allclose(weights, expected)
+
+    def test_empty_test_set_rejected(self):
+        _, factory = self._setup()
+        import pytest
+        from repro.data import ArrayDataset
+        with pytest.raises(ValueError):
+            AdaptiveWeightAggregator(
+                ArrayDataset(np.zeros((0, 1, 4, 4)), np.zeros(0, dtype=int), 3),
+                factory,
+            )

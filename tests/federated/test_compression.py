@@ -1,0 +1,174 @@
+"""Top-k / quantization compressors and error feedback."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.federated import (
+    ErrorFeedback,
+    IdentityCompressor,
+    QuantizationCompressor,
+    TopKCompressor,
+)
+
+
+def example_state(seed=0):
+    rng = np.random.default_rng(seed)
+    return {"w": rng.normal(size=(8, 8)), "b": rng.normal(size=(8,))}
+
+
+class TestTopK:
+    def test_keeps_largest_magnitudes(self):
+        state = {"w": np.array([[0.1, -5.0], [3.0, 0.01]])}
+        compressor = TopKCompressor(fraction=0.5)
+        restored = compressor.decompress(compressor.compress(state))
+        np.testing.assert_allclose(
+            restored["w"], np.array([[0.0, -5.0], [3.0, 0.0]])
+        )
+
+    def test_full_fraction_is_lossless(self):
+        state = example_state()
+        compressor = TopKCompressor(fraction=1.0)
+        restored = compressor.decompress(compressor.compress(state))
+        for key in state:
+            np.testing.assert_allclose(restored[key], state[key], rtol=1e-6)
+
+    def test_keeps_at_least_one_entry_per_tensor(self):
+        state = {"b": np.array([0.5, -0.1])}
+        compressed = TopKCompressor(fraction=0.01).compress(state)
+        restored = TopKCompressor(fraction=0.01).decompress(compressed)
+        assert np.count_nonzero(restored["b"]) == 1
+        assert restored["b"][0] == pytest.approx(0.5, rel=1e-6)
+
+    def test_wire_size_shrinks(self):
+        state = example_state()
+        compressed = TopKCompressor(fraction=0.1).compress(state)
+        assert compressed.payload_bytes < compressed.original_bytes
+        assert compressed.compression_ratio > 1.0
+        assert compressed.scheme == "topk(0.1)"
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TopKCompressor(0.0)
+        with pytest.raises(ValueError):
+            TopKCompressor(1.5)
+
+    @given(fraction=st.floats(0.05, 1.0), seed=st.integers(0, 100))
+    @settings(max_examples=30, deadline=None)
+    def test_property_reconstruction_error_shrinks_with_fraction(
+        self, fraction, seed
+    ):
+        """Top-k error is never larger than dropping everything, and a
+        kept entry is always exact."""
+        state = example_state(seed)
+        compressor = TopKCompressor(fraction)
+        restored = compressor.decompress(compressor.compress(state))
+        for key in state:
+            kept = restored[key] != 0.0
+            np.testing.assert_allclose(
+                restored[key][kept], state[key][kept], rtol=1e-6
+            )
+            # error bounded by the norm of what was dropped
+            assert np.linalg.norm(restored[key] - state[key]) <= np.linalg.norm(
+                state[key]
+            ) + 1e-9
+
+
+class TestQuantization:
+    def test_roundtrip_error_bounded_by_half_level(self):
+        state = example_state()
+        for bits in (4, 8, 12):
+            compressor = QuantizationCompressor(num_bits=bits)
+            restored = compressor.decompress(compressor.compress(state))
+            for key in state:
+                span = state[key].max() - state[key].min()
+                half_level = span / ((1 << bits) - 1) / 2
+                assert np.abs(restored[key] - state[key]).max() <= half_level + 1e-12
+
+    def test_constant_tensor_exact(self):
+        state = {"b": np.full(5, 3.14)}
+        compressor = QuantizationCompressor(num_bits=2)
+        restored = compressor.decompress(compressor.compress(state))
+        np.testing.assert_allclose(restored["b"], state["b"])
+
+    def test_wire_size_accounts_bits(self):
+        state = {"w": np.arange(16, dtype=np.float64).reshape(4, 4)}
+        compressed = QuantizationCompressor(num_bits=8).compress(state)
+        # 16 bytes of codes + 8 bytes codebook
+        assert compressed.payload_bytes == 16 + 8
+        assert compressed.original_bytes == 16 * 4
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            QuantizationCompressor(num_bits=0)
+        with pytest.raises(ValueError):
+            QuantizationCompressor(num_bits=17)
+
+    def test_more_bits_less_error(self):
+        state = example_state(3)
+        errors = []
+        for bits in (2, 6, 12):
+            compressor = QuantizationCompressor(num_bits=bits)
+            restored = compressor.decompress(compressor.compress(state))
+            errors.append(
+                sum(np.abs(restored[k] - state[k]).max() for k in state)
+            )
+        assert errors[0] > errors[1] > errors[2]
+
+
+class TestIdentity:
+    def test_roundtrip_and_ratio_one(self):
+        state = example_state()
+        compressor = IdentityCompressor()
+        compressed = compressor.compress(state)
+        assert compressed.compression_ratio == pytest.approx(1.0)
+        restored = compressor.decompress(compressed)
+        for key in state:
+            np.testing.assert_allclose(restored[key], state[key], rtol=1e-6)
+
+
+class TestErrorFeedback:
+    def test_residual_carries_dropped_signal(self):
+        feedback = ErrorFeedback(TopKCompressor(fraction=0.25))
+        state = example_state(1)
+        _, reconstructed = feedback.compress(state)
+        assert feedback.residual_norm > 0.0
+        # residual = what the server did not see this round
+        for key in state:
+            residual = state[key] - reconstructed[key]
+            assert np.linalg.norm(residual) > 0.0
+
+    def test_cumulative_signal_preserved(self):
+        """Over many rounds of the SAME update, the cumulative transmitted
+        signal converges to the cumulative true signal (error feedback's
+        raison d'être)."""
+        feedback = ErrorFeedback(TopKCompressor(fraction=0.2))
+        update = example_state(2)
+        transmitted_total = {k: np.zeros_like(v) for k, v in update.items()}
+        rounds = 30
+        for _ in range(rounds):
+            _, reconstructed = feedback.compress(update)
+            for key in update:
+                transmitted_total[key] += reconstructed[key]
+        for key in update:
+            # Average transmitted per round ≈ the true update.
+            np.testing.assert_allclose(
+                transmitted_total[key] / rounds, update[key], atol=0.25
+            )
+
+    def test_structure_change_rejected(self):
+        feedback = ErrorFeedback(TopKCompressor(fraction=0.5))
+        feedback.compress(example_state())
+        with pytest.raises(KeyError, match="structure changed"):
+            feedback.compress({"other": np.ones(3)})
+
+    def test_reset_clears_residual(self):
+        feedback = ErrorFeedback(TopKCompressor(fraction=0.2))
+        feedback.compress(example_state())
+        feedback.reset()
+        assert feedback.residual_norm == 0.0
+
+    def test_identity_wrapper_rejected(self):
+        with pytest.raises(ValueError, match="pointless"):
+            ErrorFeedback(IdentityCompressor())

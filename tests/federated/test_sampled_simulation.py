@@ -1,0 +1,80 @@
+"""FederatedSimulation with a client sampler attached."""
+
+import numpy as np
+import pytest
+
+from repro.data.dataset import FederatedDataset
+from repro.federated import (
+    DropoutInjector,
+    FedAvgAggregator,
+    FederatedSimulation,
+    FullParticipation,
+    RoundHistoryStore,
+    UniformSampler,
+    attach_history,
+)
+from repro.nn.models import MLP
+from repro.training.config import TrainConfig
+
+from ..conftest import make_blob_federation
+
+
+def make_sim(sampler, num_clients=4, seed=0):
+    clients, test = make_blob_federation(
+        num_clients=num_clients, per_client=12, test_size=12, seed=seed
+    )
+    fed = FederatedDataset(client_datasets=clients, test_set=test)
+    factory = lambda: MLP(16, 3, np.random.default_rng(0))
+    return FederatedSimulation(
+        factory, fed, FedAvgAggregator(),
+        TrainConfig(epochs=1, batch_size=6, learning_rate=0.05),
+        seed=seed, sampler=sampler,
+    )
+
+
+class TestSampledRounds:
+    def test_default_is_full_participation(self):
+        sim = make_sim(sampler=None)
+        sim.run_round(0)
+        assert [c.client_id for c in sim.last_participants] == [0, 1, 2, 3]
+
+    def test_uniform_sampler_limits_participants(self):
+        sim = make_sim(UniformSampler(num_selected=2))
+        sim.run_round(0)
+        assert len(sim.last_participants) == 2
+
+    def test_sampled_training_still_learns(self):
+        sim = make_sim(UniformSampler(num_selected=2))
+        history = sim.run(6)
+        assert history.final_accuracy > 0.5
+
+    def test_explicit_full_participation_matches_none(self):
+        sim_none = make_sim(sampler=None, seed=3)
+        sim_full = make_sim(sampler=FullParticipation(), seed=3)
+        record_none = sim_none.run_round(0)
+        record_full = sim_full.run_round(0)
+        assert record_none.global_accuracy == pytest.approx(
+            record_full.global_accuracy
+        )
+
+    def test_dropout_injector_composes(self):
+        sampler = DropoutInjector(FullParticipation(), dropout_rate=0.4,
+                                  min_survivors=1)
+        sim = make_sim(sampler, seed=7)
+        sizes = []
+        for round_index in range(8):
+            sim.run_round(round_index)
+            sizes.append(len(sim.last_participants))
+        assert min(sizes) >= 1
+        assert min(sizes) < 4  # some round actually lost someone
+
+
+class TestHistoryWithSampler:
+    def test_history_records_only_participants(self):
+        sim = make_sim(UniformSampler(num_selected=2), seed=1)
+        store = attach_history(sim, RoundHistoryStore())
+        sim.run(3)
+        for snapshot in store.snapshots:
+            assert len(snapshot.client_ids) == 2
+            # Each recorded state must belong to a real client.
+            assert set(snapshot.client_ids) <= {0, 1, 2, 3}

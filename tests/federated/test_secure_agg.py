@@ -1,0 +1,170 @@
+"""Pairwise-masking secure aggregation: cancellation and dropout recovery."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.federated import (
+    SecureAggregationRound,
+    pairwise_seed,
+    state_math,
+)
+
+
+def random_state(seed, shapes=(("w", (4, 3)), ("b", (3,)))):
+    rng = np.random.default_rng(seed)
+    return {name: rng.normal(size=shape) for name, shape in shapes}
+
+
+def plain_fedavg(states, sizes):
+    total = sum(sizes)
+    return state_math.weighted_sum(states, [s / total for s in sizes])
+
+
+class TestPairwiseSeed:
+    def test_symmetric_in_ids(self):
+        assert pairwise_seed(3, 7, round_index=0) == pairwise_seed(7, 3, round_index=0)
+
+    def test_distinct_across_rounds_and_pairs(self):
+        seeds = {
+            pairwise_seed(0, 1, 0),
+            pairwise_seed(0, 1, 1),
+            pairwise_seed(0, 2, 0),
+            pairwise_seed(1, 2, 0),
+            pairwise_seed(0, 1, 0, salt=9),
+        }
+        assert len(seeds) == 5
+
+    def test_self_pair_rejected(self):
+        with pytest.raises(ValueError):
+            pairwise_seed(4, 4, 0)
+
+
+class TestRoundSetup:
+    def test_validation(self):
+        with pytest.raises(ValueError, match="unique"):
+            SecureAggregationRound([0, 0, 1], 0)
+        with pytest.raises(ValueError, match="at least 2"):
+            SecureAggregationRound([0], 0)
+        with pytest.raises(ValueError, match="mask_scale"):
+            SecureAggregationRound([0, 1], 0, mask_scale=0.0)
+
+    def test_non_participant_rejected_everywhere(self):
+        secure_round = SecureAggregationRound([0, 1, 2], 0)
+        state = random_state(0)
+        with pytest.raises(KeyError):
+            secure_round.net_mask(5, state)
+        update = secure_round.masked_update(0, state, 10)
+        update.client_id = 5
+        with pytest.raises(KeyError):
+            secure_round.receive(update)
+
+    def test_double_submission_rejected(self):
+        secure_round = SecureAggregationRound([0, 1], 0)
+        update = secure_round.masked_update(0, random_state(0), 10)
+        secure_round.receive(update)
+        with pytest.raises(ValueError, match="already submitted"):
+            secure_round.receive(update)
+
+    def test_zero_samples_rejected(self):
+        secure_round = SecureAggregationRound([0, 1], 0)
+        with pytest.raises(ValueError, match="num_samples"):
+            secure_round.masked_update(0, random_state(0), 0)
+
+
+class TestMaskCancellation:
+    def test_aggregate_equals_plain_fedavg(self):
+        clients = [0, 1, 2, 3]
+        sizes = [10, 20, 30, 40]
+        states = [random_state(i) for i in clients]
+        secure_round = SecureAggregationRound(clients, round_index=5)
+        for cid, state, size in zip(clients, states, sizes):
+            secure_round.receive(secure_round.masked_update(cid, state, size))
+        recovered = secure_round.aggregate()
+        expected = plain_fedavg(states, sizes)
+        for key in expected:
+            np.testing.assert_allclose(recovered[key], expected[key], atol=1e-9)
+
+    def test_masked_upload_hides_the_true_state(self):
+        """A single masked upload must be far from the true (scaled) state."""
+        secure_round = SecureAggregationRound([0, 1], 0, mask_scale=10.0)
+        state = random_state(3)
+        update = secure_round.masked_update(0, state, 1)
+        distance = state_math.l2_distance(update.masked_state, state)
+        assert distance > 5.0  # masks at scale 10 dominate unit-scale weights
+
+    def test_missing_upload_blocks_plain_aggregate(self):
+        secure_round = SecureAggregationRound([0, 1, 2], 0)
+        secure_round.receive(secure_round.masked_update(0, random_state(0), 10))
+        assert secure_round.missing_ids == [1, 2]
+        with pytest.raises(RuntimeError, match="missing uploads"):
+            secure_round.aggregate()
+
+    @given(
+        num_clients=st.integers(2, 6),
+        round_index=st.integers(0, 50),
+        seed=st.integers(0, 1000),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_property_cancellation_exact_for_any_round(
+        self, num_clients, round_index, seed
+    ):
+        clients = list(range(num_clients))
+        rng = np.random.default_rng(seed)
+        sizes = [int(s) for s in rng.integers(1, 50, size=num_clients)]
+        states = [random_state(seed + i) for i in clients]
+        secure_round = SecureAggregationRound(clients, round_index)
+        for cid, state, size in zip(clients, states, sizes):
+            secure_round.receive(secure_round.masked_update(cid, state, size))
+        recovered = secure_round.aggregate()
+        expected = plain_fedavg(states, sizes)
+        for key in expected:
+            np.testing.assert_allclose(recovered[key], expected[key], atol=1e-8)
+
+
+class TestDropoutRecovery:
+    def test_recovery_equals_survivor_fedavg(self):
+        clients = [0, 1, 2, 3]
+        sizes = [5, 10, 15, 20]
+        states = [random_state(i + 100) for i in clients]
+        secure_round = SecureAggregationRound(clients, round_index=2)
+        # Client 2 drops before submitting.
+        for cid in (0, 1, 3):
+            secure_round.receive(
+                secure_round.masked_update(cid, states[cid], sizes[cid])
+            )
+        recovered = secure_round.aggregate_with_dropouts()
+        survivors = [0, 1, 3]
+        expected = plain_fedavg(
+            [states[c] for c in survivors], [sizes[c] for c in survivors]
+        )
+        for key in expected:
+            np.testing.assert_allclose(recovered[key], expected[key], atol=1e-9)
+
+    def test_multiple_dropouts_recovered(self):
+        clients = [0, 1, 2, 3, 4]
+        states = [random_state(i + 7) for i in clients]
+        secure_round = SecureAggregationRound(clients, round_index=9)
+        for cid in (1, 3, 4):
+            secure_round.receive(secure_round.masked_update(cid, states[cid], 10))
+        recovered = secure_round.aggregate_with_dropouts()
+        expected = plain_fedavg([states[c] for c in (1, 3, 4)], [10, 10, 10])
+        for key in expected:
+            np.testing.assert_allclose(recovered[key], expected[key], atol=1e-9)
+
+    def test_no_dropout_falls_back_to_plain(self):
+        secure_round = SecureAggregationRound([0, 1], 0)
+        states = [random_state(0), random_state(1)]
+        for cid in (0, 1):
+            secure_round.receive(secure_round.masked_update(cid, states[cid], 10))
+        np.testing.assert_allclose(
+            state_math.flatten(secure_round.aggregate_with_dropouts()),
+            state_math.flatten(secure_round.aggregate()),
+        )
+
+    def test_too_few_survivors_rejected(self):
+        secure_round = SecureAggregationRound([0, 1, 2], 0)
+        secure_round.receive(secure_round.masked_update(0, random_state(0), 10))
+        with pytest.raises(RuntimeError, match="at least 2 surviving"):
+            secure_round.aggregate_with_dropouts()

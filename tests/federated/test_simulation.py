@@ -1,0 +1,105 @@
+"""FederatedSimulation round mechanics."""
+
+import numpy as np
+import pytest
+
+from repro.data import FederatedDataset
+from repro.federated import FederatedSimulation, FedAvgAggregator, make_aggregator
+from repro.nn.models import MLP
+from repro.training import TrainConfig
+
+from ..conftest import make_blob_federation, make_blobs
+
+
+def build_sim(num_clients=3, seed=0, epochs=2):
+    clients, test = make_blob_federation(num_clients, per_client=30, test_size=60,
+                                         seed=seed)
+    fed = FederatedDataset(client_datasets=clients, test_set=test)
+    factory = lambda: MLP(16, 3, np.random.default_rng(42))
+    config = TrainConfig(epochs=epochs, batch_size=10, learning_rate=0.1)
+    return FederatedSimulation(factory, fed, FedAvgAggregator(), config, seed=seed)
+
+
+class TestRounds:
+    def test_accuracy_improves_over_rounds(self):
+        sim = build_sim()
+        history = sim.run(5)
+        assert history.final_accuracy > history.accuracies[0]
+        assert history.final_accuracy > 0.5
+
+    def test_round_records(self):
+        sim = build_sim()
+        history = sim.run(2)
+        assert len(history) == 2
+        assert history.rounds[0].round_index == 0
+        assert 0.0 <= history.rounds[0].global_accuracy <= 1.0
+
+    def test_client_metrics_recorded_on_request(self):
+        sim = build_sim(num_clients=3)
+        history = sim.run(1, record_client_metrics=True)
+        assert len(history.rounds[0].client_accuracies) == 3
+
+    def test_client_metrics_skipped_by_default(self):
+        sim = build_sim()
+        history = sim.run(1)
+        assert history.rounds[0].client_accuracies == []
+
+    def test_round_callback_invoked(self):
+        sim = build_sim()
+        seen = []
+        sim.run(3, round_callback=lambda record: seen.append(record.round_index))
+        assert seen == [0, 1, 2]
+
+    def test_invalid_round_count(self):
+        with pytest.raises(ValueError):
+            build_sim().run(0)
+
+    def test_global_model_detached_copy(self):
+        sim = build_sim()
+        sim.run(1)
+        snapshot = sim.global_model()
+        sim.run(1)
+        after = sim.global_model()
+        # at least one parameter should have moved
+        diffs = [
+            np.abs(pa.data - pb.data).max()
+            for (_, pa), (_, pb) in zip(
+                snapshot.named_parameters(), after.named_parameters()
+            )
+        ]
+        assert max(diffs) > 0
+
+
+class TestDeterminism:
+    def test_same_seed_same_result(self):
+        h1 = build_sim(seed=5).run(3)
+        h2 = build_sim(seed=5).run(3)
+        np.testing.assert_allclose(h1.accuracies, h2.accuracies)
+
+    def test_different_seed_differs(self):
+        h1 = build_sim(seed=5).run(3)
+        h2 = build_sim(seed=6).run(3)
+        assert h1.accuracies != h2.accuracies
+
+
+class TestMakeAggregator:
+    def test_fedavg(self):
+        assert isinstance(make_aggregator("fedavg"), FedAvgAggregator)
+
+    def test_adaptive_requires_args(self):
+        with pytest.raises(ValueError):
+            make_aggregator("adaptive")
+
+    def test_unknown(self):
+        with pytest.raises(ValueError):
+            make_aggregator("krum")
+
+    def test_empty_federation_rejected(self):
+        fed = FederatedDataset(client_datasets=[], test_set=make_blobs())
+        with pytest.raises(ValueError):
+            FederatedSimulation(
+                lambda: MLP(16, 3, np.random.default_rng(0)),
+                fed, FedAvgAggregator(),
+                TrainConfig(epochs=1),
+                seed=0,
+            )

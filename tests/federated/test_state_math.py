@@ -1,0 +1,133 @@
+"""State-dict arithmetic, including hypothesis property tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.federated import state_math
+
+
+def make_state(seed, keys=("w", "b")):
+    rng = np.random.default_rng(seed)
+    return {"w": rng.normal(size=(3, 2)), "b": rng.normal(size=(2,))}
+
+
+class TestCompatibility:
+    def test_key_mismatch(self):
+        with pytest.raises(KeyError):
+            state_math.check_compatible([{"a": np.ones(1)}, {"b": np.ones(1)}])
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            state_math.check_compatible([{"a": np.ones(1)}, {"a": np.ones(2)}])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            state_math.check_compatible([])
+
+
+class TestBasicOps:
+    def test_add_subtract_inverse(self):
+        a, b = make_state(0), make_state(1)
+        roundtrip = state_math.subtract(state_math.add(a, b), b)
+        for key in a:
+            np.testing.assert_allclose(roundtrip[key], a[key])
+
+    def test_scale(self):
+        a = make_state(0)
+        doubled = state_math.scale(a, 2.0)
+        for key in a:
+            np.testing.assert_allclose(doubled[key], 2 * a[key])
+
+    def test_zeros_like(self):
+        z = state_math.zeros_like(make_state(0))
+        assert all((v == 0).all() for v in z.values())
+
+    def test_mean(self):
+        a, b = make_state(0), make_state(1)
+        mean = state_math.mean([a, b])
+        for key in a:
+            np.testing.assert_allclose(mean[key], (a[key] + b[key]) / 2)
+
+
+class TestWeightedSum:
+    def test_matches_manual(self):
+        states = [make_state(i) for i in range(3)]
+        weights = [0.2, 0.3, 0.5]
+        combined = state_math.weighted_sum(states, weights)
+        for key in states[0]:
+            expected = sum(w * s[key] for w, s in zip(weights, states))
+            np.testing.assert_allclose(combined[key], expected)
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            state_math.weighted_sum([make_state(0)], [0.5, 0.5])
+
+    def test_identity_weight(self):
+        a = make_state(0)
+        out = state_math.weighted_sum([a], [1.0])
+        for key in a:
+            np.testing.assert_allclose(out[key], a[key])
+
+
+class TestDistances:
+    def test_l2_zero_for_identical(self):
+        a = make_state(0)
+        assert state_math.l2_distance(a, {k: v.copy() for k, v in a.items()}) == 0.0
+
+    def test_l2_matches_flat_norm(self):
+        a, b = make_state(0), make_state(1)
+        expected = np.linalg.norm(state_math.flatten(a) - state_math.flatten(b))
+        np.testing.assert_allclose(state_math.l2_distance(a, b), expected)
+
+    def test_flatten_sorted_by_key(self):
+        state = {"z": np.array([3.0]), "a": np.array([1.0, 2.0])}
+        np.testing.assert_allclose(state_math.flatten(state), [1.0, 2.0, 3.0])
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    seed_a=st.integers(0, 100),
+    seed_b=st.integers(0, 100),
+    alpha=st.floats(-3, 3, allow_nan=False),
+)
+def test_property_weighted_sum_linear(seed_a, seed_b, alpha):
+    """weighted_sum([a, b], [α, 1-α]) == α·a + (1-α)·b elementwise."""
+    a, b = make_state(seed_a), make_state(seed_b)
+    combined = state_math.weighted_sum([a, b], [alpha, 1 - alpha])
+    for key in a:
+        np.testing.assert_allclose(
+            combined[key], alpha * a[key] + (1 - alpha) * b[key], atol=1e-10
+        )
+
+
+@settings(max_examples=40, deadline=None)
+@given(seed=st.integers(0, 100), factor=st.floats(0.1, 10))
+def test_property_l2_scales_linearly(seed, factor):
+    """‖(a+δ) − a‖ scales linearly with the perturbation magnitude."""
+    a = make_state(seed)
+    delta = make_state(seed + 1)
+    perturbed = state_math.add(a, state_math.scale(delta, factor))
+    base = state_math.l2_distance(state_math.add(a, delta), a)
+    scaled = state_math.l2_distance(perturbed, a)
+    np.testing.assert_allclose(scaled, factor * base, rtol=1e-9)
+
+
+class TestCheckFinite:
+    def test_finite_state_passes(self):
+        state_math.check_finite({"w": np.ones((2, 2))})
+
+    def test_nan_rejected_with_context(self):
+        bad = {"w": np.array([1.0, np.nan, np.inf])}
+        with pytest.raises(ValueError, match="client 3 upload.*2 non-finite"):
+            state_math.check_finite(bad, context="client 3 upload")
+
+    def test_aggregator_rejects_diverged_upload(self):
+        from repro.federated import ClientUpdate, FedAvgAggregator
+
+        good = ClientUpdate(state={"w": np.ones(3)}, num_samples=5, client_id=0)
+        bad = ClientUpdate(
+            state={"w": np.array([1.0, np.inf, 0.0])}, num_samples=5, client_id=1
+        )
+        with pytest.raises(ValueError, match="non-finite"):
+            FedAvgAggregator().aggregate([good, bad])

@@ -1,0 +1,242 @@
+"""Convolution / pooling / softmax functional primitives."""
+
+import numpy as np
+import pytest
+
+from repro.nn import Tensor
+from repro.nn import functional as F
+
+from ..conftest import numeric_grad
+
+
+def reference_conv2d(x, w, b, stride, padding):
+    """Naive loop convolution for value cross-checks."""
+    n, c_in, h, w_in = x.shape
+    c_out, _, kh, kw = w.shape
+    xp = np.pad(x, ((0, 0), (0, 0), (padding, padding), (padding, padding)))
+    h_out = (h + 2 * padding - kh) // stride + 1
+    w_out = (w_in + 2 * padding - kw) // stride + 1
+    out = np.zeros((n, c_out, h_out, w_out))
+    for ni in range(n):
+        for co in range(c_out):
+            for i in range(h_out):
+                for j in range(w_out):
+                    patch = xp[ni, :, i * stride : i * stride + kh, j * stride : j * stride + kw]
+                    out[ni, co, i, j] = (patch * w[co]).sum() + (b[co] if b is not None else 0.0)
+    return out
+
+
+class TestConv2dForward:
+    @pytest.mark.parametrize("stride,padding", [(1, 0), (1, 1), (2, 0), (2, 1), (3, 2)])
+    def test_matches_reference(self, rng, stride, padding):
+        x = rng.normal(size=(2, 3, 7, 7))
+        w = rng.normal(size=(4, 3, 3, 3))
+        b = rng.normal(size=(4,))
+        out = F.conv2d(Tensor(x), Tensor(w), Tensor(b), stride=stride, padding=padding)
+        expected = reference_conv2d(x, w, b, stride, padding)
+        np.testing.assert_allclose(out.data, expected, atol=1e-10)
+
+    def test_no_bias(self, rng):
+        x = rng.normal(size=(1, 2, 5, 5))
+        w = rng.normal(size=(3, 2, 3, 3))
+        out = F.conv2d(Tensor(x), Tensor(w))
+        expected = reference_conv2d(x, w, None, 1, 0)
+        np.testing.assert_allclose(out.data, expected, atol=1e-10)
+
+    def test_output_shape(self, rng):
+        out = F.conv2d(
+            Tensor(rng.normal(size=(2, 1, 28, 28))),
+            Tensor(rng.normal(size=(6, 1, 5, 5))),
+        )
+        assert out.shape == (2, 6, 24, 24)
+
+    def test_channel_mismatch_raises(self, rng):
+        with pytest.raises(ValueError):
+            F.conv2d(Tensor(rng.normal(size=(1, 2, 5, 5))),
+                     Tensor(rng.normal(size=(3, 4, 3, 3))))
+
+    def test_bad_dims_raise(self, rng):
+        with pytest.raises(ValueError):
+            F.conv2d(Tensor(rng.normal(size=(2, 5, 5))),
+                     Tensor(rng.normal(size=(3, 2, 3, 3))))
+
+    def test_kernel_too_large_raises(self, rng):
+        with pytest.raises(ValueError):
+            F.conv2d(Tensor(rng.normal(size=(1, 1, 2, 2))),
+                     Tensor(rng.normal(size=(1, 1, 5, 5))))
+
+
+class TestConv2dBackward:
+    @pytest.mark.parametrize("stride,padding", [(1, 0), (2, 1)])
+    def test_input_grad(self, rng, stride, padding):
+        x_val = rng.normal(size=(2, 2, 6, 6))
+        w_val = rng.normal(size=(3, 2, 3, 3))
+        b_val = rng.normal(size=(3,))
+        x = Tensor(x_val.copy(), requires_grad=True)
+        out = F.conv2d(x, Tensor(w_val), Tensor(b_val), stride=stride, padding=padding)
+        (out * out).sum().backward()
+
+        def f(v):
+            o = reference_conv2d(v, w_val, b_val, stride, padding)
+            return (o * o).sum()
+
+        expected = numeric_grad(f, x_val.copy(), eps=1e-6)
+        np.testing.assert_allclose(x.grad, expected, atol=1e-4)
+
+    def test_weight_grad(self, rng):
+        x_val = rng.normal(size=(2, 2, 5, 5))
+        w_val = rng.normal(size=(3, 2, 3, 3))
+        w = Tensor(w_val.copy(), requires_grad=True)
+        out = F.conv2d(Tensor(x_val), w, None, stride=1, padding=1)
+        (out * out).sum().backward()
+
+        def f(v):
+            o = reference_conv2d(x_val, v, None, 1, 1)
+            return (o * o).sum()
+
+        expected = numeric_grad(f, w_val.copy(), eps=1e-6)
+        np.testing.assert_allclose(w.grad, expected, atol=1e-4)
+
+    def test_bias_grad(self, rng):
+        x_val = rng.normal(size=(2, 2, 4, 4))
+        w_val = rng.normal(size=(3, 2, 3, 3))
+        b = Tensor(np.zeros(3), requires_grad=True)
+        out = F.conv2d(Tensor(x_val), Tensor(w_val), b)
+        out.sum().backward()
+        # d(sum)/db_c = number of output positions per channel
+        np.testing.assert_allclose(b.grad, np.full(3, 2 * 2 * 2))
+
+
+class TestPooling:
+    def test_max_pool_values(self):
+        x = np.arange(16, dtype=float).reshape(1, 1, 4, 4)
+        out = F.max_pool2d(Tensor(x), 2)
+        np.testing.assert_allclose(out.data, [[[[5, 7], [13, 15]]]])
+
+    def test_max_pool_grad_goes_to_max_only(self):
+        x = Tensor(np.arange(16, dtype=float).reshape(1, 1, 4, 4), requires_grad=True)
+        F.max_pool2d(x, 2).sum().backward()
+        expected = np.zeros((1, 1, 4, 4))
+        expected[0, 0, 1, 1] = expected[0, 0, 1, 3] = 1
+        expected[0, 0, 3, 1] = expected[0, 0, 3, 3] = 1
+        np.testing.assert_allclose(x.grad, expected)
+
+    def test_max_pool_indivisible_raises(self, rng):
+        with pytest.raises(ValueError):
+            F.max_pool2d(Tensor(rng.normal(size=(1, 1, 5, 5))), 2)
+
+    def test_max_pool_gradcheck(self, rng):
+        x_val = rng.normal(size=(2, 2, 4, 4))
+        x = Tensor(x_val.copy(), requires_grad=True)
+        (F.max_pool2d(x, 2) ** 2).sum().backward()
+
+        def f(v):
+            windows = v.reshape(2, 2, 2, 2, 2, 2).transpose(0, 1, 2, 4, 3, 5)
+            pooled = windows.reshape(2, 2, 2, 2, 4).max(axis=-1)
+            return (pooled ** 2).sum()
+
+        expected = numeric_grad(f, x_val.copy())
+        np.testing.assert_allclose(x.grad, expected, atol=1e-5)
+
+    def test_avg_pool_values(self):
+        x = np.arange(16, dtype=float).reshape(1, 1, 4, 4)
+        out = F.avg_pool2d(Tensor(x), 2)
+        np.testing.assert_allclose(out.data, [[[[2.5, 4.5], [10.5, 12.5]]]])
+
+    def test_avg_pool_indivisible_raises(self, rng):
+        with pytest.raises(ValueError):
+            F.avg_pool2d(Tensor(rng.normal(size=(1, 1, 6, 5))), 2)
+
+    def test_global_avg_pool(self, rng):
+        x = rng.normal(size=(2, 3, 4, 4))
+        out = F.global_avg_pool2d(Tensor(x))
+        np.testing.assert_allclose(out.data, x.mean(axis=(2, 3)))
+
+
+class TestSoftmax:
+    def test_log_softmax_matches_scipy_style(self, rng):
+        x = rng.normal(size=(4, 5)) * 10
+        out = F.log_softmax(Tensor(x), axis=1).data
+        shifted = x - x.max(axis=1, keepdims=True)
+        expected = shifted - np.log(np.exp(shifted).sum(axis=1, keepdims=True))
+        np.testing.assert_allclose(out, expected, atol=1e-12)
+
+    def test_log_softmax_stable_for_huge_logits(self):
+        x = Tensor(np.array([[1000.0, 0.0], [0.0, -1000.0]]))
+        out = F.log_softmax(x, axis=1).data
+        assert np.isfinite(out).all()
+
+    def test_softmax_sums_to_one(self, rng):
+        probs = F.softmax(Tensor(rng.normal(size=(3, 7))), axis=1).data
+        np.testing.assert_allclose(probs.sum(axis=1), np.ones(3))
+        assert (probs >= 0).all()
+
+    def test_temperature_smooths(self, rng):
+        x = Tensor(rng.normal(size=(1, 10)) * 5)
+        sharp = F.softmax(x, axis=1, temperature=1.0).data
+        smooth = F.softmax(x, axis=1, temperature=10.0).data
+        assert smooth.max() < sharp.max()
+        assert smooth.var() < sharp.var()
+
+    def test_invalid_temperature_raises(self):
+        with pytest.raises(ValueError):
+            F.softmax(Tensor(np.ones((1, 2))), temperature=0.0)
+
+    def test_log_softmax_gradcheck(self, rng):
+        x_val = rng.normal(size=(2, 4))
+        x = Tensor(x_val.copy(), requires_grad=True)
+        (F.log_softmax(x, axis=1) ** 2).sum().backward()
+
+        def f(v):
+            shifted = v - v.max(axis=1, keepdims=True)
+            ls = shifted - np.log(np.exp(shifted).sum(axis=1, keepdims=True))
+            return (ls ** 2).sum()
+
+        expected = numeric_grad(f, x_val.copy())
+        np.testing.assert_allclose(x.grad, expected, atol=1e-5)
+
+
+class TestOneHotDropoutLinear:
+    def test_one_hot(self):
+        out = F.one_hot(np.array([0, 2, 1]), 3)
+        np.testing.assert_allclose(out, np.eye(3)[[0, 2, 1]])
+
+    def test_one_hot_out_of_range(self):
+        with pytest.raises(ValueError):
+            F.one_hot(np.array([3]), 3)
+
+    def test_one_hot_requires_1d(self):
+        with pytest.raises(ValueError):
+            F.one_hot(np.zeros((2, 2), dtype=int), 3)
+
+    def test_dropout_eval_is_identity(self, rng):
+        x = Tensor(rng.normal(size=(5, 5)))
+        out = F.dropout(x, 0.5, rng, training=False)
+        assert out is x
+
+    def test_dropout_zero_p_is_identity(self, rng):
+        x = Tensor(rng.normal(size=(5, 5)))
+        assert F.dropout(x, 0.0, rng, training=True) is x
+
+    def test_dropout_scales_survivors(self):
+        rng = np.random.default_rng(0)
+        x = Tensor(np.ones((100, 100)))
+        out = F.dropout(x, 0.5, rng, training=True).data
+        kept = out[out > 0]
+        np.testing.assert_allclose(kept, 2.0)
+        assert abs((out > 0).mean() - 0.5) < 0.05
+
+    def test_dropout_invalid_p(self, rng):
+        with pytest.raises(ValueError):
+            F.dropout(Tensor(np.ones(2)), 1.0, rng)
+
+    def test_linear(self, rng):
+        x = rng.normal(size=(3, 4))
+        w = rng.normal(size=(2, 4))
+        b = rng.normal(size=(2,))
+        out = F.linear(Tensor(x), Tensor(w), Tensor(b))
+        np.testing.assert_allclose(out.data, x @ w.T + b)
+
+    def test_flatten_images(self, rng):
+        x = rng.normal(size=(5, 3, 4, 4))
+        assert F.flatten_images(x).shape == (5, 48)

@@ -1,0 +1,59 @@
+"""GroupNorm layer."""
+
+import numpy as np
+import pytest
+
+from repro.nn import GroupNorm, Tensor
+
+
+class TestGroupNorm:
+    def test_normalises_within_groups(self, rng):
+        gn = GroupNorm(2, 4)
+        x = rng.normal(loc=7.0, scale=3.0, size=(8, 4, 5, 5))
+        out = gn(Tensor(x)).data
+        # Each (sample, group) block should be ~standardised.
+        grouped = out.reshape(8, 2, 2, 5, 5)
+        np.testing.assert_allclose(grouped.mean(axis=(2, 3, 4)), 0.0, atol=1e-7)
+        np.testing.assert_allclose(grouped.std(axis=(2, 3, 4)), 1.0, atol=1e-2)
+
+    def test_batch_independence(self, rng):
+        """Unlike batch norm, a sample's output must not depend on the rest
+        of the batch — the property that makes GroupNorm FL-safe."""
+        gn = GroupNorm(2, 4)
+        x = rng.normal(size=(4, 4, 3, 3))
+        alone = gn(Tensor(x[:1])).data
+        together = gn(Tensor(x)).data[:1]
+        np.testing.assert_allclose(alone, together, atol=1e-12)
+
+    def test_train_eval_identical(self, rng):
+        gn = GroupNorm(1, 2)
+        x = rng.normal(size=(2, 2, 4, 4))
+        train_out = gn(Tensor(x)).data
+        gn.eval()
+        eval_out = gn(Tensor(x)).data
+        np.testing.assert_allclose(train_out, eval_out)
+
+    def test_affine_params_trainable(self, rng):
+        gn = GroupNorm(2, 4)
+        x = Tensor(rng.normal(size=(2, 4, 3, 3)), requires_grad=True)
+        gn(x).sum().backward()
+        assert gn.gamma.grad is not None
+        assert gn.beta.grad is not None
+        assert x.grad is not None
+
+    def test_validation(self, rng):
+        with pytest.raises(ValueError):
+            GroupNorm(3, 4)  # 4 not divisible by 3
+        with pytest.raises(ValueError):
+            GroupNorm(0, 4)
+        gn = GroupNorm(2, 4)
+        with pytest.raises(ValueError):
+            gn(Tensor(rng.normal(size=(2, 6, 3, 3))))  # wrong channel count
+        with pytest.raises(ValueError):
+            gn(Tensor(rng.normal(size=(2, 4))))  # not 4-D
+
+    def test_single_group_is_layernorm_like(self, rng):
+        gn = GroupNorm(1, 3)
+        x = rng.normal(loc=-2.0, size=(4, 3, 4, 4))
+        out = gn(Tensor(x)).data
+        np.testing.assert_allclose(out.reshape(4, -1).mean(axis=1), 0.0, atol=1e-7)

@@ -1,0 +1,96 @@
+"""LayerNorm: statistics, gradients, and FedAvg-friendliness."""
+
+import numpy as np
+import pytest
+
+from repro.nn import LayerNorm, Tensor
+
+from ..conftest import numeric_grad
+
+
+class TestForward:
+    def test_normalises_each_sample(self, rng):
+        layer = LayerNorm(8)
+        x = Tensor(rng.normal(2.0, 5.0, size=(4, 8)))
+        out = layer(x).data
+        np.testing.assert_allclose(out.mean(axis=1), 0.0, atol=1e-7)
+        np.testing.assert_allclose(out.std(axis=1), 1.0, atol=1e-3)
+
+    def test_affine_parameters_applied(self, rng):
+        layer = LayerNorm(4)
+        layer.gamma.data[:] = 2.0
+        layer.beta.data[:] = 1.0
+        x = Tensor(rng.normal(size=(3, 4)))
+        out = layer(x).data
+        np.testing.assert_allclose(out.mean(axis=1), 1.0, atol=1e-7)
+
+    def test_independent_of_batch_composition(self, rng):
+        """The FedAvg-friendliness property: a sample's output does not
+        depend on which other samples share its batch."""
+        layer = LayerNorm(6)
+        a = rng.normal(size=(1, 6))
+        batch1 = np.concatenate([a, rng.normal(size=(3, 6))])
+        batch2 = np.concatenate([a, rng.normal(10.0, 3.0, size=(7, 6))])
+        out1 = layer(Tensor(batch1)).data[0]
+        out2 = layer(Tensor(batch2)).data[0]
+        np.testing.assert_allclose(out1, out2, atol=1e-12)
+
+    def test_validation(self, rng):
+        with pytest.raises(ValueError):
+            LayerNorm(0)
+        layer = LayerNorm(4)
+        with pytest.raises(ValueError, match="2-D"):
+            layer(Tensor(rng.normal(size=(2, 4, 1, 1))))
+        with pytest.raises(ValueError, match="features"):
+            layer(Tensor(rng.normal(size=(2, 5))))
+
+    def test_repr(self):
+        assert repr(LayerNorm(16)) == "LayerNorm(16)"
+
+
+class TestGradients:
+    def test_input_gradient_matches_numeric(self, rng):
+        layer = LayerNorm(5)
+        layer.gamma.data[:] = rng.normal(1.0, 0.1, size=5)
+        layer.beta.data[:] = rng.normal(0.0, 0.1, size=5)
+        x_data = rng.normal(size=(3, 5))
+
+        def fn(x):
+            return layer(Tensor(x.copy())).sum().item()
+
+        x = Tensor(x_data.copy(), requires_grad=True)
+        layer(x).sum().backward()
+        np.testing.assert_allclose(
+            x.grad, numeric_grad(fn, x_data), atol=1e-5
+        )
+
+    def test_parameter_gradients_flow(self, rng):
+        layer = LayerNorm(5)
+        x = Tensor(rng.normal(size=(3, 5)))
+        (layer(x) ** 2).sum().backward()
+        assert layer.gamma.grad is not None
+        assert layer.beta.grad is not None
+        assert np.abs(layer.gamma.grad).sum() > 0
+
+    def test_trains_inside_an_mlp(self, rng):
+        """A LayerNorm-equipped classifier fits a small blob problem."""
+        from repro.nn import Linear, ReLU, SGD, Sequential, losses
+        from ..conftest import make_blobs
+
+        dataset = make_blobs(num_samples=45, num_classes=3, shape=(1, 4, 4))
+        model = Sequential(
+            Linear(16, 24, rng=np.random.default_rng(0)),
+            LayerNorm(24),
+            ReLU(),
+            Linear(24, 3, rng=np.random.default_rng(1)),
+        )
+        optimizer = SGD(model.parameters(), lr=0.3, momentum=0.9)
+        images = dataset.images.reshape(len(dataset), -1)
+        for _ in range(60):
+            optimizer.zero_grad()
+            logits = model(Tensor(images))
+            loss = losses.cross_entropy(logits, dataset.labels)
+            loss.backward()
+            optimizer.step()
+        predictions = model(Tensor(images)).data.argmax(axis=1)
+        assert (predictions == dataset.labels).mean() > 0.9

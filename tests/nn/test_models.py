@@ -1,0 +1,122 @@
+"""Model zoo: shapes, registry, architecture contracts."""
+
+import numpy as np
+import pytest
+
+from repro.nn import Tensor, losses
+from repro.nn.models import (
+    MODEL_BUILDERS,
+    LeNet5,
+    ModifiedLeNet5,
+    MLP,
+    build_model,
+    resnet,
+    resnet8,
+)
+
+
+class TestLeNet5:
+    def test_mnist_shape(self, rng):
+        model = LeNet5(10, rng)
+        out = model(Tensor(rng.normal(size=(3, 1, 28, 28))))
+        assert out.shape == (3, 10)
+
+    def test_two_fc_layers(self, rng):
+        model = LeNet5(10, rng)
+        linears = [m for m in model.modules() if type(m).__name__ == "Linear"]
+        assert len(linears) == 2
+
+    def test_too_small_image_raises(self, rng):
+        with pytest.raises(ValueError):
+            LeNet5(10, rng, image_size=8)
+
+    def test_trains_end_to_end(self, rng):
+        model = LeNet5(3, rng)
+        x = Tensor(rng.normal(size=(4, 1, 28, 28)))
+        losses.cross_entropy(model(x), np.array([0, 1, 2, 0])).backward()
+        assert all(p.grad is not None for p in model.parameters())
+
+
+class TestModifiedLeNet5:
+    def test_cifar_shape(self, rng):
+        model = ModifiedLeNet5(10, rng)
+        out = model(Tensor(rng.normal(size=(2, 3, 32, 32))))
+        assert out.shape == (2, 10)
+
+    def test_three_fc_layers(self, rng):
+        model = ModifiedLeNet5(10, rng)
+        linears = [m for m in model.modules() if type(m).__name__ == "Linear"]
+        assert len(linears) == 3
+
+
+class TestResNet:
+    def test_depth_validation(self, rng):
+        with pytest.raises(ValueError):
+            resnet(10, 10, rng)  # 10 is not 6n+2
+
+    @pytest.mark.parametrize("depth,blocks", [(8, 1), (20, 3), (32, 5)])
+    def test_block_counts(self, rng, depth, blocks):
+        model = resnet(depth, 10, rng, base_width=4)
+        assert len(model.stage1) == blocks
+        assert len(model.stage2) == blocks
+        assert len(model.stage3) == blocks
+
+    def test_output_shape(self, rng):
+        model = resnet8(10, rng, base_width=4)
+        out = model(Tensor(rng.normal(size=(2, 3, 32, 32))))
+        assert out.shape == (2, 10)
+
+    def test_any_input_size(self, rng):
+        model = resnet8(5, rng, base_width=4, in_channels=1)
+        out = model(Tensor(rng.normal(size=(2, 1, 28, 28))))
+        assert out.shape == (2, 5)
+
+    def test_projection_shortcut_present_on_downsample(self, rng):
+        model = resnet8(10, rng, base_width=4)
+        assert not model.stage1[0].has_projection
+        assert model.stage2[0].has_projection
+        assert model.stage3[0].has_projection
+
+    def test_gradients_reach_stem(self, rng):
+        model = resnet8(10, rng, base_width=4)
+        out = model(Tensor(rng.normal(size=(2, 3, 16, 16))))
+        losses.cross_entropy(out, np.array([0, 1])).backward()
+        assert model.stem_conv.weight.grad is not None
+
+
+class TestMLP:
+    def test_flattens_images(self, rng):
+        model = MLP(48, 4, rng)
+        out = model(Tensor(rng.normal(size=(2, 3, 4, 4))))
+        assert out.shape == (2, 4)
+
+    def test_hidden_config(self, rng):
+        model = MLP(10, 2, rng, hidden=(16, 8))
+        linears = [m for m in model.modules() if type(m).__name__ == "Linear"]
+        assert [l.out_features for l in linears] == [16, 8, 2]
+
+
+class TestRegistry:
+    def test_contains_paper_models(self):
+        for name in ("lenet5", "modified_lenet5", "resnet32", "resnet56"):
+            assert name in MODEL_BUILDERS
+
+    @pytest.mark.parametrize("name", ["lenet5", "mlp", "resnet8_slim"])
+    def test_build_and_forward(self, rng, name):
+        model = build_model(name, 10, rng, in_channels=1, image_size=28)
+        out = model(Tensor(rng.normal(size=(2, 1, 28, 28))))
+        assert out.shape == (2, 10)
+
+    def test_modified_lenet_needs_32(self, rng):
+        model = build_model("modified_lenet5", 10, rng, in_channels=3, image_size=32)
+        assert model(Tensor(rng.normal(size=(1, 3, 32, 32)))).shape == (1, 10)
+
+    def test_unknown_model_raises(self, rng):
+        with pytest.raises(ValueError):
+            build_model("alexnet", 10, rng)
+
+    def test_identical_seeds_give_identical_models(self):
+        a = build_model("lenet5", 10, np.random.default_rng(5))
+        b = build_model("lenet5", 10, np.random.default_rng(5))
+        for (_, pa), (_, pb) in zip(a.named_parameters(), b.named_parameters()):
+            np.testing.assert_allclose(pa.data, pb.data)

@@ -1,0 +1,124 @@
+"""AdamW, RMSprop and cosine-annealing schedule."""
+
+import numpy as np
+import pytest
+
+from repro.nn import AdamW, Adam, CosineAnnealingLR, RMSprop, SGD, Parameter
+
+
+def param(value, grad=None):
+    p = Parameter(np.asarray(value, dtype=np.float64))
+    if grad is not None:
+        p.grad = np.asarray(grad, dtype=np.float64)
+    return p
+
+
+def quadratic_descend(optimizer_factory, steps=200):
+    """Minimise ||x - 3||^2 and return the final x."""
+    p = param([0.0, 0.0])
+    optimizer = optimizer_factory([p])
+    for _ in range(steps):
+        p.grad = 2.0 * (p.data - 3.0)
+        optimizer.step()
+    return p.data
+
+
+class TestAdamW:
+    def test_converges_on_quadratic(self):
+        final = quadratic_descend(lambda ps: AdamW(ps, lr=0.1))
+        np.testing.assert_allclose(final, 3.0, atol=0.05)
+
+    def test_decay_is_decoupled_from_adaptive_scaling(self):
+        """With zero gradient, AdamW still shrinks weights (pure decay);
+        Adam's coupled L2 feeds the decay through the moment estimates."""
+        p_adamw = param([10.0], grad=[0.0])
+        adamw = AdamW([p_adamw], lr=0.1, weight_decay=0.5)
+        adamw.step()
+        # Decoupled: exactly w -= lr * wd * w, then a (near-)zero Adam step.
+        assert p_adamw.data[0] == pytest.approx(10.0 * (1 - 0.1 * 0.5), rel=1e-6)
+
+    def test_weight_decay_restored_after_step(self):
+        p = param([1.0], grad=[0.1])
+        optimizer = AdamW([p], lr=0.01, weight_decay=0.3)
+        optimizer.step()
+        assert optimizer.weight_decay == 0.3
+
+    def test_skips_parameters_without_grad(self):
+        p = param([5.0])  # no grad
+        optimizer = AdamW([p], lr=0.1, weight_decay=0.5)
+        optimizer.step()
+        assert p.data[0] == 5.0
+
+
+class TestRMSprop:
+    def test_converges_on_quadratic(self):
+        final = quadratic_descend(lambda ps: RMSprop(ps, lr=0.05))
+        np.testing.assert_allclose(final, 3.0, atol=0.05)
+
+    def test_adapts_to_gradient_scale(self):
+        """Per-coordinate normalisation: wildly different gradient scales
+        produce comparable first-step sizes."""
+        p = param([0.0, 0.0], grad=[100.0, 0.01])
+        optimizer = RMSprop([p], lr=0.1, alpha=0.9)
+        optimizer.step()
+        steps = np.abs(p.data)
+        assert steps[0] == pytest.approx(steps[1], rel=0.01)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RMSprop([param([1.0])], lr=0.1, alpha=1.0)
+        with pytest.raises(ValueError):
+            RMSprop([param([1.0])], lr=0.1, weight_decay=-1.0)
+
+
+class TestCosineAnnealing:
+    def test_schedule_shape(self):
+        p = param([0.0])
+        optimizer = SGD([p], lr=1.0)
+        scheduler = CosineAnnealingLR(optimizer, t_max=10, eta_min=0.1)
+        rates = []
+        for _ in range(10):
+            scheduler.step()
+            rates.append(optimizer.lr)
+        # Monotone decreasing from below 1.0 down to eta_min.
+        assert all(a > b for a, b in zip(rates, rates[1:]))
+        assert rates[0] < 1.0
+        assert rates[-1] == pytest.approx(0.1, abs=1e-12)
+
+    def test_halfway_point(self):
+        optimizer = SGD([param([0.0])], lr=2.0)
+        scheduler = CosineAnnealingLR(optimizer, t_max=10)
+        for _ in range(5):
+            scheduler.step()
+        assert optimizer.lr == pytest.approx(1.0)
+
+    def test_clamps_beyond_t_max(self):
+        optimizer = SGD([param([0.0])], lr=1.0)
+        scheduler = CosineAnnealingLR(optimizer, t_max=4, eta_min=0.2)
+        for _ in range(10):
+            scheduler.step()
+        assert optimizer.lr == pytest.approx(0.2, abs=1e-12)
+
+    def test_validation(self):
+        optimizer = SGD([param([0.0])], lr=1.0)
+        with pytest.raises(ValueError):
+            CosineAnnealingLR(optimizer, t_max=0)
+        with pytest.raises(ValueError):
+            CosineAnnealingLR(optimizer, t_max=5, eta_min=-0.1)
+
+
+class TestCrossOptimizerBehaviour:
+    @pytest.mark.parametrize("factory", [
+        lambda ps: SGD(ps, lr=0.1, momentum=0.9),
+        lambda ps: Adam(ps, lr=0.1),
+        lambda ps: AdamW(ps, lr=0.1, weight_decay=0.01),
+        lambda ps: RMSprop(ps, lr=0.05),
+    ])
+    def test_all_optimizers_reduce_quadratic_loss(self, factory):
+        p = param([8.0])
+        optimizer = factory([p])
+        initial_loss = (p.data[0] - 3.0) ** 2
+        for _ in range(50):
+            p.grad = 2.0 * (p.data - 3.0)
+            optimizer.step()
+        assert (p.data[0] - 3.0) ** 2 < initial_loss * 0.1

@@ -1,0 +1,119 @@
+"""Hypothesis property tests over the autograd engine."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.nn import Tensor
+from repro.nn import functional as F
+from repro.nn.tensor import _unbroadcast
+
+finite_arrays = hnp.arrays(
+    dtype=np.float64,
+    shape=hnp.array_shapes(min_dims=1, max_dims=3, min_side=1, max_side=4),
+    elements=st.floats(-10, 10, allow_nan=False),
+)
+
+
+@settings(max_examples=50, deadline=None)
+@given(finite_arrays)
+def test_sum_gradient_is_ones(data):
+    x = Tensor(data.copy(), requires_grad=True)
+    x.sum().backward()
+    np.testing.assert_allclose(x.grad, np.ones_like(data))
+
+
+@settings(max_examples=50, deadline=None)
+@given(finite_arrays)
+def test_mean_gradient_is_uniform(data):
+    x = Tensor(data.copy(), requires_grad=True)
+    x.mean().backward()
+    np.testing.assert_allclose(x.grad, np.full_like(data, 1.0 / data.size))
+
+
+@settings(max_examples=50, deadline=None)
+@given(finite_arrays)
+def test_add_commutes_with_grad_accumulation(data):
+    x = Tensor(data.copy(), requires_grad=True)
+    (x + x).sum().backward()
+    np.testing.assert_allclose(x.grad, np.full_like(data, 2.0))
+
+
+@settings(max_examples=50, deadline=None)
+@given(finite_arrays)
+def test_relu_grad_is_indicator(data):
+    x = Tensor(data.copy(), requires_grad=True)
+    x.relu().sum().backward()
+    np.testing.assert_allclose(x.grad, (data > 0).astype(float))
+
+
+@settings(max_examples=50, deadline=None)
+@given(finite_arrays)
+def test_detach_never_requires_grad(data):
+    x = Tensor(data, requires_grad=True)
+    assert not x.detach().requires_grad
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    hnp.arrays(
+        dtype=np.float64,
+        shape=st.tuples(st.integers(1, 5), st.integers(2, 6)),
+        elements=st.floats(-30, 30, allow_nan=False),
+    )
+)
+def test_softmax_is_distribution(logits):
+    probs = F.softmax(Tensor(logits), axis=1).data
+    np.testing.assert_allclose(probs.sum(axis=1), np.ones(len(logits)), atol=1e-9)
+    assert (probs >= 0).all()
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    hnp.arrays(
+        dtype=np.float64,
+        shape=st.tuples(st.integers(1, 4), st.integers(2, 5)),
+        elements=st.floats(-20, 20, allow_nan=False),
+    ),
+    st.floats(1.0, 10.0),
+)
+def test_higher_temperature_never_sharpens(logits, temperature):
+    base = F.softmax(Tensor(logits), axis=1).data
+    smooth = F.softmax(Tensor(logits), axis=1, temperature=temperature).data
+    assert smooth.max() <= base.max() + 1e-9
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    hnp.arrays(
+        dtype=np.float64,
+        shape=hnp.array_shapes(min_dims=1, max_dims=3, min_side=1, max_side=4),
+        elements=st.floats(-5, 5, allow_nan=False),
+    ),
+    st.data(),
+)
+def test_unbroadcast_inverts_broadcasting(original, data):
+    """For any broadcastable target shape, unbroadcast(sum-grad) conserves mass."""
+    # Build a shape that original broadcasts to: prepend dims and/or expand 1s.
+    extra = data.draw(st.integers(0, 2))
+    lead = tuple(data.draw(st.integers(1, 3)) for _ in range(extra))
+    target_shape = lead + original.shape
+    grad = np.ones(target_shape)
+    reduced = _unbroadcast(grad, original.shape)
+    assert reduced.shape == original.shape
+    # Total gradient mass is conserved.
+    np.testing.assert_allclose(reduced.sum(), grad.sum())
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    hnp.arrays(
+        dtype=np.float64,
+        shape=st.tuples(st.integers(1, 3), st.integers(1, 3), st.integers(2, 4).map(lambda k: k * 2), st.integers(2, 4).map(lambda k: k * 2)),
+        elements=st.floats(-10, 10, allow_nan=False, allow_infinity=False),
+    )
+)
+def test_maxpool_output_bounded_by_input(images):
+    out = F.max_pool2d(Tensor(images), 2).data
+    assert out.max() <= images.max() + 1e-12
+    assert out.min() >= images.min() - 1e-12

@@ -1,0 +1,39 @@
+"""Checkpoint save/load roundtrips."""
+
+import numpy as np
+
+from repro.nn import load_model, load_state_dict, save_model, save_state_dict
+from repro.nn.models import MLP
+
+
+class TestStateDictPersistence:
+    def test_roundtrip(self, tmp_path, rng):
+        state = {"a": rng.normal(size=(3, 3)), "b.c": rng.normal(size=(2,))}
+        path = str(tmp_path / "ckpt")
+        save_state_dict(state, path)
+        loaded = load_state_dict(path)
+        assert set(loaded) == set(state)
+        for key in state:
+            np.testing.assert_allclose(loaded[key], state[key])
+
+    def test_npz_suffix_optional(self, tmp_path, rng):
+        state = {"x": rng.normal(size=(2,))}
+        save_state_dict(state, str(tmp_path / "with.npz"))
+        loaded = load_state_dict(str(tmp_path / "with"))
+        np.testing.assert_allclose(loaded["x"], state["x"])
+
+    def test_creates_directories(self, tmp_path, rng):
+        path = str(tmp_path / "deep" / "nested" / "ckpt")
+        save_state_dict({"x": rng.normal(size=(2,))}, path)
+        assert load_state_dict(path)
+
+
+class TestModelPersistence:
+    def test_model_roundtrip(self, tmp_path, rng):
+        model = MLP(8, 3, rng)
+        path = str(tmp_path / "model")
+        save_model(model, path)
+        other = MLP(8, 3, np.random.default_rng(999))
+        load_model(other, path)
+        for (_, pa), (_, pb) in zip(model.named_parameters(), other.named_parameters()):
+            np.testing.assert_allclose(pa.data, pb.data)

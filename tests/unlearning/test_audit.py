@@ -1,0 +1,138 @@
+"""The deletion-audit report."""
+
+import numpy as np
+import pytest
+
+from repro.data import ArrayDataset, BackdoorAttack, TriggerPattern
+from repro.nn.models import MLP
+from repro.training import TrainConfig, train
+from repro.unlearning import AuditThresholds, audit_deletion
+
+from ..conftest import make_blobs
+
+
+def trained_model(dataset, seed=0, epochs=15):
+    model = MLP(16, 3, np.random.default_rng(seed))
+    train(model, dataset, TrainConfig(epochs=epochs, batch_size=10,
+                                      learning_rate=0.2),
+          np.random.default_rng(seed + 1))
+    return model
+
+
+@pytest.fixture(scope="module")
+def world():
+    dist = dict(num_classes=3, shape=(1, 4, 4), separation=1.2, noise=0.8)
+    clean = make_blobs(num_samples=60, seed=0, **dist)
+    test = make_blobs(num_samples=60, seed=99, **dist)
+    forget = make_blobs(num_samples=15, seed=7, **dist)
+
+    # "original" trained on clean + forget; "unlearned" == retrained on clean.
+    contaminated = clean.concat(forget)
+    original = trained_model(contaminated, seed=1)
+    unlearned = trained_model(clean, seed=2)
+    return clean, test, forget, original, unlearned
+
+
+class TestAuditPaths:
+    def test_minimal_audit_accuracy_only(self, world):
+        _, test, _, original, unlearned = world
+        report = audit_deletion(original, unlearned, test)
+        assert 0 <= report.accuracy_before <= 1
+        assert report.backdoor_after is None
+        assert report.membership_after is None
+        assert report.divergence_vs_reference is None
+
+    def test_full_audit(self, world):
+        _, test, forget, original, unlearned = world
+        attack = BackdoorAttack(TriggerPattern(size=2), target_label=0)
+        report = audit_deletion(
+            original, unlearned, test,
+            forget_set=forget,
+            attack=attack,
+            reference_model=unlearned,
+        )
+        assert report.backdoor_after is not None
+        assert report.membership_after is not None
+        # self-comparison as reference: zero divergence
+        assert report.divergence_vs_reference.jsd == pytest.approx(0.0, abs=1e-9)
+
+    def test_relearn_check_enabled_with_factory(self, world):
+        _, test, forget, original, unlearned = world
+        factory = lambda: MLP(16, 3, np.random.default_rng(0))
+        config = TrainConfig(epochs=1, batch_size=5, learning_rate=0.1)
+        report = audit_deletion(
+            original, unlearned, test,
+            forget_set=forget,
+            model_factory=factory,
+            relearn_config=config,
+        )
+        assert report.relearn is not None
+        assert report.relearn.speedup > 0
+        assert "relearn speedup" in report.summary()
+
+    def test_relearn_failure_flagged(self, world):
+        """Auditing the ORIGINAL model (which memorised the forget set)
+        with a strict speedup threshold must raise the flag."""
+        _, test, forget, original, _ = world
+        factory = lambda: MLP(16, 3, np.random.default_rng(0))
+        config = TrainConfig(epochs=1, batch_size=5, learning_rate=0.1)
+        report = audit_deletion(
+            original, original, test,
+            forget_set=forget,
+            model_factory=factory,
+            relearn_config=config,
+            thresholds=AuditThresholds(max_relearn_speedup=1.01),
+        )
+        if report.relearn.speedup > 1.01:
+            assert "relearns_too_fast" in report.failures
+            assert not report.passed
+
+    def test_relearn_skipped_without_config(self, world):
+        _, test, forget, original, unlearned = world
+        report = audit_deletion(
+            original, unlearned, test, forget_set=forget,
+            model_factory=lambda: MLP(16, 3, np.random.default_rng(0)),
+        )
+        assert report.relearn is None
+
+    def test_identity_model_passes_utility(self, world):
+        _, test, _, original, _ = world
+        report = audit_deletion(original, original, test)
+        assert report.accuracy_drop == 0.0
+        assert "accuracy_drop" not in report.failures
+
+    def test_catastrophic_model_fails(self, world):
+        _, test, _, original, _ = world
+        broken = MLP(16, 3, np.random.default_rng(1234))  # untrained
+        report = audit_deletion(
+            original, broken, test,
+            thresholds=AuditThresholds(max_accuracy_drop=0.05),
+        )
+        assert not report.passed
+        assert "accuracy_drop" in report.failures
+
+    def test_backdoor_retention_flagged(self, world):
+        """Auditing the original model against itself with an implanted
+        backdoor must flag backdoor_retained if ASR stays high."""
+        dist = dict(num_classes=3, shape=(1, 4, 4), separation=1.5, noise=0.4)
+        clean = make_blobs(num_samples=60, seed=0, **dist)
+        attack = BackdoorAttack(TriggerPattern(size=2, value=5.0), target_label=0)
+        poisoned = attack.poison(clean, np.arange(15))
+        backdoored = trained_model(poisoned, seed=3, epochs=30)
+        test = make_blobs(num_samples=60, seed=42, **dist)
+        if attack.success_rate(backdoored, test) > 0.10:
+            report = audit_deletion(backdoored, backdoored, test, attack=attack)
+            assert "backdoor_retained" in report.failures
+
+    def test_empty_test_set_rejected(self, world):
+        _, _, _, original, unlearned = world
+        empty = ArrayDataset(np.zeros((0, 1, 4, 4)), np.zeros(0, dtype=int), 3)
+        with pytest.raises(ValueError):
+            audit_deletion(original, unlearned, empty)
+
+    def test_summary_renders(self, world):
+        _, test, forget, original, unlearned = world
+        report = audit_deletion(original, unlearned, test, forget_set=forget)
+        text = report.summary()
+        assert "accuracy" in text
+        assert "verdict" in text

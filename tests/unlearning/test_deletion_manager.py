@@ -1,0 +1,175 @@
+"""Deletion-request queueing, policies and latency accounting."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data.dataset import FederatedDataset
+from repro.federated import FedAvgAggregator, FederatedSimulation
+from repro.nn.models import MLP
+from repro.training.config import TrainConfig
+from repro.unlearning import (
+    BatchSizePolicy,
+    DeletionManager,
+    DeletionRequest,
+    GoldfishConfig,
+    GoldfishLossConfig,
+    ImmediatePolicy,
+    PeriodicPolicy,
+    federated_goldfish,
+)
+
+from ..conftest import make_blob_federation
+
+
+class TestDeletionRequest:
+    def test_indices_deduplicated_and_sorted(self):
+        request = DeletionRequest(0, np.array([5, 1, 5, 3]), submitted_round=0)
+        np.testing.assert_array_equal(request.indices, [1, 3, 5])
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="no indices"):
+            DeletionRequest(0, np.array([]), 0)
+        with pytest.raises(ValueError, match="submitted_round"):
+            DeletionRequest(0, np.array([1]), -1)
+
+
+class TestPolicies:
+    def request(self, round_index=0):
+        return DeletionRequest(0, np.array([1]), round_index)
+
+    def test_immediate(self):
+        policy = ImmediatePolicy()
+        assert not policy.should_execute([], 0)
+        assert policy.should_execute([self.request()], 0)
+
+    def test_batch_size(self):
+        policy = BatchSizePolicy(min_requests=2)
+        assert not policy.should_execute([self.request()], 5)
+        assert policy.should_execute([self.request(), self.request()], 5)
+        with pytest.raises(ValueError):
+            BatchSizePolicy(0)
+
+    def test_periodic(self):
+        policy = PeriodicPolicy(every_rounds=3)
+        pending = [self.request()]
+        assert policy.should_execute(pending, 0)
+        assert not policy.should_execute(pending, 1)
+        assert not policy.should_execute(pending, 2)
+        assert policy.should_execute(pending, 3)
+        assert not policy.should_execute([], 3)
+        with pytest.raises(ValueError):
+            PeriodicPolicy(0)
+
+
+class TestQueueMechanics:
+    def test_merging_per_client(self):
+        manager = DeletionManager(BatchSizePolicy(99))
+        manager.submit(0, [1, 2], round_index=0)
+        manager.submit(1, [7], round_index=0)
+        manager.submit(0, [2, 3], round_index=1)
+        merged = manager.merged_indices()
+        np.testing.assert_array_equal(merged[0], [1, 2, 3])
+        np.testing.assert_array_equal(merged[1], [7])
+        assert manager.num_pending == 3
+
+    def test_policy_gate(self):
+        manager = DeletionManager(BatchSizePolicy(min_requests=2))
+        manager.submit(0, [1], round_index=0)
+        assert manager.maybe_execute(None, 0, lambda sim: None) is None
+        assert manager.num_pending == 1
+
+    def test_execute_before_submission_round_rejected(self):
+        manager = DeletionManager(ImmediatePolicy())
+        manager.submit(0, [1], round_index=5)
+
+        class FakeSim:
+            clients = []
+
+        with pytest.raises(ValueError, match="earlier round"):
+            manager.maybe_execute(FakeSim(), 2, lambda sim: None)
+
+    def test_mean_latency_requires_history(self):
+        manager = DeletionManager()
+        with pytest.raises(ValueError, match="no executed"):
+            manager.mean_latency()
+
+
+class TestEndToEnd:
+    def _simulation(self):
+        clients, test = make_blob_federation(
+            num_clients=3, per_client=15, test_size=15
+        )
+        fed = FederatedDataset(client_datasets=clients, test_set=test)
+        factory = lambda: MLP(16, 3, np.random.default_rng(0))
+        config = TrainConfig(epochs=1, batch_size=5, learning_rate=0.05)
+        sim = FederatedSimulation(factory, fed, FedAvgAggregator(), config, seed=0)
+        sim.run(2)
+        return sim, config
+
+    def test_batched_execution_with_goldfish(self):
+        sim, config = self._simulation()
+        manager = DeletionManager(PeriodicPolicy(every_rounds=4))
+        goldfish = GoldfishConfig(
+            loss=GoldfishLossConfig(temperature=3.0, mu_c=0.25, mu_d=1.0),
+            train=config,
+        )
+        unlearn = lambda s: federated_goldfish(s, goldfish, num_rounds=1)
+
+        sizes_before = [len(c.dataset) for c in sim.clients]
+        manager.submit(0, [0, 1], round_index=1)
+        assert manager.maybe_execute(sim, 1, unlearn) is None  # 1 % 4 != 0
+        manager.submit(1, [3], round_index=2)
+        batch = manager.maybe_execute(sim, 4, unlearn)
+
+        assert batch is not None
+        assert batch.num_requests == 2
+        assert sorted(batch.latencies) == [2, 3]
+        assert batch.max_latency == 3
+        assert manager.num_pending == 0
+        assert manager.num_executions == 1
+        assert manager.mean_latency() == pytest.approx(2.5)
+        # Deletions were finalized: datasets physically shrank.
+        assert len(sim.clients[0].dataset) == sizes_before[0] - 2
+        assert len(sim.clients[1].dataset) == sizes_before[1] - 1
+        assert batch.outcome.rounds_run == 1
+
+    def test_immediate_policy_runs_every_submission(self):
+        sim, config = self._simulation()
+        manager = DeletionManager(ImmediatePolicy())
+        goldfish = GoldfishConfig(
+            loss=GoldfishLossConfig(temperature=3.0, mu_c=0.25, mu_d=1.0),
+            train=config,
+        )
+        unlearn = lambda s: federated_goldfish(s, goldfish, num_rounds=1)
+        for round_index in (1, 2):
+            manager.submit(0, [0], round_index=round_index)
+            assert manager.maybe_execute(sim, round_index, unlearn) is not None
+        assert manager.num_executions == 2
+        assert manager.mean_latency() == 0.0
+
+
+class TestProperties:
+    @given(
+        submissions=st.lists(
+            st.tuples(
+                st.integers(0, 3),                      # client id
+                st.lists(st.integers(0, 30), min_size=1, max_size=6),
+                st.integers(0, 10),                     # round
+            ),
+            min_size=1, max_size=12,
+        )
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_property_merged_indices_cover_all_submissions(self, submissions):
+        manager = DeletionManager(BatchSizePolicy(min_requests=10_000))
+        expected = {}
+        for client_id, indices, round_index in submissions:
+            manager.submit(client_id, indices, round_index)
+            expected.setdefault(client_id, set()).update(indices)
+        merged = manager.merged_indices()
+        assert set(merged) == set(expected)
+        for client_id, indices in merged.items():
+            assert set(indices.tolist()) == expected[client_id]
+            assert list(indices) == sorted(set(indices))  # unique + sorted

@@ -1,0 +1,74 @@
+"""Excess-empirical-risk early termination (Eq. 7)."""
+
+import pytest
+
+from repro.unlearning import EarlyStopConfig, ExcessRiskStopper
+
+
+class TestConfig:
+    @pytest.mark.parametrize("kwargs", [
+        {"delta": -0.1},
+        {"mode": "median"},
+        {"min_epochs": 0},
+    ])
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            EarlyStopConfig(**kwargs)
+
+
+class TestMeanMode:
+    def test_stops_when_mean_within_delta(self):
+        stopper = ExcessRiskStopper(EarlyStopConfig(delta=0.05, mode="mean"),
+                                    reference_loss=0.5)
+        assert not stopper.update(1.0)   # mean 1.0, err 0.5
+        assert not stopper.update(0.4)   # mean 0.7, err 0.2
+        assert stopper.update(0.2)       # mean ~0.533... err 0.033 <= 0.05
+        assert stopper.stopped_early
+        assert stopper.stopped_epoch == 2
+
+    def test_excess_risk_is_absolute(self):
+        stopper = ExcessRiskStopper(EarlyStopConfig(delta=0.01), reference_loss=1.0)
+        stopper.update(0.5)  # below reference
+        assert stopper.excess_risk() == pytest.approx(0.5)
+
+    def test_eq7_mean_formula(self):
+        stopper = ExcessRiskStopper(EarlyStopConfig(delta=0.0), reference_loss=0.3)
+        for loss in (0.9, 0.6, 0.3):
+            stopper.update(loss)
+        assert stopper.excess_risk() == pytest.approx(abs((0.9 + 0.6 + 0.3) / 3 - 0.3))
+
+
+class TestLastMode:
+    def test_compares_latest_epoch_only(self):
+        stopper = ExcessRiskStopper(EarlyStopConfig(delta=0.05, mode="last"),
+                                    reference_loss=0.5)
+        assert not stopper.update(2.0)
+        assert stopper.update(0.52)
+        assert stopper.stopped_epoch == 1
+
+
+class TestGuards:
+    def test_min_epochs_respected(self):
+        stopper = ExcessRiskStopper(EarlyStopConfig(delta=10.0, min_epochs=3),
+                                    reference_loss=0.5)
+        assert not stopper.update(0.5)
+        assert not stopper.update(0.5)
+        assert stopper.update(0.5)
+
+    def test_disabled_never_stops(self):
+        stopper = ExcessRiskStopper(EarlyStopConfig(delta=100.0, enabled=False),
+                                    reference_loss=0.5)
+        for _ in range(10):
+            assert not stopper.update(0.5)
+        assert not stopper.stopped_early
+
+    def test_excess_risk_before_updates_raises(self):
+        stopper = ExcessRiskStopper(EarlyStopConfig(), reference_loss=0.5)
+        with pytest.raises(ValueError):
+            stopper.excess_risk()
+
+    def test_num_epochs_counts(self):
+        stopper = ExcessRiskStopper(EarlyStopConfig(delta=0.0), reference_loss=0.0)
+        stopper.update(1.0)
+        stopper.update(1.0)
+        assert stopper.num_epochs == 2

@@ -1,0 +1,158 @@
+"""The Goldfish teacher/student unlearning loop."""
+
+import numpy as np
+import pytest
+
+from repro.data import ArrayDataset
+from repro.nn.models import MLP
+from repro.training import TrainConfig, accuracy, train
+from repro.unlearning import (
+    EarlyStopConfig,
+    GoldfishConfig,
+    GoldfishLossConfig,
+    GoldfishUnlearner,
+)
+
+from ..conftest import make_blobs
+
+
+def factory(seed=42):
+    return MLP(16, 4, np.random.default_rng(seed))
+
+
+def poisoned_setup(seed=0):
+    """Teacher trained on data where class-3 samples are mislabelled as 0
+    (a crude 'backdoor'); forget set = the mislabelled samples."""
+    ds = make_blobs(num_samples=80, num_classes=4, shape=(1, 4, 4), seed=seed)
+    labels = ds.labels.copy()
+    poison_mask = labels == 3
+    labels[poison_mask] = 0
+    poisoned = ArrayDataset(ds.images, labels, 4)
+    forget = poisoned.subset(np.flatnonzero(poison_mask))
+    retain = poisoned.subset(np.flatnonzero(~poison_mask))
+
+    teacher = factory(1)
+    train(teacher, poisoned, TrainConfig(epochs=20, batch_size=20, learning_rate=0.2),
+          np.random.default_rng(2))
+    clean = ds  # original correct labels
+    return teacher, forget, retain, clean
+
+
+BASE_CONFIG = GoldfishConfig(
+    loss=GoldfishLossConfig(temperature=3.0),
+    train=TrainConfig(epochs=10, batch_size=20, learning_rate=0.2),
+)
+
+
+class TestUnlearningBehaviour:
+    def test_student_learns_retain_data(self, rng):
+        teacher, forget, retain, clean = poisoned_setup()
+        student = factory(7)
+        GoldfishUnlearner(BASE_CONFIG).unlearn(student, teacher, retain, forget, rng)
+        assert accuracy(student, retain) > 0.8
+
+    def test_student_forgets_poisoned_mapping(self, rng):
+        """After unlearning, the student must NOT predict the poisoned label
+        (0) on the forget samples at the teacher's rate."""
+        teacher, forget, retain, clean = poisoned_setup()
+        from repro.training import predict_logits
+        teacher_poison_rate = (
+            predict_logits(teacher, forget.images).argmax(1) == 0
+        ).mean()
+        student = factory(7)
+        GoldfishUnlearner(BASE_CONFIG).unlearn(student, teacher, retain, forget, rng)
+        student_poison_rate = (
+            predict_logits(student, forget.images).argmax(1) == 0
+        ).mean()
+        assert teacher_poison_rate > 0.8  # teacher was contaminated
+        assert student_poison_rate < teacher_poison_rate - 0.3
+
+    def test_no_forget_set_degrades_to_distillation(self, rng):
+        teacher, _, retain, _ = poisoned_setup()
+        student = factory(7)
+        result = GoldfishUnlearner(BASE_CONFIG).unlearn(student, teacher, retain,
+                                                        None, rng)
+        assert result.epochs_run == BASE_CONFIG.train.epochs
+        assert accuracy(student, retain) > 0.8
+
+    def test_empty_forget_set_treated_as_none(self, rng):
+        teacher, _, retain, _ = poisoned_setup()
+        empty = retain.subset([])
+        student = factory(7)
+        result = GoldfishUnlearner(BASE_CONFIG).unlearn(student, teacher, retain,
+                                                        empty, rng)
+        assert result.epochs_run > 0
+
+    def test_result_metadata(self, rng):
+        teacher, forget, retain, _ = poisoned_setup()
+        student = factory(7)
+        result = GoldfishUnlearner(BASE_CONFIG).unlearn(student, teacher, retain,
+                                                        forget, rng)
+        assert result.epochs_run == len(result.epoch_losses)
+        assert result.wall_seconds > 0
+        assert result.temperature_used == 3.0
+        assert not result.stopped_early
+
+
+class TestEarlyStop:
+    def test_early_stop_cuts_epochs(self, rng):
+        teacher, forget, retain, _ = poisoned_setup()
+        config = GoldfishConfig(
+            loss=GoldfishLossConfig(),
+            train=TrainConfig(epochs=30, batch_size=20, learning_rate=0.2),
+            early_stop=EarlyStopConfig(delta=1.0, mode="last", enabled=True),
+        )
+        student = factory(7)
+        result = GoldfishUnlearner(config).unlearn(student, teacher, retain, forget, rng)
+        assert result.stopped_early
+        assert result.epochs_run < 30
+
+    def test_disabled_early_stop_runs_all_epochs(self, rng):
+        teacher, forget, retain, _ = poisoned_setup()
+        config = GoldfishConfig(
+            loss=GoldfishLossConfig(),
+            train=TrainConfig(epochs=4, batch_size=20, learning_rate=0.2),
+            early_stop=EarlyStopConfig(enabled=False),
+        )
+        student = factory(7)
+        result = GoldfishUnlearner(config).unlearn(student, teacher, retain, forget, rng)
+        assert result.epochs_run == 4
+
+
+class TestAdaptiveTemperature:
+    def test_adaptive_temperature_used(self, rng):
+        teacher, forget, retain, _ = poisoned_setup()
+        config = GoldfishConfig(
+            loss=GoldfishLossConfig(temperature=3.0),
+            train=TrainConfig(epochs=1, batch_size=20, learning_rate=0.1),
+            adaptive_temperature=True,
+        )
+        student = factory(7)
+        result = GoldfishUnlearner(config).unlearn(student, teacher, retain, forget, rng)
+        from repro.unlearning import adaptive_temperature
+        expected = adaptive_temperature(3.0, len(retain), len(forget))
+        assert result.temperature_used == pytest.approx(expected)
+
+    def test_fixed_temperature_by_default(self, rng):
+        teacher, forget, retain, _ = poisoned_setup()
+        student = factory(7)
+        result = GoldfishUnlearner(BASE_CONFIG).unlearn(student, teacher, retain,
+                                                        forget, rng)
+        assert result.temperature_used == BASE_CONFIG.loss.temperature
+
+
+class TestAblationToggles:
+    @pytest.mark.parametrize("use_confusion,use_distillation", [
+        (False, False), (True, False), (False, True), (True, True),
+    ])
+    def test_every_variant_trains(self, rng, use_confusion, use_distillation):
+        teacher, forget, retain, _ = poisoned_setup()
+        config = GoldfishConfig(
+            loss=GoldfishLossConfig(use_confusion=use_confusion,
+                                    use_distillation=use_distillation),
+            train=TrainConfig(epochs=2, batch_size=20, learning_rate=0.1),
+        )
+        student = factory(7)
+        result = GoldfishUnlearner(config).unlearn(student, teacher, retain, forget, rng)
+        assert result.epochs_run == 2
+        assert all(np.isfinite(l) for l in result.epoch_losses)

@@ -1,0 +1,180 @@
+"""The Goldfish composite loss (Eq. 1–6)."""
+
+import numpy as np
+import pytest
+
+from repro.nn import Tensor
+from repro.nn import functional as F
+from repro.unlearning import GoldfishLoss, GoldfishLossConfig, confusion_loss
+
+
+def logits(rng, n=8, classes=5, scale=1.0):
+    return Tensor(rng.normal(size=(n, classes)) * scale, requires_grad=True)
+
+
+class TestConfig:
+    def test_paper_defaults(self):
+        config = GoldfishLossConfig()
+        assert config.temperature == 3.0
+        assert config.mu_c == 0.25
+        assert config.mu_d == 1.0
+
+    @pytest.mark.parametrize("kwargs", [
+        {"temperature": 0.0},
+        {"mu_c": -1.0},
+        {"mu_d": -1.0},
+        {"hard_loss": "hinge"},
+        {"forget_scale": -0.5},
+        {"forget_cap": 0.0},
+    ])
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            GoldfishLossConfig(**kwargs)
+
+
+class TestConfusionLoss:
+    def test_zero_for_uniform_predictions(self):
+        uniform = Tensor(np.zeros((4, 10)))  # equal logits -> uniform softmax
+        assert confusion_loss(uniform).item() < 1e-5
+
+    def test_positive_for_confident_predictions(self, rng):
+        confident = Tensor(rng.normal(size=(4, 10)) * 10)
+        assert confusion_loss(confident).item() > 0.01
+
+    def test_decreasing_in_uniformity(self, rng):
+        base = rng.normal(size=(4, 10))
+        sharp = confusion_loss(Tensor(base * 10)).item()
+        soft = confusion_loss(Tensor(base * 0.1)).item()
+        assert soft < sharp
+
+    def test_matches_eq2_formula(self, rng):
+        x = rng.normal(size=(6, 4))
+        probs = F.softmax(Tensor(x), axis=1).data
+        expected = np.sqrt(probs.var(axis=1) + 1e-12).mean()
+        np.testing.assert_allclose(confusion_loss(Tensor(x)).item(), expected)
+
+    def test_gradient_pushes_toward_uniform(self, rng):
+        x = Tensor(rng.normal(size=(4, 5)) * 3, requires_grad=True)
+        from repro.nn.optim import SGD
+        from repro.nn.module import Parameter
+        p = Parameter(x.data.copy())
+        opt = SGD([p], lr=1.0)
+        before = confusion_loss(Tensor(p.data)).item()
+        for _ in range(50):
+            opt.zero_grad()
+            loss = confusion_loss(p * 1.0)
+            loss.backward()
+            opt.step()
+        after = confusion_loss(Tensor(p.data)).item()
+        assert after < before
+
+
+class TestCompositeLoss:
+    def test_retain_only_path(self, rng):
+        loss_fn = GoldfishLoss(GoldfishLossConfig(use_distillation=False),
+                               num_retain=100, num_forget=0)
+        value = loss_fn(logits(rng), np.zeros(8, dtype=int))
+        breakdown = loss_fn.last_breakdown
+        assert value.item() == pytest.approx(breakdown.hard_retain)
+        assert breakdown.hard_forget == 0.0
+        assert breakdown.distillation == 0.0
+
+    def test_distillation_requires_teacher(self, rng):
+        loss_fn = GoldfishLoss(GoldfishLossConfig(), num_retain=100, num_forget=0)
+        with pytest.raises(ValueError):
+            loss_fn(logits(rng), np.zeros(8, dtype=int))
+
+    def test_forget_labels_required_with_forget_logits(self, rng):
+        loss_fn = GoldfishLoss(GoldfishLossConfig(use_distillation=False),
+                               num_retain=100, num_forget=10)
+        with pytest.raises(ValueError):
+            loss_fn(logits(rng), np.zeros(8, dtype=int),
+                    student_logits_forget=logits(rng))
+
+    def test_forget_term_subtracted(self, rng):
+        config = GoldfishLossConfig(use_distillation=False, use_confusion=False,
+                                    forget_scale=1.0)
+        loss_fn = GoldfishLoss(config, num_retain=100, num_forget=100)
+        retain = logits(rng)
+        forget = logits(rng)
+        labels = np.zeros(8, dtype=int)
+        total = loss_fn(retain, labels, student_logits_forget=forget,
+                        labels_forget=labels)
+        b = loss_fn.last_breakdown
+        expected = b.hard_retain - min(b.hard_forget, np.log(5))
+        np.testing.assert_allclose(total.item(), expected, atol=1e-10)
+
+    def test_auto_forget_scale(self):
+        loss_fn = GoldfishLoss(GoldfishLossConfig(), num_retain=200, num_forget=20)
+        np.testing.assert_allclose(loss_fn.forget_scale, 0.1)
+
+    def test_auto_forget_scale_capped_at_one(self):
+        loss_fn = GoldfishLoss(GoldfishLossConfig(), num_retain=10, num_forget=100)
+        assert loss_fn.forget_scale == 1.0
+
+    def test_explicit_forget_scale(self):
+        loss_fn = GoldfishLoss(GoldfishLossConfig(forget_scale=0.7),
+                               num_retain=10, num_forget=1)
+        assert loss_fn.forget_scale == 0.7
+
+    def test_forget_cap_blocks_gradient_beyond_uniform(self, rng):
+        """Once the forget loss exceeds ln(C), no gradient flows from it."""
+        config = GoldfishLossConfig(use_distillation=False, use_confusion=False,
+                                    forget_scale=1.0)
+        loss_fn = GoldfishLoss(config, num_retain=10, num_forget=10)
+        # Student already predicts the wrong class hard: forget CE >> ln(C).
+        forget = Tensor(np.tile([10.0, 0.0, 0.0], (4, 1)), requires_grad=True)
+        retain = Tensor(rng.normal(size=(4, 3)))
+        loss_fn(retain, np.zeros(4, dtype=int),
+                student_logits_forget=forget,
+                labels_forget=np.full(4, 1)).backward()
+        np.testing.assert_allclose(forget.grad, 0.0)
+
+    def test_confusion_weight_applied(self, rng):
+        base = GoldfishLossConfig(use_distillation=False, mu_c=0.0, forget_scale=0.0)
+        weighted = GoldfishLossConfig(use_distillation=False, mu_c=10.0, forget_scale=0.0)
+        retain_l = rng.normal(size=(4, 5))
+        forget_l = rng.normal(size=(4, 5)) * 4
+        labels = np.zeros(4, dtype=int)
+
+        def value(config):
+            fn = GoldfishLoss(config, num_retain=10, num_forget=4)
+            return fn(Tensor(retain_l), labels,
+                      student_logits_forget=Tensor(forget_l),
+                      labels_forget=labels).item()
+
+        assert value(weighted) > value(base)
+
+    def test_distillation_component_recorded(self, rng):
+        loss_fn = GoldfishLoss(GoldfishLossConfig(), num_retain=10, num_forget=0)
+        teacher = logits(rng).detach()
+        value = loss_fn(logits(rng), np.zeros(8, dtype=int),
+                        teacher_logits_retain=teacher)
+        assert loss_fn.last_breakdown.distillation > 0
+        assert value.item() == pytest.approx(loss_fn.last_breakdown.total)
+
+    def test_breakdown_as_dict(self, rng):
+        loss_fn = GoldfishLoss(GoldfishLossConfig(use_distillation=False),
+                               num_retain=10, num_forget=0)
+        loss_fn(logits(rng), np.zeros(8, dtype=int))
+        d = loss_fn.last_breakdown.as_dict()
+        assert set(d) == {"total", "hard_retain", "hard_forget", "confusion",
+                          "distillation"}
+
+    def test_invalid_sizes(self):
+        with pytest.raises(ValueError):
+            GoldfishLoss(GoldfishLossConfig(), num_retain=0, num_forget=0)
+        with pytest.raises(ValueError):
+            GoldfishLoss(GoldfishLossConfig(), num_retain=10, num_forget=-1)
+
+    @pytest.mark.parametrize("hard", ["cross_entropy", "focal", "nll"])
+    def test_all_hard_losses_work(self, rng, hard):
+        """Table XI compatibility: every registry hard loss runs end to end."""
+        config = GoldfishLossConfig(hard_loss=hard, use_distillation=False)
+        loss_fn = GoldfishLoss(config, num_retain=10, num_forget=4)
+        x = logits(rng)
+        total = loss_fn(x, np.zeros(8, dtype=int),
+                        student_logits_forget=logits(rng, n=4),
+                        labels_forget=np.zeros(4, dtype=int))
+        total.backward()
+        assert np.isfinite(x.grad).all()

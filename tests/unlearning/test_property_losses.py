@@ -1,0 +1,82 @@
+"""Hypothesis property tests on the Goldfish composite loss."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.nn import Tensor
+from repro.unlearning import GoldfishLoss, GoldfishLossConfig, adaptive_temperature
+
+
+def _logits(seed, n, classes, scale=2.0):
+    return np.random.default_rng(seed).normal(size=(n, classes)) * scale
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    seed=st.integers(0, 500),
+    n=st.integers(2, 12),
+    classes=st.integers(2, 8),
+    mu_c=st.floats(0.0, 2.0),
+    mu_d=st.floats(0.0, 2.0),
+)
+def test_composite_identity(seed, n, classes, mu_c, mu_d):
+    """total == hard_retain − λ·min(hard_forget, ln C) + µc·Lc + µd·Ld."""
+    config = GoldfishLossConfig(mu_c=mu_c, mu_d=mu_d, forget_scale=0.5)
+    loss_fn = GoldfishLoss(config, num_retain=100, num_forget=50)
+    rng = np.random.default_rng(seed)
+    labels = rng.integers(0, classes, size=n)
+    total = loss_fn(
+        Tensor(_logits(seed, n, classes)),
+        labels,
+        teacher_logits_retain=Tensor(_logits(seed + 1, n, classes)),
+        student_logits_forget=Tensor(_logits(seed + 2, n, classes)),
+        labels_forget=labels,
+    )
+    b = loss_fn.last_breakdown
+    capped_forget = min(b.hard_forget, np.log(classes))
+    expected = (
+        b.hard_retain - 0.5 * capped_forget
+        + (mu_c * b.confusion if mu_c > 0 else 0.0)
+        + (mu_d * b.distillation if mu_d > 0 else 0.0)
+    )
+    np.testing.assert_allclose(total.item(), expected, atol=1e-8)
+    np.testing.assert_allclose(total.item(), b.total, atol=1e-12)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    num_retain=st.integers(1, 10_000),
+    num_forget=st.integers(0, 10_000),
+)
+def test_auto_forget_scale_bounds(num_retain, num_forget):
+    loss_fn = GoldfishLoss(GoldfishLossConfig(), num_retain, num_forget)
+    assert 0.0 <= loss_fn.forget_scale <= 1.0
+    if num_forget <= num_retain:
+        np.testing.assert_allclose(loss_fn.forget_scale, num_forget / num_retain)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    t0=st.floats(0.5, 10.0),
+    retain=st.integers(1, 1000),
+    forget=st.integers(0, 1000),
+)
+def test_adaptive_temperature_bounds(t0, retain, forget):
+    """T is bounded by [min_temperature, α·T0] and monotone in forget share."""
+    temp = adaptive_temperature(t0, retain, forget)
+    assert temp >= 1.0
+    assert temp <= np.e * t0 + 1e-12
+    if forget < 1000:
+        larger = adaptive_temperature(t0, retain, forget + 1)
+        assert larger >= temp - 1e-12
+
+
+@settings(max_examples=30, deadline=None)
+@given(seed=st.integers(0, 300), classes=st.integers(2, 6))
+def test_confusion_loss_nonnegative_and_bounded(seed, classes):
+    """Lc = mean √Var(p) is in [0, 0.5] (max variance of a prob. vector)."""
+    from repro.unlearning import confusion_loss
+    logits = Tensor(_logits(seed, 5, classes, scale=8.0))
+    value = confusion_loss(logits).item()
+    assert 0.0 <= value <= 0.5 + 1e-9

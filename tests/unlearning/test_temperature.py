@@ -1,0 +1,56 @@
+"""Adaptive distillation temperature (Eq. 11)."""
+
+import math
+
+import pytest
+
+from repro.unlearning import adaptive_temperature
+
+
+class TestFormula:
+    def test_no_forget_data_keeps_base_temperature(self):
+        # With α = e, exponent -> -1 and T = e·T0·e^-1 = T0.
+        assert adaptive_temperature(3.0, 100, 0) == pytest.approx(3.0)
+
+    def test_matches_eq11(self):
+        t0, retain, forget, alpha = 2.0, 80, 20, 1.7
+        expected = alpha * t0 * math.exp(-retain / (retain + forget))
+        assert adaptive_temperature(t0, retain, forget, alpha=alpha,
+                                    min_temperature=0.0) == pytest.approx(expected)
+
+    def test_larger_forget_fraction_raises_temperature(self):
+        small = adaptive_temperature(3.0, 95, 5)
+        large = adaptive_temperature(3.0, 60, 40)
+        assert large > small
+
+    def test_monotone_in_forget_size(self):
+        temps = [adaptive_temperature(3.0, 100, f) for f in (0, 10, 30, 60, 100)]
+        assert temps == sorted(temps)
+
+    def test_floor_applied(self):
+        # Tiny base temperature would drop below 1; the floor kicks in
+        # because T <= 1 degrades soft labels to hard labels (paper note).
+        assert adaptive_temperature(0.1, 100, 0) == 1.0
+
+    def test_custom_floor(self):
+        assert adaptive_temperature(0.1, 100, 0, min_temperature=2.5) == 2.5
+
+
+class TestValidation:
+    def test_bad_base_temperature(self):
+        with pytest.raises(ValueError):
+            adaptive_temperature(0.0, 10, 1)
+
+    def test_negative_sizes(self):
+        with pytest.raises(ValueError):
+            adaptive_temperature(3.0, -1, 1)
+        with pytest.raises(ValueError):
+            adaptive_temperature(3.0, 1, -1)
+
+    def test_no_data(self):
+        with pytest.raises(ValueError):
+            adaptive_temperature(3.0, 0, 0)
+
+    def test_bad_alpha(self):
+        with pytest.raises(ValueError):
+            adaptive_temperature(3.0, 10, 1, alpha=0.0)

@@ -1,0 +1,249 @@
+"""FedEraser and FedRecovery: client-level update-adjustment unlearning."""
+
+import numpy as np
+import pytest
+
+from repro.data.dataset import FederatedDataset
+from repro.federated import (
+    FedAvgAggregator,
+    FederatedSimulation,
+    RoundHistoryStore,
+    attach_history,
+    state_math,
+)
+from repro.nn.models import MLP
+from repro.training.config import TrainConfig
+from repro.training.evaluation import evaluate
+from repro.unlearning import (
+    FedEraser,
+    FedEraserConfig,
+    FedRecovery,
+    FedRecoveryConfig,
+)
+
+from ..conftest import make_blob_federation
+
+
+@pytest.fixture(scope="module")
+def trained_federation():
+    """A 4-client federation trained 4 rounds with history retained."""
+    clients, test = make_blob_federation(
+        num_clients=4, per_client=18, test_size=30, seed=3
+    )
+    fed = FederatedDataset(client_datasets=clients, test_set=test)
+    factory = lambda: MLP(16, 3, np.random.default_rng(7))
+    sim = FederatedSimulation(
+        model_factory=factory,
+        fed_data=fed,
+        aggregator=FedAvgAggregator(),
+        train_config=TrainConfig(epochs=2, batch_size=6, learning_rate=0.05),
+        seed=11,
+    )
+    store = attach_history(sim, RoundHistoryStore())
+    initial_state = sim.server.initial_state
+    sim.run(4)
+    return {
+        "sim": sim,
+        "store": store,
+        "initial_state": initial_state,
+        "clients": clients,
+        "test": test,
+        "factory": factory,
+    }
+
+
+class TestFedEraserConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FedEraserConfig(calibration_epochs=0)
+        with pytest.raises(ValueError):
+            FedEraserConfig(learning_rate=0.0)
+
+    def test_train_config_conversion(self):
+        config = FedEraserConfig(calibration_epochs=2, learning_rate=0.03)
+        tc = config.train_config()
+        assert tc.epochs == 2
+        assert tc.learning_rate == 0.03
+
+
+class TestFedEraser:
+    def test_unlearn_produces_usable_model(self, trained_federation, rng):
+        env = trained_federation
+        eraser = FedEraser(
+            env["factory"],
+            FedEraserConfig(calibration_epochs=1, learning_rate=0.05, batch_size=6),
+        )
+        unlearned, report = eraser.unlearn(
+            env["store"], env["initial_state"], env["clients"],
+            forget_client_id=0, rng=rng,
+        )
+        assert report.rounds_replayed == 4
+        assert report.clients_per_round == [3, 3, 3, 3]
+        assert report.calibration_epochs_run == 4 * 3
+        model = env["factory"]()
+        model.load_state_dict(unlearned)
+        _, accuracy = evaluate(model, env["test"])
+        # Remaining clients cover all classes, so the calibrated model
+        # must still classify far above chance (1/3).
+        assert accuracy > 0.55
+
+    def test_unlearned_differs_from_final_global(self, trained_federation, rng):
+        env = trained_federation
+        eraser = FedEraser(env["factory"], FedEraserConfig(batch_size=6))
+        unlearned, _ = eraser.unlearn(
+            env["store"], env["initial_state"], env["clients"], 1, rng
+        )
+        assert state_math.l2_distance(unlearned, env["sim"].server.global_state) > 1e-3
+
+    def test_empty_history_rejected(self, trained_federation, rng):
+        env = trained_federation
+        eraser = FedEraser(env["factory"])
+        with pytest.raises(ValueError, match="empty"):
+            eraser.unlearn(
+                RoundHistoryStore(), env["initial_state"], env["clients"], 0, rng
+            )
+
+    def test_unknown_client_rejected(self, trained_federation, rng):
+        env = trained_federation
+        eraser = FedEraser(env["factory"])
+        with pytest.raises(ValueError, match="never appears"):
+            eraser.unlearn(
+                env["store"], env["initial_state"], env["clients"], 42, rng
+            )
+
+    def test_missing_dataset_rejected(self, trained_federation, rng):
+        env = trained_federation
+        eraser = FedEraser(env["factory"], FedEraserConfig(batch_size=6))
+        with pytest.raises(IndexError, match="no dataset"):
+            eraser.unlearn(
+                env["store"], env["initial_state"], env["clients"][:2], 0, rng
+            )
+
+
+class TestFedRecoveryConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FedRecoveryConfig(epsilon=0.0)
+        with pytest.raises(ValueError):
+            FedRecoveryConfig(delta=1.5)
+        with pytest.raises(ValueError):
+            FedRecoveryConfig(influence_clip=0.0)
+
+
+class TestFedRecovery:
+    def test_subtraction_without_noise_is_deterministic(
+        self, trained_federation
+    ):
+        env = trained_federation
+        recovery = FedRecovery(FedRecoveryConfig(noise_enabled=False))
+        final = env["sim"].server.global_state
+        out1, report1 = recovery.unlearn(
+            env["store"], final, 0, np.random.default_rng(0)
+        )
+        out2, report2 = recovery.unlearn(
+            env["store"], final, 0, np.random.default_rng(99)
+        )
+        assert state_math.l2_distance(out1, out2) == 0.0
+        assert report1.sigma == 0.0
+        assert report1.influence_l2 == pytest.approx(report2.influence_l2)
+
+    def test_residual_weights_sum_to_one(self, trained_federation, rng):
+        env = trained_federation
+        recovery = FedRecovery(FedRecoveryConfig(noise_enabled=False))
+        _, report = recovery.unlearn(
+            env["store"], env["sim"].server.global_state, 2, rng
+        )
+        assert sum(report.residual_weights) == pytest.approx(1.0)
+        assert all(w >= 0 for w in report.residual_weights)
+        assert report.rounds_used == 4
+
+    def test_influence_actually_subtracted(self, trained_federation, rng):
+        env = trained_federation
+        recovery = FedRecovery(FedRecoveryConfig(noise_enabled=False))
+        final = env["sim"].server.global_state
+        unlearned, report = recovery.unlearn(env["store"], final, 0, rng)
+        assert report.influence_l2 > 0.0
+        assert state_math.l2_distance(unlearned, final) == pytest.approx(
+            report.influence_l2, rel=1e-9
+        )
+
+    def test_noise_applied_when_enabled(self, trained_federation):
+        env = trained_federation
+        recovery = FedRecovery(FedRecoveryConfig(epsilon=5.0, delta=1e-5))
+        final = env["sim"].server.global_state
+        out1, report = recovery.unlearn(
+            env["store"], final, 0, np.random.default_rng(1)
+        )
+        out2, _ = recovery.unlearn(
+            env["store"], final, 0, np.random.default_rng(2)
+        )
+        assert report.sigma > 0.0
+        # Different rng seeds → different releases.
+        assert state_math.l2_distance(out1, out2) > 0.0
+
+    def test_influence_clip_bounds_subtraction(self, trained_federation, rng):
+        env = trained_federation
+        clip = 0.01
+        recovery = FedRecovery(
+            FedRecoveryConfig(noise_enabled=False, influence_clip=clip)
+        )
+        final = env["sim"].server.global_state
+        unlearned, report = recovery.unlearn(env["store"], final, 0, rng)
+        assert report.influence_l2 <= clip + 1e-12
+        assert state_math.l2_distance(unlearned, final) <= clip + 1e-12
+
+    def test_empty_history_rejected(self, trained_federation, rng):
+        env = trained_federation
+        with pytest.raises(ValueError, match="empty"):
+            FedRecovery().unlearn(
+                RoundHistoryStore(), env["sim"].server.global_state, 0, rng
+            )
+
+    def test_unknown_client_rejected(self, trained_federation, rng):
+        env = trained_federation
+        with pytest.raises(ValueError, match="never appears"):
+            FedRecovery().unlearn(
+                env["store"], env["sim"].server.global_state, 42, rng
+            )
+
+
+class TestEraserRemovesPoisonedClient:
+    def test_erasing_a_label_noise_client_recovers_accuracy(self, rng):
+        """Behavioural check of FedEraser's promise: after a client with
+        fully shuffled labels is erased, the calibrated model's test
+        accuracy recovers toward the clean-retrain level and beats the
+        contaminated final global model."""
+        clients, test = make_blob_federation(
+            num_clients=3, per_client=20, test_size=30, seed=5
+        )
+        # Poison client 0: permute its labels so it actively fights the
+        # other clients' (clean) signal.
+        poisoned = clients[0]
+        shuffled = np.random.default_rng(8).permutation(poisoned.labels)
+        clients[0] = type(poisoned)(
+            images=poisoned.images,
+            labels=shuffled,
+            num_classes=poisoned.num_classes,
+            name="poisoned",
+        )
+        fed = FederatedDataset(client_datasets=clients, test_set=test)
+        factory = lambda: MLP(16, 3, np.random.default_rng(21))
+        config = TrainConfig(epochs=2, batch_size=5, learning_rate=0.05)
+
+        sim = FederatedSimulation(factory, fed, FedAvgAggregator(), config, seed=2)
+        store = attach_history(sim, RoundHistoryStore())
+        initial = sim.server.initial_state
+        sim.run(3)
+        final_model = sim.global_model()
+        _, final_accuracy = evaluate(final_model, test)
+
+        eraser = FedEraser(
+            factory, FedEraserConfig(calibration_epochs=1, batch_size=5,
+                                     learning_rate=0.05),
+        )
+        unlearned, _ = eraser.unlearn(store, initial, clients, 0, rng)
+        model = factory()
+        model.load_state_dict(unlearned)
+        _, unlearned_accuracy = evaluate(model, test)
+
+        assert unlearned_accuracy >= final_accuracy - 0.02
