@@ -1,0 +1,1 @@
+"""Benchmark suite (package context for ``.conftest`` imports)."""

@@ -29,3 +29,15 @@ def scale():
 def run_once(benchmark, fn, *args, **kwargs):
     """Run ``fn`` exactly once under pytest-benchmark timing."""
     return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+
+def pytest_collection_modifyitems(items):
+    """Tag every benchmark with the ``bench`` marker (registered in
+    pyproject.toml) so `pytest -m bench benchmarks/` and marker-based
+    filtering work. Sub-directory conftest hooks receive the whole
+    session's items, so guard by path — mixed invocations like
+    `pytest tests/ benchmarks/` must not tag the unit tests."""
+    bench_root = os.path.dirname(os.path.abspath(__file__))
+    for item in items:
+        if str(item.path).startswith(bench_root + os.sep):
+            item.add_marker(pytest.mark.bench)

@@ -1,0 +1,170 @@
+"""Runtime benchmark: serial vs process backends on real fan-out work.
+
+Two workloads, matching the refactored fan-out sites:
+
+* one federated round across 8 clients (``FederatedSimulation.run_round``);
+* a 4-shard SISA fit (``SisaEnsemble.fit``).
+
+Each run is timed under the serial and process backends, asserted
+bit-identical, and appended as a JSON record to
+``benchmarks/results/bench_runtime.json`` so the perf trajectory stays
+machine-readable across PRs::
+
+    {"workload": ..., "clients": ..., "shards": ..., "backend": ...,
+     "wall_clock_s": ..., "cpus": ..., "speedup_vs_serial": ...}
+
+The speedup assertion scales with the hardware: ≥1.5× needs ≥4 usable
+cores (on 1 core the process backend can only add overhead, so there the
+benchmark records timings and checks parity only).
+"""
+
+import json
+import os
+import time
+
+import numpy as np
+import pytest
+
+from repro.data.dataset import ArrayDataset, FederatedDataset
+from repro.federated import FedAvgAggregator, FederatedSimulation
+from repro.nn.models import RegistryModelFactory
+from repro.runtime import usable_cpus
+from repro.training import TrainConfig
+from repro.unlearning import SisaConfig, SisaEnsemble
+
+RESULTS_PATH = os.path.join(
+    os.path.dirname(__file__), "results", "bench_runtime.json"
+)
+
+NUM_CLIENTS = 8
+NUM_SHARDS = 4
+
+
+def _emit(record: dict) -> None:
+    """Append one benchmark record to the machine-readable results file."""
+    os.makedirs(os.path.dirname(RESULTS_PATH), exist_ok=True)
+    records = []
+    if os.path.exists(RESULTS_PATH):
+        with open(RESULTS_PATH) as handle:
+            records = json.load(handle)
+    records.append(record)
+    with open(RESULTS_PATH, "w") as handle:
+        json.dump(records, handle, indent=2)
+    print(json.dumps(record))
+
+
+def _assert_speedup(speedup: float) -> None:
+    """Hardware-scaled wall-clock expectation for the process backend."""
+    cpus = usable_cpus()
+    if cpus >= 4:
+        assert speedup >= 1.5, f"expected >=1.5x on {cpus} cores, got {speedup:.2f}x"
+    elif cpus >= 2:
+        assert speedup >= 1.1, f"expected >=1.1x on {cpus} cores, got {speedup:.2f}x"
+    # Single core: parallelism cannot help; parity was still verified.
+
+
+def _blobs(num_samples: int, seed: int = 0) -> ArrayDataset:
+    rng = np.random.default_rng(seed)
+    means = rng.normal(0.0, 3.0, size=(3, 1, 8, 8))
+    labels = np.arange(num_samples) % 3
+    images = means[labels] + rng.normal(0.0, 0.5, size=(num_samples, 1, 8, 8))
+    return ArrayDataset(images=images, labels=labels, num_classes=3, name="bench")
+
+
+FACTORY = RegistryModelFactory(name="mlp", num_classes=3, in_channels=1, image_size=8)
+
+
+class TestFederatedRoundSpeedup:
+    # Sized so one client's local round is ~0.1-0.2 s: large enough that
+    # process fan-out dominates fork/IPC overhead on a multi-core box,
+    # small enough to keep the whole benchmark in seconds.
+    CONFIG = TrainConfig(epochs=5, batch_size=32, learning_rate=0.05)
+
+    def build(self, backend):
+        per_client = 2000
+        full = _blobs(NUM_CLIENTS * per_client + 200)
+        clients = [
+            full.subset(range(i * per_client, (i + 1) * per_client))
+            for i in range(NUM_CLIENTS)
+        ]
+        fed = FederatedDataset(
+            client_datasets=clients,
+            test_set=full.subset(range(NUM_CLIENTS * per_client, len(full))),
+        )
+        return FederatedSimulation(
+            FACTORY, fed, FedAvgAggregator(), self.CONFIG, seed=1, backend=backend
+        )
+
+    def test_process_round_speedup_and_parity(self):
+        timings = {}
+        states = {}
+        for backend in ("serial", "process"):
+            sim = self.build(backend)
+            start = time.perf_counter()
+            sim.run_round(0)
+            timings[backend] = time.perf_counter() - start
+            states[backend] = sim.server.global_state
+
+        for key in states["serial"]:
+            np.testing.assert_array_equal(
+                states["serial"][key], states["process"][key]
+            )
+        speedup = timings["serial"] / timings["process"]
+        for backend in ("serial", "process"):
+            _emit(
+                {
+                    "workload": "federated_round",
+                    "clients": NUM_CLIENTS,
+                    "shards": 0,
+                    "backend": backend,
+                    "wall_clock_s": round(timings[backend], 4),
+                    "cpus": usable_cpus(),
+                    "speedup_vs_serial": round(
+                        timings["serial"] / timings[backend], 3
+                    ),
+                }
+            )
+        _assert_speedup(speedup)
+
+
+class TestSisaFitSpeedup:
+    CONFIG = SisaConfig(
+        num_shards=NUM_SHARDS,
+        num_slices=2,
+        epochs_per_slice=4,
+        batch_size=32,
+        learning_rate=0.05,
+    )
+
+    def test_process_fit_speedup_and_parity(self):
+        dataset = _blobs(12000, seed=2)
+        timings = {}
+        ensembles = {}
+        for backend in ("serial", "process"):
+            ensemble = SisaEnsemble(FACTORY, dataset, self.CONFIG, seed=0, backend=backend)
+            start = time.perf_counter()
+            ensemble.fit()
+            timings[backend] = time.perf_counter() - start
+            ensembles[backend] = ensemble
+
+        for a, b in zip(
+            ensembles["serial"]._shards, ensembles["process"]._shards
+        ):
+            for key, value in a.model.state_dict().items():
+                np.testing.assert_array_equal(value, b.model.state_dict()[key])
+        speedup = timings["serial"] / timings["process"]
+        for backend in ("serial", "process"):
+            _emit(
+                {
+                    "workload": "sisa_fit",
+                    "clients": 0,
+                    "shards": NUM_SHARDS,
+                    "backend": backend,
+                    "wall_clock_s": round(timings[backend], 4),
+                    "cpus": usable_cpus(),
+                    "speedup_vs_serial": round(
+                        timings["serial"] / timings[backend], 3
+                    ),
+                }
+            )
+        _assert_speedup(speedup)

@@ -1,9 +1,10 @@
-"""Setuptools entry point.
+"""Legacy setuptools shim — all project metadata lives in pyproject.toml.
 
 The pinned environment ships setuptools without the ``wheel`` package, so
 PEP 517 editable installs fail with "invalid command 'bdist_wheel'".
-Keeping a setup.py lets ``pip install -e . --no-use-pep517`` take the legacy
-``setup.py develop`` path, which works offline.
+Keeping this stub lets ``pip install -e . --no-use-pep517`` take the legacy
+``setup.py develop`` path, which works offline; setuptools reads the
+actual metadata from pyproject.toml either way.
 """
 
 from setuptools import setup

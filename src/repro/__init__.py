@@ -10,6 +10,8 @@ entire dependency stack:
   round-history retention, secure aggregation, compression, sampling,
   cost metering
 * :mod:`repro.privacy` — clipping, Gaussian mechanism, zCDP accounting
+* :mod:`repro.runtime` — pluggable execution backends (serial / thread /
+  process) fanning independent training tasks across cores
 * :mod:`repro.training` — configs, supervised training loop, evaluation
 * :mod:`repro.unlearning` — the Goldfish framework, the B1/B2/B3 baselines,
   FedEraser / FedRecovery, full SISA, deletion-request scheduling
@@ -21,7 +23,7 @@ entire dependency stack:
 
 __version__ = "1.1.0"
 
-from . import attacks, data, eval, federated, nn, privacy, training, unlearning
+from . import attacks, data, eval, federated, nn, privacy, runtime, training, unlearning
 
 __all__ = [
     "attacks",
@@ -30,6 +32,7 @@ __all__ = [
     "federated",
     "nn",
     "privacy",
+    "runtime",
     "training",
     "unlearning",
     "__version__",

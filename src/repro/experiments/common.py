@@ -31,8 +31,9 @@ from ..data import (
 from ..data.synthetic import SPECS
 from ..federated import FedAvgAggregator, FederatedSimulation
 from ..federated.state_math import StateDict
-from ..nn.models import build_model
+from ..nn.models import RegistryModelFactory, build_model
 from ..nn.module import Module
+from ..runtime import BackendLike
 from ..training import TrainConfig, evaluate
 from ..unlearning import (
     GoldfishConfig,
@@ -59,18 +60,19 @@ DEFAULT_TRIGGER = TriggerPattern(size=7, value=6.0)
 def model_factory_for(
     dataset: ArrayDataset, model_name: str, seed: int = 42
 ) -> Callable[[], Module]:
-    """A zero-arg factory producing identically-initialised fresh models."""
+    """A zero-arg factory producing identically-initialised fresh models.
 
-    def factory() -> Module:
-        return build_model(
-            model_name,
-            num_classes=dataset.num_classes,
-            rng=np.random.default_rng(seed),
-            in_channels=dataset.in_channels,
-            image_size=dataset.image_size,
-        )
-
-    return factory
+    Returns a picklable :class:`~repro.nn.models.RegistryModelFactory`
+    rather than a closure, so the factory can travel inside runtime tasks
+    to worker processes on any multiprocessing start method.
+    """
+    return RegistryModelFactory(
+        name=model_name,
+        num_classes=dataset.num_classes,
+        in_channels=dataset.in_channels,
+        image_size=dataset.image_size,
+        seed=seed,
+    )
 
 
 def train_config(scale: ExperimentScale, **overrides) -> TrainConfig:
@@ -109,12 +111,15 @@ def build_backdoor_federation(
     model_name: Optional[str] = None,
     trigger: TriggerPattern = DEFAULT_TRIGGER,
     target_label: Optional[int] = None,
+    backend: BackendLike = None,
 ) -> BackdoorFederation:
     """Steps 1 of the canonical workflow (see module docstring).
 
     ``deletion_rate`` is the paper's "deleted data rate": the poisoned
     subset size as a fraction of the *total* training data, all residing at
-    client 0.
+    client 0. ``backend`` selects the execution backend for every round of
+    local training (see :mod:`repro.runtime`); results are identical
+    across backends.
     """
     if dataset_name not in SPECS:
         raise ValueError(f"unknown dataset {dataset_name!r}")
@@ -144,7 +149,9 @@ def build_backdoor_federation(
     config = train_config(
         scale, learning_rate=scale.learning_rate_for(resolved_model)
     )
-    sim = FederatedSimulation(factory, fed, FedAvgAggregator(), config, seed=seed + 2000)
+    sim = FederatedSimulation(
+        factory, fed, FedAvgAggregator(), config, seed=seed + 2000, backend=backend
+    )
     return BackdoorFederation(
         sim=sim,
         fed_data=fed,
@@ -236,19 +243,29 @@ def run_unlearning_method(
     setup: BackdoorFederation,
     scale: ExperimentScale,
     config_override: Optional[GoldfishConfig] = None,
+    backend: BackendLike = None,
 ) -> UnlearnOutcome:
-    """Step 3: run one unlearning flow on a federation with a pending deletion."""
+    """Step 3: run one unlearning flow on a federation with a pending deletion.
+
+    ``backend`` overrides the simulation's execution backend for this flow
+    only (``None`` keeps whatever the simulation was built with).
+    """
     sim = setup.sim
     if method == "ours":
         config = config_override or goldfish_config(scale, train=setup.config)
-        return federated_goldfish(sim, config, scale.unlearn_rounds)
+        return federated_goldfish(sim, config, scale.unlearn_rounds, backend=backend)
     if method == "b1":
-        return federated_retrain(sim, setup.config, scale.unlearn_rounds)
+        return federated_retrain(sim, setup.config, scale.unlearn_rounds, backend=backend)
     if method == "b2":
-        return federated_rapid_retrain(sim, setup.config, scale.unlearn_rounds)
+        return federated_rapid_retrain(
+            sim, setup.config, scale.unlearn_rounds, backend=backend
+        )
     if method == "b3":
         return federated_incompetent_teacher(
-            sim, IncompetentTeacherConfig(train=setup.config), scale.unlearn_rounds
+            sim,
+            IncompetentTeacherConfig(train=setup.config),
+            scale.unlearn_rounds,
+            backend=backend,
         )
     raise ValueError(f"unknown method {method!r}; available: {METHOD_NAMES}")
 

@@ -2,12 +2,13 @@
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Callable, Optional
 
 import numpy as np
 
 from ..data.dataset import ArrayDataset
 from ..nn.module import Module
+from ..runtime.task import TrainResult, TrainTask, capture_rng
 from ..training.config import TrainConfig, TrainHistory
 from ..training.trainer import train
 from .aggregation import ClientUpdate
@@ -102,3 +103,36 @@ class Client:
     def local_train(self, config: TrainConfig) -> TrainHistory:
         """Algorithm 1 ``LocalTraining``: plain SGD on the active data."""
         return train(self.model, self.active_dataset, config, self.rng)
+
+    # ------------------------------------------------------------------
+    # Runtime task emission (see repro.runtime)
+    # ------------------------------------------------------------------
+    def make_train_task(
+        self, config: TrainConfig, model_factory: Callable[[], Module]
+    ) -> TrainTask:
+        """Package this client's next local-training run as a pure task.
+
+        The task snapshots the client's model state and exact RNG position,
+        so running it on any backend reproduces :meth:`local_train` bit for
+        bit — provided :meth:`absorb_train_result` is called afterwards to
+        advance this client past the work the task performed.
+        """
+        return TrainTask(
+            task_id=self.client_id,
+            model_factory=model_factory,
+            dataset=self.active_dataset,
+            config=config,
+            rng_state=capture_rng(self.rng),
+            model_state=self.model.state_dict(),
+        )
+
+    def absorb_train_result(self, result: TrainResult) -> TrainHistory:
+        """Install a finished task's model state and advanced RNG position."""
+        if result.task_id != self.client_id:
+            raise ValueError(
+                f"client {self.client_id} cannot absorb result for task "
+                f"{result.task_id!r}"
+            )
+        self.model.load_state_dict(result.state)
+        self.rng.bit_generator.state = result.rng_state
+        return result.history

@@ -11,7 +11,7 @@
 from .lenet import LeNet5, ModifiedLeNet5
 from .mlp import MLP
 from .resnet import ResNet, resnet, resnet8, resnet20, resnet32, resnet56
-from .registry import MODEL_BUILDERS, build_model
+from .registry import MODEL_BUILDERS, RegistryModelFactory, build_model
 
 __all__ = [
     "LeNet5",
@@ -24,5 +24,6 @@ __all__ = [
     "resnet32",
     "resnet56",
     "MODEL_BUILDERS",
+    "RegistryModelFactory",
     "build_model",
 ]

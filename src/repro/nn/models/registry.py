@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Callable, Dict
 
 import numpy as np
@@ -69,3 +70,35 @@ def build_model(
             f"unknown model {name!r}; available: {sorted(MODEL_BUILDERS)}"
         ) from None
     return builder(num_classes, rng, in_channels, image_size)
+
+
+@dataclass(frozen=True)
+class RegistryModelFactory:
+    """A picklable zero-arg model factory.
+
+    Unlike a closure over :func:`build_model`, an instance of this class
+    survives pickling, so it can ride inside runtime tasks shipped to
+    spawn-based worker processes. Every call returns an identically
+    initialised fresh model (the init RNG is reseeded per call).
+    """
+
+    name: str
+    num_classes: int
+    in_channels: int = 1
+    image_size: int = 28
+    seed: int = 42
+
+    def __post_init__(self) -> None:
+        if self.name not in MODEL_BUILDERS:
+            raise ValueError(
+                f"unknown model {self.name!r}; available: {sorted(MODEL_BUILDERS)}"
+            )
+
+    def __call__(self) -> Module:
+        return build_model(
+            self.name,
+            num_classes=self.num_classes,
+            rng=np.random.default_rng(self.seed),
+            in_channels=self.in_channels,
+            image_size=self.image_size,
+        )

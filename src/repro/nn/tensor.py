@@ -22,6 +22,7 @@ indices or labels but must not require gradients.
 from __future__ import annotations
 
 import contextlib
+import threading
 from typing import Callable, Iterable, Optional, Sequence, Union
 
 import numpy as np
@@ -29,7 +30,9 @@ import numpy as np
 Scalar = Union[int, float, np.floating, np.integer]
 ArrayLike = Union[Scalar, Sequence, np.ndarray, "Tensor"]
 
-_GRAD_ENABLED = True
+# Thread-local so concurrent workers (repro.runtime's ThreadBackend) can
+# enter/leave no_grad() independently without racing on a shared flag.
+_GRAD_STATE = threading.local()
 
 
 @contextlib.contextmanager
@@ -42,18 +45,17 @@ def no_grad():
         with no_grad():
             logits = model(x)
     """
-    global _GRAD_ENABLED
-    previous = _GRAD_ENABLED
-    _GRAD_ENABLED = False
+    previous = is_grad_enabled()
+    _GRAD_STATE.enabled = False
     try:
         yield
     finally:
-        _GRAD_ENABLED = previous
+        _GRAD_STATE.enabled = previous
 
 
 def is_grad_enabled() -> bool:
     """Return whether new operations will be recorded in the graph."""
-    return _GRAD_ENABLED
+    return getattr(_GRAD_STATE, "enabled", True)
 
 
 def _unbroadcast(grad: np.ndarray, shape: tuple) -> np.ndarray:
@@ -117,7 +119,7 @@ class Tensor:
     ) -> None:
         self.data = _as_array(data)
         self.grad: Optional[np.ndarray] = None
-        self.requires_grad = bool(requires_grad) and _GRAD_ENABLED
+        self.requires_grad = bool(requires_grad) and is_grad_enabled()
         self._parents = _parents if self.requires_grad else ()
         self._backward_fn = _backward_fn if self.requires_grad else None
 
@@ -182,7 +184,7 @@ class Tensor:
     ) -> "Tensor":
         """Create an op output tensor, recording the graph edge if enabled."""
         parents = tuple(parents)
-        needs_grad = _GRAD_ENABLED and any(p.requires_grad for p in parents)
+        needs_grad = is_grad_enabled() and any(p.requires_grad for p in parents)
         if needs_grad:
             return Tensor(data, requires_grad=True, _parents=parents, _backward_fn=backward_fn)
         return Tensor(data)

@@ -1,0 +1,74 @@
+"""``repro.runtime`` — the pluggable execution runtime.
+
+Every embarrassingly-parallel training site in the code base — per-client
+local rounds in :class:`~repro.federated.simulation.FederatedSimulation`,
+the per-client loops of the unlearning protocols, per-shard (re)training
+in :class:`~repro.unlearning.sisa.SisaEnsemble` and
+:class:`~repro.unlearning.sharding.ShardedClientTrainer` — builds pure
+:mod:`~repro.runtime.task` work units and hands them to one
+:class:`~repro.runtime.backends.Backend`, instead of looping inline.
+
+Backend selection
+-----------------
+All of those entry points accept a ``backend=`` argument taking ``None``
+(serial, the default), a name (``"serial"``, ``"thread"``,
+``"process"``), or a configured :class:`Backend` instance::
+
+    sim = FederatedSimulation(..., backend="process")
+    ensemble = SisaEnsemble(..., backend=ProcessBackend(max_workers=4))
+
+Because each task snapshots and returns its RNG position, results are
+bit-identical across backends — parallelism is a pure wall-clock
+optimisation.  See :mod:`repro.runtime.backends` for the trade-offs.
+
+Determinism vs. the pre-runtime code: the federated paths (``run_round``
+and the four unlearning protocols) already gave every client its own
+child generator, so their serial results are bit-identical to the
+historical inline loops.  SISA and the sharded client trainer previously
+advanced *one* shared generator through shards sequentially — inherently
+order-dependent and unparallelisable — and now give each shard its own
+spawned stream instead; their results remain deterministic per seed but
+differ from the pre-runtime versions.
+"""
+
+from .backends import (
+    Backend,
+    BackendError,
+    BackendLike,
+    ProcessBackend,
+    SerialBackend,
+    ThreadBackend,
+    get_backend,
+    usable_cpus,
+)
+from .task import (
+    ChainResult,
+    ChainStage,
+    ChainTask,
+    RngState,
+    StateDict,
+    TrainResult,
+    TrainTask,
+    capture_rng,
+    restore_rng,
+)
+
+__all__ = [
+    "Backend",
+    "BackendError",
+    "BackendLike",
+    "ChainResult",
+    "ChainStage",
+    "ChainTask",
+    "ProcessBackend",
+    "RngState",
+    "SerialBackend",
+    "StateDict",
+    "ThreadBackend",
+    "TrainResult",
+    "TrainTask",
+    "capture_rng",
+    "get_backend",
+    "restore_rng",
+    "usable_cpus",
+]

@@ -1,0 +1,244 @@
+"""Execution backends: fan a list of independent tasks out across workers.
+
+Every backend exposes one method, :meth:`Backend.run_tasks`, taking a
+sequence of task objects (anything with a ``task_id`` attribute and a
+zero-argument ``run()`` method — see :mod:`repro.runtime.task`) and
+returning their results **in submission order**.  Because tasks are pure
+(they carry their own model state, data and RNG position), the choice of
+backend changes wall-clock time only, never the numbers:
+
+``SerialBackend``
+    Runs tasks one after another in the calling thread.  The default
+    everywhere; preserves exact seed-for-seed behaviour and is the
+    reference the parallel backends are tested against.
+
+``ThreadBackend``
+    A thread pool.  Python bytecode still serialises on the GIL, so this
+    only helps when the work releases it (large BLAS matmuls); its main
+    roles are overlap with I/O and cheap parity checking.
+
+``ProcessBackend``
+    Forked worker processes.  Tasks are *inherited* by the children at
+    fork time (so even closures work — nothing task-side is pickled);
+    only the results travel back over a queue, and those are plain NumPy
+    state dicts.  On platforms without ``fork`` it degrades to serial
+    execution rather than failing.
+
+Pick a backend by name with :func:`get_backend` (``"serial"``,
+``"thread"``, ``"process"``), or pass a :class:`Backend` instance for
+custom worker counts.
+"""
+
+from __future__ import annotations
+
+import abc
+import multiprocessing
+import os
+import queue as queue_module
+from concurrent.futures import ThreadPoolExecutor
+from typing import Any, List, Optional, Sequence, Union
+
+
+class BackendError(RuntimeError):
+    """A task failed (or was lost) while running under a backend."""
+
+
+def usable_cpus() -> int:
+    """CPUs this process may actually run on (affinity-aware)."""
+    try:
+        return len(os.sched_getaffinity(0)) or 1
+    except AttributeError:  # non-Linux
+        return os.cpu_count() or 1
+
+
+class Backend(abc.ABC):
+    """Uniform fan-out interface over independent tasks."""
+
+    name: str = "abstract"
+
+    @abc.abstractmethod
+    def run_tasks(self, tasks: Sequence[Any]) -> List[Any]:
+        """Run every task and return results in submission order."""
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"
+
+
+class SerialBackend(Backend):
+    """Run tasks one by one in the calling thread (the default)."""
+
+    name = "serial"
+
+    def run_tasks(self, tasks: Sequence[Any]) -> List[Any]:
+        return [task.run() for task in tasks]
+
+
+class ThreadBackend(Backend):
+    """Run tasks on a thread pool.
+
+    ``max_workers=None`` sizes the pool to the usable CPU count (at least
+    two, so the concurrent path is exercised even on one core).
+    """
+
+    name = "thread"
+
+    def __init__(self, max_workers: Optional[int] = None) -> None:
+        if max_workers is not None and max_workers < 1:
+            raise ValueError(f"max_workers must be >= 1, got {max_workers}")
+        self.max_workers = max_workers
+
+    def run_tasks(self, tasks: Sequence[Any]) -> List[Any]:
+        tasks = list(tasks)
+        if len(tasks) <= 1:
+            return [task.run() for task in tasks]
+        workers = min(len(tasks), self.max_workers or max(2, usable_cpus()))
+        with ThreadPoolExecutor(max_workers=workers) as pool:
+            return list(pool.map(lambda task: task.run(), tasks))
+
+
+def _process_worker(result_queue, tasks, cursor) -> None:
+    """Child body: pull task indices off the shared cursor, ship results.
+
+    Dynamic work stealing — each child grabs the next unclaimed index —
+    so heterogeneous batches (e.g. SISA chains of very different lengths)
+    balance across workers instead of round-robin bunching.
+    """
+    while True:
+        with cursor.get_lock():
+            index = cursor.value
+            if index >= len(tasks):
+                return
+            cursor.value = index + 1
+        try:
+            result_queue.put((index, None, tasks[index].run()))
+        except Exception as exc:  # report, don't kill the whole batch
+            # (KeyboardInterrupt/SystemExit propagate so Ctrl-C actually
+            # stops the worker instead of being logged as a task failure.)
+            import traceback
+
+            result_queue.put(
+                (index, f"{type(exc).__name__}: {exc}\n{traceback.format_exc()}", None)
+            )
+
+
+class ProcessBackend(Backend):
+    """Run tasks in forked worker processes.
+
+    Tasks are distributed round-robin over at most ``max_workers``
+    children.  Forking (rather than a pickling pool) means the children
+    see the task objects through copy-on-write memory, so arbitrary
+    callables — closure model factories included — are fine; only results
+    cross the process boundary.  Workers that die without reporting are
+    detected and surfaced as :class:`BackendError` instead of hanging.
+    """
+
+    name = "process"
+
+    def __init__(self, max_workers: Optional[int] = None) -> None:
+        if max_workers is not None and max_workers < 1:
+            raise ValueError(f"max_workers must be >= 1, got {max_workers}")
+        self.max_workers = max_workers
+
+    def run_tasks(self, tasks: Sequence[Any]) -> List[Any]:
+        tasks = list(tasks)
+        if len(tasks) <= 1:
+            return [task.run() for task in tasks]
+        if "fork" not in multiprocessing.get_all_start_methods():
+            # Spawn would require pickling the tasks' factories; stay
+            # correct (if slower) instead of failing on exotic platforms.
+            return SerialBackend().run_tasks(tasks)
+
+        workers = min(len(tasks), self.max_workers or max(2, usable_cpus()))
+        context = multiprocessing.get_context("fork")
+        result_queue = context.Queue()
+        cursor = context.Value("l", 0)  # next unclaimed task index
+        children = [
+            context.Process(
+                target=_process_worker,
+                args=(result_queue, tasks, cursor),
+                daemon=True,
+            )
+            for _ in range(workers)
+        ]
+        for child in children:
+            child.start()
+
+        results: List[Any] = [None] * len(tasks)
+        errors: List[str] = []
+        remaining = len(tasks)
+        try:
+            while remaining:
+                try:
+                    index, error, payload = result_queue.get(timeout=0.2)
+                except queue_module.Empty:
+                    if all(not child.is_alive() for child in children):
+                        # Children are gone; drain stragglers then bail.
+                        while remaining:
+                            try:
+                                index, error, payload = result_queue.get_nowait()
+                            except queue_module.Empty:
+                                break
+                            remaining -= 1
+                            if error is not None:
+                                errors.append(error)
+                            else:
+                                results[index] = payload
+                        if remaining:
+                            raise BackendError(
+                                f"{remaining} task(s) lost: worker process(es) "
+                                "died without reporting a result"
+                            )
+                    continue
+                remaining -= 1
+                if error is not None:
+                    errors.append(error)
+                else:
+                    results[index] = payload
+        finally:
+            for child in children:
+                child.join(timeout=5.0)
+                if child.is_alive():
+                    child.terminate()
+            result_queue.close()
+
+        if errors:
+            raise BackendError(
+                f"{len(errors)} task(s) failed under ProcessBackend; first:\n"
+                + errors[0]
+            )
+        return results
+
+
+_BACKENDS = {
+    "serial": SerialBackend,
+    "thread": ThreadBackend,
+    "threads": ThreadBackend,
+    "process": ProcessBackend,
+    "processes": ProcessBackend,
+    "fork": ProcessBackend,
+}
+
+BackendLike = Union[None, str, Backend]
+
+
+def get_backend(spec: BackendLike = None) -> Backend:
+    """Resolve ``None`` / a name / an instance to a :class:`Backend`.
+
+    ``None`` means the serial default (exact legacy behaviour); strings
+    pick a stock backend by name; instances pass through untouched.
+    """
+    if spec is None:
+        return SerialBackend()
+    if isinstance(spec, Backend):
+        return spec
+    if isinstance(spec, str):
+        try:
+            return _BACKENDS[spec.lower()]()
+        except KeyError:
+            raise ValueError(
+                f"unknown backend {spec!r}; available: "
+                f"{sorted(set(_BACKENDS))}"
+            ) from None
+    raise TypeError(
+        f"backend must be None, a name, or a Backend instance, got {type(spec)!r}"
+    )

@@ -1,0 +1,169 @@
+"""Pure, picklable units of training work.
+
+The execution backends in :mod:`repro.runtime.backends` know nothing about
+federated learning or SISA — they run *tasks*.  A task is a self-contained
+description of one piece of training work:
+
+* :class:`TrainTask` — one plain supervised training run (a federated
+  client's local epoch(s), one data shard's training pass, a retraining
+  baseline step);
+* :class:`ChainTask` — a sequence of incremental training stages over one
+  model with a checkpoint captured after every stage (a SISA shard's
+  slice-by-slice schedule).
+
+Determinism contract
+--------------------
+A task carries *everything* its computation reads — the model state dict,
+the data, the hyper-parameters, and the exact bit-generator state of the
+RNG that drives mini-batch shuffling — and its result returns everything
+the computation advanced (the new state dict and the new RNG state).
+Running a task is therefore a pure function: the same task produces the
+same result on any backend, in any process, in any order.  Callers that
+absorb the returned ``rng_state`` back into their own generator reproduce
+the serial execution bit for bit.
+
+Everything a task holds is plain data (NumPy arrays, dataclasses, dicts),
+so tasks and results pickle cleanly; the only caveat is ``model_factory``,
+which must be picklable for spawn-based multiprocessing but may be any
+callable (closures included) under the fork-based
+:class:`~repro.runtime.backends.ProcessBackend` and the in-process
+backends.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional
+
+import numpy as np
+
+from ..data.dataset import ArrayDataset
+from ..nn.module import Module
+from ..training.config import TrainConfig, TrainHistory
+from ..training.trainer import train
+
+# {name: array} model snapshot — same shape as Module.state_dict().
+StateDict = Dict[str, np.ndarray]
+# np.random.Generator.bit_generator.state — a plain picklable dict.
+RngState = Dict[str, Any]
+
+
+def capture_rng(rng: np.random.Generator) -> RngState:
+    """Snapshot a generator's exact position in its stream."""
+    return rng.bit_generator.state
+
+
+def restore_rng(state: RngState) -> np.random.Generator:
+    """Rebuild a generator positioned exactly at ``state``."""
+    rng = np.random.default_rng(0)
+    rng.bit_generator.state = state
+    return rng
+
+
+@dataclass
+class TrainResult:
+    """Everything a :class:`TrainTask` advanced."""
+
+    task_id: Any
+    state: StateDict
+    history: TrainHistory
+    rng_state: RngState
+
+
+@dataclass
+class TrainTask:
+    """One supervised training run as a pure work unit.
+
+    ``model_state=None`` means "train the factory-fresh initialisation";
+    otherwise the state dict is loaded before training starts.
+    """
+
+    task_id: Any
+    model_factory: Callable[[], Module]
+    dataset: ArrayDataset
+    config: TrainConfig
+    rng_state: RngState
+    model_state: Optional[StateDict] = None
+
+    def run(self) -> TrainResult:
+        model = self.model_factory()
+        if self.model_state is not None:
+            model.load_state_dict(self.model_state)
+        rng = restore_rng(self.rng_state)
+        history = train(model, self.dataset, self.config, rng)
+        return TrainResult(
+            task_id=self.task_id,
+            state=model.state_dict(),
+            history=history,
+            rng_state=capture_rng(rng),
+        )
+
+
+@dataclass
+class ChainStage:
+    """One stage of a :class:`ChainTask`.
+
+    ``indices`` selects this stage's training rows from the chain task's
+    shared ``dataset``; the subset is materialised lazily, one stage at a
+    time, inside :meth:`ChainTask.run` (stages are typically cumulative
+    prefixes, so copying them all up front would multiply peak memory).
+    ``indices=None`` (or an empty selection) records a checkpoint without
+    training — SISA's "entire prefix deleted" case.
+    """
+
+    stage_id: int
+    indices: Optional[np.ndarray]
+
+
+@dataclass
+class ChainResult:
+    """Everything a :class:`ChainTask` advanced."""
+
+    task_id: Any
+    checkpoints: Dict[int, StateDict]
+    final_state: StateDict
+    steps: int  # stages that actually trained (non-empty datasets)
+    rng_state: RngState
+    histories: List[TrainHistory] = field(default_factory=list)
+
+
+@dataclass
+class ChainTask:
+    """Incremental training with a checkpoint after every stage.
+
+    The stages run strictly in order on one model (they are a dependency
+    chain, not parallel work); the parallelism lives *across* chain tasks —
+    e.g. every SISA shard retrains as its own chain, concurrently. All
+    stages index into one shared ``dataset``, held once per task.
+    """
+
+    task_id: Any
+    model_factory: Callable[[], Module]
+    dataset: ArrayDataset
+    stages: List[ChainStage]
+    config: TrainConfig
+    rng_state: RngState
+    init_state: Optional[StateDict] = None
+
+    def run(self) -> ChainResult:
+        model = self.model_factory()
+        if self.init_state is not None:
+            model.load_state_dict(self.init_state)
+        rng = restore_rng(self.rng_state)
+        checkpoints: Dict[int, StateDict] = {}
+        histories: List[TrainHistory] = []
+        steps = 0
+        for stage in self.stages:
+            if stage.indices is not None and len(stage.indices) > 0:
+                subset = self.dataset.subset(stage.indices)
+                histories.append(train(model, subset, self.config, rng))
+                steps += 1
+            checkpoints[stage.stage_id] = model.state_dict()
+        return ChainResult(
+            task_id=self.task_id,
+            checkpoints=checkpoints,
+            final_state=model.state_dict(),
+            steps=steps,
+            rng_state=capture_rng(rng),
+            histories=histories,
+        )

@@ -63,6 +63,37 @@ class DiagonalFIMSGD(Optimizer):
             preconditioned = grad / (np.sqrt(fim / correction) + self.damping)
             param.data -= self.lr * preconditioned
 
+    # ------------------------------------------------------------------
+    # State round-tripping (lets the runtime layer move the optimizer's
+    # accumulated curvature between processes: B2's whole point is that
+    # the FIM estimate persists across rounds, so per-round worker tasks
+    # must carry it out and back).
+    # ------------------------------------------------------------------
+    @staticmethod
+    def empty_fim_state(num_parameters: int) -> dict:
+        """The state of a freshly constructed optimizer (no curvature yet)."""
+        return {"fim": [None] * num_parameters, "steps": 0}
+
+    def fim_state(self) -> dict:
+        """Snapshot the running FIM estimate and step counter (copied)."""
+        return {
+            "fim": [None if f is None else f.copy() for f in self._fim],
+            "steps": self._steps,
+        }
+
+    def load_fim_state(self, state: dict) -> None:
+        """Install a snapshot produced by :meth:`fim_state`."""
+        fim = state["fim"]
+        if len(fim) != len(self.parameters):
+            raise ValueError(
+                f"FIM state holds {len(fim)} entries for "
+                f"{len(self.parameters)} parameters"
+            )
+        self._fim = [
+            None if f is None else np.array(f, dtype=np.float64) for f in fim
+        ]
+        self._steps = int(state["steps"])
+
 
 class RapidRetrainer:
     """B2 driver: from-scratch retraining with the FIM-preconditioned optimizer."""

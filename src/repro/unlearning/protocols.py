@@ -11,16 +11,26 @@ These are the flows compared in the paper's evaluation:
   diagonal-FIM preconditioner;
 * :func:`federated_incompetent_teacher` — B3, dual-teacher adjustment of
   the current global model (no reinitialisation).
+
+The per-client work inside every round is packaged as pure tasks
+(model state + data + RNG position in, new state + advanced RNG out) and
+executed through the simulation's :class:`~repro.runtime.Backend`, so
+client updates within a round compute concurrently under ``"thread"`` /
+``"process"`` backends with bit-identical results. Pass ``backend=`` to
+any protocol to override the simulation's backend for that flow only.
 """
 
 from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Callable, List, Optional
+from typing import Any, Callable, Dict, List, Optional
 
+from ..data.dataset import ArrayDataset
 from ..federated.simulation import FederatedSimulation
 from ..nn.module import Module
+from ..runtime import BackendLike, get_backend
+from ..runtime.task import RngState, StateDict, capture_rng, restore_rng
 from ..training.config import TrainConfig
 from ..training.trainer import train
 from .baselines.incompetent import IncompetentTeacherConfig, IncompetentTeacherUnlearner
@@ -58,9 +68,155 @@ def _finish(sim: FederatedSimulation, start: float, rounds: int,
     )
 
 
+def _resolve_backend(sim: FederatedSimulation, backend: BackendLike):
+    """The protocol-level override, else whatever the simulation uses."""
+    return sim.backend if backend is None else get_backend(backend)
+
+
 RoundCallback = Callable[[int, FederatedSimulation], None]
 """Called after each aggregation with (round_index, sim); lets experiments
 capture per-round metrics (e.g. backdoor success rate at epoch checkpoints)."""
+
+
+# ----------------------------------------------------------------------
+# Task types (module-level so fork/pickle both work; each one is a pure
+# function of its fields — see repro.runtime.task for the contract)
+# ----------------------------------------------------------------------
+@dataclass
+class _ClientRoundResult:
+    """One client's contribution to a round, produced inside a worker."""
+
+    task_id: Any
+    state: StateDict
+    epochs_run: int
+    rng_state: RngState
+    extra: Optional[dict] = None  # protocol-specific state (e.g. B2's FIM)
+
+
+@dataclass
+class _GoldfishClientTask:
+    """One client's Goldfish teacher/student pass (Algorithm 1)."""
+
+    task_id: Any
+    model_factory: Callable[[], Module]
+    student_state: StateDict
+    teacher_state: StateDict
+    retain_set: ArrayDataset
+    forget_set: Optional[ArrayDataset]
+    config: GoldfishConfig
+    rng_state: RngState
+
+    def run(self) -> _ClientRoundResult:
+        student = self.model_factory()
+        student.load_state_dict(self.student_state)
+        teacher = self.model_factory()
+        teacher.load_state_dict(self.teacher_state)
+        rng = restore_rng(self.rng_state)
+        result = GoldfishUnlearner(self.config).unlearn(
+            student=student,
+            teacher=teacher,
+            retain_set=self.retain_set,
+            forget_set=self.forget_set,
+            rng=rng,
+        )
+        return _ClientRoundResult(
+            task_id=self.task_id,
+            state=student.state_dict(),
+            epochs_run=result.epochs_run,
+            rng_state=capture_rng(rng),
+        )
+
+
+@dataclass
+class _RapidClientTask:
+    """One client's FIM-preconditioned pass (B2); carries the curvature."""
+
+    task_id: Any
+    model_factory: Callable[[], Module]
+    model_state: StateDict
+    dataset: ArrayDataset
+    config: TrainConfig
+    rng_state: RngState
+    lr: float
+    rho: float
+    damping: float
+    fim_state: dict
+
+    def run(self) -> _ClientRoundResult:
+        model = self.model_factory()
+        model.load_state_dict(self.model_state)
+        optimizer = DiagonalFIMSGD(
+            model.parameters(), lr=self.lr, rho=self.rho, damping=self.damping
+        )
+        optimizer.load_fim_state(self.fim_state)
+        rng = restore_rng(self.rng_state)
+        history = train(model, self.dataset, self.config, rng, optimizer=optimizer)
+        return _ClientRoundResult(
+            task_id=self.task_id,
+            state=model.state_dict(),
+            epochs_run=len(history),
+            rng_state=capture_rng(rng),
+            extra={"fim": optimizer.fim_state()},
+        )
+
+
+@dataclass
+class _IncompetentClientTask:
+    """One unlearning client's dual-teacher adjustment pass (B3)."""
+
+    task_id: Any
+    model_factory: Callable[[], Module]
+    student_state: StateDict
+    competent_state: StateDict
+    incompetent_state: StateDict
+    retain_set: ArrayDataset
+    forget_set: ArrayDataset
+    config: IncompetentTeacherConfig
+    rng_state: RngState
+
+    def run(self) -> _ClientRoundResult:
+        student = self.model_factory()
+        student.load_state_dict(self.student_state)
+        competent = self.model_factory()
+        competent.load_state_dict(self.competent_state)
+        incompetent = self.model_factory()
+        incompetent.load_state_dict(self.incompetent_state)
+        rng = restore_rng(self.rng_state)
+        result = IncompetentTeacherUnlearner(self.config).unlearn(
+            student=student,
+            competent_teacher=competent,
+            incompetent_teacher=incompetent,
+            retain_set=self.retain_set,
+            forget_set=self.forget_set,
+            rng=rng,
+        )
+        return _ClientRoundResult(
+            task_id=self.task_id,
+            state=student.state_dict(),
+            epochs_run=result.epochs_run,
+            rng_state=capture_rng(rng),
+        )
+
+
+def _absorb_round(sim: FederatedSimulation, results: List[Any]) -> int:
+    """Install worker results into the clients; return total epochs run.
+
+    Accepts both protocol-specific :class:`_ClientRoundResult` objects and
+    stock :class:`~repro.runtime.TrainResult` objects (from plain retrain
+    tasks emitted via :meth:`Client.make_train_task`), which report their
+    epoch count via their history.
+    """
+    epochs = 0
+    by_id = {client.client_id: client for client in sim.clients}
+    for result in results:
+        client = by_id[result.task_id]
+        if hasattr(result, "epochs_run"):
+            client.model.load_state_dict(result.state)
+            client.rng.bit_generator.state = result.rng_state
+            epochs += result.epochs_run
+        else:
+            epochs += len(client.absorb_train_result(result))
+    return epochs
 
 
 def federated_goldfish(
@@ -68,6 +224,7 @@ def federated_goldfish(
     config: GoldfishConfig,
     num_rounds: int,
     round_callback: Optional[RoundCallback] = None,
+    backend: BackendLike = None,
 ) -> UnlearnOutcome:
     """Run the Goldfish deletion branch of Algorithm 1.
 
@@ -79,26 +236,29 @@ def federated_goldfish(
     if num_rounds <= 0:
         raise ValueError(f"num_rounds must be positive, got {num_rounds}")
     start = time.perf_counter()
-    teacher = sim.global_model()  # ω^{t-1}, knows D_f and D_r
+    runner = _resolve_backend(sim, backend)
+    teacher_state = sim.server.global_state  # ω^{t-1}, knows D_f and D_r
     sim.server.reinitialize()
-    unlearner = GoldfishUnlearner(config)
 
     accuracies: List[float] = []
     local_epochs = 0
     for _ in range(num_rounds):
         sim.server.broadcast(sim.clients)
-        updates = []
-        for client in sim.clients:
-            result = unlearner.unlearn(
-                student=client.model,
-                teacher=teacher,
+        tasks = [
+            _GoldfishClientTask(
+                task_id=client.client_id,
+                model_factory=sim.model_factory,
+                student_state=client.model.state_dict(),
+                teacher_state=teacher_state,
                 retain_set=client.retain_set,
                 forget_set=client.forget_set,
-                rng=client.rng,
+                config=config,
+                rng_state=capture_rng(client.rng),
             )
-            local_epochs += result.epochs_run
-            updates.append(client.upload())
-        sim.server.aggregate(updates)
+            for client in sim.clients
+        ]
+        local_epochs += _absorb_round(sim, runner.run_tasks(tasks))
+        sim.server.aggregate([client.upload() for client in sim.clients])
         accuracies.append(sim.server.evaluate_global()[1])
         if round_callback is not None:
             round_callback(len(accuracies) - 1, sim)
@@ -110,22 +270,26 @@ def federated_retrain(
     train_config: TrainConfig,
     num_rounds: int,
     round_callback: Optional[RoundCallback] = None,
+    backend: BackendLike = None,
 ) -> UnlearnOutcome:
     """B1: reinitialise and run plain FedAvg training on the retained data."""
     if num_rounds <= 0:
         raise ValueError(f"num_rounds must be positive, got {num_rounds}")
     start = time.perf_counter()
+    runner = _resolve_backend(sim, backend)
     sim.server.reinitialize()
     accuracies: List[float] = []
     local_epochs = 0
     for _ in range(num_rounds):
         sim.server.broadcast(sim.clients)
-        updates = []
-        for client in sim.clients:
-            history = train(client.model, client.retain_set, train_config, client.rng)
-            local_epochs += len(history)
-            updates.append(client.upload())
-        sim.server.aggregate(updates)
+        # Client.active_dataset is the retain set while a deletion is
+        # pending, so the stock client task trains on exactly D_r^c.
+        tasks = [
+            client.make_train_task(train_config, sim.model_factory)
+            for client in sim.clients
+        ]
+        local_epochs += _absorb_round(sim, runner.run_tasks(tasks))
+        sim.server.aggregate([client.upload() for client in sim.clients])
         accuracies.append(sim.server.evaluate_global()[1])
         if round_callback is not None:
             round_callback(len(accuracies) - 1, sim)
@@ -140,23 +304,25 @@ def federated_rapid_retrain(
     rho: float = 0.95,
     damping: float = 1e-3,
     round_callback: Optional[RoundCallback] = None,
+    backend: BackendLike = None,
 ) -> UnlearnOutcome:
     """B2: from-scratch retraining with diagonal-FIM preconditioned SGD.
 
     The per-client FIM estimate persists across rounds (that is the whole
     point of the method: curvature accumulated once keeps accelerating).
+    Each round's task carries the client's FIM snapshot out to the worker
+    and brings the updated estimate back.
     """
     if num_rounds <= 0:
         raise ValueError(f"num_rounds must be positive, got {num_rounds}")
     start = time.perf_counter()
+    runner = _resolve_backend(sim, backend)
     sim.server.reinitialize()
     sim.server.broadcast(sim.clients)
-    optimizers = {
-        client.client_id: DiagonalFIMSGD(
-            client.model.parameters(),
-            lr=train_config.learning_rate * lr_scale,
-            rho=rho,
-            damping=damping,
+    lr = train_config.learning_rate * lr_scale
+    fim_states: Dict[Any, dict] = {
+        client.client_id: DiagonalFIMSGD.empty_fim_state(
+            len(client.model.parameters())
         )
         for client in sim.clients
     }
@@ -165,18 +331,26 @@ def federated_rapid_retrain(
     for round_index in range(num_rounds):
         if round_index > 0:
             sim.server.broadcast(sim.clients)
-        updates = []
-        for client in sim.clients:
-            history = train(
-                client.model,
-                client.retain_set,
-                train_config,
-                client.rng,
-                optimizer=optimizers[client.client_id],
+        tasks = [
+            _RapidClientTask(
+                task_id=client.client_id,
+                model_factory=sim.model_factory,
+                model_state=client.model.state_dict(),
+                dataset=client.retain_set,
+                config=train_config,
+                rng_state=capture_rng(client.rng),
+                lr=lr,
+                rho=rho,
+                damping=damping,
+                fim_state=fim_states[client.client_id],
             )
-            local_epochs += len(history)
-            updates.append(client.upload())
-        sim.server.aggregate(updates)
+            for client in sim.clients
+        ]
+        results = runner.run_tasks(tasks)
+        for result in results:
+            fim_states[result.task_id] = result.extra["fim"]
+        local_epochs += _absorb_round(sim, results)
+        sim.server.aggregate([client.upload() for client in sim.clients])
         accuracies.append(sim.server.evaluate_global()[1])
         if round_callback is not None:
             round_callback(len(accuracies) - 1, sim)
@@ -189,39 +363,44 @@ def federated_incompetent_teacher(
     num_rounds: int,
     normal_client_config: Optional[TrainConfig] = None,
     round_callback: Optional[RoundCallback] = None,
+    backend: BackendLike = None,
 ) -> UnlearnOutcome:
     """B3: the unlearning clients adjust the *current* global model with the
     incompetent-teacher objective; normal clients train as usual."""
     if num_rounds <= 0:
         raise ValueError(f"num_rounds must be positive, got {num_rounds}")
     start = time.perf_counter()
-    competent = sim.global_model()
-    incompetent = sim.model_factory()  # random weights on purpose
-    unlearner = IncompetentTeacherUnlearner(config)
+    runner = _resolve_backend(sim, backend)
+    competent_state = sim.server.global_state
+    incompetent_state = sim.model_factory().state_dict()  # random on purpose
     normal_client_config = normal_client_config or config.train
 
     accuracies: List[float] = []
     local_epochs = 0
     for _ in range(num_rounds):
         sim.server.broadcast(sim.clients)
-        updates = []
+        tasks: List[Any] = []
         for client in sim.clients:
             if client.has_pending_deletion:
-                result = unlearner.unlearn(
-                    student=client.model,
-                    competent_teacher=competent,
-                    incompetent_teacher=incompetent,
-                    retain_set=client.retain_set,
-                    forget_set=client.forget_set,
-                    rng=client.rng,
+                tasks.append(
+                    _IncompetentClientTask(
+                        task_id=client.client_id,
+                        model_factory=sim.model_factory,
+                        student_state=client.model.state_dict(),
+                        competent_state=competent_state,
+                        incompetent_state=incompetent_state,
+                        retain_set=client.retain_set,
+                        forget_set=client.forget_set,
+                        config=config,
+                        rng_state=capture_rng(client.rng),
+                    )
                 )
-                local_epochs += result.epochs_run
             else:
-                history = train(client.model, client.retain_set,
-                                normal_client_config, client.rng)
-                local_epochs += len(history)
-            updates.append(client.upload())
-        sim.server.aggregate(updates)
+                tasks.append(
+                    client.make_train_task(normal_client_config, sim.model_factory)
+                )
+        local_epochs += _absorb_round(sim, runner.run_tasks(tasks))
+        sim.server.aggregate([client.upload() for client in sim.clients])
         accuracies.append(sim.server.evaluate_global()[1])
         if round_callback is not None:
             round_callback(len(accuracies) - 1, sim)

@@ -18,6 +18,16 @@ subtracting the untouched shards back out
     ω_{c,i} = (|D|/|D_i|) · (ω_c − Σ_{j≠i} (|D_j|/|D|) ω_{c,j})   (Eq. 10)
 
 so the per-shard decomposition stays consistent for future deletions.
+
+Shard training goes through the pluggable execution runtime
+(:mod:`repro.runtime`): each shard trains from its own stored state and
+its own child RNG stream, so :meth:`ShardedClientTrainer.train_all` and
+multi-shard deletions fan out across workers under a parallel backend
+(``backend=`` on the constructor) with bit-identical results. (The
+per-shard streams — seeded from ``num_shards`` draws off the caller's
+``rng`` at construction — replace the single shared generator the
+pre-runtime version advanced shard by shard, so weights for a given
+seed differ from that version but are identical across backends.)
 """
 
 from __future__ import annotations
@@ -33,8 +43,9 @@ from ..data.partition import partition_shards
 from ..federated import state_math
 from ..federated.state_math import StateDict
 from ..nn.module import Module
+from ..runtime import BackendLike, get_backend
+from ..runtime.task import RngState, TrainTask
 from ..training.config import TrainConfig
-from ..training.trainer import train
 
 
 @dataclass
@@ -61,7 +72,13 @@ class ShardedClientTrainer:
     model_factory:
         Builds one fresh model; called once per shard.
     rng:
-        Drives the shard split and all shard training shuffles.
+        Drives the shard split and seeds the per-shard training streams
+        (each shard shuffles from its own child generator, which keeps
+        shard training order-independent and thus parallelisable).
+    backend:
+        Execution backend for shard training — ``None``/``"serial"``
+        (default), ``"thread"``, ``"process"``, or a
+        :class:`~repro.runtime.Backend` instance.
     """
 
     def __init__(
@@ -70,6 +87,7 @@ class ShardedClientTrainer:
         num_shards: int,
         model_factory: Callable[[], Module],
         rng: np.random.Generator,
+        backend: BackendLike = None,
     ) -> None:
         if num_shards <= 0:
             raise ValueError(f"num_shards must be positive, got {num_shards}")
@@ -77,12 +95,17 @@ class ShardedClientTrainer:
         self.num_shards = num_shards
         self.model_factory = model_factory
         self.rng = rng
+        self.backend = get_backend(backend)
         self.shard_indices: List[np.ndarray] = partition_shards(len(dataset), num_shards, rng)
-        self._scratch: Module = model_factory()
         self.shard_states: List[StateDict] = []
-        for _ in range(num_shards):
+        self.shard_rng_states: List[RngState] = []
+        child_seeds = rng.integers(0, 2**63 - 1, size=num_shards)
+        for shard in range(num_shards):
             fresh = model_factory()
             self.shard_states.append(fresh.state_dict())
+            self.shard_rng_states.append(
+                np.random.default_rng(int(child_seeds[shard])).bit_generator.state
+            )
 
     # ------------------------------------------------------------------
     # Size bookkeeping
@@ -99,16 +122,32 @@ class ShardedClientTrainer:
     # ------------------------------------------------------------------
     # Training and aggregation
     # ------------------------------------------------------------------
+    def _shard_task(self, shard: int, config: TrainConfig) -> TrainTask:
+        """One shard's next training pass as a pure runtime task."""
+        return TrainTask(
+            task_id=shard,
+            model_factory=self.model_factory,
+            dataset=self.shard_dataset(shard),
+            config=config,
+            rng_state=self.shard_rng_states[shard],
+            model_state=self.shard_states[shard],
+        )
+
+    def _train_shards(self, shards: List[int], config: TrainConfig) -> None:
+        """Fan the given shards' training passes out through the backend."""
+        tasks = [self._shard_task(shard, config) for shard in shards]
+        for task, result in zip(tasks, self.backend.run_tasks(tasks)):
+            self.shard_states[task.task_id] = result.state
+            self.shard_rng_states[task.task_id] = result.rng_state
+
     def train_shard(self, shard: int, config: TrainConfig) -> None:
         """Continue training shard ``shard`` from its stored state."""
-        self._scratch.load_state_dict(self.shard_states[shard])
-        train(self._scratch, self.shard_dataset(shard), config, self.rng)
-        self.shard_states[shard] = self._scratch.state_dict()
+        self._train_shards([shard], config)
 
     def train_all(self, config: TrainConfig) -> None:
-        """One local training pass over every shard."""
-        for shard in range(self.num_shards):
-            self.train_shard(shard, config)
+        """One local training pass over every shard (parallel across
+        shards under a thread/process backend)."""
+        self._train_shards(list(range(self.num_shards)), config)
 
     def aggregate(self, exclude: Optional[int] = None) -> StateDict:
         """Eq. 8 (or Eq. 9 when ``exclude`` names a shard to leave out)."""
@@ -195,6 +234,7 @@ class ShardedClientTrainer:
         for shard in sorted(dropped, reverse=True):
             del self.shard_indices[shard]
             del self.shard_states[shard]
+            del self.shard_rng_states[shard]
         self.num_shards = len(self.shard_indices)
         if self.num_shards == 0:
             raise ValueError("deletion emptied every shard")
@@ -203,17 +243,26 @@ class ShardedClientTrainer:
         surviving_affected = [s for s in affected if s not in dropped]
         # Account for index shifts caused by dropped shards.
         shift = {old: old - sum(1 for d in dropped if d < old) for old in surviving_affected}
-        for old_shard in surviving_affected:
-            shard = shift[old_shard]
-            if reinitialize_affected:
-                self.shard_states[shard] = self.model_factory().state_dict()
+        # Fix every retrain's starting state before any retraining runs,
+        # so affected shards are independent work units (retrainable
+        # concurrently, and identical under every backend).
+        if reinitialize_affected:
             # Warm start per Eq. 9: begin from the checkpoint of untouched
-            # shards when the shard state was dropped, otherwise continue
-            # from the shard's own previous weights.
-            if self.num_shards > 1 and reinitialize_affected:
-                self.shard_states[shard] = self.aggregate(exclude=shard)
-            self.train_shard(shard, config)
-            retrained.append(old_shard)
+            # shards (all starts computed from the same pre-retrain
+            # snapshot), falling back to a fresh initialisation when there
+            # is no other shard to build the checkpoint from.
+            starts = {
+                shift[old]: (
+                    self.aggregate(exclude=shift[old])
+                    if self.num_shards > 1
+                    else self.model_factory().state_dict()
+                )
+                for old in surviving_affected
+            }
+            for shard, state in starts.items():
+                self.shard_states[shard] = state
+        self._train_shards([shift[old] for old in surviving_affected], config)
+        retrained.extend(surviving_affected)
 
         return DeletionReport(
             affected_shards=affected,

@@ -20,6 +20,18 @@ cites as SISA's "data sharding and slicing" but does not rebuild:
 The expected cost saving over retraining the shard from scratch is
 ``(R+1)/2 / R`` per deletion (a uniformly random slice is hit), on top of
 the ``1/S`` saving from sharding.
+
+Shard isolation is also an execution property: no shard ever reads
+another shard's data, model or RNG stream, so (re)training is submitted
+as one :class:`~repro.runtime.ChainTask` per shard through a pluggable
+:class:`~repro.runtime.Backend` (``backend=`` on the constructor —
+``"serial"`` default, ``"thread"``, ``"process"``). A deletion touching
+several shards retrains them concurrently under a parallel backend, with
+bit-identical results, because each shard trains from its own spawned
+child generator whose exact position is carried in the task. (The
+per-shard streams replace the single shared generator the pre-runtime
+version advanced shard by shard, so weights for a given seed differ from
+that version — but are identical across backends and runs.)
 """
 
 from __future__ import annotations
@@ -36,9 +48,10 @@ from ..nn.serialization import load_state_dict, save_state_dict
 from ..data.dataset import ArrayDataset
 from ..federated.state_math import StateDict
 from ..nn.module import Module
+from ..runtime import BackendLike, get_backend
+from ..runtime.task import ChainResult, ChainStage, ChainTask, RngState
 from ..training.config import TrainConfig
 from ..training.evaluation import predict_proba
-from ..training.trainer import train
 
 
 @dataclass(frozen=True)
@@ -104,6 +117,9 @@ class _Shard:
     model: Optional[Module] = None
     # checkpoints[r] = state after the training step that added slice r.
     checkpoints: Dict[int, StateDict] = field(default_factory=dict)
+    # Position of this shard's private training-RNG stream (spawned from
+    # the ensemble seed, advanced by every training step on this shard).
+    rng_state: Optional[RngState] = None
 
 
 class SisaEnsemble:
@@ -119,7 +135,13 @@ class SisaEnsemble:
     config:
         Shard/slice shape and per-step training hyper-parameters.
     seed:
-        Controls the random shard assignment and the training order.
+        Controls the random shard assignment and the per-shard training
+        RNG streams (each shard trains from its own spawned child
+        generator, so shard work is order-independent).
+    backend:
+        Execution backend for shard (re)training — ``None``/``"serial"``
+        (default), ``"thread"``, ``"process"``, or a
+        :class:`~repro.runtime.Backend` instance.
     """
 
     def __init__(
@@ -128,6 +150,7 @@ class SisaEnsemble:
         dataset: ArrayDataset,
         config: SisaConfig = SisaConfig(),
         seed: int = 0,
+        backend: BackendLike = None,
     ) -> None:
         total_parts = config.num_shards * config.num_slices
         if len(dataset) < total_parts:
@@ -138,9 +161,12 @@ class SisaEnsemble:
         self.model_factory = model_factory
         self.dataset = dataset
         self.config = config
+        self.backend = get_backend(backend)
         self._rng = np.random.default_rng(seed)
         self._deleted: set = set()
         self._shards = self._partition()
+        self._seed_shards(self._shards, seed)
+        self._rebuild_lookup()
         self._fitted = False
 
     # ------------------------------------------------------------------
@@ -160,13 +186,30 @@ class SisaEnsemble:
             )
         return shards
 
+    @staticmethod
+    def _seed_shards(shards: List[_Shard], seed: int) -> None:
+        """Give every shard an independent child training stream."""
+        children = np.random.SeedSequence(seed).spawn(len(shards))
+        for shard, sequence in zip(shards, children):
+            shard.rng_state = np.random.default_rng(sequence).bit_generator.state
+
+    def _rebuild_lookup(self) -> None:
+        """Precompute global index → (shard, slice) for O(1) shard_of."""
+        self._location: Dict[int, Tuple[int, int]] = {
+            int(global_index): (shard.index, slice_index)
+            for shard in self._shards
+            for slice_index, part in enumerate(shard.slice_indices)
+            for global_index in part
+        }
+
     def shard_of(self, global_index: int) -> Tuple[int, int]:
         """(shard, slice) containing a global dataset index."""
-        for shard in self._shards:
-            for slice_index, indices in enumerate(shard.slice_indices):
-                if global_index in indices:
-                    return shard.index, slice_index
-        raise KeyError(f"index {global_index} not found (already deleted?)")
+        try:
+            return self._location[int(global_index)]
+        except KeyError:
+            raise KeyError(
+                f"index {global_index} not found (already deleted?)"
+            ) from None
 
     # ------------------------------------------------------------------
     # Training
@@ -182,35 +225,52 @@ class SisaEnsemble:
             merged = merged[keep]
         return merged
 
-    def _train_shard(self, shard: _Shard, from_slice: int) -> int:
-        """(Re)train ``shard`` incrementally from slice ``from_slice``.
-
-        Resumes from the checkpoint after slice ``from_slice − 1`` when one
-        exists; returns the number of slice steps run.
+    def _shard_chain_task(self, shard: _Shard, from_slice: int) -> ChainTask:
+        """Package ``shard``'s incremental (re)training from ``from_slice``
+        as a pure chain task: one stage per remaining slice step, resuming
+        from the checkpoint after slice ``from_slice − 1`` when one exists.
         """
+        stages = [
+            # Empty active set (entire prefix deleted) → checkpoint-only
+            # stage; the subset itself is materialised lazily in run().
+            ChainStage(
+                stage_id=slice_index,
+                indices=self._active_indices(shard, slice_index),
+            )
+            for slice_index in range(from_slice, self.config.num_slices)
+        ]
+        return ChainTask(
+            task_id=shard.index,
+            model_factory=self.model_factory,
+            dataset=self.dataset,
+            stages=stages,
+            config=self.config.train_config(),
+            rng_state=shard.rng_state,
+            init_state=shard.checkpoints[from_slice - 1] if from_slice > 0 else None,
+        )
+
+    def _absorb_chain_result(self, shard: _Shard, result: ChainResult) -> int:
+        """Install a finished shard chain: checkpoints, model, RNG position."""
+        shard.checkpoints.update(result.checkpoints)
         model = self.model_factory()
-        if from_slice > 0:
-            model.load_state_dict(shard.checkpoints[from_slice - 1])
-        steps = 0
-        for slice_index in range(from_slice, self.config.num_slices):
-            active = self._active_indices(shard, slice_index)
-            if len(active) == 0:
-                # Entire prefix deleted; nothing to train on at this step.
-                shard.checkpoints[slice_index] = model.state_dict()
-                continue
-            subset = self.dataset.subset(active)
-            train(model, subset, self.config.train_config(), self._rng)
-            shard.checkpoints[slice_index] = model.state_dict()
-            steps += 1
+        model.load_state_dict(result.final_state)
         shard.model = model
-        return steps
+        shard.rng_state = result.rng_state
+        return result.steps
 
     def fit(self) -> "SisaEnsemble":
-        """Train every shard through all its slices (initial training)."""
+        """Train every shard through all its slices (initial training).
+
+        Shards are independent, so their chains run concurrently under a
+        parallel backend.
+        """
+        tasks = []
         for shard in self._shards:
             # Drop any stale checkpoints and start clean.
             shard.checkpoints.clear()
-            self._train_shard(shard, from_slice=0)
+            tasks.append(self._shard_chain_task(shard, from_slice=0))
+        for shard, result in zip(self._shards, self.backend.run_tasks(tasks)):
+            self._absorb_chain_result(shard, result)
         self._fitted = True
         return self
 
@@ -241,13 +301,19 @@ class SisaEnsemble:
 
         self._deleted.update(int(i) for i in indices)
 
-        retrained = 0
+        # One retrain chain per affected shard; chains are independent, so
+        # a multi-shard deletion retrains its shards concurrently under a
+        # parallel backend.
+        tasks = []
         for shard_index, from_slice in sorted(first_affected.items()):
             shard = self._shards[shard_index]
             # Invalidate checkpoints from the affected slice onward.
             for stale in range(from_slice, self.config.num_slices):
                 shard.checkpoints.pop(stale, None)
-            retrained += self._train_shard(shard, from_slice)
+            tasks.append(self._shard_chain_task(shard, from_slice))
+        retrained = 0
+        for task, result in zip(tasks, self.backend.run_tasks(tasks)):
+            retrained += self._absorb_chain_result(self._shards[task.task_id], result)
 
         total_steps = self.config.num_shards * self.config.num_slices
         reused = total_steps - sum(
@@ -316,6 +382,10 @@ class SisaEnsemble:
                     "index": shard.index,
                     "slice_indices": [part.tolist() for part in shard.slice_indices],
                     "checkpoints": sorted(shard.checkpoints),
+                    # Persist the training stream's exact position so a
+                    # deletion after load() retrains identically to one on
+                    # the live ensemble.
+                    "rng_state": shard.rng_state,
                 }
                 for shard in self._shards
             ],
@@ -338,6 +408,7 @@ class SisaEnsemble:
         model_factory: Callable[[], Module],
         dataset: ArrayDataset,
         seed: int = 0,
+        backend: BackendLike = None,
     ) -> "SisaEnsemble":
         """Rebuild an ensemble saved with :meth:`save`.
 
@@ -349,7 +420,7 @@ class SisaEnsemble:
         with open(manifest_path) as handle:
             manifest = json.load(handle)
         config = SisaConfig(**manifest["config"])
-        ensemble = cls(model_factory, dataset, config, seed=seed)
+        ensemble = cls(model_factory, dataset, config, seed=seed, backend=backend)
         ensemble._deleted = set(manifest["deleted"])
         ensemble._shards = []
         for entry in manifest["shards"]:
@@ -376,6 +447,13 @@ class SisaEnsemble:
             model.load_state_dict(shard.checkpoints[last])
             shard.model = model
             ensemble._shards.append(shard)
+        cls._seed_shards(ensemble._shards, seed)
+        for shard, entry in zip(ensemble._shards, manifest["shards"]):
+            # Restore each shard's exact stream position (manifests from
+            # before rng persistence fall back to the fresh spawn above).
+            if entry.get("rng_state") is not None:
+                shard.rng_state = entry["rng_state"]
+        ensemble._rebuild_lookup()
         ensemble._fitted = True
         return ensemble
 

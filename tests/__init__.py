@@ -1,0 +1,2 @@
+"""Test suite for the conf_dsn_WangZCE24 reproduction (package context
+for the relative ``..conftest`` imports used by the test modules)."""
