@@ -1,21 +1,28 @@
-"""Runtime benchmark: serial vs process backends on real fan-out work.
+"""Runtime benchmark: serial vs process vs warm-pool backends.
 
-Two workloads, matching the refactored fan-out sites:
+Four workloads, matching the refactored fan-out sites:
 
 * one federated round across 8 clients (``FederatedSimulation.run_round``);
-* a 4-shard SISA fit (``SisaEnsemble.fit``).
+* a 4-shard SISA fit (``SisaEnsemble.fit``);
+* a **multi-round** federated run — where fork-per-call pays a fresh
+  fork per round but the persistent pool forks once (the warm-pool
+  smoke benchmark);
+* a stream of SISA deletion requests executed immediately vs coalesced
+  per flush window through ``DeletionManager.maybe_execute_batched``
+  (fewer retrain chains than requests).
 
-Each run is timed under the serial and process backends, asserted
-bit-identical, and appended as a JSON record to
-``benchmarks/results/bench_runtime.json`` so the perf trajectory stays
-machine-readable across PRs::
+Each run is asserted bit-identical across backends and appended as a
+JSON record to ``benchmarks/results/bench_runtime.json`` so the perf
+trajectory stays machine-readable across PRs::
 
     {"workload": ..., "clients": ..., "shards": ..., "backend": ...,
      "wall_clock_s": ..., "cpus": ..., "speedup_vs_serial": ...}
 
-The speedup assertion scales with the hardware: ≥1.5× needs ≥4 usable
-cores (on 1 core the process backend can only add overhead, so there the
-benchmark records timings and checks parity only).
+The single-round speedup assertion scales with the hardware: ≥1.5×
+needs ≥4 usable cores (on 1 core the process backend can only add
+overhead, so there the benchmark records timings and checks parity
+only).  The warm-pool-vs-fork assertion does *not* scale away: the pool
+removes per-round fork overhead, which is a win at any core count.
 """
 
 import json
@@ -28,9 +35,14 @@ import pytest
 from repro.data.dataset import ArrayDataset, FederatedDataset
 from repro.federated import FedAvgAggregator, FederatedSimulation
 from repro.nn.models import RegistryModelFactory
-from repro.runtime import usable_cpus
+from repro.runtime import PoolBackend, usable_cpus
 from repro.training import TrainConfig
-from repro.unlearning import SisaConfig, SisaEnsemble
+from repro.unlearning import (
+    BatchSizePolicy,
+    DeletionManager,
+    SisaConfig,
+    SisaEnsemble,
+)
 
 RESULTS_PATH = os.path.join(
     os.path.dirname(__file__), "results", "bench_runtime.json"
@@ -168,3 +180,186 @@ class TestSisaFitSpeedup:
                 }
             )
         _assert_speedup(speedup)
+
+
+class TestWarmPoolMultiRound:
+    """The persistent pool vs fork-per-call on a many-round experiment.
+
+    Sized so one round's local training is *small* relative to the cost
+    of forking two workers: exactly the regime of real federated
+    unlearning runs, where tens to hundreds of rounds each fan out a
+    modest batch of client work.  Fork-per-call pays `rounds × workers`
+    forks; the warm pool pays `workers` — so the pool must win by ≥1.3×
+    regardless of core count.  Client datasets go to shared memory, so
+    each pooled task pickles as a handle + indices, not arrays.
+    """
+
+    ROUNDS = 12
+    CONFIG = TrainConfig(epochs=1, batch_size=32, learning_rate=0.05)
+
+    def build(self, backend, shared: bool):
+        per_client = 96
+        full = _blobs(NUM_CLIENTS * per_client + 120, seed=5)
+        clients = [
+            full.subset(range(i * per_client, (i + 1) * per_client))
+            for i in range(NUM_CLIENTS)
+        ]
+        fed = FederatedDataset(
+            client_datasets=clients,
+            test_set=full.subset(range(NUM_CLIENTS * per_client, len(full))),
+        )
+        if shared:
+            fed = fed.share()
+        return FederatedSimulation(
+            FACTORY, fed, FedAvgAggregator(), self.CONFIG, seed=3, backend=backend
+        )
+
+    def test_pool_beats_fork_per_call_and_stays_bit_identical(self):
+        timings = {}
+        states = {}
+
+        # Pin the baseline explicitly: backend=None would resolve the
+        # REPRO_BACKEND env override and silently stop being serial.
+        sim = self.build("serial", shared=False)
+        start = time.perf_counter()
+        serial_history = sim.run(self.ROUNDS)
+        timings["serial"] = time.perf_counter() - start
+        states["serial"] = sim.server.global_state
+
+        sim = self.build("process", shared=False)
+        start = time.perf_counter()
+        fork_history = sim.run(self.ROUNDS)
+        timings["process"] = time.perf_counter() - start
+        states["process"] = sim.server.global_state
+
+        pool = PoolBackend(max_workers=2)
+        try:
+            sim = self.build(pool, shared=True)
+            start = time.perf_counter()
+            pool_history = sim.run(self.ROUNDS)
+            timings["pool"] = time.perf_counter() - start
+            states["pool"] = sim.server.global_state
+        finally:
+            pool.close()
+
+        # Parallelism (and shared memory, and pooling) changes nothing:
+        # all three backends produce the serial run bit for bit.
+        assert serial_history.accuracies == fork_history.accuracies
+        assert serial_history.accuracies == pool_history.accuracies
+        for backend in ("process", "pool"):
+            for key in states["serial"]:
+                np.testing.assert_array_equal(
+                    states["serial"][key], states[backend][key]
+                )
+
+        for backend in ("serial", "process", "pool"):
+            _emit(
+                {
+                    "workload": "federated_multi_round",
+                    "clients": NUM_CLIENTS,
+                    "shards": 0,
+                    "rounds": self.ROUNDS,
+                    "backend": backend,
+                    "wall_clock_s": round(timings[backend], 4),
+                    "cpus": usable_cpus(),
+                    "speedup_vs_serial": round(
+                        timings["serial"] / timings[backend], 3
+                    ),
+                    "speedup_vs_fork_per_call": round(
+                        timings["process"] / timings[backend], 3
+                    ),
+                }
+            )
+        pool_vs_fork = timings["process"] / timings["pool"]
+        assert pool_vs_fork >= 1.3, (
+            f"warm pool should beat fork-per-call by >=1.3x on "
+            f"{self.ROUNDS} rounds, got {pool_vs_fork:.2f}x"
+        )
+
+
+class TestDeletionBatching:
+    """Immediate vs coalesced deletion on one SISA ensemble.
+
+    The same six requests, executed one-by-one (ImmediatePolicy — every
+    request pays its own retrain chains and checkpoint replay) vs
+    coalesced into one flush window routed through the runtime
+    (``maybe_execute_batched`` — one chain per affected shard, however
+    many requests hit it).  Batching must submit strictly fewer chains
+    than requests; immediate cannot.
+    """
+
+    SISA = SisaConfig(
+        num_shards=NUM_SHARDS,
+        num_slices=3,
+        epochs_per_slice=2,
+        batch_size=32,
+        learning_rate=0.05,
+    )
+    NUM_REQUESTS = 6
+
+    def build_ensemble(self):
+        dataset = _blobs(4800, seed=7)
+        return SisaEnsemble(FACTORY, dataset, self.SISA, seed=1).fit()
+
+    def request_targets(self, ensemble):
+        """Six single-sample requests spread over two shards' last slices
+        (the favourable-but-realistic case: users cluster in time, so one
+        flush window usually hits a few shards many times)."""
+        targets = []
+        for shard in (0, 2):
+            for offset in range(3):
+                targets.append(
+                    int(ensemble._shards[shard].slice_indices[2][offset])
+                )
+        return targets
+
+    def test_batched_window_submits_fewer_chains_than_requests(self):
+        # --- immediate: one execution (and >= one chain) per request ----
+        ensemble = self.build_ensemble()
+        targets = self.request_targets(ensemble)
+        immediate = DeletionManager()  # ImmediatePolicy
+        start = time.perf_counter()
+        for round_index, target in enumerate(targets):
+            immediate.submit(client_id=0, indices=[target], round_index=round_index)
+            batch = immediate.maybe_execute_batched(ensemble, round_index)
+            assert batch is not None
+        immediate_seconds = time.perf_counter() - start
+        immediate_chains = immediate.total_chains_submitted
+
+        # --- batched: one flush window for the whole stream -------------
+        ensemble = self.build_ensemble()
+        targets = self.request_targets(ensemble)
+        batched = DeletionManager(BatchSizePolicy(min_requests=self.NUM_REQUESTS))
+        start = time.perf_counter()
+        for round_index, target in enumerate(targets):
+            batched.submit(client_id=0, indices=[target], round_index=round_index)
+            batched.maybe_execute_batched(ensemble, round_index)
+        batched_seconds = time.perf_counter() - start
+        batched_chains = batched.total_chains_submitted
+
+        assert immediate.num_executions == self.NUM_REQUESTS
+        assert batched.num_executions == 1
+        assert immediate_chains == self.NUM_REQUESTS  # one shard hit per request
+        assert batched_chains == 2  # shards 0 and 2, once each
+        assert batched_chains < self.NUM_REQUESTS
+        assert batched_seconds < immediate_seconds
+
+        for policy, chains, executions, seconds in (
+            ("immediate", immediate_chains, immediate.num_executions, immediate_seconds),
+            ("batched", batched_chains, batched.num_executions, batched_seconds),
+        ):
+            _emit(
+                {
+                    "workload": "sisa_deletion_batching",
+                    "clients": 0,
+                    "shards": NUM_SHARDS,
+                    "backend": "serial",
+                    "policy": policy,
+                    "requests": self.NUM_REQUESTS,
+                    "executions": executions,
+                    "chains_submitted": chains,
+                    "wall_clock_s": round(seconds, 4),
+                    "cpus": usable_cpus(),
+                    "speedup_vs_serial": 1.0,
+                }
+            )

@@ -12,7 +12,7 @@ from .backdoor import (
     select_attack_target,
     select_poison_indices,
 )
-from .dataset import ArrayDataset, FederatedDataset
+from .dataset import ArrayDataset, FederatedDataset, SharedArrayDataset
 from .loader import DataLoader
 from .partition import (
     partition_heterogeneous,
@@ -41,6 +41,7 @@ __all__ = [
     "random_horizontal_flip",
     "ArrayDataset",
     "FederatedDataset",
+    "SharedArrayDataset",
     "DataLoader",
     "TriggerPattern",
     "BackdoorAttack",

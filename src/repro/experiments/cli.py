@@ -4,18 +4,29 @@ Usage::
 
     python -m repro.experiments <experiment> [--scale smoke|small|paper]
                                              [--dataset NAME] [--seed N]
+                                             [--backend NAME] [--workers N]
 
     python -m repro.experiments list             # show available experiments
     python -m repro.experiments fig5 --dataset mnist --scale small
+    python -m repro.experiments fig4 --backend pool --workers 8
     python -m repro.experiments all --scale smoke
 
 Each run prints the reproduced rows/series (the same data the paper's
-table or figure reports).
+table or figure reports), plus a ``runtime:`` provenance line recording
+the backend, worker/CPU counts and wall-clock time.
+
+``--backend`` selects the execution runtime for *every* fan-out site the
+experiment touches (federated rounds, unlearning protocols, SISA/shard
+retraining) by exporting the spec through ``REPRO_BACKEND`` — the
+resolution point every ``backend=None`` call site already consults — so
+no experiment module needs a backend parameter.  Results are
+bit-identical across backends; only wall-clock time changes.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 import time
 from typing import Dict, List
@@ -33,6 +44,7 @@ from . import (
     tab10_ablation,
     tab11_loss_compat,
 )
+from ..runtime import BACKEND_ENV_VAR, parse_backend_spec, usable_cpus
 from .results import ExperimentResult
 from .scale import SCALES, get_scale
 
@@ -58,12 +70,29 @@ EXPERIMENTS = {
 }
 
 
-def _print_results(results) -> None:
+def _stamp_and_print(results, runtime_info: Dict) -> None:
+    """Attach execution provenance to each result, then print it.
+
+    A multi-result run (e.g. ``fig5`` over every dataset) was timed as a
+    whole, so the elapsed time is stamped as ``wall_clock_s_total`` —
+    attributing the aggregate to each individual result would overstate
+    every per-dataset cost in the persisted trajectory.
+    """
     if isinstance(results, ExperimentResult):
         results = {"": results}
+    results = dict(results)
+    if len(results) > 1 and "wall_clock_s" in runtime_info:
+        runtime_info = dict(runtime_info)
+        runtime_info["wall_clock_s_total"] = runtime_info.pop("wall_clock_s")
     for result in results.values():
+        result.runtime = dict(runtime_info)
         result.print()
         print()
+
+
+def active_backend_spec() -> str:
+    """The backend spec experiments will resolve (env override or serial)."""
+    return os.environ.get(BACKEND_ENV_VAR) or "serial"
 
 
 def run_experiment(name: str, scale_name: str, dataset: str, seed: int) -> None:
@@ -73,32 +102,45 @@ def run_experiment(name: str, scale_name: str, dataset: str, seed: int) -> None:
     if name in _DATASET_EXPERIMENTS:
         module, _ = _DATASET_EXPERIMENTS[name]
         if dataset:
-            _print_results(module.run(dataset, scale, seed=seed))
+            results = module.run(dataset, scale, seed=seed)
         else:
-            _print_results(module.run_all(scale, seed=seed))
+            results = module.run_all(scale, seed=seed)
     elif name == "tab10":
-        _print_results(tab10_ablation.run(scale, seed=seed))
+        results = tab10_ablation.run(scale, seed=seed)
     elif name == "tab11":
-        _print_results(tab11_loss_compat.run(scale, seed=seed))
+        results = tab11_loss_compat.run(scale, seed=seed)
     elif name == "fig6":
-        _print_results(fig6_shards.run(scale, seed=seed))
+        results = fig6_shards.run(scale, seed=seed)
     elif name == "fig7":
-        _print_results(fig7_shard_deletion.run_all(scale, seed=seed))
+        results = fig7_shard_deletion.run_all(scale, seed=seed)
     elif name == "fig8":
-        _print_results(fig8_heterogeneous.run_all(scale, seed=seed))
+        results = fig8_heterogeneous.run_all(scale, seed=seed)
     elif name == "fig9":
-        _print_results(fig9_iid.run(scale, seed=seed))
+        results = fig9_iid.run(scale, seed=seed)
     elif name == "efficiency":
-        _print_results(efficiency.run(dataset or "mnist", scale, seed=seed))
+        results = efficiency.run(dataset or "mnist", scale, seed=seed)
     elif name == "certification":
-        _print_results(certification.run(dataset or "mnist", scale, seed=seed))
+        results = certification.run(dataset or "mnist", scale, seed=seed)
     elif name == "all":
         for each in [k for k in EXPERIMENTS if k != "all"]:
             print(f"##### {each} #####")
             run_experiment(each, scale_name, dataset="", seed=seed)
+        print(f"[all done in {time.time() - start:.0f}s at scale={scale_name}]")
+        return
     else:
         raise ValueError(f"unknown experiment {name!r}; see 'list'")
-    print(f"[{name} done in {time.time() - start:.0f}s at scale={scale_name}]")
+    elapsed = time.time() - start
+    _stamp_and_print(
+        results,
+        {
+            "backend": active_backend_spec(),
+            "cpus": usable_cpus(),
+            "scale": scale_name,
+            "seed": seed,
+            "wall_clock_s": round(elapsed, 3),
+        },
+    )
+    print(f"[{name} done in {elapsed:.0f}s at scale={scale_name}]")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -113,7 +155,32 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--dataset", default="",
                         help="restrict fig4/fig5/tab7_9 to one dataset")
     parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--backend", default="",
+                        help="execution backend for every fan-out site: "
+                             "serial (default), thread, process, pool — "
+                             "optionally sized, e.g. 'pool:8'. Results are "
+                             "identical across backends.")
+    parser.add_argument("--workers", type=int, default=0,
+                        help="worker count for --backend (same as the ':N' "
+                             "suffix)")
     return parser
+
+
+def resolve_backend_args(backend: str, workers: int) -> str:
+    """Combine --backend/--workers into one spec string (validated)."""
+    if workers and not backend:
+        raise ValueError("--workers requires --backend")
+    spec = backend
+    if workers:
+        name, inline_workers = parse_backend_spec(backend)
+        if inline_workers is not None and inline_workers != workers:
+            raise ValueError(
+                f"--workers {workers} conflicts with backend spec {backend!r}"
+            )
+        spec = f"{name}:{workers}"
+    if spec:
+        parse_backend_spec(spec)  # fail fast on typos, before any training
+    return spec
 
 
 def main(argv: List[str] = None) -> int:
@@ -122,11 +189,25 @@ def main(argv: List[str] = None) -> int:
         for name, description in EXPERIMENTS.items():
             print(f"  {name:8s} {description}")
         return 0
+    previous_spec = os.environ.get(BACKEND_ENV_VAR)
     try:
+        spec = resolve_backend_args(args.backend, args.workers)
+        if spec:
+            # Every backend=None resolution point (simulations, protocols,
+            # SISA, sharded trainers) consults this variable, so one
+            # export threads the choice through the whole experiment.
+            os.environ[BACKEND_ENV_VAR] = spec
         run_experiment(args.experiment, args.scale, args.dataset, args.seed)
     except ValueError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
+    finally:
+        # Scope the override to this invocation — in-process callers
+        # (tests, driver scripts) must not inherit the backend choice.
+        if previous_spec is None:
+            os.environ.pop(BACKEND_ENV_VAR, None)
+        else:
+            os.environ[BACKEND_ENV_VAR] = previous_spec
     return 0
 
 

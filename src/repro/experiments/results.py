@@ -23,6 +23,11 @@ class ExperimentResult:
     rows: List[Dict[str, Any]] = field(default_factory=list)
     series: Dict[str, List[float]] = field(default_factory=dict)
     notes: str = ""
+    # Execution provenance: which backend ran the experiment, with how
+    # many workers/CPUs, and how long it took.  Stamped by the CLI (see
+    # repro.experiments.cli) so the wall-clock trajectory of full
+    # experiments is machine-readable alongside the scientific rows.
+    runtime: Dict[str, Any] = field(default_factory=dict)
 
     def add_row(self, **values: Any) -> None:
         missing = [c for c in self.columns if c not in values]
@@ -59,6 +64,11 @@ class ExperimentResult:
             lines.append(f"{name}: [{rendered}]")
         if self.notes:
             lines.append(f"note: {self.notes}")
+        if self.runtime:
+            rendered = ", ".join(
+                f"{key}={self._format(value)}" for key, value in self.runtime.items()
+            )
+            lines.append(f"runtime: {rendered}")
         return "\n".join(lines)
 
     def print(self) -> None:
@@ -68,7 +78,7 @@ class ExperimentResult:
     # Persistence (for EXPERIMENTS.md provenance and offline analysis)
     # ------------------------------------------------------------------
     def to_dict(self) -> Dict[str, Any]:
-        return {
+        payload = {
             "experiment_id": self.experiment_id,
             "title": self.title,
             "columns": list(self.columns),
@@ -76,6 +86,9 @@ class ExperimentResult:
             "series": self.series,
             "notes": self.notes,
         }
+        if self.runtime:
+            payload["runtime"] = self.runtime
+        return payload
 
     def save_json(self, path: str) -> None:
         """Write the result (rows + series) to a JSON file."""
@@ -96,4 +109,5 @@ class ExperimentResult:
             rows=payload["rows"],
             series=payload["series"],
             notes=payload.get("notes", ""),
+            runtime=payload.get("runtime", {}),
         )

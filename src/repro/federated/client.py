@@ -49,7 +49,7 @@ class Client:
         """Package the local model for aggregation."""
         return ClientUpdate(
             state=self.model.state_dict(),
-            num_samples=len(self.active_dataset),
+            num_samples=self.active_size,
             client_id=self.client_id,
         )
 
@@ -86,15 +86,40 @@ class Client:
         return self.dataset.remove(self.forget_indices)
 
     @property
+    def retain_indices(self) -> Optional[np.ndarray]:
+        """Index selection of the retain set into ``dataset`` (``None``
+        when nothing is pending, i.e. everything is retained)."""
+        if self.forget_indices is None:
+            return None
+        return self.dataset.keep_indices(self.forget_indices)
+
+    @property
+    def active_size(self) -> int:
+        """``len(active_dataset)`` without materialising the subset."""
+        if self.forget_indices is None:
+            return len(self.dataset)
+        return len(self.dataset) - len(self.forget_indices)
+
+    @property
     def active_dataset(self) -> ArrayDataset:
         """The data the client may legally train on right now."""
         return self.retain_set
 
     def finalize_deletion(self) -> None:
-        """Physically drop the forget set after unlearning completed."""
+        """Physically drop the forget set after unlearning completed.
+
+        A shared-memory dataset stays shared: the survivors are re-housed
+        in a fresh block, so later rounds keep their zero-copy fan-out
+        instead of silently regressing to by-value pickling.
+        """
         if self.forget_indices is None:
             return
-        self.dataset = self.dataset.remove(self.forget_indices)
+        from ..data.dataset import SharedArrayDataset
+
+        survivors = self.dataset.remove(self.forget_indices)
+        if isinstance(self.dataset, SharedArrayDataset):
+            survivors = survivors.share()
+        self.dataset = survivors
         self.forget_indices = None
 
     # ------------------------------------------------------------------
@@ -116,14 +141,22 @@ class Client:
         so running it on any backend reproduces :meth:`local_train` bit for
         bit — provided :meth:`absorb_train_result` is called afterwards to
         advance this client past the work the task performed.
+
+        While a deletion is pending, the task carries the full local
+        dataset plus the retain-*indices* rather than a materialised
+        retain copy: the executing worker slices out exactly D_r^c, so
+        training matches :attr:`active_dataset` array-for-array, but the
+        parent never pays a per-task copy (and a shared-memory dataset
+        ships as a handle).
         """
         return TrainTask(
             task_id=self.client_id,
             model_factory=model_factory,
-            dataset=self.active_dataset,
+            dataset=self.dataset,
             config=config,
             rng_state=capture_rng(self.rng),
             model_state=self.model.state_dict(),
+            indices=self.retain_indices,
         )
 
     def absorb_train_result(self, result: TrainResult) -> TrainHistory:

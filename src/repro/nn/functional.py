@@ -143,11 +143,37 @@ def global_avg_pool2d(x: Tensor) -> Tensor:
 
 
 def log_softmax(x: Tensor, axis: int = -1) -> Tensor:
-    """Numerically stable ``log(softmax(x))`` along ``axis``."""
+    """Numerically stable ``log(softmax(x))`` along ``axis``.
+
+    Fused into a single graph node: the forward pass keeps the
+    ``exp(x - max)`` intermediate and its sum, and the backward pass
+    reuses them directly — ``dx = g − softmax · Σg`` — instead of
+    re-deriving the softmax through a second exp/sum round-trip across
+    five composed autograd nodes.  Every log-softmax consumer (the
+    cross-entropy / focal / NLL / label-smoothing hard losses and the
+    distillation loss) rides this path.  The float operations and their
+    order match the previous composed implementation exactly, so values
+    *and* gradients are bit-identical — training trajectories do not
+    move.
+    """
     # Subtracting the (detached) max is exact for both value and gradient.
-    shift = Tensor(x.data.max(axis=axis, keepdims=True))
-    shifted = x - shift
-    return shifted - shifted.exp().sum(axis=axis, keepdims=True).log()
+    shift = x.data.max(axis=axis, keepdims=True)
+    shifted = x.data - shift
+    exp_shifted = np.exp(shifted)
+    sum_exp = exp_shifted.sum(axis=axis, keepdims=True)
+    out_data = shifted - np.log(sum_exp)
+
+    def backward_fn(grad: np.ndarray) -> None:
+        if not x.requires_grad:
+            return
+        # Same ops in the same order as the composed sub/exp/sum/log/sub
+        # graph (see tests/nn/test_functional.py::TestFusedLogSoftmax):
+        # the gradient into log(Σexp) is −Σg, scaled by 1/Σexp, then
+        # broadcast against the cached exp — no new exp/sum of the data.
+        sum_grad = grad.sum(axis=axis, keepdims=True)
+        x._accumulate(grad + exp_shifted * (np.negative(sum_grad) / sum_exp))
+
+    return Tensor._make(out_data, (x,), backward_fn)
 
 
 def softmax(x: Tensor, axis: int = -1, temperature: float = 1.0) -> Tensor:

@@ -39,7 +39,14 @@ def _reduce(values: Tensor, reduction: str) -> Tensor:
 
 
 def cross_entropy(logits: Tensor, labels: np.ndarray, reduction: str = "mean") -> Tensor:
-    """Softmax cross-entropy with integer class labels."""
+    """Softmax cross-entropy with integer class labels.
+
+    Runs on the fused :func:`~repro.nn.functional.log_softmax` node: the
+    backward pass reuses the forward's cached ``exp``/``sum`` to form the
+    softmax instead of a second exp/sum round-trip, bit-identically.
+    This is the training hot path — every mini-batch of every client,
+    shard and protocol ends here.
+    """
     labels = _check_labels(logits, labels)
     log_probs = F.log_softmax(logits, axis=1)
     picked = log_probs[np.arange(labels.shape[0]), labels]

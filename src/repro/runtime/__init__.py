@@ -8,18 +8,42 @@ in :class:`~repro.unlearning.sisa.SisaEnsemble` and
 :mod:`~repro.runtime.task` work units and hands them to one
 :class:`~repro.runtime.backends.Backend`, instead of looping inline.
 
-Backend selection
------------------
+Choosing a backend
+------------------
 All of those entry points accept a ``backend=`` argument taking ``None``
-(serial, the default), a name (``"serial"``, ``"thread"``,
-``"process"``), or a configured :class:`Backend` instance::
+(serial, the default), a spec string, or a configured :class:`Backend`
+instance::
 
     sim = FederatedSimulation(..., backend="process")
-    ensemble = SisaEnsemble(..., backend=ProcessBackend(max_workers=4))
+    ensemble = SisaEnsemble(..., backend="pool:4")
+    trainer = ShardedClientTrainer(..., backend=PoolBackend(max_workers=4))
 
 Because each task snapshots and returns its RNG position, results are
 bit-identical across backends — parallelism is a pure wall-clock
-optimisation.  See :mod:`repro.runtime.backends` for the trade-offs.
+optimisation.  Rules of thumb:
+
+* ``serial`` (default) — debugging, tiny workloads, exact-legacy runs.
+* ``thread`` — work that releases the GIL (large BLAS matmuls) or cheap
+  parity checking; no pickling, no process overhead.
+* ``process`` — one-shot fan-outs.  Forks per call, so tasks may hold
+  closures (children inherit them), but every call pays the fork cost.
+* ``pool`` — many-round experiments.  Workers fork once and stay warm
+  across every ``run_tasks`` call (federated rounds, SISA retrain
+  chains, protocol rounds all reuse them); tasks are pickled over, so
+  combine with shared-memory datasets
+  (:meth:`~repro.data.dataset.ArrayDataset.share`) to make the per-task
+  payload independent of data size.  The ``"pool"``/``"pool:N"`` specs
+  resolve to one shared process-wide pool per worker count; construct
+  :class:`~repro.runtime.pool.PoolBackend` directly for a private pool.
+
+Specs may carry a worker count (``"process:8"``, ``"pool:4"``), and when
+``backend=None`` the ``REPRO_BACKEND`` environment variable (same
+syntax) is consulted before defaulting to serial — which is how
+``python -m repro.experiments --backend pool --workers 8`` threads a
+backend through every fan-out site of an experiment without any call
+site knowing.  See :mod:`repro.runtime.backends` for details and
+:mod:`repro.runtime.pool` for the pool's submit/drain API and
+worker-death recovery semantics.
 
 Determinism vs. the pre-runtime code: the federated paths (``run_round``
 and the four unlearning protocols) already gave every client its own
@@ -32,6 +56,7 @@ differ from the pre-runtime versions.
 """
 
 from .backends import (
+    BACKEND_ENV_VAR,
     Backend,
     BackendError,
     BackendLike,
@@ -39,8 +64,10 @@ from .backends import (
     SerialBackend,
     ThreadBackend,
     get_backend,
+    parse_backend_spec,
     usable_cpus,
 )
+from .pool import PoolBackend, WorkerPool
 from .task import (
     ChainResult,
     ChainStage,
@@ -54,12 +81,14 @@ from .task import (
 )
 
 __all__ = [
+    "BACKEND_ENV_VAR",
     "Backend",
     "BackendError",
     "BackendLike",
     "ChainResult",
     "ChainStage",
     "ChainTask",
+    "PoolBackend",
     "ProcessBackend",
     "RngState",
     "SerialBackend",
@@ -67,8 +96,10 @@ __all__ = [
     "ThreadBackend",
     "TrainResult",
     "TrainTask",
+    "WorkerPool",
     "capture_rng",
     "get_backend",
+    "parse_backend_spec",
     "restore_rng",
     "usable_cpus",
 ]

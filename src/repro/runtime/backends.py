@@ -24,9 +24,21 @@ backend changes wall-clock time only, never the numbers:
     state dicts.  On platforms without ``fork`` it degrades to serial
     execution rather than failing.
 
+``PoolBackend`` (in :mod:`repro.runtime.pool`)
+    A persistent worker pool: forks once, then serves every subsequent
+    ``run_tasks`` call over pipes.  The fast choice for many-round
+    experiments; pair with shared-memory datasets for large data.
+
 Pick a backend by name with :func:`get_backend` (``"serial"``,
-``"thread"``, ``"process"``), or pass a :class:`Backend` instance for
-custom worker counts.
+``"thread"``, ``"process"``, ``"pool"``) or pass a :class:`Backend`
+instance.  A spec may carry a worker count after a colon —
+``get_backend("process:8")``, ``get_backend("pool:4")`` — and when the
+spec is ``None`` the ``REPRO_BACKEND`` environment variable (same
+syntax) is consulted before falling back to serial, so scripts and the
+experiment CLI can size pools without constructing ``Backend`` objects.
+``"pool"`` specs resolve to one shared process-wide pool per worker
+count, so every call site naming the same spec reuses the same warm
+workers.
 """
 
 from __future__ import annotations
@@ -209,36 +221,94 @@ class ProcessBackend(Backend):
         return results
 
 
+def _make_serial(max_workers: Optional[int] = None) -> Backend:
+    if max_workers is not None:
+        raise ValueError("the serial backend does not take a worker count")
+    return SerialBackend()
+
+
+def _make_pool(max_workers: Optional[int] = None) -> Backend:
+    """Shared pools: one warm :class:`PoolBackend` per worker count.
+
+    ``backend="pool"`` at several call sites (a simulation, an ensemble,
+    a protocol) must mean *the same* workers, or the pool's whole point —
+    no per-call fork — is lost.  Instances constructed directly are not
+    cached; pass the instance around for private pools.
+    """
+    from .pool import PoolBackend
+
+    if max_workers not in _POOLS:
+        _POOLS[max_workers] = PoolBackend(max_workers=max_workers)
+    return _POOLS[max_workers]
+
+
+_POOLS: dict = {}
+
 _BACKENDS = {
-    "serial": SerialBackend,
+    "serial": _make_serial,
     "thread": ThreadBackend,
     "threads": ThreadBackend,
     "process": ProcessBackend,
     "processes": ProcessBackend,
     "fork": ProcessBackend,
+    "pool": _make_pool,
 }
+
+#: Environment variable consulted by :func:`get_backend` when no spec is
+#: given — lets scripts and CI pick e.g. ``pool:8`` for a whole run
+#: without touching any call site.
+BACKEND_ENV_VAR = "REPRO_BACKEND"
 
 BackendLike = Union[None, str, Backend]
 
 
-def get_backend(spec: BackendLike = None) -> Backend:
-    """Resolve ``None`` / a name / an instance to a :class:`Backend`.
+def parse_backend_spec(spec: str) -> tuple:
+    """Split ``"name"`` / ``"name:N"`` into ``(name, workers-or-None)``.
 
-    ``None`` means the serial default (exact legacy behaviour); strings
-    pick a stock backend by name; instances pass through untouched.
+    Validates eagerly — unknown names, malformed counts and
+    ``"serial:N"`` all raise here, so callers (the experiment CLI in
+    particular) can reject a typo before any expensive setup runs.
+    """
+    name, separator, count = spec.partition(":")
+    name = name.strip().lower()
+    if name not in _BACKENDS:
+        raise ValueError(
+            f"unknown backend {spec!r}; available: {sorted(set(_BACKENDS))}"
+        )
+    workers: Optional[int] = None
+    if separator:
+        try:
+            workers = int(count)
+        except ValueError:
+            raise ValueError(
+                f"bad worker count in backend spec {spec!r}; "
+                "expected e.g. 'process:8'"
+            ) from None
+        if workers < 1:
+            raise ValueError(f"worker count must be >= 1, got {workers}")
+        if name == "serial":
+            raise ValueError("the serial backend does not take a worker count")
+    return name, workers
+
+
+def get_backend(spec: BackendLike = None) -> Backend:
+    """Resolve ``None`` / a spec string / an instance to a :class:`Backend`.
+
+    ``None`` falls back to the ``REPRO_BACKEND`` environment variable if
+    set, else the serial default (exact legacy behaviour).  Strings pick
+    a stock backend by name with an optional worker count —
+    ``"process:8"``, ``"pool:4"``.  Instances pass through untouched.
     """
     if spec is None:
-        return SerialBackend()
+        spec = os.environ.get(BACKEND_ENV_VAR) or None
+        if spec is None:
+            return SerialBackend()
     if isinstance(spec, Backend):
         return spec
     if isinstance(spec, str):
-        try:
-            return _BACKENDS[spec.lower()]()
-        except KeyError:
-            raise ValueError(
-                f"unknown backend {spec!r}; available: "
-                f"{sorted(set(_BACKENDS))}"
-            ) from None
+        name, workers = parse_backend_spec(spec)  # raises on unknown names
+        factory = _BACKENDS[name]
+        return factory(workers) if workers is not None else factory()
     raise TypeError(
         f"backend must be None, a name, or a Backend instance, got {type(spec)!r}"
     )

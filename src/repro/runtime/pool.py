@@ -1,0 +1,452 @@
+"""Persistent worker pool: fan-out without a fork per call.
+
+:class:`~repro.runtime.backends.ProcessBackend` forks a fresh set of
+children on every ``run_tasks`` call.  That is simple and lets tasks hold
+arbitrary closures (the children inherit them), but a many-round
+experiment pays the fork + queue setup over and over — once per federated
+round, once per SISA retrain, hundreds of times per run.
+
+:class:`WorkerPool` keeps the children alive instead.  Workers are
+spawned once (lazily, on first use) and then serve every subsequent
+batch; tasks travel to them over pipes, so the per-batch cost is one
+pickle per task rather than one fork per worker.  With shared-memory
+datasets (:meth:`repro.data.dataset.ArrayDataset.share`) that pickle is a
+few hundred bytes of metadata + indices, independent of the data size.
+
+Two-level API:
+
+``submit(tasks) -> ticket`` / ``drain(ticket) -> results``
+    The pool-native interface.  ``submit`` enqueues a batch and starts
+    feeding idle workers immediately; ``drain`` blocks until that batch
+    is complete and returns its results in submission order.  Several
+    batches may be outstanding at once (they share the worker set), which
+    is the seam the planned async/buffered-aggregation rounds build on.
+
+``run_tasks(tasks)``
+    The standard :class:`~repro.runtime.backends.Backend` interface —
+    ``drain(submit(tasks))`` — so every existing ``backend=`` call site
+    (federated rounds, the unlearning protocols, SISA chains, sharded
+    clients) can use a pool as a drop-in replacement.
+
+Fault tolerance
+---------------
+Each worker runs at most one task at a time and the parent remembers the
+assignment, so a worker that dies mid-task (OOM kill, segfault, stray
+``os._exit``) loses exactly one known task.  The pool respawns the worker
+and resubmits the task; a task that keeps killing its workers fails the
+batch with :class:`~repro.runtime.backends.BackendError` after
+``max_task_retries`` respawns instead of looping forever.  Ordinary
+exceptions raised *inside* a task are caught in the worker and reported
+back, exactly like :class:`ProcessBackend`.
+
+Determinism: tasks carry their model state and exact RNG position (see
+:mod:`repro.runtime.task`), so results are bit-identical to the serial
+backend no matter which worker runs what, in what order, or after how
+many respawns.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import pickle
+import weakref
+from collections import deque
+from multiprocessing import connection
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from .backends import Backend, BackendError, SerialBackend, usable_cpus
+
+# (ticket, index_in_batch, task) — one unit of dispatched work.  The task
+# slot holds the live object parent-side; it is pickled at dispatch time.
+_WorkItem = Tuple[int, int, Any]
+
+
+def _pool_worker(task_reader, result_writer) -> None:
+    """Worker body: serve tasks from a pipe until told to stop.
+
+    A ``None`` item is the shutdown sentinel.  Items arrive as
+    ``(ticket, index, pickled_task)`` — the task is unpickled *inside*
+    the try block, so a task that cannot be reconstructed in the worker
+    (say, a class the worker's fork-time snapshot predates) is reported
+    as that task's failure rather than crashing the worker.  Likewise
+    ordinary exceptions raised while running are reported back, so one
+    bad task cannot take the pool down.
+    """
+    while True:
+        try:
+            item = task_reader.recv()
+        except (EOFError, OSError):
+            return  # parent is gone
+        if item is None:
+            return
+        ticket, index, task_bytes = item
+        try:
+            task = pickle.loads(task_bytes)
+            result_writer.send((ticket, index, None, task.run()))
+        except (KeyboardInterrupt, SystemExit):
+            raise
+        except Exception as exc:
+            import traceback
+
+            result_writer.send(
+                (ticket, index, f"{type(exc).__name__}: {exc}\n{traceback.format_exc()}", None)
+            )
+
+
+def _pool_context():
+    """The multiprocessing context every pool worker starts under.
+
+    Fork where available (cheap, inherits the parent's module state so
+    even late-defined task classes unpickle); spawn otherwise — tasks
+    are pickled to the workers either way, so spawn only loses closure
+    factories, which fall back to inline execution in ``_dispatch_idle``.
+    """
+    if "fork" in multiprocessing.get_all_start_methods():
+        return multiprocessing.get_context("fork")
+    return multiprocessing.get_context("spawn")
+
+
+class _WorkerSlot:
+    """One live worker: its process, pipes, and current assignment."""
+
+    __slots__ = ("process", "task_writer", "result_reader", "inflight")
+
+    def __init__(self, context) -> None:
+        task_reader, task_writer = context.Pipe(duplex=False)
+        result_reader, result_writer = context.Pipe(duplex=False)
+        self.process = context.Process(
+            target=_pool_worker, args=(task_reader, result_writer), daemon=True
+        )
+        self.process.start()
+        # Drop the parent's copies of the child ends so a dead worker
+        # shows up as EOF on result_reader instead of a silent hang.
+        task_reader.close()
+        result_writer.close()
+        self.task_writer = task_writer
+        self.result_reader = result_reader
+        self.inflight: Optional[_WorkItem] = None
+
+    def shutdown(self, timeout: float = 2.0) -> None:
+        try:
+            self.task_writer.send(None)
+        except (BrokenPipeError, OSError):
+            pass
+        self.process.join(timeout=timeout)
+        if self.process.is_alive():
+            self.process.terminate()
+            self.process.join(timeout=1.0)
+        self.task_writer.close()
+        self.result_reader.close()
+
+
+def _shutdown_slots(slots: List[_WorkerSlot]) -> None:
+    """Module-level teardown target for ``weakref.finalize`` (must not
+    hold a reference back to the pool)."""
+    for slot in slots:
+        slot.shutdown()
+    slots.clear()
+
+
+class _Batch:
+    """Bookkeeping for one submitted batch of tasks."""
+
+    __slots__ = ("results", "remaining", "errors")
+
+    def __init__(self, size: int) -> None:
+        self.results: List[Any] = [None] * size
+        self.remaining = size
+        self.errors: List[str] = []
+
+
+class WorkerPool:
+    """A warm set of worker processes serving task batches over pipes.
+
+    Parameters
+    ----------
+    max_workers:
+        Pool size; defaults to ``max(2, usable_cpus())`` like the other
+        parallel backends.  Workers start lazily on first use and persist
+        until :meth:`close` (or interpreter exit — they are daemons).
+    max_task_retries:
+        How many times a task whose worker died is resubmitted on a fresh
+        worker before the batch fails with :class:`BackendError`.
+    """
+
+    def __init__(self, max_workers: Optional[int] = None, max_task_retries: int = 1) -> None:
+        if max_workers is not None and max_workers < 1:
+            raise ValueError(f"max_workers must be >= 1, got {max_workers}")
+        if max_task_retries < 0:
+            raise ValueError(f"max_task_retries must be >= 0, got {max_task_retries}")
+        self.max_workers = max_workers
+        self.max_task_retries = max_task_retries
+        self._slots: List[_WorkerSlot] = []
+        self._pending: deque = deque()  # _WorkItem queue awaiting dispatch
+        self._batches: Dict[int, _Batch] = {}
+        self._deaths: Dict[Tuple[int, int], int] = {}  # (ticket, index) -> respawns
+        self._next_ticket = 0
+        self._finalizer: Optional[weakref.finalize] = None
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def running(self) -> bool:
+        return bool(self._slots)
+
+    def worker_pids(self) -> List[int]:
+        """PIDs of the live workers (stable across batches — that is the
+        whole point of the pool)."""
+        return [slot.process.pid for slot in self._slots]
+
+    def _ensure_started(self) -> None:
+        if self._slots:
+            return
+        # Start the resource tracker BEFORE forking, so workers inherit
+        # the parent's tracker.  Otherwise a worker that first touches
+        # shared memory (attaching a SharedArrayDataset) spawns its own
+        # tracker, which mis-reports the parent-owned blocks as leaked
+        # at worker shutdown.
+        try:
+            from multiprocessing import resource_tracker
+
+            resource_tracker.ensure_running()
+        except Exception:
+            pass  # tracker is an optimisation for warnings, never fatal
+        context = _pool_context()
+        workers = self.max_workers or max(2, usable_cpus())
+        self._slots = [_WorkerSlot(context) for _ in range(workers)]
+        # GC-safe teardown that does not resurrect the pool.
+        self._finalizer = weakref.finalize(self, _shutdown_slots, self._slots)
+
+    def close(self) -> None:
+        """Stop the workers.  The pool restarts lazily if used again.
+
+        Batches still outstanding (submitted but not fully drained) are
+        failed rather than stranded: their undelivered tasks are marked
+        as errors so a later :meth:`drain` raises :class:`BackendError`
+        immediately instead of waiting on workers that no longer exist.
+        """
+        if self._finalizer is not None:
+            self._finalizer.detach()
+            self._finalizer = None
+        _shutdown_slots(self._slots)
+        self._slots = []
+        self._pending.clear()
+        self._deaths.clear()
+        for batch in self._batches.values():
+            if batch.remaining:
+                batch.errors.append(
+                    f"worker pool closed with {batch.remaining} task(s) "
+                    "outstanding"
+                )
+                batch.remaining = 0
+
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # submit / drain
+    # ------------------------------------------------------------------
+    def submit(self, tasks: Sequence[Any]) -> int:
+        """Enqueue a batch; returns a ticket for :meth:`drain`.
+
+        Idle workers start on the batch immediately; the call does not
+        block on worker-side task completion.  One exception: a task
+        that cannot be pickled (e.g. a closure factory) falls back to
+        running inline, synchronously, inside this call — callers
+        relying on submit/drain overlap should keep tasks picklable.
+        """
+        tasks = list(tasks)
+        self._ensure_started()
+        ticket = self._next_ticket
+        self._next_ticket += 1
+        self._batches[ticket] = _Batch(len(tasks))
+        self._pending.extend((ticket, index, task) for index, task in enumerate(tasks))
+        self._dispatch_idle()
+        return ticket
+
+    def drain(self, ticket: int) -> List[Any]:
+        """Block until batch ``ticket`` completes; return results in
+        submission order.  Raises :class:`BackendError` if any of its
+        tasks failed or exhausted their worker-death retries."""
+        try:
+            batch = self._batches[ticket]
+        except KeyError:
+            raise ValueError(f"unknown or already-drained ticket {ticket!r}") from None
+        while batch.remaining:
+            self._dispatch_idle()
+            self._pump(timeout=0.2)
+        del self._batches[ticket]
+        if batch.errors:
+            raise BackendError(
+                f"{len(batch.errors)} task(s) failed under WorkerPool; first:\n"
+                + batch.errors[0]
+            )
+        return batch.results
+
+    def run_tasks(self, tasks: Sequence[Any]) -> List[Any]:
+        """The stock backend interface: submit + drain one batch."""
+        return self.drain(self.submit(tasks))
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _dispatch_idle(self) -> None:
+        for slot_index, slot in enumerate(self._slots):
+            if not self._pending:
+                return
+            if slot.inflight is not None:
+                continue
+            if not slot.process.is_alive():
+                self._slots[slot_index] = slot = self._respawn(slot)
+            item = self._pending.popleft()
+            try:
+                task_bytes = pickle.dumps(item[2])
+            except Exception:
+                # Unpicklable task (e.g. a closure factory): run it
+                # inline rather than failing the batch.
+                self._complete_inline(item)
+                continue
+            try:
+                slot.task_writer.send((item[0], item[1], task_bytes))
+            except (BrokenPipeError, OSError):
+                # Worker died between the liveness check and the send.
+                # The task never started, so this death cannot be its
+                # fault — requeue without charging its retry budget.
+                self._slots[slot_index] = self._respawn(slot)
+                self._requeue(item, charge_retry=False)
+                continue
+            slot.inflight = item
+
+    def _pump(self, timeout: float) -> None:
+        """Collect finished results; detect and repair dead workers."""
+        readers = [slot.result_reader for slot in self._slots if slot.inflight is not None]
+        if not readers:
+            # Everything in flight was lost to deaths handled below, or the
+            # batch only had inline work; nothing to wait on.
+            self._reap_dead()
+            return
+        ready = connection.wait(readers, timeout)
+        if not ready:
+            self._reap_dead()
+            return
+        by_reader = {slot.result_reader: slot for slot in self._slots}
+        for reader in ready:
+            slot = by_reader[reader]
+            try:
+                ticket, index, error, payload = reader.recv()
+            except (EOFError, OSError):
+                self._handle_death(slot)
+                continue
+            slot.inflight = None
+            self._record(ticket, index, error, payload)
+
+    def _reap_dead(self) -> None:
+        for slot in list(self._slots):
+            if slot.inflight is not None and not slot.process.is_alive():
+                # Drain any result the worker managed to send before dying.
+                if slot.result_reader.poll(0):
+                    try:
+                        ticket, index, error, payload = slot.result_reader.recv()
+                    except (EOFError, OSError):
+                        pass
+                    else:
+                        slot.inflight = None
+                        self._record(ticket, index, error, payload)
+                        continue
+                self._handle_death(slot)
+
+    def _handle_death(self, slot: _WorkerSlot) -> None:
+        item = slot.inflight
+        position = self._slots.index(slot)
+        self._slots[position] = self._respawn(slot)
+        if item is not None:
+            self._requeue(item)
+
+    def _respawn(self, slot: _WorkerSlot) -> _WorkerSlot:
+        slot.shutdown(timeout=0.5)
+        return _WorkerSlot(_pool_context())
+
+    def _requeue(self, item: _WorkItem, charge_retry: bool = True) -> None:
+        ticket, index, _ = item
+        if not charge_retry:
+            self._pending.appendleft(item)
+            return
+        deaths = self._deaths.get((ticket, index), 0) + 1
+        self._deaths[(ticket, index)] = deaths
+        if deaths > self.max_task_retries:
+            self._record(
+                ticket,
+                index,
+                f"worker process died {deaths} time(s) while running task "
+                f"{index} of batch {ticket}; giving up after "
+                f"{self.max_task_retries} retr{'y' if self.max_task_retries == 1 else 'ies'}",
+                None,
+            )
+        else:
+            # Front of the queue: the lost task is the oldest outstanding
+            # work, so it should not wait behind a long backlog.
+            self._pending.appendleft(item)
+
+    def _complete_inline(self, item: _WorkItem) -> None:
+        ticket, index, task = item
+        try:
+            self._record(ticket, index, None, task.run())
+        except Exception as exc:
+            self._record(ticket, index, f"{type(exc).__name__}: {exc}", None)
+
+    def _record(self, ticket: int, index: int, error: Optional[str], payload: Any) -> None:
+        batch = self._batches.get(ticket)
+        if batch is None:  # late result for an errored-out, drained batch
+            return
+        self._deaths.pop((ticket, index), None)
+        batch.remaining -= 1
+        if error is not None:
+            batch.errors.append(error)
+        else:
+            batch.results[index] = payload
+
+
+class PoolBackend(Backend):
+    """A :class:`~repro.runtime.backends.Backend` over a persistent
+    :class:`WorkerPool`.
+
+    Unlike :class:`ProcessBackend`, which forks per ``run_tasks`` call,
+    one ``PoolBackend`` instance keeps its workers warm across every call
+    — pass the same instance (or the ``"pool"`` spec, which resolves to a
+    process-wide shared instance) to :class:`FederatedSimulation`,
+    :class:`SisaEnsemble` and the unlearning protocols and they all reuse
+    the same workers.  Tasks are pickled to the workers, so pair it with
+    shared-memory datasets for large data (see
+    :meth:`repro.data.dataset.ArrayDataset.share`).
+    """
+
+    name = "pool"
+
+    def __init__(self, max_workers: Optional[int] = None, max_task_retries: int = 1) -> None:
+        self.pool = WorkerPool(max_workers=max_workers, max_task_retries=max_task_retries)
+        self.max_workers = max_workers
+
+    def run_tasks(self, tasks: Sequence[Any]) -> List[Any]:
+        tasks = list(tasks)
+        if len(tasks) <= 1 and not self.pool.running:
+            # Not worth warming the pool for a single task.
+            return SerialBackend().run_tasks(tasks)
+        return self.pool.run_tasks(tasks)
+
+    def submit(self, tasks: Sequence[Any]) -> int:
+        return self.pool.submit(tasks)
+
+    def drain(self, ticket: int) -> List[Any]:
+        return self.pool.drain(ticket)
+
+    def close(self) -> None:
+        self.pool.close()
+
+    def __repr__(self) -> str:
+        workers = self.max_workers if self.max_workers is not None else "auto"
+        state = "warm" if self.pool.running else "cold"
+        return f"PoolBackend(max_workers={workers}, {state})"

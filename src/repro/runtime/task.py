@@ -76,6 +76,16 @@ class TrainTask:
 
     ``model_state=None`` means "train the factory-fresh initialisation";
     otherwise the state dict is loaded before training starts.
+
+    ``indices`` optionally selects the training rows out of ``dataset``;
+    the subset is materialised inside :meth:`run`, in whichever process
+    executes the task.  Carrying a selection instead of a pre-sliced copy
+    keeps the parent's fan-out memory at O(data) — and when ``dataset``
+    is shared-memory backed
+    (:meth:`~repro.data.dataset.ArrayDataset.share`), the task pickles as
+    a handle + indices, independent of the data size.  Training on
+    ``dataset.subset(indices)`` is array-identical to training on a
+    pre-materialised subset, so results are unchanged.
     """
 
     task_id: Any
@@ -84,13 +94,17 @@ class TrainTask:
     config: TrainConfig
     rng_state: RngState
     model_state: Optional[StateDict] = None
+    indices: Optional[np.ndarray] = None
 
     def run(self) -> TrainResult:
         model = self.model_factory()
         if self.model_state is not None:
             model.load_state_dict(self.model_state)
         rng = restore_rng(self.rng_state)
-        history = train(model, self.dataset, self.config, rng)
+        dataset = (
+            self.dataset if self.indices is None else self.dataset.subset(self.indices)
+        )
+        history = train(model, dataset, self.config, rng)
         return TrainResult(
             task_id=self.task_id,
             state=model.state_dict(),

@@ -15,6 +15,21 @@ makes the trade-off explicit:
   :class:`PeriodicPolicy` (fixed cadence — bounded worst-case latency);
 * every executed batch records per-request latency in rounds, so the
   latency/cost frontier of a policy is measurable.
+
+Two execution paths share the queue and the policies:
+
+* :meth:`DeletionManager.maybe_execute` — the federated flow: merged
+  indices are registered with each client and an ``unlearn(sim)``
+  callable drives one of the unlearning protocols;
+* :meth:`DeletionManager.maybe_execute_batched` — the SISA/sharded flow,
+  routed through the execution runtime: *all* pending requests coalesce
+  into one ``delete()`` call on the ensemble, which submits **one
+  retrain chain per affected shard per flush window** through its
+  :class:`~repro.runtime.Backend`.  A shard hit by five requests replays
+  its checkpoint prefix once, not five times — the amortisation the
+  paper's retraining-cost accounting (``SisaDeletionReport``) measures —
+  and :attr:`ExecutedBatch.chains_submitted` records how few chains the
+  window actually cost.
 """
 
 from __future__ import annotations
@@ -97,6 +112,10 @@ class ExecutedBatch:
     requests: List[DeletionRequest]
     latencies: List[int]  # rounds each request waited
     outcome: object = None  # whatever the unlearn callable returned
+    # Retrain chains submitted through the runtime for this batch (set by
+    # the batched SISA path; one per affected shard).  Fewer chains than
+    # requests is the whole point of batching.
+    chains_submitted: int = 0
 
     @property
     def num_requests(self) -> int:
@@ -170,6 +189,20 @@ class DeletionManager:
             for client_id, indices in merged.items()
         }
 
+    def merged_global_indices(self) -> np.ndarray:
+        """Every pending index folded into one deduplicated set.
+
+        For request streams whose indices share one global index space
+        (e.g. a :class:`~repro.unlearning.sisa.SisaEnsemble` over one
+        dataset), the per-client split is irrelevant — the whole window
+        unlearns as a single set.
+        """
+        if not self._pending:
+            return np.array([], dtype=np.int64)
+        return np.unique(
+            np.concatenate([request.indices for request in self._pending])
+        )
+
     def maybe_execute(
         self,
         sim,
@@ -185,17 +218,72 @@ class DeletionManager:
         finalize deletions themselves, so afterwards the queue is empty and
         client datasets have physically shrunk.
         """
-        if not self.policy.should_execute(self._pending, round_index):
+        if not self._window_ready(round_index):
             return None
+        for client_id, indices in self.merged_indices().items():
+            sim.clients[client_id].request_deletion(indices)
+        return self._flush(round_index, outcome=unlearn(sim))
+
+    def maybe_execute_batched(
+        self, ensemble, round_index: int
+    ) -> Optional[ExecutedBatch]:
+        """Flush the window into one coalesced ``ensemble.delete()`` call.
+
+        The runtime-routed deletion path: when the policy fires, every
+        pending request's indices are folded into a single set and the
+        ensemble — a :class:`~repro.unlearning.sisa.SisaEnsemble`, or any
+        object matching its deletion interface (single-argument
+        ``delete(indices) -> report`` whose report carries
+        ``shards_affected``, plus optionally ``deleted_indices`` for
+        idempotent re-requests) — unlearns them in **one** call, which
+        submits one retrain chain per *affected shard* through the
+        ensemble's execution backend, however many requests hit that
+        shard.  Checkpoint replay is thus paid once per shard per flush
+        window instead of once per request, and under a parallel backend
+        the affected shards retrain concurrently.
+
+        Re-requests are tolerated: indices the ensemble already deleted
+        in an earlier window are filtered out (idempotent re-submission
+        is normal in deletion systems), so one duplicate cannot wedge
+        the queue by making every subsequent flush raise.  A window left
+        empty by the filter executes nothing (zero chains) but still
+        clears the queue and records the batch.
+
+        Returns the batch record (with per-request latencies and the
+        number of chains actually submitted), or ``None`` when the
+        policy did not fire.
+        """
+        if not self._window_ready(round_index):
+            return None
+        merged = self.merged_global_indices()
+        already_deleted = getattr(ensemble, "deleted_indices", None)
+        if already_deleted is not None and len(already_deleted):
+            merged = merged[~np.isin(merged, list(already_deleted))]
+        report = ensemble.delete(merged) if merged.size else None
+        chains = len(getattr(report, "shards_affected", []) or [])
+        return self._flush(round_index, outcome=report, chains_submitted=chains)
+
+    # Shared flush skeleton — both execution paths above gate, validate,
+    # record and clear identically so their semantics cannot diverge.
+
+    def _window_ready(self, round_index: int) -> bool:
+        """Policy gate + sanity check that no pending request postdates
+        the execution round."""
+        if not self.policy.should_execute(self._pending, round_index):
+            return False
         for request in self._pending:
             if request.submitted_round > round_index:
                 raise ValueError(
                     f"request submitted at round {request.submitted_round} "
                     f"cannot execute at earlier round {round_index}"
                 )
-        for client_id, indices in self.merged_indices().items():
-            sim.clients[client_id].request_deletion(indices)
-        outcome = unlearn(sim)
+        return True
+
+    def _flush(
+        self, round_index: int, outcome: object, chains_submitted: int = 0
+    ) -> ExecutedBatch:
+        """Record the executed window (per-request latencies included)
+        and clear the queue."""
         batch = ExecutedBatch(
             executed_round=round_index,
             requests=list(self._pending),
@@ -204,6 +292,7 @@ class DeletionManager:
                 for request in self._pending
             ],
             outcome=outcome,
+            chains_submitted=chains_submitted,
         )
         self._executed.append(batch)
         self._pending.clear()
@@ -219,6 +308,13 @@ class DeletionManager:
     @property
     def num_executions(self) -> int:
         return len(self._executed)
+
+    @property
+    def total_chains_submitted(self) -> int:
+        """Retrain chains submitted across all batched executions — the
+        runtime cost the flush policy is amortising (compare against
+        ``sum(batch.num_requests)`` to see the saving)."""
+        return sum(batch.chains_submitted for batch in self._executed)
 
     def mean_latency(self) -> float:
         """Average rounds-waited over all executed requests."""

@@ -38,7 +38,7 @@ from typing import Callable, Dict, List, Optional
 
 import numpy as np
 
-from ..data.dataset import ArrayDataset
+from ..data.dataset import ArrayDataset, SharedArrayDataset
 from ..data.partition import partition_shards
 from ..federated import state_math
 from ..federated.state_math import StateDict
@@ -123,14 +123,29 @@ class ShardedClientTrainer:
     # Training and aggregation
     # ------------------------------------------------------------------
     def _shard_task(self, shard: int, config: TrainConfig) -> TrainTask:
-        """One shard's next training pass as a pure runtime task."""
+        """One shard's next training pass as a pure runtime task.
+
+        With a shared-memory dataset the task carries the full dataset
+        handle plus this shard's index selection — the executing worker
+        materialises the slice (identical to :meth:`shard_dataset`), the
+        parent holds the data once however many shards fan out, and the
+        pickled payload is O(indices).  A private-memory dataset is
+        sliced parent-side instead: shipping the *full* arrays with every
+        shard task would multiply pickle traffic K-fold under a pooling
+        backend.  Either way the worker trains on identical arrays.
+        """
+        if isinstance(self.dataset, SharedArrayDataset):
+            dataset, indices = self.dataset, self.shard_indices[shard]
+        else:
+            dataset, indices = self.shard_dataset(shard), None
         return TrainTask(
             task_id=shard,
             model_factory=self.model_factory,
-            dataset=self.shard_dataset(shard),
+            dataset=dataset,
             config=config,
             rng_state=self.shard_rng_states[shard],
             model_state=self.shard_states[shard],
+            indices=indices,
         )
 
     def _train_shards(self, shards: List[int], config: TrainConfig) -> None:

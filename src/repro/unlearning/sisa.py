@@ -464,6 +464,14 @@ class SisaEnsemble:
     def num_deleted(self) -> int:
         return len(self._deleted)
 
+    @property
+    def deleted_indices(self) -> frozenset:
+        """Global indices unlearned so far.  Public so batching layers
+        (:meth:`~repro.unlearning.deletion_manager.DeletionManager.maybe_execute_batched`)
+        can drop idempotent re-requests instead of tripping
+        :meth:`delete`'s already-deleted guard."""
+        return frozenset(self._deleted)
+
     def shard_sizes(self) -> List[int]:
         """Live (post-deletion) sample count per shard."""
         return [

@@ -1,0 +1,250 @@
+"""Shared-memory datasets and the opt-in dtype.
+
+The contract of :meth:`ArrayDataset.share`: in-process behaviour is
+indistinguishable from the plain dataset (training is bit-identical),
+but pickling transports a by-reference handle whose size is independent
+of the data — the property the pooling backend's zero-copy fan-out rests
+on.  The ``dtype`` option must default to float64 (legacy-exact) and
+survive every derivation.
+"""
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.data.dataset import ArrayDataset, FederatedDataset, SharedArrayDataset
+from repro.nn.models import RegistryModelFactory
+from repro.runtime import SerialBackend, TrainTask, capture_rng
+from repro.training import TrainConfig
+from repro.training.trainer import train
+
+from ..conftest import make_blobs
+
+FACTORY = RegistryModelFactory(name="mlp", num_classes=3, in_channels=1, image_size=4)
+CONFIG = TrainConfig(epochs=2, batch_size=8, learning_rate=0.05)
+
+
+class TestDtypeOption:
+    def test_default_stays_float64(self):
+        dataset = make_blobs(num_samples=12, shape=(1, 4, 4))
+        assert dataset.images.dtype == np.float64
+
+    def test_float32_opt_in(self):
+        rng = np.random.default_rng(0)
+        dataset = ArrayDataset(
+            images=rng.normal(size=(12, 1, 4, 4)),
+            labels=np.arange(12) % 3,
+            num_classes=3,
+            dtype=np.float32,
+        )
+        assert dataset.images.dtype == np.float32
+
+    def test_dtype_survives_derivations(self):
+        rng = np.random.default_rng(0)
+        dataset = ArrayDataset(
+            images=rng.normal(size=(12, 1, 4, 4)),
+            labels=np.arange(12) % 3,
+            num_classes=3,
+            dtype=np.float32,
+        )
+        assert dataset.subset(range(6)).images.dtype == np.float32
+        assert dataset.remove(range(6)).images.dtype == np.float32
+        assert dataset.concat(dataset).images.dtype == np.float32
+        assert dataset.shuffled(rng).images.dtype == np.float32
+        selected, remainder = dataset.split(range(3))
+        assert selected.images.dtype == np.float32
+        assert remainder.images.dtype == np.float32
+
+    def test_non_float_dtype_rejected(self):
+        with pytest.raises(ValueError, match="floating"):
+            ArrayDataset(
+                images=np.zeros((3, 1, 2, 2)),
+                labels=np.zeros(3, dtype=np.int64),
+                num_classes=1,
+                dtype=np.int32,
+            )
+
+    def test_float32_trains(self):
+        dataset = ArrayDataset(
+            images=make_blobs(num_samples=24, shape=(1, 4, 4)).images,
+            labels=np.arange(24) % 3,
+            num_classes=3,
+            dtype=np.float32,
+        )
+        model = FACTORY()
+        history = train(model, dataset, CONFIG, np.random.default_rng(0))
+        assert len(history) == CONFIG.epochs
+
+
+class TestKeepIndices:
+    def test_subset_of_keep_indices_equals_remove(self):
+        dataset = make_blobs(num_samples=20, shape=(1, 4, 4))
+        removed = [0, 3, 7, 19]
+        via_indices = dataset.subset(dataset.keep_indices(removed))
+        via_remove = dataset.remove(removed)
+        np.testing.assert_array_equal(via_indices.images, via_remove.images)
+        np.testing.assert_array_equal(via_indices.labels, via_remove.labels)
+
+
+class TestSharedArrayDataset:
+    def test_share_preserves_values_and_behaviour(self):
+        dataset = make_blobs(num_samples=30, shape=(1, 4, 4))
+        shared = dataset.share()
+        try:
+            assert isinstance(shared, SharedArrayDataset)
+            assert shared.is_owner
+            np.testing.assert_array_equal(shared.images, dataset.images)
+            np.testing.assert_array_equal(shared.labels, dataset.labels)
+            assert len(shared) == len(dataset)
+            np.testing.assert_array_equal(
+                shared.class_counts(), dataset.class_counts()
+            )
+        finally:
+            shared.close()
+
+    def test_pickle_is_by_reference(self):
+        dataset = make_blobs(num_samples=200, shape=(1, 8, 8))
+        shared = dataset.share()
+        try:
+            payload = pickle.dumps(shared)
+            # The whole point: a handle, not the (N*C*H*W)*8-byte array.
+            assert len(payload) < 1024 < dataset.images.nbytes
+            restored = pickle.loads(payload)
+            try:
+                assert isinstance(restored, SharedArrayDataset)
+                assert not restored.is_owner
+                np.testing.assert_array_equal(restored.images, dataset.images)
+                np.testing.assert_array_equal(restored.labels, dataset.labels)
+            finally:
+                restored.close()
+        finally:
+            shared.close()
+
+    def test_deepcopy_is_independent(self):
+        import copy
+
+        shared = make_blobs(num_samples=12, shape=(1, 4, 4)).share()
+        clone = copy.deepcopy(shared)
+        try:
+            assert clone.is_owner  # its own block, not an attachment
+            clone.images[...] = 123.0
+            assert not (shared.images == 123.0).any()
+        finally:
+            clone.close()
+            shared.close()
+
+    def test_share_of_shared_is_identity(self):
+        shared = make_blobs(num_samples=12, shape=(1, 4, 4)).share()
+        try:
+            assert shared.share() is shared
+        finally:
+            shared.close()
+
+    def test_subset_returns_private_copy(self):
+        shared = make_blobs(num_samples=12, shape=(1, 4, 4)).share()
+        try:
+            subset = shared.subset(range(6))
+            assert type(subset) is ArrayDataset
+            # A private copy: mutating it leaves the shared block alone.
+            subset.images[...] = 0.0
+            assert shared.images.any()
+        finally:
+            shared.close()
+
+    def test_dtype_preserved_through_share(self):
+        rng = np.random.default_rng(0)
+        dataset = ArrayDataset(
+            images=rng.normal(size=(12, 1, 4, 4)),
+            labels=np.arange(12) % 3,
+            num_classes=3,
+            dtype=np.float32,
+        )
+        shared = dataset.share()
+        try:
+            assert shared.images.dtype == np.float32
+            restored = pickle.loads(pickle.dumps(shared))
+            try:
+                assert restored.images.dtype == np.float32
+            finally:
+                restored.close()
+        finally:
+            shared.close()
+
+    def test_training_is_bit_identical_on_shared_data(self):
+        dataset = make_blobs(num_samples=24, shape=(1, 4, 4))
+        shared = dataset.share()
+        try:
+            plain_task = TrainTask(
+                task_id=0,
+                model_factory=FACTORY,
+                dataset=dataset,
+                config=CONFIG,
+                rng_state=capture_rng(np.random.default_rng(5)),
+            )
+            shared_task = TrainTask(
+                task_id=0,
+                model_factory=FACTORY,
+                dataset=shared,
+                config=CONFIG,
+                rng_state=capture_rng(np.random.default_rng(5)),
+            )
+            a, b = SerialBackend().run_tasks([plain_task, shared_task])
+            assert a.rng_state == b.rng_state
+            for key in a.state:
+                np.testing.assert_array_equal(a.state[key], b.state[key])
+        finally:
+            shared.close()
+
+    def test_task_with_indices_defers_the_subset(self):
+        dataset = make_blobs(num_samples=24, shape=(1, 4, 4))
+        keep = dataset.keep_indices([0, 1, 2, 3])
+        via_indices = TrainTask(
+            task_id=0,
+            model_factory=FACTORY,
+            dataset=dataset,
+            config=CONFIG,
+            rng_state=capture_rng(np.random.default_rng(5)),
+            indices=keep,
+        ).run()
+        via_subset = TrainTask(
+            task_id=0,
+            model_factory=FACTORY,
+            dataset=dataset.subset(keep),
+            config=CONFIG,
+            rng_state=capture_rng(np.random.default_rng(5)),
+        ).run()
+        assert via_indices.rng_state == via_subset.rng_state
+        for key in via_indices.state:
+            np.testing.assert_array_equal(
+                via_indices.state[key], via_subset.state[key]
+            )
+
+    def test_federated_share(self):
+        clients = [make_blobs(num_samples=12, shape=(1, 4, 4), seed=s) for s in range(3)]
+        fed = FederatedDataset(
+            client_datasets=clients,
+            test_set=make_blobs(num_samples=12, shape=(1, 4, 4), seed=9),
+        )
+        shared = fed.share()
+        try:
+            assert shared.num_clients == 3
+            for original, copy in zip(fed, shared):
+                assert isinstance(copy, SharedArrayDataset)
+                np.testing.assert_array_equal(original.images, copy.images)
+            # The test set is evaluated parent-side only — it must NOT
+            # pay for a shared-memory copy.
+            assert type(shared.test_set) is ArrayDataset
+        finally:
+            for dataset in shared.client_datasets:
+                dataset.close()
+
+    def test_close_unlinks_block(self):
+        shared = make_blobs(num_samples=12, shape=(1, 4, 4)).share()
+        names = [block.name for block in shared._blocks]
+        shared.close()
+        from multiprocessing import shared_memory
+
+        for name in names:
+            with pytest.raises(FileNotFoundError):
+                shared_memory.SharedMemory(name=name)

@@ -240,3 +240,59 @@ class TestOneHotDropoutLinear:
     def test_flatten_images(self, rng):
         x = rng.normal(size=(5, 3, 4, 4))
         assert F.flatten_images(x).shape == (5, 48)
+
+
+class TestFusedLogSoftmax:
+    """log_softmax runs as one fused graph node whose backward reuses the
+    forward's exp/sum intermediates.  The fusion must be invisible: values
+    AND gradients bit-identical to the composed sub/exp/sum/log/sub graph
+    it replaced (so every training trajectory in the repo is unmoved)."""
+
+    @staticmethod
+    def composed_log_softmax(x, axis=-1):
+        # The pre-fusion implementation, kept here as the reference.
+        shift = Tensor(x.data.max(axis=axis, keepdims=True))
+        shifted = x - shift
+        return shifted - shifted.exp().sum(axis=axis, keepdims=True).log()
+
+    @pytest.mark.parametrize("axis", [1, -1])
+    @pytest.mark.parametrize("dtype", [np.float64, np.float32])
+    def test_forward_and_backward_bit_identical_to_composed(self, rng, axis, dtype):
+        x_val = (rng.normal(size=(16, 7)) * 5).astype(dtype)
+        labels = np.arange(16) % 7
+
+        fused_in = Tensor(x_val.copy(), requires_grad=True)
+        composed_in = Tensor(x_val.copy(), requires_grad=True)
+        fused = F.log_softmax(fused_in, axis=axis)
+        composed = self.composed_log_softmax(composed_in, axis=axis)
+        np.testing.assert_array_equal(fused.data, composed.data)
+
+        # Cross-entropy-shaped downstream graph (the training hot path).
+        (-(fused[np.arange(16), labels])).mean().backward()
+        (-(composed[np.arange(16), labels])).mean().backward()
+        np.testing.assert_array_equal(fused_in.grad, composed_in.grad)
+
+    def test_backward_bit_identical_under_dense_upstream_grad(self, rng):
+        # A gradient flowing into every output element (not just the
+        # picked labels) exercises the summed broadcast path.
+        x_val = rng.normal(size=(5, 6))
+        fused_in = Tensor(x_val.copy(), requires_grad=True)
+        composed_in = Tensor(x_val.copy(), requires_grad=True)
+        (F.log_softmax(fused_in, axis=1) ** 2).sum().backward()
+        (self.composed_log_softmax(composed_in, axis=1) ** 2).sum().backward()
+        np.testing.assert_array_equal(fused_in.grad, composed_in.grad)
+
+    def test_no_grad_produces_plain_tensor(self, rng):
+        from repro.nn.tensor import no_grad
+
+        x = Tensor(rng.normal(size=(3, 4)), requires_grad=True)
+        with no_grad():
+            out = F.log_softmax(x, axis=1)
+        assert not out.requires_grad
+
+    def test_gradient_sums_to_zero_per_row(self, rng):
+        # Softmax gradient identity: rows of d(log_softmax)/dx sum to 0
+        # when the upstream gradient is uniform over a row's element.
+        x = Tensor(rng.normal(size=(4, 5)), requires_grad=True)
+        F.log_softmax(x, axis=1).sum().backward()
+        np.testing.assert_allclose(x.grad.sum(axis=1), np.zeros(4), atol=1e-12)

@@ -173,3 +173,135 @@ class TestProperties:
         for client_id, indices in merged.items():
             assert set(indices.tolist()) == expected[client_id]
             assert list(indices) == sorted(set(indices))  # unique + sorted
+
+
+class TestBatchedSisaExecution:
+    """The runtime-routed path: a flush window coalesces every pending
+    request into one ensemble.delete() — one retrain chain per affected
+    shard, not per request."""
+
+    def build_ensemble(self, backend=None):
+        from repro.nn.models import RegistryModelFactory
+        from repro.unlearning import SisaConfig, SisaEnsemble
+
+        from ..conftest import make_blobs
+
+        factory = RegistryModelFactory(
+            name="mlp", num_classes=3, in_channels=1, image_size=4
+        )
+        dataset = make_blobs(num_samples=54, num_classes=3, shape=(1, 4, 4))
+        config = SisaConfig(
+            num_shards=3, num_slices=3, epochs_per_slice=1, batch_size=8,
+            learning_rate=0.08,
+        )
+        return SisaEnsemble(factory, dataset, config, seed=0, backend=backend).fit()
+
+    def shard_targets(self, ensemble, shard, count, offset=0):
+        """`count` distinct global indices living in `shard`."""
+        return [
+            int(ensemble._shards[shard].slice_indices[2][offset + i])
+            for i in range(count)
+        ]
+
+    def test_window_submits_one_chain_per_affected_shard(self):
+        ensemble = self.build_ensemble()
+        manager = DeletionManager(BatchSizePolicy(min_requests=5))
+        # Five requests, but they only touch shards 0 and 2.
+        for round_index, target in enumerate(
+            self.shard_targets(ensemble, 0, 3) + self.shard_targets(ensemble, 2, 2)
+        ):
+            assert (
+                manager.maybe_execute_batched(ensemble, round_index) is None
+                or round_index == 4
+            )
+            manager.submit(client_id=0, indices=[target], round_index=round_index)
+        batch = manager.maybe_execute_batched(ensemble, round_index=5)
+        assert batch is not None
+        assert batch.num_requests == 5
+        assert batch.chains_submitted == 2  # shards 0 and 2, once each
+        assert batch.chains_submitted < batch.num_requests
+        assert batch.outcome.shards_affected == [0, 2]
+        assert batch.outcome.num_deleted == 5
+        assert manager.num_pending == 0
+        assert manager.total_chains_submitted == 2
+        assert ensemble.num_deleted == 5
+
+    def test_batched_matches_one_shot_delete(self):
+        """Flushing a window is exactly one coalesced delete: the ensemble
+        state is bit-identical to calling delete() once with the union."""
+        batched = self.build_ensemble()
+        manager = DeletionManager(BatchSizePolicy(min_requests=4))
+        targets = self.shard_targets(batched, 0, 2) + self.shard_targets(batched, 1, 2)
+        for round_index, target in enumerate(targets):
+            manager.submit(client_id=0, indices=[target], round_index=round_index)
+        batch = manager.maybe_execute_batched(batched, round_index=4)
+        assert batch is not None
+
+        oneshot = self.build_ensemble()
+        oneshot.delete(sorted(targets))
+        for a, b in zip(batched._shards, oneshot._shards):
+            assert a.rng_state == b.rng_state
+            for key, value in a.model.state_dict().items():
+                np.testing.assert_array_equal(value, b.model.state_dict()[key])
+
+    def test_latencies_recorded_per_request(self):
+        ensemble = self.build_ensemble()
+        manager = DeletionManager(PeriodicPolicy(every_rounds=4))
+        manager.submit(0, [self.shard_targets(ensemble, 0, 1)[0]], round_index=1)
+        manager.submit(0, [self.shard_targets(ensemble, 1, 1)[0]], round_index=3)
+        assert manager.maybe_execute_batched(ensemble, round_index=3) is None
+        batch = manager.maybe_execute_batched(ensemble, round_index=4)
+        assert batch.latencies == [3, 1]
+        assert batch.max_latency == 3
+
+    def test_duplicate_indices_across_requests_coalesce(self):
+        ensemble = self.build_ensemble()
+        manager = DeletionManager(BatchSizePolicy(min_requests=2))
+        target = self.shard_targets(ensemble, 0, 1)[0]
+        manager.submit(0, [target], round_index=0)
+        manager.submit(1, [target], round_index=1)  # same sample, twice
+        batch = manager.maybe_execute_batched(ensemble, round_index=1)
+        assert batch.num_requests == 2
+        assert batch.outcome.num_deleted == 1
+        assert batch.chains_submitted == 1
+
+    def test_rerequested_deletion_does_not_wedge_the_queue(self):
+        """A request for an already-deleted sample (idempotent re-submit)
+        is filtered out of the window instead of poisoning every flush."""
+        ensemble = self.build_ensemble()
+        target = self.shard_targets(ensemble, 0, 1)[0]
+        manager = DeletionManager()
+        manager.submit(0, [target], round_index=0)
+        first = manager.maybe_execute_batched(ensemble, round_index=0)
+        assert first.chains_submitted == 1
+
+        # Same sample again, plus a fresh one: the stale index is dropped,
+        # the fresh one is honoured, and the queue drains.
+        fresh = self.shard_targets(ensemble, 1, 1)[0]
+        manager.submit(0, [target], round_index=1)
+        manager.submit(0, [fresh], round_index=1)
+        batch = manager.maybe_execute_batched(ensemble, round_index=1)
+        assert batch is not None
+        assert batch.outcome.num_deleted == 1
+        assert manager.num_pending == 0
+        assert ensemble.num_deleted == 2
+
+        # A window containing ONLY stale indices executes nothing but
+        # still clears (zero chains, outcome None).
+        manager.submit(0, [target], round_index=2)
+        empty = manager.maybe_execute_batched(ensemble, round_index=2)
+        assert empty is not None
+        assert empty.chains_submitted == 0
+        assert empty.outcome is None
+        assert manager.num_pending == 0
+
+    def test_future_submission_round_rejected(self):
+        ensemble = self.build_ensemble()
+        manager = DeletionManager()
+        manager.submit(0, [self.shard_targets(ensemble, 0, 1)[0]], round_index=7)
+        with pytest.raises(ValueError, match="earlier round"):
+            manager.maybe_execute_batched(ensemble, round_index=3)
+
+    def test_merged_global_indices_empty_queue(self):
+        manager = DeletionManager()
+        np.testing.assert_array_equal(manager.merged_global_indices(), [])
