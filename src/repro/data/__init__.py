@@ -8,8 +8,10 @@ from .augment import (
 )
 from .backdoor import (
     BackdoorAttack,
+    LabelFlipAttack,
     TriggerPattern,
     select_attack_target,
+    select_flip_target,
     select_poison_indices,
 )
 from .dataset import ArrayDataset, FederatedDataset, SharedArrayDataset
@@ -45,8 +47,10 @@ __all__ = [
     "DataLoader",
     "TriggerPattern",
     "BackdoorAttack",
+    "LabelFlipAttack",
     "select_poison_indices",
     "select_attack_target",
+    "select_flip_target",
     "partition_iid",
     "partition_size_skewed",
     "partition_label_skewed",

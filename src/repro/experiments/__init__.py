@@ -32,12 +32,27 @@ from . import (
     fig7_shard_deletion,
     fig8_heterogeneous,
     fig9_iid,
+    runner,
     tab7_9_divergence,
     tab10_ablation,
     tab11_loss_compat,
 )
 from .results import ExperimentResult
 from .scale import PAPER, SCALES, SMALL, SMOKE, ExperimentScale, get_scale
+from .spec import (
+    AttackSpec,
+    DatasetSpec,
+    DeletionSpec,
+    ExperimentSpec,
+    FederationSpec,
+    PartitionSpec,
+    SCENARIO_PRESETS,
+    Scenario,
+    ScenarioBuilder,
+    ScenarioSpec,
+    build_scenario,
+    get_scenario,
+)
 
 __all__ = [
     "ExperimentScale",
@@ -47,6 +62,19 @@ __all__ = [
     "SMOKE",
     "SMALL",
     "PAPER",
+    "AttackSpec",
+    "DatasetSpec",
+    "DeletionSpec",
+    "ExperimentSpec",
+    "FederationSpec",
+    "PartitionSpec",
+    "SCENARIO_PRESETS",
+    "Scenario",
+    "ScenarioBuilder",
+    "ScenarioSpec",
+    "build_scenario",
+    "get_scenario",
+    "runner",
     "fig4_retraining",
     "fig5_backdoor",
     "fig6_shards",

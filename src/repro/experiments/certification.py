@@ -13,30 +13,56 @@ toolkit (``repro.eval.certification`` / ``repro.eval.membership``):
 
 The origin row anchors the scale: it should be maximally distinguishable
 from B1's retrain and maximally attackable.
+
+This module is a *spec definition*: the loop lives in
+:func:`repro.experiments.runner.run_certification`.
 """
 
 from __future__ import annotations
 
 from typing import Optional
 
-import numpy as np
-
-from ..eval import certify_outputs, membership_attack, relearn_time
-from ..training import evaluate
-from .common import (
-    SimulationSnapshot,
-    build_backdoor_federation,
-    pretrain,
-    run_unlearning_method,
-)
+from . import runner
+from .common import backdoor_spec
 from .results import ExperimentResult
 from .scale import ExperimentScale
+from .spec import ExperimentSpec
 
 COLUMNS = ("method", "acc", "eps_hat", "mean_jsd", "mia_adv", "relearn_speedup")
 
 _CERT_DELTA = 0.05
 _RELEARN_MAX_EPOCHS = 12
 _RELEARN_LOSS_THRESHOLD = 0.3
+
+NOTES = (
+    f"eps_hat at delta={_CERT_DELTA} on a probe of clean + "
+    "trigger-stamped test samples (retained backdoor knowledge "
+    "only surfaces on triggered inputs); mia_adv is the "
+    "confidence-threshold attack's TPR-FPR on the forget set; "
+    "relearn_speedup ~ 1.0 means forgetting (fresh-model-like), "
+    ">> 1 means residual knowledge."
+)
+
+
+def spec_for(dataset: str = "mnist", deletion_rate: float = 0.06) -> ExperimentSpec:
+    """The declarative certification study (b1 runs first: the reference)."""
+    return ExperimentSpec(
+        experiment_id="certification",
+        title=(
+            "Unlearning certification vs retrained reference on "
+            "{dataset} (deletion rate {rate:.0%})"
+        ),
+        kind="certification",
+        scenario=backdoor_spec(dataset, deletion_rate),
+        methods=("b1", "ours", "b3"),
+        params={
+            "reference": "b1",
+            "delta": _CERT_DELTA,
+            "relearn_max_epochs": _RELEARN_MAX_EPOCHS,
+            "relearn_loss_threshold": _RELEARN_LOSS_THRESHOLD,
+            "notes": NOTES,
+        },
+    )
 
 
 def run(
@@ -50,78 +76,5 @@ def run(
 
     if scale is None:
         scale = get_scale("smoke")
-
-    setup = build_backdoor_federation(
-        dataset_name, scale, deletion_rate=deletion_rate, seed=seed
-    )
-    origin = pretrain(setup, scale)
-    snapshot = SimulationSnapshot.capture(setup.sim)
-
-    # The certification probe must cover the inputs where retained
-    # knowledge of D_f would surface — clean test samples alone never show
-    # the backdoor, so half the probe carries the trigger.
-    probe = setup.test_set.concat(
-        setup.attack.triggered_test_set(setup.test_set)
-    )
-
-    # The forget set (poisoned samples of client 0) and a same-size holdout
-    # from the test split for the membership attack.
-    forget_set = setup.sim.clients[0].dataset.subset(setup.poison_indices)
-    holdout = setup.test_set.subset(
-        np.arange(min(len(forget_set), len(setup.test_set)))
-    )
-
-    def unlearn(method: str):
-        snapshot.restore(setup.sim)
-        setup.register_deletion()
-        return run_unlearning_method(method, setup, scale).global_model
-
-    reference = unlearn("b1")  # the retrained gold standard
-
-    result = ExperimentResult(
-        experiment_id="certification",
-        title=(
-            f"Unlearning certification vs retrained reference on "
-            f"{dataset_name} (deletion rate {deletion_rate:.0%})"
-        ),
-        columns=COLUMNS,
-        notes=(
-            f"eps_hat at delta={_CERT_DELTA} on a probe of clean + "
-            "trigger-stamped test samples (retained backdoor knowledge "
-            "only surfaces on triggered inputs); mia_adv is the "
-            "confidence-threshold attack's TPR-FPR on the forget set; "
-            "relearn_speedup ~ 1.0 means forgetting (fresh-model-like), "
-            ">> 1 means residual knowledge."
-        ),
-    )
-
-    candidates = {
-        "origin": origin,
-        "ours": unlearn("ours"),
-        "b3": unlearn("b3"),
-        "b1": reference,
-    }
-    for method, model in candidates.items():
-        certification = certify_outputs(
-            model, reference, probe, delta=_CERT_DELTA
-        )
-        attack = membership_attack(model, forget_set, holdout)
-        relearn = relearn_time(
-            setup.model_factory,
-            model.state_dict(),
-            forget_set,
-            setup.config,
-            loss_threshold=_RELEARN_LOSS_THRESHOLD,
-            max_epochs=_RELEARN_MAX_EPOCHS,
-            rng=np.random.default_rng(seed + 77),
-        )
-        _, accuracy = evaluate(model, setup.test_set)
-        result.add_row(
-            method=method,
-            acc=100.0 * accuracy,
-            eps_hat=certification.epsilon_hat,
-            mean_jsd=certification.mean_jsd,
-            mia_adv=attack.advantage,
-            relearn_speedup=relearn.speedup,
-        )
-    return result
+    return runner.run_certification(spec_for(dataset_name, deletion_rate), scale,
+                                    seed=seed)

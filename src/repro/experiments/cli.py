@@ -9,11 +9,16 @@ Usage::
     python -m repro.experiments list             # show available experiments
     python -m repro.experiments fig5 --dataset mnist --scale small
     python -m repro.experiments fig4 --backend pool --workers 8
-    python -m repro.experiments all --scale smoke
+    python -m repro.experiments all --scale smoke --dataset mnist
+
+    # the matrix driver: registry methods × scenario spec × sweeps
+    python -m repro.experiments matrix --scenario label_flip \
+        --method ours,b1 --sweep deletion.rate=0.02,0.06
 
 Each run prints the reproduced rows/series (the same data the paper's
-table or figure reports), plus a ``runtime:`` provenance line recording
-the backend, worker/CPU counts and wall-clock time.
+table or figure reports), plus a ``spec:`` line with the declaration's
+stable content hash and a ``runtime:`` provenance line recording the
+backend, worker/CPU counts and wall-clock time.
 
 ``--backend`` selects the execution runtime for *every* fan-out site the
 experiment touches (federated rounds, unlearning protocols, SISA/shard
@@ -21,15 +26,22 @@ retraining) by exporting the spec through ``REPRO_BACKEND`` — the
 resolution point every ``backend=None`` call site already consults — so
 no experiment module needs a backend parameter.  Results are
 bit-identical across backends; only wall-clock time changes.
+
+The ``matrix`` experiment enumerates registered unlearning methods
+(:mod:`repro.unlearning.registry`) against a named scenario preset
+(:data:`repro.experiments.spec.SCENARIO_PRESETS`) with ``--sweep``
+overrides applied to any dotted spec path — new scenario × method
+combinations need no new experiment module.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import os
 import sys
 import time
-from typing import Dict, List
+from typing import Any, Dict, List, Sequence, Tuple
 
 from . import (
     certification,
@@ -40,13 +52,16 @@ from . import (
     fig7_shard_deletion,
     fig8_heterogeneous,
     fig9_iid,
+    runner,
     tab7_9_divergence,
     tab10_ablation,
     tab11_loss_compat,
 )
 from ..runtime import BACKEND_ENV_VAR, parse_backend_spec, usable_cpus
+from ..unlearning.registry import available_methods, get_unlearner
 from .results import ExperimentResult
 from .scale import SCALES, get_scale
+from .spec import ExperimentSpec, SCENARIO_PRESETS, get_scenario
 
 _DATASET_EXPERIMENTS = {
     "fig4": (fig4_retraining, "Fig 4a-e retraining accuracy curves"),
@@ -66,8 +81,80 @@ EXPERIMENTS = {
     "fig9": "Fig 9: IID aggregation",
     "efficiency": "Extension: systems cost of all six unlearning methods (--dataset)",
     "certification": "Extension: eps-hat / MIA / relearn-time certification (--dataset)",
+    "matrix": "Matrix driver: --method × --scenario × --sweep combinations",
     "all": "run every experiment",
 }
+
+
+def _supports_dataset(name: str, dataset: str) -> bool:
+    """Whether experiment ``name`` has a variant for ``dataset``."""
+    if not dataset:
+        return True
+    if name in _DATASET_EXPERIMENTS:
+        return dataset in _DATASET_EXPERIMENTS[name][0].DATASETS
+    return True
+
+
+def parse_sweeps(entries: Sequence[str]) -> Dict[str, List[Any]]:
+    """Parse repeated ``--sweep key=v1,v2`` flags into {path: values}.
+
+    Values go through JSON first (so ``0.06`` is a float, ``true`` a
+    bool, ``5`` an int) and fall back to plain strings.
+    """
+    sweeps: Dict[str, List[Any]] = {}
+    for entry in entries:
+        if "=" not in entry:
+            raise ValueError(f"--sweep needs key=v1,v2 syntax, got {entry!r}")
+        key, _, raw = entry.partition("=")
+        key = key.strip()
+        if not key or not raw:
+            raise ValueError(f"--sweep needs key=v1,v2 syntax, got {entry!r}")
+        values: List[Any] = []
+        for token in raw.split(","):
+            token = token.strip()
+            if not token:
+                raise ValueError(
+                    f"--sweep {entry!r} has an empty value (trailing comma?)"
+                )
+            try:
+                values.append(json.loads(token))
+            except json.JSONDecodeError:
+                values.append(token)
+        sweeps[key] = values
+    return sweeps
+
+
+def parse_methods(spec: str) -> Tuple[str, ...]:
+    """Parse ``--method ours,b1`` (validated against the registry)."""
+    methods = tuple(m.strip() for m in spec.split(",") if m.strip())
+    for method in methods:
+        get_unlearner(method)  # fail fast on typos
+    return methods
+
+
+def run_matrix(
+    scale_name: str,
+    dataset: str,
+    seed: int,
+    methods: Tuple[str, ...],
+    scenario: str,
+    sweeps: Dict[str, List[Any]],
+) -> ExperimentResult:
+    """Enumerate registry methods × scenario spec × sweep combinations."""
+    scenario_spec = get_scenario(scenario, dataset=dataset or "mnist")
+    methods = methods or available_methods(level="sample")
+    exp = ExperimentSpec(
+        experiment_id=f"matrix:{scenario}",
+        title=(
+            f"Method × scenario matrix ({scenario} on "
+            f"{dataset or 'mnist'}, {len(methods)} methods)"
+        ),
+        kind="matrix",
+        scenario=scenario_spec,
+        methods=methods,
+        params={"sweeps": sweeps},
+    )
+    return runner.run_matrix(exp, get_scale(scale_name), seed=seed)
 
 
 def _stamp_and_print(results, runtime_info: Dict) -> None:
@@ -95,10 +182,23 @@ def active_backend_spec() -> str:
     return os.environ.get(BACKEND_ENV_VAR) or "serial"
 
 
-def run_experiment(name: str, scale_name: str, dataset: str, seed: int) -> None:
+def run_experiment(
+    name: str,
+    scale_name: str,
+    dataset: str,
+    seed: int,
+    *,
+    methods: Tuple[str, ...] = (),
+    scenario: str = "backdoor",
+    sweeps: Dict[str, List[Any]] = None,
+) -> None:
     """Run one experiment (or all) and print the reproduced artifact(s)."""
     scale = get_scale(scale_name)
     start = time.time()
+    # Optional-dataset experiments take the override only when one was
+    # given, so their defaults (mnist panels, cifar10_resnet ablations)
+    # stay in charge otherwise.
+    dataset_kwargs = {"dataset": dataset} if dataset else {}
     if name in _DATASET_EXPERIMENTS:
         module, _ = _DATASET_EXPERIMENTS[name]
         if dataset:
@@ -106,25 +206,33 @@ def run_experiment(name: str, scale_name: str, dataset: str, seed: int) -> None:
         else:
             results = module.run_all(scale, seed=seed)
     elif name == "tab10":
-        results = tab10_ablation.run(scale, seed=seed)
+        results = tab10_ablation.run(scale, seed=seed, **dataset_kwargs)
     elif name == "tab11":
-        results = tab11_loss_compat.run(scale, seed=seed)
+        results = tab11_loss_compat.run(scale, seed=seed, **dataset_kwargs)
     elif name == "fig6":
-        results = fig6_shards.run(scale, seed=seed)
+        results = fig6_shards.run(scale, seed=seed, **dataset_kwargs)
     elif name == "fig7":
-        results = fig7_shard_deletion.run_all(scale, seed=seed)
+        results = fig7_shard_deletion.run_all(scale, seed=seed, **dataset_kwargs)
     elif name == "fig8":
-        results = fig8_heterogeneous.run_all(scale, seed=seed)
+        results = fig8_heterogeneous.run_all(scale, seed=seed, **dataset_kwargs)
     elif name == "fig9":
-        results = fig9_iid.run(scale, seed=seed)
+        results = fig9_iid.run(scale, seed=seed, **dataset_kwargs)
     elif name == "efficiency":
         results = efficiency.run(dataset or "mnist", scale, seed=seed)
     elif name == "certification":
         results = certification.run(dataset or "mnist", scale, seed=seed)
+    elif name == "matrix":
+        results = run_matrix(
+            scale_name, dataset, seed, methods, scenario, sweeps or {}
+        )
     elif name == "all":
-        for each in [k for k in EXPERIMENTS if k != "all"]:
+        # The matrix driver is a tool, not a paper artifact — exclude it.
+        for each in [k for k in EXPERIMENTS if k not in ("all", "matrix")]:
+            if not _supports_dataset(each, dataset):
+                print(f"##### {each} ##### (skipped: no {dataset!r} variant)")
+                continue
             print(f"##### {each} #####")
-            run_experiment(each, scale_name, dataset="", seed=seed)
+            run_experiment(each, scale_name, dataset=dataset, seed=seed)
         print(f"[all done in {time.time() - start:.0f}s at scale={scale_name}]")
         return
     else:
@@ -153,8 +261,21 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--scale", default="smoke", choices=sorted(SCALES),
                         help="experiment scale preset (default: smoke)")
     parser.add_argument("--dataset", default="",
-                        help="restrict fig4/fig5/tab7_9 to one dataset")
+                        help="run the experiment (or the whole 'all' suite) "
+                             "on one dataset")
     parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--method", default="",
+                        help="matrix: comma-separated registered methods "
+                             f"(default: all sample-level; known: "
+                             f"{', '.join(available_methods())})")
+    parser.add_argument("--scenario", default="backdoor",
+                        choices=sorted(SCENARIO_PRESETS),
+                        help="matrix: named scenario preset (default: backdoor)")
+    parser.add_argument("--sweep", action="append", default=[],
+                        metavar="KEY=V1,V2",
+                        help="matrix: sweep a dotted spec path over values, "
+                             "e.g. --sweep deletion.rate=0.02,0.06 "
+                             "--sweep federation.num_clients=5,10 (repeatable)")
     parser.add_argument("--backend", default="",
                         help="execution backend for every fan-out site: "
                              "serial (default), thread, process, pool — "
@@ -197,7 +318,12 @@ def main(argv: List[str] = None) -> int:
             # SISA, sharded trainers) consults this variable, so one
             # export threads the choice through the whole experiment.
             os.environ[BACKEND_ENV_VAR] = spec
-        run_experiment(args.experiment, args.scale, args.dataset, args.seed)
+        run_experiment(
+            args.experiment, args.scale, args.dataset, args.seed,
+            methods=parse_methods(args.method),
+            scenario=args.scenario,
+            sweeps=parse_sweeps(args.sweep),
+        )
     except ValueError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2

@@ -2,14 +2,22 @@
 
 The canonical workflow each experiment builds on:
 
-1. :func:`build_backdoor_federation` — synthesise the dataset, partition it
-   across clients, poison the to-be-deleted subset of client 0 with the
-   backdoor trigger (the paper's validity instrument).
+1. :func:`build_backdoor_federation` — declare a backdoor
+   :class:`~repro.experiments.spec.ScenarioSpec` and build it (dataset →
+   partition → poison the to-be-deleted subset of client 0 — the paper's
+   validity instrument).
 2. :func:`pretrain` — run federated training to obtain the *origin* model
    (the teacher, contaminated by the backdoor).
-3. :func:`run_unlearning_method` — dispatch to ours / B1 / B2 / B3.
+3. :func:`run_unlearning_method` — run one registered method
+   (:mod:`repro.unlearning.registry`) on the federation.
 4. Snapshot/restore helpers so one expensive pretrain can be reused across
    every method being compared.
+
+Both entry points are thin adapters now: scenario construction lives in
+:mod:`repro.experiments.spec` (one builder for backdoor, label-flip and
+clean-deletion scenarios alike) and method dispatch in
+:mod:`repro.unlearning.registry` — results are bit-identical to the
+pre-spec code paths.
 """
 
 from __future__ import annotations
@@ -17,35 +25,29 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional
 
-import numpy as np
-
-from ..data import (
-    ArrayDataset,
-    BackdoorAttack,
-    FederatedDataset,
-    TriggerPattern,
-    make_dataset,
-    make_federated,
-    select_attack_target,
-)
-from ..data.synthetic import SPECS
-from ..federated import FedAvgAggregator, FederatedSimulation
+from ..data import ArrayDataset, TriggerPattern
+from ..federated import FederatedSimulation
 from ..federated.state_math import StateDict
-from ..nn.models import RegistryModelFactory, build_model
+from ..nn.models import RegistryModelFactory
 from ..nn.module import Module
 from ..runtime import BackendLike
-from ..training import TrainConfig, evaluate
+from ..training import TrainConfig
 from ..unlearning import (
     GoldfishConfig,
     GoldfishLossConfig,
-    IncompetentTeacherConfig,
     UnlearnOutcome,
-    federated_goldfish,
-    federated_incompetent_teacher,
-    federated_rapid_retrain,
-    federated_retrain,
+    make_unlearner,
 )
 from .scale import ExperimentScale
+from .spec import (
+    AttackSpec,
+    DatasetSpec,
+    DeletionSpec,
+    FederationSpec,
+    Scenario,
+    ScenarioSpec,
+    build_scenario,
+)
 
 # The paper's loss-weight configuration (Section IV-B).
 PAPER_TEMPERATURE = 3.0
@@ -86,21 +88,34 @@ def train_config(scale: ExperimentScale, **overrides) -> TrainConfig:
     return config.with_overrides(**overrides) if overrides else config
 
 
-@dataclass
-class BackdoorFederation:
-    """Everything a backdoor-unlearning experiment needs."""
+# The historical name: every pre-spec call site annotated against
+# BackdoorFederation keeps working — the builder returns the same fields
+# (sim, fed_data, test_set, attack, poison_indices, model_factory, config).
+BackdoorFederation = Scenario
 
-    sim: FederatedSimulation
-    fed_data: FederatedDataset
-    test_set: ArrayDataset
-    attack: BackdoorAttack
-    poison_indices: np.ndarray  # local indices within client 0
-    model_factory: Callable[[], Module]
-    config: TrainConfig
 
-    def register_deletion(self) -> None:
-        """File client 0's deletion request for exactly the poisoned data."""
-        self.sim.clients[0].request_deletion(self.poison_indices)
+def backdoor_spec(
+    dataset_name: str,
+    deletion_rate: float,
+    model_name: Optional[str] = None,
+    trigger: TriggerPattern = DEFAULT_TRIGGER,
+    target_label: Optional[int] = None,
+    share: Optional[bool] = None,
+) -> ScenarioSpec:
+    """The canonical backdoor scenario as a declarative spec."""
+    return ScenarioSpec(
+        dataset=DatasetSpec(name=dataset_name),
+        attack=AttackSpec(
+            kind="backdoor",
+            trigger_size=trigger.size,
+            trigger_value=trigger.value,
+            trigger_corner=trigger.corner,
+            target_label=target_label,
+        ),
+        deletion=DeletionSpec(selector="attacked", rate=deletion_rate),
+        federation=FederationSpec(share_datasets=share),
+        model=model_name or "",
+    )
 
 
 def build_backdoor_federation(
@@ -112,55 +127,31 @@ def build_backdoor_federation(
     trigger: TriggerPattern = DEFAULT_TRIGGER,
     target_label: Optional[int] = None,
     backend: BackendLike = None,
+    share: Optional[bool] = None,
 ) -> BackdoorFederation:
-    """Steps 1 of the canonical workflow (see module docstring).
+    """Step 1 of the canonical workflow (see module docstring).
 
     ``deletion_rate`` is the paper's "deleted data rate": the poisoned
     subset size as a fraction of the *total* training data, all residing at
     client 0. ``backend`` selects the execution backend for every round of
     local training (see :mod:`repro.runtime`); results are identical
-    across backends.
+    across backends. ``share`` re-houses the client datasets in POSIX
+    shared memory (``None`` = automatically, whenever the backend pickles
+    tasks to workers — so ``--backend pool`` runs get zero-copy fan-out).
+
+    This is a thin adapter: it declares a backdoor
+    :class:`~repro.experiments.spec.ScenarioSpec` and hands it to the
+    shared :class:`~repro.experiments.spec.ScenarioBuilder`.
     """
-    if dataset_name not in SPECS:
-        raise ValueError(f"unknown dataset {dataset_name!r}")
-    train_set, test_set = make_dataset(
-        dataset_name, train_size=scale.train_size, test_size=scale.test_size, seed=seed
+    spec = backdoor_spec(
+        dataset_name,
+        deletion_rate,
+        model_name=model_name,
+        trigger=trigger,
+        target_label=target_label,
+        share=share,
     )
-    rng = np.random.default_rng(seed + 1000)
-    fed = make_federated(train_set, test_set, scale.num_clients, rng)
-
-    if target_label is None:
-        # Pick the class least naturally associated with the trigger so the
-        # attack-success metric measures implanted behaviour only.
-        target_label = select_attack_target(train_set, trigger)
-    attack = BackdoorAttack(trigger, target_label=target_label)
-    client0 = fed.client_datasets[0]
-    num_poison = max(1, int(round(deletion_rate * len(train_set))))
-    if num_poison >= len(client0):
-        raise ValueError(
-            f"deletion rate {deletion_rate} exceeds client 0's local data "
-            f"({num_poison} >= {len(client0)})"
-        )
-    poison_indices = np.sort(rng.choice(len(client0), num_poison, replace=False))
-    fed.client_datasets[0] = attack.poison(client0, poison_indices)
-
-    resolved_model = model_name or scale.model_for(dataset_name)
-    factory = model_factory_for(train_set, resolved_model)
-    config = train_config(
-        scale, learning_rate=scale.learning_rate_for(resolved_model)
-    )
-    sim = FederatedSimulation(
-        factory, fed, FedAvgAggregator(), config, seed=seed + 2000, backend=backend
-    )
-    return BackdoorFederation(
-        sim=sim,
-        fed_data=fed,
-        test_set=test_set,
-        attack=attack,
-        poison_indices=poison_indices,
-        model_factory=factory,
-        config=config,
-    )
+    return build_scenario(spec, scale, seed=seed, backend=backend)
 
 
 def pretrain(setup: BackdoorFederation, scale: ExperimentScale) -> Module:
@@ -235,43 +226,44 @@ def goldfish_config(
     )
 
 
-METHOD_NAMES = ("ours", "b1", "b2", "b3")
-
-
 def run_unlearning_method(
     method: str,
     setup: BackdoorFederation,
     scale: ExperimentScale,
     config_override: Optional[GoldfishConfig] = None,
     backend: BackendLike = None,
+    round_callback=None,
 ) -> UnlearnOutcome:
     """Step 3: run one unlearning flow on a federation with a pending deletion.
 
+    ``method`` is any registered name (:func:`available_methods` — the
+    paper's ``ours``/``b1``/``b2``/``b3`` plus aliases like ``goldfish``).
     ``backend`` overrides the simulation's execution backend for this flow
     only (``None`` keeps whatever the simulation was built with).
     """
-    sim = setup.sim
-    if method == "ours":
-        config = config_override or goldfish_config(scale, train=setup.config)
-        return federated_goldfish(sim, config, scale.unlearn_rounds, backend=backend)
-    if method == "b1":
-        return federated_retrain(sim, setup.config, scale.unlearn_rounds, backend=backend)
-    if method == "b2":
-        return federated_rapid_retrain(
-            sim, setup.config, scale.unlearn_rounds, backend=backend
+    options = {}
+    if config_override is not None:
+        options["config"] = config_override
+    elif method in ("ours", "goldfish"):
+        options["config"] = goldfish_config(scale, train=setup.config)
+    unlearner = make_unlearner(
+        method, train_config=setup.config, num_rounds=scale.unlearn_rounds,
+        **options,
+    )
+    if unlearner.requires_history:
+        raise ValueError(
+            f"method {method!r} needs server round history; run it through "
+            "repro.experiments.runner (efficiency/matrix kinds) instead"
         )
-    if method == "b3":
-        return federated_incompetent_teacher(
-            sim,
-            IncompetentTeacherConfig(train=setup.config),
-            scale.unlearn_rounds,
-            backend=backend,
-        )
-    raise ValueError(f"unknown method {method!r}; available: {METHOD_NAMES}")
+    return unlearner.unlearn(
+        setup.sim, backend=backend, round_callback=round_callback
+    )
 
 
 def evaluate_model(model: Module, setup: BackdoorFederation) -> Dict[str, float]:
-    """Accuracy (%) and backdoor success rate (%) — the tables' two columns."""
-    _, acc = evaluate(model, setup.test_set)
-    asr = setup.attack.success_rate(model, setup.test_set)
-    return {"acc": 100.0 * acc, "backdoor": 100.0 * asr}
+    """Accuracy (%) and attack success rate (%) — the tables' two columns.
+
+    Delegates to :meth:`Scenario.evaluate`; scenarios without an attack
+    (clean deletion) report ``backdoor`` as 0 so table shapes stay fixed.
+    """
+    return {"backdoor": 0.0, **setup.evaluate(model)}

@@ -1,9 +1,10 @@
-"""Unlearning-efficiency comparison across all six implemented methods.
+"""Unlearning-efficiency comparison across all six registered methods.
 
 The paper's central claim is that Goldfish unlearns *efficiently* — Fig. 4
 shows accuracy-per-epoch, but the underlying systems quantities (compute,
 communication, server storage) are what a deployment would budget. This
-experiment makes them explicit. For one backdoored federation it runs:
+experiment makes them explicit. For one backdoored federation it runs
+every method in the registry (:mod:`repro.unlearning.registry`):
 
 * the paper's four sample-level flows — **ours** (Goldfish), **B1**
   (retrain), **B2** (rapid retraining), **B3** (incompetent teacher) —
@@ -17,40 +18,52 @@ wall-clock seconds, local training epochs, communication volume, and the
 server-side history storage the method requires (zero for the paper's
 flows; the whole round history for the update-adjustment family — the
 efficiency/storage trade-off the Related Work section describes).
+
+This module is a *spec definition*: the loop lives in
+:func:`repro.experiments.runner.run_efficiency` — the registry makes the
+sample-level and client-level families one uniform iteration.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from typing import Optional
 
-import numpy as np
-
-from ..federated import RoundHistoryStore, attach_history, state_math
-from ..federated.metering import state_bytes
-from ..training import evaluate
-from ..unlearning import (
-    FedEraser,
-    FedEraserConfig,
-    FedRecovery,
-    FedRecoveryConfig,
-)
-from .common import (
-    METHOD_NAMES,
-    SimulationSnapshot,
-    build_backdoor_federation,
-    evaluate_model,
-    pretrain,
-    run_unlearning_method,
-)
+from . import runner
+from .common import backdoor_spec
 from .results import ExperimentResult
 from .scale import ExperimentScale
-
-_MB = 1024.0 * 1024.0
 
 COLUMNS = (
     "method", "acc", "backdoor", "wall_s",
     "local_epochs", "comm_mb", "storage_mb",
 )
+
+METHODS = ("ours", "b1", "b2", "b3", "federaser", "fedrecovery")
+
+NOTES = (
+    "comm_mb = model states moved during unlearning (both "
+    "directions); storage_mb = retained round history the method "
+    "requires server-side. FedEraser/FedRecovery erase client 0 "
+    "entirely (client-level unlearning); FedRecovery runs its "
+    "noiseless variant here so accuracy is comparable."
+)
+
+
+def spec_for(dataset: str = "mnist", deletion_rate: float = 0.06):
+    """The declarative efficiency comparison."""
+    from .spec import ExperimentSpec
+
+    return ExperimentSpec(
+        experiment_id="efficiency",
+        title=(
+            "Unlearning efficiency on {dataset} "
+            "(deletion rate {rate:.0%}, {clients} clients)"
+        ),
+        kind="efficiency",
+        scenario=backdoor_spec(dataset, deletion_rate),
+        methods=METHODS,
+        params={"notes": NOTES},
+    )
 
 
 def run(
@@ -59,112 +72,10 @@ def run(
     seed: int = 0,
     deletion_rate: float = 0.06,
 ) -> ExperimentResult:
-    """Run every unlearning method on one backdoored federation."""
+    """Run every registered unlearning method on one backdoored federation."""
     from .scale import get_scale
 
     if scale is None:
         scale = get_scale("smoke")
-    import time
-
-    setup = build_backdoor_federation(
-        dataset_name, scale, deletion_rate=deletion_rate, seed=seed
-    )
-    history = attach_history(setup.sim, RoundHistoryStore())
-    initial_state = setup.sim.server.initial_state
-    pretrain(setup, scale)
-    snapshot = SimulationSnapshot.capture(setup.sim)
-    per_state_bytes = state_bytes(setup.sim.server.global_state)
-    num_clients = len(setup.sim.clients)
-
-    result = ExperimentResult(
-        experiment_id="efficiency",
-        title=(
-            f"Unlearning efficiency on {dataset_name} "
-            f"(deletion rate {deletion_rate:.0%}, {num_clients} clients)"
-        ),
-        columns=COLUMNS,
-        notes=(
-            "comm_mb = model states moved during unlearning (both "
-            "directions); storage_mb = retained round history the method "
-            "requires server-side. FedEraser/FedRecovery erase client 0 "
-            "entirely (client-level unlearning); FedRecovery runs its "
-            "noiseless variant here so accuracy is comparable."
-        ),
-    )
-
-    # ------------------------------------------------------------------
-    # The paper's sample-level flows
-    # ------------------------------------------------------------------
-    for method in METHOD_NAMES:
-        snapshot.restore(setup.sim)
-        setup.register_deletion()
-        outcome = run_unlearning_method(method, setup, scale)
-        metrics = evaluate_model(outcome.global_model, setup)
-        comm_bytes = outcome.rounds_run * num_clients * per_state_bytes * 2
-        result.add_row(
-            method=method,
-            acc=metrics["acc"],
-            backdoor=metrics["backdoor"],
-            wall_s=outcome.wall_seconds,
-            local_epochs=outcome.local_epochs_total,
-            comm_mb=comm_bytes / _MB,
-            storage_mb=0.0,
-        )
-
-    # ------------------------------------------------------------------
-    # Update-adjustment (client-level) methods
-    # ------------------------------------------------------------------
-    storage_mb = history.storage_report().total_bytes / _MB
-    client_datasets = [client.dataset for client in setup.sim.clients]
-    remaining_clients = num_clients - 1
-
-    snapshot.restore(setup.sim)
-    eraser = FedEraser(
-        setup.model_factory,
-        FedEraserConfig(
-            calibration_epochs=1,
-            learning_rate=setup.config.learning_rate,
-            batch_size=setup.config.batch_size,
-        ),
-    )
-    start = time.perf_counter()
-    erased_state, eraser_report = eraser.unlearn(
-        history, initial_state, client_datasets, forget_client_id=0,
-        rng=np.random.default_rng(seed + 31),
-    )
-    eraser_wall = time.perf_counter() - start
-    model = setup.model_factory()
-    model.load_state_dict(erased_state)
-    metrics = evaluate_model(model, setup)
-    comm_bytes = eraser_report.rounds_replayed * remaining_clients * per_state_bytes * 2
-    result.add_row(
-        method="federaser",
-        acc=metrics["acc"],
-        backdoor=metrics["backdoor"],
-        wall_s=eraser_wall,
-        local_epochs=eraser_report.calibration_epochs_run,
-        comm_mb=comm_bytes / _MB,
-        storage_mb=storage_mb,
-    )
-
-    snapshot.restore(setup.sim)
-    recovery = FedRecovery(FedRecoveryConfig(noise_enabled=False))
-    start = time.perf_counter()
-    recovered_state, _ = recovery.unlearn(
-        history, setup.sim.server.global_state, forget_client_id=0,
-        rng=np.random.default_rng(seed + 37),
-    )
-    recovery_wall = time.perf_counter() - start
-    model = setup.model_factory()
-    model.load_state_dict(recovered_state)
-    metrics = evaluate_model(model, setup)
-    result.add_row(
-        method="fedrecovery",
-        acc=metrics["acc"],
-        backdoor=metrics["backdoor"],
-        wall_s=recovery_wall,
-        local_epochs=0,
-        comm_mb=0.0,  # pure server-side computation
-        storage_mb=storage_mb,
-    )
-    return result
+    return runner.run_efficiency(spec_for(dataset_name, deletion_rate), scale,
+                                 seed=seed)

@@ -9,21 +9,20 @@ because of FIM preconditioning.
 
 Panels: (a) MNIST/LeNet-5, (b) FMNIST/LeNet-5, (c) CIFAR-10/modified
 LeNet-5, (d) CIFAR-10/ResNet32, (e) CIFAR-100/ResNet56.
+
+This module is a *spec definition*: the loop lives in
+:func:`repro.experiments.runner.run_retrain_curves`.
 """
 
 from __future__ import annotations
 
 from typing import Dict
 
-from .common import (
-    SimulationSnapshot,
-    build_backdoor_federation,
-    pretrain,
-    run_unlearning_method,
-)
-from .fig5_backdoor import _dataset_key
+from . import runner
+from .common import backdoor_spec
 from .results import ExperimentResult
 from .scale import ExperimentScale
+from .spec import ExperimentSpec
 
 PANELS = {
     "mnist": "Fig 4a",
@@ -33,7 +32,21 @@ PANELS = {
     "cifar100": "Fig 4e",
 }
 
+DATASETS = tuple(PANELS)
 METHODS = ("ours", "b1", "b2")
+
+
+def spec_for(dataset: str, deletion_rate: float = 0.06) -> ExperimentSpec:
+    """The declarative experiment for one Fig. 4 panel."""
+    if dataset not in PANELS:
+        raise ValueError(f"unknown dataset {dataset!r}; available: {sorted(PANELS)}")
+    return ExperimentSpec(
+        experiment_id=PANELS[dataset],
+        title=f"Retraining accuracy per round ({dataset})",
+        kind="retrain_curves",
+        scenario=backdoor_spec(dataset, deletion_rate),
+        methods=METHODS,
+    )
 
 
 def run(
@@ -44,33 +57,9 @@ def run(
     seed: int = 0,
 ) -> ExperimentResult:
     """One Fig. 4 panel: per-round retraining accuracy for ours/B1/B2."""
-    if dataset not in PANELS:
-        raise ValueError(f"unknown dataset {dataset!r}; available: {sorted(PANELS)}")
-    num_rounds = num_rounds or max(scale.unlearn_rounds, 3)
-    setup = build_backdoor_federation(
-        _dataset_key(dataset), scale, deletion_rate, seed=seed,
-        model_name=scale.model_for(dataset),
+    return runner.run_retrain_curves(
+        spec_for(dataset, deletion_rate), scale, num_rounds=num_rounds, seed=seed
     )
-    pretrain(setup, scale)
-    snapshot = SimulationSnapshot.capture(setup.sim)
-
-    result = ExperimentResult(
-        experiment_id=PANELS[dataset],
-        title=f"Retraining accuracy per round ({dataset})",
-        columns=("method", "final_acc", "rounds"),
-    )
-    scale_for_run = scale.with_overrides(unlearn_rounds=num_rounds)
-    for method in METHODS:
-        snapshot.restore(setup.sim)
-        setup.register_deletion()
-        outcome = run_unlearning_method(method, setup, scale_for_run)
-        result.add_series(method, [100 * a for a in outcome.round_accuracies])
-        result.add_row(
-            method=method,
-            final_acc=100 * outcome.final_accuracy,
-            rounds=outcome.rounds_run,
-        )
-    return result
 
 
 def run_all(scale: ExperimentScale, seed: int = 0) -> Dict[str, ExperimentResult]:

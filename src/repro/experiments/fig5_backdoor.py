@@ -11,22 +11,20 @@ Methods: ``origin`` (no unlearning), ``ours`` (Goldfish), ``b1`` (retrain
 from scratch), ``b3`` (incompetent teacher). B2 is excluded exactly as in
 the paper ("B2 ... is the same as B1. Both retrain from scratch.
 Therefore, it is not included here").
+
+This module is a *spec definition*: the loop lives in
+:func:`repro.experiments.runner.run_rate_table`.
 """
 
 from __future__ import annotations
 
 from typing import Dict, Sequence
 
-from .common import (
-    BackdoorFederation,
-    SimulationSnapshot,
-    build_backdoor_federation,
-    evaluate_model,
-    pretrain,
-    run_unlearning_method,
-)
+from . import runner
+from .common import backdoor_spec
 from .results import ExperimentResult
 from .scale import ExperimentScale
+from .spec import ExperimentSpec
 
 TABLE_IDS = {
     "mnist": "Table III / Fig 5a",
@@ -36,12 +34,22 @@ TABLE_IDS = {
     "cifar100": "Table VI / Fig 5e",
 }
 
+DATASETS = tuple(TABLE_IDS)
 METHODS = ("ours", "b1", "b3")
 
 
-def _dataset_key(name: str) -> str:
-    """The cifar10_resnet pseudo-dataset shares CIFAR-10's data."""
-    return "cifar10" if name == "cifar10_resnet" else name
+def spec_for(dataset: str) -> ExperimentSpec:
+    """The declarative experiment for one dataset's table/panel."""
+    if dataset not in TABLE_IDS:
+        raise ValueError(f"unknown dataset {dataset!r}; available: {sorted(TABLE_IDS)}")
+    return ExperimentSpec(
+        experiment_id=TABLE_IDS[dataset],
+        title=f"Accuracy / backdoor success rate vs deletion rate ({dataset})",
+        kind="rate_table",
+        scenario=backdoor_spec(dataset, deletion_rate=0.06),
+        methods=METHODS,
+        params={"series_prefix": "fig5"},
+    )
 
 
 def run_one_rate(
@@ -51,58 +59,24 @@ def run_one_rate(
     seed: int = 0,
 ) -> Dict[str, Dict[str, float]]:
     """One table row: metrics for origin and every method at one rate."""
-    setup: BackdoorFederation = build_backdoor_federation(
-        _dataset_key(dataset),
-        scale,
-        deletion_rate,
-        seed=seed,
-        model_name=scale.model_for(dataset),
+    exp = spec_for(dataset)
+    prepared = runner.prepare(
+        exp.scenario.with_overrides(**{"deletion.rate": deletion_rate}),
+        scale, seed=seed,
     )
-    origin = pretrain(setup, scale)
-    snapshot = SimulationSnapshot.capture(setup.sim)
-
-    metrics = {"origin": evaluate_model(origin, setup)}
+    metrics = {"origin": runner.evaluate_model(prepared.origin, prepared.scenario)}
     for method in METHODS:
-        snapshot.restore(setup.sim)
-        setup.register_deletion()
-        outcome = run_unlearning_method(method, setup, scale)
-        metrics[method] = evaluate_model(outcome.global_model, setup)
+        outcome = runner.run_method(prepared, method, scale)
+        metrics[method] = runner.evaluate_model(
+            outcome.global_model, prepared.scenario
+        )
     return metrics
 
 
 def run(dataset: str, scale: ExperimentScale,
         rates: Sequence[float] = (), seed: int = 0) -> ExperimentResult:
     """Reproduce one dataset's table (and its Fig. 5 panel)."""
-    if dataset not in TABLE_IDS:
-        raise ValueError(f"unknown dataset {dataset!r}; available: {sorted(TABLE_IDS)}")
-    rates = tuple(rates) or scale.deletion_rates
-    result = ExperimentResult(
-        experiment_id=TABLE_IDS[dataset],
-        title=f"Accuracy / backdoor success rate vs deletion rate ({dataset})",
-        columns=(
-            "rate", "origin_acc", "origin_bd", "ours_acc", "ours_bd",
-            "b1_acc", "b1_bd", "b3_acc", "b3_bd",
-        ),
-    )
-    for rate in rates:
-        metrics = run_one_rate(dataset, scale, rate, seed=seed)
-        result.add_row(
-            rate=f"{100 * rate:.0f}%",
-            origin_acc=metrics["origin"]["acc"],
-            origin_bd=metrics["origin"]["backdoor"],
-            ours_acc=metrics["ours"]["acc"],
-            ours_bd=metrics["ours"]["backdoor"],
-            b1_acc=metrics["b1"]["acc"],
-            b1_bd=metrics["b1"]["backdoor"],
-            b3_acc=metrics["b3"]["acc"],
-            b3_bd=metrics["b3"]["backdoor"],
-        )
-    for method in ("origin",) + METHODS:
-        result.add_series(
-            f"fig5_{method}_backdoor",
-            [row[f"{'origin' if method == 'origin' else method}_bd"] for row in result.rows],
-        )
-    return result
+    return runner.run_rate_table(spec_for(dataset), scale, rates=rates, seed=seed)
 
 
 def run_all(scale: ExperimentScale, seed: int = 0) -> Dict[str, ExperimentResult]:

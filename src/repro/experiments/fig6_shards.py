@@ -5,20 +5,31 @@ model and the client's local model is the size-weighted aggregate (Eq. 8).
 The paper's observation: accuracy improves more slowly as τ grows (each
 shard model only sees 1/τ of the data, so the averaged model is biased
 toward local views), but every shard count converges to a similar level.
+
+This module is a *spec definition*: the loop lives in
+:func:`repro.experiments.runner.run_shard_convergence`.
 """
 
 from __future__ import annotations
 
 from typing import Sequence
 
-import numpy as np
-
-from ..data import make_dataset
-from ..training import evaluate
-from ..unlearning import ShardedClientTrainer
-from .common import model_factory_for, train_config
+from . import runner
 from .results import ExperimentResult
 from .scale import ExperimentScale
+from .spec import AttackSpec, DatasetSpec, ExperimentSpec, ScenarioSpec
+
+
+def spec_for(dataset: str = "mnist") -> ExperimentSpec:
+    """The declarative shard-convergence study."""
+    return ExperimentSpec(
+        experiment_id="Fig 6",
+        title="Accuracy vs rounds for shard counts {shard_counts} ({dataset})",
+        kind="shard_convergence",
+        scenario=ScenarioSpec(
+            dataset=DatasetSpec(name=dataset), attack=AttackSpec(kind="none")
+        ),
+    )
 
 
 def run(
@@ -29,28 +40,7 @@ def run(
     seed: int = 0,
 ) -> ExperimentResult:
     """Per-round test accuracy of the shard-aggregated model for each τ."""
-    shard_counts = tuple(shard_counts) or scale.shard_counts
-    num_rounds = num_rounds or max(3, scale.pretrain_rounds // 2)
-    train_set, test_set = make_dataset(
-        dataset, train_size=scale.train_size, test_size=scale.test_size, seed=seed
+    return runner.run_shard_convergence(
+        spec_for(dataset), scale,
+        shard_counts=shard_counts, num_rounds=num_rounds, seed=seed,
     )
-    factory = model_factory_for(train_set, scale.model_for(dataset))
-    config = train_config(scale, epochs=1)
-
-    result = ExperimentResult(
-        experiment_id="Fig 6",
-        title=f"Accuracy vs rounds for shard counts {shard_counts} ({dataset})",
-        columns=("shards", "final_acc"),
-    )
-    for tau in shard_counts:
-        trainer = ShardedClientTrainer(
-            train_set, tau, factory, np.random.default_rng(seed + tau)
-        )
-        accuracies = []
-        for _ in range(num_rounds):
-            trainer.train_all(config)
-            _, acc = evaluate(trainer.local_model(), test_set)
-            accuracies.append(100 * acc)
-        result.add_series(f"tau={tau}", accuracies)
-        result.add_row(shards=tau, final_acc=accuracies[-1])
-    return result

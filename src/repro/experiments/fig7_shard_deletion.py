@@ -9,20 +9,31 @@ observations to reproduce:
   models recover much faster than the unsharded (τ=1) model;
 * as the rate grows (6%, 10%) more shards are hit and the advantage of
   small τ shrinks, while moderate τ (6–9) still recovers quickly.
+
+This module is a *spec definition*: the loop lives in
+:func:`repro.experiments.runner.run_shard_deletion`.
 """
 
 from __future__ import annotations
 
 from typing import Sequence
 
-import numpy as np
-
-from ..data import make_dataset
-from ..training import evaluate
-from ..unlearning import ShardedClientTrainer
-from .common import model_factory_for, train_config
+from . import runner
 from .results import ExperimentResult
 from .scale import ExperimentScale
+from .spec import AttackSpec, DatasetSpec, ExperimentSpec, ScenarioSpec
+
+
+def spec_for(dataset: str = "mnist") -> ExperimentSpec:
+    """The declarative deletion-recovery timeline study."""
+    return ExperimentSpec(
+        experiment_id="Fig 7 ({rate:.0f}% deletion)",
+        title="Accuracy around deletion at round {deletion_round}",
+        kind="shard_deletion",
+        scenario=ScenarioSpec(
+            dataset=DatasetSpec(name=dataset), attack=AttackSpec(kind="none")
+        ),
+    )
 
 
 def run_one_rate(
@@ -35,55 +46,17 @@ def run_one_rate(
     seed: int = 0,
 ) -> ExperimentResult:
     """One panel: accuracy timeline per shard count at one deletion rate."""
-    shard_counts = tuple(shard_counts) or scale.shard_counts
-    num_rounds = num_rounds or deletion_round + max(3, scale.unlearn_rounds)
-    if deletion_round >= num_rounds:
-        raise ValueError("deletion_round must fall inside the training window")
-    train_set, test_set = make_dataset(
-        dataset, train_size=scale.train_size, test_size=scale.test_size, seed=seed
+    return runner.run_shard_deletion(
+        spec_for(dataset), scale, deletion_rate,
+        shard_counts=shard_counts, deletion_round=deletion_round,
+        num_rounds=num_rounds, seed=seed,
     )
-    factory = model_factory_for(train_set, scale.model_for(dataset))
-    config = train_config(scale, epochs=1)
-
-    deletion_rng = np.random.default_rng(seed + 99)
-    num_delete = max(1, int(round(deletion_rate * len(train_set))))
-    delete_indices = np.sort(
-        deletion_rng.choice(len(train_set), num_delete, replace=False)
-    )
-
-    result = ExperimentResult(
-        experiment_id=f"Fig 7 ({100 * deletion_rate:.0f}% deletion)",
-        title=f"Accuracy around deletion at round {deletion_round}",
-        columns=("shards", "pre_delete_acc", "post_delete_acc", "final_acc",
-                 "affected_shards"),
-    )
-    for tau in shard_counts:
-        trainer = ShardedClientTrainer(
-            train_set, tau, factory, np.random.default_rng(seed + tau)
-        )
-        accuracies = []
-        affected = 0
-        for round_index in range(num_rounds):
-            if round_index == deletion_round:
-                report = trainer.delete(delete_indices, config)
-                affected = len(report.affected_shards)
-            trainer.train_all(config)
-            _, acc = evaluate(trainer.local_model(), test_set)
-            accuracies.append(100 * acc)
-        result.add_series(f"tau={tau}", accuracies)
-        result.add_row(
-            shards=tau,
-            pre_delete_acc=accuracies[deletion_round - 1],
-            post_delete_acc=accuracies[deletion_round],
-            final_acc=accuracies[-1],
-            affected_shards=affected,
-        )
-    return result
 
 
 def run_all(scale: ExperimentScale, rates: Sequence[float] = (0.02, 0.06, 0.10),
-            seed: int = 0):
+            seed: int = 0, dataset: str = "mnist"):
     """All three Fig. 7 panels."""
     return {
-        f"{100 * rate:.0f}%": run_one_rate(scale, rate, seed=seed) for rate in rates
+        f"{100 * rate:.0f}%": run_one_rate(scale, rate, dataset=dataset, seed=seed)
+        for rate in rates
     }

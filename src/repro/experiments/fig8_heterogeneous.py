@@ -12,20 +12,40 @@ accuracy of independently trained local models.
 Paper shape to reproduce: FedAvg shows wide error bars and a slow start in
 the early rounds; adaptive weighting up-weights the strong clients and
 reaches high accuracy sooner.
+
+This module is a *spec definition*: the loops live in
+:func:`repro.experiments.runner.run_aggregation_panel` and
+:func:`repro.experiments.runner.run_heterogeneity_table`.
 """
 
 from __future__ import annotations
 
 from typing import Dict, Sequence, Tuple
 
-import numpy as np
-
-from ..data import make_dataset, make_federated
-from ..federated import FederatedSimulation, make_aggregator
-from ..training import evaluate, train
-from .common import model_factory_for, train_config
+from . import runner
 from .results import ExperimentResult
 from .scale import ExperimentScale
+from .spec import AttackSpec, DatasetSpec, ExperimentSpec, PartitionSpec, ScenarioSpec
+
+# The FedAvg baseline is the uniform-mean variant: the paper's Eq. 13
+# carries no size term, and a privacy-conscious server does not learn
+# client dataset sizes (see FedAvgAggregator docstring).
+AGGREGATORS = {"fedavg": "fedavg_uniform", "adaptive": "adaptive"}
+
+
+def spec_for(dataset: str = "mnist") -> ExperimentSpec:
+    """The declarative heterogeneous-aggregation comparison."""
+    return ExperimentSpec(
+        experiment_id="Fig 8 ({clients} clients)",
+        title="FedAvg vs adaptive aggregation, heterogeneous local data",
+        kind="aggregation",
+        scenario=ScenarioSpec(
+            dataset=DatasetSpec(name=dataset),
+            partition=PartitionSpec(strategy="heterogeneous"),
+            attack=AttackSpec(kind="none"),
+        ),
+        params={"aggregators": AGGREGATORS},
+    )
 
 
 def heterogeneity_stats(
@@ -35,21 +55,11 @@ def heterogeneity_stats(
     seed: int = 0,
 ) -> Tuple[float, float, float]:
     """Table XII row: (size variance, min local acc, max local acc)."""
-    train_set, test_set = make_dataset(
-        dataset, train_size=scale.train_size, test_size=scale.test_size, seed=seed
+    result = runner.run_heterogeneity_table(
+        spec_for(dataset), scale, client_counts=(num_clients,), seed=seed
     )
-    rng = np.random.default_rng(seed + num_clients)
-    fed = make_federated(train_set, test_set, num_clients, rng, strategy="heterogeneous")
-    factory = model_factory_for(train_set, scale.model_for(dataset))
-    config = train_config(scale)
-
-    accuracies = []
-    for index, local in enumerate(fed.client_datasets):
-        model = factory()
-        train(model, local, config, np.random.default_rng(seed + 500 + index))
-        _, acc = evaluate(model, test_set)
-        accuracies.append(100 * acc)
-    return fed.size_variance(), float(min(accuracies)), float(max(accuracies))
+    row = result.rows[0]
+    return row["variance"], row["min_acc"], row["max_acc"]
 
 
 def run_one(
@@ -60,67 +70,29 @@ def run_one(
     seed: int = 0,
 ) -> ExperimentResult:
     """One Fig. 8 panel: FedAvg vs ours for one client count."""
-    num_rounds = num_rounds or scale.pretrain_rounds
-    train_set, test_set = make_dataset(
-        dataset, train_size=scale.train_size, test_size=scale.test_size, seed=seed
+    return runner.run_aggregation_panel(
+        spec_for(dataset), scale, num_clients, num_rounds=num_rounds, seed=seed
     )
-    factory = model_factory_for(train_set, scale.model_for(dataset))
-    config = train_config(scale)
-
-    result = ExperimentResult(
-        experiment_id=f"Fig 8 ({num_clients} clients)",
-        title="FedAvg vs adaptive aggregation, heterogeneous local data",
-        columns=("aggregator", "final_acc", "first_round_acc",
-                 "first_round_client_std"),
-    )
-    # The FedAvg baseline is the uniform-mean variant: the paper's Eq. 13
-    # carries no size term, and a privacy-conscious server does not learn
-    # client dataset sizes (see FedAvgAggregator docstring).
-    aggregators = {"fedavg": "fedavg_uniform", "adaptive": "adaptive"}
-    for label, name in aggregators.items():
-        rng = np.random.default_rng(seed + num_clients)  # same partition for both
-        fed = make_federated(train_set, test_set, num_clients, rng,
-                             strategy="heterogeneous")
-        aggregator = make_aggregator(name, test_set=test_set, model_factory=factory)
-        sim = FederatedSimulation(factory, fed, aggregator, config, seed=seed + 7)
-        history = sim.run(num_rounds, record_client_metrics=True)
-        accs = [100 * a for a in history.accuracies]
-        client_std = 100 * float(np.std(history.rounds[0].client_accuracies))
-        result.add_series(label, accs)
-        result.add_series(
-            f"{label}_client_std",
-            [100 * float(np.std(r.client_accuracies)) for r in history.rounds],
-        )
-        result.add_row(
-            aggregator=label,
-            final_acc=accs[-1],
-            first_round_acc=accs[0],
-            first_round_client_std=client_std,
-        )
-    return result
 
 
 def run_table12(scale: ExperimentScale, client_counts: Sequence[int] = (),
-                seed: int = 0) -> ExperimentResult:
+                seed: int = 0, dataset: str = "mnist") -> ExperimentResult:
     """Table XII: heterogeneity representation."""
-    client_counts = tuple(client_counts) or scale.client_counts
-    result = ExperimentResult(
+    exp = spec_for(dataset).evolve(
         experiment_id="Table XII",
         title="Representation of data heterogeneity",
-        columns=("clients", "variance", "min_acc", "max_acc"),
     )
-    for count in client_counts:
-        variance, min_acc, max_acc = heterogeneity_stats(scale, count, seed=seed)
-        result.add_row(clients=count, variance=variance, min_acc=min_acc,
-                       max_acc=max_acc)
-    return result
+    return runner.run_heterogeneity_table(
+        exp, scale, client_counts=client_counts, seed=seed
+    )
 
 
-def run_all(scale: ExperimentScale, seed: int = 0) -> Dict[str, ExperimentResult]:
+def run_all(scale: ExperimentScale, seed: int = 0,
+            dataset: str = "mnist") -> Dict[str, ExperimentResult]:
     """All Fig. 8 panels plus Table XII."""
     results = {
-        f"{count}_clients": run_one(scale, count, seed=seed)
+        f"{count}_clients": run_one(scale, count, dataset=dataset, seed=seed)
         for count in scale.client_counts
     }
-    results["table12"] = run_table12(scale, seed=seed)
+    results["table12"] = run_table12(scale, seed=seed, dataset=dataset)
     return results

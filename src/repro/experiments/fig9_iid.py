@@ -5,19 +5,35 @@ nearly indistinguishable ("virtually identical variations") — adaptive
 weighting degenerates toward uniform weights when every client's model
 quality is similar. This is the sanity check that the extension does not
 *hurt* the homogeneous case.
+
+This module is a *spec definition*: the loop lives in
+:func:`repro.experiments.runner.run_aggregation_iid`.
 """
 
 from __future__ import annotations
 
 from typing import Sequence
 
-import numpy as np
-
-from ..data import make_dataset, make_federated
-from ..federated import FederatedSimulation, make_aggregator
-from .common import model_factory_for, train_config
+from . import runner
+from .fig8_heterogeneous import AGGREGATORS
 from .results import ExperimentResult
 from .scale import ExperimentScale
+from .spec import AttackSpec, DatasetSpec, ExperimentSpec, PartitionSpec, ScenarioSpec
+
+
+def spec_for(dataset: str = "mnist") -> ExperimentSpec:
+    """The declarative IID aggregation sanity check."""
+    return ExperimentSpec(
+        experiment_id="Fig 9",
+        title="FedAvg vs adaptive aggregation, IID local data",
+        kind="aggregation_iid",
+        scenario=ScenarioSpec(
+            dataset=DatasetSpec(name=dataset),
+            partition=PartitionSpec(strategy="iid"),
+            attack=AttackSpec(kind="none"),
+        ),
+        params={"aggregators": AGGREGATORS},
+    )
 
 
 def run(
@@ -28,40 +44,7 @@ def run(
     seed: int = 0,
 ) -> ExperimentResult:
     """Accuracy curves for both aggregators at each client count."""
-    client_counts = tuple(client_counts) or scale.client_counts
-    num_rounds = num_rounds or scale.pretrain_rounds
-    train_set, test_set = make_dataset(
-        dataset, train_size=scale.train_size, test_size=scale.test_size, seed=seed
+    return runner.run_aggregation_iid(
+        spec_for(dataset), scale,
+        client_counts=client_counts, num_rounds=num_rounds, seed=seed,
     )
-    factory = model_factory_for(train_set, scale.model_for(dataset))
-    config = train_config(scale)
-
-    result = ExperimentResult(
-        experiment_id="Fig 9",
-        title="FedAvg vs adaptive aggregation, IID local data",
-        columns=("clients", "aggregator", "final_acc", "max_gap"),
-    )
-    # The FedAvg baseline uses the uniform-mean variant; with IID equal-size
-    # partitions it coincides with size weighting anyway.
-    aggregators = {"fedavg": "fedavg_uniform", "adaptive": "adaptive"}
-    for count in client_counts:
-        curves = {}
-        for label, name in aggregators.items():
-            rng = np.random.default_rng(seed + count)  # same partition for both
-            fed = make_federated(train_set, test_set, count, rng, strategy="iid")
-            aggregator = make_aggregator(name, test_set=test_set, model_factory=factory)
-            sim = FederatedSimulation(factory, fed, aggregator, config, seed=seed + 7)
-            history = sim.run(num_rounds)
-            curves[label] = [100 * a for a in history.accuracies]
-            result.add_series(f"{label}_{count}clients", curves[label])
-        gap = max(
-            abs(a - b) for a, b in zip(curves["fedavg"], curves["adaptive"])
-        )
-        for label in aggregators:
-            result.add_row(
-                clients=count,
-                aggregator=label,
-                final_acc=curves[label][-1],
-                max_gap=gap,
-            )
-    return result

@@ -28,6 +28,11 @@ class ExperimentResult:
     # repro.experiments.cli) so the wall-clock trajectory of full
     # experiments is machine-readable alongside the scientific rows.
     runtime: Dict[str, Any] = field(default_factory=dict)
+    # Declaration provenance: the stable content hash of the
+    # ExperimentSpec that produced this result (see repro.experiments.spec
+    # — identical across processes/platforms), so persisted results can be
+    # joined back to the exact spec that declared them.
+    spec_hash: str = ""
 
     def add_row(self, **values: Any) -> None:
         missing = [c for c in self.columns if c not in values]
@@ -64,6 +69,8 @@ class ExperimentResult:
             lines.append(f"{name}: [{rendered}]")
         if self.notes:
             lines.append(f"note: {self.notes}")
+        if self.spec_hash:
+            lines.append(f"spec: {self.spec_hash}")
         if self.runtime:
             rendered = ", ".join(
                 f"{key}={self._format(value)}" for key, value in self.runtime.items()
@@ -88,6 +95,8 @@ class ExperimentResult:
         }
         if self.runtime:
             payload["runtime"] = self.runtime
+        if self.spec_hash:
+            payload["spec_hash"] = self.spec_hash
         return payload
 
     def save_json(self, path: str) -> None:
@@ -110,4 +119,5 @@ class ExperimentResult:
             series=payload["series"],
             notes=payload.get("notes", ""),
             runtime=payload.get("runtime", {}),
+            spec_hash=payload.get("spec_hash", ""),
         )

@@ -8,22 +8,21 @@ and backdoor success rate. The paper's findings this harness should echo:
 * removing the distillation loss slows training (lower accuracy);
 * removing the confusion loss lets backdoor patterns linger (higher ASR);
 * the total loss gets both high accuracy and low ASR.
+
+This module is a *spec definition*: the loss variants are declared as
+goldfish-config overrides and executed by
+:func:`repro.experiments.runner.run_goldfish_variants`.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, Sequence, Tuple
 
-from .common import (
-    SimulationSnapshot,
-    build_backdoor_federation,
-    evaluate_model,
-    goldfish_config,
-    pretrain,
-    run_unlearning_method,
-)
+from . import runner
+from .common import backdoor_spec
 from .results import ExperimentResult
 from .scale import ExperimentScale
+from .spec import ExperimentSpec
 
 # name -> (use_confusion, use_distillation)
 VARIANTS: Dict[str, Tuple[bool, bool]] = {
@@ -32,6 +31,25 @@ VARIANTS: Dict[str, Tuple[bool, bool]] = {
     "wo_confusion": (False, True),
     "total": (True, True),
 }
+
+
+def spec_for(
+    dataset: str = "cifar10_resnet", deletion_rate: float = 0.06
+) -> ExperimentSpec:
+    """The declarative loss-component ablation."""
+    return ExperimentSpec(
+        experiment_id="Table X",
+        title="Loss-component ablation (acc / backdoor at round checkpoints)",
+        kind="goldfish_variants",
+        scenario=backdoor_spec(dataset, deletion_rate),
+        methods=("ours",),
+        params={
+            "variants": {
+                name: {"use_confusion": confusion, "use_distillation": distillation}
+                for name, (confusion, distillation) in VARIANTS.items()
+            }
+        },
+    )
 
 
 def run(
@@ -47,46 +65,6 @@ def run(
     (the paper uses epochs 10/20/30/40; at reduced scale we checkpoint
     every unlearning round).
     """
-    checkpoints = tuple(checkpoints) or tuple(range(1, scale.unlearn_rounds + 1))
-    num_rounds = max(checkpoints)
-    setup = build_backdoor_federation(
-        "cifar10" if dataset == "cifar10_resnet" else dataset,
-        scale, deletion_rate, seed=seed, model_name=scale.model_for(dataset),
+    return runner.run_goldfish_variants(
+        spec_for(dataset, deletion_rate), scale, checkpoints=checkpoints, seed=seed
     )
-    pretrain(setup, scale)
-    snapshot = SimulationSnapshot.capture(setup.sim)
-
-    result = ExperimentResult(
-        experiment_id="Table X",
-        title="Loss-component ablation (acc / backdoor at round checkpoints)",
-        columns=("round", "metric", "hard_only", "wo_distillation", "wo_confusion", "total"),
-    )
-    per_variant: Dict[str, List[Dict[str, float]]] = {}
-    run_scale = scale.with_overrides(unlearn_rounds=num_rounds)
-    for name, (use_confusion, use_distillation) in VARIANTS.items():
-        snapshot.restore(setup.sim)
-        setup.register_deletion()
-        config = goldfish_config(
-            scale, use_confusion=use_confusion, use_distillation=use_distillation,
-            train=setup.config,
-        )
-        checkpoint_metrics: List[Dict[str, float]] = []
-
-        from ..unlearning import federated_goldfish
-
-        def capture(round_index: int, sim) -> None:
-            if round_index + 1 in checkpoints:
-                checkpoint_metrics.append(evaluate_model(sim.global_model(), setup))
-
-        federated_goldfish(setup.sim, config, run_scale.unlearn_rounds,
-                           round_callback=capture)
-        per_variant[name] = checkpoint_metrics
-
-    for position, checkpoint in enumerate(checkpoints):
-        for metric in ("acc", "backdoor"):
-            result.add_row(
-                round=checkpoint,
-                metric=metric,
-                **{name: per_variant[name][position][metric] for name in VARIANTS},
-            )
-    return result

@@ -8,22 +8,21 @@ the framework is loss-agnostic. We extend the study with a fourth variant
 the paper did not test, label-smoothed cross-entropy ("Total loss δ"),
 exercising the same compatibility claim on a loss with non-one-hot
 targets.
+
+This module is a *spec definition*: the hard-loss swaps are declared as
+goldfish-config overrides and executed by
+:func:`repro.experiments.runner.run_goldfish_variants`.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence
+from typing import Sequence
 
-from ..unlearning import federated_goldfish
-from .common import (
-    SimulationSnapshot,
-    build_backdoor_federation,
-    evaluate_model,
-    goldfish_config,
-    pretrain,
-)
+from . import runner
+from .common import backdoor_spec
 from .results import ExperimentResult
 from .scale import ExperimentScale
+from .spec import ExperimentSpec
 
 HARD_LOSSES = {
     "total_alpha": "cross_entropy",
@@ -31,6 +30,25 @@ HARD_LOSSES = {
     "total_gamma": "nll",
     "total_delta": "label_smoothing",
 }
+
+
+def spec_for(
+    dataset: str = "cifar10_resnet", deletion_rate: float = 0.06
+) -> ExperimentSpec:
+    """The declarative hard-loss compatibility study."""
+    return ExperimentSpec(
+        experiment_id="Table XI",
+        title="Hard-loss compatibility (α=CE, β=focal, γ=NLL, δ=label-smoothed CE)",
+        kind="goldfish_variants",
+        scenario=backdoor_spec(dataset, deletion_rate),
+        methods=("ours",),
+        params={
+            "variants": {
+                name: {"hard_loss": hard_loss}
+                for name, hard_loss in HARD_LOSSES.items()
+            }
+        },
+    )
 
 
 def run(
@@ -41,39 +59,6 @@ def run(
     dataset: str = "cifar10_resnet",
 ) -> ExperimentResult:
     """Reproduce Table XI at this scale."""
-    checkpoints = tuple(checkpoints) or tuple(range(1, scale.unlearn_rounds + 1))
-    num_rounds = max(checkpoints)
-    setup = build_backdoor_federation(
-        "cifar10" if dataset == "cifar10_resnet" else dataset,
-        scale, deletion_rate, seed=seed, model_name=scale.model_for(dataset),
+    return runner.run_goldfish_variants(
+        spec_for(dataset, deletion_rate), scale, checkpoints=checkpoints, seed=seed
     )
-    pretrain(setup, scale)
-    snapshot = SimulationSnapshot.capture(setup.sim)
-
-    result = ExperimentResult(
-        experiment_id="Table XI",
-        title="Hard-loss compatibility (α=CE, β=focal, γ=NLL, δ=label-smoothed CE)",
-        columns=("round", "metric", *HARD_LOSSES),
-    )
-    per_variant: Dict[str, List[Dict[str, float]]] = {}
-    for name, hard_loss in HARD_LOSSES.items():
-        snapshot.restore(setup.sim)
-        setup.register_deletion()
-        config = goldfish_config(scale, hard_loss=hard_loss, train=setup.config)
-        checkpoint_metrics: List[Dict[str, float]] = []
-
-        def capture(round_index: int, sim) -> None:
-            if round_index + 1 in checkpoints:
-                checkpoint_metrics.append(evaluate_model(sim.global_model(), setup))
-
-        federated_goldfish(setup.sim, config, num_rounds, round_callback=capture)
-        per_variant[name] = checkpoint_metrics
-
-    for position, checkpoint in enumerate(checkpoints):
-        for metric in ("acc", "backdoor"):
-            result.add_row(
-                round=checkpoint,
-                metric=metric,
-                **{name: per_variant[name][position][metric] for name in HARD_LOSSES},
-            )
-    return result

@@ -11,23 +11,20 @@ model's output distribution matches B1's (retrained-from-scratch — the
   prediction pattern departs significantly from the contaminated one.
 
 Table VII = MNIST, VIII = FMNIST, IX = CIFAR-10.
+
+This module is a *spec definition*: the loop lives in
+:func:`repro.experiments.runner.run_divergence`.
 """
 
 from __future__ import annotations
 
 from typing import Dict, Sequence
 
-from ..eval import compare_models
-from ..eval.divergence import t_test_p_value
-from ..training.evaluation import predict_proba
-from .common import (
-    SimulationSnapshot,
-    build_backdoor_federation,
-    pretrain,
-    run_unlearning_method,
-)
+from . import runner
+from .common import backdoor_spec
 from .results import ExperimentResult
 from .scale import ExperimentScale
+from .spec import ExperimentSpec
 
 TABLE_IDS = {
     "mnist": "Table VII",
@@ -35,40 +32,30 @@ TABLE_IDS = {
     "cifar10": "Table IX",
 }
 
+DATASETS = tuple(TABLE_IDS)
+
+
+def spec_for(dataset: str) -> ExperimentSpec:
+    """The declarative experiment for one divergence table."""
+    if dataset not in TABLE_IDS:
+        raise ValueError(f"unknown dataset {dataset!r}; available: {sorted(TABLE_IDS)}")
+    return ExperimentSpec(
+        experiment_id=TABLE_IDS[dataset],
+        title=f"JSD / L2 / t-test vs B1 ({dataset})",
+        kind="divergence",
+        scenario=backdoor_spec(dataset, deletion_rate=0.06),
+        # Execution order (b1 first: it is the reference every other
+        # method is measured against); the reported columns put b3 first,
+        # exactly as the paper's tables do.
+        methods=("b1", "ours", "b3"),
+        params={"reference": "b1", "compared": ["b3", "ours"]},
+    )
+
 
 def run(dataset: str, scale: ExperimentScale,
         rates: Sequence[float] = (), seed: int = 0) -> ExperimentResult:
     """One divergence table: per deletion rate, B3 and ours vs B1/origin."""
-    if dataset not in TABLE_IDS:
-        raise ValueError(f"unknown dataset {dataset!r}; available: {sorted(TABLE_IDS)}")
-    rates = tuple(rates) or scale.deletion_rates
-    result = ExperimentResult(
-        experiment_id=TABLE_IDS[dataset],
-        title=f"JSD / L2 / t-test vs B1 ({dataset})",
-        columns=("rate", "b3_jsd", "b3_l2", "b3_t", "ours_jsd", "ours_l2", "ours_t"),
-    )
-    for rate in rates:
-        setup = build_backdoor_federation(dataset, scale, rate, seed=seed)
-        origin = pretrain(setup, scale)
-        snapshot = SimulationSnapshot.capture(setup.sim)
-        test = setup.test_set
-
-        models = {}
-        for method in ("b1", "ours", "b3"):
-            snapshot.restore(setup.sim)
-            setup.register_deletion()
-            models[method] = run_unlearning_method(method, setup, scale).global_model
-
-        origin_probs = predict_proba(origin, test.images)
-        row = {"rate": f"{100 * rate:.0f}%"}
-        for method in ("b3", "ours"):
-            report = compare_models(models[method], models["b1"], test)
-            method_probs = predict_proba(models[method], test.images)
-            row[f"{method}_jsd"] = report.jsd
-            row[f"{method}_l2"] = report.l2
-            row[f"{method}_t"] = t_test_p_value(method_probs, origin_probs)
-        result.add_row(**row)
-    return result
+    return runner.run_divergence(spec_for(dataset), scale, rates=rates, seed=seed)
 
 
 def run_all(scale: ExperimentScale, seed: int = 0) -> Dict[str, ExperimentResult]:

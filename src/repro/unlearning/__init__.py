@@ -45,6 +45,14 @@ from .protocols import (
     federated_rapid_retrain,
     federated_retrain,
 )
+from .registry import (
+    ClientDeletionRequest,
+    Unlearner,
+    available_methods,
+    get_unlearner,
+    make_unlearner,
+    register_unlearner,
+)
 from .sharding import DeletionReport, ShardedClientTrainer
 from .sisa import SisaConfig, SisaDeletionReport, SisaEnsemble
 from .temperature import adaptive_temperature
@@ -91,4 +99,10 @@ __all__ = [
     "federated_retrain",
     "federated_rapid_retrain",
     "federated_incompetent_teacher",
+    "ClientDeletionRequest",
+    "Unlearner",
+    "available_methods",
+    "get_unlearner",
+    "make_unlearner",
+    "register_unlearner",
 ]

@@ -40,13 +40,24 @@ from .goldfish import GoldfishConfig, GoldfishUnlearner
 
 @dataclass
 class UnlearnOutcome:
-    """Result of one federated unlearning flow."""
+    """Result of one federated unlearning flow.
+
+    The first five fields are filled by the protocol that ran; the last
+    three normalise every method behind the registry
+    (:mod:`repro.unlearning.registry`): ``method`` is the canonical
+    registry name, ``chains`` counts the per-participant work units
+    submitted to the execution backend, and ``provenance`` records how
+    the outcome was produced (options, backend, history replayed, …).
+    """
 
     global_model: Module
     rounds_run: int
     round_accuracies: List[float] = field(default_factory=list)
     local_epochs_total: int = 0
     wall_seconds: float = 0.0
+    method: str = ""
+    chains: int = 0
+    provenance: Dict[str, Any] = field(default_factory=dict)
 
     @property
     def final_accuracy(self) -> float:

@@ -62,3 +62,79 @@ class TestRunExperimentValidation:
     def test_unknown_name_raises(self):
         with pytest.raises(ValueError):
             run_experiment("nope", "smoke", "", 0)
+
+
+class TestSweepParsing:
+    def test_parse_sweeps_types(self):
+        from repro.experiments.cli import parse_sweeps
+
+        sweeps = parse_sweeps(
+            ["deletion.rate=0.02,0.06", "federation.num_clients=5,10",
+             "partition.strategy=iid,heterogeneous"]
+        )
+        assert sweeps["deletion.rate"] == [0.02, 0.06]
+        assert sweeps["federation.num_clients"] == [5, 10]
+        assert sweeps["partition.strategy"] == ["iid", "heterogeneous"]
+
+    def test_parse_sweeps_rejects_garbage(self):
+        from repro.experiments.cli import parse_sweeps
+
+        with pytest.raises(ValueError):
+            parse_sweeps(["no-equals-sign"])
+        with pytest.raises(ValueError):
+            parse_sweeps(["key="])
+
+    def test_parse_methods_validates(self):
+        from repro.experiments.cli import parse_methods
+
+        assert parse_methods("ours, b1") == ("ours", "b1")
+        assert parse_methods("") == ()
+        with pytest.raises(ValueError):
+            parse_methods("magic")
+
+
+class TestMatrixDriver:
+    def test_matrix_runs_from_cli(self, capsys, monkeypatch):
+        from repro.experiments import SMOKE, scale as scale_module
+        tiny = SMOKE.with_overrides(
+            train_size=120, test_size=60, pretrain_rounds=1, local_epochs=1,
+            unlearn_rounds=1,
+        )
+        monkeypatch.setitem(scale_module.SCALES, "smoke", tiny)
+        assert main([
+            "matrix", "--scenario", "clean_deletion", "--method", "b1",
+            "--sweep", "deletion.rate=0.04,0.08",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "matrix:clean_deletion" in out
+        assert "spec:" in out
+        assert out.count("b1") >= 2  # one row per sweep value
+
+    def test_unknown_scenario_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["matrix", "--scenario", "alien"])
+
+
+class TestAllHonorsDataset:
+    def test_dataset_threads_through_all(self, capsys, monkeypatch):
+        """`all --dataset X` restricts every experiment to X (satellite fix:
+        the suite previously dropped the flag and ran every panel)."""
+        from repro.experiments import SMOKE, scale as scale_module
+        tiny = SMOKE.with_overrides(
+            train_size=120, test_size=60, pretrain_rounds=1, local_epochs=1,
+            unlearn_rounds=1, shard_counts=(1, 2), client_counts=(3,),
+        )
+        monkeypatch.setitem(scale_module.SCALES, "smoke", tiny)
+        assert main(["all", "--dataset", "mnist"]) == 0
+        out = capsys.readouterr().out
+        # fig5 ran only the mnist table, not fmnist/cifar panels
+        assert "Table III" in out
+        assert "Table IV" not in out  # fmnist table absent
+        assert "(fmnist)" not in out
+
+    def test_unsupported_dataset_skips_restricted(self, capsys, monkeypatch):
+        from repro.experiments.cli import _supports_dataset
+
+        assert _supports_dataset("tab7_9", "mnist")
+        assert not _supports_dataset("tab7_9", "cifar100")
+        assert _supports_dataset("fig6", "cifar100")
