@@ -31,7 +31,14 @@ The ``matrix`` experiment enumerates registered unlearning methods
 (:mod:`repro.unlearning.registry`) against a named scenario preset
 (:data:`repro.experiments.spec.SCENARIO_PRESETS`) with ``--sweep``
 overrides applied to any dotted spec path — new scenario × method
-combinations need no new experiment module.
+combinations need no new experiment module.  ``--async-mode`` (with
+``--buffer-size``/``--max-staleness``/``--straggler-timeout``) runs the
+matrix federation through the event-driven engine
+(:mod:`repro.federated.engine`) instead of the synchronous barrier loop;
+the ``engine=`` provenance records which loop produced each result.
+Matrix cells differing only in ``deletion.*`` share one pretrained
+snapshot (bit-identical to cold pretrains; ``pretrain_cache`` provenance
+reports hits/misses).
 """
 
 from __future__ import annotations
@@ -139,9 +146,12 @@ def run_matrix(
     methods: Tuple[str, ...],
     scenario: str,
     sweeps: Dict[str, List[Any]],
+    federation_overrides: Dict[str, Any] = None,
 ) -> ExperimentResult:
     """Enumerate registry methods × scenario spec × sweep combinations."""
     scenario_spec = get_scenario(scenario, dataset=dataset or "mnist")
+    if federation_overrides:
+        scenario_spec = scenario_spec.with_overrides(**federation_overrides)
     methods = methods or available_methods(level="sample")
     exp = ExperimentSpec(
         experiment_id=f"matrix:{scenario}",
@@ -172,7 +182,10 @@ def _stamp_and_print(results, runtime_info: Dict) -> None:
         runtime_info = dict(runtime_info)
         runtime_info["wall_clock_s_total"] = runtime_info.pop("wall_clock_s")
     for result in results.values():
-        result.runtime = dict(runtime_info)
+        # Merge, don't replace: runners stamp their own provenance
+        # (engine sync/async, pretrain-cache hits) before the CLI adds
+        # the execution facts.
+        result.runtime = {**result.runtime, **runtime_info}
         result.print()
         print()
 
@@ -191,6 +204,7 @@ def run_experiment(
     methods: Tuple[str, ...] = (),
     scenario: str = "backdoor",
     sweeps: Dict[str, List[Any]] = None,
+    federation_overrides: Dict[str, Any] = None,
 ) -> None:
     """Run one experiment (or all) and print the reproduced artifact(s)."""
     scale = get_scale(scale_name)
@@ -223,7 +237,8 @@ def run_experiment(
         results = certification.run(dataset or "mnist", scale, seed=seed)
     elif name == "matrix":
         results = run_matrix(
-            scale_name, dataset, seed, methods, scenario, sweeps or {}
+            scale_name, dataset, seed, methods, scenario, sweeps or {},
+            federation_overrides=federation_overrides,
         )
     elif name == "all":
         # The matrix driver is a tool, not a paper artifact — exclude it.
@@ -281,6 +296,20 @@ def build_parser() -> argparse.ArgumentParser:
                              "serial (default), thread, process, pool — "
                              "optionally sized, e.g. 'pool:8'. Results are "
                              "identical across backends.")
+    parser.add_argument("--async-mode", action="store_true", dest="async_mode",
+                        help="matrix: run federation through the "
+                             "event-driven engine (buffered-async rounds; "
+                             "deterministic per seed) instead of the "
+                             "synchronous barrier loop")
+    parser.add_argument("--buffer-size", type=int, default=None,
+                        help="matrix, async: updates folded per aggregation "
+                             "event (0 = everything in flight)")
+    parser.add_argument("--max-staleness", type=int, default=None,
+                        help="matrix, async: discard updates staler than "
+                             "this many folds (default 4)")
+    parser.add_argument("--straggler-timeout", type=float, default=None,
+                        help="matrix, async: drop clients whose simulated "
+                             "latency exceeds this (0 = no timeout)")
     parser.add_argument("--workers", type=int, default=0,
                         help="worker count for --backend (same as the ':N' "
                              "suffix)")
@@ -318,11 +347,29 @@ def main(argv: List[str] = None) -> int:
             # SISA, sharded trainers) consults this variable, so one
             # export threads the choice through the whole experiment.
             os.environ[BACKEND_ENV_VAR] = spec
+        federation_overrides: Dict[str, Any] = {}
+        async_knobs = {
+            "federation.buffer_size": args.buffer_size,
+            "federation.max_staleness": args.max_staleness,
+            "federation.straggler_timeout": args.straggler_timeout,
+        }
+        if args.async_mode:
+            federation_overrides = {
+                "federation.async_mode": True,
+                **{key: value for key, value in async_knobs.items()
+                   if value is not None},
+            }
+        elif any(value is not None for value in async_knobs.values()):
+            raise ValueError(
+                "--buffer-size/--max-staleness/--straggler-timeout require "
+                "--async-mode"
+            )
         run_experiment(
             args.experiment, args.scale, args.dataset, args.seed,
             methods=parse_methods(args.method),
             scenario=args.scenario,
             sweeps=parse_sweeps(args.sweep),
+            federation_overrides=federation_overrides,
         )
     except ValueError as error:
         print(f"error: {error}", file=sys.stderr)

@@ -65,6 +65,7 @@ from .spec import (
     ScenarioSpec,
     build_scenario,
     dataset_data_key,
+    spec_hash,
 )
 
 _MB = 1024.0 * 1024.0
@@ -741,6 +742,75 @@ def run_aggregation_iid(
 # ----------------------------------------------------------------------
 # matrix — the CLI's registry × spec sweep driver
 # ----------------------------------------------------------------------
+def pretrain_cache_key(scenario_spec: ScenarioSpec) -> str:
+    """The sweep-level pretrain cache key: spec hash, deletion zeroed.
+
+    Matrix cells that differ only in ``deletion.*`` train the same
+    federation before any method runs — *which* samples will later be
+    deleted cannot influence pretraining unless an attack plants
+    contamination on exactly that subset.  Zeroing the deletion section
+    out of the hashed payload makes such cells collide on one key.
+    """
+    payload = scenario_spec.to_dict()
+    payload["deletion"] = {}
+    return spec_hash(payload)
+
+
+def _pretrain_cacheable(scenario_spec: ScenarioSpec) -> bool:
+    """Whether pretraining is independent of the deletion fields.
+
+    With an attack, the deletion selection decides which samples get
+    poisoned, so different rates produce different training data and the
+    cache must miss; clean scenarios only *mark* the selection for later.
+    Async-mode scenarios never cache: the event engine accumulates state
+    beyond the snapshot (virtual clock, per-client dispatch counts that
+    seed the latency draws, fold version), so a hit's fresh engine would
+    not reproduce a cold cell's post-pretrain event schedule.
+    """
+    return (
+        scenario_spec.attack.kind == "none"
+        and not scenario_spec.federation.async_mode
+    )
+
+
+@dataclass
+class _CachedPretrain:
+    """One cached pretrain: origin model, snapshot, post-pretrain RNGs.
+
+    ``SimulationSnapshot`` deliberately restores models and datasets but
+    not client RNG positions (methods advance the streams across a cell —
+    the historical RNG discipline).  A cache *hit* builds a fresh
+    simulation whose clients sit at their initial positions, so the
+    post-pretrain positions are restored explicitly; without them the hit
+    would train with different mini-batch shuffles than a cold pretrain
+    and bit-identity would silently break.
+    """
+
+    origin: Module
+    snapshot: Any
+    client_rng_states: List[Any]
+
+    def restore_into(self, scenario: Scenario) -> "PreparedScenario":
+        for client, rng_state in zip(
+            scenario.sim.clients, self.client_rng_states
+        ):
+            client.rng.bit_generator.state = rng_state
+        return PreparedScenario(
+            scenario=scenario, origin=self.origin, snapshot=self.snapshot
+        )
+
+    @classmethod
+    def capture(cls, prepared: "PreparedScenario") -> "_CachedPretrain":
+        return cls(
+            origin=prepared.origin,
+            snapshot=prepared.snapshot,
+            client_rng_states=[
+                dict(client.rng.bit_generator.state)
+                for client in prepared.scenario.sim.clients
+            ],
+        )
+
+
 def run_matrix(
     exp: ExperimentSpec, scale: ExperimentScale, seed: int = 0
 ) -> ExperimentResult:
@@ -750,6 +820,13 @@ def run_matrix(
     (``{"deletion.rate": [0.02, 0.06]}``); every combination builds and
     pretrains once, then every method runs from the shared snapshot. An
     ``origin`` row per combination anchors the metrics.
+
+    Combinations differing only in ``deletion.*`` share one pretrained
+    snapshot through the sweep-level cache (:func:`pretrain_cache_key`) —
+    bit-identical to a cold pretrain, because the deletion fields of a
+    clean (attack-free) scenario never touch the training data.  Disable
+    with ``params={"pretrain_cache": False}``; scenarios with an attack,
+    or methods needing round history, always pretrain cold.
     """
     sweeps: Dict[str, List[Any]] = dict(exp.params.get("sweeps", {}))
     methods = tuple(exp.methods) or ("ours", "b1")
@@ -758,6 +835,13 @@ def run_matrix(
     combos = list(itertools.product(*value_lists)) if keys else [()]
 
     needs_history = any(get_unlearner(m).requires_history for m in methods)
+    # History is recorded *during* pretraining, so cached cells would lose
+    # it — the update-adjustment methods force cold pretrains.
+    cache_enabled = (
+        bool(exp.params.get("pretrain_cache", True)) and not needs_history
+    )
+    pretrain_cache: Dict[str, _CachedPretrain] = {}
+    cache_hits = cache_misses = 0
     result = ExperimentResult(
         experiment_id=exp.experiment_id,
         title=exp.title,
@@ -771,10 +855,28 @@ def run_matrix(
         scenario_spec = (
             exp.scenario.with_overrides(**overrides) if overrides else exp.scenario
         )
-        start = time.perf_counter()
-        prepared = prepare(
-            scenario_spec, scale, seed=seed, with_history=needs_history
+        cache_key = (
+            pretrain_cache_key(scenario_spec)
+            if cache_enabled and _pretrain_cacheable(scenario_spec)
+            else None
         )
+        start = time.perf_counter()
+        if cache_key is not None and cache_key in pretrain_cache:
+            # Cache hit: rebuild the (cheap) scenario, reuse the pretrained
+            # origin + snapshot + post-pretrain client RNG positions;
+            # run_method restores the snapshot into the fresh simulation
+            # before every method exactly as on a miss.
+            prepared = pretrain_cache[cache_key].restore_into(
+                build_scenario(scenario_spec, scale, seed=seed)
+            )
+            cache_hits += 1
+        else:
+            prepared = prepare(
+                scenario_spec, scale, seed=seed, with_history=needs_history
+            )
+            if cache_key is not None:
+                pretrain_cache[cache_key] = _CachedPretrain.capture(prepared)
+                cache_misses += 1
         pretrain_wall = time.perf_counter() - start
         origin_metrics = evaluate_model(prepared.origin, prepared.scenario)
         result.add_row(
@@ -804,6 +906,13 @@ def run_matrix(
                 rounds=outcome.rounds_run,
                 chains=outcome.chains,
             )
+    if cache_enabled:
+        result.runtime["pretrain_cache"] = {
+            "hits": cache_hits, "misses": cache_misses,
+        }
+    result.runtime["engine"] = (
+        "async" if exp.scenario.federation.async_mode else "sync"
+    )
     return _stamp(result, exp)
 
 

@@ -1,24 +1,36 @@
 """``repro.federated`` — the federated-learning substrate.
 
-Clients, server, aggregation strategies (FedAvg and the paper's
-adaptive-weight extension) and the synchronous round simulator, plus the
+Clients, server, aggregation strategies (FedAvg, the paper's
+adaptive-weight extension, and FedBuff-style buffered staleness-weighted
+folding) and the round simulator — synchronous barrier loop by default,
+event-driven buffered-async engine (:mod:`.engine`) on opt-in — plus the
 hardened-deployment substrates: per-round update retention for the
 update-adjustment unlearning family (:mod:`.history`), pairwise-masking
 secure aggregation with dropout recovery (:mod:`.secure_agg`), top-k /
 quantization upload compression with error feedback (:mod:`.compression`),
-client sampling and dropout injection (:mod:`.sampling`), and
-communication/compute cost metering (:mod:`.metering`).
+client sampling, dropout injection and straggler accounting
+(:mod:`.sampling`), and communication/compute cost metering
+(:mod:`.metering`).
 """
 
 from . import state_math
 from .aggregation import (
     AdaptiveWeightAggregator,
     Aggregator,
+    BufferedAggregator,
+    BufferedUpdate,
     ClientUpdate,
     FedAvgAggregator,
 )
 from .churn import ChurnEvent, ChurnSchedule, ChurnSimulation
 from .client import Client
+from .engine import (
+    AsyncRoundConfig,
+    BufferedRoundEngine,
+    ConstantLatency,
+    LatencyModel,
+    SeededLatency,
+)
 from .compression import (
     CompressedState,
     Compressor,
@@ -39,6 +51,7 @@ from .sampling import (
     DropoutInjector,
     FullParticipation,
     ParticipationLog,
+    StragglerAwareSampler,
     UniformSampler,
     WeightedSampler,
 )
@@ -72,8 +85,16 @@ __all__ = [
     "DropoutInjector",
     "FullParticipation",
     "ParticipationLog",
+    "StragglerAwareSampler",
     "UniformSampler",
     "WeightedSampler",
+    "AsyncRoundConfig",
+    "BufferedAggregator",
+    "BufferedRoundEngine",
+    "BufferedUpdate",
+    "ConstantLatency",
+    "LatencyModel",
+    "SeededLatency",
     "MaskedUpdate",
     "SecureAggregationRound",
     "pairwise_seed",

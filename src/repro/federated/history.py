@@ -199,6 +199,16 @@ def attach_history(simulation, store: RoundHistoryStore):
     before aggregation and every *participating* client's upload after
     local training (with a sampler, non-participants trained nothing this
     round and are not recorded).
+
+    Works on both round paths: the synchronous barrier loop (participants
+    = the sampled cohort) and the event-driven engine
+    (:mod:`repro.federated.engine`), where ``last_participants`` holds
+    exactly the clients whose updates were *folded* that round — dropped
+    stragglers and stale-discarded updates contributed nothing to the new
+    global, so retaining them would let update-adjustment unlearning
+    subtract contributions that were never added.  An async round whose
+    buffer came up empty (every arrival discarded as stale) aggregated
+    nothing and is skipped rather than recorded as an empty round.
     """
     original_run_round = simulation.run_round
 
@@ -206,12 +216,13 @@ def attach_history(simulation, store: RoundHistoryStore):
         global_before = simulation.server.global_state
         record = original_run_round(round_index, record_client_metrics)
         updates = [client.upload() for client in simulation.last_participants]
-        store.record_round(
-            round_index,
-            global_before,
-            updates,
-            global_after=simulation.server.global_state,
-        )
+        if updates:
+            store.record_round(
+                round_index,
+                global_before,
+                updates,
+                global_after=simulation.server.global_state,
+            )
         return record
 
     simulation.run_round = run_round_with_history

@@ -159,6 +159,8 @@ class MeteredSimulationProxy:
 
     def run_round(self, round_index: int, record_client_metrics: bool = False):
         sim = self.simulation
+        if getattr(sim, "async_config", None) is not None:
+            return self._run_round_async(sim, round_index, record_client_metrics)
         with self.meter.time_block():
             state = sim.server.global_state
             self.meter.record_broadcast(state, len(sim.clients))
@@ -168,6 +170,24 @@ class MeteredSimulationProxy:
                 self.meter.record_training(
                     len(client.active_dataset), sim.train_config.epochs
                 )
+            self.meter.record_round()
+        return record
+
+    def _run_round_async(self, sim, round_index: int, record_client_metrics: bool):
+        """Event-driven rounds meter per *event*, not per cohort.
+
+        The synchronous accounting above (broadcast to everyone, upload
+        from everyone) would overstate an async round: stragglers dropped
+        before dispatch received no broadcast, clients still in flight
+        uploaded nothing yet, and stale-discarded updates were uploaded
+        but never folded.  The engine records the truth itself — one
+        download per actual dispatch, one upload + local-training charge
+        per folded update — through the meter handle installed here.
+        """
+        engine = sim.engine()
+        engine.meter = self.meter
+        with self.meter.time_block():
+            record = sim.run_round(round_index, record_client_metrics)
             self.meter.record_round()
         return record
 

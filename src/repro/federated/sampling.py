@@ -25,12 +25,32 @@ import numpy as np
 
 
 class ClientSampler:
-    """Interface: choose the participant ids for one round."""
+    """Interface: choose the participant ids for one round.
+
+    Samplers may additionally track *stragglers*: the event-driven round
+    engine (:mod:`repro.federated.engine`) calls :meth:`note_dropped`
+    whenever a selected client's simulated latency exceeded the round's
+    straggler timeout, so the sampler can guarantee the client is
+    reconsidered next round.  The base implementation only records the
+    drop; :class:`StragglerAwareSampler` acts on it.
+    """
 
     def sample(
         self, client_ids: Sequence[int], round_index: int, rng: np.random.Generator
     ) -> List[int]:
         raise NotImplementedError
+
+    def note_dropped(self, client_ids: Sequence[int], round_index: int) -> None:
+        """Record clients dropped (timed out) after selection this round."""
+        log = getattr(self, "_dropped_log", None)
+        if log is None:
+            log = self._dropped_log = {}
+        log.setdefault(round_index, []).extend(int(c) for c in client_ids)
+
+    @property
+    def dropped_log(self) -> dict:
+        """{round_index: [client_ids]} of every reported straggler drop."""
+        return dict(getattr(self, "_dropped_log", {}))
 
     @staticmethod
     def _check_ids(client_ids: Sequence[int]) -> List[int]:
@@ -137,6 +157,57 @@ class DropoutInjector(ClientSampler):
             # ``min_survivors`` clients alive deterministically.
             best = selected[: self.min_survivors]
         return best
+
+
+@dataclass
+class StragglerAwareSampler(ClientSampler):
+    """Guarantee that timed-out clients are resampled the next round.
+
+    Wraps any base sampler.  Clients reported through :meth:`note_dropped`
+    (the event-driven engine calls it for every straggler-timeout drop)
+    are injected into the next round's selection ahead of the base
+    sampler's own picks, so a client can be *delayed* by a slow round but
+    never starved by one: its data re-enters the federation at the first
+    opportunity, which is what keeps deletion-latency accounting honest
+    under stragglers.
+    """
+
+    base: ClientSampler
+
+    def __post_init__(self) -> None:
+        self._retry: List[int] = []
+
+    @property
+    def pending_retries(self) -> List[int]:
+        """Clients owed a slot in the next selection, oldest drop first."""
+        return list(self._retry)
+
+    def sample(self, client_ids, round_index, rng) -> List[int]:
+        ids = self._check_ids(client_ids)
+        chosen = self.base.sample(ids, round_index, rng)
+        if not self._retry:
+            return chosen
+        known = set(ids)
+        eligible = [c for c in self._retry if c in known]
+        # The round size stays exactly what the base sampler decided:
+        # retries take slots from the base picks rather than growing the
+        # round, and retries beyond the round size wait for the next one.
+        taken = eligible[: len(chosen)]
+        taken_set = set(taken)
+        # Overflow retries wait for the next round; clients no longer in
+        # the federation (erased since their drop) are forgotten.
+        self._retry = [c for c in eligible if c not in taken_set]
+        merged = taken + [c for c in chosen if c not in taken_set]
+        return merged[: len(chosen)]
+
+    def note_dropped(self, client_ids, round_index) -> None:
+        super().note_dropped(client_ids, round_index)
+        seen = set(self._retry)
+        for client_id in client_ids:
+            client_id = int(client_id)
+            if client_id not in seen:
+                self._retry.append(client_id)
+                seen.add(client_id)
 
 
 @dataclass

@@ -21,7 +21,7 @@ each task carries and returns its client's exact RNG position).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, List, Optional, Sequence
+from typing import Callable, List, Optional, Sequence, TYPE_CHECKING
 
 import numpy as np
 
@@ -35,15 +35,32 @@ from .client import Client
 from .sampling import ClientSampler
 from .server import Server
 
+if TYPE_CHECKING:  # pragma: no cover - circular import guard
+    from .engine import AsyncRoundConfig, BufferedRoundEngine, LatencyModel
+
 
 @dataclass
 class RoundRecord:
-    """Metrics for one completed FL round."""
+    """Metrics for one completed FL round.
+
+    The first four fields are filled by every round; the rest default to
+    empty/zero on the synchronous path and are populated by the
+    event-driven engine (:mod:`repro.federated.engine`): which clients'
+    updates were folded (and at what staleness), which were dropped as
+    stragglers or discarded as too stale, the virtual clock at the fold
+    and the global version it produced.
+    """
 
     round_index: int
     global_loss: float
     global_accuracy: float
     client_accuracies: List[float] = field(default_factory=list)
+    applied_clients: List[int] = field(default_factory=list)
+    staleness: List[int] = field(default_factory=list)
+    dropped_clients: List[int] = field(default_factory=list)
+    stale_discarded: List[int] = field(default_factory=list)
+    sim_time: float = 0.0
+    version: int = 0
 
 
 @dataclass
@@ -124,6 +141,8 @@ class FederatedSimulation:
         seed: int = 0,
         sampler: Optional[ClientSampler] = None,
         backend: BackendLike = None,
+        async_config: Optional["AsyncRoundConfig"] = None,
+        latency_model: Optional["LatencyModel"] = None,
     ) -> None:
         if fed_data.num_clients == 0:
             raise ValueError("no clients in federated dataset")
@@ -132,6 +151,12 @@ class FederatedSimulation:
         self.train_config = train_config
         self.sampler = sampler
         self.backend = get_backend(backend)
+        # Buffered-async mode is strictly opt-in: without an AsyncRoundConfig
+        # no engine is ever constructed and every round runs the historical
+        # synchronous barrier loop bit for bit.
+        self.async_config = async_config
+        self.latency_model = latency_model
+        self._engine = None
         seeds = np.random.SeedSequence(seed).spawn(fed_data.num_clients + 1)
         self.clients: List[Client] = [
             Client(
@@ -158,8 +183,26 @@ class FederatedSimulation:
         by_id = {client.client_id: client for client in self.clients}
         return [by_id[client_id] for client_id in chosen]
 
+    def engine(self) -> "BufferedRoundEngine":
+        """The lazily-built event-driven engine (async mode only)."""
+        if self.async_config is None:
+            raise ValueError(
+                "simulation was not configured for async rounds; pass "
+                "async_config=AsyncRoundConfig(...) to the constructor"
+            )
+        if self._engine is None:
+            from .engine import BufferedRoundEngine
+
+            self._engine = BufferedRoundEngine(
+                self, self.async_config, self.latency_model
+            )
+        return self._engine
+
     def run_round(self, round_index: int, record_client_metrics: bool = False) -> RoundRecord:
-        """One synchronous round: (sample →) broadcast → local train → aggregate."""
+        """One round: synchronous barrier by default, buffered-async fold
+        (:mod:`repro.federated.engine`) when ``async_config`` is set."""
+        if self.async_config is not None:
+            return self.engine().run_round(round_index, record_client_metrics)
         participants = self.round_participants(round_index)
         self.last_participants = participants
         self.server.broadcast(participants)
@@ -200,6 +243,10 @@ class FederatedSimulation:
             history.rounds.append(record)
             if round_callback is not None:
                 round_callback(record)
+        if self._engine is not None:
+            # Leave no orphaned work on a (possibly shared) pool between
+            # runs; abandoned clients redispatch fresh next run.
+            self._engine.abandon_inflight()
         return history
 
     def global_model(self) -> Module:

@@ -20,7 +20,13 @@ Two-level API:
     feeding idle workers immediately; ``drain`` blocks until that batch
     is complete and returns its results in submission order.  Several
     batches may be outstanding at once (they share the worker set), which
-    is the seam the planned async/buffered-aggregation rounds build on.
+    is the seam the event-driven federation engine
+    (:mod:`repro.federated.engine`) and the non-blocking deletion service
+    (:class:`~repro.unlearning.deletion_manager.DeletionService`) build
+    on: they submit one ticket per client task / flush window and drain
+    tickets out of order as their simulated events fire.  ``poll(ticket)``
+    makes progress without blocking and reports whether a specific batch
+    has completed; ``outstanding_tickets`` lists the batches still owed.
 
 ``run_tasks(tasks)``
     The standard :class:`~repro.runtime.backends.Backend` interface —
@@ -287,6 +293,30 @@ class WorkerPool:
             )
         return batch.results
 
+    def poll(self, ticket: int) -> bool:
+        """Non-blocking progress + completion check for one batch.
+
+        Dispatches pending work to idle workers, collects any results that
+        have already arrived (for *every* outstanding ticket, not just this
+        one) and returns whether batch ``ticket`` is complete — i.e.
+        whether :meth:`drain` would return without blocking.  Errors are
+        only raised at drain time, so a completed-with-failure batch polls
+        as ``True``.
+        """
+        try:
+            batch = self._batches[ticket]
+        except KeyError:
+            raise ValueError(f"unknown or already-drained ticket {ticket!r}") from None
+        if batch.remaining:
+            self._dispatch_idle()
+            self._pump(timeout=0.0)
+        return batch.remaining == 0
+
+    @property
+    def outstanding_tickets(self) -> List[int]:
+        """Tickets submitted but not yet drained, oldest first."""
+        return sorted(self._batches)
+
     def run_tasks(self, tasks: Sequence[Any]) -> List[Any]:
         """The stock backend interface: submit + drain one batch."""
         return self.drain(self.submit(tasks))
@@ -442,6 +472,13 @@ class PoolBackend(Backend):
 
     def drain(self, ticket: int) -> List[Any]:
         return self.pool.drain(ticket)
+
+    def poll(self, ticket: int) -> bool:
+        return self.pool.poll(ticket)
+
+    @property
+    def outstanding_tickets(self) -> List[int]:
+        return self.pool.outstanding_tickets
 
     def close(self) -> None:
         self.pool.close()

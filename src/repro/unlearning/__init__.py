@@ -31,6 +31,7 @@ from .deletion_manager import (
     DeletionManager,
     DeletionPolicy,
     DeletionRequest,
+    DeletionService,
     ExecutedBatch,
     ImmediatePolicy,
     PeriodicPolicy,
@@ -54,7 +55,7 @@ from .registry import (
     register_unlearner,
 )
 from .sharding import DeletionReport, ShardedClientTrainer
-from .sisa import SisaConfig, SisaDeletionReport, SisaEnsemble
+from .sisa import PendingDeletion, SisaConfig, SisaDeletionReport, SisaEnsemble
 from .temperature import adaptive_temperature
 
 __all__ = [
@@ -71,6 +72,8 @@ __all__ = [
     "EarlyStopConfig",
     "ExcessRiskStopper",
     "DeletionManager",
+    "DeletionService",
+    "PendingDeletion",
     "DeletionPolicy",
     "DeletionRequest",
     "ExecutedBatch",

@@ -16,7 +16,7 @@ makes the trade-off explicit:
 * every executed batch records per-request latency in rounds, so the
   latency/cost frontier of a policy is measurable.
 
-Two execution paths share the queue and the policies:
+Three execution paths share the queue and the policies:
 
 * :meth:`DeletionManager.maybe_execute` — the federated flow: merged
   indices are registered with each client and an ``unlearn(sim)``
@@ -30,6 +30,12 @@ Two execution paths share the queue and the policies:
   paper's retraining-cost accounting (``SisaDeletionReport``) measures —
   and :attr:`ExecutedBatch.chains_submitted` records how few chains the
   window actually cost.
+* :class:`DeletionService` — the **non-blocking** variant of the batched
+  flow: the window's chains are submitted through the pool's
+  ``submit``/``drain`` seam and retrain *concurrently with* subsequent
+  federation rounds instead of barriering them;
+  :attr:`ExecutedBatch.overlap_rounds` records how many rounds each
+  window overlapped.
 """
 
 from __future__ import annotations
@@ -116,6 +122,11 @@ class ExecutedBatch:
     # the batched SISA path; one per affected shard).  Fewer chains than
     # requests is the whole point of batching.
     chains_submitted: int = 0
+    # Round at which the window's retrain chains finished absorbing.  The
+    # barriered paths complete in the round they execute; the non-blocking
+    # DeletionService sets this later, once poll()/drain() lands the
+    # results — until then it is None ("still retraining").
+    completed_round: Optional[int] = None
 
     @property
     def num_requests(self) -> int:
@@ -124,6 +135,23 @@ class ExecutedBatch:
     @property
     def max_latency(self) -> int:
         return max(self.latencies)
+
+    @property
+    def in_flight(self) -> bool:
+        """Whether the window's retrain chains are still executing."""
+        return self.completed_round is None
+
+    @property
+    def overlap_rounds(self) -> int:
+        """Federation rounds this window's retraining overlapped with.
+
+        Zero on the barriered paths (submit and completion share a
+        round); positive under the :class:`DeletionService`, where the
+        chains ran concurrently with that many subsequent rounds.
+        """
+        if self.completed_round is None:
+            return 0
+        return self.completed_round - self.executed_round
 
 
 class DeletionManager:
@@ -280,10 +308,16 @@ class DeletionManager:
         return True
 
     def _flush(
-        self, round_index: int, outcome: object, chains_submitted: int = 0
+        self,
+        round_index: int,
+        outcome: object,
+        chains_submitted: int = 0,
+        completed: bool = True,
     ) -> ExecutedBatch:
         """Record the executed window (per-request latencies included)
-        and clear the queue."""
+        and clear the queue.  ``completed=False`` marks the window as
+        still retraining (the :class:`DeletionService` finalizes it when
+        its chains land)."""
         batch = ExecutedBatch(
             executed_round=round_index,
             requests=list(self._pending),
@@ -293,6 +327,7 @@ class DeletionManager:
             ],
             outcome=outcome,
             chains_submitted=chains_submitted,
+            completed_round=round_index if completed else None,
         )
         self._executed.append(batch)
         self._pending.clear()
@@ -304,6 +339,12 @@ class DeletionManager:
     @property
     def executed_batches(self) -> List[ExecutedBatch]:
         return list(self._executed)
+
+    @property
+    def total_overlap_rounds(self) -> int:
+        """Federation rounds retraining overlapped with, summed over all
+        completed windows (non-zero only under :class:`DeletionService`)."""
+        return sum(batch.overlap_rounds for batch in self._executed)
 
     @property
     def num_executions(self) -> int:
@@ -326,3 +367,144 @@ class DeletionManager:
         if not latencies:
             raise ValueError("no executed requests yet")
         return float(np.mean(latencies))
+
+
+class DeletionService:
+    """Non-blocking execution of deletion windows.
+
+    :meth:`DeletionManager.maybe_execute_batched` barriers the simulation:
+    the flush window's retrain chains run to completion before the next
+    federation round may start, even though chains and client rounds are
+    independent work that a pool executes happily side by side.  This
+    service removes the barrier.  When the manager's policy fires, the
+    window's chains are *submitted* through the backend
+    (:meth:`~repro.runtime.pool.WorkerPool.submit`, one ticket per window)
+    and control returns immediately; subsequent federation rounds train
+    while the chains retrain, and :meth:`poll` absorbs the finished
+    window whenever its ticket completes.  The per-window overlap is
+    recorded on the batch (:attr:`ExecutedBatch.overlap_rounds` =
+    completion round − submission round) — the quantity the paper's
+    deletion-efficiency claims rest on.
+
+    Determinism: :meth:`~repro.unlearning.sisa.SisaEnsemble.delete_begin`
+    snapshots everything a chain reads (checkpoint, RNG position, index
+    sets) at submission time, so the retrained shard states are
+    bit-identical to the barriered path no matter how many rounds pass
+    before the results land.  Only one window is in flight at a time — a
+    policy that fires while chains are outstanding is deferred to the
+    round after they complete (the requests simply keep queueing).
+
+    Usage inside an FL loop::
+
+        service = DeletionService(manager, ensemble)
+        for r in range(rounds):
+            service.poll(r)           # absorb any finished window
+            ...requests arrive: manager.submit(...)...
+            service.maybe_submit(r)   # policy fires -> chains overlap
+            sim.run_round(r)
+        service.drain(rounds)         # barrier once, at the very end
+
+    Backends without ``submit``/``drain``/``poll`` (serial, thread,
+    process) cannot overlap; the service then runs the window's chains
+    inside :meth:`maybe_submit` exactly like the barriered path, so the
+    loop above is portable across every backend.
+    """
+
+    def __init__(
+        self, manager: DeletionManager, ensemble, backend=None
+    ) -> None:
+        from ..runtime import get_backend
+
+        self.manager = manager
+        self.ensemble = ensemble
+        self.backend = (
+            ensemble.backend if backend is None else get_backend(backend)
+        )
+        self._streams = all(
+            hasattr(self.backend, name) for name in ("submit", "drain", "poll")
+        )
+        self._inflight: Optional[tuple] = None  # (batch, pending, ticket)
+
+    @property
+    def busy(self) -> bool:
+        """Whether a window's chains are still retraining."""
+        return self._inflight is not None
+
+    def maybe_submit(self, round_index: int) -> Optional[ExecutedBatch]:
+        """Submit a flush window when the policy fires; never blocks.
+
+        Returns the (possibly still in-flight) batch record, or ``None``
+        when the policy did not fire or a previous window is outstanding.
+        """
+        if self._inflight is not None:
+            return None
+        if not self.manager._window_ready(round_index):
+            return None
+        merged = self.manager.merged_global_indices()
+        already = getattr(self.ensemble, "deleted_indices", None)
+        if already is not None and len(already):
+            merged = merged[~np.isin(merged, list(already))]
+        if not merged.size:
+            # Everything re-requested was already deleted: nothing to
+            # retrain, the window completes on the spot.
+            return self.manager._flush(round_index, outcome=None)
+        pending = self.ensemble.delete_begin(merged)
+        batch = self.manager._flush(
+            round_index,
+            outcome=None,
+            chains_submitted=pending.num_chains,
+            completed=False,
+        )
+        if self._streams:
+            ticket = self.backend.submit(pending.tasks)
+            self._inflight = (batch, pending, ticket)
+        else:
+            # Barriered fallback: run-to-completion inside the call (same
+            # failure semantics as the ticket path — unlock, propagate).
+            try:
+                results = self.backend.run_tasks(pending.tasks)
+            except Exception:
+                abort = getattr(self.ensemble, "abort_pending_deletion", None)
+                if abort is not None:
+                    abort()
+                raise
+            batch.outcome = self.ensemble.delete_finish(pending, results)
+            batch.completed_round = round_index
+        return batch
+
+    def poll(self, round_index: int) -> Optional[ExecutedBatch]:
+        """Absorb the in-flight window if its chains have finished.
+
+        Call once per round *before* submitting new work.  Returns the
+        completed batch, or ``None`` when nothing finished.
+        """
+        if self._inflight is None:
+            return None
+        batch, pending, ticket = self._inflight
+        if not self.backend.poll(ticket):
+            return None
+        return self._complete(batch, pending, ticket, round_index)
+
+    def drain(self, round_index: int) -> Optional[ExecutedBatch]:
+        """Block until the in-flight window (if any) completes."""
+        if self._inflight is None:
+            return None
+        batch, pending, ticket = self._inflight
+        return self._complete(batch, pending, ticket, round_index)
+
+    def _complete(self, batch, pending, ticket, round_index: int):
+        """Drain + finalize one window; a chain failure (BackendError
+        after the worker-death retry budget, say) unlocks the ensemble
+        (:meth:`~repro.unlearning.sisa.SisaEnsemble.abort_pending_deletion`)
+        instead of wedging every future window, then propagates."""
+        self._inflight = None
+        try:
+            results = self.backend.drain(ticket)
+        except Exception:
+            abort = getattr(self.ensemble, "abort_pending_deletion", None)
+            if abort is not None:
+                abort()
+            raise
+        batch.outcome = self.ensemble.delete_finish(pending, results)
+        batch.completed_round = round_index
+        return batch

@@ -108,6 +108,22 @@ class SisaDeletionReport:
 
 
 @dataclass
+class PendingDeletion:
+    """A begun-but-unfinished deletion window (see
+    :meth:`SisaEnsemble.delete_begin`): the logically-deleted indices, the
+    earliest affected slice per shard and the retrain chains to execute.
+    """
+
+    indices: np.ndarray
+    first_affected: Dict[int, int]
+    tasks: List[ChainTask]
+
+    @property
+    def num_chains(self) -> int:
+        return len(self.tasks)
+
+
+@dataclass
 class _Shard:
     """One constituent: its slice index sets and per-slice checkpoints."""
 
@@ -164,6 +180,7 @@ class SisaEnsemble:
         self.backend = get_backend(backend)
         self._rng = np.random.default_rng(seed)
         self._deleted: set = set()
+        self._pending_deletion = False
         self._shards = self._partition()
         self._seed_shards(self._shards, seed)
         self._rebuild_lookup()
@@ -280,8 +297,43 @@ class SisaEnsemble:
     def delete(self, global_indices: Sequence[int]) -> SisaDeletionReport:
         """Unlearn the given samples; retrain only what the checkpoints
         cannot cover. Raises if called before :meth:`fit`."""
+        pending = self.delete_begin(global_indices)
+        try:
+            results = self.backend.run_tasks(pending.tasks)
+        except Exception:
+            # Unlock rather than wedge: the logical deletion stands (the
+            # points are gone either way) but the affected shards carry
+            # stale models until a retried delete/fit lands.
+            self.abort_pending_deletion()
+            raise
+        return self.delete_finish(pending, results)
+
+    def delete_begin(self, global_indices: Sequence[int]) -> "PendingDeletion":
+        """Phase 1 of a deletion: logical removal + retrain-chain tasks.
+
+        Marks the indices deleted, invalidates the checkpoints the
+        deletion poisons and builds one retrain :class:`ChainTask` per
+        affected shard — **without executing anything**.  The non-blocking
+        deletion service
+        (:class:`~repro.unlearning.deletion_manager.DeletionService`)
+        submits the returned tasks through ``backend.submit`` so they run
+        concurrently with subsequent federation rounds, then calls
+        :meth:`delete_finish` with the results; :meth:`delete` is the
+        barriered begin → run → finish composition.
+
+        Between begin and finish the affected shards' models are the
+        pre-deletion ones (inference serves stale constituents until the
+        retrain lands) and no further ``delete_begin`` may target the
+        ensemble — overlapping windows would race on the checkpoint
+        invalidation.  The service enforces one window in flight.
+        """
         if not self._fitted:
             raise RuntimeError("call fit() before delete()")
+        if self._pending_deletion:
+            raise RuntimeError(
+                "a deletion window is already in flight; finish it with "
+                "delete_finish() before beginning another"
+            )
         indices = np.unique(np.asarray(global_indices, dtype=np.int64))
         if indices.size == 0:
             raise ValueError("deletion request with no indices")
@@ -307,21 +359,63 @@ class SisaEnsemble:
         tasks = []
         for shard_index, from_slice in sorted(first_affected.items()):
             shard = self._shards[shard_index]
+            # Resume from the latest checkpoint that still exists at or
+            # before the affected slice.  Normally that is the checkpoint
+            # just before it; after an aborted window (chains failed, see
+            # :meth:`abort_pending_deletion`) earlier checkpoints may be
+            # gone too, and retraining from further back is always valid —
+            # just more replay.
+            while from_slice > 0 and (from_slice - 1) not in shard.checkpoints:
+                from_slice -= 1
+            first_affected[shard_index] = from_slice
             # Invalidate checkpoints from the affected slice onward.
             for stale in range(from_slice, self.config.num_slices):
                 shard.checkpoints.pop(stale, None)
             tasks.append(self._shard_chain_task(shard, from_slice))
+        self._pending_deletion = True
+        return PendingDeletion(
+            indices=indices, first_affected=dict(first_affected), tasks=tasks
+        )
+
+    def abort_pending_deletion(self) -> None:
+        """Unlock a begun window whose chains failed (e.g. a pool batch
+        exhausting its worker-death retries).
+
+        The logical removal already happened at :meth:`delete_begin` —
+        the indices stay deleted and their checkpoints stay invalidated —
+        so the affected shards serve **stale** models until their chains
+        are re-run (resubmit via :meth:`delete_begin` on new indices, or
+        a full :meth:`fit`).  This trades a visible staleness window for
+        not permanently deadlocking every future deletion behind one
+        transient backend error.
+        """
+        self._pending_deletion = False
+
+    def delete_finish(
+        self, pending: "PendingDeletion", results: Sequence[ChainResult]
+    ) -> SisaDeletionReport:
+        """Phase 2: absorb the retrain-chain results begun by
+        :meth:`delete_begin` and report the window's cost."""
+        if not self._pending_deletion:
+            raise RuntimeError("no deletion window in flight")
+        if len(results) != len(pending.tasks):
+            raise ValueError(
+                f"{len(pending.tasks)} chain(s) begun but {len(results)} "
+                "result(s) supplied"
+            )
         retrained = 0
-        for task, result in zip(tasks, self.backend.run_tasks(tasks)):
+        for task, result in zip(pending.tasks, results):
             retrained += self._absorb_chain_result(self._shards[task.task_id], result)
+        self._pending_deletion = False
 
         total_steps = self.config.num_shards * self.config.num_slices
         reused = total_steps - sum(
-            self.config.num_slices - start for start in first_affected.values()
+            self.config.num_slices - start
+            for start in pending.first_affected.values()
         )
         return SisaDeletionReport(
-            num_deleted=int(indices.size),
-            shards_affected=sorted(first_affected),
+            num_deleted=int(pending.indices.size),
+            shards_affected=sorted(pending.first_affected),
             slices_retrained=retrained,
             slices_reused=reused,
             slice_steps_total=total_steps,

@@ -1,0 +1,153 @@
+"""float32 end-to-end: model and optimizer state follow the dataset dtype.
+
+``ArrayDataset(dtype=np.float32)`` has been opt-in since the runtime PR,
+but parameters were pinned to float64, so the im2col hot path upcast at
+the first parameter contraction.  Now :func:`repro.training.trainer.train`
+moves the model to the dataset's floating dtype (``Module.astype``), the
+optimizer state follows through ``zeros_like``, and state loads preserve
+the cast.  The float64 default is a no-op cast — bit-identical to the
+historical path.
+"""
+
+import numpy as np
+
+from repro.data import FederatedDataset
+from repro.federated import FedAvgAggregator, FederatedSimulation
+from repro.nn.models import MLP, RegistryModelFactory
+from repro.nn.optim import Adam
+from repro.training import TrainConfig
+from repro.training.trainer import make_optimizer, train
+
+from ..conftest import make_blob_federation, make_blobs
+
+CONFIG = TrainConfig(epochs=2, batch_size=10, learning_rate=0.1, momentum=0.9)
+
+
+def fresh_model(seed=42):
+    return MLP(16, 3, np.random.default_rng(seed))
+
+
+def dataset(dtype=None, seed=0):
+    data = make_blobs(num_samples=80, num_classes=3, shape=(1, 4, 4), seed=seed)
+    if dtype is None:
+        return data
+    return type(data)(
+        images=data.images, labels=data.labels,
+        num_classes=data.num_classes, dtype=dtype,
+    )
+
+
+class TestModuleAstype:
+    def test_parameters_and_buffers_cast(self):
+        model = fresh_model()
+        model.astype(np.float32)
+        assert model.dtype == np.float32
+        for _, param in model.named_parameters():
+            assert param.data.dtype == np.float32
+        for _, buf in model.named_buffers():
+            if np.issubdtype(buf.dtype, np.floating):
+                assert buf.dtype == np.float32
+
+    def test_load_state_dict_preserves_module_dtype(self):
+        float64_state = fresh_model().state_dict()
+        model = fresh_model().astype(np.float32)
+        model.load_state_dict(float64_state)  # float64 payload
+        assert all(
+            param.data.dtype == np.float32 for param in model.parameters()
+        )
+        # And the float64 default still loads float32 payloads as float64.
+        reference = fresh_model()
+        reference.load_state_dict(
+            {k: v.astype(np.float32) for k, v in float64_state.items()}
+        )
+        assert all(
+            param.data.dtype == np.float64 for param in reference.parameters()
+        )
+
+    def test_non_floating_dtype_rejected(self):
+        import pytest
+
+        with pytest.raises(ValueError, match="floating"):
+            fresh_model().astype(np.int64)
+
+
+class TestTrainingFollowsDatasetDtype:
+    def test_float64_default_bit_identical(self):
+        first, second = fresh_model(), fresh_model()
+        train(first, dataset(), CONFIG, np.random.default_rng(0))
+        train(second, dataset(), CONFIG, np.random.default_rng(0))
+        state = first.state_dict()
+        assert all(v.dtype == np.float64 for v in state.values())
+        for key, value in second.state_dict().items():
+            np.testing.assert_array_equal(state[key], value)
+
+    def test_float32_dataset_trains_float32_model(self):
+        model = fresh_model()
+        optimizer = make_optimizer(model, CONFIG)
+        history = train(
+            model, dataset(np.float32), CONFIG, np.random.default_rng(0),
+            optimizer=optimizer,
+        )
+        assert all(v.dtype == np.float32 for v in model.state_dict().values())
+        # Optimizer state followed (momentum buffers built lazily).
+        assert any(v is not None for v in optimizer._velocity)
+        assert all(
+            v is None or v.dtype == np.float32 for v in optimizer._velocity
+        )
+        assert np.isfinite(history.epochs[-1].mean_loss)
+
+    def test_adam_state_follows_dtype(self):
+        model = fresh_model()
+        optimizer = Adam(model.parameters(), lr=1e-2)
+        train(
+            model, dataset(np.float32), CONFIG, np.random.default_rng(0),
+            optimizer=optimizer,
+        )
+        assert all(m is None or m.dtype == np.float32 for m in optimizer._m)
+        assert all(v is None or v.dtype == np.float32 for v in optimizer._v)
+
+    def test_float32_close_to_float64(self):
+        """Same run at both precisions: small numerical drift only."""
+        reference, low = fresh_model(), fresh_model()
+        train(reference, dataset(), CONFIG, np.random.default_rng(0))
+        train(low, dataset(np.float32), CONFIG, np.random.default_rng(0))
+        for key, value in reference.state_dict().items():
+            np.testing.assert_allclose(
+                value, low.state_dict()[key], rtol=5e-2, atol=5e-3
+            )
+
+    def test_forward_hot_path_stays_float32(self):
+        """No op in the forward graph silently upcasts activations."""
+        from repro.nn import Tensor
+
+        model = fresh_model()
+        model.astype(np.float32)
+        images = dataset(np.float32).images[:8]
+        logits = model(Tensor(images))
+        assert logits.dtype == np.float32
+
+
+class TestFederatedFloat32:
+    def test_round_runs_and_aggregates(self):
+        clients, test = make_blob_federation(
+            3, per_client=24, test_size=30, seed=0
+        )
+        to32 = lambda d: type(d)(
+            images=d.images, labels=d.labels, num_classes=d.num_classes,
+            dtype=np.float32,
+        )
+        fed = FederatedDataset(
+            client_datasets=[to32(c) for c in clients], test_set=to32(test)
+        )
+        factory = RegistryModelFactory(
+            name="mlp", num_classes=3, in_channels=1, image_size=4
+        )
+        sim = FederatedSimulation(
+            factory, fed,
+            FedAvgAggregator(),
+            TrainConfig(epochs=1, batch_size=8, learning_rate=0.1),
+            seed=0,
+        )
+        history = sim.run(2)
+        assert np.isfinite(history.rounds[-1].global_loss)
+        assert 0.0 <= history.final_accuracy <= 1.0

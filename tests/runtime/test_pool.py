@@ -197,6 +197,32 @@ class TestPoolExecution:
         with pytest.raises(ValueError, match="ticket"):
             pool.drain(999)
 
+    def test_poll_reports_completion_without_blocking(self, pool):
+        import time
+
+        ticket = pool.submit([make_task(task_id=0)])
+        # poll() makes progress and eventually reports done; drain() then
+        # returns instantly with the same results it always would.
+        deadline = time.monotonic() + 30.0
+        while not pool.poll(ticket):
+            if time.monotonic() > deadline:
+                pytest.fail("batch never completed under poll()")
+            time.sleep(0.001)
+        assert [r.task_id for r in pool.drain(ticket)] == [0]
+
+    def test_poll_unknown_ticket_rejected(self, pool):
+        with pytest.raises(ValueError, match="ticket"):
+            pool.poll(123)
+
+    def test_outstanding_tickets_tracked(self, pool):
+        first = pool.submit([make_task(task_id=0)])
+        second = pool.submit([make_task(task_id=1, seed=1)])
+        assert pool.outstanding_tickets == [first, second]
+        pool.drain(first)
+        assert pool.outstanding_tickets == [second]
+        pool.drain(second)
+        assert pool.outstanding_tickets == []
+
     def test_empty_batch(self, pool):
         assert pool.run_tasks([]) == []
 
@@ -239,6 +265,41 @@ class TestPoolFaults:
         after = pool.pool.worker_pids()
         assert len(after) == len(before)
         assert after != before
+
+    def test_worker_death_between_submit_and_drain_interleaved_tickets(self, pool):
+        """Regression: a worker killed while *two* tickets are outstanding.
+
+        The pool's death repair (respawn + resubmit) must restore every
+        lost task to its own batch slot: after the kill, each ticket must
+        still drain to its exact submission order with results
+        bit-identical to serial — the interleaving must not let a
+        resubmitted task's result land in the other ticket or shift
+        positions within its own.
+        """
+        first_tasks = [make_task(task_id=i, seed=i, epochs=2) for i in range(3)]
+        second_tasks = [
+            make_task(task_id=10 + i, seed=10 + i, epochs=2) for i in range(3)
+        ]
+        expected_first = SerialBackend().run_tasks(first_tasks)
+        expected_second = SerialBackend().run_tasks(second_tasks)
+
+        pool.run_tasks([make_task(0)])  # warm the workers
+        first = pool.submit(first_tasks)
+        second = pool.submit(second_tasks)
+        # Kill one worker while both tickets have tasks outstanding.
+        victim = pool.pool.worker_pids()[0]
+        os.kill(victim, 9)
+        late = pool.drain(second)
+        early = pool.drain(first)
+        assert [r.task_id for r in early] == [0, 1, 2]
+        assert [r.task_id for r in late] == [10, 11, 12]
+        for got, want in zip(early, expected_first):
+            assert_results_equal(got, want)
+        for got, want in zip(late, expected_second):
+            assert_results_equal(got, want)
+        # The dead worker was replaced, not leaked.
+        assert len(pool.pool.worker_pids()) == len(set(pool.pool.worker_pids()))
+        assert victim not in pool.pool.worker_pids()
 
     def test_repeatedly_dying_task_fails_batch(self, pool):
         with pytest.raises(BackendError, match="died"):
