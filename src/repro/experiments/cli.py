@@ -38,7 +38,12 @@ matrix federation through the event-driven engine
 the ``engine=`` provenance records which loop produced each result.
 Matrix cells differing only in ``deletion.*`` share one pretrained
 snapshot (bit-identical to cold pretrains; ``pretrain_cache`` provenance
-reports hits/misses).
+reports hits/misses).  ``--codec`` selects the update codec client
+returns travel under (``raw``/``delta`` lossless and bit-identical,
+``topk:<frac>``/``quant:<bits>`` lossy and deterministic per seed);
+bytes-on-the-wire totals are stamped into the ``transport`` runtime
+provenance, and the codec is sweepable like any spec path
+(``--sweep federation.compression.codec=raw,delta,quant:8``).
 """
 
 from __future__ import annotations
@@ -310,6 +315,12 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--straggler-timeout", type=float, default=None,
                         help="matrix, async: drop clients whose simulated "
                              "latency exceeds this (0 = no timeout)")
+    parser.add_argument("--codec", default="",
+                        help="matrix: update codec for client returns — "
+                             "raw (default), delta (lossless, "
+                             "bit-identical), topk:<frac>, quant:<bits> "
+                             "(lossy, deterministic per seed). Byte "
+                             "counts land in the runtime provenance.")
     parser.add_argument("--workers", type=int, default=0,
                         help="worker count for --backend (same as the ':N' "
                              "suffix)")
@@ -364,6 +375,21 @@ def main(argv: List[str] = None) -> int:
                 "--buffer-size/--max-staleness/--straggler-timeout require "
                 "--async-mode"
             )
+        if args.codec:
+            if args.experiment != "matrix":
+                # Only the matrix driver threads federation overrides;
+                # silently running a paper artifact under the default
+                # codec while the flag suggests otherwise would be worse
+                # than refusing.
+                raise ValueError(
+                    "--codec applies to the matrix driver only "
+                    "(try: matrix --scenario ... --codec "
+                    f"{args.codec})"
+                )
+            from ..runtime import get_codec
+
+            get_codec(args.codec)  # fail fast on typos, before any training
+            federation_overrides["federation.compression.codec"] = args.codec
         run_experiment(
             args.experiment, args.scale, args.dataset, args.seed,
             methods=parse_methods(args.method),

@@ -842,6 +842,7 @@ def run_matrix(
     )
     pretrain_cache: Dict[str, _CachedPretrain] = {}
     cache_hits = cache_misses = 0
+    transport_totals: Dict[str, Any] = {}
     result = ExperimentResult(
         experiment_id=exp.experiment_id,
         title=exp.title,
@@ -906,6 +907,16 @@ def run_matrix(
                 rounds=outcome.rounds_run,
                 chains=outcome.chains,
             )
+        # Aggregate bytes-on-the-wire across cells, keyed by codec so a
+        # federation.compression.codec sweep reports each codec's traffic
+        # separately (pretraining + method rounds of its cells).
+        report = prepared.scenario.sim.transport_report()
+        codec_key = report.pop("codec")
+        bucket = transport_totals.setdefault(codec_key, {})
+        for key, value in report.items():
+            bucket[key] = bucket.get(key, 0) + value
+    if transport_totals:
+        result.runtime["transport"] = transport_totals
     if cache_enabled:
         result.runtime["pretrain_cache"] = {
             "hits": cache_hits, "misses": cache_misses,

@@ -135,6 +135,25 @@ class DeletionSpec:
 
 
 @dataclass(frozen=True)
+class CompressionSpec:
+    """Which :mod:`~repro.runtime.codec` update codec client returns use.
+
+    ``"raw"`` (default) is the historical dense-state return, bit for
+    bit; ``"delta"`` is lossless by construction (XOR + deflate against
+    the broadcast basis); ``"topk:<frac>"`` and ``"quant:<bits>"`` are
+    the opt-in lossy compressors (deterministic per seed).  Sweepable
+    through the matrix driver as ``federation.compression.codec``.
+    """
+
+    codec: str = "raw"
+
+    def __post_init__(self) -> None:
+        from ..runtime import get_codec
+
+        get_codec(self.codec)  # fail fast on typos, before any training
+
+
+@dataclass(frozen=True)
 class FederationSpec:
     """Federation shape (0 clients = take the scale preset's count).
 
@@ -147,6 +166,11 @@ class FederationSpec:
     resampled next round (0 = no timeout).  Sync specs
     (``async_mode=False``, the default) build what they always built,
     bit for bit.
+
+    ``compression`` selects the update codec for client returns (see
+    :class:`CompressionSpec`); byte counts per round land in
+    :class:`~repro.federated.simulation.RoundRecord` and run totals in
+    the result's ``runtime["transport"]`` provenance.
     """
 
     num_clients: int = 0
@@ -159,6 +183,23 @@ class FederationSpec:
     buffer_size: int = 0
     max_staleness: int = 4
     straggler_timeout: float = 0.0
+    compression: CompressionSpec = field(default_factory=CompressionSpec)
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "FederationSpec":
+        data = dict(payload)
+        compression = data.pop("compression", None)
+        if compression is None:
+            compression = CompressionSpec()
+        elif isinstance(compression, Mapping):
+            compression = CompressionSpec(**compression)
+        elif not isinstance(compression, CompressionSpec):
+            raise ValueError(
+                f"federation.compression must be a mapping like "
+                f"{{'codec': 'delta'}}, got {compression!r} — did you mean "
+                "federation.compression.codec?"
+            )
+        return cls(**data, compression=compression)
 
 
 @dataclass(frozen=True)
@@ -195,7 +236,7 @@ class ScenarioSpec:
             partition=PartitionSpec(**payload.get("partition", {})),
             attack=AttackSpec(**payload.get("attack", {})),
             deletion=DeletionSpec(**payload.get("deletion", {})),
-            federation=FederationSpec(**payload.get("federation", {})),
+            federation=FederationSpec.from_dict(payload.get("federation", {})),
             model=payload.get("model", ""),
         )
 
@@ -468,6 +509,7 @@ class ScenarioBuilder:
         sim = FederatedSimulation(
             factory, fed, aggregator, config, seed=seed + 2000, backend=backend,
             async_config=async_config, latency_model=latency_model,
+            codec=spec.federation.compression.codec,
         )
         return Scenario(
             sim=sim,

@@ -133,7 +133,11 @@ class Client:
     # Runtime task emission (see repro.runtime)
     # ------------------------------------------------------------------
     def make_train_task(
-        self, config: TrainConfig, model_factory: Callable[[], Module]
+        self,
+        config: TrainConfig,
+        model_factory: Callable[[], Module],
+        codec: str = "raw",
+        model_version: Optional[str] = None,
     ) -> TrainTask:
         """Package this client's next local-training run as a pure task.
 
@@ -148,6 +152,14 @@ class Client:
         training matches :attr:`active_dataset` array-for-array, but the
         parent never pays a per-task copy (and a shared-memory dataset
         ships as a handle).
+
+        ``codec`` selects the :mod:`~repro.runtime.codec` update codec
+        the task's return travels under (``"raw"`` keeps the historical
+        dense-state return, bit for bit); the task's ``model_state``
+        doubles as the encode basis.  ``model_version`` may carry the
+        precomputed content hash of the state this client just received
+        — valid exactly because the model is untouched between
+        :meth:`receive_global` and this snapshot.
         """
         return TrainTask(
             task_id=self.client_id,
@@ -157,15 +169,31 @@ class Client:
             rng_state=capture_rng(self.rng),
             model_state=self.model.state_dict(),
             indices=self.retain_indices,
+            codec=codec,
+            model_version=model_version,
         )
 
-    def absorb_train_result(self, result: TrainResult) -> TrainHistory:
-        """Install a finished task's model state and advanced RNG position."""
+    def absorb_train_result(
+        self, result: TrainResult, basis: Optional[StateDict] = None
+    ) -> TrainHistory:
+        """Install a finished task's model state and advanced RNG position.
+
+        A codec-encoded result is decoded against ``basis`` — the state
+        this client received at dispatch.  When omitted, the client's own
+        current model is the basis, which is correct on every standard
+        path: the model is untouched between :meth:`make_train_task` and
+        the absorb, so it still holds exactly what the task trained from.
+        """
         if result.task_id != self.client_id:
             raise ValueError(
                 f"client {self.client_id} cannot absorb result for task "
                 f"{result.task_id!r}"
             )
-        self.model.load_state_dict(result.state)
+        state = result.state
+        if state is None:
+            state = result.resolve_state(
+                basis if basis is not None else self.model.state_dict()
+            )
+        self.model.load_state_dict(state)
         self.rng.bit_generator.state = result.rng_state
         return result.history

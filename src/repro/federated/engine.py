@@ -47,6 +47,7 @@ from typing import Any, Callable, Dict, List, Optional, TYPE_CHECKING
 
 import numpy as np
 
+from ..runtime import TransportStats, dense_nbytes, state_version
 from ..runtime.task import TrainResult, TrainTask
 from . import state_math
 from .aggregation import BufferedAggregator, BufferedUpdate, FedAvgAggregator
@@ -260,6 +261,12 @@ class BufferedRoundEngine:
         self.total_dropped = 0
         self.total_stale_discarded = 0
         self.total_dispatched = 0
+        # Per-round transport accounting (reset by run_round; folded into
+        # the simulation's cumulative totals as it goes).  On a streaming
+        # (pool) backend the real pipe bytes of each client ticket are
+        # claimed when the ticket resolves; on lazy backends dispatch
+        # charges the dense broadcast and resolution the encoded return.
+        self._round_transport = TransportStats()
 
     # ------------------------------------------------------------------
     # Introspection
@@ -278,6 +285,7 @@ class BufferedRoundEngine:
         from ..training.evaluation import evaluate
         from .simulation import RoundRecord
 
+        self._round_transport = TransportStats()
         dropped = self._dispatch(round_index)
         if not self._inflight:
             raise RuntimeError(
@@ -304,12 +312,24 @@ class BufferedRoundEngine:
                 )
                 client_accuracies.append(acc)
         loss, accuracy = self.sim.server.evaluate_global()
+        round_transport = self._round_transport
+        self._round_transport = TransportStats()
+        self.sim.transport.add(round_transport)
         if self.meter is not None:
             for update in applied:
-                self.meter.record_upload_state(update.state)
+                if self.sim.codec == "raw":
+                    self.meter.record_upload_state(update.state)
                 self.meter.record_training(
                     update.num_samples, self.sim.train_config.epochs
                 )
+            if self.sim.codec != "raw":
+                # Mirror MeteredSimulationProxy._run_round_encoded: under
+                # a codec the wire no longer carries dense states, so the
+                # meter records what actually moved this round (dispatch
+                # downloads included — see _dispatch, which skips its
+                # dense per-dispatch charge for non-raw codecs).
+                self.meter.record_download(round_transport.bytes_down)
+                self.meter.record_upload(round_transport.bytes_up)
         record = RoundRecord(
             round_index=round_index,
             global_loss=loss,
@@ -321,6 +341,8 @@ class BufferedRoundEngine:
             stale_discarded=discarded,
             sim_time=self.now,
             version=self.version,
+            bytes_down=round_transport.bytes_down,
+            bytes_up=round_transport.bytes_up,
         )
         for listener in self.round_listeners:
             listener(record, global_before, applied)
@@ -331,6 +353,7 @@ class BufferedRoundEngine:
         participants = self.sim.round_participants(round_index)
         dropped: List[int] = []
         broadcast_state: Optional[StateDict] = None
+        model_version: Optional[str] = None
         for client in participants:
             client_id = client.client_id
             if client_id in self._inflight:
@@ -344,11 +367,23 @@ class BufferedRoundEngine:
                 continue
             if broadcast_state is None:
                 broadcast_state = self.sim.server.global_state
+                if self._streams:
+                    # One hash per dispatch wave — every member of the
+                    # cohort receives this same state.
+                    model_version = state_version(broadcast_state)
             client.receive_global(broadcast_state)
             task = client.make_train_task(
-                self.sim.train_config, self.sim.model_factory
+                self.sim.train_config,
+                self.sim.model_factory,
+                codec=self.sim.codec,
+                model_version=model_version,
             )
             ticket = self.sim.backend.submit([task]) if self._streams else None
+            if ticket is None:
+                # Lazy backends ship the dense state at dispatch; pool
+                # tickets are priced from real pipe bytes at resolution.
+                self._round_transport.bytes_down += dense_nbytes(broadcast_state)
+                self._round_transport.broadcast_full += 1
             self._inflight[client_id] = _InFlight(
                 client=client,
                 task=task,
@@ -360,7 +395,9 @@ class BufferedRoundEngine:
                 round_index=round_index,
             )
             self.total_dispatched += 1
-            if self.meter is not None:
+            if self.meter is not None and self.sim.codec == "raw":
+                # Non-raw codecs meter the round's actual transport bytes
+                # at fold time (run_round) instead of this dense pricing.
                 self.meter.record_download(state_bytes(broadcast_state))
         if dropped:
             self.total_dropped += len(dropped)
@@ -388,14 +425,18 @@ class BufferedRoundEngine:
                 # client's RNG position is exactly as if it never trained.
                 # Staleness is known before resolving, so a lazy backend
                 # skips the training run entirely; a pool ticket is still
-                # drained (the work already ran) to keep the pool clean.
+                # drained (the work already ran — and its bytes crossed
+                # the wire, so they are still accounted) to keep the pool
+                # clean.
                 if entry.ticket is not None:
-                    self.sim.backend.drain(entry.ticket)
+                    late = self.sim.backend.drain(entry.ticket)[0]
+                    self._claim_ticket_stats(entry.ticket)
+                    self._round_transport.bytes_up += late.update_nbytes
                 discarded.append(client_id)
                 self.total_stale_discarded += 1
                 continue
             result = self._resolve(entry)
-            entry.client.absorb_train_result(result)
+            entry.client.absorb_train_result(result, basis=entry.basis)
             upload = entry.client.upload()
             applied.append(
                 BufferedUpdate(
@@ -411,8 +452,30 @@ class BufferedRoundEngine:
     def _resolve(self, entry: _InFlight) -> TrainResult:
         """The task's result — drained from its ticket, or run lazily."""
         if entry.ticket is not None:
-            return self.sim.backend.drain(entry.ticket)[0]
-        return self.sim.backend.run_tasks([entry.task])[0]
+            result = self.sim.backend.drain(entry.ticket)[0]
+            self._claim_ticket_stats(entry.ticket)
+        else:
+            result = self.sim.backend.run_tasks([entry.task])[0]
+        # Uplink is uniform across backends: the encoded return payload,
+        # never the pipe's framing overhead (see account_model_traffic).
+        self._round_transport.bytes_up += result.update_nbytes
+        return result
+
+    def _claim_ticket_stats(self, ticket: int) -> None:
+        """Fold one resolved pool ticket's downlink bytes into the round.
+
+        Only the download side and the broadcast wire-form counts are
+        taken from the pipe stats — uplink is charged from the result's
+        encoded payload size in :meth:`_resolve`, identically to the
+        non-pool backends.
+        """
+        pop = getattr(self.sim.backend, "pop_ticket_stats", None)
+        if pop is None:
+            return
+        stats = pop(ticket)
+        if stats is not None:
+            stats.bytes_up = 0
+            self._round_transport.add(stats)
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -429,7 +492,13 @@ class BufferedRoundEngine:
         for client_id in abandoned:
             entry = self._inflight.pop(client_id)
             if entry.ticket is not None:
-                self.sim.backend.drain(entry.ticket)
+                orphan = self.sim.backend.drain(entry.ticket)[0]
+                self._claim_ticket_stats(entry.ticket)
+                self._round_transport.bytes_up += orphan.update_nbytes
+        # Abandoned work still crossed the wire: charge it to the
+        # simulation's cumulative totals (there is no round to carry it).
+        self.sim.transport.add(self._round_transport)
+        self._round_transport = TransportStats()
         return abandoned
 
     def provenance(self) -> Dict[str, Any]:
@@ -438,6 +507,7 @@ class BufferedRoundEngine:
             "engine": "async",
             **self.config.to_dict(),
             "latency_model": type(self.latency_model).__name__,
+            "codec": self.sim.codec,
             "dispatched": self.total_dispatched,
             "dropped": self.total_dropped,
             "stale_discarded": self.total_stale_discarded,

@@ -161,12 +161,31 @@ class MeteredSimulationProxy:
         sim = self.simulation
         if getattr(sim, "async_config", None) is not None:
             return self._run_round_async(sim, round_index, record_client_metrics)
+        if getattr(sim, "codec", "raw") != "raw":
+            return self._run_round_encoded(sim, round_index, record_client_metrics)
         with self.meter.time_block():
             state = sim.server.global_state
             self.meter.record_broadcast(state, len(sim.clients))
             record = sim.run_round(round_index, record_client_metrics)
             for client in sim.clients:
                 self.meter.record_upload_state(client.model.state_dict())
+                self.meter.record_training(
+                    len(client.active_dataset), sim.train_config.epochs
+                )
+            self.meter.record_round()
+        return record
+
+    def _run_round_encoded(self, sim, round_index: int, record_client_metrics: bool):
+        """Non-raw codecs: the wire no longer carries dense states, so the
+        float32 pricing above would charge traffic that never moved.  The
+        simulation accounts the actual transport per round
+        (:class:`~repro.federated.simulation.RoundRecord` byte fields);
+        record exactly that."""
+        with self.meter.time_block():
+            record = sim.run_round(round_index, record_client_metrics)
+            self.meter.record_download(record.bytes_down)
+            self.meter.record_upload(record.bytes_up)
+            for client in sim.clients:
                 self.meter.record_training(
                     len(client.active_dataset), sim.train_config.epochs
                 )

@@ -27,7 +27,14 @@ import numpy as np
 
 from ..data.dataset import ArrayDataset, FederatedDataset
 from ..nn.module import Module
-from ..runtime import BackendLike, get_backend
+from ..runtime import (
+    BackendLike,
+    TransportStats,
+    dense_nbytes,
+    get_backend,
+    get_codec,
+    state_version,
+)
 from ..training.config import TrainConfig
 from ..training.evaluation import evaluate
 from .aggregation import Aggregator, AdaptiveWeightAggregator, FedAvgAggregator
@@ -49,6 +56,13 @@ class RoundRecord:
     updates were folded (and at what staleness), which were dropped as
     stragglers or discarded as too stale, the virtual clock at the fold
     and the global version it produced.
+
+    ``bytes_down``/``bytes_up`` are the round's model traffic on the wire
+    under the active transport: broadcast bytes dispatched to
+    participants (actual pipe bytes when the backend runs the
+    version-addressed worker pool, dense model bytes otherwise) and the
+    encoded size of every client return (uniform across backends — the
+    update codec runs inside the task).
     """
 
     round_index: int
@@ -61,6 +75,8 @@ class RoundRecord:
     stale_discarded: List[int] = field(default_factory=list)
     sim_time: float = 0.0
     version: int = 0
+    bytes_down: int = 0
+    bytes_up: int = 0
 
 
 @dataclass
@@ -81,6 +97,59 @@ class SimulationHistory:
 
     def __len__(self) -> int:
         return len(self.rounds)
+
+
+# Model-state payloads a task may carry down the wire: the stock
+# TrainTask/ChainTask broadcast bases plus the protocol task shapes
+# (Goldfish students/teachers, B3's competent/incompetent teachers).
+_TASK_STATE_FIELDS = (
+    "model_state",
+    "init_state",
+    "student_state",
+    "teacher_state",
+    "competent_state",
+    "incompetent_state",
+)
+
+
+def _task_state_nbytes(task) -> int:
+    return sum(
+        dense_nbytes(state)
+        for field_name in _TASK_STATE_FIELDS
+        if (state := getattr(task, field_name, None)) is not None
+    )
+
+
+def _result_wire_nbytes(result) -> int:
+    nbytes = getattr(result, "update_nbytes", None)
+    if nbytes is not None:
+        return nbytes
+    state = getattr(result, "state", None)
+    return dense_nbytes(state) if isinstance(state, dict) else 0
+
+
+def account_model_traffic(backend, tasks, results) -> TransportStats:
+    """One task batch's model traffic under the active transport.
+
+    Downlink is transport-dependent by design: a pool backend reports
+    the actual framed pipe bytes of the batch it just ran (broadcasts
+    shipped ref/delta/full against the worker caches), while in-process
+    and fork-per-call backends ship every task its dense model state(s),
+    so that is what is charged.  Uplink is **uniform across backends**:
+    the encoded return size where the task went through an update codec
+    (the codec runs inside the task, identically everywhere) and the
+    dense returned state otherwise — never the pipe's framing overhead,
+    so serial and pool runs report the same per-round ``bytes_up``.
+    """
+    stats = getattr(backend, "last_batch_stats", None)
+    batch_stats = TransportStats()
+    if stats is not None:
+        batch_stats.add(stats)
+    else:
+        batch_stats.bytes_down = sum(_task_state_nbytes(task) for task in tasks)
+        batch_stats.broadcast_full = len(tasks)
+    batch_stats.bytes_up = sum(_result_wire_nbytes(result) for result in results)
+    return batch_stats
 
 
 def make_aggregator(
@@ -130,6 +199,14 @@ class FederatedSimulation:
         ``"serial"`` (default), ``"thread"``, ``"process"``, or a
         :class:`~repro.runtime.Backend` instance. Results are identical
         across backends; only wall-clock time changes.
+    codec:
+        :mod:`~repro.runtime.codec` spec for client returns — ``"raw"``
+        (default, the historical dense-state return, bit for bit),
+        ``"delta"`` (lossless, bit-identical by construction), or the
+        opt-in lossy ``"topk:<frac>"`` / ``"quant:<bits>"``
+        (deterministic per seed).  Per-round byte counts land in
+        :class:`RoundRecord` and cumulative totals in
+        :meth:`transport_report`.
     """
 
     def __init__(
@@ -143,6 +220,7 @@ class FederatedSimulation:
         backend: BackendLike = None,
         async_config: Optional["AsyncRoundConfig"] = None,
         latency_model: Optional["LatencyModel"] = None,
+        codec: str = "raw",
     ) -> None:
         if fed_data.num_clients == 0:
             raise ValueError("no clients in federated dataset")
@@ -151,6 +229,9 @@ class FederatedSimulation:
         self.train_config = train_config
         self.sampler = sampler
         self.backend = get_backend(backend)
+        get_codec(codec)  # fail fast on typos, before any training
+        self.codec = codec
+        self.transport = TransportStats()  # cumulative model traffic
         # Buffered-async mode is strictly opt-in: without an AsyncRoundConfig
         # no engine is ever constructed and every round runs the historical
         # synchronous barrier loop bit for bit.
@@ -206,11 +287,21 @@ class FederatedSimulation:
         participants = self.round_participants(round_index)
         self.last_participants = participants
         self.server.broadcast(participants)
+        # One broadcast, one hash: every participant carries the same
+        # global state, so the transport's version is computed here once
+        # (pool dispatch would otherwise hash each task's copy).
+        model_version = self.broadcast_version()
         tasks = [
-            client.make_train_task(self.train_config, self.model_factory)
+            client.make_train_task(
+                self.train_config,
+                self.model_factory,
+                codec=self.codec,
+                model_version=model_version,
+            )
             for client in participants
         ]
         results = self.backend.run_tasks(tasks)
+        round_stats = self._account_round(tasks, results)
         updates = []
         client_accuracies: List[float] = []
         for client, result in zip(participants, results):
@@ -226,7 +317,33 @@ class FederatedSimulation:
             global_loss=loss,
             global_accuracy=accuracy,
             client_accuracies=client_accuracies,
+            bytes_down=round_stats.bytes_down,
+            bytes_up=round_stats.bytes_up,
         )
+
+    def broadcast_version(self, backend=None) -> Optional[str]:
+        """The current global state's content hash — when worth computing.
+
+        Only the version-addressed pool transport consumes stamped
+        versions; other backends get ``None`` and skip the hash.
+        ``backend`` defaults to the simulation's own, but protocol loops
+        that resolved their own runner pass it explicitly.
+        """
+        if not hasattr(backend if backend is not None else self.backend,
+                       "pop_ticket_stats"):
+            return None
+        return state_version(self.server.global_state)
+
+    def _account_round(self, tasks, results) -> TransportStats:
+        round_stats = account_model_traffic(self.backend, tasks, results)
+        self.transport.add(round_stats)
+        return round_stats
+
+    def transport_report(self) -> dict:
+        """Cumulative model traffic of this simulation (both directions),
+        plus the engine's totals when running async."""
+        report = {"codec": self.codec, **self.transport.as_dict()}
+        return report
 
     def run(
         self,

@@ -2,11 +2,20 @@
 
 The paper trains with SGD (learning rate 0.001, momentum 0.9); Adam and a
 step scheduler are provided for the examples and ablations.
+
+The ``step`` hot paths are allocation-free after warm-up: every
+per-parameter temporary (weight-decay-adjusted gradient, scaled update,
+Adam's bias-corrected numerator/denominator) is computed into reusable
+scratch buffers via ``out=`` ufuncs instead of fresh arrays.  The
+operation *order* is preserved exactly — only commutative operand swaps,
+never re-associations — so the update is **bitwise identical** to the
+naive expression-per-line form (verified by the parity tests against
+reference implementations).
 """
 
 from __future__ import annotations
 
-from typing import Iterable, List, Optional
+from typing import Dict, Iterable, List, Optional
 
 import numpy as np
 
@@ -23,6 +32,19 @@ class Optimizer:
         if lr <= 0:
             raise ValueError(f"learning rate must be positive, got {lr}")
         self.lr = float(lr)
+        # Per-parameter scratch buffers for the in-place step hot paths
+        # ((param index, slot) -> array).  Pure workspace — never part of
+        # the optimizer's semantic state, so snapshot/restore of momentum
+        # or FIM state is unaffected.
+        self._scratch: Dict[tuple, np.ndarray] = {}
+
+    def _buffer(self, index: int, slot: int, like: np.ndarray) -> np.ndarray:
+        """A reusable scratch array shaped/typed like ``like``."""
+        buffer = self._scratch.get((index, slot))
+        if buffer is None or buffer.shape != like.shape or buffer.dtype != like.dtype:
+            buffer = np.empty_like(like)
+            self._scratch[(index, slot)] = buffer
+        return buffer
 
     def zero_grad(self) -> None:
         for param in self.parameters:
@@ -57,7 +79,13 @@ class SGD(Optimizer):
                 continue
             grad = param.grad
             if self.weight_decay:
-                grad = grad + self.weight_decay * param.data
+                # grad + wd·data, computed as (wd·data) + grad into a
+                # scratch buffer — addition commutes bitwise, so the
+                # value is unchanged while the two temporaries are not.
+                decayed = self._buffer(index, 0, param.data)
+                np.multiply(param.data, self.weight_decay, out=decayed)
+                decayed += grad
+                grad = decayed
             if self.momentum:
                 if self._velocity[index] is None:
                     self._velocity[index] = np.zeros_like(param.data)
@@ -65,7 +93,9 @@ class SGD(Optimizer):
                 velocity *= self.momentum
                 velocity += grad
                 grad = velocity
-            param.data -= self.lr * grad
+            update = self._buffer(index, 1, param.data)
+            np.multiply(grad, self.lr, out=update)
+            param.data -= update
 
 
 class Adam(Optimizer):
@@ -99,16 +129,31 @@ class Adam(Optimizer):
                 continue
             grad = param.grad
             if self.weight_decay:
-                grad = grad + self.weight_decay * param.data
+                decayed = self._buffer(index, 0, param.data)
+                np.multiply(param.data, self.weight_decay, out=decayed)
+                decayed += grad
+                grad = decayed
             if self._m[index] is None:
                 self._m[index] = np.zeros_like(param.data)
                 self._v[index] = np.zeros_like(param.data)
             m, v = self._m[index], self._v[index]
+            scratch = self._buffer(index, 1, param.data)
             m *= self.beta1
-            m += (1 - self.beta1) * grad
+            np.multiply(grad, 1 - self.beta1, out=scratch)  # (1−β1)·grad
+            m += scratch
             v *= self.beta2
-            v += (1 - self.beta2) * grad * grad
-            param.data -= self.lr * (m / bias1) / (np.sqrt(v / bias2) + self.eps)
+            np.multiply(grad, 1 - self.beta2, out=scratch)  # ((1−β2)·grad)·grad
+            scratch *= grad
+            v += scratch
+            # lr·(m/bias1) / (sqrt(v/bias2) + eps), same evaluation order.
+            numerator = self._buffer(index, 2, param.data)
+            np.divide(m, bias1, out=numerator)
+            numerator *= self.lr
+            np.divide(v, bias2, out=scratch)
+            np.sqrt(scratch, out=scratch)
+            scratch += self.eps
+            numerator /= scratch
+            param.data -= numerator
 
 
 class AdamW(Adam):
@@ -121,9 +166,11 @@ class AdamW(Adam):
 
     def step(self) -> None:
         if self.weight_decay:
-            for param in self.parameters:
+            for index, param in enumerate(self.parameters):
                 if param.grad is not None:
-                    param.data -= self.lr * self.weight_decay * param.data
+                    decay = self._buffer(index, 3, param.data)
+                    np.multiply(param.data, self.lr * self.weight_decay, out=decay)
+                    param.data -= decay
         decay, self.weight_decay = self.weight_decay, 0.0
         try:
             super().step()
@@ -158,13 +205,25 @@ class RMSprop(Optimizer):
                 continue
             grad = param.grad
             if self.weight_decay:
-                grad = grad + self.weight_decay * param.data
+                decayed = self._buffer(index, 0, param.data)
+                np.multiply(param.data, self.weight_decay, out=decayed)
+                decayed += grad
+                grad = decayed
             if self._square_avg[index] is None:
                 self._square_avg[index] = np.zeros_like(param.data)
             avg = self._square_avg[index]
+            scratch = self._buffer(index, 1, param.data)
             avg *= self.alpha
-            avg += (1 - self.alpha) * grad * grad
-            param.data -= self.lr * grad / (np.sqrt(avg) + self.eps)
+            np.multiply(grad, 1 - self.alpha, out=scratch)  # ((1−α)·grad)·grad
+            scratch *= grad
+            avg += scratch
+            # (lr·grad) / (sqrt(avg) + eps), same evaluation order.
+            update = self._buffer(index, 2, param.data)
+            np.multiply(grad, self.lr, out=update)
+            np.sqrt(avg, out=scratch)
+            scratch += self.eps
+            update /= scratch
+            param.data -= update
 
 
 def clip_grad_norm(parameters: Iterable[Parameter], max_norm: float) -> float:

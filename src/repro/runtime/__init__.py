@@ -67,7 +67,16 @@ from .backends import (
     parse_backend_spec,
     usable_cpus,
 )
-from .pool import PoolBackend, WorkerPool
+from .codec import (
+    EncodedUpdate,
+    UpdateCodec,
+    available_codecs,
+    dense_nbytes,
+    get_codec,
+    register_codec,
+    state_version,
+)
+from .pool import PoolBackend, TransportStats, WorkerPool
 from .task import (
     ChainResult,
     ChainStage,
@@ -88,6 +97,7 @@ __all__ = [
     "ChainResult",
     "ChainStage",
     "ChainTask",
+    "EncodedUpdate",
     "PoolBackend",
     "ProcessBackend",
     "RngState",
@@ -96,10 +106,17 @@ __all__ = [
     "ThreadBackend",
     "TrainResult",
     "TrainTask",
+    "TransportStats",
+    "UpdateCodec",
     "WorkerPool",
+    "available_codecs",
     "capture_rng",
+    "dense_nbytes",
     "get_backend",
+    "get_codec",
     "parse_backend_spec",
+    "register_codec",
     "restore_rng",
+    "state_version",
     "usable_cpus",
 ]

@@ -1,0 +1,515 @@
+"""Zero-redundancy transport primitives: versions, broadcast wire forms,
+and pluggable update codecs.
+
+Federated training is communication-bound in practice: every round the
+current pipeline ships the **full global model** inside every
+:class:`~repro.runtime.task.TrainTask` and every client ships a **full
+state dict** back, even though (a) all of a round's tasks carry the *same*
+global state and (b) the aggregators only ever fold what *changed*.  This
+module provides the three pieces that remove the redundancy:
+
+Version addressing
+    :func:`state_version` computes a stable content hash of a state dict.
+    Two states with identical bytes have identical versions, no matter
+    which process computed them — so a transport can ask "does the other
+    side already hold this exact model?" without shipping it.
+
+Broadcast wire forms (downlink, always lossless)
+    :class:`BroadcastFull` / :class:`BroadcastDelta` / :class:`BroadcastRef`
+    are the three shapes a model broadcast takes on the wire, chosen
+    against the receiver's cached version by :func:`encode_broadcast`:
+    a bare ref when the receiver already holds the version (the common
+    case inside a round — every client gets the same global state), a
+    compressed XOR delta against the receiver's cached version when it
+    holds the *previous* round's model, and the full state on a cold
+    cache (first contact, or a respawned worker).  XOR deltas are
+    **lossless by construction**: decoding XORs the same bytes back, so
+    the reconstructed state is bit-identical with no float-rounding
+    caveats.  :class:`~repro.runtime.pool.WorkerPool` keeps one cache per
+    worker slot and drives this protocol transparently.
+
+Update codecs (uplink, pluggable)
+    :class:`UpdateCodec` implementations encode a client's *return* —
+    ``local − received``, the quantity aggregation folds anyway — against
+    the broadcast it trained from.  ``raw`` (dense state, the status quo)
+    and ``delta`` (XOR + zlib, bit-identical) are lossless; ``topk:<frac>``
+    and ``quant:<bits>`` are the two standard lossy FL compressors
+    (deterministic functions of their input, so runs stay reproducible
+    per seed on every backend).  Codecs are resolved by spec string via
+    :func:`get_codec`, which is what `` FederationSpec.compression`` and
+    the CLI's ``--codec`` flag feed.
+
+Encoding happens *inside* :meth:`TrainTask.run` and decoding inside
+:meth:`~repro.federated.client.Client.absorb_train_result`, so the exact
+same transform runs on every backend — serial results equal pool results
+for lossy codecs too, and the worker pool's pipes naturally carry the
+encoded payload instead of the dense state.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import zlib
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+# {name: array} model snapshot — mirrors repro.federated.state_math.StateDict
+# without importing it (runtime must stay import-light and cycle-free).
+StateDict = Dict[str, np.ndarray]
+
+_VERSION_BYTES = 16  # hex chars of the content hash shipped as a ref
+_ZLIB_LEVEL = 1  # deltas are latency-sensitive; level 1 is ~5x faster
+
+
+def dense_nbytes(state: StateDict) -> int:
+    """Bytes of the dense in-memory encoding (actual dtypes, no pickle)."""
+    return int(sum(np.asarray(value).nbytes for value in state.values()))
+
+
+def state_version(state: StateDict) -> str:
+    """Stable content hash of a state dict (its transport *version*).
+
+    Hashes keys, dtypes, shapes and raw bytes, so two states compare
+    equal exactly when a bitwise comparison would — across processes,
+    platforms and hash randomisation.
+    """
+    digest = hashlib.sha1()
+    for key in sorted(state):
+        value = np.ascontiguousarray(state[key])
+        digest.update(key.encode("utf-8"))
+        digest.update(str(value.dtype).encode("ascii"))
+        digest.update(str(value.shape).encode("ascii"))
+        digest.update(value.tobytes())
+    return digest.hexdigest()[:_VERSION_BYTES]
+
+
+def same_structure(a: StateDict, b: StateDict) -> bool:
+    """Whether two states share keys, dtypes and shapes (delta-compatible)."""
+    if set(a) != set(b):
+        return False
+    return all(
+        a[key].dtype == b[key].dtype and a[key].shape == b[key].shape for key in a
+    )
+
+
+# ----------------------------------------------------------------------
+# Lossless XOR payloads (shared by BroadcastDelta and DeltaCodec)
+# ----------------------------------------------------------------------
+def _shuffle_bytes(flat: np.ndarray, itemsize: int) -> np.ndarray:
+    """HDF5-style shuffle filter: group byte lane k of every element.
+
+    Near-identical states XOR to words whose high (sign/exponent/leading
+    mantissa) bytes are zero; transposing the byte lanes turns those into
+    long zero runs that deflate collapses.  A pure permutation — inverted
+    exactly by :func:`_unshuffle_bytes`.
+    """
+    if itemsize <= 1 or flat.size % itemsize:
+        return flat
+    return np.ascontiguousarray(flat.reshape(-1, itemsize).T).ravel()
+
+
+def _unshuffle_bytes(flat: np.ndarray, itemsize: int) -> np.ndarray:
+    if itemsize <= 1 or flat.size % itemsize:
+        return flat
+    return np.ascontiguousarray(flat.reshape(itemsize, -1).T).ravel()
+
+
+def _xor_payload(state: StateDict, base: StateDict) -> bytes:
+    """zlib-compressed, byte-shuffled XOR of ``state``'s bytes vs ``base``'s.
+
+    XOR on the raw IEEE bytes is perfectly invertible — no arithmetic,
+    no rounding — and near-identical states XOR to mostly-zero bytes,
+    which the shuffle filter lines up into runs deflate likes.  Requires
+    identical structure (checked by the callers via
+    :func:`same_structure`).
+    """
+    parts = []
+    for key in sorted(state):
+        value = np.ascontiguousarray(state[key])
+        xored = np.bitwise_xor(
+            value.view(np.uint8).ravel(),
+            np.ascontiguousarray(base[key]).view(np.uint8).ravel(),
+        )
+        parts.append(_shuffle_bytes(xored, value.dtype.itemsize).tobytes())
+    return zlib.compress(b"".join(parts), _ZLIB_LEVEL)
+
+
+def _xor_restore(payload: bytes, base: StateDict) -> StateDict:
+    """Invert :func:`_xor_payload` against the same base (bit-exact)."""
+    raw = np.frombuffer(zlib.decompress(payload), dtype=np.uint8)
+    state: StateDict = {}
+    offset = 0
+    for key in sorted(base):
+        value = np.ascontiguousarray(base[key])
+        span = value.nbytes
+        chunk = _unshuffle_bytes(raw[offset : offset + span], value.dtype.itemsize)
+        offset += span
+        restored = np.bitwise_xor(chunk, value.view(np.uint8).ravel())
+        state[key] = restored.view(value.dtype).reshape(value.shape)
+    if offset != raw.nbytes:
+        raise ValueError(
+            f"xor payload size mismatch: {raw.nbytes} bytes for a "
+            f"{offset}-byte structure"
+        )
+    return state
+
+
+# ----------------------------------------------------------------------
+# Broadcast wire forms (downlink)
+# ----------------------------------------------------------------------
+@dataclass
+class BroadcastFull:
+    """Cold-cache broadcast: the whole state travels."""
+
+    version: str
+    state: StateDict
+
+    @property
+    def nbytes(self) -> int:
+        return dense_nbytes(self.state) + _VERSION_BYTES
+
+
+@dataclass
+class BroadcastDelta:
+    """Warm-cache broadcast: XOR of the new version against the cached one."""
+
+    version: str
+    base_version: str
+    payload: bytes
+
+    @property
+    def nbytes(self) -> int:
+        return len(self.payload) + 2 * _VERSION_BYTES
+
+
+@dataclass
+class BroadcastRef:
+    """The receiver already holds this exact version — ship only its name."""
+
+    version: str
+
+    @property
+    def nbytes(self) -> int:
+        return _VERSION_BYTES
+
+
+BroadcastWire = Any  # BroadcastFull | BroadcastDelta | BroadcastRef
+
+
+def encode_broadcast(
+    state: StateDict,
+    version: str,
+    cached_version: Optional[str],
+    cached_state: Optional[StateDict],
+    delta_cache: Optional[Dict[Tuple[str, str], bytes]] = None,
+) -> BroadcastWire:
+    """Choose the smallest lossless wire form against a receiver cache.
+
+    Ref when the receiver holds exactly this version; XOR delta when it
+    holds a different version of the same structure (and the compressed
+    delta actually beats the dense state — pathological pairs fall back
+    to full); full state otherwise (cold cache, structure change).
+
+    ``delta_cache`` optionally memoizes delta payloads by
+    ``(version, base_version)`` — versions are content hashes, so a pair
+    determines the payload exactly, and a round that broadcasts one new
+    global state to W same-cache workers deflates it once instead of W
+    times.  The caller owns the mapping (and its eviction).
+    """
+    if cached_version == version:
+        return BroadcastRef(version)
+    if (
+        cached_version is not None
+        and cached_state is not None
+        and same_structure(state, cached_state)
+    ):
+        key = (version, cached_version)
+        payload = delta_cache.get(key) if delta_cache is not None else None
+        if payload is None:
+            payload = _xor_payload(state, cached_state)
+            if delta_cache is not None:
+                delta_cache[key] = payload
+        if len(payload) < dense_nbytes(state):
+            return BroadcastDelta(
+                version=version, base_version=cached_version, payload=payload
+            )
+    return BroadcastFull(version=version, state=state)
+
+
+def decode_broadcast(
+    wire: BroadcastWire,
+    cached_version: Optional[str],
+    cached_state: Optional[StateDict],
+) -> Tuple[StateDict, str]:
+    """Reconstruct the broadcast state against the local cache.
+
+    Returns ``(state, version)``; the caller installs them as its new
+    cache.  Raises :class:`ValueError` when a ref/delta names a version
+    the cache does not hold — senders track the receiver's cache, so
+    this only fires on protocol bugs, and the error is caught and
+    reported like any task failure.
+    """
+    if isinstance(wire, BroadcastFull):
+        return wire.state, wire.version
+    if isinstance(wire, BroadcastRef):
+        if cached_version != wire.version or cached_state is None:
+            raise ValueError(
+                f"broadcast ref to version {wire.version} but cache holds "
+                f"{cached_version}"
+            )
+        return cached_state, wire.version
+    if isinstance(wire, BroadcastDelta):
+        if cached_version != wire.base_version or cached_state is None:
+            raise ValueError(
+                f"broadcast delta against version {wire.base_version} but "
+                f"cache holds {cached_version}"
+            )
+        return _xor_restore(wire.payload, cached_state), wire.version
+    raise TypeError(f"not a broadcast wire form: {type(wire).__name__}")
+
+
+# ----------------------------------------------------------------------
+# Update codecs (uplink)
+# ----------------------------------------------------------------------
+@dataclass
+class EncodedUpdate:
+    """One encoded client return: self-describing payload + wire size.
+
+    ``codec`` is the registry spec that produced the payload, so the
+    receiver needs no out-of-band agreement to decode; ``nbytes`` is the
+    payload's wire size (actual array bytes for dense forms, compressed
+    payload bytes otherwise), which is what the transport metering sums.
+    """
+
+    codec: str
+    payload: Any
+    nbytes: int
+
+
+class UpdateCodec:
+    """Interface: encode a trained local state against its broadcast basis.
+
+    ``lossless`` codecs must satisfy ``decode(encode(s, b), b) == s``
+    **bitwise** — they exist purely to shrink the wire.  Lossy codecs may
+    transform the state but must be deterministic functions of their
+    inputs, so results remain reproducible per seed on every backend.
+    """
+
+    spec: str = ""
+    lossless: bool = False
+
+    def encode(self, state: StateDict, basis: StateDict) -> EncodedUpdate:
+        raise NotImplementedError
+
+    def decode(self, encoded: EncodedUpdate, basis: StateDict) -> StateDict:
+        raise NotImplementedError
+
+    def roundtrip(self, state: StateDict, basis: StateDict) -> Tuple[StateDict, int]:
+        """Encode + decode in one step: ``(wire-equivalent state, nbytes)``."""
+        encoded = self.encode(state, basis)
+        return self.decode(encoded, basis), encoded.nbytes
+
+    def __repr__(self) -> str:
+        kind = "lossless" if self.lossless else "lossy"
+        return f"{type(self).__name__}({self.spec!r}, {kind})"
+
+
+class RawCodec(UpdateCodec):
+    """The status quo: the dense local state travels unmodified."""
+
+    spec = "raw"
+    lossless = True
+
+    def encode(self, state: StateDict, basis: StateDict) -> EncodedUpdate:
+        return EncodedUpdate(codec=self.spec, payload=state, nbytes=dense_nbytes(state))
+
+    def decode(self, encoded: EncodedUpdate, basis: StateDict) -> StateDict:
+        return encoded.payload
+
+
+class DeltaCodec(UpdateCodec):
+    """Lossless delta vs the broadcast basis: XOR bytes + zlib.
+
+    The receiver holds the basis (it broadcast it), so only what changed
+    needs to travel — and because the delta is a byte-level XOR rather
+    than a float subtraction, reconstruction is bit-exact by construction
+    (``a ⊕ b ⊕ b = a``; no Sterbenz conditions, no exception lists).
+    Falls back to the dense state when the structure changed or the
+    compressed delta would not actually be smaller.
+    """
+
+    spec = "delta"
+    lossless = True
+
+    def encode(self, state: StateDict, basis: StateDict) -> EncodedUpdate:
+        if basis is not None and same_structure(state, basis):
+            payload = _xor_payload(state, basis)
+            if len(payload) < dense_nbytes(state):
+                return EncodedUpdate(
+                    codec=self.spec, payload=("xor", payload), nbytes=len(payload)
+                )
+        return EncodedUpdate(
+            codec=self.spec, payload=("dense", state), nbytes=dense_nbytes(state)
+        )
+
+    def decode(self, encoded: EncodedUpdate, basis: StateDict) -> StateDict:
+        kind, payload = encoded.payload
+        if kind == "dense":
+            return payload
+        return _xor_restore(payload, basis)
+
+
+def _split_lossy_keys(state: StateDict) -> Tuple[List[str], List[str]]:
+    """Float arrays take the lossy path; integer buffers (step counters,
+    BN sample counts) must survive exactly and ship dense."""
+    lossy = [k for k, v in state.items() if np.issubdtype(v.dtype, np.floating)]
+    exact = [k for k in state if k not in lossy]
+    return lossy, exact
+
+
+class _LossyDeltaCodec(UpdateCodec):
+    """Shared shape of the lossy codecs: compress ``local − basis``.
+
+    Float entries take the configured delta compressor
+    (:mod:`repro.federated.compression`); non-float entries (step
+    counters, BN sample counts) must survive exactly and ship dense.
+    Reconstruction is ``basis + decompressed_delta`` in the basis dtype.
+    Deterministic: compression and values are pure functions of the
+    update, so runs reproduce per seed on every backend.
+    """
+
+    lossless = False
+    _compressor = None  # set by subclasses
+
+    def _narrow(self, compressed) -> None:
+        """Optional post-compress hook to shrink the wire payload."""
+
+    def encode(self, state: StateDict, basis: StateDict) -> EncodedUpdate:
+        lossy, exact = _split_lossy_keys(state)
+        delta = {key: state[key] - basis[key] for key in lossy}
+        compressed = self._compressor.compress(delta) if delta else None
+        if compressed is not None:
+            self._narrow(compressed)
+        exact_part = {key: state[key] for key in exact}
+        nbytes = (compressed.payload_bytes if compressed else 0) + dense_nbytes(
+            exact_part
+        )
+        return EncodedUpdate(
+            codec=self.spec, payload=(compressed, exact_part), nbytes=nbytes
+        )
+
+    def decode(self, encoded: EncodedUpdate, basis: StateDict) -> StateDict:
+        compressed, exact_part = encoded.payload
+        state = dict(exact_part)
+        if compressed is not None:
+            for key, delta in self._compressor.decompress(compressed).items():
+                base = basis[key]
+                state[key] = base + np.asarray(delta, dtype=base.dtype)
+        return state
+
+
+class TopKCodec(_LossyDeltaCodec):
+    """Top-k sparsified delta: ``topk:<fraction>``.
+
+    Keeps the ``fraction`` largest-magnitude entries of ``local − basis``
+    per tensor (at least one, so biases survive) and reconstructs
+    ``basis + sparse_delta``.
+    """
+
+    def __init__(self, fraction: float) -> None:
+        from ..federated.compression import TopKCompressor
+
+        self._compressor = TopKCompressor(fraction)
+        self.fraction = fraction
+        self.spec = f"topk:{fraction:g}"
+
+
+class QuantCodec(_LossyDeltaCodec):
+    """Uniformly quantized delta: ``quant:<bits>``.
+
+    QSGD-style uniform b-bit quantization of ``local − basis`` with
+    per-tensor codebooks; reconstruction is ``basis + dequantized``.
+    """
+
+    def __init__(self, num_bits: int) -> None:
+        from ..federated.compression import QuantizationCompressor
+
+        self._compressor = QuantizationCompressor(num_bits)
+        self.num_bits = num_bits
+        self.spec = f"quant:{num_bits}"
+
+    def _narrow(self, compressed) -> None:
+        # Ship the codes at their actual width: for <=8 bits the pipe
+        # should carry 1 byte per entry, not uint16's 2 (metering already
+        # prices the logical bit width via payload_bytes; uint8 codes
+        # dequantize identically — values, not widths).
+        if self.num_bits <= 8:
+            for entry in compressed.payload.values():
+                entry["codes"] = entry["codes"].astype(np.uint8)
+
+
+# ----------------------------------------------------------------------
+# Registry
+# ----------------------------------------------------------------------
+_FACTORIES: Dict[str, Callable[[Optional[str]], UpdateCodec]] = {}
+_INSTANCES: Dict[str, UpdateCodec] = {}
+
+
+def register_codec(name: str, factory: Callable[[Optional[str]], UpdateCodec]) -> None:
+    """Register a codec family: ``factory(arg_or_None) -> UpdateCodec``."""
+    if name in _FACTORIES:
+        raise ValueError(f"codec {name!r} already registered")
+    _FACTORIES[name] = factory
+
+
+def _no_arg(name: str, codec_cls) -> Callable[[Optional[str]], UpdateCodec]:
+    def build(arg: Optional[str]) -> UpdateCodec:
+        if arg is not None:
+            raise ValueError(f"codec {name!r} takes no argument, got {arg!r}")
+        return codec_cls()
+
+    return build
+
+
+def _topk_factory(arg: Optional[str]) -> UpdateCodec:
+    if arg is None:
+        raise ValueError("topk needs a fraction, e.g. 'topk:0.05'")
+    return TopKCodec(float(arg))
+
+
+def _quant_factory(arg: Optional[str]) -> UpdateCodec:
+    if arg is None:
+        raise ValueError("quant needs a bit width, e.g. 'quant:8'")
+    return QuantCodec(int(arg))
+
+
+register_codec("raw", _no_arg("raw", RawCodec))
+register_codec("delta", _no_arg("delta", DeltaCodec))
+register_codec("topk", _topk_factory)
+register_codec("quant", _quant_factory)
+
+
+def available_codecs() -> List[str]:
+    """Registered codec family names."""
+    return sorted(_FACTORIES)
+
+
+def get_codec(spec: str) -> UpdateCodec:
+    """Resolve a codec spec string (``raw``, ``delta``, ``topk:0.05``,
+    ``quant:8``) to a shared codec instance; raises on typos eagerly."""
+    if not isinstance(spec, str) or not spec:
+        raise ValueError(f"codec spec must be a non-empty string, got {spec!r}")
+    if spec in _INSTANCES:
+        return _INSTANCES[spec]
+    name, _, arg = spec.partition(":")
+    try:
+        factory = _FACTORIES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown codec {name!r}; available: {available_codecs()}"
+        ) from None
+    codec = factory(arg if arg else None)
+    _INSTANCES[spec] = codec
+    return codec

@@ -45,57 +45,210 @@ batch with :class:`~repro.runtime.backends.BackendError` after
 exceptions raised *inside* a task are caught in the worker and reported
 back, exactly like :class:`ProcessBackend`.
 
+Zero-redundancy transport
+-------------------------
+The pipes speak a version-addressed protocol (:mod:`repro.runtime.codec`)
+instead of naively pickling whole tasks:
+
+* payloads travel as ``pickle.HIGHEST_PROTOCOL`` frames with protocol-5
+  **out-of-band buffers**, so large ndarray payloads (model states,
+  unshared datasets, results) are written straight from their own memory
+  instead of being copied into one big pickle byte-string first;
+* each worker slot carries a **broadcast cache**: the last model state it
+  received, addressed by a stable content hash.  A task whose
+  ``model_state``/``init_state`` matches the slot's cached version ships
+  a bare version *ref*; a different version of the same structure ships
+  a compressed lossless XOR *delta* against the cache; only a cold cache
+  (first contact — or a respawned worker, whose fresh slot resets the
+  mirror) ships the *full* state.  Inside a federated round every client
+  carries the same global model, so each worker receives it once and the
+  rest of the round's tasks are refs.
+
+Bytes moved, and which wire form each broadcast took, are accounted per
+batch (:meth:`WorkerPool.pop_ticket_stats`) and cumulatively
+(:attr:`WorkerPool.transport_stats`) — the numbers behind the per-round
+byte counts in :class:`~repro.federated.simulation.RoundRecord`.
+
 Determinism: tasks carry their model state and exact RNG position (see
 :mod:`repro.runtime.task`), so results are bit-identical to the serial
 backend no matter which worker runs what, in what order, or after how
-many respawns.
+many respawns — and the broadcast cache preserves that, because its
+delta encoding is bytewise-lossless by construction.
 """
 
 from __future__ import annotations
 
+import copy
 import multiprocessing
 import pickle
+import struct
 import weakref
 from collections import deque
+from dataclasses import dataclass
 from multiprocessing import connection
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from .backends import Backend, BackendError, SerialBackend, usable_cpus
+from .codec import (
+    BroadcastDelta,
+    BroadcastFull,
+    BroadcastRef,
+    decode_broadcast,
+    encode_broadcast,
+    state_version,
+)
 
 # (ticket, index_in_batch, task) — one unit of dispatched work.  The task
 # slot holds the live object parent-side; it is pickled at dispatch time.
 _WorkItem = Tuple[int, int, Any]
 
+# Task attributes the broadcast cache can lift out of the pickled task
+# (TrainTask's broadcast basis, ChainTask's chain start), in probe order.
+_BROADCAST_FIELDS = ("model_state", "init_state")
+
+
+def _broadcast_field(task: Any) -> Optional[str]:
+    """The task attribute holding its model-state broadcast, if any."""
+    for field in _BROADCAST_FIELDS:
+        if getattr(task, field, None) is not None:
+            return field
+    return None
+
+
+# ----------------------------------------------------------------------
+# Pipe framing: HIGHEST_PROTOCOL pickles with out-of-band ndarray buffers
+# ----------------------------------------------------------------------
+def _send_payload(conn, obj: Any) -> int:
+    """Send one framed payload; returns the bytes written to the pipe.
+
+    The frame is ``[buffer count][pickle head][buffer]*`` — protocol-5
+    out-of-band pickling hands every contiguous ndarray's memory over as
+    its own part, so the head stays small and array bytes are written
+    exactly once instead of being copied into the pickle stream first.
+    Objects whose buffers cannot travel out of band fall back to one
+    in-band pickle, transparently.
+    """
+    try:
+        buffers: List[pickle.PickleBuffer] = []
+        head = pickle.dumps(
+            obj, protocol=pickle.HIGHEST_PROTOCOL, buffer_callback=buffers.append
+        )
+        views = [buf.raw() for buf in buffers]
+    except Exception:
+        head = pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
+        views = []
+    header = struct.pack("<I", len(views))
+    conn.send_bytes(header)
+    conn.send_bytes(head)
+    total = len(header) + len(head)
+    for view in views:
+        conn.send_bytes(view)
+        total += view.nbytes
+    return total
+
+
+def _recv_payload(conn) -> Tuple[Any, int]:
+    """Receive one framed payload; returns ``(object, bytes read)``.
+
+    Arrays reconstructed from out-of-band buffers are zero-copy views
+    over the received ``bytes`` and therefore **read-only** — that is the
+    point (no materialisation copy).  Consumers of pool results must copy
+    before mutating in place, which every in-repo consumer already does
+    (``load_state_dict`` copies; ``state_math`` builds fresh arrays).
+    """
+    header = conn.recv_bytes()
+    (count,) = struct.unpack("<I", header)
+    head = conn.recv_bytes()
+    buffers = [conn.recv_bytes() for _ in range(count)]
+    obj = pickle.loads(head, buffers=buffers)
+    total = len(header) + len(head) + sum(len(part) for part in buffers)
+    return obj, total
+
+
+@dataclass
+class TransportStats:
+    """Bytes and broadcast wire forms for one batch (or a whole pool)."""
+
+    bytes_down: int = 0  # parent → workers, actual framed pipe bytes
+    bytes_up: int = 0  # workers → parent, actual framed pipe bytes
+    broadcast_full: int = 0  # cold-cache full-state broadcasts
+    broadcast_delta: int = 0  # warm-cache lossless XOR deltas
+    broadcast_ref: int = 0  # version refs (receiver already held it)
+    inline_tasks: int = 0  # unpicklable tasks run inline (no wire)
+
+    @property
+    def bytes_total(self) -> int:
+        return self.bytes_down + self.bytes_up
+
+    def add(self, other: "TransportStats") -> None:
+        self.bytes_down += other.bytes_down
+        self.bytes_up += other.bytes_up
+        self.broadcast_full += other.broadcast_full
+        self.broadcast_delta += other.broadcast_delta
+        self.broadcast_ref += other.broadcast_ref
+        self.inline_tasks += other.inline_tasks
+
+    def as_dict(self) -> Dict[str, int]:
+        return {
+            "bytes_down": self.bytes_down,
+            "bytes_up": self.bytes_up,
+            "bytes_total": self.bytes_total,
+            "broadcast_full": self.broadcast_full,
+            "broadcast_delta": self.broadcast_delta,
+            "broadcast_ref": self.broadcast_ref,
+            "inline_tasks": self.inline_tasks,
+        }
+
 
 def _pool_worker(task_reader, result_writer) -> None:
     """Worker body: serve tasks from a pipe until told to stop.
 
-    A ``None`` item is the shutdown sentinel.  Items arrive as
-    ``(ticket, index, pickled_task)`` — the task is unpickled *inside*
-    the try block, so a task that cannot be reconstructed in the worker
-    (say, a class the worker's fork-time snapshot predates) is reported
-    as that task's failure rather than crashing the worker.  Likewise
-    ordinary exceptions raised while running are reported back, so one
-    bad task cannot take the pool down.
+    A ``None`` payload is the shutdown sentinel.  Items arrive as
+    ``(ticket, index, pickled_task, broadcast)`` — the broadcast channel
+    is applied *first* (it keeps this worker's model cache in lockstep
+    with the parent's mirror even when the task itself turns out to be
+    bad), then the task is unpickled and run inside the try block, so a
+    task that cannot be reconstructed or that raises is reported as that
+    task's failure rather than crashing the worker.  Every reply echoes
+    the worker's current cache version, letting the parent detect and
+    repair any cache divergence by falling back to full-state sends.
     """
+    cache_version: Optional[str] = None
+    cache_state = None
     while True:
         try:
-            item = task_reader.recv()
+            item, _ = _recv_payload(task_reader)
         except (EOFError, OSError):
             return  # parent is gone
         if item is None:
             return
-        ticket, index, task_bytes = item
+        ticket, index, task_bytes, broadcast = item
         try:
+            state = None
+            if broadcast is not None:
+                field, wire = broadcast
+                state, version = decode_broadcast(wire, cache_version, cache_state)
+                cache_version, cache_state = version, state
             task = pickle.loads(task_bytes)
-            result_writer.send((ticket, index, None, task.run()))
+            if broadcast is not None:
+                setattr(task, field, state)
+            _send_payload(
+                result_writer, (ticket, index, None, task.run(), cache_version)
+            )
         except (KeyboardInterrupt, SystemExit):
             raise
         except Exception as exc:
             import traceback
 
-            result_writer.send(
-                (ticket, index, f"{type(exc).__name__}: {exc}\n{traceback.format_exc()}", None)
+            _send_payload(
+                result_writer,
+                (
+                    ticket,
+                    index,
+                    f"{type(exc).__name__}: {exc}\n{traceback.format_exc()}",
+                    None,
+                    cache_version,
+                ),
             )
 
 
@@ -113,9 +266,23 @@ def _pool_context():
 
 
 class _WorkerSlot:
-    """One live worker: its process, pipes, and current assignment."""
+    """One live worker: process, pipes, assignment, and broadcast cache.
 
-    __slots__ = ("process", "task_writer", "result_reader", "inflight")
+    ``cache_version``/``cache_state`` mirror the worker's model cache
+    parent-side (what the last Full/Delta send installed), which is what
+    lets dispatch decide ref vs delta vs full without a round trip.  A
+    respawned worker gets a fresh slot, so its mirror starts cold and the
+    first broadcast after a death takes the full-state path.
+    """
+
+    __slots__ = (
+        "process",
+        "task_writer",
+        "result_reader",
+        "inflight",
+        "cache_version",
+        "cache_state",
+    )
 
     def __init__(self, context) -> None:
         task_reader, task_writer = context.Pipe(duplex=False)
@@ -131,10 +298,12 @@ class _WorkerSlot:
         self.task_writer = task_writer
         self.result_reader = result_reader
         self.inflight: Optional[_WorkItem] = None
+        self.cache_version: Optional[str] = None
+        self.cache_state = None
 
     def shutdown(self, timeout: float = 2.0) -> None:
         try:
-            self.task_writer.send(None)
+            _send_payload(self.task_writer, None)
         except (BrokenPipeError, OSError):
             pass
         self.process.join(timeout=timeout)
@@ -156,12 +325,13 @@ def _shutdown_slots(slots: List[_WorkerSlot]) -> None:
 class _Batch:
     """Bookkeeping for one submitted batch of tasks."""
 
-    __slots__ = ("results", "remaining", "errors")
+    __slots__ = ("results", "remaining", "errors", "stats")
 
     def __init__(self, size: int) -> None:
         self.results: List[Any] = [None] * size
         self.remaining = size
         self.errors: List[str] = []
+        self.stats = TransportStats()
 
 
 class WorkerPool:
@@ -191,6 +361,17 @@ class WorkerPool:
         self._deaths: Dict[Tuple[int, int], int] = {}  # (ticket, index) -> respawns
         self._next_ticket = 0
         self._finalizer: Optional[weakref.finalize] = None
+        self._totals = TransportStats()  # cumulative across the pool's life
+        self._ticket_stats: Dict[int, TransportStats] = {}
+        # (version, base_version) -> deflated XOR payload: one new global
+        # state broadcast to W same-cache workers deflates once, not W
+        # times.  Insertion-ordered dict pruned to the freshest few pairs
+        # (one federation round plus interleaved deletion-chain versions).
+        self._delta_memo: Dict[Tuple[str, str], bytes] = {}
+
+    def _prune_delta_memo(self, keep: int = 8) -> None:
+        while len(self._delta_memo) > keep:
+            self._delta_memo.pop(next(iter(self._delta_memo)))
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -269,7 +450,16 @@ class WorkerPool:
         self._ensure_started()
         ticket = self._next_ticket
         self._next_ticket += 1
-        self._batches[ticket] = _Batch(len(tasks))
+        batch = _Batch(len(tasks))
+        self._batches[ticket] = batch
+        self._ticket_stats[ticket] = batch.stats
+        if len(self._ticket_stats) > 1024:
+            # Stats nobody popped for long-drained batches: shed oldest.
+            for stale in sorted(self._ticket_stats):
+                if stale not in self._batches:
+                    del self._ticket_stats[stale]
+                if len(self._ticket_stats) <= 512:
+                    break
         self._pending.extend((ticket, index, task) for index, task in enumerate(tasks))
         self._dispatch_idle()
         return ticket
@@ -317,6 +507,22 @@ class WorkerPool:
         """Tickets submitted but not yet drained, oldest first."""
         return sorted(self._batches)
 
+    # ------------------------------------------------------------------
+    # Transport accounting
+    # ------------------------------------------------------------------
+    @property
+    def transport_stats(self) -> TransportStats:
+        """Cumulative bytes/wire-form counters over the pool's lifetime."""
+        total = TransportStats()
+        total.add(self._totals)
+        return total
+
+    def pop_ticket_stats(self, ticket: int) -> Optional[TransportStats]:
+        """Claim one batch's transport stats (bytes both ways, broadcast
+        wire forms).  Complete once the batch is drained; ``None`` if the
+        ticket is unknown or its stats were already claimed."""
+        return self._ticket_stats.pop(ticket, None)
+
     def run_tasks(self, tasks: Sequence[Any]) -> List[Any]:
         """The stock backend interface: submit + drain one batch."""
         return self.drain(self.submit(tasks))
@@ -333,15 +539,45 @@ class WorkerPool:
             if not slot.process.is_alive():
                 self._slots[slot_index] = slot = self._respawn(slot)
             item = self._pending.popleft()
+            ticket, index, task = item
+            # Version-addressed broadcast: lift the model state out of the
+            # pickled task and ship it ref / delta / full against this
+            # slot's cache.  Re-derived per dispatch, so a requeued task
+            # landing on a fresh (respawned, cold-cache) slot takes the
+            # full-state path automatically.
+            field = _broadcast_field(task)
+            wire = None
+            to_pickle = task
+            if field is not None:
+                state = getattr(task, field)
+                # Callers that broadcast one state to a whole cohort stamp
+                # its hash once (TrainTask.model_version); everything else
+                # is hashed here.
+                version = getattr(task, "model_version", None) or state_version(state)
+                wire = encode_broadcast(
+                    state,
+                    version,
+                    slot.cache_version,
+                    slot.cache_state,
+                    delta_cache=self._delta_memo,
+                )
+                self._prune_delta_memo()
+                to_pickle = copy.copy(task)
+                setattr(to_pickle, field, None)
+                if getattr(to_pickle, "model_version", None) is not None:
+                    # The version travels inside the broadcast wire form;
+                    # the worker never reads the task's copy.
+                    to_pickle.model_version = None
             try:
-                task_bytes = pickle.dumps(item[2])
+                task_bytes = pickle.dumps(to_pickle, protocol=pickle.HIGHEST_PROTOCOL)
             except Exception:
                 # Unpicklable task (e.g. a closure factory): run it
                 # inline rather than failing the batch.
                 self._complete_inline(item)
                 continue
+            payload = (ticket, index, task_bytes, (field, wire) if wire else None)
             try:
-                slot.task_writer.send((item[0], item[1], task_bytes))
+                sent = _send_payload(slot.task_writer, payload)
             except (BrokenPipeError, OSError):
                 # Worker died between the liveness check and the send.
                 # The task never started, so this death cannot be its
@@ -350,6 +586,25 @@ class WorkerPool:
                 self._requeue(item, charge_retry=False)
                 continue
             slot.inflight = item
+            if wire is not None:
+                # The pipe is FIFO and the worker applies broadcasts
+                # before anything that can fail, so the mirror advances
+                # at send time.
+                slot.cache_version = wire.version
+                slot.cache_state = state
+            self._account_dispatch(ticket, sent, wire)
+
+    def _account_dispatch(self, ticket: int, sent: int, wire: Any) -> None:
+        batch = self._batches.get(ticket)
+        stats_targets = [self._totals] + ([batch.stats] if batch else [])
+        for stats in stats_targets:
+            stats.bytes_down += sent
+            if isinstance(wire, BroadcastFull):
+                stats.broadcast_full += 1
+            elif isinstance(wire, BroadcastDelta):
+                stats.broadcast_delta += 1
+            elif isinstance(wire, BroadcastRef):
+                stats.broadcast_ref += 1
 
     def _pump(self, timeout: float) -> None:
         """Collect finished results; detect and repair dead workers."""
@@ -367,12 +622,25 @@ class WorkerPool:
         for reader in ready:
             slot = by_reader[reader]
             try:
-                ticket, index, error, payload = reader.recv()
+                (ticket, index, error, payload, echoed), nbytes = _recv_payload(reader)
             except (EOFError, OSError):
                 self._handle_death(slot)
                 continue
             slot.inflight = None
-            self._record(ticket, index, error, payload)
+            self._repair_cache(slot, echoed)
+            self._record(ticket, index, error, payload, nbytes)
+
+    def _repair_cache(self, slot: _WorkerSlot, echoed: Optional[str]) -> None:
+        """Reset a slot's cache mirror if the worker reports divergence.
+
+        Every reply echoes the worker's cache version.  The pipe is FIFO
+        and each slot runs one task at a time, so a mismatch means the
+        worker failed to apply a broadcast; dropping the mirror makes the
+        next dispatch ship the full state, restoring sync.
+        """
+        if echoed != slot.cache_version:
+            slot.cache_version = None
+            slot.cache_state = None
 
     def _reap_dead(self) -> None:
         for slot in list(self._slots):
@@ -380,12 +648,14 @@ class WorkerPool:
                 # Drain any result the worker managed to send before dying.
                 if slot.result_reader.poll(0):
                     try:
-                        ticket, index, error, payload = slot.result_reader.recv()
+                        (ticket, index, error, payload, echoed), nbytes = _recv_payload(
+                            slot.result_reader
+                        )
                     except (EOFError, OSError):
                         pass
                     else:
                         slot.inflight = None
-                        self._record(ticket, index, error, payload)
+                        self._record(ticket, index, error, payload, nbytes)
                         continue
                 self._handle_death(slot)
 
@@ -423,15 +693,28 @@ class WorkerPool:
 
     def _complete_inline(self, item: _WorkItem) -> None:
         ticket, index, task = item
+        batch = self._batches.get(ticket)
+        if batch is not None:
+            batch.stats.inline_tasks += 1
+        self._totals.inline_tasks += 1
         try:
             self._record(ticket, index, None, task.run())
         except Exception as exc:
             self._record(ticket, index, f"{type(exc).__name__}: {exc}", None)
 
-    def _record(self, ticket: int, index: int, error: Optional[str], payload: Any) -> None:
+    def _record(
+        self,
+        ticket: int,
+        index: int,
+        error: Optional[str],
+        payload: Any,
+        nbytes: int = 0,
+    ) -> None:
+        self._totals.bytes_up += nbytes
         batch = self._batches.get(ticket)
         if batch is None:  # late result for an errored-out, drained batch
             return
+        batch.stats.bytes_up += nbytes
         self._deaths.pop((ticket, index), None)
         batch.remaining -= 1
         if error is not None:
@@ -459,13 +742,20 @@ class PoolBackend(Backend):
     def __init__(self, max_workers: Optional[int] = None, max_task_retries: int = 1) -> None:
         self.pool = WorkerPool(max_workers=max_workers, max_task_retries=max_task_retries)
         self.max_workers = max_workers
+        # Transport stats of the most recent run_tasks batch (None when it
+        # was served inline by the serial shortcut).
+        self.last_batch_stats: Optional[TransportStats] = None
 
     def run_tasks(self, tasks: Sequence[Any]) -> List[Any]:
         tasks = list(tasks)
         if len(tasks) <= 1 and not self.pool.running:
             # Not worth warming the pool for a single task.
+            self.last_batch_stats = None
             return SerialBackend().run_tasks(tasks)
-        return self.pool.run_tasks(tasks)
+        ticket = self.pool.submit(tasks)
+        results = self.pool.drain(ticket)
+        self.last_batch_stats = self.pool.pop_ticket_stats(ticket)
+        return results
 
     def submit(self, tasks: Sequence[Any]) -> int:
         return self.pool.submit(tasks)
@@ -475,6 +765,13 @@ class PoolBackend(Backend):
 
     def poll(self, ticket: int) -> bool:
         return self.pool.poll(ticket)
+
+    def pop_ticket_stats(self, ticket: int) -> Optional[TransportStats]:
+        return self.pool.pop_ticket_stats(ticket)
+
+    @property
+    def transport_stats(self) -> TransportStats:
+        return self.pool.transport_stats
 
     @property
     def outstanding_tickets(self) -> List[int]:

@@ -41,6 +41,7 @@ from ..data.dataset import ArrayDataset
 from ..nn.module import Module
 from ..training.config import TrainConfig, TrainHistory
 from ..training.trainer import train
+from .codec import EncodedUpdate, dense_nbytes, get_codec
 
 # {name: array} model snapshot — same shape as Module.state_dict().
 StateDict = Dict[str, np.ndarray]
@@ -62,12 +63,38 @@ def restore_rng(state: RngState) -> np.random.Generator:
 
 @dataclass
 class TrainResult:
-    """Everything a :class:`TrainTask` advanced."""
+    """Everything a :class:`TrainTask` advanced.
+
+    Under the default ``raw`` codec ``state`` is the dense trained state
+    dict, exactly as it always was.  Under any other
+    :mod:`~repro.runtime.codec` codec the state travels *encoded* against
+    the broadcast basis instead: ``state`` is ``None``, ``update`` holds
+    the :class:`~repro.runtime.codec.EncodedUpdate`, and the receiver
+    calls :meth:`resolve_state` with the basis it broadcast.
+    ``update_nbytes`` is the wire size of the return's model payload in
+    either case — what the transport metering sums into per-round
+    byte counts.
+    """
 
     task_id: Any
-    state: StateDict
+    state: Optional[StateDict]
     history: TrainHistory
     rng_state: RngState
+    update: Optional[EncodedUpdate] = None
+    update_nbytes: int = 0
+
+    def resolve_state(self, basis: Optional[StateDict] = None) -> StateDict:
+        """The trained state dict, decoding ``update`` when encoded."""
+        if self.state is not None:
+            return self.state
+        if self.update is None:
+            raise ValueError("result carries neither a state nor an update")
+        if basis is None:
+            raise ValueError(
+                f"result for task {self.task_id!r} is {self.update.codec!r}-"
+                "encoded; decoding needs the broadcast basis state"
+            )
+        return get_codec(self.update.codec).decode(self.update, basis)
 
 
 @dataclass
@@ -86,6 +113,22 @@ class TrainTask:
     a handle + indices, independent of the data size.  Training on
     ``dataset.subset(indices)`` is array-identical to training on a
     pre-materialised subset, so results are unchanged.
+
+    ``codec`` names the :mod:`~repro.runtime.codec` update codec the
+    result's trained state is encoded with against ``model_state`` (the
+    broadcast basis).  ``"raw"`` — the default everywhere — returns the
+    dense state exactly as before; the encode runs *inside* the task so
+    every backend (serial included) applies the identical transform and
+    the worker pool's pipes carry the encoded payload.
+
+    ``model_version`` optionally carries ``model_state``'s
+    :func:`~repro.runtime.codec.state_version` content hash, precomputed
+    by the caller.  A federated round broadcasts *one* global state to
+    every participant, so the caller can hash it once instead of the
+    pool hashing every task's (identical) copy at dispatch; stamping a
+    hash that does not match ``model_state``'s content breaks the
+    broadcast cache, so only ever stamp the hash of the exact state the
+    task carries.  ``None`` means "let the transport compute it".
     """
 
     task_id: Any
@@ -95,6 +138,8 @@ class TrainTask:
     rng_state: RngState
     model_state: Optional[StateDict] = None
     indices: Optional[np.ndarray] = None
+    codec: str = "raw"
+    model_version: Optional[str] = None
 
     def run(self) -> TrainResult:
         model = self.model_factory()
@@ -105,11 +150,20 @@ class TrainTask:
             self.dataset if self.indices is None else self.dataset.subset(self.indices)
         )
         history = train(model, dataset, self.config, rng)
+        state: Optional[StateDict] = model.state_dict()
+        update = None
+        update_nbytes = dense_nbytes(state)
+        if self.codec != "raw" and self.model_state is not None:
+            update = get_codec(self.codec).encode(state, self.model_state)
+            update_nbytes = update.nbytes
+            state = None
         return TrainResult(
             task_id=self.task_id,
-            state=model.state_dict(),
+            state=state,
             history=history,
             rng_state=capture_rng(rng),
+            update=update,
+            update_nbytes=update_nbytes,
         )
 
 

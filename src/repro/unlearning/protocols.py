@@ -27,7 +27,7 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional
 
 from ..data.dataset import ArrayDataset
-from ..federated.simulation import FederatedSimulation
+from ..federated.simulation import FederatedSimulation, account_model_traffic
 from ..nn.module import Module
 from ..runtime import BackendLike, get_backend
 from ..runtime.task import RngState, StateDict, capture_rng, restore_rng
@@ -273,7 +273,9 @@ def federated_goldfish(
             )
             for client in sim.clients
         ]
-        local_epochs += _absorb_round(sim, runner.run_tasks(tasks))
+        results = runner.run_tasks(tasks)
+        sim.transport.add(account_model_traffic(runner, tasks, results))
+        local_epochs += _absorb_round(sim, results)
         sim.server.aggregate([client.upload() for client in sim.clients])
         accuracies.append(sim.server.evaluate_global()[1])
         if round_callback is not None:
@@ -299,12 +301,22 @@ def federated_retrain(
     for _ in range(num_rounds):
         sim.server.broadcast(sim.clients)
         # Client.active_dataset is the retain set while a deletion is
-        # pending, so the stock client task trains on exactly D_r^c.
+        # pending, so the stock client task trains on exactly D_r^c —
+        # under the simulation's update codec, so retraining traffic is
+        # compressed (and accounted) exactly like normal rounds.
+        model_version = sim.broadcast_version(runner)
         tasks = [
-            client.make_train_task(train_config, sim.model_factory)
+            client.make_train_task(
+                train_config,
+                sim.model_factory,
+                codec=sim.codec,
+                model_version=model_version,
+            )
             for client in sim.clients
         ]
-        local_epochs += _absorb_round(sim, runner.run_tasks(tasks))
+        results = runner.run_tasks(tasks)
+        sim.transport.add(account_model_traffic(runner, tasks, results))
+        local_epochs += _absorb_round(sim, results)
         sim.server.aggregate([client.upload() for client in sim.clients])
         accuracies.append(sim.server.evaluate_global()[1])
         if round_callback is not None:
@@ -363,6 +375,7 @@ def federated_rapid_retrain(
             for client in sim.clients
         ]
         results = runner.run_tasks(tasks)
+        sim.transport.add(account_model_traffic(runner, tasks, results))
         for result in results:
             fim_states[result.task_id] = result.extra["fim"]
         local_epochs += _absorb_round(sim, results)
@@ -395,6 +408,7 @@ def federated_incompetent_teacher(
     local_epochs = 0
     for _ in range(num_rounds):
         sim.server.broadcast(sim.clients)
+        model_version = sim.broadcast_version(runner)
         tasks: List[Any] = []
         for client in sim.clients:
             if client.has_pending_deletion:
@@ -412,10 +426,19 @@ def federated_incompetent_teacher(
                     )
                 )
             else:
+                # Normal clients run the stock task, so they ride the
+                # simulation's update codec like any federation round.
                 tasks.append(
-                    client.make_train_task(normal_client_config, sim.model_factory)
+                    client.make_train_task(
+                        normal_client_config,
+                        sim.model_factory,
+                        codec=sim.codec,
+                        model_version=model_version,
+                    )
                 )
-        local_epochs += _absorb_round(sim, runner.run_tasks(tasks))
+        results = runner.run_tasks(tasks)
+        sim.transport.add(account_model_traffic(runner, tasks, results))
+        local_epochs += _absorb_round(sim, results)
         sim.server.aggregate([client.upload() for client in sim.clients])
         accuracies.append(sim.server.evaluate_global()[1])
         if round_callback is not None:

@@ -1,0 +1,112 @@
+"""CompressionSpec: spec layer, sweep, CLI and matrix-driver wiring."""
+
+import pytest
+
+from repro.experiments import SMOKE, scale as scale_module
+from repro.experiments.cli import main
+from repro.experiments.runner import run_matrix
+from repro.experiments.spec import (
+    CompressionSpec,
+    ExperimentSpec,
+    FederationSpec,
+    ScenarioSpec,
+    build_scenario,
+    clean_deletion_scenario,
+)
+
+TINY = SMOKE.with_overrides(
+    train_size=120, test_size=60, pretrain_rounds=1, local_epochs=1,
+    unlearn_rounds=1,
+)
+
+
+class TestCompressionSpec:
+    def test_default_is_raw(self):
+        assert FederationSpec().compression == CompressionSpec()
+        assert CompressionSpec().codec == "raw"
+
+    def test_bad_codec_rejected_eagerly(self):
+        with pytest.raises(ValueError):
+            CompressionSpec(codec="nope")
+        with pytest.raises(ValueError):
+            CompressionSpec(codec="topk")  # missing argument
+
+    def test_round_trips_through_dict(self):
+        spec = ScenarioSpec(
+            federation=FederationSpec(compression=CompressionSpec(codec="quant:8"))
+        )
+        restored = ScenarioSpec.from_dict(spec.to_dict())
+        assert restored == spec
+        assert restored.federation.compression.codec == "quant:8"
+        assert restored.hash() == spec.hash()
+
+    def test_codec_changes_the_spec_hash(self):
+        base = ScenarioSpec()
+        swept = base.with_overrides(**{"federation.compression.codec": "delta"})
+        assert swept.federation.compression.codec == "delta"
+        assert swept.hash() != base.hash()
+
+    def test_non_mapping_compression_rejected_with_spec_path_hint(self):
+        payload = ScenarioSpec().to_dict()
+        payload["federation"]["compression"] = "delta"
+        with pytest.raises(ValueError, match="federation.compression.codec"):
+            ScenarioSpec.from_dict(payload)
+
+    def test_builder_wires_codec_into_simulation(self):
+        spec = clean_deletion_scenario().with_overrides(
+            **{"federation.compression.codec": "delta"}
+        )
+        scenario = build_scenario(spec, TINY, seed=0)
+        assert scenario.sim.codec == "delta"
+
+
+class TestMatrixCodecSweep:
+    def test_codec_sweep_runs_and_lossless_cells_match(self, monkeypatch):
+        monkeypatch.setitem(scale_module.SCALES, "smoke", TINY)
+        exp = ExperimentSpec(
+            experiment_id="matrix:codec",
+            title="codec sweep",
+            kind="matrix",
+            scenario=clean_deletion_scenario(),
+            methods=("b1",),
+            params={
+                "sweeps": {"federation.compression.codec": ["raw", "delta"]}
+            },
+        )
+        result = run_matrix(exp, TINY, seed=0)
+        rows = {
+            row["federation.compression.codec"]: row
+            for row in result.rows
+            if row["method"] == "b1"
+        }
+        assert set(rows) == {"raw", "delta"}
+        # delta is lossless: identical metrics to the raw cell.
+        assert rows["raw"]["acc"] == rows["delta"]["acc"]
+        assert rows["raw"]["backdoor"] == rows["delta"]["backdoor"]
+        transport = result.runtime["transport"]
+        assert set(transport) == {"raw", "delta"}
+        for bucket in transport.values():
+            assert bucket["bytes_total"] > 0
+
+
+class TestCliCodecFlag:
+    def test_codec_flag_threads_into_matrix(self, capsys, monkeypatch):
+        monkeypatch.setitem(scale_module.SCALES, "smoke", TINY)
+        assert main([
+            "matrix", "--scenario", "clean_deletion", "--method", "b1",
+            "--codec", "delta",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "matrix:clean_deletion" in out
+        assert "transport" in out
+        assert "delta" in out
+
+    def test_bad_codec_rejected(self, capsys):
+        assert main([
+            "matrix", "--scenario", "clean_deletion", "--codec", "warp",
+        ]) == 2
+        assert "unknown codec" in capsys.readouterr().err
+
+    def test_codec_outside_matrix_refused_not_ignored(self, capsys):
+        assert main(["fig6", "--codec", "delta"]) == 2
+        assert "matrix driver only" in capsys.readouterr().err

@@ -1,0 +1,231 @@
+"""The transport codec layer: versions, broadcast wire forms, update codecs."""
+
+import numpy as np
+import pytest
+
+from repro.runtime.codec import (
+    BroadcastDelta,
+    BroadcastFull,
+    BroadcastRef,
+    DeltaCodec,
+    QuantCodec,
+    RawCodec,
+    TopKCodec,
+    available_codecs,
+    decode_broadcast,
+    dense_nbytes,
+    encode_broadcast,
+    get_codec,
+    same_structure,
+    state_version,
+)
+
+
+def make_state(seed=0, dtype=np.float64):
+    rng = np.random.default_rng(seed)
+    return {
+        "layer0.weight": rng.normal(0.0, 0.5, size=(16, 9)).astype(dtype),
+        "layer0.bias": rng.normal(0.0, 0.5, size=16).astype(dtype),
+        "head.weight": rng.normal(0.0, 0.5, size=(3, 16)).astype(dtype),
+        "counter": np.array([7], dtype=np.int64),  # integer buffer
+    }
+
+
+def nearby_state(state, scale=1e-3, seed=9):
+    rng = np.random.default_rng(seed)
+    out = {}
+    for key, value in state.items():
+        if np.issubdtype(value.dtype, np.floating):
+            out[key] = value + rng.normal(0.0, scale, size=value.shape).astype(
+                value.dtype
+            )
+        else:
+            out[key] = value.copy()
+    return out
+
+
+def assert_states_equal(a, b):
+    assert set(a) == set(b)
+    for key in a:
+        assert a[key].dtype == b[key].dtype
+        np.testing.assert_array_equal(a[key], b[key])
+
+
+class TestStateVersion:
+    def test_identical_content_identical_version(self):
+        a = make_state(0)
+        b = {key: value.copy() for key, value in make_state(0).items()}
+        assert state_version(a) == state_version(b)
+
+    def test_any_bit_flip_changes_version(self):
+        a = make_state(0)
+        b = {key: value.copy() for key, value in a.items()}
+        b["layer0.bias"][3] += 1e-12
+        assert state_version(a) != state_version(b)
+
+    def test_structure_participates(self):
+        a = make_state(0)
+        renamed = {("x" + key): value for key, value in a.items()}
+        assert state_version(a) != state_version(renamed)
+        assert not same_structure(a, renamed)
+
+
+class TestBroadcastWire:
+    def test_cold_cache_ships_full(self):
+        state = make_state(1)
+        wire = encode_broadcast(state, state_version(state), None, None)
+        assert isinstance(wire, BroadcastFull)
+        decoded, version = decode_broadcast(wire, None, None)
+        assert_states_equal(decoded, state)
+        assert version == state_version(state)
+
+    def test_same_version_ships_ref(self):
+        state = make_state(1)
+        version = state_version(state)
+        wire = encode_broadcast(state, version, version, state)
+        assert isinstance(wire, BroadcastRef)
+        assert wire.nbytes < 64
+        decoded, _ = decode_broadcast(wire, version, state)
+        assert_states_equal(decoded, state)
+
+    def test_warm_cache_ships_lossless_delta(self):
+        base = make_state(1)
+        state = nearby_state(base, scale=1e-6)
+        wire = encode_broadcast(
+            state, state_version(state), state_version(base), base
+        )
+        assert isinstance(wire, BroadcastDelta)
+        assert wire.nbytes < dense_nbytes(state)
+        decoded, _ = decode_broadcast(wire, state_version(base), base)
+        assert_states_equal(decoded, state)  # bitwise, by construction
+
+    def test_unrelated_states_fall_back_to_full(self):
+        # Incompressible XOR (independent random states) must not ship a
+        # delta bigger than the dense payload.
+        base = make_state(1)
+        state = make_state(2)
+        wire = encode_broadcast(
+            state, state_version(state), state_version(base), base
+        )
+        decoded, _ = decode_broadcast(
+            wire, state_version(base), base
+        )
+        assert_states_equal(decoded, state)
+
+    def test_structure_change_ships_full(self):
+        base = make_state(1)
+        state = {"other": np.zeros(4)}
+        wire = encode_broadcast(
+            state, state_version(state), state_version(base), base
+        )
+        assert isinstance(wire, BroadcastFull)
+
+    def test_ref_against_wrong_cache_raises(self):
+        state = make_state(1)
+        wire = BroadcastRef(version="deadbeef")
+        with pytest.raises(ValueError):
+            decode_broadcast(wire, "cafebabe", state)
+
+    def test_delta_against_wrong_base_raises(self):
+        base = make_state(1)
+        state = nearby_state(base)
+        wire = encode_broadcast(
+            state, state_version(state), state_version(base), base
+        )
+        assert isinstance(wire, BroadcastDelta)
+        with pytest.raises(ValueError):
+            decode_broadcast(wire, "cafebabe", base)
+
+
+class TestRegistry:
+    def test_families_registered(self):
+        assert set(available_codecs()) >= {"raw", "delta", "topk", "quant"}
+
+    def test_specs_resolve_and_cache(self):
+        assert isinstance(get_codec("raw"), RawCodec)
+        assert isinstance(get_codec("delta"), DeltaCodec)
+        topk = get_codec("topk:0.1")
+        assert isinstance(topk, TopKCodec) and topk.fraction == 0.1
+        quant = get_codec("quant:8")
+        assert isinstance(quant, QuantCodec) and quant.num_bits == 8
+        assert get_codec("quant:8") is quant  # shared instance per spec
+
+    @pytest.mark.parametrize(
+        "spec", ["", "nope", "topk", "quant", "raw:1", "delta:x", "topk:2.0", "quant:0"]
+    )
+    def test_bad_specs_rejected(self, spec):
+        with pytest.raises(ValueError):
+            get_codec(spec)
+
+
+class TestLosslessCodecs:
+    @pytest.mark.parametrize("spec", ["raw", "delta"])
+    @pytest.mark.parametrize("dtype", [np.float64, np.float32])
+    def test_bitwise_roundtrip(self, spec, dtype):
+        codec = get_codec(spec)
+        assert codec.lossless
+        basis = make_state(3, dtype=dtype)
+        state = nearby_state(basis, scale=1e-4, seed=4)
+        encoded = codec.encode(state, basis)
+        assert encoded.codec == spec
+        decoded = codec.decode(encoded, basis)
+        assert_states_equal(decoded, state)
+
+    def test_delta_beats_raw_on_nearby_states(self):
+        basis = make_state(3)
+        state = nearby_state(basis, scale=1e-8, seed=4)
+        raw_bytes = get_codec("raw").encode(state, basis).nbytes
+        delta_bytes = get_codec("delta").encode(state, basis).nbytes
+        assert delta_bytes < raw_bytes
+
+    def test_delta_never_exceeds_dense(self):
+        basis = make_state(3)
+        state = make_state(4)  # unrelated: incompressible XOR
+        encoded = get_codec("delta").encode(state, basis)
+        assert encoded.nbytes <= dense_nbytes(state)
+        assert_states_equal(get_codec("delta").decode(encoded, basis), state)
+
+
+class TestLossyCodecs:
+    @pytest.mark.parametrize("spec", ["topk:0.1", "quant:8"])
+    def test_deterministic_and_smaller(self, spec):
+        codec = get_codec(spec)
+        assert not codec.lossless
+        basis = make_state(5)
+        state = nearby_state(basis, scale=1e-2, seed=6)
+        first, first_bytes = codec.roundtrip(state, basis)
+        second, second_bytes = codec.roundtrip(state, basis)
+        assert first_bytes == second_bytes
+        assert_states_equal(first, second)  # pure function of the input
+        assert first_bytes < dense_nbytes(state)
+
+    @pytest.mark.parametrize("spec", ["topk:0.1", "quant:8"])
+    def test_integer_buffers_survive_exactly(self, spec):
+        codec = get_codec(spec)
+        basis = make_state(5)
+        state = nearby_state(basis, scale=1e-2, seed=6)
+        decoded, _ = codec.roundtrip(state, basis)
+        np.testing.assert_array_equal(decoded["counter"], state["counter"])
+        assert decoded["counter"].dtype == state["counter"].dtype
+
+    @pytest.mark.parametrize("spec", ["topk:0.1", "quant:8"])
+    @pytest.mark.parametrize("dtype", [np.float64, np.float32])
+    def test_preserves_dtype_and_approximates(self, spec, dtype):
+        codec = get_codec(spec)
+        basis = make_state(5, dtype=dtype)
+        state = nearby_state(basis, scale=1e-2, seed=6)
+        decoded, _ = codec.roundtrip(state, basis)
+        for key, value in decoded.items():
+            assert value.dtype == state[key].dtype
+        # The reconstruction tracks the true update direction.
+        for key in ("layer0.weight", "head.weight"):
+            err = float(np.abs(decoded[key] - state[key]).max())
+            assert err <= float(np.abs(state[key] - basis[key]).max()) + 1e-12
+
+    def test_quant_low_bit_ships_narrow_codes(self):
+        codec = get_codec("quant:4")
+        basis = make_state(5)
+        state = nearby_state(basis, scale=1e-2, seed=6)
+        compressed, _ = codec.encode(state, basis).payload
+        for entry in compressed.payload.values():
+            assert entry["codes"].dtype == np.uint8
