@@ -1,0 +1,176 @@
+"""Client-vectorized execution benchmark: stacked vs per-client rounds.
+
+One federated run per (model, K) cell, vectorized and per-client, on the
+serial backend of a single host — the per-client path pays K
+python-dispatched autograd graphs per round-step, the vectorized path
+(:mod:`repro.federated.vectorized`) pays one batched graph.  Parity is
+asserted bit for bit (identical round accuracies and final global state)
+before any timing is recorded, so the speedup numbers are for *the same
+computation*.
+
+Cells: K ∈ {8, 32, 128} × {MLP, LeNet-5}.  The MLP cells are
+python-dispatch bound (tiny GEMMs), where stacking pays most — the K=32
+MLP cell must clear a **3×** speedup floor.  The LeNet-5 cells are
+im2col/BLAS bound, so the recorded speedup is structurally smaller; no
+floor is enforced, the number is recorded for tracking.
+
+Records append to ``benchmarks/results/bench_runtime.json`` as
+``workload="vectorized"`` rows; when the committed file already holds a
+row for the same (model, K) cell, the measured speedup must stay within
+2× of the recorded one (wall-clock ratios are machine-dependent, byte
+counts are not — the guard catches structural regressions, e.g. the fast
+path silently falling back, not scheduler noise).
+"""
+
+import json
+import os
+import time
+
+import numpy as np
+import pytest
+
+from repro.data.dataset import ArrayDataset, FederatedDataset
+from repro.federated import FedAvgAggregator, FederatedSimulation
+from repro.nn.models import RegistryModelFactory
+from repro.runtime import usable_cpus
+from repro.training import TrainConfig
+
+RESULTS_PATH = os.path.join(
+    os.path.dirname(__file__), "results", "bench_runtime.json"
+)
+
+ROUNDS = 2
+# (model name, image size, per-client samples, epochs, batch size,
+#  K=32 speedup floor or None).  The MLP shape maximises the
+# python-dispatch share the stacked path removes; LeNet-5 is conv-bound
+# and carries no floor.
+CELLS = {
+    "mlp": ("mlp", 8, 64, 8, 8, 3.0),
+    "lenet5": ("lenet5", 16, 32, 4, 8, None),
+}
+
+
+def _emit(record: dict) -> None:
+    os.makedirs(os.path.dirname(RESULTS_PATH), exist_ok=True)
+    records = []
+    if os.path.exists(RESULTS_PATH):
+        with open(RESULTS_PATH) as handle:
+            records = json.load(handle)
+    records.append(record)
+    with open(RESULTS_PATH, "w") as handle:
+        json.dump(records, handle, indent=2)
+    print(json.dumps(record))
+
+
+def _previous_records() -> list:
+    if not os.path.exists(RESULTS_PATH):
+        return []
+    with open(RESULTS_PATH) as handle:
+        return json.load(handle)
+
+
+def _build_sim(model, image_size, k, per_client, epochs, batch, vectorize):
+    rng = np.random.default_rng(0)
+    means = rng.normal(0.0, 3.0, size=(3, 1, image_size, image_size))
+    total = k * per_client + 48
+    labels = np.arange(total) % 3
+    images = means[labels] + rng.normal(
+        0.0, 0.5, size=(total, 1, image_size, image_size)
+    )
+    full = ArrayDataset(images=images, labels=labels, num_classes=3, name="bench")
+    clients = [
+        full.subset(range(i * per_client, (i + 1) * per_client)) for i in range(k)
+    ]
+    fed = FederatedDataset(
+        client_datasets=clients,
+        test_set=full.subset(range(k * per_client, total)),
+    )
+    factory = RegistryModelFactory(
+        name=model, num_classes=3, in_channels=1, image_size=image_size
+    )
+    config = TrainConfig(epochs=epochs, batch_size=batch, learning_rate=0.05)
+    return FederatedSimulation(
+        factory, fed, FedAvgAggregator(), config, seed=3, vectorize=vectorize
+    )
+
+
+def _run(model, image_size, k, per_client, epochs, batch, vectorize):
+    sim = _build_sim(model, image_size, k, per_client, epochs, batch, vectorize)
+    start = time.perf_counter()
+    history = sim.run(ROUNDS)
+    wall = time.perf_counter() - start
+    return {
+        "wall": wall,
+        "accuracies": history.accuracies,
+        "state": sim.server.global_state,
+        "report": sim.vectorize_report(),
+    }
+
+
+class TestVectorizedSpeedup:
+    # Test ids carry the cell (mlp-k8, lenet5-k128, ...) so CI can select
+    # a subset, e.g. `-k "k8 and mlp"` for the smoke floor.
+    @pytest.mark.parametrize("k", [8, 32, 128], ids=["k8", "k32", "k128"])
+    @pytest.mark.parametrize("model", ["mlp", "lenet5"])
+    def test_stacked_round_speedup(self, model, k):
+        name, image_size, per_client, epochs, batch, floor = CELLS[model]
+        previous = _previous_records()
+
+        per_client_run = _run(
+            name, image_size, k, per_client, epochs, batch, vectorize=False
+        )
+        vectorized_run = _run(
+            name, image_size, k, per_client, epochs, batch, vectorize=True
+        )
+
+        # Bit-exact parity first: the two timings cover the same math.
+        assert vectorized_run["accuracies"] == per_client_run["accuracies"]
+        for key, value in per_client_run["state"].items():
+            np.testing.assert_array_equal(value, vectorized_run["state"][key])
+        # And the fast path actually engaged — a silent fallback would
+        # "pass" parity while benchmarking nothing.
+        assert vectorized_run["report"]["rounds_vectorized"] == ROUNDS
+        assert vectorized_run["report"]["rounds_fallback"] == 0
+
+        speedup = per_client_run["wall"] / vectorized_run["wall"]
+        if floor is not None and k == 32:
+            assert speedup >= floor, (
+                f"{model} K={k}: vectorized round must be >={floor}x faster "
+                f"than per-client on a single host, got {speedup:.2f}x"
+            )
+
+        _emit(
+            {
+                "workload": "vectorized",
+                "model": model,
+                "k": k,
+                "rounds": ROUNDS,
+                "epochs": epochs,
+                "batch_size": batch,
+                "per_client": per_client,
+                "backend": "serial",
+                "per_client_s": round(per_client_run["wall"], 4),
+                "vectorized_s": round(vectorized_run["wall"], 4),
+                "speedup": round(speedup, 3),
+                "cpus": usable_cpus(),
+            }
+        )
+
+        # Regression guard vs the committed baseline: anchor to the
+        # *oldest* matching record (the file appends every run — the
+        # newest row would let slow creep re-baseline itself).  Factor-2
+        # tolerance absorbs machine differences; a structural regression
+        # (fast path gone) shows up as ~1x against a 3-4x baseline.
+        baselines = [
+            record
+            for record in previous
+            if record.get("workload") == "vectorized"
+            and record.get("model") == model
+            and record.get("k") == k
+        ]
+        if baselines:
+            recorded = baselines[0]["speedup"]
+            assert speedup >= recorded / 2.0, (
+                f"{model} K={k}: speedup regressed to {speedup:.2f}x vs "
+                f"recorded baseline {recorded:.2f}x"
+            )

@@ -44,6 +44,10 @@ returns travel under (``raw``/``delta`` lossless and bit-identical,
 bytes-on-the-wire totals are stamped into the ``transport`` runtime
 provenance, and the codec is sweepable like any spec path
 (``--sweep federation.compression.codec=raw,delta,quant:8``).
+``--vectorize`` stacks eligible homogeneous cohorts into one batched
+forward/backward per round-step (:mod:`repro.federated.vectorized`) —
+bit-identical results, recorded in the ``vectorize`` runtime provenance,
+sweepable as ``--sweep federation.vectorize=false,true``.
 """
 
 from __future__ import annotations
@@ -321,6 +325,13 @@ def build_parser() -> argparse.ArgumentParser:
                              "bit-identical), topk:<frac>, quant:<bits> "
                              "(lossy, deterministic per seed). Byte "
                              "counts land in the runtime provenance.")
+    parser.add_argument("--vectorize", action="store_true",
+                        help="matrix: client-vectorized execution — stack "
+                             "eligible homogeneous cohorts into one batched "
+                             "forward/backward per round-step (bit-identical "
+                             "results; ineligible cohorts fall back per "
+                             "client with the reason recorded in the "
+                             "runtime provenance)")
     parser.add_argument("--workers", type=int, default=0,
                         help="worker count for --backend (same as the ':N' "
                              "suffix)")
@@ -390,6 +401,13 @@ def main(argv: List[str] = None) -> int:
 
             get_codec(args.codec)  # fail fast on typos, before any training
             federation_overrides["federation.compression.codec"] = args.codec
+        if args.vectorize:
+            if args.experiment != "matrix":
+                raise ValueError(
+                    "--vectorize applies to the matrix driver only "
+                    "(try: matrix --scenario ... --vectorize)"
+                )
+            federation_overrides["federation.vectorize"] = True
         run_experiment(
             args.experiment, args.scale, args.dataset, args.seed,
             methods=parse_methods(args.method),

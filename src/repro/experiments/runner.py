@@ -843,6 +843,7 @@ def run_matrix(
     pretrain_cache: Dict[str, _CachedPretrain] = {}
     cache_hits = cache_misses = 0
     transport_totals: Dict[str, Any] = {}
+    vectorize_totals: Dict[str, Any] = {}
     result = ExperimentResult(
         experiment_id=exp.experiment_id,
         title=exp.title,
@@ -915,8 +916,18 @@ def run_matrix(
         bucket = transport_totals.setdefault(codec_key, {})
         for key, value in report.items():
             bucket[key] = bucket.get(key, 0) + value
+        vec_report = prepared.scenario.sim.vectorize_report()
+        if vec_report["requested"]:
+            vectorize_totals["requested"] = True
+            for key in ("rounds_vectorized", "rounds_fallback"):
+                vectorize_totals[key] = vectorize_totals.get(key, 0) + vec_report[key]
+            reasons = vectorize_totals.setdefault("fallback_reasons", {})
+            for reason, count in vec_report["fallback_reasons"].items():
+                reasons[reason] = reasons.get(reason, 0) + count
     if transport_totals:
         result.runtime["transport"] = transport_totals
+    if vectorize_totals:
+        result.runtime["vectorize"] = vectorize_totals
     if cache_enabled:
         result.runtime["pretrain_cache"] = {
             "hits": cache_hits, "misses": cache_misses,

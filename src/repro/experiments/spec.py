@@ -171,6 +171,13 @@ class FederationSpec:
     :class:`CompressionSpec`); byte counts per round land in
     :class:`~repro.federated.simulation.RoundRecord` and run totals in
     the result's ``runtime["transport"]`` provenance.
+
+    ``vectorize`` opts into client-vectorized execution
+    (:mod:`repro.federated.vectorized`): eligible homogeneous cohorts
+    train as one stacked forward/backward per round-step, bit-identically;
+    ineligible cohorts fall back per client with the reason recorded in
+    the result's ``runtime["vectorize"]`` provenance.  Sweepable through
+    the matrix driver as ``federation.vectorize``.
     """
 
     num_clients: int = 0
@@ -184,6 +191,7 @@ class FederationSpec:
     max_staleness: int = 4
     straggler_timeout: float = 0.0
     compression: CompressionSpec = field(default_factory=CompressionSpec)
+    vectorize: bool = False
 
     @classmethod
     def from_dict(cls, payload: Mapping[str, Any]) -> "FederationSpec":
@@ -510,6 +518,7 @@ class ScenarioBuilder:
             factory, fed, aggregator, config, seed=seed + 2000, backend=backend,
             async_config=async_config, latency_model=latency_model,
             codec=spec.federation.compression.codec,
+            vectorize=spec.federation.vectorize,
         )
         return Scenario(
             sim=sim,

@@ -9,8 +9,10 @@ update-adjustment unlearning family (:mod:`.history`), pairwise-masking
 secure aggregation with dropout recovery (:mod:`.secure_agg`), top-k /
 quantization upload compression with error feedback (:mod:`.compression`),
 client sampling, dropout injection and straggler accounting
-(:mod:`.sampling`), and communication/compute cost metering
-(:mod:`.metering`).
+(:mod:`.sampling`), communication/compute cost metering
+(:mod:`.metering`), and client-vectorized execution — K homogeneous
+clients stacked into one batched forward/backward per round-step
+(:mod:`.vectorized`).
 """
 
 from . import state_math
@@ -63,6 +65,12 @@ from .simulation import (
     SimulationHistory,
     make_aggregator,
 )
+from .vectorized import (
+    VectorizedCohort,
+    VectorizedTrainTask,
+    cohort_fallback_reason,
+    make_vectorized_task,
+)
 
 __all__ = [
     "state_math",
@@ -110,4 +118,8 @@ __all__ = [
     "SimulationHistory",
     "RoundRecord",
     "make_aggregator",
+    "VectorizedCohort",
+    "VectorizedTrainTask",
+    "cohort_fallback_reason",
+    "make_vectorized_task",
 ]

@@ -37,6 +37,11 @@ class Client:
         self.model = model
         self.rng = rng
         self.forget_indices: Optional[np.ndarray] = None
+        # Error-feedback residual carried between rounds (``ef:*`` update
+        # codecs only): what the previous round's lossy compression
+        # dropped, added back before the next compression.  Client-side
+        # state — it never travels to the server.
+        self.update_residual: Optional[StateDict] = None
 
     # ------------------------------------------------------------------
     # Server interaction
@@ -171,6 +176,7 @@ class Client:
             indices=self.retain_indices,
             codec=codec,
             model_version=model_version,
+            residual=self.update_residual,
         )
 
     def absorb_train_result(
@@ -196,4 +202,6 @@ class Client:
             )
         self.model.load_state_dict(state)
         self.rng.bit_generator.state = result.rng_state
+        if result.residual is not None:
+            self.update_residual = result.residual
         return result.history

@@ -185,6 +185,24 @@ class AsyncRoundConfig:
 
 
 @dataclass
+class _VecGroup:
+    """One vectorized cohort dispatch shared by its members' in-flight
+    entries.
+
+    The cohort's training runs as a single unit
+    (:class:`~repro.federated.vectorized.VectorizedTrainTask`) the first
+    time any member's arrival needs a result; the per-member results are
+    then handed out as each member's own virtual arrival fires.  Virtual
+    arrival times — and therefore fold membership, staleness and drop
+    behaviour — stay per-member, exactly as in per-client dispatch.
+    """
+
+    task: Any  # VectorizedTrainTask
+    ticket: Optional[int]  # one pool ticket for the whole group
+    results: Optional[List[TrainResult]] = None
+
+
+@dataclass
 class _InFlight:
     """One dispatched client task awaiting its virtual arrival."""
 
@@ -196,6 +214,8 @@ class _InFlight:
     dispatched_at: float
     arrives_at: float
     round_index: int
+    group: Optional[_VecGroup] = None  # vectorized-cohort membership
+    member: int = 0  # this client's slice index within the group
 
 
 RoundListener = Callable[["RoundRecord", StateDict, List[BufferedUpdate]], None]
@@ -349,11 +369,19 @@ class BufferedRoundEngine:
         return record
 
     def _dispatch(self, round_index: int) -> List[int]:
-        """Sample a cohort and stream its tasks; return straggler drops."""
+        """Sample a cohort and stream its tasks; return straggler drops.
+
+        With ``sim.vectorize`` set, an eligible dispatch wave (the
+        members not already in flight and not timed out) becomes one
+        :class:`~repro.federated.vectorized.VectorizedTrainTask` shared
+        through a :class:`_VecGroup` — per-member latencies, arrival
+        events and the lazy per-member dense downlink charge are
+        unchanged, so the virtual schedule and the folded results are
+        identical to per-client dispatch.
+        """
         participants = self.sim.round_participants(round_index)
         dropped: List[int] = []
-        broadcast_state: Optional[StateDict] = None
-        model_version: Optional[str] = None
+        wave: List[tuple] = []  # (client, latency) surviving the timeout
         for client in participants:
             client_id = client.client_id
             if client_id in self._inflight:
@@ -365,40 +393,66 @@ class BufferedRoundEngine:
             if timeout and latency > timeout:
                 dropped.append(client_id)
                 continue
-            if broadcast_state is None:
-                broadcast_state = self.sim.server.global_state
-                if self._streams:
-                    # One hash per dispatch wave — every member of the
-                    # cohort receives this same state.
-                    model_version = state_version(broadcast_state)
-            client.receive_global(broadcast_state)
-            task = client.make_train_task(
-                self.sim.train_config,
-                self.sim.model_factory,
-                codec=self.sim.codec,
-                model_version=model_version,
-            )
-            ticket = self.sim.backend.submit([task]) if self._streams else None
-            if ticket is None:
-                # Lazy backends ship the dense state at dispatch; pool
-                # tickets are priced from real pipe bytes at resolution.
-                self._round_transport.bytes_down += dense_nbytes(broadcast_state)
-                self._round_transport.broadcast_full += 1
-            self._inflight[client_id] = _InFlight(
-                client=client,
-                task=task,
-                ticket=ticket,
-                basis=broadcast_state,
-                version=self.version,
-                dispatched_at=self.now,
-                arrives_at=self.now + latency,
-                round_index=round_index,
-            )
-            self.total_dispatched += 1
-            if self.meter is not None and self.sim.codec == "raw":
-                # Non-raw codecs meter the round's actual transport bytes
-                # at fold time (run_round) instead of this dense pricing.
-                self.meter.record_download(state_bytes(broadcast_state))
+            wave.append((client, latency))
+        if wave:
+            broadcast_state = self.sim.server.global_state
+            # One hash per dispatch wave — every member of the cohort
+            # receives this same state.
+            model_version = state_version(broadcast_state) if self._streams else None
+            for client, _ in wave:
+                client.receive_global(broadcast_state)
+            tasks = [
+                client.make_train_task(
+                    self.sim.train_config,
+                    self.sim.model_factory,
+                    codec=self.sim.codec,
+                    model_version=model_version,
+                )
+                for client, _ in wave
+            ]
+            group: Optional[_VecGroup] = None
+            if self.sim.vectorize:
+                reason = self.sim.cohort_fallback_reason(tasks)
+                if reason is None:
+                    from .vectorized import make_vectorized_task
+
+                    vtask = make_vectorized_task(tasks, broadcast_state)
+                    ticket = (
+                        self.sim.backend.submit([vtask]) if self._streams else None
+                    )
+                    group = _VecGroup(task=vtask, ticket=ticket)
+                    self.sim._vectorize_stats["rounds_vectorized"] += 1
+                else:
+                    self.sim._record_fallback(reason)
+            for member, ((client, latency), task) in enumerate(zip(wave, tasks)):
+                ticket = None
+                if group is None and self._streams:
+                    ticket = self.sim.backend.submit([task])
+                if ticket is None and (group is None or group.ticket is None):
+                    # Lazy backends ship the dense state at dispatch —
+                    # per member, vectorized or not (execution fusing
+                    # must not change simulated transport); pool tickets
+                    # are priced from real pipe bytes at resolution.
+                    self._round_transport.bytes_down += dense_nbytes(broadcast_state)
+                    self._round_transport.broadcast_full += 1
+                self._inflight[client.client_id] = _InFlight(
+                    client=client,
+                    task=task,
+                    ticket=ticket,
+                    basis=broadcast_state,
+                    version=self.version,
+                    dispatched_at=self.now,
+                    arrives_at=self.now + latency,
+                    round_index=round_index,
+                    group=group,
+                    member=member,
+                )
+                self.total_dispatched += 1
+                if self.meter is not None and self.sim.codec == "raw":
+                    # Non-raw codecs meter the round's actual transport
+                    # bytes at fold time (run_round) instead of this
+                    # dense pricing.
+                    self.meter.record_download(state_bytes(broadcast_state))
         if dropped:
             self.total_dropped += len(dropped)
             sampler = self.sim.sampler
@@ -427,8 +481,13 @@ class BufferedRoundEngine:
                 # skips the training run entirely; a pool ticket is still
                 # drained (the work already ran — and its bytes crossed
                 # the wire, so they are still accounted) to keep the pool
-                # clean.
-                if entry.ticket is not None:
+                # clean.  A vectorized-group member behaves like a pool
+                # ticket: its training ran (or will run) as part of the
+                # group's single unit, so its return bytes are accounted.
+                if entry.group is not None:
+                    late = self._member_result(entry)
+                    self._round_transport.bytes_up += late.update_nbytes
+                elif entry.ticket is not None:
                     late = self.sim.backend.drain(entry.ticket)[0]
                     self._claim_ticket_stats(entry.ticket)
                     self._round_transport.bytes_up += late.update_nbytes
@@ -451,7 +510,9 @@ class BufferedRoundEngine:
 
     def _resolve(self, entry: _InFlight) -> TrainResult:
         """The task's result — drained from its ticket, or run lazily."""
-        if entry.ticket is not None:
+        if entry.group is not None:
+            result = self._member_result(entry)
+        elif entry.ticket is not None:
             result = self.sim.backend.drain(entry.ticket)[0]
             self._claim_ticket_stats(entry.ticket)
         else:
@@ -460,6 +521,19 @@ class BufferedRoundEngine:
         # never the pipe's framing overhead (see account_model_traffic).
         self._round_transport.bytes_up += result.update_nbytes
         return result
+
+    def _member_result(self, entry: _InFlight) -> TrainResult:
+        """This member's result from its vectorized group, resolving the
+        group's single training unit on first need."""
+        group = entry.group
+        if group.results is None:
+            if group.ticket is not None:
+                group.results = self.sim.backend.drain(group.ticket)[0]
+                self._claim_ticket_stats(group.ticket)
+                group.ticket = None
+            else:
+                group.results = self.sim.backend.run_tasks([group.task])[0]
+        return group.results[entry.member]
 
     def _claim_ticket_stats(self, ticket: int) -> None:
         """Fold one resolved pool ticket's downlink bytes into the round.
@@ -491,7 +565,15 @@ class BufferedRoundEngine:
         abandoned = sorted(self._inflight)
         for client_id in abandoned:
             entry = self._inflight.pop(client_id)
-            if entry.ticket is not None:
+            if entry.group is not None:
+                # A group with a pool ticket (or already-resolved results)
+                # did real work that must be drained/accounted; a lazy,
+                # never-resolved group simply never runs — like a lazy
+                # per-client entry.
+                if entry.group.ticket is not None or entry.group.results is not None:
+                    orphan = self._member_result(entry)
+                    self._round_transport.bytes_up += orphan.update_nbytes
+            elif entry.ticket is not None:
                 orphan = self.sim.backend.drain(entry.ticket)[0]
                 self._claim_ticket_stats(entry.ticket)
                 self._round_transport.bytes_up += orphan.update_nbytes

@@ -20,8 +20,9 @@ each task carries and returns its client's exact RNG position).
 
 from __future__ import annotations
 
+import logging
 from dataclasses import dataclass, field
-from typing import Callable, List, Optional, Sequence, TYPE_CHECKING
+from typing import Callable, Dict, List, Optional, Sequence, TYPE_CHECKING
 
 import numpy as np
 
@@ -44,6 +45,9 @@ from .server import Server
 
 if TYPE_CHECKING:  # pragma: no cover - circular import guard
     from .engine import AsyncRoundConfig, BufferedRoundEngine, LatencyModel
+
+
+logger = logging.getLogger(__name__)
 
 
 @dataclass
@@ -207,6 +211,16 @@ class FederatedSimulation:
         (deterministic per seed).  Per-round byte counts land in
         :class:`RoundRecord` and cumulative totals in
         :meth:`transport_report`.
+    vectorize:
+        Opt-in client-vectorized execution
+        (:mod:`repro.federated.vectorized`): eligible homogeneous
+        cohorts — same architecture, dtype, train config and step count —
+        train as **one** stacked forward/backward per round-step instead
+        of K per-client graphs, with bit-identical results.  Ineligible
+        cohorts (single participant, grad clipping, unstackable layers,
+        heterogeneous data sizes) fall back to the per-client path; the
+        reason is logged once and tallied in :meth:`vectorize_report`.
+        Off by default — existing results are untouched.
     """
 
     def __init__(
@@ -221,6 +235,7 @@ class FederatedSimulation:
         async_config: Optional["AsyncRoundConfig"] = None,
         latency_model: Optional["LatencyModel"] = None,
         codec: str = "raw",
+        vectorize: bool = False,
     ) -> None:
         if fed_data.num_clients == 0:
             raise ValueError("no clients in federated dataset")
@@ -232,6 +247,19 @@ class FederatedSimulation:
         get_codec(codec)  # fail fast on typos, before any training
         self.codec = codec
         self.transport = TransportStats()  # cumulative model traffic
+        # Opt-in vectorized client execution (repro.federated.vectorized):
+        # eligible homogeneous cohorts train as one stacked graph, with
+        # bit-identical results; ineligible cohorts fall back per client
+        # with the reason recorded in vectorize_report() (and logged once).
+        self.vectorize = vectorize
+        self._vectorize_stats: Dict[str, object] = {
+            "rounds_vectorized": 0,
+            "rounds_fallback": 0,
+            "fallback_reasons": {},
+        }
+        # Lazily-probed stack_modules() verdict for the shared architecture
+        # (None = not probed yet; "" = stackable; otherwise the reason).
+        self._arch_reason: Optional[str] = None
         # Buffered-async mode is strictly opt-in: without an AsyncRoundConfig
         # no engine is ever constructed and every round runs the historical
         # synchronous barrier loop bit for bit.
@@ -300,8 +328,7 @@ class FederatedSimulation:
             )
             for client in participants
         ]
-        results = self.backend.run_tasks(tasks)
-        round_stats = self._account_round(tasks, results)
+        results, round_stats = self._run_cohort(tasks)
         updates = []
         client_accuracies: List[float] = []
         for client, result in zip(participants, results):
@@ -333,6 +360,81 @@ class FederatedSimulation:
                        "pop_ticket_stats"):
             return None
         return state_version(self.server.global_state)
+
+    def _run_cohort(self, tasks) -> "tuple[list, TransportStats]":
+        """Run one round's task batch: vectorized when opted in and
+        eligible, per-client otherwise.  Returns per-client results in
+        task order either way."""
+        if self.vectorize:
+            reason = self.cohort_fallback_reason(tasks)
+            if reason is None:
+                from .vectorized import make_vectorized_task
+
+                vtask = make_vectorized_task(tasks, self.server.global_state)
+                results = self.backend.run_tasks([vtask])[0]
+                stats = self._vectorize_stats
+                stats["rounds_vectorized"] += 1
+                return results, self._account_vectorized_round(vtask, results)
+            self._record_fallback(reason)
+        results = self.backend.run_tasks(tasks)
+        return results, self._account_round(tasks, results)
+
+    def cohort_fallback_reason(self, tasks) -> Optional[str]:
+        """Why this task batch cannot vectorize (``None`` = eligible)."""
+        from ..nn.vmap import stackable_reason
+        from .vectorized import cohort_fallback_reason
+
+        if self._arch_reason is None:
+            # One architecture probe per simulation: try to stack a
+            # factory-fresh model ("" = stackable).
+            self._arch_reason = stackable_reason(self.model_factory()) or ""
+        return cohort_fallback_reason(tasks, self._arch_reason or None)
+
+    def _record_fallback(self, reason: str) -> None:
+        stats = self._vectorize_stats
+        reasons: Dict[str, int] = stats["fallback_reasons"]
+        if reason not in reasons:
+            # Once per distinct reason — a silent fallback would make the
+            # vectorized benchmark numbers unreproducible.
+            logger.warning(
+                "vectorize=True fell back to per-client execution: %s", reason
+            )
+        reasons[reason] = reasons.get(reason, 0) + 1
+        stats["rounds_fallback"] += 1
+
+    def _account_vectorized_round(self, vtask, results) -> TransportStats:
+        """Transport accounting for one vectorized round.
+
+        Vectorization fuses host-side *execution*; the simulated
+        federation still broadcast the model to every member and received
+        every member's (possibly codec-encoded) return, so lazy backends
+        keep the per-member dense downlink charge — byte-identical to the
+        per-client path.  A pool backend reports the real pipe bytes of
+        the fused batch it actually ran, as always.
+        """
+        stats = getattr(self.backend, "last_batch_stats", None)
+        round_stats = TransportStats()
+        if stats is not None:
+            round_stats.add(stats)
+        elif vtask.model_state is not None:
+            members = len(vtask.task_ids)
+            round_stats.bytes_down = dense_nbytes(vtask.model_state) * members
+            round_stats.broadcast_full = members
+        round_stats.bytes_up = sum(result.update_nbytes for result in results)
+        self.transport.add(round_stats)
+        return round_stats
+
+    def vectorize_report(self) -> dict:
+        """How the opt-in vectorized path behaved across this simulation:
+        rounds taken vectorized, rounds fallen back, and the distinct
+        fallback reasons with their counts."""
+        stats = self._vectorize_stats
+        return {
+            "requested": self.vectorize,
+            "rounds_vectorized": stats["rounds_vectorized"],
+            "rounds_fallback": stats["rounds_fallback"],
+            "fallback_reasons": dict(stats["fallback_reasons"]),
+        }
 
     def _account_round(self, tasks, results) -> TransportStats:
         round_stats = account_model_traffic(self.backend, tasks, results)

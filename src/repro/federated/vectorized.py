@@ -1,0 +1,301 @@
+"""Client-vectorized execution: K homogeneous clients, one batched graph.
+
+A federated round is embarrassingly parallel *and* embarrassingly
+homogeneous: every participant runs the same architecture, the same
+hyper-parameters and the same number of steps on its own data.  The
+per-client path pays K python-dispatched autograd graphs per round-step;
+this module stacks the cohort instead — parameters and per-step batches
+gain a leading axis of size K (:mod:`repro.nn.vmap`), and a round-step
+becomes *one* forward/backward/optimizer-step over the stacked arrays, a
+handful of BLAS calls regardless of K.
+
+Parity contract
+---------------
+The stacked path preserves every per-client semantic:
+
+* **RNG streams** — each slice's mini-batches come from that client's own
+  :class:`~repro.data.loader.DataLoader` iteration (the K loaders are
+  stepped in lockstep and their batches stacked), and each slice's
+  dropout masks come from that client's own generator, so every client's
+  RNG advances exactly as it would standalone.
+* **Numerics** — stacked elementwise ops, per-slice GEMMs and
+  same-axis reductions reproduce the per-client float operations in the
+  same order; slice results are **bit-identical** to the per-client path
+  on every supported layer (pinned by ``tests/nn/test_vmap.py`` and the
+  end-to-end round parity tests).
+* **Results plumbing** — :class:`VectorizedTrainTask` returns one
+  ordinary :class:`~repro.runtime.task.TrainResult` per member (same
+  codec encoding, same RNG capture), so clients absorb them exactly as
+  they absorb per-client results, on every backend.
+
+Eligibility
+-----------
+:func:`cohort_fallback_reason` gates the fast path: the cohort must have
+≥ 2 members with equal active dataset sizes (same step count), equal
+sample shapes and dtypes, a stackable architecture
+(:func:`repro.nn.vmap.stack_modules`), a stacked-capable loss, and no
+gradient clipping (``clip_grad_norm`` computes a per-client *global*
+norm the stacked optimizer cannot reproduce).  Ineligible cohorts fall
+back to the per-client path with a recorded reason — never silently.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, List, Optional, Sequence
+
+import numpy as np
+
+from ..data.dataset import ArrayDataset
+from ..data.loader import DataLoader
+from ..nn.module import Module
+from ..nn.optim import StackedSGD
+from ..nn.tensor import Tensor
+from ..nn.vmap import (
+    STACKED_LOSSES,
+    StackedModel,
+    VmapUnsupported,
+    get_stacked_loss,
+    stack_modules,
+)
+from ..runtime.task import (
+    RngState,
+    StateDict,
+    TrainResult,
+    TrainTask,
+    capture_rng,
+    encode_trained_state,
+    restore_rng,
+)
+from ..training.config import EpochStats, TrainConfig, TrainHistory
+
+
+class VectorizedCohort:
+    """K (model, dataset, rng) triples trained as one stacked graph.
+
+    Mirrors :func:`repro.training.trainer.train` step for step — dtype
+    cast from each member's dataset, fresh stacked SGD, per-epoch
+    reshuffle from each member's own generator, per-batch
+    zero-grad/forward/backward/step — with the K graphs fused into one.
+    """
+
+    def __init__(
+        self,
+        models: Sequence[Module],
+        datasets: Sequence[ArrayDataset],
+        rngs: Sequence[np.random.Generator],
+    ) -> None:
+        if not (len(models) == len(datasets) == len(rngs)):
+            raise ValueError("models, datasets and rngs must align")
+        if not models:
+            raise ValueError("empty cohort")
+        for dataset in datasets:
+            if len(dataset) == 0:
+                raise ValueError("cannot train on an empty dataset")
+        sizes = {len(dataset) for dataset in datasets}
+        if len(sizes) != 1:
+            raise ValueError(f"cohort datasets differ in size: {sorted(sizes)}")
+        # Mirror trainer.train's cast: each member's model follows its
+        # dataset's floating dtype *before* stacking (stacking requires —
+        # and preserves — one cohort-wide dtype).
+        for model, dataset in zip(models, datasets):
+            data_dtype = np.asarray(dataset.images).dtype
+            if np.issubdtype(data_dtype, np.floating) and model.dtype != data_dtype:
+                model.astype(data_dtype)
+        self.models = list(models)
+        self.datasets = list(datasets)
+        self.rngs = list(rngs)
+        self.stacked: StackedModel = stack_modules(self.models)
+
+    def train(self, config: TrainConfig) -> List[TrainHistory]:
+        """Train all members for ``config.epochs``; one history per member.
+
+        After the call the *source* models hold their trained slices
+        (synced back from the stack) and each member's generator sits
+        exactly where its standalone training run would have left it.
+        """
+        if config.grad_clip:
+            raise ValueError(
+                "grad_clip needs a per-client global gradient norm; "
+                "vectorized cohorts must be gated on grad_clip == 0"
+            )
+        k = len(self.models)
+        loss_fn = get_stacked_loss(config.loss)
+        optimizer = StackedSGD(
+            self.stacked.parameters(),
+            lr=config.learning_rate,
+            momentum=config.momentum,
+            weight_decay=config.weight_decay,
+        )
+        loaders = [
+            DataLoader(dataset, batch_size=config.batch_size, shuffle=True, rng=rng)
+            for dataset, rng in zip(self.datasets, self.rngs)
+        ]
+        histories = [TrainHistory() for _ in range(k)]
+        self.stacked.train()
+
+        for epoch in range(config.epochs):
+            totals = [0.0] * k
+            num_batches = 0
+            # zip steps the K iterators in lockstep; each draws its epoch
+            # permutation from its own client's generator at first step,
+            # exactly as the per-client DataLoader would.  Equal dataset
+            # sizes (checked in __init__) ⇒ equal batch counts and equal
+            # per-step batch shapes, so the stack is always rectangular.
+            for batches in zip(*loaders):
+                images = np.stack([images for images, _ in batches])
+                labels = np.stack([labels for _, labels in batches])
+                optimizer.zero_grad()
+                loss_vec = loss_fn(self.stacked(Tensor(images)), labels)
+                loss_vec.sum().backward()
+                optimizer.step()
+                for index in range(k):
+                    totals[index] += float(loss_vec.data[index])
+                num_batches += 1
+            for index in range(k):
+                histories[index].record(
+                    EpochStats(
+                        epoch=epoch,
+                        mean_loss=totals[index] / num_batches,
+                        num_batches=num_batches,
+                    )
+                )
+        self.stacked.sync_back()
+        return histories
+
+
+@dataclass
+class VectorizedTrainTask:
+    """One cohort's round of local training as a single pure work unit.
+
+    Drop-in for a batch of K :class:`~repro.runtime.task.TrainTask`\\ s:
+    any backend runs it through its zero-arg :meth:`run`, and the result
+    is the list of the K members' ordinary
+    :class:`~repro.runtime.task.TrainResult`\\ s in member order.  The
+    broadcast basis is carried **once** (``model_state``, the same field
+    name the worker pool's version-addressed broadcast cache lifts), not
+    K times.
+    """
+
+    task_id: Any  # tuple(member ids) — one dispatchable unit
+    task_ids: List[Any]  # per-member ids, in stack order
+    model_factory: Callable[[], Module]
+    datasets: List[ArrayDataset]
+    config: TrainConfig
+    rng_states: List[RngState]
+    model_state: Optional[StateDict] = None
+    indices: List[Optional[np.ndarray]] = field(default_factory=list)
+    codec: str = "raw"
+    model_version: Optional[str] = None
+    residuals: List[Optional[StateDict]] = field(default_factory=list)
+
+    def run(self) -> List[TrainResult]:
+        k = len(self.task_ids)
+        models = [self.model_factory() for _ in range(k)]
+        if self.model_state is not None:
+            for model in models:
+                model.load_state_dict(self.model_state)
+        rngs = [restore_rng(state) for state in self.rng_states]
+        indices = self.indices if self.indices else [None] * k
+        datasets = [
+            dataset if chosen is None else dataset.subset(chosen)
+            for dataset, chosen in zip(self.datasets, indices)
+        ]
+        cohort = VectorizedCohort(models, datasets, rngs)
+        histories = cohort.train(self.config)
+        residuals = self.residuals if self.residuals else [None] * k
+        results: List[TrainResult] = []
+        for index in range(k):
+            state, update, update_nbytes, new_residual = encode_trained_state(
+                self.codec,
+                models[index].state_dict(),
+                self.model_state,
+                residuals[index],
+            )
+            results.append(
+                TrainResult(
+                    task_id=self.task_ids[index],
+                    state=state,
+                    history=histories[index],
+                    rng_state=capture_rng(rngs[index]),
+                    update=update,
+                    update_nbytes=update_nbytes,
+                    residual=new_residual,
+                )
+            )
+        return results
+
+
+def cohort_fallback_reason(
+    tasks: Sequence[TrainTask],
+    arch_reason: Optional[str],
+) -> Optional[str]:
+    """Why this cohort cannot take the vectorized path (``None`` = it can).
+
+    ``tasks`` are the per-client tasks the round would otherwise
+    dispatch; ``arch_reason`` is the cached
+    :func:`repro.nn.vmap.stackable_reason` probe of the shared model
+    architecture (the caller probes the factory once, not per round).
+    """
+    if arch_reason is not None:
+        return f"architecture not stackable: {arch_reason}"
+    if len(tasks) < 2:
+        return "cohort has a single participant"
+    config = tasks[0].config
+    if any(task.config != config for task in tasks[1:]):
+        return "cohort members have different train configs"
+    if config.grad_clip:
+        return "grad_clip needs a per-client global gradient norm"
+    if config.loss not in STACKED_LOSSES:
+        return f"loss {config.loss!r} has no stacked implementation"
+    if config.epochs == 0:
+        return "zero-epoch rounds have nothing to vectorize"
+
+    def active_size(task: TrainTask) -> int:
+        return len(task.dataset) if task.indices is None else len(task.indices)
+
+    sizes = {active_size(task) for task in tasks}
+    if len(sizes) != 1:
+        return f"cohort active dataset sizes differ: {sorted(sizes)}"
+    shapes = {np.asarray(task.dataset.images).shape[1:] for task in tasks}
+    if len(shapes) != 1:
+        return f"cohort sample shapes differ: {sorted(map(str, shapes))}"
+    dtypes = {str(np.asarray(task.dataset.images).dtype) for task in tasks}
+    if len(dtypes) != 1:
+        return f"cohort data dtypes differ: {sorted(dtypes)}"
+    return None
+
+
+def make_vectorized_task(
+    tasks: Sequence[TrainTask],
+    model_state: Optional[StateDict],
+) -> VectorizedTrainTask:
+    """Fuse an eligible cohort's per-client tasks into one vectorized task.
+
+    ``model_state`` is the round's broadcast basis, carried once for the
+    whole cohort — the caller passes the state it just broadcast (every
+    member's ``task.model_state`` is a copy of it).
+    """
+    first = tasks[0]
+    return VectorizedTrainTask(
+        task_id=tuple(task.task_id for task in tasks),
+        task_ids=[task.task_id for task in tasks],
+        model_factory=first.model_factory,
+        datasets=[task.dataset for task in tasks],
+        config=first.config,
+        rng_states=[task.rng_state for task in tasks],
+        model_state=model_state,
+        indices=[task.indices for task in tasks],
+        codec=first.codec,
+        model_version=first.model_version,
+        residuals=[task.residual for task in tasks],
+    )
+
+
+__all__ = [
+    "VectorizedCohort",
+    "VectorizedTrainTask",
+    "VmapUnsupported",
+    "cohort_fallback_reason",
+    "make_vectorized_task",
+]

@@ -9,6 +9,7 @@ from . import functional
 from . import init
 from . import losses
 from . import models
+from . import vmap
 from .layers import (
     AvgPool2d,
     BatchNorm2d,
@@ -31,9 +32,11 @@ from .optim import (
     CosineAnnealingLR,
     Optimizer,
     RMSprop,
+    StackedSGD,
     StepLR,
     clip_grad_norm,
 )
+from .vmap import StackedModel, VmapUnsupported, stack_modules
 from .serialization import load_model, load_state_dict, save_model, save_state_dict
 from .tensor import Tensor, concatenate, ensure_tensor, is_grad_enabled, no_grad, stack, where
 
@@ -63,8 +66,13 @@ __all__ = [
     "Flatten",
     "Identity",
     "Sequential",
+    "vmap",
+    "StackedModel",
+    "VmapUnsupported",
+    "stack_modules",
     "Optimizer",
     "SGD",
+    "StackedSGD",
     "Adam",
     "AdamW",
     "RMSprop",

@@ -97,6 +97,101 @@ def conv2d(
     return Tensor._make(out_data, parents, backward_fn)
 
 
+def conv2d_stacked(
+    x: Tensor,
+    weight: Tensor,
+    bias: Optional[Tensor] = None,
+    stride: int = 1,
+    padding: int = 0,
+) -> Tensor:
+    """K independent 2-D convolutions as one batch of GEMMs.
+
+    The vectorized-cohort kernel (:mod:`repro.nn.vmap`): slice ``k`` of
+    every operand is one client's convolution, and the whole call runs
+    as a single ``np.matmul`` over the leading axis instead of K python
+    dispatches.  The per-slice computation — im2col layout, GEMM
+    operand order, bias broadcast, and every backward contraction — is
+    op-for-op the same as :func:`conv2d` on that slice alone, so each
+    slice's values and gradients match the per-client kernel (the vmap
+    parity tests pin this bit for bit on this BLAS).
+
+    Parameters
+    ----------
+    x:
+        Stacked input of shape ``(K, N, C_in, H, W)``.
+    weight:
+        Per-slice filters of shape ``(K, C_out, C_in, KH, KW)``.
+    bias:
+        Optional per-slice biases of shape ``(K, C_out)``.
+    """
+    if x.ndim != 5:
+        raise ValueError(f"conv2d_stacked expects 5-D input, got shape {x.shape}")
+    if weight.ndim != 5:
+        raise ValueError(f"conv2d_stacked expects 5-D weight, got shape {weight.shape}")
+    k_stack, n, c_in, h, w = x.shape
+    k_w, c_out, c_in_w, kh, kw = weight.shape
+    if k_stack != k_w:
+        raise ValueError(f"stack mismatch: {k_stack} inputs vs {k_w} weights")
+    if c_in != c_in_w:
+        raise ValueError(f"input channels {c_in} != weight channels {c_in_w}")
+    h_out = _conv_output_size(h, kh, stride, padding)
+    w_out = _conv_output_size(w, kw, stride, padding)
+
+    x_padded = np.pad(
+        x.data, ((0, 0), (0, 0), (0, 0), (padding, padding), (padding, padding))
+    )
+    # windows: (K, N, C, H', W', KH, KW), exactly conv2d's layout plus the
+    # leading stack axis.
+    windows = sliding_window_view(x_padded, (kh, kw), axis=(3, 4))
+    windows = windows[:, :, :, ::stride, ::stride, :, :]
+    # cols: (K, N * H_out * W_out, C * KH * KW)
+    cols = windows.transpose(0, 1, 3, 4, 2, 5, 6).reshape(
+        k_stack, n * h_out * w_out, c_in * kh * kw
+    )
+    w_flat = weight.data.reshape(k_stack, c_out, -1)
+
+    # Batched GEMM: slice k computes cols[k] @ w_flat[k].T, the same
+    # contraction conv2d issues for one client.
+    out_flat = cols @ w_flat.transpose(0, 2, 1)
+    if bias is not None:
+        out_flat = out_flat + bias.data[:, None, :]
+    out_data = out_flat.reshape(k_stack, n, h_out, w_out, c_out).transpose(0, 1, 4, 2, 3)
+
+    parents = (x, weight) if bias is None else (x, weight, bias)
+
+    def backward_fn(grad: np.ndarray) -> None:
+        # grad: (K, N, C_out, H_out, W_out)
+        grad_flat = grad.transpose(0, 1, 3, 4, 2).reshape(
+            k_stack, n * h_out * w_out, c_out
+        )
+        if bias is not None and bias.requires_grad:
+            bias._accumulate(grad_flat.sum(axis=1))
+        if weight.requires_grad:
+            weight._accumulate(
+                (grad_flat.transpose(0, 2, 1) @ cols).reshape(weight.shape)
+            )
+        if x.requires_grad:
+            dcols = grad_flat @ w_flat  # (K, N*H_out*W_out, C*KH*KW)
+            dwindows = dcols.reshape(
+                k_stack, n, h_out, w_out, c_in, kh, kw
+            ).transpose(0, 1, 4, 2, 3, 5, 6)
+            dx_padded = np.zeros_like(x_padded)
+            for ki in range(kh):
+                for kj in range(kw):
+                    dx_padded[
+                        :, :, :,
+                        ki : ki + h_out * stride : stride,
+                        kj : kj + w_out * stride : stride,
+                    ] += dwindows[:, :, :, :, :, ki, kj]
+            if padding:
+                dx = dx_padded[:, :, :, padding:-padding, padding:-padding]
+            else:
+                dx = dx_padded
+            x._accumulate(dx)
+
+    return Tensor._make(out_data, parents, backward_fn)
+
+
 def max_pool2d(x: Tensor, kernel_size: int) -> Tensor:
     """Non-overlapping max pooling with ``stride == kernel_size``.
 

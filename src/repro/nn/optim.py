@@ -98,6 +98,20 @@ class SGD(Optimizer):
             param.data -= update
 
 
+class StackedSGD(SGD):
+    """SGD over stacked ``(K, ...)`` cohort parameters.
+
+    :class:`SGD`'s update is purely elementwise (weight-decay add,
+    momentum EMA, scaled subtraction), so driving it over parameters that
+    carry a leading stack axis performs *exactly* the per-slice update:
+    slice ``k`` of every velocity buffer and every parameter evolves
+    bitwise identically to a standalone :class:`SGD` on client ``k``'s
+    unstacked parameters.  The subclass exists to make the vectorized
+    training path self-documenting and to anchor the parity tests — it
+    adds no behaviour.
+    """
+
+
 class Adam(Optimizer):
     """Adam optimizer (Kingma & Ba, 2015)."""
 

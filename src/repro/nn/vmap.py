@@ -1,0 +1,513 @@
+"""vmap-style stacking of K homogeneous models into one batched graph.
+
+Every client in a federated round runs the *same* network on different
+data.  :func:`stack_modules` takes K structurally identical models and
+builds one :class:`StackedModel` whose parameters carry a leading stack
+axis of size K, so a round-step becomes a handful of batched NumPy/BLAS
+calls instead of K python-dispatched graphs.  The per-slice float
+operations and their order are kept identical to the per-client layers —
+stacked elementwise ops, per-slice GEMMs (``np.matmul`` over the leading
+axis), and reductions along the same in-slice axes — so slice ``k`` of
+the stacked forward/backward reproduces client ``k``'s standalone run;
+the parity tests in ``tests/nn/test_vmap.py`` pin this bit for bit on
+every supported layer.
+
+Supported layers: ``Linear``, ``Conv2d`` (via
+:func:`~repro.nn.functional.conv2d_stacked`), ``ReLU``, ``Identity``,
+``Flatten``, ``MaxPool2d`` / ``AvgPool2d`` (stack and batch axes merge —
+pooling is per-sample, so the merged call is the per-client call on a
+bigger batch), ``Dropout`` (each slice's mask is drawn from its *own*
+generator, preserving per-client RNG streams), ``LayerNorm`` and
+``GroupNorm`` (per-sample statistics shift by one axis).  Composites:
+``Sequential`` plus the model-zoo classifiers built from it (``MLP``,
+``LeNet5``, ``ModifiedLeNet5``).  Anything else —
+``BatchNorm2d`` (its batch statistics and running buffers are inherently
+per-replica state the stack would have to fork), custom forwards —
+raises :class:`VmapUnsupported`, which the federation layer turns into a
+per-client fallback with a recorded reason.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from . import functional as F
+from .layers import (
+    AvgPool2d,
+    Conv2d,
+    Dropout,
+    Flatten,
+    GroupNorm,
+    Identity,
+    LayerNorm,
+    Linear,
+    MaxPool2d,
+    ReLU,
+    Sequential,
+)
+from .models.lenet import LeNet5, ModifiedLeNet5
+from .models.mlp import MLP
+from .module import Module, Parameter
+from .tensor import Tensor
+
+
+class VmapUnsupported(ValueError):
+    """The module structure cannot be stacked; carries the human reason."""
+
+
+def _stacked_parameter(arrays: List[np.ndarray]) -> Parameter:
+    """A Parameter holding ``stack(arrays)`` in the slices' own dtype.
+
+    ``Parameter.__init__`` casts to float64; stacked cohorts must keep
+    the cohort's dtype (float32 datasets train float32 models), so the
+    stacked data is assigned directly after construction.
+    """
+    stacked = np.stack(arrays, axis=0)
+    param = Parameter(np.zeros((), dtype=np.float64))
+    param.data = stacked
+    return param
+
+
+class StackedLeaf(Module):
+    """Base for stacked leaves: remembers its K source modules so trained
+    slices can be written back (:meth:`sync_back`) for per-slice state
+    extraction."""
+
+    def __init__(self, sources: List[Module]) -> None:
+        super().__init__()
+        self.sources = sources
+
+    def sync_back(self) -> None:
+        """Write each trained slice back into its source module."""
+
+
+class StackedLinear(StackedLeaf):
+    """K fully connected layers as one batched GEMM per step."""
+
+    def __init__(self, sources: List[Linear]) -> None:
+        super().__init__(sources)
+        self.weight = _stacked_parameter([m.weight.data for m in sources])
+        self.has_bias = sources[0].bias is not None
+        if self.has_bias:
+            self.bias = _stacked_parameter([m.bias.data for m in sources])
+
+    def forward(self, x: Tensor) -> Tensor:
+        # Slice k computes x[k] @ W[k].T + b[k] — the same contraction and
+        # broadcast F.linear issues for one client.
+        out = x @ self.weight.transpose(0, 2, 1)
+        if self.has_bias:
+            out = out + self.bias.reshape(
+                self.bias.shape[0], 1, self.bias.shape[1]
+            )
+        return out
+
+    def sync_back(self) -> None:
+        for k, source in enumerate(self.sources):
+            source.weight.data = self.weight.data[k].copy()
+            if self.has_bias:
+                source.bias.data = self.bias.data[k].copy()
+
+
+class StackedConv2d(StackedLeaf):
+    """K convolutions as one leading-axis im2col + batched GEMM."""
+
+    def __init__(self, sources: List[Conv2d]) -> None:
+        super().__init__(sources)
+        first = sources[0]
+        self.stride = first.stride
+        self.padding = first.padding
+        self.weight = _stacked_parameter([m.weight.data for m in sources])
+        self.has_bias = first.bias is not None
+        if self.has_bias:
+            self.bias = _stacked_parameter([m.bias.data for m in sources])
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.conv2d_stacked(
+            x,
+            self.weight,
+            self.bias if self.has_bias else None,
+            stride=self.stride,
+            padding=self.padding,
+        )
+
+    def sync_back(self) -> None:
+        for k, source in enumerate(self.sources):
+            source.weight.data = self.weight.data[k].copy()
+            if self.has_bias:
+                source.bias.data = self.bias.data[k].copy()
+
+
+class StackedReLU(Module):
+    def forward(self, x: Tensor) -> Tensor:
+        return x.relu()
+
+
+class StackedIdentity(Module):
+    def forward(self, x: Tensor) -> Tensor:
+        return x
+
+
+class StackedFlatten(Module):
+    """Per-client ``Flatten`` keeps the batch axis; stacked, it keeps the
+    stack *and* batch axes."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        return x.flatten(start_dim=2)
+
+
+class _MergedBatchPool(Module):
+    """Pooling is per-sample, so stack and batch axes merge into one big
+    batch: the merged call is bit-identical to the per-client kernel on
+    each sample, and the reshapes are pure relabelings."""
+
+    def __init__(self, kernel_size: int) -> None:
+        super().__init__()
+        self.kernel_size = kernel_size
+
+    def _pool(self, x: Tensor) -> Tensor:
+        raise NotImplementedError
+
+    def forward(self, x: Tensor) -> Tensor:
+        k_stack, n = x.shape[0], x.shape[1]
+        merged = x.reshape((k_stack * n,) + x.shape[2:])
+        pooled = self._pool(merged)
+        return pooled.reshape((k_stack, n) + pooled.shape[1:])
+
+
+class StackedMaxPool2d(_MergedBatchPool):
+    def _pool(self, x: Tensor) -> Tensor:
+        return F.max_pool2d(x, self.kernel_size)
+
+
+class StackedAvgPool2d(_MergedBatchPool):
+    def _pool(self, x: Tensor) -> Tensor:
+        return F.avg_pool2d(x, self.kernel_size)
+
+
+class StackedDropout(Module):
+    """Inverted dropout with one mask generator *per slice*.
+
+    Slice k's mask is drawn from client k's own generator with the same
+    call (``rng.random(per_client_shape)``) the per-client layer makes,
+    so stacking neither merges nor reorders any client's RNG stream.
+    """
+
+    def __init__(self, sources: List[Dropout]) -> None:
+        super().__init__()
+        self.p = sources[0].p
+        self._rngs = [m._rng for m in sources]
+
+    def forward(self, x: Tensor) -> Tensor:
+        if not self.training or self.p == 0.0:
+            return x
+        per_client = x.shape[1:]
+        mask = np.stack(
+            [(rng.random(per_client) >= self.p) / (1.0 - self.p) for rng in self._rngs]
+        )
+        return x * Tensor(mask)
+
+
+class StackedLayerNorm(StackedLeaf):
+    """K layer norms; per-sample statistics shift right by one axis."""
+
+    def __init__(self, sources: List[LayerNorm]) -> None:
+        super().__init__(sources)
+        self.eps = sources[0].eps
+        self.num_features = sources[0].num_features
+        self.gamma = _stacked_parameter([m.gamma.data for m in sources])
+        self.beta = _stacked_parameter([m.beta.data for m in sources])
+
+    def forward(self, x: Tensor) -> Tensor:
+        if x.ndim != 3:
+            raise ValueError(f"stacked LayerNorm expects 3-D input, got {x.shape}")
+        mean = x.mean(axis=2, keepdims=True)
+        var = x.var(axis=2, keepdims=True)
+        x_hat = (x - mean) / ((var + self.eps) ** 0.5)
+        k_stack = x.shape[0]
+        gamma = self.gamma.reshape(k_stack, 1, -1)
+        beta = self.beta.reshape(k_stack, 1, -1)
+        return x_hat * gamma + beta
+
+    def sync_back(self) -> None:
+        for k, source in enumerate(self.sources):
+            source.gamma.data = self.gamma.data[k].copy()
+            source.beta.data = self.beta.data[k].copy()
+
+
+class StackedGroupNorm(StackedLeaf):
+    """K group norms; the grouped reduction keeps its in-slice axes."""
+
+    def __init__(self, sources: List[GroupNorm]) -> None:
+        super().__init__(sources)
+        first = sources[0]
+        self.num_groups = first.num_groups
+        self.num_channels = first.num_channels
+        self.eps = first.eps
+        self.gamma = _stacked_parameter([m.gamma.data for m in sources])
+        self.beta = _stacked_parameter([m.beta.data for m in sources])
+
+    def forward(self, x: Tensor) -> Tensor:
+        if x.ndim != 5:
+            raise ValueError(f"stacked GroupNorm expects 5-D input, got {x.shape}")
+        k_stack, n, c, h, w = x.shape
+        grouped = x.reshape(k_stack, n, self.num_groups, c // self.num_groups, h, w)
+        mean = grouped.mean(axis=(3, 4, 5), keepdims=True)
+        var = grouped.var(axis=(3, 4, 5), keepdims=True)
+        normalised = (grouped - mean) / ((var + self.eps) ** 0.5)
+        out = normalised.reshape(k_stack, n, c, h, w)
+        gamma = self.gamma.reshape(k_stack, 1, -1, 1, 1)
+        beta = self.beta.reshape(k_stack, 1, -1, 1, 1)
+        return out * gamma + beta
+
+    def sync_back(self) -> None:
+        for k, source in enumerate(self.sources):
+            source.gamma.data = self.gamma.data[k].copy()
+            source.beta.data = self.beta.data[k].copy()
+
+
+class StackedSequential(Module):
+    """Chain of stacked layers applied in order."""
+
+    def __init__(self, layers: List[Module]) -> None:
+        super().__init__()
+        for index, layer in enumerate(layers):
+            setattr(self, f"layer{index}", layer)
+        self._layers = list(layers)
+
+    def forward(self, x: Tensor) -> Tensor:
+        for layer in self._layers:
+            x = layer(x)
+        return x
+
+
+class StackedFlattenIfImages(Module):
+    """Mirror of ``MLP.forward``'s conditional flatten: a stacked image
+    batch ``(K, N, C, H, W)`` flattens to ``(K, N, C*H*W)``; an already
+    flat ``(K, N, F)`` input passes through."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        if x.ndim > 3:
+            return x.flatten(start_dim=2)
+        return x
+
+
+class StackedModel(Module):
+    """K stacked models behind one forward; the federation layer's view.
+
+    ``parameters()`` walks the stacked leaves (each holding ``(K, ...)``
+    data), so one optimizer drives all K slices; :meth:`sync_back`
+    scatters the trained slices into the source models for per-slice
+    ``state_dict()`` extraction.
+    """
+
+    def __init__(self, body: Module, sources: List[Module]) -> None:
+        super().__init__()
+        self.body = body
+        self.sources = sources
+
+    def forward(self, x: Tensor) -> Tensor:
+        return self.body(x)
+
+    def sync_back(self) -> None:
+        for module in self.modules():
+            if isinstance(module, StackedLeaf):
+                module.sync_back()
+
+    def slice_states(self) -> List[dict]:
+        """Per-slice state dicts after :meth:`sync_back`."""
+        self.sync_back()
+        return [source.state_dict() for source in self.sources]
+
+
+_LEAF_BUILDERS = {
+    Linear: StackedLinear,
+    Conv2d: StackedConv2d,
+    LayerNorm: StackedLayerNorm,
+    GroupNorm: StackedGroupNorm,
+    Dropout: StackedDropout,
+}
+
+_STATELESS = {
+    ReLU: StackedReLU,
+    Identity: StackedIdentity,
+    Flatten: StackedFlatten,
+}
+
+
+def _check_homogeneous(modules: List[Module]) -> None:
+    first = modules[0]
+    for module in modules[1:]:
+        if type(module) is not type(first):
+            raise VmapUnsupported(
+                f"cohort models differ in structure: {type(first).__name__} "
+                f"vs {type(module).__name__}"
+            )
+
+
+def _stack(modules: List[Module]) -> Module:
+    _check_homogeneous(modules)
+    first = modules[0]
+    cls = type(first)
+    if cls in _STATELESS:
+        return _STATELESS[cls]()
+    if cls is MaxPool2d:
+        if any(m.kernel_size != first.kernel_size for m in modules):
+            raise VmapUnsupported("cohort MaxPool2d kernel sizes differ")
+        return StackedMaxPool2d(first.kernel_size)
+    if cls is AvgPool2d:
+        if any(m.kernel_size != first.kernel_size for m in modules):
+            raise VmapUnsupported("cohort AvgPool2d kernel sizes differ")
+        return StackedAvgPool2d(first.kernel_size)
+    if cls in _LEAF_BUILDERS:
+        key_attrs = {
+            Linear: ("in_features", "out_features"),
+            Conv2d: ("in_channels", "out_channels", "kernel_size", "stride", "padding"),
+            LayerNorm: ("num_features", "eps"),
+            GroupNorm: ("num_groups", "num_channels", "eps"),
+            Dropout: ("p",),
+        }[cls]
+        for attr in key_attrs:
+            value = getattr(first, attr)
+            if any(getattr(m, attr) != value for m in modules):
+                raise VmapUnsupported(
+                    f"cohort {cls.__name__} layers differ in {attr}"
+                )
+        if cls in (Linear, Conv2d):
+            first_has_bias = first.bias is not None
+            if any((m.bias is not None) != first_has_bias for m in modules):
+                raise VmapUnsupported(f"cohort {cls.__name__} bias presence differs")
+        return _LEAF_BUILDERS[cls](modules)
+    if cls is Sequential:
+        lengths = {len(m._layers) for m in modules}
+        if len(lengths) != 1:
+            raise VmapUnsupported("cohort Sequential lengths differ")
+        return StackedSequential(
+            [_stack([m._layers[i] for m in modules]) for i in range(len(first._layers))]
+        )
+    if cls is MLP:
+        return StackedSequential(
+            [StackedFlattenIfImages(), _stack([m.net for m in modules])]
+        )
+    if cls in (LeNet5, ModifiedLeNet5):
+        return StackedSequential(
+            [
+                _stack([m.features for m in modules]),
+                _stack([m.classifier for m in modules]),
+            ]
+        )
+    raise VmapUnsupported(
+        f"module type {cls.__name__} has no stacked implementation"
+    )
+
+
+def stack_modules(models: List[Module]) -> StackedModel:
+    """Stack K structurally identical models into one batched model.
+
+    Raises :class:`VmapUnsupported` (with a human-readable reason) when
+    any layer has no stacked implementation or the models' structures
+    disagree — callers fall back to per-client execution.
+    """
+    if not models:
+        raise ValueError("stack_modules needs at least one model")
+    dtypes = {model.dtype for model in models}
+    if len(dtypes) != 1:
+        raise VmapUnsupported(f"cohort models differ in dtype: {sorted(map(str, dtypes))}")
+    for model in models:
+        for name, _ in model.named_buffers():
+            raise VmapUnsupported(
+                f"model carries a buffer ({name!r}); buffered layers such as "
+                "BatchNorm2d hold per-replica running state the stack cannot share"
+            )
+    return StackedModel(_stack(models), models)
+
+
+def stackable_reason(model: Module) -> Optional[str]:
+    """Why ``model``'s architecture cannot be stacked (``None`` = it can)."""
+    try:
+        stack_modules([model])
+    except VmapUnsupported as error:
+        return str(error)
+    return None
+
+
+# ----------------------------------------------------------------------
+# Stacked hard losses: per-slice means, one graph
+# ----------------------------------------------------------------------
+def _stacked_pick(log_probs: Tensor, labels: np.ndarray) -> Tensor:
+    """``log_probs[k, b, labels[k, b]]`` as a (K, B) tensor."""
+    k_stack, batch = labels.shape
+    k_idx = np.arange(k_stack)[:, None]
+    b_idx = np.arange(batch)[None, :]
+    return log_probs[k_idx, b_idx, labels]
+
+
+def _check_stacked_labels(logits: Tensor, labels: np.ndarray) -> np.ndarray:
+    labels = np.asarray(labels)
+    if logits.ndim != 3:
+        raise ValueError(f"stacked logits must be 3-D (K, N, classes), got {logits.shape}")
+    if labels.shape != logits.shape[:2]:
+        raise ValueError(
+            f"stacked labels must be (K, N) = {logits.shape[:2]}, got {labels.shape}"
+        )
+    return labels.astype(np.int64)
+
+
+def stacked_cross_entropy(logits: Tensor, labels: np.ndarray) -> Tensor:
+    """Per-slice mean softmax cross-entropy: ``(K,)`` losses, one graph.
+
+    Slice k's value and gradient equal
+    ``cross_entropy(logits[k], labels[k])`` — the log-softmax reduces
+    along the class axis, the pick indexes within the slice, and the
+    mean divides by the same batch count.  Also serves ``nll``
+    (``nll_from_logits`` composes the identical ops).
+    """
+    labels = _check_stacked_labels(logits, labels)
+    log_probs = F.log_softmax(logits, axis=-1)
+    picked = _stacked_pick(log_probs, labels)
+    return (-picked).mean(axis=1)
+
+
+def stacked_focal_loss(logits: Tensor, labels: np.ndarray, gamma: float = 2.0) -> Tensor:
+    """Per-slice mean focal loss, mirroring :func:`repro.nn.losses.focal_loss`."""
+    labels = _check_stacked_labels(logits, labels)
+    log_probs = F.log_softmax(logits, axis=-1)
+    picked_log = _stacked_pick(log_probs, labels)
+    p_t = picked_log.exp()
+    modulator = (1.0 - p_t) ** gamma if gamma else Tensor(np.ones_like(p_t.data))
+    return (-(modulator * picked_log)).mean(axis=1)
+
+
+def stacked_label_smoothing_loss(
+    logits: Tensor, labels: np.ndarray, smoothing: float = 0.1
+) -> Tensor:
+    """Per-slice mean label-smoothing loss, mirroring
+    :func:`repro.nn.losses.label_smoothing_loss`."""
+    labels = _check_stacked_labels(logits, labels)
+    log_probs = F.log_softmax(logits, axis=-1)
+    picked = _stacked_pick(log_probs, labels)
+    num_classes = logits.shape[2]
+    uniform_term = log_probs.sum(axis=2) * (smoothing / num_classes)
+    per_sample = -((1.0 - smoothing) * picked + uniform_term)
+    return per_sample.mean(axis=1)
+
+
+STACKED_LOSSES = {
+    "cross_entropy": stacked_cross_entropy,
+    "nll": stacked_cross_entropy,  # nll_from_logits composes the same ops
+    "focal": stacked_focal_loss,
+    "label_smoothing": stacked_label_smoothing_loss,
+}
+"""Stacked counterparts of :data:`repro.nn.losses.HARD_LOSSES`."""
+
+
+def get_stacked_loss(name: str):
+    """The stacked counterpart of a hard loss; raises on unknown names."""
+    try:
+        return STACKED_LOSSES[name]
+    except KeyError:
+        raise ValueError(
+            f"loss {name!r} has no stacked implementation; "
+            f"available: {sorted(STACKED_LOSSES)}"
+        ) from None

@@ -450,6 +450,91 @@ class QuantCodec(_LossyDeltaCodec):
                 entry["codes"] = entry["codes"].astype(np.uint8)
 
 
+class ErrorFeedbackCodec(UpdateCodec):
+    """``ef:<lossy-spec>`` — client-side error feedback around a lossy codec.
+
+    Wraps :class:`~repro.federated.compression.ErrorFeedback` around the
+    inner codec's compressor: each round the client adds the residual its
+    *previous* compression dropped to this round's float delta before
+    compressing, so the cumulative transmitted signal tracks the
+    cumulative true signal (the standard fix for top-k's bias; Seide et
+    al., Karimireddy et al.).  The wire format is the inner codec's —
+    the server decodes ``ef:topk:0.05`` exactly as it would
+    ``topk:0.05`` — only the *client-side* pre-compression correction
+    changes.
+
+    The residual is per-client state, not a codec attribute: codec
+    instances are shared process-wide (and encode runs inside worker
+    processes), so the residual travels with the task
+    (``TrainTask.residual`` in, ``TrainResult.residual`` out) and lives
+    on the :class:`~repro.federated.client.Client` between rounds.  It
+    never crosses the simulated FL wire — transport metering excludes
+    it by construction (it is not a model-state task field).
+
+    A residual whose structure no longer matches the current delta
+    (model architecture changed, federation reinitialised) is silently
+    dropped and feedback restarts from zero — the same behaviour as a
+    fresh client.
+    """
+
+    lossless = False
+
+    def __init__(self, inner_spec: str) -> None:
+        inner = get_codec(inner_spec)
+        if not isinstance(inner, _LossyDeltaCodec):
+            raise ValueError(
+                f"ef wraps lossy delta codecs (topk/quant), got {inner_spec!r}"
+            )
+        self.inner = inner
+        self.spec = f"ef:{inner.spec}"
+
+    def encode_with_residual(
+        self,
+        state: StateDict,
+        basis: StateDict,
+        residual: Optional[StateDict] = None,
+    ) -> Tuple[EncodedUpdate, Optional[StateDict]]:
+        """Encode with feedback: ``(encoded update, residual to carry)``."""
+        from ..federated.compression import ErrorFeedback
+
+        lossy, exact = _split_lossy_keys(state)
+        delta = {key: state[key] - basis[key] for key in lossy}
+        compressed = None
+        new_residual = residual
+        if delta:
+            feedback = ErrorFeedback(self.inner._compressor)
+            if residual and set(residual) == set(delta):
+                feedback._residual = residual
+            compressed, _ = feedback.compress(delta)
+            self.inner._narrow(compressed)
+            new_residual = feedback._residual
+        exact_part = {key: state[key] for key in exact}
+        nbytes = (compressed.payload_bytes if compressed else 0) + dense_nbytes(
+            exact_part
+        )
+        return (
+            EncodedUpdate(
+                codec=self.spec, payload=(compressed, exact_part), nbytes=nbytes
+            ),
+            new_residual,
+        )
+
+    def encode(self, state: StateDict, basis: StateDict) -> EncodedUpdate:
+        # Residual-free entry point (first round / callers without client
+        # state): feedback contributes nothing, output equals the inner
+        # codec's bit for bit.
+        return self.encode_with_residual(state, basis, None)[0]
+
+    def decode(self, encoded: EncodedUpdate, basis: StateDict) -> StateDict:
+        compressed, exact_part = encoded.payload
+        state = dict(exact_part)
+        if compressed is not None:
+            for key, delta in self.inner._compressor.decompress(compressed).items():
+                base = basis[key]
+                state[key] = base + np.asarray(delta, dtype=base.dtype)
+        return state
+
+
 # ----------------------------------------------------------------------
 # Registry
 # ----------------------------------------------------------------------
@@ -485,10 +570,17 @@ def _quant_factory(arg: Optional[str]) -> UpdateCodec:
     return QuantCodec(int(arg))
 
 
+def _ef_factory(arg: Optional[str]) -> UpdateCodec:
+    if arg is None:
+        raise ValueError("ef wraps a lossy codec, e.g. 'ef:topk:0.05'")
+    return ErrorFeedbackCodec(arg)
+
+
 register_codec("raw", _no_arg("raw", RawCodec))
 register_codec("delta", _no_arg("delta", DeltaCodec))
 register_codec("topk", _topk_factory)
 register_codec("quant", _quant_factory)
+register_codec("ef", _ef_factory)
 
 
 def available_codecs() -> List[str]:

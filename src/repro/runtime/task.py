@@ -82,6 +82,9 @@ class TrainResult:
     rng_state: RngState
     update: Optional[EncodedUpdate] = None
     update_nbytes: int = 0
+    # Error-feedback residual to carry into the client's next encode
+    # (``ef:*`` codecs only; client-side state, never wire traffic).
+    residual: Optional[StateDict] = None
 
     def resolve_state(self, basis: Optional[StateDict] = None) -> StateDict:
         """The trained state dict, decoding ``update`` when encoded."""
@@ -95,6 +98,41 @@ class TrainResult:
                 "encoded; decoding needs the broadcast basis state"
             )
         return get_codec(self.update.codec).decode(self.update, basis)
+
+
+def encode_trained_state(
+    codec: str,
+    state: StateDict,
+    basis: Optional[StateDict],
+    residual: Optional[StateDict] = None,
+):
+    """Run a trained state through the task-side half of an update codec.
+
+    Returns ``(state_or_None, update, update_nbytes, new_residual)`` — the
+    exact fields a :class:`TrainResult` carries.  ``raw`` (or a missing
+    basis) returns the dense state untouched; any other codec encodes
+    against ``basis`` and nulls the dense state.  ``residual`` is handed
+    to codecs that support error feedback
+    (:class:`~repro.runtime.codec.ErrorFeedbackCodec`) and the advanced
+    residual comes back for the caller to return to the client.
+
+    Shared by :meth:`TrainTask.run` and the vectorized cohort task
+    (:mod:`repro.federated.vectorized`) so both paths apply the identical
+    transform.
+    """
+    update = None
+    new_residual = None
+    update_nbytes = dense_nbytes(state)
+    if codec != "raw" and basis is not None:
+        codec_obj = get_codec(codec)
+        encode_fb = getattr(codec_obj, "encode_with_residual", None)
+        if encode_fb is not None:
+            update, new_residual = encode_fb(state, basis, residual)
+        else:
+            update = codec_obj.encode(state, basis)
+        update_nbytes = update.nbytes
+        state = None
+    return state, update, update_nbytes, new_residual
 
 
 @dataclass
@@ -140,6 +178,9 @@ class TrainTask:
     indices: Optional[np.ndarray] = None
     codec: str = "raw"
     model_version: Optional[str] = None
+    # Error-feedback residual from the client's previous round (``ef:*``
+    # codecs only) — see ``TrainResult.residual``.
+    residual: Optional[StateDict] = None
 
     def run(self) -> TrainResult:
         model = self.model_factory()
@@ -150,13 +191,9 @@ class TrainTask:
             self.dataset if self.indices is None else self.dataset.subset(self.indices)
         )
         history = train(model, dataset, self.config, rng)
-        state: Optional[StateDict] = model.state_dict()
-        update = None
-        update_nbytes = dense_nbytes(state)
-        if self.codec != "raw" and self.model_state is not None:
-            update = get_codec(self.codec).encode(state, self.model_state)
-            update_nbytes = update.nbytes
-            state = None
+        state, update, update_nbytes, new_residual = encode_trained_state(
+            self.codec, model.state_dict(), self.model_state, self.residual
+        )
         return TrainResult(
             task_id=self.task_id,
             state=state,
@@ -164,6 +201,7 @@ class TrainTask:
             rng_state=capture_rng(rng),
             update=update,
             update_nbytes=update_nbytes,
+            residual=new_residual,
         )
 
 

@@ -1,0 +1,101 @@
+"""FederationSpec.vectorize: spec layer, sweep, CLI and runner provenance."""
+
+import pytest
+
+from repro.experiments import SMOKE, scale as scale_module
+from repro.experiments.cli import main
+from repro.experiments.runner import run_matrix
+from repro.experiments.spec import (
+    ExperimentSpec,
+    FederationSpec,
+    ScenarioSpec,
+    build_scenario,
+    clean_deletion_scenario,
+)
+
+TINY = SMOKE.with_overrides(
+    train_size=120, test_size=60, pretrain_rounds=1, local_epochs=1,
+    unlearn_rounds=1,
+)
+
+
+class TestVectorizeSpec:
+    def test_default_is_off(self):
+        assert FederationSpec().vectorize is False
+
+    def test_round_trips_through_dict(self):
+        spec = ScenarioSpec(federation=FederationSpec(vectorize=True))
+        restored = ScenarioSpec.from_dict(spec.to_dict())
+        assert restored == spec
+        assert restored.federation.vectorize is True
+        assert restored.hash() == spec.hash()
+
+    def test_vectorize_changes_the_spec_hash(self):
+        base = ScenarioSpec()
+        swept = base.with_overrides(**{"federation.vectorize": True})
+        assert swept.federation.vectorize is True
+        assert swept.hash() != base.hash()
+
+    def test_builder_wires_vectorize_into_simulation(self):
+        spec = clean_deletion_scenario().with_overrides(
+            **{"federation.vectorize": True}
+        )
+        scenario = build_scenario(spec, TINY, seed=0)
+        assert scenario.sim.vectorize is True
+        off = build_scenario(clean_deletion_scenario(), TINY, seed=0)
+        assert off.sim.vectorize is False
+
+
+class TestMatrixVectorizeSweep:
+    def test_sweep_cells_match_and_provenance_is_stamped(self, monkeypatch):
+        monkeypatch.setitem(scale_module.SCALES, "smoke", TINY)
+        exp = ExperimentSpec(
+            experiment_id="matrix:vectorize",
+            title="vectorize sweep",
+            kind="matrix",
+            scenario=clean_deletion_scenario(),
+            methods=("b1",),
+            params={"sweeps": {"federation.vectorize": [False, True]}},
+        )
+        result = run_matrix(exp, TINY, seed=0)
+        rows = {
+            row["federation.vectorize"]: row
+            for row in result.rows
+            if row["method"] == "b1"
+        }
+        assert set(rows) == {False, True}
+        # Vectorization is an execution strategy, not a model change:
+        # identical metrics in both cells.
+        assert rows[False]["acc"] == rows[True]["acc"]
+        assert rows[False]["backdoor"] == rows[True]["backdoor"]
+        vectorize = result.runtime["vectorize"]
+        assert vectorize["requested"] is True
+        assert vectorize["rounds_vectorized"] > 0
+
+    def test_no_provenance_when_never_requested(self, monkeypatch):
+        monkeypatch.setitem(scale_module.SCALES, "smoke", TINY)
+        exp = ExperimentSpec(
+            experiment_id="matrix:plain",
+            title="plain",
+            kind="matrix",
+            scenario=clean_deletion_scenario(),
+            methods=("b1",),
+        )
+        result = run_matrix(exp, TINY, seed=0)
+        assert "vectorize" not in result.runtime
+
+
+class TestCliVectorizeFlag:
+    def test_vectorize_flag_threads_into_matrix(self, capsys, monkeypatch):
+        monkeypatch.setitem(scale_module.SCALES, "smoke", TINY)
+        assert main([
+            "matrix", "--scenario", "clean_deletion", "--method", "b1",
+            "--vectorize",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "matrix:clean_deletion" in out
+        assert "vectorize" in out
+
+    def test_vectorize_outside_matrix_refused_not_ignored(self, capsys):
+        assert main(["fig6", "--vectorize"]) == 2
+        assert "matrix driver only" in capsys.readouterr().err

@@ -1,0 +1,306 @@
+"""Stacked-vs-looped parity for the vmap layer (:mod:`repro.nn.vmap`).
+
+The vectorized client path's whole correctness story rests on one claim:
+slice ``k`` of a stacked forward/backward/step is **bit-identical** to
+client ``k``'s standalone run.  These tests pin that claim layer by
+layer — values, gradients, optimizer trajectories and RNG streams — with
+exact equality, not tolerances.
+"""
+
+import numpy as np
+import pytest
+
+from repro.nn.layers import (
+    AvgPool2d,
+    BatchNorm2d,
+    Conv2d,
+    Dropout,
+    Flatten,
+    GroupNorm,
+    Identity,
+    LayerNorm,
+    Linear,
+    MaxPool2d,
+    ReLU,
+    Sequential,
+)
+from repro.nn.losses import (
+    cross_entropy,
+    focal_loss,
+    label_smoothing_loss,
+    nll_from_logits,
+)
+from repro.nn.models import MLP, LeNet5, ModifiedLeNet5
+from repro.nn.optim import SGD, StackedSGD
+from repro.nn.tensor import Tensor
+from repro.nn.vmap import (
+    STACKED_LOSSES,
+    VmapUnsupported,
+    get_stacked_loss,
+    stack_modules,
+    stackable_reason,
+    stacked_cross_entropy,
+    stacked_focal_loss,
+    stacked_label_smoothing_loss,
+)
+
+K = 3  # stack size used throughout
+N = 4  # per-client batch size
+
+
+def rngs(seed=0, count=K):
+    return [np.random.default_rng(seed + i) for i in range(count)]
+
+
+def stacked_input(shape, seed=7, dtype=np.float64):
+    rng = np.random.default_rng(seed)
+    return rng.normal(0.0, 1.0, size=(K,) + shape).astype(dtype)
+
+
+def assert_exact(a, b):
+    a = np.asarray(a)
+    b = np.asarray(b)
+    assert a.dtype == b.dtype
+    np.testing.assert_array_equal(a, b)
+
+
+def forward_backward_parity(members, stacked, x):
+    """Run stacked vs per-member forward+backward; compare bit for bit.
+
+    ``x`` is a ``(K, N, ...)`` array.  The backward seeds both paths with
+    the same upstream gradient of ones (sum loss); input gradients are
+    compared too, covering parameterless layers (pooling, ReLU).
+    """
+    stacked_in = Tensor(x, requires_grad=True)
+    out = stacked(stacked_in)
+    out.sum().backward()
+    for k, member in enumerate(members):
+        ref_in = Tensor(x[k].copy(), requires_grad=True)
+        ref = member(ref_in)
+        ref.sum().backward()
+        assert_exact(out.data[k], ref.data)
+        assert_exact(stacked_in.grad[k], ref_in.grad)
+        stacked_params = list(stacked.parameters())
+        member_params = list(member.parameters())
+        assert len(stacked_params) == len(member_params)
+        for sp, mp in zip(stacked_params, member_params):
+            assert_exact(sp.grad[k], mp.grad)
+
+
+class TestStackedLinear:
+    def test_forward_backward_bit_exact(self):
+        members = [Linear(5, 3, rng) for rng in rngs()]
+        stacked = stack_modules(members)
+        forward_backward_parity(members, stacked, stacked_input((N, 5)))
+
+    def test_no_bias_variant(self):
+        members = [Linear(5, 3, rng, bias=False) for rng in rngs()]
+        stacked = stack_modules(members)
+        forward_backward_parity(members, stacked, stacked_input((N, 5)))
+
+    def test_float32_stays_float32(self):
+        members = [Linear(5, 3, rng).astype(np.float32) for rng in rngs()]
+        stacked = stack_modules(members)
+        x = stacked_input((N, 5), dtype=np.float32)
+        out = stacked(Tensor(x))
+        assert out.data.dtype == np.float32
+        forward_backward_parity(members, stacked, x)
+
+
+class TestStackedConv2d:
+    @pytest.mark.parametrize("stride,padding", [(1, 0), (2, 1)])
+    def test_forward_backward_bit_exact(self, stride, padding):
+        members = [
+            Conv2d(2, 4, 3, rng, stride=stride, padding=padding) for rng in rngs()
+        ]
+        stacked = stack_modules(members)
+        forward_backward_parity(members, stacked, stacked_input((N, 2, 8, 8)))
+
+
+class TestStackedPooling:
+    @pytest.mark.parametrize("pool_cls", [MaxPool2d, AvgPool2d])
+    def test_merged_batch_is_bit_exact(self, pool_cls):
+        members = [pool_cls(2) for _ in range(K)]
+        stacked = stack_modules(members)
+        forward_backward_parity(members, stacked, stacked_input((N, 2, 6, 6)))
+
+
+class TestStackedNorms:
+    def test_layernorm_bit_exact(self):
+        members = [LayerNorm(6) for _ in range(K)]
+        # Give each member distinct affine parameters so parity is not
+        # trivially satisfied by identical gammas.
+        for i, member in enumerate(members):
+            member.gamma.data = member.gamma.data * (1.0 + 0.1 * i)
+            member.beta.data = member.beta.data + 0.05 * i
+        stacked = stack_modules(members)
+        forward_backward_parity(members, stacked, stacked_input((N, 6)))
+
+    def test_groupnorm_bit_exact(self):
+        members = [GroupNorm(2, 4) for _ in range(K)]
+        for i, member in enumerate(members):
+            member.gamma.data = member.gamma.data * (1.0 + 0.1 * i)
+        stacked = stack_modules(members)
+        forward_backward_parity(members, stacked, stacked_input((N, 4, 5, 5)))
+
+
+class TestStackedDropout:
+    def test_per_client_rng_streams_preserved(self):
+        """Each slice's mask comes from its own generator, advancing it
+        exactly as the standalone layer would."""
+        generators = rngs(seed=100)
+        members = [Dropout(0.4, rng) for rng in generators]
+        stacked = stack_modules(members)
+        stacked.train()
+        x = stacked_input((N, 6))
+        out = stacked(Tensor(x))
+
+        reference = rngs(seed=100)
+        for k, rng in enumerate(reference):
+            ref_layer = Dropout(0.4, rng)
+            ref_layer.train()
+            ref_out = ref_layer(Tensor(x[k].copy()))
+            assert_exact(out.data[k], ref_out.data)
+            # The stacked pass left generator k exactly where the
+            # standalone pass leaves its generator.
+            assert generators[k].bit_generator.state == rng.bit_generator.state
+
+    def test_eval_mode_is_identity(self):
+        members = [Dropout(0.5, rng) for rng in rngs()]
+        stacked = stack_modules(members)
+        stacked.eval()
+        x = stacked_input((N, 6))
+        assert_exact(stacked(Tensor(x)).data, x)
+
+
+class TestStackedSGD:
+    def test_momentum_trajectory_bit_exact(self):
+        """Three optimizer steps with momentum + weight decay: every
+        slice's parameters track its standalone twin exactly."""
+        members = [Linear(5, 3, rng) for rng in rngs()]
+        twins = [Linear(5, 3, rng) for rng in rngs()]  # same init (same seeds)
+        stacked = stack_modules(members)
+        opt = StackedSGD(
+            stacked.parameters(), lr=0.1, momentum=0.9, weight_decay=1e-3
+        )
+        twin_opts = [
+            SGD(t.parameters(), lr=0.1, momentum=0.9, weight_decay=1e-3)
+            for t in twins
+        ]
+        for step in range(3):
+            x = stacked_input((N, 5), seed=50 + step)
+            opt.zero_grad()
+            stacked(Tensor(x)).sum().backward()
+            opt.step()
+            for k, (twin, twin_opt) in enumerate(zip(twins, twin_opts)):
+                twin_opt.zero_grad()
+                twin(Tensor(x[k].copy())).sum().backward()
+                twin_opt.step()
+        stacked.sync_back()
+        for member, twin in zip(members, twins):
+            for (name, got), (_, want) in zip(
+                member.state_dict().items(), twin.state_dict().items()
+            ):
+                assert_exact(got, want)
+
+
+class TestStackedModels:
+    @pytest.mark.parametrize(
+        "build,shape",
+        [
+            (lambda rng: MLP(16, 3, rng), (N, 1, 4, 4)),
+            (lambda rng: MLP(16, 3, rng), (N, 16)),  # pre-flattened input
+            (lambda rng: LeNet5(3, rng, in_channels=1, image_size=16), (N, 1, 16, 16)),
+            (
+                lambda rng: ModifiedLeNet5(3, rng, in_channels=2, image_size=16),
+                (N, 2, 16, 16),
+            ),
+        ],
+    )
+    def test_model_zoo_forward_backward_bit_exact(self, build, shape):
+        members = [build(rng) for rng in rngs()]
+        stacked = stack_modules(members)
+        forward_backward_parity(members, stacked, stacked_input(shape))
+
+    def test_sequential_of_supported_layers(self):
+        def build(rng):
+            return Sequential(
+                Flatten(), Linear(18, 8, rng), ReLU(), Identity(), Linear(8, 3, rng)
+            )
+
+        members = [build(rng) for rng in rngs()]
+        stacked = stack_modules(members)
+        forward_backward_parity(members, stacked, stacked_input((N, 2, 3, 3)))
+
+    def test_sync_back_restores_slice_states(self):
+        members = [MLP(8, 3, rng) for rng in rngs()]
+        originals = [m.state_dict() for m in members]
+        stacked = stack_modules(members)
+        states = stacked.slice_states()
+        for state, original in zip(states, originals):
+            assert set(state) == set(original)
+            for key in state:
+                assert_exact(state[key], original[key])
+
+
+class TestStackedLosses:
+    @pytest.mark.parametrize(
+        "stacked_fn,ref_fn",
+        [
+            (stacked_cross_entropy, cross_entropy),
+            (stacked_cross_entropy, nll_from_logits),  # same composed ops
+            (stacked_focal_loss, focal_loss),
+            (stacked_label_smoothing_loss, label_smoothing_loss),
+        ],
+    )
+    def test_per_slice_value_and_grad_bit_exact(self, stacked_fn, ref_fn):
+        logits = stacked_input((N, 5), seed=3)
+        labels = np.random.default_rng(4).integers(0, 5, size=(K, N))
+        stacked_in = Tensor(logits.copy(), requires_grad=True)
+        loss_vec = stacked_fn(stacked_in, labels)
+        assert loss_vec.shape == (K,)
+        loss_vec.sum().backward()
+        for k in range(K):
+            ref_in = Tensor(logits[k].copy(), requires_grad=True)
+            ref_loss = ref_fn(ref_in, labels[k])
+            ref_loss.backward()
+            assert_exact(loss_vec.data[k], ref_loss.data)
+            assert_exact(stacked_in.grad[k], ref_in.grad)
+
+    def test_registry_covers_every_stacked_name(self):
+        for name in STACKED_LOSSES:
+            assert callable(get_stacked_loss(name))
+        with pytest.raises(ValueError, match="no stacked implementation"):
+            get_stacked_loss("mse")
+
+
+class TestRejection:
+    def test_batchnorm_buffers_rejected_with_reason(self):
+        def build(rng):
+            return Sequential(Conv2d(1, 2, 3, rng), BatchNorm2d(2))
+
+        members = [build(rng) for rng in rngs()]
+        with pytest.raises(VmapUnsupported, match="buffer"):
+            stack_modules(members)
+        assert "buffer" in stackable_reason(members[0])
+
+    def test_structural_mismatch_rejected(self):
+        a = Sequential(Linear(4, 3, np.random.default_rng(0)))
+        b = Sequential(ReLU())
+        with pytest.raises(VmapUnsupported, match="structure"):
+            stack_modules([a, b])
+
+    def test_shape_mismatch_rejected(self):
+        a = Linear(4, 3, np.random.default_rng(0))
+        b = Linear(5, 3, np.random.default_rng(1))
+        with pytest.raises(VmapUnsupported, match="in_features"):
+            stack_modules([a, b])
+
+    def test_dtype_mismatch_rejected(self):
+        a = Linear(4, 3, np.random.default_rng(0))
+        b = Linear(4, 3, np.random.default_rng(1)).astype(np.float32)
+        with pytest.raises(VmapUnsupported, match="dtype"):
+            stack_modules([a, b])
+
+    def test_stackable_reason_none_for_supported_model(self):
+        assert stackable_reason(MLP(8, 3, np.random.default_rng(0))) is None
