@@ -1,0 +1,98 @@
+"""Deletion SLA benchmark: p50/p95 time-to-forget under Poisson load.
+
+Drives the durable :class:`~repro.unlearning.service.UnlearningService`
+with the seeded Poisson request stream from the ``deletion_sla``
+experiment kind, once per flush policy (immediate / batch:2 /
+periodic:3 — the identical stream hits every policy), and appends one
+``deletion_sla`` record to ``benchmarks/results/bench_runtime.json``::
+
+    {"workload": "deletion_sla", "scale": ..., "policy": ...,
+     "p50_rounds": ..., "p95_rounds": ..., "requests": ...,
+     "policies": {...}, "wall_clock_s": ...}
+
+Floor assertions (regressions surface on PRs):
+
+* every submitted request certifies under every policy — the shutdown
+  drain leaves nothing queued;
+* p50 ≤ p95 and the immediate policy's p50 is 0 rounds (a request
+  certifies the round it arrives when windows flush immediately);
+* batching amortises: ``batch:2`` spends no more retrain chains per
+  request than ``immediate`` on the same stream.
+"""
+
+import json
+import os
+import time
+
+from repro.experiments.deletion_sla import run_deletion_sla
+from repro.experiments.spec import ExperimentSpec, get_scenario
+
+RESULTS_PATH = os.path.join(
+    os.path.dirname(__file__), "results", "bench_runtime.json"
+)
+
+NUM_REQUESTS = 6
+
+
+def _emit(record: dict) -> None:
+    os.makedirs(os.path.dirname(RESULTS_PATH), exist_ok=True)
+    records = []
+    if os.path.exists(RESULTS_PATH):
+        with open(RESULTS_PATH) as handle:
+            records = json.load(handle)
+    records.append(record)
+    with open(RESULTS_PATH, "w") as handle:
+        json.dump(records, handle, indent=2)
+    print(json.dumps(record))
+
+
+class TestDeletionSla:
+    def test_poisson_load_sla_and_floor(self, scale):
+        exp = ExperimentSpec(
+            experiment_id="bench:deletion_sla",
+            title="time-to-forget SLA under Poisson load",
+            kind="deletion_sla",
+            scenario=get_scenario("clean_deletion"),
+            params={"num_requests": NUM_REQUESTS, "rate": 1.0},
+        )
+        start = time.perf_counter()
+        result = run_deletion_sla(exp, scale, seed=0)
+        wall = time.perf_counter() - start
+        print(result.render())
+
+        rows = {row["policy"]: row for row in result.rows}
+        assert set(rows) == {"immediate", "batch:2", "periodic:3"}
+        for row in rows.values():
+            # Floor: the service forgets everything it was asked to.
+            assert row["requests"] == NUM_REQUESTS, row
+            assert 0.0 <= row["p50_rounds"] <= row["p95_rounds"], row
+        # Immediate flushing certifies a request the round it arrives.
+        assert rows["immediate"]["p50_rounds"] == 0.0
+        # Batching exists to amortise retrain chains; same stream, fewer
+        # (or equal) chains per certified request.
+        assert (
+            rows["batch:2"]["chains_per_req"]
+            <= rows["immediate"]["chains_per_req"]
+        )
+
+        headline = result.runtime["deletion_sla"]
+        _emit(
+            {
+                "workload": "deletion_sla",
+                "scale": scale.name,
+                "policy": headline["policy"],
+                "p50_rounds": headline["p50_rounds"],
+                "p95_rounds": headline["p95_rounds"],
+                "requests": NUM_REQUESTS,
+                "policies": {
+                    spec: {
+                        "p50_rounds": row["p50_rounds"],
+                        "p95_rounds": row["p95_rounds"],
+                        "overlap_rounds": row["overlap_rounds"],
+                        "chains_per_req": row["chains_per_req"],
+                    }
+                    for spec, row in rows.items()
+                },
+                "wall_clock_s": round(wall, 3),
+            }
+        )

@@ -39,6 +39,7 @@ from . import (
 )
 from .results import ExperimentResult
 from .scale import PAPER, SCALES, SMALL, SMOKE, ExperimentScale, get_scale
+from .store import ResultStore
 from .spec import (
     AttackSpec,
     DatasetSpec,
@@ -57,6 +58,7 @@ from .spec import (
 __all__ = [
     "ExperimentScale",
     "ExperimentResult",
+    "ResultStore",
     "get_scale",
     "SCALES",
     "SMOKE",

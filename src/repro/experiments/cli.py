@@ -98,6 +98,8 @@ EXPERIMENTS = {
     "efficiency": "Extension: systems cost of all six unlearning methods (--dataset)",
     "certification": "Extension: eps-hat / MIA / relearn-time certification (--dataset)",
     "matrix": "Matrix driver: --method × --scenario × --sweep combinations",
+    "deletion_sla": "Deletion service: p50/p95 time-to-forget per flush "
+                    "policy under Poisson load (--dataset)",
     "all": "run every experiment",
 }
 
@@ -156,6 +158,7 @@ def run_matrix(
     scenario: str,
     sweeps: Dict[str, List[Any]],
     federation_overrides: Dict[str, Any] = None,
+    store=None,
 ) -> ExperimentResult:
     """Enumerate registry methods × scenario spec × sweep combinations."""
     scenario_spec = get_scenario(scenario, dataset=dataset or "mnist")
@@ -173,7 +176,26 @@ def run_matrix(
         methods=methods,
         params={"sweeps": sweeps},
     )
-    return runner.run_matrix(exp, get_scale(scale_name), seed=seed)
+    # run_spec (not run_matrix directly) so a --result-store dedupes the
+    # whole matrix and checkpoints/resumes its cells.
+    return runner.run_spec(exp, get_scale(scale_name), seed=seed, store=store)
+
+
+def run_deletion_sla(
+    scale_name: str, dataset: str, seed: int, scenario: str, store=None
+) -> ExperimentResult:
+    """Meter the deletion service's time-to-forget SLA per flush policy."""
+    scenario_spec = get_scenario(scenario, dataset=dataset or "mnist")
+    exp = ExperimentSpec(
+        experiment_id=f"deletion_sla:{dataset or 'mnist'}",
+        title=(
+            f"Deletion SLA under Poisson load ({dataset or 'mnist'}, "
+            "per flush policy)"
+        ),
+        kind="deletion_sla",
+        scenario=scenario_spec,
+    )
+    return runner.run_spec(exp, get_scale(scale_name), seed=seed, store=store)
 
 
 def _stamp_and_print(results, runtime_info: Dict) -> None:
@@ -214,9 +236,15 @@ def run_experiment(
     scenario: str = "backdoor",
     sweeps: Dict[str, List[Any]] = None,
     federation_overrides: Dict[str, Any] = None,
+    store_dir: str = "",
 ) -> None:
     """Run one experiment (or all) and print the reproduced artifact(s)."""
     scale = get_scale(scale_name)
+    store = None
+    if store_dir:
+        from .store import ResultStore
+
+        store = ResultStore(store_dir)
     start = time.time()
     # Optional-dataset experiments take the override only when one was
     # given, so their defaults (mnist panels, cifar10_resnet ablations)
@@ -247,11 +275,18 @@ def run_experiment(
     elif name == "matrix":
         results = run_matrix(
             scale_name, dataset, seed, methods, scenario, sweeps or {},
-            federation_overrides=federation_overrides,
+            federation_overrides=federation_overrides, store=store,
+        )
+    elif name == "deletion_sla":
+        results = run_deletion_sla(
+            scale_name, dataset, seed, scenario, store=store
         )
     elif name == "all":
-        # The matrix driver is a tool, not a paper artifact — exclude it.
-        for each in [k for k in EXPERIMENTS if k not in ("all", "matrix")]:
+        # The matrix and deletion-SLA drivers are tools, not paper
+        # artifacts — exclude them.
+        for each in [
+            k for k in EXPERIMENTS if k not in ("all", "matrix", "deletion_sla")
+        ]:
             if not _supports_dataset(each, dataset):
                 print(f"##### {each} ##### (skipped: no {dataset!r} variant)")
                 continue
@@ -262,16 +297,20 @@ def run_experiment(
     else:
         raise ValueError(f"unknown experiment {name!r}; see 'list'")
     elapsed = time.time() - start
-    _stamp_and_print(
-        results,
-        {
-            "backend": active_backend_spec(),
-            "cpus": usable_cpus(),
-            "scale": scale_name,
-            "seed": seed,
-            "wall_clock_s": round(elapsed, 3),
-        },
-    )
+    runtime_info = {
+        "backend": active_backend_spec(),
+        "cpus": usable_cpus(),
+        "scale": scale_name,
+        "seed": seed,
+        "wall_clock_s": round(elapsed, 3),
+    }
+    # Spec options are provenance too — a worker-death retry budget
+    # changes what "the run survived" means, so it rides along explicitly
+    # rather than only inside the spec string.
+    spec_options = parse_backend_spec(runtime_info["backend"])[2]
+    if "retries" in spec_options:
+        runtime_info["max_task_retries"] = spec_options["retries"]
+    _stamp_and_print(results, runtime_info)
     print(f"[{name} done in {elapsed:.0f}s at scale={scale_name}]")
 
 
@@ -335,6 +374,13 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--workers", type=int, default=0,
                         help="worker count for --backend (same as the ':N' "
                              "suffix)")
+    parser.add_argument("--result-store", default="", dest="result_store",
+                        metavar="DIR",
+                        help="matrix, deletion_sla: persist results keyed "
+                             "(spec hash, scale, seed) under DIR — reruns "
+                             "of an already-computed spec return the stored "
+                             "result, and an interrupted matrix resumes "
+                             "from its completed sweep cells")
     return parser
 
 
@@ -344,12 +390,17 @@ def resolve_backend_args(backend: str, workers: int) -> str:
         raise ValueError("--workers requires --backend")
     spec = backend
     if workers:
-        name, inline_workers = parse_backend_spec(backend)
+        name, inline_workers, options = parse_backend_spec(backend)
         if inline_workers is not None and inline_workers != workers:
             raise ValueError(
                 f"--workers {workers} conflicts with backend spec {backend!r}"
             )
-        spec = f"{name}:{workers}"
+        # Re-append any key=value options so --workers composes with e.g.
+        # --backend pool:retries=2.
+        suffix = "".join(
+            f":{key}={value}" for key, value in sorted(options.items())
+        )
+        spec = f"{name}:{workers}{suffix}"
     if spec:
         parse_backend_spec(spec)  # fail fast on typos, before any training
     return spec
@@ -408,12 +459,20 @@ def main(argv: List[str] = None) -> int:
                     "(try: matrix --scenario ... --vectorize)"
                 )
             federation_overrides["federation.vectorize"] = True
+        if args.result_store and args.experiment not in (
+            "matrix", "deletion_sla"
+        ):
+            raise ValueError(
+                "--result-store applies to the matrix and deletion_sla "
+                "drivers only"
+            )
         run_experiment(
             args.experiment, args.scale, args.dataset, args.seed,
             methods=parse_methods(args.method),
             scenario=args.scenario,
             sweeps=parse_sweeps(args.sweep),
             federation_overrides=federation_overrides,
+            store_dir=args.result_store,
         )
     except ValueError as error:
         print(f"error: {error}", file=sys.stderr)

@@ -812,7 +812,7 @@ class _CachedPretrain:
 
 
 def run_matrix(
-    exp: ExperimentSpec, scale: ExperimentScale, seed: int = 0
+    exp: ExperimentSpec, scale: ExperimentScale, seed: int = 0, store=None
 ) -> ExperimentResult:
     """Enumerate sweep combinations × methods over one base scenario.
 
@@ -827,6 +827,13 @@ def run_matrix(
     clean (attack-free) scenario never touch the training data.  Disable
     with ``params={"pretrain_cache": False}``; scenarios with an attack,
     or methods needing round history, always pretrain cold.
+
+    With a :class:`~repro.experiments.store.ResultStore`, every sweep
+    cell's rows are checkpointed under a cell-level spec hash as soon as
+    the cell finishes — an interrupted matrix resumed with the same
+    store re-runs only the cells that never completed (resumed cells
+    contribute no transport/vectorize telemetry; the ``result_store``
+    runtime entry records how many were skipped).
     """
     sweeps: Dict[str, List[Any]] = dict(exp.params.get("sweeps", {}))
     methods = tuple(exp.methods) or ("ours", "b1")
@@ -852,8 +859,20 @@ def run_matrix(
         ),
     )
     rng_offsets = {"federaser": 31, "fedrecovery": 37}
+    cells_resumed = 0
     for combo in combos:
         overrides = dict(zip(keys, combo))
+        cell_hash = None
+        if store is not None:
+            # A cell is addressed by the matrix spec plus its overrides —
+            # the methods ride in exp.hash() already.
+            cell_hash = spec_hash({"matrix": exp.hash(), "cell": overrides})
+            cached_cell = store.get(cell_hash, scale.name, seed)
+            if cached_cell is not None:
+                result.rows.extend(cached_cell.rows)
+                cells_resumed += 1
+                continue
+        cell_start = len(result.rows)
         scenario_spec = (
             exp.scenario.with_overrides(**overrides) if overrides else exp.scenario
         )
@@ -924,6 +943,23 @@ def run_matrix(
             reasons = vectorize_totals.setdefault("fallback_reasons", {})
             for reason, count in vec_report["fallback_reasons"].items():
                 reasons[reason] = reasons.get(reason, 0) + count
+        if store is not None:
+            store.put(
+                ExperimentResult(
+                    experiment_id=f"{exp.experiment_id}#cell",
+                    title=f"{exp.title} [cell {overrides or 'base'}]",
+                    columns=result.columns,
+                    rows=result.rows[cell_start:],
+                ),
+                scale.name,
+                seed,
+                spec_hash=cell_hash,
+            )
+    if store is not None:
+        result.runtime["result_store"] = {
+            "cells_resumed": cells_resumed,
+            "cells_run": len(combos) - cells_resumed,
+        }
     if transport_totals:
         result.runtime["transport"] = transport_totals
     if vectorize_totals:
@@ -955,6 +991,14 @@ def _run_aggregation_spec(
     return run_aggregation_panel(exp, scale, num_clients, seed=seed, **kwargs)
 
 
+def _run_deletion_sla_spec(
+    exp: ExperimentSpec, scale: ExperimentScale, seed: int = 0, **kwargs: Any
+) -> ExperimentResult:
+    from .deletion_sla import run_deletion_sla
+
+    return run_deletion_sla(exp, scale, seed=seed, **kwargs)
+
+
 _KIND_RUNNERS: Dict[str, Callable[..., ExperimentResult]] = {
     "rate_table": run_rate_table,
     "retrain_curves": run_retrain_curves,
@@ -967,13 +1011,29 @@ _KIND_RUNNERS: Dict[str, Callable[..., ExperimentResult]] = {
     "aggregation": _run_aggregation_spec,
     "aggregation_iid": run_aggregation_iid,
     "matrix": run_matrix,
+    "deletion_sla": _run_deletion_sla_spec,
 }
+
+#: Kinds whose runner accepts a ``store=`` kwarg for intra-run resume
+#: (today: the matrix checkpoints each sweep cell).
+_STORE_AWARE_KINDS = {"matrix"}
 
 
 def run_spec(
-    exp: ExperimentSpec, scale: ExperimentScale, seed: int = 0, **kwargs: Any
+    exp: ExperimentSpec,
+    scale: ExperimentScale,
+    seed: int = 0,
+    store=None,
+    **kwargs: Any,
 ) -> ExperimentResult:
-    """Execute one experiment spec (kinds taking uniform arguments)."""
+    """Execute one experiment spec (kinds taking uniform arguments).
+
+    With a :class:`~repro.experiments.store.ResultStore`, a spec already
+    computed at this ``(scale, seed)`` returns the persisted result
+    without running anything; a fresh run is persisted on the way out.
+    Matrix specs additionally checkpoint every sweep cell into the store,
+    so an interrupted matrix resumes from its completed cells.
+    """
     try:
         runner = _KIND_RUNNERS[exp.kind]
     except KeyError:
@@ -981,4 +1041,14 @@ def run_spec(
             f"unknown experiment kind {exp.kind!r}; "
             f"available: {sorted(_KIND_RUNNERS)}"
         ) from None
-    return runner(exp, scale, seed=seed, **kwargs)
+    if store is not None:
+        cached = store.get(exp.hash(), scale.name, seed)
+        if cached is not None:
+            cached.runtime["result_store"] = "hit"
+            return cached
+        if exp.kind in _STORE_AWARE_KINDS:
+            kwargs = {**kwargs, "store": store}
+    result = runner(exp, scale, seed=seed, **kwargs)
+    if store is not None:
+        store.put(result, scale.name, seed, spec_hash=exp.hash())
+    return result

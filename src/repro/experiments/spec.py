@@ -424,7 +424,7 @@ def _backend_pickles_tasks(backend: BackendLike) -> bool:
     if backend is None:
         backend = os.environ.get(BACKEND_ENV_VAR) or "serial"
     if isinstance(backend, str):
-        name, _ = parse_backend_spec(backend)
+        name = parse_backend_spec(backend)[0]
         return name in ("process", "pool")
     from ..runtime.backends import ProcessBackend
     from ..runtime.pool import PoolBackend

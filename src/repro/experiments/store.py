@@ -1,0 +1,99 @@
+"""Spec-addressed experiment result store.
+
+An experiment's outcome is a pure function of *(spec hash, scale, seed)*
+— everything else (backend, worker count, wall-clock) is provenance, not
+input.  The store keys persisted :class:`ExperimentResult` JSON files by
+exactly that triple, which buys two behaviours:
+
+* **dedupe** — :func:`~repro.experiments.runner.run_spec` with a store
+  returns the persisted result instead of re-running a spec it has
+  already computed at this scale and seed;
+* **resume** — :func:`~repro.experiments.runner.run_matrix` checkpoints
+  every sweep cell as its own entry, so a matrix interrupted after N of
+  M cells re-runs only the missing ones.
+
+Writes are atomic (temp file + ``os.replace`` in the store directory),
+so a crash mid-put leaves either the old entry or the new one — never a
+torn JSON file that poisons every later resume.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from typing import Any, Dict, List, Optional
+
+from .results import ExperimentResult
+
+
+class ResultStore:
+    """Directory of ``ExperimentResult`` JSON files keyed by
+    ``(spec_hash, scale, seed)``."""
+
+    def __init__(self, directory: str) -> None:
+        self.directory = directory
+        os.makedirs(directory, exist_ok=True)
+        self.hits = 0
+        self.misses = 0
+
+    @staticmethod
+    def key(spec_hash: str, scale_name: str, seed: int) -> str:
+        if not spec_hash:
+            raise ValueError("cannot address a result without a spec hash")
+        return f"{spec_hash}-{scale_name}-s{int(seed)}"
+
+    def path(self, spec_hash: str, scale_name: str, seed: int) -> str:
+        return os.path.join(
+            self.directory, self.key(spec_hash, scale_name, seed) + ".json"
+        )
+
+    def get(
+        self, spec_hash: str, scale_name: str, seed: int
+    ) -> Optional[ExperimentResult]:
+        path = self.path(spec_hash, scale_name, seed)
+        if not os.path.exists(path):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return ExperimentResult.load_json(path)
+
+    def put(
+        self,
+        result: ExperimentResult,
+        scale_name: str,
+        seed: int,
+        spec_hash: Optional[str] = None,
+    ) -> str:
+        """Persist ``result`` under its spec hash (atomic replace)."""
+        spec_hash = spec_hash or result.spec_hash
+        path = self.path(spec_hash, scale_name, seed)
+        handle, tmp = tempfile.mkstemp(
+            dir=self.directory, prefix=".put-", suffix=".tmp"
+        )
+        try:
+            with os.fdopen(handle, "w") as stream:
+                json.dump(result.to_dict(), stream, indent=2, default=float)
+            os.replace(tmp, path)
+        except BaseException:
+            if os.path.exists(tmp):
+                os.unlink(tmp)
+            raise
+        return path
+
+    def keys(self) -> List[str]:
+        return sorted(
+            name[: -len(".json")]
+            for name in os.listdir(self.directory)
+            if name.endswith(".json")
+        )
+
+    def __len__(self) -> int:
+        return len(self.keys())
+
+    def report(self) -> Dict[str, Any]:
+        """Hit/miss counters for runtime provenance stamping."""
+        return {"hits": self.hits, "misses": self.misses}
+
+    def __repr__(self) -> str:
+        return f"ResultStore({self.directory!r}, entries={len(self)})"

@@ -277,6 +277,11 @@ class BufferedRoundEngine:
         self._inflight: Dict[int, _InFlight] = {}
         self._dispatch_counts: Dict[int, int] = {}
         self.round_listeners: List[RoundListener] = []
+        # Called with the round index before anything is dispatched —
+        # the seam a co-scheduled service (e.g. the unlearning deletion
+        # pipeline's per-round tick) hooks to absorb finished work and
+        # submit new windows in lockstep with federation rounds.
+        self.pre_round_hooks: List[Callable[[int], None]] = []
         # Cumulative accounting across the engine's lifetime.
         self.total_dropped = 0
         self.total_stale_discarded = 0
@@ -305,6 +310,8 @@ class BufferedRoundEngine:
         from ..training.evaluation import evaluate
         from .simulation import RoundRecord
 
+        for hook in self.pre_round_hooks:
+            hook(round_index)
         self._round_transport = TransportStats()
         dropped = self._dispatch(round_index)
         if not self._inflight:

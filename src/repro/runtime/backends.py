@@ -32,13 +32,14 @@ backend changes wall-clock time only, never the numbers:
 Pick a backend by name with :func:`get_backend` (``"serial"``,
 ``"thread"``, ``"process"``, ``"pool"``) or pass a :class:`Backend`
 instance.  A spec may carry a worker count after a colon —
-``get_backend("process:8")``, ``get_backend("pool:4")`` — and when the
-spec is ``None`` the ``REPRO_BACKEND`` environment variable (same
-syntax) is consulted before falling back to serial, so scripts and the
-experiment CLI can size pools without constructing ``Backend`` objects.
-``"pool"`` specs resolve to one shared process-wide pool per worker
-count, so every call site naming the same spec reuses the same warm
-workers.
+``get_backend("process:8")``, ``get_backend("pool:4")`` — plus
+``key=value`` options after that: ``"pool:8:retries=2"`` sets the
+pool's ``max_task_retries`` worker-death budget.  When the spec is
+``None`` the ``REPRO_BACKEND`` environment variable (same syntax) is
+consulted before falling back to serial, so scripts and the experiment
+CLI can size pools without constructing ``Backend`` objects.  ``"pool"``
+specs resolve to one shared process-wide pool per configuration, so
+every call site naming the same spec reuses the same warm workers.
 """
 
 from __future__ import annotations
@@ -227,19 +228,26 @@ def _make_serial(max_workers: Optional[int] = None) -> Backend:
     return SerialBackend()
 
 
-def _make_pool(max_workers: Optional[int] = None) -> Backend:
-    """Shared pools: one warm :class:`PoolBackend` per worker count.
+def _make_pool(
+    max_workers: Optional[int] = None, retries: Optional[int] = None
+) -> Backend:
+    """Shared pools: one warm :class:`PoolBackend` per configuration.
 
     ``backend="pool"`` at several call sites (a simulation, an ensemble,
     a protocol) must mean *the same* workers, or the pool's whole point —
-    no per-call fork — is lost.  Instances constructed directly are not
-    cached; pass the instance around for private pools.
+    no per-call fork — is lost.  The cache key includes the retry budget:
+    ``pool:8`` and ``pool:8:retries=2`` are different pools (sharing one
+    would silently change the death budget under earlier call sites).
+    Instances constructed directly are not cached; pass the instance
+    around for private pools.
     """
     from .pool import PoolBackend
 
-    if max_workers not in _POOLS:
-        _POOLS[max_workers] = PoolBackend(max_workers=max_workers)
-    return _POOLS[max_workers]
+    key = (max_workers, retries)
+    if key not in _POOLS:
+        kwargs = {} if retries is None else {"max_task_retries": retries}
+        _POOLS[key] = PoolBackend(max_workers=max_workers, **kwargs)
+    return _POOLS[key]
 
 
 _POOLS: dict = {}
@@ -262,33 +270,74 @@ BACKEND_ENV_VAR = "REPRO_BACKEND"
 BackendLike = Union[None, str, Backend]
 
 
-def parse_backend_spec(spec: str) -> tuple:
-    """Split ``"name"`` / ``"name:N"`` into ``(name, workers-or-None)``.
+#: Options a backend spec may carry after the worker count, per backend
+#: name.  Only the pool has tunables today (``retries`` → the pool's
+#: ``max_task_retries`` worker-death budget).
+_SPEC_OPTIONS = {"pool": {"retries"}}
 
-    Validates eagerly — unknown names, malformed counts and
-    ``"serial:N"`` all raise here, so callers (the experiment CLI in
-    particular) can reject a typo before any expensive setup runs.
+
+def parse_backend_spec(spec: str) -> tuple:
+    """Split ``"name"`` / ``"name:N"`` / ``"name:N:key=value"`` into
+    ``(name, workers-or-None, options-dict)``.
+
+    ``pool:8:retries=2`` → ``("pool", 8, {"retries": 2})``: eight warm
+    workers, each task surviving up to two worker deaths before the batch
+    fails.  Validates eagerly — unknown names, malformed counts,
+    ``"serial:N"`` and options the named backend does not support all
+    raise here, so callers (the experiment CLI in particular) can reject
+    a typo before any expensive setup runs.
     """
-    name, separator, count = spec.partition(":")
-    name = name.strip().lower()
+    segments = spec.split(":")
+    name = segments[0].strip().lower()
     if name not in _BACKENDS:
         raise ValueError(
             f"unknown backend {spec!r}; available: {sorted(set(_BACKENDS))}"
         )
     workers: Optional[int] = None
-    if separator:
-        try:
-            workers = int(count)
-        except ValueError:
-            raise ValueError(
-                f"bad worker count in backend spec {spec!r}; "
-                "expected e.g. 'process:8'"
-            ) from None
-        if workers < 1:
-            raise ValueError(f"worker count must be >= 1, got {workers}")
-        if name == "serial":
-            raise ValueError("the serial backend does not take a worker count")
-    return name, workers
+    options: dict = {}
+    allowed = _SPEC_OPTIONS.get(name, set())
+    for segment in segments[1:]:
+        segment = segment.strip()
+        if "=" in segment:
+            key, _, value = segment.partition("=")
+            key = key.strip().lower()
+            if key not in allowed:
+                raise ValueError(
+                    f"backend {name!r} does not support option {key!r} "
+                    f"in spec {spec!r}; supported: {sorted(allowed) or 'none'}"
+                )
+            if key in options:
+                raise ValueError(f"duplicate option {key!r} in spec {spec!r}")
+            try:
+                options[key] = int(value)
+            except ValueError:
+                raise ValueError(
+                    f"bad value for option {key!r} in backend spec "
+                    f"{spec!r}; expected an integer"
+                ) from None
+            if key == "retries" and options[key] < 0:
+                raise ValueError(
+                    f"retries must be >= 0, got {options[key]}"
+                )
+        else:
+            if workers is not None:
+                raise ValueError(
+                    f"backend spec {spec!r} names two worker counts"
+                )
+            try:
+                workers = int(segment)
+            except ValueError:
+                raise ValueError(
+                    f"bad worker count in backend spec {spec!r}; "
+                    "expected e.g. 'process:8'"
+                ) from None
+            if workers < 1:
+                raise ValueError(f"worker count must be >= 1, got {workers}")
+            if name == "serial":
+                raise ValueError(
+                    "the serial backend does not take a worker count"
+                )
+    return name, workers, options
 
 
 def get_backend(spec: BackendLike = None) -> Backend:
@@ -306,8 +355,10 @@ def get_backend(spec: BackendLike = None) -> Backend:
     if isinstance(spec, Backend):
         return spec
     if isinstance(spec, str):
-        name, workers = parse_backend_spec(spec)  # raises on unknown names
+        name, workers, options = parse_backend_spec(spec)  # validates
         factory = _BACKENDS[name]
+        if name == "pool":
+            return factory(workers, retries=options.get("retries"))
         return factory(workers) if workers is not None else factory()
     raise TypeError(
         f"backend must be None, a name, or a Backend instance, got {type(spec)!r}"

@@ -770,6 +770,11 @@ class PoolBackend(Backend):
         return self.pool.pop_ticket_stats(ticket)
 
     @property
+    def max_task_retries(self) -> int:
+        """Worker-death budget per task (see :class:`WorkerPool`)."""
+        return self.pool.max_task_retries
+
+    @property
     def transport_stats(self) -> TransportStats:
         return self.pool.transport_stats
 

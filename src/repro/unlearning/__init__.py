@@ -37,7 +37,9 @@ from .deletion_manager import (
     PeriodicPolicy,
 )
 from .early_stop import EarlyStopConfig, ExcessRiskStopper
+from .faultinject import FaultInjector, KillOnceTask
 from .goldfish import GoldfishConfig, GoldfishResult, GoldfishUnlearner
+from .journal import Journal, JournalCorruption, replay as replay_journal
 from .losses import GoldfishLoss, GoldfishLossConfig, LossBreakdown, confusion_loss
 from .protocols import (
     UnlearnOutcome,
@@ -53,6 +55,13 @@ from .registry import (
     get_unlearner,
     make_unlearner,
     register_unlearner,
+)
+from .service import (
+    PoissonArrivals,
+    RequestState,
+    ServiceRequest,
+    SlaMeter,
+    UnlearningService,
 )
 from .sharding import DeletionReport, ShardedClientTrainer
 from .sisa import PendingDeletion, SisaConfig, SisaDeletionReport, SisaEnsemble
@@ -73,6 +82,16 @@ __all__ = [
     "ExcessRiskStopper",
     "DeletionManager",
     "DeletionService",
+    "FaultInjector",
+    "KillOnceTask",
+    "Journal",
+    "JournalCorruption",
+    "replay_journal",
+    "PoissonArrivals",
+    "RequestState",
+    "ServiceRequest",
+    "SlaMeter",
+    "UnlearningService",
     "PendingDeletion",
     "DeletionPolicy",
     "DeletionRequest",

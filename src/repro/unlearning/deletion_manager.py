@@ -48,11 +48,18 @@ import numpy as np
 
 @dataclass(frozen=True)
 class DeletionRequest:
-    """One client's request to remove some of its local samples."""
+    """One client's request to remove some of its local samples.
+
+    ``request_id`` makes resubmission idempotent: deletion clients retry
+    on timeouts, and a retried request must not retrain twice.  Requests
+    submitted through :meth:`DeletionManager.submit` with an id already
+    seen return the original request instead of enqueueing a duplicate.
+    """
 
     client_id: int
     indices: np.ndarray
     submitted_round: int
+    request_id: Optional[str] = None
 
     def __post_init__(self) -> None:
         object.__setattr__(
@@ -176,22 +183,43 @@ class DeletionManager:
         self.policy = policy if policy is not None else ImmediatePolicy()
         self._pending: List[DeletionRequest] = []
         self._executed: List[ExecutedBatch] = []
+        self._seen_ids: Dict[str, DeletionRequest] = {}
+        self.num_duplicates = 0
 
     # ------------------------------------------------------------------
     # Intake
     # ------------------------------------------------------------------
     def submit(
-        self, client_id: int, indices: Sequence[int], round_index: int
+        self,
+        client_id: int,
+        indices: Sequence[int],
+        round_index: int,
+        request_id: Optional[str] = None,
     ) -> DeletionRequest:
         """File a request. Indices refer to the client's dataset as it is
         *now* (between executions the dataset does not change, so all
-        requests in one batch share a consistent index space)."""
+        requests in one batch share a consistent index space).
+
+        ``request_id`` dedupes resubmissions: a second ``submit`` with an
+        id the manager has already accepted (pending *or* executed) is a
+        no-op returning the original request — retrying clients cannot
+        make a window retrain twice.  Empty index sets are rejected with
+        a :class:`ValueError` (via :class:`DeletionRequest` validation).
+        """
+        if request_id is not None:
+            existing = self._seen_ids.get(request_id)
+            if existing is not None:
+                self.num_duplicates += 1
+                return existing
         request = DeletionRequest(
             client_id=client_id,
             indices=np.asarray(indices),
             submitted_round=round_index,
+            request_id=request_id,
         )
         self._pending.append(request)
+        if request_id is not None:
+            self._seen_ids[request_id] = request
         return request
 
     @property
@@ -318,19 +346,46 @@ class DeletionManager:
         and clear the queue.  ``completed=False`` marks the window as
         still retraining (the :class:`DeletionService` finalizes it when
         its chains land)."""
+        return self._flush_requests(
+            list(self._pending),
+            round_index,
+            outcome=outcome,
+            chains_submitted=chains_submitted,
+            completed=completed,
+        )
+
+    def _flush_requests(
+        self,
+        requests: List[DeletionRequest],
+        round_index: int,
+        outcome: object,
+        chains_submitted: int = 0,
+        completed: bool = True,
+    ) -> ExecutedBatch:
+        """Flush a *subset* of the queue into one executed window.
+
+        The per-shard-locking :class:`DeletionService` flushes only the
+        requests whose shards are free, leaving the rest queued for a
+        later window; requests not currently queued (a recovered window
+        being resubmitted after a crash) are recorded without touching
+        the queue."""
         batch = ExecutedBatch(
             executed_round=round_index,
-            requests=list(self._pending),
+            requests=list(requests),
             latencies=[
-                round_index - request.submitted_round
-                for request in self._pending
+                round_index - request.submitted_round for request in requests
             ],
             outcome=outcome,
             chains_submitted=chains_submitted,
             completed_round=round_index if completed else None,
         )
         self._executed.append(batch)
-        self._pending.clear()
+        # Identity-based removal: DeletionRequest's ndarray field makes
+        # ``==`` (and hence list.remove) ambiguous.
+        flushed = {id(request) for request in requests}
+        self._pending = [
+            request for request in self._pending if id(request) not in flushed
+        ]
         return batch
 
     # ------------------------------------------------------------------
@@ -390,15 +445,17 @@ class DeletionService:
     snapshots everything a chain reads (checkpoint, RNG position, index
     sets) at submission time, so the retrained shard states are
     bit-identical to the barriered path no matter how many rounds pass
-    before the results land.  Only one window is in flight at a time — a
-    policy that fires while chains are outstanding is deferred to the
-    round after they complete (the requests simply keep queueing).
+    before the results land.  Windows are locked **per shard**: a policy
+    that fires while chains are outstanding submits the requests whose
+    shards are free and defers the rest, so disjoint-shard windows
+    retrain concurrently on the pool (``windows_in_flight`` ≥ 2) while
+    same-shard requests keep queueing until their shard unlocks.
 
     Usage inside an FL loop::
 
         service = DeletionService(manager, ensemble)
         for r in range(rounds):
-            service.poll(r)           # absorb any finished window
+            service.poll(r)           # absorb any finished windows
             ...requests arrive: manager.submit(...)...
             service.maybe_submit(r)   # policy fires -> chains overlap
             sim.run_round(r)
@@ -408,10 +465,28 @@ class DeletionService:
     process) cannot overlap; the service then runs the window's chains
     inside :meth:`maybe_submit` exactly like the barriered path, so the
     loop above is portable across every backend.
+
+    The three ``on_window_*`` callbacks and ``task_filter`` are the seams
+    the durable :class:`~repro.unlearning.service.UnlearningService`
+    builds on: ``on_window_planned(window_id, requests, indices, shards)``
+    fires before ``delete_begin`` (journal the intent first — write-ahead),
+    ``on_window_submitted`` / ``on_window_completed`` /
+    ``on_window_failed`` track the window's lifecycle, and ``task_filter``
+    lets a fault-injection harness wrap the chain tasks before they reach
+    the backend.
     """
 
     def __init__(
-        self, manager: DeletionManager, ensemble, backend=None
+        self,
+        manager: DeletionManager,
+        ensemble,
+        backend=None,
+        task_filter: Optional[Callable] = None,
+        on_window_planned: Optional[Callable] = None,
+        on_window_submitted: Optional[Callable] = None,
+        on_window_completed: Optional[Callable] = None,
+        on_window_failed: Optional[Callable] = None,
+        on_empty_flush: Optional[Callable] = None,
     ) -> None:
         from ..runtime import get_backend
 
@@ -423,88 +498,215 @@ class DeletionService:
         self._streams = all(
             hasattr(self.backend, name) for name in ("submit", "drain", "poll")
         )
-        self._inflight: Optional[tuple] = None  # (batch, pending, ticket)
+        self.task_filter = task_filter
+        self.on_window_planned = on_window_planned
+        self.on_window_submitted = on_window_submitted
+        self.on_window_completed = on_window_completed
+        self.on_window_failed = on_window_failed
+        self.on_empty_flush = on_empty_flush
+        # window_id -> (batch, pending, ticket); insertion order is
+        # submission order, which poll/drain preserve when completing.
+        self._inflight: Dict[int, tuple] = {}
+        self._next_window = 0
+        # Requests the policy has already admitted but a shard lock
+        # deferred (identity ids — ndarray fields make __eq__ unusable).
+        # Once admitted, a request flushes as soon as its shards free up
+        # without waiting for the policy to fire again: a BatchSizePolicy
+        # counts a request toward exactly one firing.
+        self._armed: set = set()
+        #: High-water mark of concurrently retraining windows — the
+        #: per-shard-locking payoff a test can assert on (>= 2 means
+        #: disjoint-shard windows demonstrably overlapped).
+        self.max_windows_in_flight = 0
 
     @property
     def busy(self) -> bool:
-        """Whether a window's chains are still retraining."""
-        return self._inflight is not None
+        """Whether any window's chains are still retraining."""
+        return bool(self._inflight)
+
+    @property
+    def windows_in_flight(self) -> int:
+        return len(self._inflight)
+
+    def _ready_requests(self, requests: List[DeletionRequest]) -> List[DeletionRequest]:
+        """Requests whose live indices avoid every locked shard.
+
+        Ensembles without per-shard locking (no ``pending_shards`` /
+        ``shard_of``) fall back to whole-ensemble serialisation: nothing
+        is ready while any window is in flight.
+        """
+        locked = getattr(self.ensemble, "pending_shards", None)
+        shard_of = getattr(self.ensemble, "shard_of", None)
+        if locked is None or shard_of is None:
+            return [] if self._inflight else list(requests)
+        already = getattr(self.ensemble, "deleted_indices", frozenset())
+        ready = []
+        for request in requests:
+            live = [
+                int(index)
+                for index in request.indices
+                if int(index) not in already
+            ]
+            if any(shard_of(index)[0] in locked for index in live):
+                continue
+            ready.append(request)
+        return ready
 
     def maybe_submit(self, round_index: int) -> Optional[ExecutedBatch]:
         """Submit a flush window when the policy fires; never blocks.
 
-        Returns the (possibly still in-flight) batch record, or ``None``
-        when the policy did not fire or a previous window is outstanding.
+        Flushes only the pending requests whose shards are not locked by
+        an in-flight window; the rest stay queued but are *armed* — the
+        policy already admitted them, so they flush on a later call as
+        soon as their shards free, without needing the policy to fire
+        again.  Returns the (possibly still in-flight) batch record, or
+        ``None`` when the policy did not fire (and nothing armed is
+        runnable) or every candidate is blocked behind a busy shard.
         """
-        if self._inflight is not None:
+        fired = self.manager._window_ready(round_index)
+        pending = self.manager.pending
+        if fired:
+            self._armed.update(id(request) for request in pending)
+        candidates = (
+            pending
+            if fired
+            else [r for r in pending if id(r) in self._armed]
+        )
+        if not candidates:
             return None
-        if not self.manager._window_ready(round_index):
+        ready = self._ready_requests(candidates)
+        if not ready:
             return None
-        merged = self.manager.merged_global_indices()
+        merged = np.unique(
+            np.concatenate([request.indices for request in ready])
+        )
         already = getattr(self.ensemble, "deleted_indices", None)
         if already is not None and len(already):
             merged = merged[~np.isin(merged, list(already))]
         if not merged.size:
             # Everything re-requested was already deleted: nothing to
             # retrain, the window completes on the spot.
-            return self.manager._flush(round_index, outcome=None)
+            batch = self.manager._flush_requests(ready, round_index, outcome=None)
+            self._armed &= {id(r) for r in self.manager.pending}
+            if self.on_empty_flush is not None:
+                self.on_empty_flush(batch, round_index)
+            return batch
+        window_id = self._next_window
+        self._next_window += 1
+        if self.on_window_planned is not None:
+            shards = sorted(
+                {self.ensemble.shard_of(int(index))[0] for index in merged}
+            )
+            self.on_window_planned(window_id, ready, merged, shards, round_index)
         pending = self.ensemble.delete_begin(merged)
-        batch = self.manager._flush(
+        batch = self._launch(window_id, ready, pending, round_index)
+        self._armed &= {id(r) for r in self.manager.pending}
+        return batch
+
+    def resubmit_window(
+        self,
+        window_id: int,
+        requests: List[DeletionRequest],
+        indices: np.ndarray,
+        round_index: int,
+    ) -> ExecutedBatch:
+        """Re-begin a window recovered from a journal (crash recovery).
+
+        Bypasses the policy gate: the window was already planned (and
+        journaled) by a previous process, so its exact index set is
+        re-begun as-is.  ``on_window_planned`` does **not** refire —
+        the plan is already durable."""
+        pending = self.ensemble.delete_begin(np.asarray(indices, dtype=np.int64))
+        self._next_window = max(self._next_window, window_id + 1)
+        return self._launch(window_id, requests, pending, round_index)
+
+    def _launch(
+        self,
+        window_id: int,
+        requests: List[DeletionRequest],
+        pending,
+        round_index: int,
+    ) -> ExecutedBatch:
+        batch = self.manager._flush_requests(
+            requests,
             round_index,
             outcome=None,
             chains_submitted=pending.num_chains,
             completed=False,
         )
         if self._streams:
-            ticket = self.backend.submit(pending.tasks)
-            self._inflight = (batch, pending, ticket)
+            tasks = list(pending.tasks)
+            if self.task_filter is not None:
+                tasks = self.task_filter(window_id, tasks)
+            ticket = self.backend.submit(tasks)
+            self._inflight[window_id] = (batch, pending, ticket)
+            self.max_windows_in_flight = max(
+                self.max_windows_in_flight, len(self._inflight)
+            )
+            if self.on_window_submitted is not None:
+                self.on_window_submitted(window_id, batch, pending)
         else:
             # Barriered fallback: run-to-completion inside the call (same
             # failure semantics as the ticket path — unlock, propagate).
+            if self.on_window_submitted is not None:
+                self.on_window_submitted(window_id, batch, pending)
             try:
                 results = self.backend.run_tasks(pending.tasks)
             except Exception:
-                abort = getattr(self.ensemble, "abort_pending_deletion", None)
-                if abort is not None:
-                    abort()
+                self._abort(pending)
+                if self.on_window_failed is not None:
+                    self.on_window_failed(window_id, batch, pending, round_index)
                 raise
             batch.outcome = self.ensemble.delete_finish(pending, results)
             batch.completed_round = round_index
+            if self.on_window_completed is not None:
+                self.on_window_completed(window_id, batch, pending, round_index)
         return batch
 
-    def poll(self, round_index: int) -> Optional[ExecutedBatch]:
-        """Absorb the in-flight window if its chains have finished.
+    def poll(self, round_index: int) -> List[ExecutedBatch]:
+        """Absorb every in-flight window whose chains have finished.
 
         Call once per round *before* submitting new work.  Returns the
-        completed batch, or ``None`` when nothing finished.
+        batches completed this call (empty list when nothing finished).
         """
-        if self._inflight is None:
-            return None
-        batch, pending, ticket = self._inflight
-        if not self.backend.poll(ticket):
-            return None
-        return self._complete(batch, pending, ticket, round_index)
+        completed = []
+        for window_id in list(self._inflight):
+            _, _, ticket = self._inflight[window_id]
+            if self.backend.poll(ticket):
+                completed.append(self._complete(window_id, round_index))
+        return completed
 
-    def drain(self, round_index: int) -> Optional[ExecutedBatch]:
-        """Block until the in-flight window (if any) completes."""
-        if self._inflight is None:
-            return None
-        batch, pending, ticket = self._inflight
-        return self._complete(batch, pending, ticket, round_index)
+    def drain(self, round_index: int) -> List[ExecutedBatch]:
+        """Block until every in-flight window completes (submission order)."""
+        return [
+            self._complete(window_id, round_index)
+            for window_id in list(self._inflight)
+        ]
 
-    def _complete(self, batch, pending, ticket, round_index: int):
+    def _abort(self, pending) -> None:
+        abort = getattr(self.ensemble, "abort_pending_deletion", None)
+        if abort is not None:
+            try:
+                abort(pending)
+            except TypeError:  # legacy no-argument abort
+                abort()
+
+    def _complete(self, window_id: int, round_index: int) -> ExecutedBatch:
         """Drain + finalize one window; a chain failure (BackendError
-        after the worker-death retry budget, say) unlocks the ensemble
+        after the worker-death retry budget, say) unlocks the window's
+        shards
         (:meth:`~repro.unlearning.sisa.SisaEnsemble.abort_pending_deletion`)
         instead of wedging every future window, then propagates."""
-        self._inflight = None
+        batch, pending, ticket = self._inflight.pop(window_id)
         try:
             results = self.backend.drain(ticket)
         except Exception:
-            abort = getattr(self.ensemble, "abort_pending_deletion", None)
-            if abort is not None:
-                abort()
+            self._abort(pending)
+            if self.on_window_failed is not None:
+                self.on_window_failed(window_id, batch, pending, round_index)
             raise
         batch.outcome = self.ensemble.delete_finish(pending, results)
         batch.completed_round = round_index
+        if self.on_window_completed is not None:
+            self.on_window_completed(window_id, batch, pending, round_index)
         return batch

@@ -1,0 +1,741 @@
+"""Durable unlearning-as-a-service: a crash-safe deletion pipeline.
+
+At production scale deletion arrives as a continuous stream, and a crash
+mid-retrain must not silently drop a user's right-to-be-forgotten.  This
+module promotes the in-memory :class:`~repro.unlearning.deletion_manager`
+queue into a **persistent request pipeline**:
+
+* every request moves through an explicit state machine —
+  ``received → validated → scheduled → retraining → certified | failed``
+  — and every transition is appended to a write-ahead
+  :class:`~repro.unlearning.journal.Journal` *before* it takes effect in
+  memory;
+* a process that dies at any instant recovers on restart by replaying
+  the journal (:meth:`UnlearningService.recover`): certified windows are
+  reinstalled from their on-disk sidecars, incomplete windows are
+  resubmitted from their journaled index sets, and queued requests are
+  re-queued — with recovered final shard states **bit-identical** to an
+  uninterrupted run, because
+  :meth:`~repro.unlearning.sisa.SisaEnsemble.delete_begin` snapshots
+  everything a chain reads and windows on disjoint shards never
+  influence each other's task content;
+* windows are locked per shard (see
+  :class:`~repro.unlearning.deletion_manager.DeletionService`), so
+  disjoint-shard windows retrain concurrently on the pool;
+* the product metric — **time-to-forget** from submission to certified
+  — is metered per request by :class:`SlaMeter` (p50/p95 in rounds and
+  wall seconds), with :class:`PoissonArrivals` generating deterministic
+  seeded request load for benchmarks.
+
+On-disk layout under the service directory::
+
+    journal.jsonl          append-only WAL (one JSON record per line)
+    service.json           static metadata (seed, version)
+    ensemble/              base SisaEnsemble.save() taken after fit()
+    windows/000007/        per-certified-window sidecar: the affected
+                           shards' full checkpoint sets, RNG positions
+                           and the window's deleted indices (meta.json)
+
+Sidecars are written to a temp directory and atomically renamed *before*
+the ``certified`` record is journaled, so a journal that says certified
+always finds its sidecar; a sidecar without its journal record is a
+pre-crash partial and is simply overwritten when the resubmitted window
+re-certifies (deterministically, with identical bytes).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import shutil
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..data.dataset import ArrayDataset
+from ..nn.module import Module
+from ..nn.serialization import load_state_dict, save_state_dict
+from ..runtime import BackendLike
+from .deletion_manager import (
+    DeletionManager,
+    DeletionPolicy,
+    DeletionRequest,
+    DeletionService,
+    ExecutedBatch,
+)
+from .journal import Journal, replay
+from .sisa import SisaEnsemble
+
+
+class RequestState:
+    """The deletion request lifecycle (terminal: certified / failed)."""
+
+    RECEIVED = "received"
+    VALIDATED = "validated"
+    SCHEDULED = "scheduled"
+    RETRAINING = "retraining"
+    CERTIFIED = "certified"
+    FAILED = "failed"
+
+    TERMINAL = frozenset({CERTIFIED, FAILED})
+    ALL = frozenset(
+        {RECEIVED, VALIDATED, SCHEDULED, RETRAINING, CERTIFIED, FAILED}
+    )
+
+
+@dataclass
+class ServiceRequest:
+    """One tracked deletion request and its position in the lifecycle."""
+
+    request_id: str
+    client_id: int
+    indices: np.ndarray
+    submitted_round: int
+    state: str = RequestState.RECEIVED
+    window_id: Optional[int] = None
+    certified_round: Optional[int] = None
+    failure_reason: Optional[str] = None
+    # Wall-clock stamps are None for requests rebuilt by recovery (their
+    # original process's clock is gone); round latencies survive restarts.
+    submitted_wall: Optional[float] = None
+    certified_wall: Optional[float] = None
+
+    @property
+    def time_to_forget_rounds(self) -> Optional[int]:
+        if self.certified_round is None:
+            return None
+        return self.certified_round - self.submitted_round
+
+    @property
+    def time_to_forget_seconds(self) -> Optional[float]:
+        if self.certified_wall is None or self.submitted_wall is None:
+            return None
+        return self.certified_wall - self.submitted_wall
+
+
+class SlaMeter:
+    """Per-request time-to-forget accounting (p50/p95, rounds + seconds)."""
+
+    def __init__(self) -> None:
+        self._rounds: List[int] = []
+        self._seconds: List[float] = []
+
+    def record(self, request: ServiceRequest) -> None:
+        latency = request.time_to_forget_rounds
+        if latency is not None:
+            self._rounds.append(int(latency))
+        seconds = request.time_to_forget_seconds
+        if seconds is not None:
+            self._seconds.append(float(seconds))
+
+    @property
+    def num_certified(self) -> int:
+        return len(self._rounds)
+
+    def percentile_rounds(self, q: float) -> float:
+        if not self._rounds:
+            raise ValueError("no certified requests metered yet")
+        return float(np.percentile(self._rounds, q))
+
+    def report(self) -> Dict[str, Any]:
+        """The SLA summary stamped into ``ExperimentResult.runtime``."""
+        out: Dict[str, Any] = {"certified_requests": len(self._rounds)}
+        if self._rounds:
+            out["p50_rounds"] = float(np.percentile(self._rounds, 50))
+            out["p95_rounds"] = float(np.percentile(self._rounds, 95))
+            out["mean_rounds"] = float(np.mean(self._rounds))
+            out["max_rounds"] = int(np.max(self._rounds))
+        if self._seconds:
+            out["p50_seconds"] = float(np.percentile(self._seconds, 50))
+            out["p95_seconds"] = float(np.percentile(self._seconds, 95))
+        return out
+
+
+class PoissonArrivals:
+    """Deterministic seeded Poisson deletion load.
+
+    Each round draws ``k ~ Poisson(rate)`` arrivals; each arrival is one
+    request for ``indices_per_request`` not-yet-requested dataset indices
+    chosen uniformly (without replacement across the stream's lifetime).
+    Same seed → same request stream, so SLA benchmarks are reproducible.
+    """
+
+    def __init__(
+        self,
+        rate: float,
+        num_samples: int,
+        seed: int = 0,
+        indices_per_request: int = 1,
+    ) -> None:
+        if rate <= 0:
+            raise ValueError(f"rate must be > 0, got {rate}")
+        if indices_per_request < 1:
+            raise ValueError(
+                f"indices_per_request must be >= 1, got {indices_per_request}"
+            )
+        self.rate = rate
+        self.indices_per_request = indices_per_request
+        self._rng = np.random.default_rng(seed)
+        self._free = list(range(num_samples))
+        self._counter = 0
+
+    @property
+    def remaining(self) -> int:
+        return len(self._free)
+
+    def arrivals(self, round_index: int) -> List[Tuple[str, np.ndarray]]:
+        """The round's ``(request_id, indices)`` arrivals (maybe empty)."""
+        count = int(self._rng.poisson(self.rate))
+        out: List[Tuple[str, np.ndarray]] = []
+        for _ in range(count):
+            take = min(self.indices_per_request, len(self._free))
+            if take == 0:
+                break
+            picks = [
+                self._free.pop(int(self._rng.integers(len(self._free))))
+                for _ in range(take)
+            ]
+            request_id = f"poisson-{self._counter:06d}"
+            self._counter += 1
+            out.append((request_id, np.asarray(sorted(picks), dtype=np.int64)))
+        return out
+
+
+class UnlearningService:
+    """The durable deletion pipeline over one :class:`SisaEnsemble`.
+
+    Construction on a live (fitted, or about-to-be-fitted) ensemble
+    starts a **fresh** service in ``directory``: the ensemble's base
+    state is saved and an empty journal begins.  After a crash, rebuild
+    with :meth:`recover` instead — it replays the journal, reinstalls
+    certified windows from their sidecars and resubmits incomplete ones.
+
+    Drive it once per federation round::
+
+        service.submit(client_id, indices, round_index, request_id="r1")
+        service.tick(round_index)     # poll finished + submit ready windows
+        ...
+        service.drain(final_round)    # barrier at the very end
+
+    ``task_filter`` (forwarded to the underlying
+    :class:`~repro.unlearning.deletion_manager.DeletionService`) is the
+    fault-injection seam: it sees ``(window_id, tasks)`` before each
+    submission and may wrap tasks (e.g.
+    :class:`~repro.unlearning.faultinject.FaultInjector` worker kills).
+    """
+
+    def __init__(
+        self,
+        ensemble: SisaEnsemble,
+        directory: str,
+        policy: Optional[DeletionPolicy] = None,
+        backend: BackendLike = None,
+        task_filter: Optional[Callable] = None,
+        seed: int = 0,
+        _recovered_records: Optional[List[Dict[str, Any]]] = None,
+    ) -> None:
+        self.ensemble = ensemble
+        self.directory = directory
+        os.makedirs(directory, exist_ok=True)
+        journal_path = os.path.join(directory, "journal.jsonl")
+        if _recovered_records is None and os.path.exists(journal_path):
+            raise RuntimeError(
+                f"{journal_path} already exists — this directory holds a "
+                "previous service's durable state; resume it with "
+                "UnlearningService.recover() instead of starting fresh"
+            )
+        self.journal = Journal(journal_path)
+        self.requests: Dict[str, ServiceRequest] = {}
+        self.duplicates = 0
+        self.sla = SlaMeter()
+        self._windows: Dict[int, Dict[str, Any]] = {}
+        self._auto_id = 0
+        self.manager = DeletionManager(policy)
+        self.service = DeletionService(
+            self.manager,
+            ensemble,
+            backend,
+            task_filter=task_filter,
+            on_window_planned=self._on_window_planned,
+            on_window_submitted=self._on_window_submitted,
+            on_window_completed=self._on_window_completed,
+            on_window_failed=self._on_window_failed,
+            on_empty_flush=self._on_empty_flush,
+        )
+        if not ensemble._fitted:
+            ensemble.fit()
+        base = os.path.join(directory, "ensemble")
+        if not os.path.exists(os.path.join(base, "manifest.json")):
+            ensemble.save(base)
+        meta_path = os.path.join(directory, "service.json")
+        if not os.path.exists(meta_path):
+            with open(meta_path, "w") as handle:
+                json.dump({"version": 1, "seed": seed}, handle)
+        if _recovered_records is not None:
+            self._rebuild_from_records(_recovered_records)
+
+    # ------------------------------------------------------------------
+    # Intake
+    # ------------------------------------------------------------------
+    def submit(
+        self,
+        client_id: int,
+        indices: Sequence[int],
+        round_index: int,
+        request_id: Optional[str] = None,
+    ) -> ServiceRequest:
+        """File one deletion request; returns its tracked record.
+
+        Idempotent on ``request_id``: resubmitting an id the service has
+        already accepted (in *any* state, across restarts) returns the
+        original record without queueing new work.  Empty index sets and
+        out-of-range indices are rejected with a clear :class:`ValueError`
+        after journaling the terminal ``failed`` transition, so a bad
+        request cannot poison the windows of well-formed ones.
+        """
+        if request_id is None:
+            request_id = f"req-{self._auto_id:06d}"
+            self._auto_id += 1
+        if request_id in self.requests:
+            self.duplicates += 1
+            self.journal.append(
+                {
+                    "event": "duplicate",
+                    "request_id": request_id,
+                    "round": round_index,
+                }
+            )
+            return self.requests[request_id]
+        indices = np.unique(np.asarray(indices, dtype=np.int64))
+        self.journal.append(
+            {
+                "event": "received",
+                "request_id": request_id,
+                "client_id": int(client_id),
+                "indices": [int(i) for i in indices],
+                "round": round_index,
+            }
+        )
+        request = ServiceRequest(
+            request_id=request_id,
+            client_id=int(client_id),
+            indices=indices,
+            submitted_round=round_index,
+            submitted_wall=time.perf_counter(),
+        )
+        self.requests[request_id] = request
+        reason = self._validation_error(indices)
+        if reason is not None:
+            self._fail_request(request, reason, round_index)
+            raise ValueError(f"deletion request {request_id!r}: {reason}")
+        self.journal.append(
+            {"event": "validated", "request_id": request_id, "round": round_index}
+        )
+        request.state = RequestState.VALIDATED
+        self.manager.submit(
+            client_id, indices, round_index, request_id=request_id
+        )
+        return request
+
+    def _validation_error(self, indices: np.ndarray) -> Optional[str]:
+        if indices.size == 0:
+            return "deletion request with no indices"
+        bad = indices[(indices < 0) | (indices >= len(self.ensemble.dataset))]
+        if bad.size:
+            return f"index {int(bad[0])} out of range"
+        return None
+
+    def _fail_request(
+        self, request: ServiceRequest, reason: str, round_index: int
+    ) -> None:
+        self.journal.append(
+            {
+                "event": "failed",
+                "request_id": request.request_id,
+                "reason": reason,
+                "round": round_index,
+            }
+        )
+        request.state = RequestState.FAILED
+        request.failure_reason = reason
+
+    # ------------------------------------------------------------------
+    # The round loop
+    # ------------------------------------------------------------------
+    def tick(self, round_index: int) -> Dict[str, Any]:
+        """One scheduling beat: absorb finished windows, submit ready ones."""
+        completed = self.service.poll(round_index)
+        submitted = self.service.maybe_submit(round_index)
+        return {"completed": completed, "submitted": submitted}
+
+    def drain(self, round_index: int) -> List[ExecutedBatch]:
+        """Barrier: block until every in-flight window certifies."""
+        return self.service.drain(round_index)
+
+    @property
+    def windows_in_flight(self) -> int:
+        return self.service.windows_in_flight
+
+    @property
+    def max_windows_in_flight(self) -> int:
+        return self.service.max_windows_in_flight
+
+    def states(self) -> Dict[str, str]:
+        """``request_id → state`` snapshot (for assertions and dashboards)."""
+        return {rid: req.state for rid, req in self.requests.items()}
+
+    def close(self) -> None:
+        self.journal.close()
+
+    def __enter__(self) -> "UnlearningService":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Window lifecycle callbacks (write-ahead: journal first, then act)
+    # ------------------------------------------------------------------
+    def _requests_of(self, window_id: int) -> List[ServiceRequest]:
+        return [
+            self.requests[rid]
+            for rid in self._windows.get(window_id, {}).get("request_ids", [])
+            if rid in self.requests
+        ]
+
+    def _on_window_planned(
+        self, window_id, requests, indices, shards, round_index
+    ) -> None:
+        request_ids = [
+            request.request_id
+            for request in requests
+            if request.request_id is not None
+        ]
+        self._windows[window_id] = {
+            "request_ids": request_ids,
+            "indices": [int(i) for i in indices],
+            "shards": [int(s) for s in shards],
+        }
+        self.journal.append(
+            {
+                "event": "scheduled",
+                "window": window_id,
+                "requests": request_ids,
+                "indices": [int(i) for i in indices],
+                "shards": [int(s) for s in shards],
+                "round": round_index,
+            }
+        )
+        for request in self._requests_of(window_id):
+            request.state = RequestState.SCHEDULED
+            request.window_id = window_id
+
+    def _on_window_submitted(self, window_id, batch, pending) -> None:
+        self.journal.append(
+            {
+                "event": "retraining",
+                "window": window_id,
+                "round": batch.executed_round,
+            }
+        )
+        for request in self._requests_of(window_id):
+            request.state = RequestState.RETRAINING
+
+    def _on_window_completed(self, window_id, batch, pending, round_index) -> None:
+        # Sidecar first, then the journal record: a journal that says
+        # certified must always find its sidecar on disk.
+        self._persist_window(window_id, pending)
+        self.journal.append(
+            {"event": "certified", "window": window_id, "round": round_index}
+        )
+        self._certify_requests(self._requests_of(window_id), round_index)
+
+    def _on_window_failed(self, window_id, batch, pending, round_index) -> None:
+        self.journal.append(
+            {
+                "event": "window_failed",
+                "window": window_id,
+                "round": round_index,
+            }
+        )
+        for request in self._requests_of(window_id):
+            request.state = RequestState.FAILED
+            request.failure_reason = "retrain chains failed"
+
+    def _on_empty_flush(self, batch, round_index) -> None:
+        # Every index in these requests was already logically deleted by
+        # an earlier window — nothing retrains, the requests certify on
+        # the spot (idempotent re-requests are normal in deletion systems).
+        request_ids = [
+            request.request_id
+            for request in batch.requests
+            if request.request_id is not None
+        ]
+        self.journal.append(
+            {"event": "noop", "requests": request_ids, "round": round_index}
+        )
+        self._certify_requests(
+            [self.requests[rid] for rid in request_ids if rid in self.requests],
+            round_index,
+        )
+
+    def _certify_requests(
+        self, requests: List[ServiceRequest], round_index: int
+    ) -> None:
+        now = time.perf_counter()
+        for request in requests:
+            request.state = RequestState.CERTIFIED
+            request.certified_round = round_index
+            if request.submitted_wall is not None:
+                request.certified_wall = now
+            self.sla.record(request)
+
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+    def _window_dir(self, window_id: int) -> str:
+        return os.path.join(self.directory, "windows", f"{window_id:06d}")
+
+    def _persist_window(self, window_id: int, pending) -> None:
+        """Atomically write the certified window's sidecar.
+
+        The sidecar holds everything recovery needs to reinstall the
+        window without retraining: the window's deleted indices and, for
+        each affected shard, its *complete* post-window checkpoint set
+        and RNG position.  Per-shard locking guarantees no other window
+        mutated these shards between begin and certify, so the live
+        state *is* the post-window state.
+        """
+        final = self._window_dir(window_id)
+        tmp = final + ".tmp"
+        for stale in (tmp, final):
+            if os.path.exists(stale):
+                shutil.rmtree(stale)
+        os.makedirs(tmp)
+        meta: Dict[str, Any] = {
+            "window": window_id,
+            "indices": [int(i) for i in pending.indices],
+            "shards": {},
+        }
+        for shard_index in sorted(pending.first_affected):
+            shard = self.ensemble._shards[shard_index]
+            meta["shards"][str(shard_index)] = {
+                "checkpoints": sorted(shard.checkpoints),
+                "rng_state": shard.rng_state,
+            }
+            for slice_index, state in shard.checkpoints.items():
+                save_state_dict(
+                    state,
+                    os.path.join(
+                        tmp, f"shard{shard_index}_slice{slice_index}.npz"
+                    ),
+                )
+        with open(os.path.join(tmp, "meta.json"), "w") as handle:
+            json.dump(meta, handle)
+        os.rename(tmp, final)
+
+    @staticmethod
+    def _apply_window(ensemble: SisaEnsemble, window_dir: str) -> None:
+        """Reinstall one certified window's sidecar onto the ensemble."""
+        with open(os.path.join(window_dir, "meta.json")) as handle:
+            meta = json.load(handle)
+        ensemble._deleted.update(int(i) for i in meta["indices"])
+        for shard_key, info in meta["shards"].items():
+            shard = ensemble._shards[int(shard_key)]
+            shard.checkpoints = {
+                slice_index: load_state_dict(
+                    os.path.join(
+                        window_dir, f"shard{shard_key}_slice{slice_index}.npz"
+                    )
+                )
+                for slice_index in info["checkpoints"]
+            }
+            shard.rng_state = info["rng_state"]
+            model = ensemble.model_factory()
+            model.load_state_dict(
+                shard.checkpoints[ensemble.config.num_slices - 1]
+            )
+            shard.model = model
+
+    # ------------------------------------------------------------------
+    # Recovery
+    # ------------------------------------------------------------------
+    @classmethod
+    def recover(
+        cls,
+        directory: str,
+        model_factory: Callable[[], Module],
+        dataset: ArrayDataset,
+        policy: Optional[DeletionPolicy] = None,
+        backend: BackendLike = None,
+        task_filter: Optional[Callable] = None,
+        round_index: int = 0,
+    ) -> "UnlearningService":
+        """Resume a service whose process died, from its directory alone.
+
+        Rebuilds the ensemble as *base save + certified sidecars in
+        journal order*, replays the journal to restore every request's
+        state, resubmits windows that were scheduled/retraining but never
+        certified (``round_index`` stamps the resubmission round), and
+        re-queues validated-but-unscheduled requests.  Because windows
+        only ever lock disjoint shards, the resubmitted chains see
+        exactly the shard state (checkpoints + RNG position) their
+        original submission saw — the recovered run's certified states
+        are bit-identical to an uninterrupted run's.
+        """
+        journal_path = os.path.join(directory, "journal.jsonl")
+        records = replay(journal_path)
+        meta_path = os.path.join(directory, "service.json")
+        seed = 0
+        if os.path.exists(meta_path):
+            with open(meta_path) as handle:
+                seed = json.load(handle).get("seed", 0)
+        ensemble = SisaEnsemble.load(
+            os.path.join(directory, "ensemble"),
+            model_factory,
+            dataset,
+            seed=seed,
+            backend=backend,
+        )
+        for record in records:
+            if record.get("event") == "certified":
+                window_dir = os.path.join(
+                    directory, "windows", f"{int(record['window']):06d}"
+                )
+                cls._apply_window(ensemble, window_dir)
+        service = cls(
+            ensemble,
+            directory,
+            policy=policy,
+            backend=backend,
+            task_filter=task_filter,
+            seed=seed,
+            _recovered_records=records,
+        )
+        service._resubmit_incomplete(round_index)
+        return service
+
+    def _rebuild_from_records(self, records: List[Dict[str, Any]]) -> None:
+        """Restore request/window state from replayed journal records."""
+        for record in records:
+            event = record.get("event")
+            if event == "received":
+                request = ServiceRequest(
+                    request_id=record["request_id"],
+                    client_id=int(record.get("client_id", -1)),
+                    indices=np.asarray(record["indices"], dtype=np.int64),
+                    submitted_round=int(record["round"]),
+                )
+                self.requests[request.request_id] = request
+                if request.request_id.startswith("req-"):
+                    try:
+                        number = int(request.request_id[4:])
+                    except ValueError:
+                        number = -1
+                    self._auto_id = max(self._auto_id, number + 1)
+            elif event == "validated":
+                self.requests[record["request_id"]].state = RequestState.VALIDATED
+            elif event == "failed":
+                request = self.requests[record["request_id"]]
+                request.state = RequestState.FAILED
+                request.failure_reason = record.get("reason")
+            elif event == "duplicate":
+                self.duplicates += 1
+            elif event == "scheduled":
+                window_id = int(record["window"])
+                self._windows[window_id] = {
+                    "request_ids": list(record["requests"]),
+                    "indices": [int(i) for i in record["indices"]],
+                    "shards": [int(s) for s in record.get("shards", [])],
+                }
+                for request in self._requests_of(window_id):
+                    request.state = RequestState.SCHEDULED
+                    request.window_id = window_id
+                self.service._next_window = max(
+                    self.service._next_window, window_id + 1
+                )
+            elif event == "retraining":
+                for request in self._requests_of(int(record["window"])):
+                    request.state = RequestState.RETRAINING
+            elif event == "certified":
+                self._certify_requests(
+                    self._requests_of(int(record["window"])),
+                    int(record["round"]),
+                )
+                self._windows[int(record["window"])]["certified"] = True
+            elif event == "window_failed":
+                window_id = int(record["window"])
+                self._windows[window_id]["failed"] = True
+                for request in self._requests_of(window_id):
+                    request.state = RequestState.FAILED
+                    request.failure_reason = "retrain chains failed"
+            elif event == "noop":
+                self._certify_requests(
+                    [
+                        self.requests[rid]
+                        for rid in record["requests"]
+                        if rid in self.requests
+                    ],
+                    int(record["round"]),
+                )
+        # A crash between `received` and `validated`/`failed` leaves a
+        # request in RECEIVED: validation is deterministic, re-run it.
+        for request in self.requests.values():
+            if request.state == RequestState.RECEIVED:
+                reason = self._validation_error(request.indices)
+                if reason is not None:
+                    self._fail_request(request, reason, request.submitted_round)
+                else:
+                    self.journal.append(
+                        {
+                            "event": "validated",
+                            "request_id": request.request_id,
+                            "round": request.submitted_round,
+                        }
+                    )
+                    request.state = RequestState.VALIDATED
+        # Re-queue every validated-but-unscheduled request.
+        for request in self.requests.values():
+            if request.state == RequestState.VALIDATED:
+                self.manager.submit(
+                    request.client_id,
+                    request.indices,
+                    request.submitted_round,
+                    request_id=request.request_id,
+                )
+
+    def _resubmit_incomplete(self, round_index: int) -> None:
+        """Re-begin every scheduled/retraining window from its journaled
+        index set (the write-ahead plan *is* the recovery unit)."""
+        for window_id in sorted(self._windows):
+            info = self._windows[window_id]
+            if info.get("certified") or info.get("failed"):
+                continue
+            self.journal.append(
+                {
+                    "event": "resubmitted",
+                    "window": window_id,
+                    "round": round_index,
+                }
+            )
+            requests = [
+                DeletionRequest(
+                    client_id=self.requests[rid].client_id,
+                    indices=self.requests[rid].indices,
+                    submitted_round=self.requests[rid].submitted_round,
+                    request_id=rid,
+                )
+                for rid in info["request_ids"]
+                if rid in self.requests
+            ]
+            # resubmit_window's callbacks journal the retraining record
+            # and advance (or, on a serial backend, fully certify) the
+            # window's requests — no state fix-up here.
+            self.service.resubmit_window(
+                window_id,
+                requests,
+                np.asarray(info["indices"], dtype=np.int64),
+                round_index,
+            )

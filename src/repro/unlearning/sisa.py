@@ -180,7 +180,10 @@ class SisaEnsemble:
         self.backend = get_backend(backend)
         self._rng = np.random.default_rng(seed)
         self._deleted: set = set()
-        self._pending_deletion = False
+        # Shards with a begun-but-unfinished deletion window.  Locking is
+        # per shard, not per ensemble: windows touching disjoint shards
+        # may retrain concurrently (their chains share nothing).
+        self._pending_shards: set = set()
         self._shards = self._partition()
         self._seed_shards(self._shards, seed)
         self._rebuild_lookup()
@@ -304,7 +307,7 @@ class SisaEnsemble:
             # Unlock rather than wedge: the logical deletion stands (the
             # points are gone either way) but the affected shards carry
             # stale models until a retried delete/fit lands.
-            self.abort_pending_deletion()
+            self.abort_pending_deletion(pending)
             raise
         return self.delete_finish(pending, results)
 
@@ -323,17 +326,15 @@ class SisaEnsemble:
 
         Between begin and finish the affected shards' models are the
         pre-deletion ones (inference serves stale constituents until the
-        retrain lands) and no further ``delete_begin`` may target the
-        ensemble — overlapping windows would race on the checkpoint
-        invalidation.  The service enforces one window in flight.
+        retrain lands) and no further ``delete_begin`` may target those
+        *shards* — overlapping windows on the same shard would race on
+        the checkpoint invalidation.  Locking is per shard: windows whose
+        affected shards are disjoint retrain concurrently (the service
+        partitions requests accordingly), because a chain only ever reads
+        its own shard's checkpoints, RNG stream and index sets.
         """
         if not self._fitted:
             raise RuntimeError("call fit() before delete()")
-        if self._pending_deletion:
-            raise RuntimeError(
-                "a deletion window is already in flight; finish it with "
-                "delete_finish() before beginning another"
-            )
         indices = np.unique(np.asarray(global_indices, dtype=np.int64))
         if indices.size == 0:
             raise ValueError("deletion request with no indices")
@@ -350,6 +351,14 @@ class SisaEnsemble:
             current = first_affected.get(shard_index)
             if current is None or slice_index < current:
                 first_affected[shard_index] = slice_index
+
+        locked = sorted(set(first_affected) & self._pending_shards)
+        if locked:
+            raise RuntimeError(
+                f"a deletion window is already in flight for shard(s) "
+                f"{locked}; finish it with delete_finish() before beginning "
+                "another on the same shards"
+            )
 
         self._deleted.update(int(i) for i in indices)
 
@@ -372,32 +381,51 @@ class SisaEnsemble:
             for stale in range(from_slice, self.config.num_slices):
                 shard.checkpoints.pop(stale, None)
             tasks.append(self._shard_chain_task(shard, from_slice))
-        self._pending_deletion = True
+        self._pending_shards.update(first_affected)
         return PendingDeletion(
             indices=indices, first_affected=dict(first_affected), tasks=tasks
         )
 
-    def abort_pending_deletion(self) -> None:
+    @property
+    def pending_shards(self) -> frozenset:
+        """Shards locked by begun-but-unfinished deletion windows.  The
+        :class:`~repro.unlearning.deletion_manager.DeletionService` reads
+        this to defer requests whose indices map to a busy shard while
+        submitting disjoint-shard windows concurrently."""
+        return frozenset(self._pending_shards)
+
+    def abort_pending_deletion(
+        self, pending: Optional["PendingDeletion"] = None
+    ) -> None:
         """Unlock a begun window whose chains failed (e.g. a pool batch
         exhausting its worker-death retries).
 
-        The logical removal already happened at :meth:`delete_begin` —
-        the indices stay deleted and their checkpoints stay invalidated —
-        so the affected shards serve **stale** models until their chains
-        are re-run (resubmit via :meth:`delete_begin` on new indices, or
-        a full :meth:`fit`).  This trades a visible staleness window for
-        not permanently deadlocking every future deletion behind one
-        transient backend error.
+        With ``pending`` given only that window's shards unlock (other
+        in-flight windows keep their locks); without it every lock clears
+        — the legacy whole-ensemble abort.  The logical removal already
+        happened at :meth:`delete_begin` — the indices stay deleted and
+        their checkpoints stay invalidated — so the affected shards serve
+        **stale** models until their chains are re-run (resubmit via
+        :meth:`delete_begin` on new indices, or a full :meth:`fit`).
+        This trades a visible staleness window for not permanently
+        deadlocking every future deletion behind one transient backend
+        error.
         """
-        self._pending_deletion = False
+        if pending is None:
+            self._pending_shards.clear()
+        else:
+            self._pending_shards -= set(pending.first_affected)
 
     def delete_finish(
         self, pending: "PendingDeletion", results: Sequence[ChainResult]
     ) -> SisaDeletionReport:
         """Phase 2: absorb the retrain-chain results begun by
         :meth:`delete_begin` and report the window's cost."""
-        if not self._pending_deletion:
-            raise RuntimeError("no deletion window in flight")
+        missing = set(pending.first_affected) - self._pending_shards
+        if missing:
+            raise RuntimeError(
+                f"no deletion window in flight for shard(s) {sorted(missing)}"
+            )
         if len(results) != len(pending.tasks):
             raise ValueError(
                 f"{len(pending.tasks)} chain(s) begun but {len(results)} "
@@ -406,7 +434,7 @@ class SisaEnsemble:
         retrained = 0
         for task, result in zip(pending.tasks, results):
             retrained += self._absorb_chain_result(self._shards[task.task_id], result)
-        self._pending_deletion = False
+        self._pending_shards -= set(pending.first_affected)
 
         total_steps = self.config.num_shards * self.config.num_slices
         reused = total_steps - sum(

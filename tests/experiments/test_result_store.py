@@ -1,0 +1,165 @@
+"""Spec-addressed result store: dedupe, matrix resume, atomic writes."""
+
+import json
+import os
+
+import pytest
+
+from repro.experiments import SMOKE, ExperimentResult, ResultStore, runner
+from repro.experiments.spec import ExperimentSpec, get_scenario
+
+MICRO = SMOKE.with_overrides(
+    train_size=150, test_size=60, pretrain_rounds=1, local_epochs=1,
+    unlearn_rounds=1, batch_size=30, deletion_rates=(0.06,),
+)
+
+
+def sample_result(spec_hash="abc123def456"):
+    return ExperimentResult(
+        experiment_id="t",
+        title="t",
+        columns=("x", "y"),
+        rows=[{"x": 1, "y": 2.5}, {"x": 2, "y": 3.5}],
+        spec_hash=spec_hash,
+    )
+
+
+def rate_table_spec():
+    return ExperimentSpec(
+        experiment_id="store-dedupe",
+        title="rate table",
+        kind="rate_table",
+        scenario=get_scenario("label_flip"),
+        methods=("ours",),
+        params={"rates": [0.06]},
+    )
+
+
+def matrix_spec():
+    return ExperimentSpec(
+        experiment_id="store-resume",
+        title="matrix",
+        kind="matrix",
+        scenario=get_scenario("backdoor"),
+        methods=("ours",),
+        params={"sweeps": {"deletion.rate": [0.04, 0.08]}},
+    )
+
+
+class TestStorePrimitives:
+    def test_key_addresses_the_triple(self):
+        assert ResultStore.key("abc", "smoke", 3) == "abc-smoke-s3"
+        with pytest.raises(ValueError, match="spec hash"):
+            ResultStore.key("", "smoke", 0)
+
+    def test_put_get_roundtrip(self, tmp_path):
+        store = ResultStore(str(tmp_path / "store"))
+        assert store.get("abc123def456", "smoke", 0) is None
+        assert store.misses == 1
+        path = store.put(sample_result(), "smoke", 0)
+        assert os.path.exists(path)
+        loaded = store.get("abc123def456", "smoke", 0)
+        assert store.hits == 1
+        assert loaded.rows == sample_result().rows
+        assert loaded.spec_hash == "abc123def456"
+        assert store.keys() == ["abc123def456-smoke-s0"]
+        assert len(store) == 1
+        assert store.report() == {"hits": 1, "misses": 1}
+
+    def test_distinct_scales_and_seeds_do_not_collide(self, tmp_path):
+        store = ResultStore(str(tmp_path / "store"))
+        store.put(sample_result(), "smoke", 0)
+        store.put(sample_result(), "smoke", 1)
+        store.put(sample_result(), "small", 0)
+        assert len(store) == 3
+
+    def test_failed_put_leaves_old_entry_and_no_tmp(self, tmp_path, monkeypatch):
+        store = ResultStore(str(tmp_path / "store"))
+        store.put(sample_result(), "smoke", 0)
+        monkeypatch.setattr(
+            json, "dump", lambda *a, **k: (_ for _ in ()).throw(OSError("disk"))
+        )
+        with pytest.raises(OSError, match="disk"):
+            store.put(sample_result(), "smoke", 0)
+        monkeypatch.undo()
+        # The old entry survives and no temp litter remains.
+        assert store.get("abc123def456", "smoke", 0) is not None
+        assert not [
+            name
+            for name in os.listdir(store.directory)
+            if not name.endswith(".json")
+        ]
+
+
+class TestRunSpecDedupe:
+    def test_second_run_is_a_store_hit_with_identical_rows(self, tmp_path):
+        store = ResultStore(str(tmp_path / "store"))
+        exp = rate_table_spec()
+        first = runner.run_spec(exp, MICRO, seed=0, store=store)
+        assert first.runtime.get("result_store") != "hit"
+        second = runner.run_spec(exp, MICRO, seed=0, store=store)
+        assert second.runtime["result_store"] == "hit"
+        assert second.rows == first.rows
+        assert store.hits == 1
+
+    def test_different_seed_misses(self, tmp_path):
+        store = ResultStore(str(tmp_path / "store"))
+        exp = rate_table_spec()
+        runner.run_spec(exp, MICRO, seed=0, store=store)
+        fresh = runner.run_spec(exp, MICRO, seed=1, store=store)
+        assert fresh.runtime.get("result_store") != "hit"
+
+
+class TestRunMatrixResume:
+    def test_cells_checkpoint_and_resume(self, tmp_path):
+        store = ResultStore(str(tmp_path / "store"))
+        exp = matrix_spec()
+        first = runner.run_matrix(exp, MICRO, seed=0, store=store)
+        assert first.runtime["result_store"] == {
+            "cells_resumed": 0,
+            "cells_run": 2,
+        }
+        # A second process pointing at the same directory resumes every
+        # cell without recomputing any of them.
+        resumed = runner.run_matrix(
+            exp, MICRO, seed=0, store=ResultStore(str(tmp_path / "store"))
+        )
+        assert resumed.runtime["result_store"] == {
+            "cells_resumed": 2,
+            "cells_run": 0,
+        }
+        assert resumed.rows == first.rows
+
+    def test_partial_store_reruns_only_missing_cells(self, tmp_path):
+        store = ResultStore(str(tmp_path / "store"))
+        exp = matrix_spec()
+        first = runner.run_matrix(exp, MICRO, seed=0, store=store)
+        # Simulate an interrupted matrix: drop one cell's checkpoint.
+        victim = sorted(
+            name
+            for name in os.listdir(store.directory)
+            if name.endswith(".json")
+        )[0]
+        os.unlink(os.path.join(store.directory, victim))
+        resumed = runner.run_matrix(
+            exp, MICRO, seed=0, store=ResultStore(str(tmp_path / "store"))
+        )
+        assert resumed.runtime["result_store"] == {
+            "cells_resumed": 1,
+            "cells_run": 1,
+        }
+        # The re-run cell's science is identical; only wall clock moves.
+        def science(rows):
+            return [
+                {k: v for k, v in row.items() if k != "wall_s"} for row in rows
+            ]
+
+        assert science(resumed.rows) == science(first.rows)
+
+    def test_whole_matrix_dedupes_through_run_spec(self, tmp_path):
+        store = ResultStore(str(tmp_path / "store"))
+        exp = matrix_spec()
+        first = runner.run_spec(exp, MICRO, seed=0, store=store)
+        second = runner.run_spec(exp, MICRO, seed=0, store=store)
+        assert second.runtime["result_store"] == "hit"
+        assert second.rows == first.rows

@@ -132,8 +132,43 @@ class TestSpecs:
             get_backend(spec)
 
     def test_parse_backend_spec(self):
-        assert parse_backend_spec("pool:8") == ("pool", 8)
-        assert parse_backend_spec("Serial") == ("serial", None)
+        assert parse_backend_spec("pool:8") == ("pool", 8, {})
+        assert parse_backend_spec("Serial") == ("serial", None, {})
+
+    def test_parse_backend_spec_options(self):
+        assert parse_backend_spec("pool:8:retries=2") == (
+            "pool",
+            8,
+            {"retries": 2},
+        )
+        # Options compose without a worker count, in either position.
+        assert parse_backend_spec("pool:retries=0") == (
+            "pool",
+            None,
+            {"retries": 0},
+        )
+        with pytest.raises(ValueError, match="does not support option"):
+            parse_backend_spec("process:4:retries=2")
+        with pytest.raises(ValueError, match="does not support option"):
+            parse_backend_spec("pool:8:reties=2")  # typo'd key
+        with pytest.raises(ValueError, match="expected an integer"):
+            parse_backend_spec("pool:8:retries=two")
+        with pytest.raises(ValueError, match="retries must be >= 0"):
+            parse_backend_spec("pool:8:retries=-1")
+        with pytest.raises(ValueError, match="two worker counts"):
+            parse_backend_spec("pool:8:4")
+
+    def test_retries_option_reaches_pool_and_keys_cache(self):
+        patient = get_backend("pool:2:retries=3")
+        default = get_backend("pool:2")
+        try:
+            assert patient.max_task_retries == 3
+            # Different death budgets must not share a pool.
+            assert patient is not default
+            assert get_backend("pool:2:retries=3") is patient
+        finally:
+            patient.close()
+            default.close()
 
     def test_parse_rejects_unknown_name_eagerly(self):
         # The CLI relies on parse-time validation to fail before any

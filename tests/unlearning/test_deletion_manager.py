@@ -96,6 +96,48 @@ class TestQueueMechanics:
             manager.mean_latency()
 
 
+class TestRequestIdempotence:
+    def test_duplicate_request_id_returns_original(self):
+        manager = DeletionManager(BatchSizePolicy(99))
+        first = manager.submit(0, [1, 2], round_index=0, request_id="req-a")
+        again = manager.submit(0, [1, 2], round_index=3, request_id="req-a")
+        assert again is first
+        assert manager.num_pending == 1
+        assert manager.num_duplicates == 1
+
+    def test_duplicate_detected_after_execution(self):
+        # A client retrying after its request already retrained must not
+        # enqueue a second window.
+        manager = DeletionManager(ImmediatePolicy())
+
+        class FakeSim:
+            clients = {0: type("C", (), {"request_deletion": staticmethod(lambda idx: None)})()}
+
+        manager.submit(0, [1], round_index=0, request_id="req-b")
+        manager.maybe_execute(FakeSim(), 0, lambda sim: None)
+        assert manager.num_pending == 0
+        manager.submit(0, [1], round_index=2, request_id="req-b")
+        assert manager.num_pending == 0
+        assert manager.num_duplicates == 1
+
+    def test_distinct_ids_and_anonymous_requests_enqueue(self):
+        manager = DeletionManager(BatchSizePolicy(99))
+        manager.submit(0, [1], round_index=0, request_id="req-a")
+        manager.submit(0, [2], round_index=0, request_id="req-b")
+        manager.submit(0, [3], round_index=0)  # no id: never deduped
+        manager.submit(0, [4], round_index=0)
+        assert manager.num_pending == 4
+        assert manager.num_duplicates == 0
+
+    def test_empty_indices_rejected_with_clear_error(self):
+        manager = DeletionManager()
+        with pytest.raises(ValueError, match="no indices"):
+            manager.submit(0, [], round_index=0, request_id="req-empty")
+        # The failed submission must not reserve the id.
+        manager.submit(0, [1], round_index=0, request_id="req-empty")
+        assert manager.num_pending == 1
+
+
 class TestEndToEnd:
     def _simulation(self):
         clients, test = make_blob_federation(

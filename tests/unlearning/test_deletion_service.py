@@ -70,9 +70,15 @@ def run_service(backend=None, num_rounds=6):
             manager.submit(client_id=0, indices=[index], round_index=round_index)
         service.maybe_submit(round_index)
     service.drain(num_rounds)
-    while manager.num_pending:
+    # Requests the policy armed but a shard lock deferred flush here, now
+    # that every window has drained and all shards are free.  Each pass
+    # makes progress (armed + unlocked => flush), so this terminates.
+    for _ in range(num_rounds):
+        if not manager.num_pending:
+            break
         service.maybe_submit(num_rounds)
         service.drain(num_rounds)
+    assert not manager.num_pending
     return manager, ensemble
 
 
@@ -110,13 +116,15 @@ class TestParity:
             pool.close()
         barriered = barriered_manager.executed_batches
         serviced = service_manager.executed_batches
-        # Same number of windows, covering the same requests with the
-        # same per-window chain cost.  (The *rounds* the windows fire at
-        # depend on real chain wall-clock under the service — a window
-        # whose chains outlast the loop defers the next firing — so only
-        # timing-independent accounting is compared.)
-        assert len(barriered) == len(serviced)
-        assert sorted(b.chains_submitted for b in barriered) == sorted(
+        # Per-shard locking may split a barriered window across several
+        # service windows (a request blocked behind a busy shard flushes
+        # later, on its own), and where the split lands depends on real
+        # chain wall-clock — so only timing-independent accounting is
+        # compared: the same requests get retrained, and the total chain
+        # cost is identical (a split window costs one chain per affected
+        # shard either way).
+        assert len(serviced) >= len(barriered)
+        assert sum(b.chains_submitted for b in barriered) == sum(
             b.chains_submitted for b in serviced
         )
         assert sum(b.num_requests for b in barriered) == sum(
@@ -144,7 +152,7 @@ class TestOverlapAccounting:
             assert batch.overlap_rounds == 0  # unknown until completion
             assert service.busy
             finished = service.drain(4)
-            assert finished is batch
+            assert len(finished) == 1 and finished[0] is batch
             assert batch.completed_round == 4
             assert batch.overlap_rounds == 4
             assert batch.outcome is not None
@@ -158,17 +166,19 @@ class TestOverlapAccounting:
             service_manager, _ = run_service(backend=pool)
         finally:
             pool.close()
-        for barriered, serviced in zip(
-            manager.executed_batches, service_manager.executed_batches
-        ):
-            assert (
-                barriered.outcome.shards_affected
-                == serviced.outcome.shards_affected
-            )
-            assert (
-                barriered.outcome.slices_retrained
-                == serviced.outcome.slices_retrained
-            )
+        def totals(batches):
+            shards, slices = set(), 0
+            for batch in batches:
+                assert batch.outcome is not None
+                shards.update(batch.outcome.shards_affected)
+                slices += batch.outcome.slices_retrained
+            return shards, slices
+
+        # Window boundaries may differ (per-shard splits are timing
+        # dependent) but the work they account for is identical.
+        assert totals(manager.executed_batches) == totals(
+            service_manager.executed_batches
+        )
 
 
 class TestWindowDiscipline:
@@ -192,11 +202,70 @@ class TestWindowDiscipline:
         finally:
             ensemble.backend.close()
 
+    def test_disjoint_shard_windows_overlap(self):
+        """Per-shard locking: windows on disjoint shards retrain at once."""
+        ensemble = fresh_ensemble(backend=PoolBackend(max_workers=2))
+        try:
+            manager = DeletionManager(BatchSizePolicy(1))
+            service = DeletionService(manager, ensemble)
+            manager.submit(client_id=0, indices=[3], round_index=0)  # shard 2
+            first = service.maybe_submit(0)
+            assert first is not None
+            manager.submit(client_id=0, indices=[2], round_index=1)  # shard 1
+            second = service.maybe_submit(1)
+            assert second is not None
+            assert service.windows_in_flight == 2
+            assert service.max_windows_in_flight >= 2
+            finished = service.drain(2)
+            assert len(finished) == 2
+            assert all(not batch.in_flight for batch in finished)
+            assert ensemble.deleted_indices >= {2, 3}
+        finally:
+            ensemble.backend.close()
+
+    def test_armed_remainder_flushes_without_new_firing(self):
+        """A policy firing admits every pending request, even ones a shard
+        lock defers — they flush once the shard frees, with no further
+        firing (BatchSizePolicy(2) can never fire for a lone leftover)."""
+        ensemble = fresh_ensemble(backend=PoolBackend(max_workers=2))
+        try:
+            manager = DeletionManager(BatchSizePolicy(2))
+            service = DeletionService(manager, ensemble)
+            manager.submit(client_id=0, indices=[3], round_index=0)  # shard 2
+            manager.submit(client_id=0, indices=[40], round_index=0)  # shard 2
+            first = service.maybe_submit(0)
+            assert first is not None and first.num_requests == 2
+            # Policy fires again, but 70 shares shard 2 with the window
+            # in flight — only 41 (shard 1) flushes.
+            manager.submit(client_id=0, indices=[41], round_index=1)  # shard 1
+            manager.submit(client_id=0, indices=[70], round_index=1)  # shard 2
+            second = service.maybe_submit(1)
+            assert second is not None and second.num_requests == 1
+            assert manager.num_pending == 1
+            assert service.maybe_submit(2) is None  # shard 2 still locked
+            service.drain(3)
+            third = service.maybe_submit(4)
+            assert third is not None and third.num_requests == 1
+            service.drain(5)
+            assert manager.num_pending == 0
+        finally:
+            ensemble.backend.close()
+
     def test_overlapping_delete_begin_rejected(self):
         ensemble = fresh_ensemble()
-        ensemble.delete_begin([3])
+        ensemble.delete_begin([3])  # locks shard 2
         with pytest.raises(RuntimeError, match="already in flight"):
-            ensemble.delete_begin([40])
+            ensemble.delete_begin([40])  # index 40 is also shard 2
+
+    def test_disjoint_shard_delete_begin_allowed(self):
+        ensemble = fresh_ensemble()
+        first = ensemble.delete_begin([3])  # shard 2
+        second = ensemble.delete_begin([2])  # shard 1
+        # Windows may finish out of submission order.
+        for pending in (second, first):
+            results = ensemble.backend.run_tasks(pending.tasks)
+            ensemble.delete_finish(pending, results)
+        assert ensemble.deleted_indices >= {2, 3}
 
     def test_delete_finish_requires_begun_window(self):
         ensemble = fresh_ensemble()
