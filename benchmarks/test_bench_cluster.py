@@ -1,0 +1,149 @@
+"""Cluster backend benchmark: TCP node agents vs the in-process pool.
+
+One federated run (8 clients, 8 rounds, delta codec) on each backend at
+equal worker counts.  The cluster's framed TCP transport reuses the
+pool's wire format — protocol-5 out-of-band pickles behind a
+version-addressed broadcast cache — so the run must land **bit-identical**
+to the pool, and its ticket-level byte accounting must be the same
+quantity (dispatch + result payloads; TCP framing/control overhead is
+visible only in the coordinator's cumulative totals).
+
+Appends one ``workload="cluster"`` record to
+``benchmarks/results/bench_runtime.json``::
+
+    {"workload": "cluster", "clients": ..., "rounds": ..., "workers": ...,
+     "bytes_total": ..., "pool_bytes_total": ..., "bytes_overhead_pct": ...,
+     "wall_clock_s": ..., "pool_wall_clock_s": ...}
+
+Floor assertions:
+
+* cluster ≡ pool bitwise (global state and per-round accuracies);
+* ticket-level bytes match the pool's within 1% (same payloads, same
+  cache; only ref/full placement across equal workers may differ);
+* the broadcast cache engaged (refs or deltas outnumber full sends).
+"""
+
+import json
+import os
+import time
+
+import numpy as np
+
+from repro.cluster import ClusterBackend
+from repro.data.dataset import ArrayDataset, FederatedDataset
+from repro.federated import FedAvgAggregator, FederatedSimulation
+from repro.nn.models import RegistryModelFactory
+from repro.runtime import PoolBackend, usable_cpus
+from repro.training import TrainConfig
+
+RESULTS_PATH = os.path.join(
+    os.path.dirname(__file__), "results", "bench_runtime.json"
+)
+
+NUM_CLIENTS = 8
+PER_CLIENT = 64
+ROUNDS = 8
+WORKERS = 2
+CODEC = "delta"
+CONFIG = TrainConfig(epochs=2, batch_size=16, learning_rate=0.02)
+FACTORY = RegistryModelFactory(name="mlp", num_classes=3, in_channels=1, image_size=8)
+
+
+def _emit(record: dict) -> None:
+    os.makedirs(os.path.dirname(RESULTS_PATH), exist_ok=True)
+    records = []
+    if os.path.exists(RESULTS_PATH):
+        with open(RESULTS_PATH) as handle:
+            records = json.load(handle)
+    records.append(record)
+    with open(RESULTS_PATH, "w") as handle:
+        json.dump(records, handle, indent=2)
+    print(json.dumps(record))
+
+
+def _build_sim(backend):
+    rng = np.random.default_rng(0)
+    means = rng.normal(0.0, 3.0, size=(3, 1, 8, 8))
+    total = NUM_CLIENTS * PER_CLIENT + 60
+    labels = np.arange(total) % 3
+    images = means[labels] + rng.normal(0.0, 0.5, size=(total, 1, 8, 8))
+    full = ArrayDataset(images=images, labels=labels, num_classes=3, name="bench")
+    clients = [
+        full.subset(range(i * PER_CLIENT, (i + 1) * PER_CLIENT))
+        for i in range(NUM_CLIENTS)
+    ]
+    fed = FederatedDataset(
+        client_datasets=clients,
+        test_set=full.subset(range(NUM_CLIENTS * PER_CLIENT, total)),
+    )
+    return FederatedSimulation(
+        FACTORY, fed, FedAvgAggregator(), CONFIG, seed=3, backend=backend,
+        codec=CODEC,
+    )
+
+
+def _run_on(backend):
+    try:
+        sim = _build_sim(backend)
+        start = time.perf_counter()
+        history = sim.run(ROUNDS)
+        wall = time.perf_counter() - start
+        return {
+            "state": sim.server.global_state,
+            "accuracies": history.accuracies,
+            "report": sim.transport_report(),
+            "wall": wall,
+        }
+    finally:
+        backend.close()
+
+
+class TestClusterVsPool:
+    def test_equal_worker_parity_bytes_and_wall(self):
+        pool = _run_on(PoolBackend(max_workers=WORKERS))
+        cluster = _run_on(ClusterBackend(max_workers=WORKERS))
+
+        # Bit-identical run: same accuracies every round, same final model.
+        assert cluster["accuracies"] == pool["accuracies"]
+        for key, value in pool["state"].items():
+            np.testing.assert_array_equal(value, cluster["state"][key])
+
+        # Same payload accounting: ticket-level bytes track the pool's.
+        # Worker counts are equal, but which worker goes cold on each new
+        # version can differ, so allow a sliver of full/ref placement
+        # noise on top of the identical payload streams.
+        pool_bytes = pool["report"]["bytes_total"]
+        cluster_bytes = cluster["report"]["bytes_total"]
+        overhead = (cluster_bytes - pool_bytes) / pool_bytes
+        assert abs(overhead) <= 0.01, (
+            f"cluster ticket bytes diverged from pool: {cluster_bytes} vs "
+            f"{pool_bytes} ({overhead:+.2%})"
+        )
+
+        # The broadcast cache did its job over TCP too.
+        report = cluster["report"]
+        assert (
+            report["broadcast_ref"] + report["broadcast_delta"]
+            > report["broadcast_full"]
+        )
+
+        _emit(
+            {
+                "workload": "cluster",
+                "clients": NUM_CLIENTS,
+                "rounds": ROUNDS,
+                "workers": WORKERS,
+                "codec": CODEC,
+                "bytes_down": report["bytes_down"],
+                "bytes_up": report["bytes_up"],
+                "bytes_total": cluster_bytes,
+                "pool_bytes_total": pool_bytes,
+                "bytes_overhead_pct": round(100 * overhead, 3),
+                "broadcast_full": report["broadcast_full"],
+                "broadcast_delta": report["broadcast_delta"],
+                "broadcast_ref": report["broadcast_ref"],
+                "wall_clock_s": round(cluster["wall"], 4),
+                "pool_wall_clock_s": round(pool["wall"], 4),
+                "cpus": usable_cpus(),
+            }
+        )

@@ -1,0 +1,69 @@
+"""``repro.cluster`` — multi-node execution over framed TCP sockets.
+
+The runtime made every fan-out site speak in pure, picklable tasks and
+every transport speak one wire format
+(:mod:`repro.runtime.wire`); this package crosses the machine boundary
+with them.  Architecture (DIRAC-style pilot jobs):
+
+:mod:`~repro.cluster.wire`
+    :class:`SocketChannel` — length-prefixed frames over TCP presenting
+    the pipe's ``send_bytes``/``recv_bytes`` interface, plus the
+    magic/version handshake and the transport failure taxonomy.
+:mod:`~repro.cluster.scheduler`
+    :class:`PullScheduler` — the central queue and lease table.  Idle
+    agents *pull* tasks; leases expire and resubmit when a node dies,
+    under the pool's exact per-task retry budget.
+:mod:`~repro.cluster.coordinator`
+    :class:`Coordinator` — accepts agents, parks empty pulls, ships
+    model state ref/delta/full against a per-peer broadcast cache, and
+    keeps pool-identical batch bookkeeping and byte accounting.
+:mod:`~repro.cluster.agent`
+    :func:`run_agent` — the node worker loop (``_pool_worker`` over a
+    socket); also ``python -m repro.cluster.agent HOST:PORT`` for real
+    multi-host runs.
+:mod:`~repro.cluster.backend`
+    :class:`ClusterBackend` — the drop-in ``Backend`` + streaming
+    surface.  ``get_backend("cluster:4")`` stands up a deterministic
+    localhost cluster whose results are bit-identical to ``pool`` and
+    ``serial``.
+"""
+
+from .backend import ClusterBackend
+from .coordinator import Coordinator
+from .scheduler import PullScheduler
+from .wire import (
+    ChannelTimeout,
+    PayloadTooLarge,
+    ProtocolMismatch,
+    SocketChannel,
+    WireError,
+    client_handshake,
+    connect,
+    listen,
+    server_handshake,
+)
+def __getattr__(name):
+    # Lazy so importing the package does not preload ``repro.cluster.agent``
+    # (``python -m repro.cluster.agent`` would then warn via runpy).
+    if name == "run_agent":
+        from .agent import run_agent
+
+        return run_agent
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
+__all__ = [
+    "ChannelTimeout",
+    "ClusterBackend",
+    "Coordinator",
+    "PayloadTooLarge",
+    "ProtocolMismatch",
+    "PullScheduler",
+    "SocketChannel",
+    "WireError",
+    "client_handshake",
+    "connect",
+    "listen",
+    "run_agent",
+    "server_handshake",
+]

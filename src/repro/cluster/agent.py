@@ -1,0 +1,165 @@
+"""The node agent: a pilot job that dials in and pulls work.
+
+``run_agent`` is the whole worker: connect out to the coordinator,
+handshake (magic + wire-protocol version + identity/capacity), send one
+``("pull",)``, and then serve the task/result loop — the exact body of
+the pool's ``_pool_worker``, with the pipe swapped for a
+:class:`~repro.cluster.wire.SocketChannel`:
+
+* each ``("task", lease_id, task_bytes, broadcast)`` applies the model
+  broadcast *first* (keeping the local cache in lockstep with the
+  coordinator's mirror even when the task itself turns out to be bad),
+  then unpickles and runs the task inside the try block, so a task that
+  cannot be reconstructed or that raises is reported as that task's
+  failure rather than crashing the agent;
+* every result echoes the agent's current cache version, letting the
+  coordinator detect and repair divergence by falling back to
+  full-state sends;
+* while parked (pull outstanding, no work), the idle-recv timeout
+  doubles as the heartbeat clock: each timeout sends ``("heartbeat",)``
+  so the coordinator can tell a quiet-but-alive agent from a dead one.
+
+The localhost cluster spawns this as subprocesses
+(:class:`~repro.cluster.backend.ClusterBackend`); real multi-host use
+runs the same loop via ``python -m repro.cluster.agent HOST:PORT`` on
+each node, pointed at a coordinator bound to a routable address.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+from typing import Optional, Tuple
+
+from ..runtime.codec import decode_broadcast
+from .wire import (
+    ChannelTimeout,
+    ProtocolMismatch,
+    WireError,
+    client_handshake,
+    connect,
+    recv_message,
+    send_message,
+)
+
+
+def run_agent(
+    address: Tuple[str, int],
+    agent_id: Optional[str] = None,
+    capacity: int = 1,
+    heartbeat_interval: float = 5.0,
+    connect_timeout: float = 20.0,
+) -> None:
+    """Serve tasks from the coordinator at ``address`` until shut down.
+
+    Returns normally on a clean ``("shutdown",)`` or when the
+    coordinator goes away (connection loss while idle or mid-reply) —
+    process supervision, not this function, decides whether to
+    reconnect.  Raises :class:`~repro.cluster.wire.ProtocolMismatch`
+    when the far side is not a compatible coordinator.
+    """
+    channel = connect(address, timeout=connect_timeout)
+    try:
+        client_handshake(
+            channel,
+            {
+                "agent_id": agent_id or f"pid-{os.getpid()}",
+                "capacity": capacity,
+                "pid": os.getpid(),
+            },
+        )
+        _serve(channel, heartbeat_interval)
+    finally:
+        channel.close()
+
+
+def _serve(channel, heartbeat_interval: float) -> None:
+    cache_version: Optional[str] = None
+    cache_state = None
+    send_message(channel, ("pull",))
+    while True:
+        try:
+            message, _ = recv_message(channel, timeout=heartbeat_interval)
+        except ChannelTimeout:
+            # Parked and idle: prove liveness, keep waiting.
+            try:
+                send_message(channel, ("heartbeat",))
+            except (WireError, OSError):
+                return
+            continue
+        except (EOFError, WireError, OSError):
+            return  # coordinator is gone
+        kind = message[0] if isinstance(message, tuple) and message else None
+        if kind == "shutdown":
+            return
+        if kind != "task":
+            continue  # tolerate unknown control messages
+        _, lease_id, task_bytes, broadcast = message
+        try:
+            state = None
+            if broadcast is not None:
+                field, wire = broadcast
+                state, version = decode_broadcast(wire, cache_version, cache_state)
+                cache_version, cache_state = version, state
+            task = pickle.loads(task_bytes)
+            if broadcast is not None:
+                setattr(task, field, state)
+            reply = ("result", lease_id, None, task.run(), cache_version)
+        except (KeyboardInterrupt, SystemExit):
+            raise
+        except Exception as exc:
+            import traceback
+
+            reply = (
+                "result",
+                lease_id,
+                f"{type(exc).__name__}: {exc}\n{traceback.format_exc()}",
+                None,
+                cache_version,
+            )
+        try:
+            send_message(channel, reply)
+            send_message(channel, ("pull",))
+        except (WireError, OSError):
+            return
+
+
+def main(argv: Optional[list] = None) -> int:
+    """``python -m repro.cluster.agent HOST:PORT [--id NAME]`` — join a
+    coordinator from another host (the multi-node entry point)."""
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.cluster.agent",
+        description="Run one repro cluster node agent against a coordinator.",
+    )
+    parser.add_argument("address", help="coordinator address as HOST:PORT")
+    parser.add_argument("--id", dest="agent_id", default=None, help="agent identity")
+    parser.add_argument(
+        "--capacity", type=int, default=1, help="advertised task capacity"
+    )
+    parser.add_argument(
+        "--heartbeat",
+        type=float,
+        default=5.0,
+        help="seconds between liveness heartbeats while idle",
+    )
+    args = parser.parse_args(argv)
+    host, _, port = args.address.rpartition(":")
+    if not host or not port.isdigit():
+        parser.error(f"address must be HOST:PORT, got {args.address!r}")
+    try:
+        run_agent(
+            (host, int(port)),
+            agent_id=args.agent_id,
+            capacity=args.capacity,
+            heartbeat_interval=args.heartbeat,
+        )
+    except ProtocolMismatch as exc:
+        print(f"agent rejected: {exc}")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess
+    raise SystemExit(main())

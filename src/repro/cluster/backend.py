@@ -1,0 +1,265 @@
+"""``ClusterBackend``: the pool's API, served by a socket cluster.
+
+A drop-in :class:`~repro.runtime.backends.Backend` (plus the
+``submit``/``drain``/``poll``/``pop_ticket_stats`` streaming surface the
+event-driven federation engine and the deletion service detect), so
+every ``backend=`` call site — federation rounds sync and async, SISA
+chains, unlearning windows, all codecs — routes over TCP unchanged.
+Because tasks carry their model state and exact RNG position, results
+are **bit-identical** to ``pool`` and ``serial``; the cluster changes
+wall-clock and wire bytes, never the numbers.
+
+The default deployment is the deterministic localhost cluster: on first
+use the backend binds a loopback coordinator on an ephemeral port and
+spawns ``max_workers`` node-agent subprocesses that dial back in — the
+shape CI pins parity against.  A node agent that dies mid-task is
+detected at the socket, its leased tasks are resubmitted under the
+pool's exact retry budget, and a replacement agent is respawned (cold
+broadcast cache, so its first model ships full — same as a respawned
+pool worker).
+
+Real multi-host use is the same coordinator bound to a routable
+address, with agents started on other machines via
+``python -m repro.cluster.agent HOST:PORT`` instead of being spawned
+here — see :mod:`repro.cluster.agent`.
+"""
+
+from __future__ import annotations
+
+import weakref
+from typing import Any, Dict, List, Optional, Sequence
+
+from ..runtime.backends import Backend, SerialBackend, usable_cpus
+from ..runtime.pool import _pool_context
+from ..runtime.wire import TransportStats
+from .coordinator import Coordinator
+
+
+def _agent_process(context, address, agent_id: str):
+    """One local node-agent subprocess, dialing the loopback coordinator."""
+    # Imported here, not at module top: ``python -m repro.cluster.agent``
+    # imports this package first, and preloading the agent module would
+    # trip runpy's found-in-sys.modules warning on the documented
+    # multi-host entry point.
+    from .agent import run_agent
+
+    process = context.Process(
+        target=run_agent, args=(address,), kwargs={"agent_id": agent_id}, daemon=True
+    )
+    process.start()
+    return process
+
+
+def _teardown(coordinator: Coordinator, agents: List[Any]) -> None:
+    """Module-level teardown target for ``weakref.finalize`` (must not
+    hold a reference back to the backend)."""
+    coordinator.close()
+    for process in agents:
+        process.join(timeout=2.0)
+        if process.is_alive():
+            process.terminate()
+            process.join(timeout=1.0)
+    agents.clear()
+
+
+class ClusterBackend(Backend):
+    """A :class:`Backend` over a coordinator + node-agent cluster.
+
+    Parameters
+    ----------
+    max_workers:
+        Number of locally-spawned node agents; defaults to
+        ``max(2, usable_cpus())`` like the other parallel backends.
+        Ignored when ``spawn_agents=False``.
+    max_task_retries:
+        Per-task budget of node-agent losses before a batch fails —
+        identical semantics to the pool's worker-death budget.
+    lease_timeout:
+        Seconds before a granted-but-silent task is presumed lost and
+        resubmitted (the cluster's analogue of noticing a dead pipe).
+    host / port:
+        Coordinator bind address.  The loopback default is the
+        deterministic localhost cluster; bind a routable address and set
+        ``spawn_agents=False`` to serve agents on other machines.
+    spawn_agents:
+        When True (default) the backend owns its agents: it spawns them
+        on startup and respawns any that die.  When False it only
+        listens, and :meth:`wait_for_agents` blocks until externally
+        started agents have joined.
+    """
+
+    name = "cluster"
+
+    def __init__(
+        self,
+        max_workers: Optional[int] = None,
+        max_task_retries: int = 1,
+        lease_timeout: float = 120.0,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        spawn_agents: bool = True,
+    ) -> None:
+        if max_workers is not None and max_workers < 1:
+            raise ValueError(f"max_workers must be >= 1, got {max_workers}")
+        self.max_workers = max_workers
+        self.spawn_agents = spawn_agents
+        self._init = dict(
+            lease_timeout=lease_timeout,
+            max_task_retries=max_task_retries,
+            host=host,
+            port=port,
+        )
+        self._max_task_retries = max_task_retries
+        self.coordinator: Optional[Coordinator] = None
+        self._agents: List[Any] = []
+        self._agent_serial = 0
+        self._finalizer: Optional[weakref.finalize] = None
+        # Transport stats of the most recent run_tasks batch (None when it
+        # was served inline by the serial shortcut).
+        self.last_batch_stats: Optional[TransportStats] = None
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def running(self) -> bool:
+        return self.coordinator is not None
+
+    def _ensure_started(self) -> None:
+        if self.coordinator is not None:
+            return
+        # Same pre-fork tracker dance as the pool: workers must inherit
+        # the parent's resource tracker or shared-memory teardown warns.
+        try:
+            from multiprocessing import resource_tracker
+
+            resource_tracker.ensure_running()
+        except Exception:
+            pass
+        coordinator = Coordinator(
+            host=self._init["host"],
+            port=self._init["port"],
+            lease_timeout=self._init["lease_timeout"],
+            max_task_retries=self._init["max_task_retries"],
+            on_peer_lost=self._on_peer_lost,
+        )
+        self.coordinator = coordinator
+        self._finalizer = weakref.finalize(self, _teardown, coordinator, self._agents)
+        if self.spawn_agents:
+            context = _pool_context()
+            count = self.max_workers or max(2, usable_cpus())
+            for _ in range(count):
+                self._agents.append(
+                    _agent_process(context, coordinator.address, self._next_agent_id())
+                )
+            coordinator.wait_for_peers(count)
+
+    def _next_agent_id(self) -> str:
+        self._agent_serial += 1
+        return f"node-{self._agent_serial}"
+
+    def _on_peer_lost(self, agent_id: str) -> None:
+        """Respawn a locally-owned agent that died (pool respawn's twin).
+
+        The replacement connects with a fresh identity and a cold
+        broadcast cache, so the next model it is handed ships full.
+        Externally-managed agents (``spawn_agents=False``) are the
+        operator's to restart.
+        """
+        if not self.spawn_agents or self.coordinator is None:
+            return
+        self._agents[:] = [p for p in self._agents if p.is_alive()]
+        self._agents.append(
+            _agent_process(
+                _pool_context(), self.coordinator.address, self._next_agent_id()
+            )
+        )
+
+    def agent_pids(self) -> List[int]:
+        """PIDs of the locally-spawned node agents currently alive."""
+        return [p.pid for p in self._agents if p.is_alive()]
+
+    def wait_for_agents(self, count: int, timeout: float = 30.0) -> None:
+        """Block until ``count`` agents have joined (external-agent mode)."""
+        self._ensure_started()
+        self.coordinator.wait_for_peers(count, timeout=timeout)
+
+    @property
+    def address(self):
+        """The coordinator's ``(host, port)`` — starts it if needed."""
+        self._ensure_started()
+        return self.coordinator.address
+
+    def close(self) -> None:
+        """Stop agents and coordinator.  Restarts lazily if used again."""
+        if self._finalizer is not None:
+            self._finalizer.detach()
+            self._finalizer = None
+        if self.coordinator is not None:
+            _teardown(self.coordinator, self._agents)
+        self.coordinator = None
+
+    def __enter__(self) -> "ClusterBackend":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # The Backend + streaming interface (PoolBackend's exact surface)
+    # ------------------------------------------------------------------
+    def run_tasks(self, tasks: Sequence[Any]) -> List[Any]:
+        tasks = list(tasks)
+        if len(tasks) <= 1 and not self.running:
+            # Not worth standing a cluster up for a single task.
+            self.last_batch_stats = None
+            return SerialBackend().run_tasks(tasks)
+        self._ensure_started()
+        ticket = self.coordinator.submit(tasks)
+        results = self.coordinator.drain(ticket)
+        self.last_batch_stats = self.coordinator.pop_ticket_stats(ticket)
+        return results
+
+    def submit(self, tasks: Sequence[Any]) -> int:
+        self._ensure_started()
+        return self.coordinator.submit(tasks)
+
+    def drain(self, ticket: int) -> List[Any]:
+        self._ensure_started()
+        return self.coordinator.drain(ticket)
+
+    def poll(self, ticket: int) -> bool:
+        self._ensure_started()
+        return self.coordinator.poll(ticket)
+
+    def pop_ticket_stats(self, ticket: int) -> Optional[TransportStats]:
+        if self.coordinator is None:
+            return None
+        return self.coordinator.pop_ticket_stats(ticket)
+
+    @property
+    def max_task_retries(self) -> int:
+        """Node-loss budget per task (see :class:`~repro.cluster.scheduler.PullScheduler`)."""
+        return self._max_task_retries
+
+    @property
+    def transport_stats(self) -> TransportStats:
+        if self.coordinator is None:
+            return TransportStats()
+        return self.coordinator.transport_stats
+
+    def peer_stats(self) -> Dict[str, TransportStats]:
+        if self.coordinator is None:
+            return {}
+        return self.coordinator.peer_stats()
+
+    @property
+    def outstanding_tickets(self) -> List[int]:
+        if self.coordinator is None:
+            return []
+        return self.coordinator.outstanding_tickets
+
+    def __repr__(self) -> str:
+        workers = self.max_workers if self.max_workers is not None else "auto"
+        state = "up" if self.running else "down"
+        return f"ClusterBackend(max_workers={workers}, {state})"

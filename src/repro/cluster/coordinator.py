@@ -1,0 +1,479 @@
+"""The cluster coordinator: accepts node agents, leases them tasks.
+
+One :class:`Coordinator` plays the role the parent process plays for the
+worker pool — it owns the batch bookkeeping, the per-peer broadcast
+caches, and the byte accounting — but over TCP, against agents that
+*pull* work instead of having it pushed at an idle pipe.
+
+Event model
+-----------
+The coordinator has no thread of its own.  Like
+:class:`~repro.runtime.pool.WorkerPool`, it is pumped from the caller's
+``submit``/``drain``/``poll`` calls: each :meth:`pump` waits on the
+listener socket plus every peer channel at once
+(``multiprocessing.connection.wait`` polls anything with a ``fileno``),
+accepts and handshakes new agents, and services one message per ready
+peer.  That keeps the backend single-threaded and deterministic to
+reason about — there is exactly one reader of every socket.
+
+Pull protocol (all messages are framed tuples, see
+:mod:`repro.cluster.wire`):
+
+``("pull",)``
+    The agent is idle.  If the queue has work, the coordinator answers
+    with a task grant; otherwise the pull is **parked** — no reply —
+    until a batch arrives, at which point parked peers are fed first.
+    The agent meanwhile heartbeats on an idle-recv timeout, so a parked
+    connection is distinguishable from a dead one.
+``("task", lease_id, task_bytes, broadcast)``
+    One granted task.  The model state is lifted out of the pickle and
+    shipped ref/delta/full against this peer's broadcast cache, exactly
+    as the pool does per worker slot (shared ``_delta_memo``, mirror
+    advanced at send time, repaired from the version echoed in every
+    result).
+``("result", lease_id, error, payload, cache_version)``
+    Completion for a lease.  Stale lease ids (the peer finished after
+    its lease expired and the task was resubmitted) are dropped by the
+    scheduler, so exactly one completion lands per task slot.
+``("heartbeat",)`` / ``("shutdown",)``
+    Liveness while parked; coordinated teardown.
+
+Byte accounting: task dispatches and results are charged to their
+batch's :class:`~repro.runtime.wire.TransportStats` with the same
+semantics as the pool (so per-round byte counts stay comparable);
+control traffic — handshakes, pulls, heartbeats — appears only in the
+per-peer and cumulative totals, never in ticket stats.
+"""
+
+from __future__ import annotations
+
+import copy
+import pickle
+import time
+from multiprocessing import connection
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..runtime.backends import BackendError
+from ..runtime.codec import (
+    BroadcastDelta,
+    BroadcastFull,
+    BroadcastRef,
+    encode_broadcast,
+    state_version,
+)
+from ..runtime.pool import _broadcast_field
+from ..runtime.wire import TransportStats
+from .scheduler import Lease, PullScheduler
+from .wire import (
+    DEFAULT_MAX_FRAME_BYTES,
+    ProtocolMismatch,
+    SocketChannel,
+    WireError,
+    listen,
+    send_message,
+    recv_message,
+    server_handshake,
+)
+
+
+class _Peer:
+    """One connected node agent: channel, broadcast-cache mirror, stats."""
+
+    __slots__ = (
+        "agent_id",
+        "channel",
+        "capacity",
+        "pid",
+        "cache_version",
+        "cache_state",
+        "parked",
+        "last_seen",
+        "stats",
+    )
+
+    def __init__(self, agent_id: str, channel: SocketChannel, info: Dict[str, Any]) -> None:
+        self.agent_id = agent_id
+        self.channel = channel
+        self.capacity = int(info.get("capacity") or 1)
+        self.pid = info.get("pid")
+        self.cache_version: Optional[str] = None
+        self.cache_state = None
+        self.parked = False
+        self.last_seen = time.monotonic()
+        self.stats = TransportStats()
+
+
+class Coordinator:
+    """Task server for a set of node agents, with pool-identical batches.
+
+    Parameters
+    ----------
+    host / port:
+        Bind address for the listener; ``port=0`` picks an ephemeral
+        port, read back via :attr:`address`.  The default binds loopback
+        only — multi-host deployments opt into a routable bind address
+        explicitly.
+    lease_timeout:
+        Seconds before a granted-but-unfinished task is presumed lost
+        and resubmitted (see :class:`~repro.cluster.scheduler.PullScheduler`).
+    max_task_retries:
+        Per-task budget of peer losses before the batch fails, identical
+        to the pool's worker-death budget.
+    on_peer_lost:
+        Optional callback ``(agent_id) -> None`` fired after a peer's
+        connection drops and its leases are requeued — the hook
+        :class:`~repro.cluster.backend.ClusterBackend` uses to respawn
+        locally-owned agent subprocesses, mirroring pool respawn.
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        lease_timeout: float = 120.0,
+        max_task_retries: int = 1,
+        max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES,
+        on_peer_lost: Optional[Callable[[str], None]] = None,
+    ) -> None:
+        self.scheduler = PullScheduler(
+            lease_timeout=lease_timeout, max_task_retries=max_task_retries
+        )
+        self.max_frame_bytes = max_frame_bytes
+        self.on_peer_lost = on_peer_lost
+        self._listener = listen(host, port)
+        self._peers: Dict[str, _Peer] = {}
+        self._totals = TransportStats()
+        self._ticket_stats: Dict[int, TransportStats] = {}
+        self._delta_memo: Dict[Tuple[str, str], bytes] = {}
+        self._anon_peers = 0
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def address(self) -> Tuple[str, int]:
+        """The ``(host, port)`` agents should dial."""
+        return self._listener.getsockname()[:2]
+
+    @property
+    def num_peers(self) -> int:
+        return len(self._peers)
+
+    def peer_ids(self) -> List[str]:
+        return sorted(self._peers)
+
+    def wait_for_peers(self, count: int, timeout: float = 30.0) -> None:
+        """Pump until ``count`` agents are connected (startup barrier)."""
+        deadline = time.monotonic() + timeout
+        while len(self._peers) < count:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                raise BackendError(
+                    f"cluster: only {len(self._peers)}/{count} node agent(s) "
+                    f"connected within {timeout:.0f}s"
+                )
+            self.pump(min(remaining, 0.2))
+
+    def close(self) -> None:
+        """Tear the cluster down: fail outstanding batches, tell every
+        agent to exit, close all sockets.  Suppresses ``on_peer_lost`` —
+        peers leaving at shutdown are not failures to repair."""
+        if self._closed:
+            return
+        self._closed = True
+        self.on_peer_lost = None
+        self.scheduler.fail_all_outstanding(
+            "cluster coordinator closed with task(s) outstanding"
+        )
+        for peer in list(self._peers.values()):
+            try:
+                send_message(peer.channel, ("shutdown",))
+            except (WireError, OSError):
+                pass
+            peer.channel.close()
+        self._peers.clear()
+        try:
+            self._listener.close()
+        except OSError:
+            pass
+
+    # ------------------------------------------------------------------
+    # submit / drain / poll — the pool-shaped batch interface
+    # ------------------------------------------------------------------
+    def submit(self, tasks: Sequence[Any]) -> int:
+        if self._closed:
+            raise BackendError("cluster coordinator is closed")
+        ticket = self.scheduler.add_batch(tasks)
+        self._ticket_stats[ticket] = self.scheduler.batch(ticket).stats
+        if len(self._ticket_stats) > 1024:
+            # Stats nobody popped for long-drained batches: shed oldest.
+            live = set(self.scheduler.outstanding_tickets)
+            for stale in sorted(self._ticket_stats):
+                if stale not in live:
+                    del self._ticket_stats[stale]
+                if len(self._ticket_stats) <= 512:
+                    break
+        self._feed_parked()
+        return ticket
+
+    def drain(self, ticket: int) -> List[Any]:
+        batch = self.scheduler.batch(ticket)  # raises on unknown ticket
+        starved_since: Optional[float] = None
+        while batch.remaining:
+            self.pump(timeout=0.2)
+            # A batch with work left but no peers to run it cannot finish;
+            # give respawns/reconnects one lease window, then fail loudly
+            # instead of spinning forever.
+            if self._peers:
+                starved_since = None
+            elif starved_since is None:
+                starved_since = time.monotonic()
+            elif time.monotonic() - starved_since > self.scheduler.lease_timeout:
+                raise BackendError(
+                    f"cluster: no node agents connected for "
+                    f"{self.scheduler.lease_timeout:.0f}s with batch {ticket} "
+                    f"incomplete ({batch.remaining} task(s) left)"
+                )
+        self.scheduler.finish_batch(ticket)
+        if batch.errors:
+            raise BackendError(
+                f"{len(batch.errors)} task(s) failed under ClusterBackend; first:\n"
+                + batch.errors[0]
+            )
+        return batch.results
+
+    def poll(self, ticket: int) -> bool:
+        batch = self.scheduler.batch(ticket)
+        if batch.remaining:
+            self.pump(timeout=0.0)
+        return batch.remaining == 0
+
+    @property
+    def outstanding_tickets(self) -> List[int]:
+        return self.scheduler.outstanding_tickets
+
+    # ------------------------------------------------------------------
+    # Transport accounting
+    # ------------------------------------------------------------------
+    @property
+    def transport_stats(self) -> TransportStats:
+        """Cumulative counters over the coordinator's lifetime, control
+        traffic included."""
+        total = TransportStats()
+        total.add(self._totals)
+        return total
+
+    def pop_ticket_stats(self, ticket: int) -> Optional[TransportStats]:
+        """Claim one batch's transport stats (dispatch + result bytes and
+        broadcast wire forms — pool semantics, no control traffic)."""
+        return self._ticket_stats.pop(ticket, None)
+
+    def peer_stats(self) -> Dict[str, TransportStats]:
+        """Per-connected-peer byte counters (control traffic included)."""
+        return {agent_id: peer.stats for agent_id, peer in self._peers.items()}
+
+    # ------------------------------------------------------------------
+    # The event pump
+    # ------------------------------------------------------------------
+    def pump(self, timeout: float) -> None:
+        """One scheduling step: accept joiners, service ready peers,
+        expire overdue leases, feed parked pulls."""
+        if self._closed:
+            return
+        self._feed_parked()
+        waitables: List[Any] = [self._listener]
+        by_channel: Dict[Any, _Peer] = {}
+        for peer in self._peers.values():
+            waitables.append(peer.channel)
+            by_channel[peer.channel] = peer
+        # connection.wait polls anything with a fileno(), which both the
+        # listener socket and SocketChannel provide.
+        ready = connection.wait(waitables, timeout)
+        for obj in ready:
+            if obj is self._listener:
+                self._accept()
+            else:
+                peer = by_channel[obj]
+                if peer.agent_id in self._peers:  # not dropped this pump
+                    self._service(peer)
+        if self.scheduler.expire_leases():
+            self._feed_parked()
+
+    def _accept(self) -> None:
+        try:
+            sock, _ = self._listener.accept()
+        except OSError:
+            return
+        channel = SocketChannel(sock, max_frame_bytes=self.max_frame_bytes)
+        try:
+            info = server_handshake(channel)
+        except ProtocolMismatch:
+            channel.close()
+            return
+        agent_id = str(info.get("agent_id") or "")
+        if not agent_id:
+            self._anon_peers += 1
+            agent_id = f"agent-{self._anon_peers}"
+        stale = self._peers.pop(agent_id, None)
+        if stale is not None:
+            # Reconnect under the same identity: the old connection is
+            # dead weight — requeue its leases and replace it.  The new
+            # peer starts with a cold cache, so its first broadcast takes
+            # the full-state path (reconnect == pool respawn).
+            stale.channel.close()
+            if self.scheduler.release_peer(agent_id):
+                self._feed_parked()
+        peer = _Peer(agent_id, channel, info)
+        # Handshake traffic, charged to the peer and the totals only.
+        peer.stats.bytes_up += channel.bytes_received
+        peer.stats.bytes_down += channel.bytes_sent
+        self._totals.bytes_up += channel.bytes_received
+        self._totals.bytes_down += channel.bytes_sent
+        self._peers[agent_id] = peer
+
+    def _service(self, peer: _Peer) -> None:
+        try:
+            message, nbytes = recv_message(peer.channel)
+        except (EOFError, WireError, OSError):
+            self._drop_peer(peer)
+            return
+        peer.last_seen = time.monotonic()
+        peer.stats.bytes_up += nbytes
+        self._totals.bytes_up += nbytes
+        kind = message[0] if isinstance(message, tuple) and message else None
+        if kind == "pull":
+            self._grant(peer)
+        elif kind == "result":
+            _, lease_id, error, payload, echoed = message
+            if echoed != peer.cache_version:
+                # The agent failed to apply a broadcast; drop the mirror
+                # so the next dispatch ships the full state.
+                peer.cache_version = None
+                peer.cache_state = None
+            self.scheduler.complete(lease_id, error, payload, nbytes)
+        elif kind == "heartbeat":
+            pass
+        else:
+            # Unknown message: protocol violation — drop the peer rather
+            # than guess at the stream state.
+            self._drop_peer(peer)
+
+    def _grant(self, peer: _Peer) -> None:
+        """Answer a pull: lease out the next task, or park the pull."""
+        while True:
+            lease = self.scheduler.next_task(peer.agent_id)
+            if lease is None:
+                peer.parked = True
+                return
+            peer.parked = False
+            if self._dispatch(peer, lease):
+                return
+            if peer.agent_id not in self._peers:
+                return  # peer died mid-dispatch; its pull dies with it
+            # Task was completed inline (unpicklable); keep feeding this
+            # still-idle peer.
+
+    def _dispatch(self, peer: _Peer, lease: Lease) -> bool:
+        """Ship one leased task to a peer.  Returns whether it went over
+        the wire (False → completed inline or the peer was dropped)."""
+        ticket, _, task = lease.item
+        field = _broadcast_field(task)
+        wire = None
+        state = None
+        to_pickle = task
+        if field is not None:
+            state = getattr(task, field)
+            # Callers that broadcast one state to a whole cohort stamp
+            # its hash once (TrainTask.model_version); everything else
+            # is hashed here.
+            version = getattr(task, "model_version", None) or state_version(state)
+            wire = encode_broadcast(
+                state,
+                version,
+                peer.cache_version,
+                peer.cache_state,
+                delta_cache=self._delta_memo,
+            )
+            self._prune_delta_memo()
+            to_pickle = copy.copy(task)
+            setattr(to_pickle, field, None)
+            if getattr(to_pickle, "model_version", None) is not None:
+                # The version travels inside the broadcast wire form.
+                to_pickle.model_version = None
+        try:
+            task_bytes = pickle.dumps(to_pickle, protocol=pickle.HIGHEST_PROTOCOL)
+        except Exception:
+            # Unpicklable task (e.g. a closure factory): run it inline
+            # rather than failing the batch, exactly like the pool.
+            self._complete_inline(lease)
+            return False
+        payload = ("task", lease.lease_id, task_bytes, (field, wire) if wire else None)
+        try:
+            sent = send_message(peer.channel, payload)
+        except (WireError, OSError):
+            # The peer died between its pull and our send.  The task never
+            # started, so this loss is not charged to its retry budget.
+            self.scheduler.rescind(lease.lease_id)
+            self._drop_peer(peer)
+            return False
+        if wire is not None:
+            # The channel is FIFO and the agent applies broadcasts before
+            # anything that can fail, so the mirror advances at send time.
+            peer.cache_version = wire.version
+            peer.cache_state = state
+        self._account_dispatch(peer, ticket, sent, wire)
+        return True
+
+    def _account_dispatch(self, peer: _Peer, ticket: int, sent: int, wire: Any) -> None:
+        batch = self._ticket_stats.get(ticket)
+        peer.stats.bytes_down += sent
+        for stats in [self._totals] + ([batch] if batch is not None else []):
+            stats.bytes_down += sent
+            if isinstance(wire, BroadcastFull):
+                stats.broadcast_full += 1
+            elif isinstance(wire, BroadcastDelta):
+                stats.broadcast_delta += 1
+            elif isinstance(wire, BroadcastRef):
+                stats.broadcast_ref += 1
+
+    def _complete_inline(self, lease: Lease) -> None:
+        ticket, _, task = lease.item
+        batch = self._ticket_stats.get(ticket)
+        if batch is not None:
+            batch.inline_tasks += 1
+        self._totals.inline_tasks += 1
+        try:
+            self.scheduler.complete(lease.lease_id, None, task.run())
+        except Exception as exc:
+            self.scheduler.complete(lease.lease_id, f"{type(exc).__name__}: {exc}", None)
+
+    def _drop_peer(self, peer: _Peer) -> None:
+        """Connection-level failure: requeue the peer's leases (charging
+        their retry budgets), notify the owner, feed survivors."""
+        peer.channel.close()
+        self._peers.pop(peer.agent_id, None)
+        self.scheduler.release_peer(peer.agent_id)
+        if self.on_peer_lost is not None:
+            self.on_peer_lost(peer.agent_id)
+        self._feed_parked()
+
+    def _feed_parked(self) -> None:
+        if not self.scheduler.has_pending:
+            return
+        for peer in list(self._peers.values()):
+            if not self.scheduler.has_pending:
+                return
+            if peer.parked and peer.agent_id in self._peers:
+                self._grant(peer)
+
+    def _prune_delta_memo(self, keep: int = 8) -> None:
+        while len(self._delta_memo) > keep:
+            self._delta_memo.pop(next(iter(self._delta_memo)))
+
+    def __repr__(self) -> str:
+        host, port = self.address if not self._closed else ("-", 0)
+        return (
+            f"Coordinator({host}:{port}, peers={len(self._peers)}, "
+            f"outstanding={len(self.scheduler.outstanding_tickets)})"
+        )

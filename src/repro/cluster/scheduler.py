@@ -1,0 +1,255 @@
+"""Pull-based task scheduling: a central queue, leased out to pullers.
+
+The pool pushes work at idle pipe slots; the cluster inverts that,
+following DIRAC's pilot-job architecture — node agents *pull* a task
+when they have capacity, so a slow or briefly-partitioned host simply
+pulls less instead of having work piled onto it.  Straggler tolerance
+then falls out of the buffered federation engine for free: a slow host
+is just a high-latency client.
+
+:class:`PullScheduler` is the transport-free core of that design.  It
+knows nothing about sockets — the coordinator
+(:mod:`repro.cluster.coordinator`) feeds it peers and completions — and
+therefore carries all the semantics that must match the pool exactly:
+
+* batches are tickets with results in submission order, mirroring
+  :class:`repro.runtime.pool.WorkerPool`'s bookkeeping;
+* every granted task is a **lease** with a deadline.  A peer that
+  disconnects (:meth:`release_peer`) or goes silent past its lease
+  (:meth:`expire_leases`) returns its tasks to the *front* of the queue,
+  charged against the same ``max_task_retries`` budget the pool uses
+  for worker deaths — so a task that keeps killing its hosts fails the
+  batch instead of looping forever, and a single dead node costs one
+  resubmission, not the run;
+* completions are keyed by lease id, so a result from an expired lease
+  (the slow peer finished after we gave up on it) is recognised and
+  dropped instead of double-filling the batch slot.
+
+Determinism: tasks carry their full model state and RNG position, so
+*which* peer runs a task, in what order, after how many lease
+expiries, cannot change the result — only wall-clock and bytes moved.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from ..runtime.wire import TransportStats
+
+# (ticket, index_in_batch, task) — one unit of schedulable work, same
+# shape the pool queues internally.
+WorkItem = Tuple[int, int, Any]
+
+
+class BatchState:
+    """Bookkeeping for one submitted batch (the pool's ``_Batch``)."""
+
+    __slots__ = ("results", "remaining", "errors", "stats")
+
+    def __init__(self, size: int) -> None:
+        self.results: List[Any] = [None] * size
+        self.remaining = size
+        self.errors: List[str] = []
+        self.stats = TransportStats()
+
+
+class Lease:
+    """One task granted to one peer, with an expiry deadline."""
+
+    __slots__ = ("lease_id", "peer", "item", "deadline")
+
+    def __init__(self, lease_id: int, peer: Any, item: WorkItem, deadline: float) -> None:
+        self.lease_id = lease_id
+        self.peer = peer
+        self.item = item
+        self.deadline = deadline
+
+
+class PullScheduler:
+    """Central queue + lease table behind the cluster coordinator.
+
+    Parameters
+    ----------
+    lease_timeout:
+        Seconds a granted task may run before the scheduler assumes its
+        peer is dead and resubmits it.  Generous by default — federated
+        local rounds are seconds, not minutes, and an expired-but-alive
+        peer's late result is dropped harmlessly — but it bounds how
+        long a silently-vanished node can stall a batch.
+    max_task_retries:
+        How many times a task lost to a dead/expired peer is resubmitted
+        before its batch fails, identical to the pool's worker-death
+        budget.
+    """
+
+    def __init__(self, lease_timeout: float = 120.0, max_task_retries: int = 1) -> None:
+        if lease_timeout <= 0:
+            raise ValueError(f"lease_timeout must be > 0, got {lease_timeout}")
+        if max_task_retries < 0:
+            raise ValueError(f"max_task_retries must be >= 0, got {max_task_retries}")
+        self.lease_timeout = lease_timeout
+        self.max_task_retries = max_task_retries
+        self._pending: deque = deque()
+        self._batches: Dict[int, BatchState] = {}
+        self._leases: Dict[int, Lease] = {}
+        self._deaths: Dict[Tuple[int, int], int] = {}  # (ticket, index) -> losses
+        self._next_ticket = 0
+        self._next_lease = 0
+
+    # ------------------------------------------------------------------
+    # Batch lifecycle (coordinator-facing)
+    # ------------------------------------------------------------------
+    def add_batch(self, tasks: Sequence[Any]) -> int:
+        """Queue a batch of tasks; returns its ticket."""
+        tasks = list(tasks)
+        ticket = self._next_ticket
+        self._next_ticket += 1
+        self._batches[ticket] = BatchState(len(tasks))
+        self._pending.extend((ticket, index, task) for index, task in enumerate(tasks))
+        return ticket
+
+    def batch(self, ticket: int) -> BatchState:
+        try:
+            return self._batches[ticket]
+        except KeyError:
+            raise ValueError(f"unknown or already-drained ticket {ticket!r}") from None
+
+    def batch_done(self, ticket: int) -> bool:
+        return self.batch(ticket).remaining == 0
+
+    def finish_batch(self, ticket: int) -> BatchState:
+        """Remove and return a completed batch's state (drain claims it)."""
+        return self._batches.pop(ticket)
+
+    @property
+    def outstanding_tickets(self) -> List[int]:
+        return sorted(self._batches)
+
+    @property
+    def has_pending(self) -> bool:
+        return bool(self._pending)
+
+    def fail_all_outstanding(self, reason: str) -> None:
+        """Mark every incomplete batch failed (coordinator shutdown)."""
+        self._pending.clear()
+        self._leases.clear()
+        self._deaths.clear()
+        for batch in self._batches.values():
+            if batch.remaining:
+                batch.errors.append(reason)
+                batch.remaining = 0
+
+    # ------------------------------------------------------------------
+    # Pull side (peer-facing, via the coordinator)
+    # ------------------------------------------------------------------
+    def next_task(self, peer: Any, now: Optional[float] = None) -> Optional[Lease]:
+        """Grant the oldest pending task to ``peer`` as a fresh lease, or
+        ``None`` when the queue is empty (the coordinator parks the pull)."""
+        if not self._pending:
+            return None
+        if now is None:
+            now = time.monotonic()
+        item = self._pending.popleft()
+        lease = Lease(self._next_lease, peer, item, now + self.lease_timeout)
+        self._next_lease += 1
+        self._leases[lease.lease_id] = lease
+        return lease
+
+    def complete(
+        self, lease_id: int, error: Optional[str], payload: Any, nbytes: int = 0
+    ) -> bool:
+        """Record a result for a leased task.
+
+        Returns whether the lease was live.  Unknown/expired lease ids —
+        a peer we already gave up on finishing late, or a duplicate
+        delivery — are dropped without touching the batch, which is what
+        keeps resubmission bit-safe: exactly one completion per task slot
+        ever lands.
+        """
+        lease = self._leases.pop(lease_id, None)
+        if lease is None:
+            return False
+        ticket, index, _ = lease.item
+        self._record(ticket, index, error, payload, nbytes)
+        return True
+
+    def lease_for(self, lease_id: int) -> Optional[Lease]:
+        return self._leases.get(lease_id)
+
+    def rescind(self, lease_id: int) -> None:
+        """Undo a grant whose dispatch failed before the peer could have
+        started it (send error mid-handoff): requeue at the front without
+        charging the retry budget — the task never ran, so this loss
+        cannot be its fault.  Mirrors the pool's send-failure path."""
+        lease = self._leases.pop(lease_id, None)
+        if lease is not None:
+            self._pending.appendleft(lease.item)
+
+    # ------------------------------------------------------------------
+    # Failure handling
+    # ------------------------------------------------------------------
+    def release_peer(self, peer: Any) -> List[WorkItem]:
+        """A peer disconnected: requeue everything it held.
+
+        Each lost task is charged one retry (the peer died *while running
+        it*, exactly like a pool worker death); tasks over budget fail
+        their batch.  Returns the items that were requeued.
+        """
+        lost = [lease for lease in self._leases.values() if lease.peer == peer]
+        requeued = []
+        for lease in lost:
+            del self._leases[lease.lease_id]
+            if self._requeue(lease.item):
+                requeued.append(lease.item)
+        return requeued
+
+    def expire_leases(self, now: Optional[float] = None) -> List[WorkItem]:
+        """Requeue every lease past its deadline; returns the items."""
+        if now is None:
+            now = time.monotonic()
+        expired = [lease for lease in self._leases.values() if lease.deadline <= now]
+        requeued = []
+        for lease in expired:
+            del self._leases[lease.lease_id]
+            if self._requeue(lease.item):
+                requeued.append(lease.item)
+        return requeued
+
+    def _requeue(self, item: WorkItem) -> bool:
+        """Front-of-queue resubmission with the pool's retry budget.
+        Returns whether the item went back in the queue (False → its
+        batch was charged an error instead)."""
+        ticket, index, _ = item
+        deaths = self._deaths.get((ticket, index), 0) + 1
+        self._deaths[(ticket, index)] = deaths
+        if deaths > self.max_task_retries:
+            self._record(
+                ticket,
+                index,
+                f"node agent lost {deaths} time(s) while running task "
+                f"{index} of batch {ticket}; giving up after "
+                f"{self.max_task_retries} "
+                f"retr{'y' if self.max_task_retries == 1 else 'ies'}",
+                None,
+            )
+            return False
+        # Front of the queue: the lost task is the oldest outstanding
+        # work, so it should not wait behind a long backlog.
+        self._pending.appendleft(item)
+        return True
+
+    def _record(
+        self, ticket: int, index: int, error: Optional[str], payload: Any, nbytes: int = 0
+    ) -> None:
+        batch = self._batches.get(ticket)
+        if batch is None:  # late completion for a drained/failed batch
+            return
+        batch.stats.bytes_up += nbytes
+        self._deaths.pop((ticket, index), None)
+        batch.remaining -= 1
+        if error is not None:
+            batch.errors.append(error)
+        else:
+            batch.results[index] = payload

@@ -1,0 +1,326 @@
+"""Framed TCP transport: the runtime wire format over sockets.
+
+The worker pool's pipes already speak a compact framed protocol —
+protocol-5 pickles with out-of-band ndarray buffers, driven through the
+two-method ``send_bytes``/``recv_bytes`` channel interface
+(:mod:`repro.runtime.wire`).  This module carries that exact interface
+across the machine boundary:
+
+:class:`SocketChannel`
+    One TCP connection presenting ``send_bytes``/``recv_bytes``.  Each
+    call moves one **length-prefixed frame** (``<Q`` little-endian byte
+    count, then exactly that many payload bytes), so the stream-oriented
+    socket behaves like a message-oriented pipe and
+    :func:`repro.runtime.wire.send_payload` /
+    :func:`~repro.runtime.wire.recv_payload` work unchanged.  Frames
+    above ``max_frame_bytes`` are refused on both sides
+    (:class:`PayloadTooLarge`) — after refusing to read a frame the
+    stream cannot be resynchronised, so the caller must drop the peer.
+    A clean close or a connection torn **mid-frame** surfaces as
+    :class:`EOFError`, mirroring a dead pipe; a peer that stalls
+    mid-frame for longer than ``frame_timeout`` raises
+    :class:`WireError` instead of hanging the reader forever.
+
+:func:`client_handshake` / :func:`server_handshake`
+    The first frame each side exchanges: magic + protocol version +
+    identity.  A version or magic mismatch is rejected explicitly
+    (:class:`ProtocolMismatch`) before any pickle payload is trusted —
+    without it, an incompatible peer would surface as pickle garbage
+    mid-run.
+
+Security note: like the pool's pipes, the payload encoding is pickle —
+connect only peers you trust (the coordinator binds 127.0.0.1 by
+default, and multi-host deployments are expected to run inside one
+trusted network, exactly like the MPI/gloo transports of mainstream
+training stacks).
+"""
+
+from __future__ import annotations
+
+import socket
+import struct
+from typing import Any, Dict, Optional, Tuple
+
+from ..runtime.wire import WIRE_PROTOCOL_VERSION, recv_payload, send_payload
+
+#: First bytes of every handshake — identifies the repro cluster protocol.
+MAGIC = "repro-cluster"
+
+#: Refuse single frames above this size by default (1 GiB).  Model states
+#: and encoded deltas are orders of magnitude smaller; a larger prefix is
+#: almost certainly stream corruption or a hostile peer.
+DEFAULT_MAX_FRAME_BYTES = 1 << 30
+
+#: How long a started frame may stall before the reader declares the
+#: peer wedged.  Distinct from the idle wait between frames, which the
+#: caller controls per recv (heartbeat scheduling needs short idle
+#: timeouts, but a frame that began arriving should finish promptly).
+DEFAULT_FRAME_TIMEOUT = 60.0
+
+_LENGTH = struct.Struct("<Q")
+
+
+class WireError(RuntimeError):
+    """The framed TCP transport failed (stall, corruption, protocol)."""
+
+
+class ProtocolMismatch(WireError):
+    """Peer speaks a different wire protocol (or is not a repro peer)."""
+
+
+class PayloadTooLarge(WireError):
+    """A frame exceeded the channel's ``max_frame_bytes`` budget."""
+
+
+class ChannelTimeout(WireError):
+    """No frame started arriving within the requested idle timeout."""
+
+
+class SocketChannel:
+    """Length-prefixed frames over one TCP socket.
+
+    Presents the ``send_bytes``/``recv_bytes`` channel interface of a
+    :class:`multiprocessing.connection.Connection`, so the runtime's
+    payload framing (and therefore the pool's entire broadcast protocol)
+    runs over it unmodified.  Counts bytes both ways — the numbers the
+    coordinator's per-peer :class:`~repro.runtime.wire.TransportStats`
+    are built from.
+    """
+
+    def __init__(
+        self,
+        sock: socket.socket,
+        max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES,
+        frame_timeout: float = DEFAULT_FRAME_TIMEOUT,
+    ) -> None:
+        if max_frame_bytes < 1:
+            raise ValueError(f"max_frame_bytes must be >= 1, got {max_frame_bytes}")
+        self._sock = sock
+        self.max_frame_bytes = max_frame_bytes
+        self.frame_timeout = frame_timeout
+        self.bytes_sent = 0
+        self.bytes_received = 0
+        # Nagle off: the protocol is latency-sensitive request/response
+        # (pull → task → result), not bulk throughput.
+        try:
+            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        except (OSError, AttributeError):
+            pass
+
+    # -- the pipe-compatible channel interface -------------------------
+    def send_bytes(self, data) -> None:
+        view = memoryview(data)
+        if view.nbytes > self.max_frame_bytes:
+            raise PayloadTooLarge(
+                f"refusing to send a {view.nbytes}-byte frame "
+                f"(max_frame_bytes={self.max_frame_bytes})"
+            )
+        self._sock.settimeout(self.frame_timeout)
+        try:
+            self._sock.sendall(_LENGTH.pack(view.nbytes))
+            self._sock.sendall(view)
+        except socket.timeout:
+            raise WireError(
+                f"peer stalled for {self.frame_timeout}s mid-send"
+            ) from None
+        self.bytes_sent += _LENGTH.size + view.nbytes
+
+    def recv_bytes(self, timeout: Optional[float] = None) -> bytes:
+        """One frame's payload.  ``timeout`` bounds the idle wait for the
+        frame to *start*; once its first bytes arrive, completion is
+        governed by ``frame_timeout``.  Raises :class:`ChannelTimeout` on
+        an idle timeout, :class:`EOFError` on a closed/torn connection,
+        :class:`PayloadTooLarge` on an over-budget prefix."""
+        header = self._recv_exact(_LENGTH.size, idle_timeout=timeout)
+        (length,) = _LENGTH.unpack(header)
+        if length > self.max_frame_bytes:
+            raise PayloadTooLarge(
+                f"peer announced a {length}-byte frame "
+                f"(max_frame_bytes={self.max_frame_bytes})"
+            )
+        payload = self._recv_exact(length) if length else b""
+        self.bytes_received += _LENGTH.size + length
+        return payload
+
+    def _recv_exact(self, count: int, idle_timeout: Optional[float] = None) -> bytes:
+        chunks = []
+        remaining = count
+        while remaining:
+            # Idle timeout applies only before the first byte; once any
+            # part of the frame arrived, a stall is a wedged peer.
+            waiting_to_start = idle_timeout is not None and not chunks
+            self._sock.settimeout(
+                idle_timeout if waiting_to_start else self.frame_timeout
+            )
+            try:
+                chunk = self._sock.recv(min(remaining, 1 << 20))
+            except socket.timeout:
+                if waiting_to_start:
+                    raise ChannelTimeout(
+                        f"no frame within {idle_timeout}s"
+                    ) from None
+                raise WireError(
+                    f"peer stalled for {self.frame_timeout}s mid-frame "
+                    f"({count - remaining}/{count} bytes received)"
+                ) from None
+            except OSError as exc:
+                raise EOFError(f"connection lost mid-frame: {exc}") from None
+            if not chunk:
+                raise EOFError(
+                    "connection closed mid-frame"
+                    if chunks or idle_timeout is None
+                    else "connection closed"
+                )
+            chunks.append(chunk)
+            remaining -= len(chunk)
+        return b"".join(chunks)
+
+    # -- plumbing -------------------------------------------------------
+    def fileno(self) -> int:
+        """File descriptor, so ``multiprocessing.connection.wait`` /
+        selectors can poll a mixed set of pipes and channels."""
+        return self._sock.fileno()
+
+    @property
+    def peer_address(self) -> Optional[Tuple[str, int]]:
+        try:
+            return self._sock.getpeername()
+        except OSError:
+            return None
+
+    def close(self) -> None:
+        try:
+            self._sock.close()
+        except OSError:
+            pass
+
+    def __repr__(self) -> str:
+        return f"SocketChannel(peer={self.peer_address})"
+
+
+def send_message(channel: SocketChannel, message: Any) -> int:
+    """Send one protocol message (a plain tuple) as framed payload parts;
+    returns the framed bytes written (length prefixes included)."""
+    before = channel.bytes_sent
+    send_payload(channel, message)
+    return channel.bytes_sent - before
+
+
+def recv_message(
+    channel: SocketChannel, timeout: Optional[float] = None
+) -> Tuple[Any, int]:
+    """Receive one protocol message; returns ``(message, framed bytes)``.
+
+    ``timeout`` bounds the idle wait for the message to start arriving
+    (:class:`ChannelTimeout` when nothing does) — the knob the agent's
+    heartbeat loop is built on.
+    """
+    before = channel.bytes_received
+    # Thread the idle timeout through the first recv_bytes call only:
+    # once the payload's first frame (the buffer-count header) arrives,
+    # the remaining frames are mid-message and governed by frame_timeout.
+    first = channel.recv_bytes(timeout=timeout)
+    obj, _ = recv_payload(_PrefetchedChannel(channel, first))
+    return obj, channel.bytes_received - before
+
+
+class _PrefetchedChannel:
+    """Replay one already-received frame, then delegate to the channel —
+    lets :func:`recv_message` apply an idle timeout to the first frame of
+    a payload without teaching ``recv_payload`` about timeouts."""
+
+    def __init__(self, channel: SocketChannel, first: bytes) -> None:
+        self._channel = channel
+        self._first = first
+
+    def recv_bytes(self) -> bytes:
+        if self._first is not None:
+            frame, self._first = self._first, None
+            return frame
+        return self._channel.recv_bytes()
+
+
+def connect(
+    address: Tuple[str, int],
+    timeout: float = 20.0,
+    max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES,
+) -> SocketChannel:
+    """Dial a coordinator; returns a connected :class:`SocketChannel`."""
+    sock = socket.create_connection(address, timeout=timeout)
+    return SocketChannel(sock, max_frame_bytes=max_frame_bytes)
+
+
+def listen(
+    host: str = "127.0.0.1", port: int = 0, backlog: int = 64
+) -> socket.socket:
+    """A listening TCP socket (``port=0`` → ephemeral, read it back via
+    ``sock.getsockname()[1]``)."""
+    sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+    sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+    sock.bind((host, port))
+    sock.listen(backlog)
+    return sock
+
+
+# ----------------------------------------------------------------------
+# Handshake
+# ----------------------------------------------------------------------
+def client_handshake(channel: SocketChannel, identity: Dict[str, Any]) -> Dict[str, Any]:
+    """Agent side: announce magic/version/identity, await the verdict.
+
+    Returns the coordinator's welcome info; raises
+    :class:`ProtocolMismatch` when rejected (version skew) or when the
+    far side is not a repro coordinator at all.
+    """
+    send_message(
+        channel,
+        ("hello", {"magic": MAGIC, "protocol": WIRE_PROTOCOL_VERSION, **identity}),
+    )
+    try:
+        reply, _ = recv_message(channel)
+    except (EOFError, WireError) as exc:
+        raise ProtocolMismatch(f"handshake failed: {exc}") from None
+    if not isinstance(reply, tuple) or not reply or reply[0] != "welcome":
+        reason = reply[1] if isinstance(reply, tuple) and len(reply) > 1 else reply
+        raise ProtocolMismatch(f"coordinator rejected handshake: {reason}")
+    return reply[1]
+
+
+def server_handshake(channel: SocketChannel) -> Dict[str, Any]:
+    """Coordinator side: verify the peer's hello, reply welcome/reject.
+
+    Returns the peer's identity dict on success.  On mismatch, sends an
+    explicit ``("reject", reason)`` so the far side can report *why*
+    before both sides drop the connection, then raises
+    :class:`ProtocolMismatch`.
+    """
+    try:
+        hello, _ = recv_message(channel, timeout=DEFAULT_FRAME_TIMEOUT)
+    except (EOFError, WireError, Exception) as exc:
+        raise ProtocolMismatch(f"no valid hello: {exc}") from None
+    info = hello[1] if isinstance(hello, tuple) and len(hello) > 1 else {}
+    if (
+        not isinstance(hello, tuple)
+        or not hello
+        or hello[0] != "hello"
+        or not isinstance(info, dict)
+        or info.get("magic") != MAGIC
+    ):
+        _try_send(channel, ("reject", "not a repro-cluster peer"))
+        raise ProtocolMismatch("peer did not send a repro-cluster hello")
+    if info.get("protocol") != WIRE_PROTOCOL_VERSION:
+        reason = (
+            f"wire protocol mismatch: coordinator speaks "
+            f"v{WIRE_PROTOCOL_VERSION}, peer v{info.get('protocol')}"
+        )
+        _try_send(channel, ("reject", reason))
+        raise ProtocolMismatch(reason)
+    send_message(channel, ("welcome", {"protocol": WIRE_PROTOCOL_VERSION}))
+    return info
+
+
+def _try_send(channel: SocketChannel, message: Any) -> None:
+    try:
+        send_message(channel, message)
+    except (WireError, OSError):
+        pass

@@ -310,6 +310,8 @@ def run_experiment(
     spec_options = parse_backend_spec(runtime_info["backend"])[2]
     if "retries" in spec_options:
         runtime_info["max_task_retries"] = spec_options["retries"]
+    if "lease" in spec_options:
+        runtime_info["lease_timeout_s"] = spec_options["lease"]
     _stamp_and_print(results, runtime_info)
     print(f"[{name} done in {elapsed:.0f}s at scale={scale_name}]")
 
@@ -341,8 +343,10 @@ def build_parser() -> argparse.ArgumentParser:
                              "--sweep federation.num_clients=5,10 (repeatable)")
     parser.add_argument("--backend", default="",
                         help="execution backend for every fan-out site: "
-                             "serial (default), thread, process, pool — "
-                             "optionally sized, e.g. 'pool:8'. Results are "
+                             "serial (default), thread, process, pool, "
+                             "cluster (localhost multi-node over TCP) — "
+                             "optionally sized, e.g. 'pool:8' or "
+                             "'cluster:4:retries=2'. Results are "
                              "identical across backends.")
     parser.add_argument("--async-mode", action="store_true", dest="async_mode",
                         help="matrix: run federation through the "

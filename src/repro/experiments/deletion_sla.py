@@ -111,6 +111,86 @@ def _drive(
     return round_index
 
 
+def _drive_contended(
+    service: UnlearningService,
+    arrivals: PoissonArrivals,
+    num_requests: int,
+    max_rounds: int,
+    sim,
+) -> int:
+    """Like :func:`_drive`, but each beat is a *real* federation round.
+
+    The service is co-scheduled onto the async engine's pre-round hook
+    (:meth:`UnlearningService.co_schedule`), so deletion windows and
+    client training tickets share the same backend workers — the metered
+    time-to-forget now includes queueing behind live training, which is
+    the quantity a production deployment actually experiences.
+    """
+    engine = sim.engine()
+    service.co_schedule(engine)
+    submitted = 0
+    round_index = 0
+    while round_index < max_rounds:
+        for request_id, indices in arrivals.arrivals(round_index):
+            if submitted >= num_requests:
+                break
+            service.submit(
+                client_id=0,
+                indices=indices,
+                round_index=round_index,
+                request_id=request_id,
+            )
+            submitted += 1
+        # The engine's pre-round hook runs the service's tick, then the
+        # round trains under genuine worker contention.
+        engine.run_round(round_index)
+        round_index += 1
+        if submitted >= num_requests and not (
+            service.windows_in_flight or service.manager.num_pending
+        ):
+            break
+    # Same shutdown barrier as the uncontended driver.
+    service.manager.policy = ImmediatePolicy()
+    for _ in range(max_rounds):
+        if not service.manager.num_pending:
+            break
+        service.tick(round_index)
+        service.drain(round_index)
+        round_index += 1
+    service.drain(round_index)
+    return round_index
+
+
+def _make_contention_sim(train, test, model_name, scale, seed, backend):
+    """A small buffered-async federation over the same backend, purely to
+    generate training load for the contended SLA measurement."""
+    import numpy as np
+
+    from ..data.partition import make_federated
+    from ..federated import FedAvgAggregator, FederatedSimulation
+    from ..federated.engine import AsyncRoundConfig, SeededLatency
+    from ..training import TrainConfig
+
+    fed = make_federated(
+        train, test, num_clients=4, rng=np.random.default_rng(seed + 1000)
+    )
+    config = TrainConfig(
+        epochs=1,
+        batch_size=scale.batch_size,
+        learning_rate=scale.learning_rate_for(model_name),
+    )
+    return FederatedSimulation(
+        _model_factory(train, model_name),
+        fed,
+        FedAvgAggregator(),
+        config,
+        seed=seed + 2000,
+        backend=backend,
+        async_config=AsyncRoundConfig(buffer_size=2),
+        latency_model=SeededLatency(seed=seed + 3000),
+    )
+
+
 def run_deletion_sla(
     exp: ExperimentSpec,
     scale: ExperimentScale,
@@ -124,10 +204,14 @@ def run_deletion_sla(
     default 1.0), ``num_requests`` (default 6), ``indices_per_request``
     (default 2), ``num_shards``/``num_slices`` (SISA geometry, defaults
     from the scale's first shard count and 2), ``policies`` (sequence of
-    policy specs, default ``immediate, batch:2, periodic:3``).
+    policy specs, default ``immediate, batch:2, periodic:3``),
+    ``contention`` (default False — when set, every scheduling beat is a
+    live buffered-async federation round co-scheduled on the same
+    backend, so time-to-forget is metered under training load).
     """
     params = exp.params
     rate = float(params.get("rate", 1.0))
+    contention = bool(params.get("contention", False))
     num_requests = int(params.get("num_requests", 6))
     indices_per_request = int(params.get("indices_per_request", 2))
     num_shards = int(params.get("num_shards", exp_shards(scale)))
@@ -136,7 +220,7 @@ def run_deletion_sla(
     max_rounds = int(params.get("max_rounds", 50 + 4 * num_requests))
 
     dataset_name = exp.scenario.dataset.name
-    train, _ = make_dataset(
+    train, test_set = make_dataset(
         dataset_name, scale.train_size, scale.test_size, seed=seed
     )
     model_name = scale.models.get(dataset_name, "mlp")
@@ -164,6 +248,7 @@ def run_deletion_sla(
                 ensemble,
                 directory=f"{workspace}/{position}-{policy_spec.replace(':', '-')}",
                 policy=_make_policy(policy_spec),
+                backend=backend if contention else None,
                 seed=seed,
             )
             # Same seed → the identical request stream hits every policy.
@@ -173,7 +258,13 @@ def run_deletion_sla(
                 seed=seed,
                 indices_per_request=indices_per_request,
             )
-            _drive(service, arrivals, num_requests, max_rounds)
+            if contention:
+                sim = _make_contention_sim(
+                    train, test_set, model_name, scale, seed, backend
+                )
+                _drive_contended(service, arrivals, num_requests, max_rounds, sim)
+            else:
+                _drive(service, arrivals, num_requests, max_rounds)
             report = service.sla.report()
             manager = service.manager
             chains = manager.total_chains_submitted
@@ -195,6 +286,7 @@ def run_deletion_sla(
                     "policy": policy_spec,
                     "p50_rounds": row["p50_rounds"],
                     "p95_rounds": row["p95_rounds"],
+                    "contention": contention,
                 }
             service.close()
     finally:

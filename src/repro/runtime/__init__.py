@@ -35,6 +35,11 @@ optimisation.  Rules of thumb:
   payload independent of data size.  The ``"pool"``/``"pool:N"`` specs
   resolve to one shared process-wide pool per worker count; construct
   :class:`~repro.runtime.pool.PoolBackend` directly for a private pool.
+* ``cluster`` — the pool's semantics over TCP (:mod:`repro.cluster`).
+  ``"cluster:4"`` stands up a deterministic localhost coordinator +
+  node-agent cluster, bit-identical to ``pool``; the same backend
+  serves real multi-host runs with agents started via
+  ``python -m repro.cluster.agent HOST:PORT``.
 
 Specs may carry a worker count (``"process:8"``, ``"pool:4"``), and when
 ``backend=None`` the ``REPRO_BACKEND`` environment variable (same
@@ -76,7 +81,13 @@ from .codec import (
     register_codec,
     state_version,
 )
-from .pool import PoolBackend, TransportStats, WorkerPool
+from .pool import PoolBackend, WorkerPool
+from .wire import (
+    WIRE_PROTOCOL_VERSION,
+    TransportStats,
+    recv_payload,
+    send_payload,
+)
 from .task import (
     ChainResult,
     ChainStage,
@@ -91,6 +102,7 @@ from .task import (
 
 __all__ = [
     "BACKEND_ENV_VAR",
+    "WIRE_PROTOCOL_VERSION",
     "Backend",
     "BackendError",
     "BackendLike",
@@ -115,8 +127,10 @@ __all__ = [
     "get_backend",
     "get_codec",
     "parse_backend_spec",
+    "recv_payload",
     "register_codec",
     "restore_rng",
+    "send_payload",
     "state_version",
     "usable_cpus",
 ]

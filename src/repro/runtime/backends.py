@@ -29,17 +29,27 @@ backend changes wall-clock time only, never the numbers:
     ``run_tasks`` call over pipes.  The fast choice for many-round
     experiments; pair with shared-memory datasets for large data.
 
+``ClusterBackend`` (in :mod:`repro.cluster.backend`)
+    The pool's interface over TCP sockets: a coordinator leases tasks
+    to node agents that pull work when idle.  ``"cluster:4"`` stands up
+    a deterministic localhost cluster (agents as local subprocesses);
+    the same backend serves real multi-host runs with externally
+    started agents.  Bit-identical to ``pool`` by construction.
+
 Pick a backend by name with :func:`get_backend` (``"serial"``,
-``"thread"``, ``"process"``, ``"pool"``) or pass a :class:`Backend`
-instance.  A spec may carry a worker count after a colon —
-``get_backend("process:8")``, ``get_backend("pool:4")`` — plus
+``"thread"``, ``"process"``, ``"pool"``, ``"cluster"``) or pass a
+:class:`Backend` instance.  A spec may carry a worker count after a
+colon — ``get_backend("process:8")``, ``get_backend("pool:4")`` — plus
 ``key=value`` options after that: ``"pool:8:retries=2"`` sets the
-pool's ``max_task_retries`` worker-death budget.  When the spec is
+pool's ``max_task_retries`` worker-death budget, and
+``"cluster:4:retries=2:lease=60"`` additionally bounds how long a
+silent node holds a task before it is resubmitted.  When the spec is
 ``None`` the ``REPRO_BACKEND`` environment variable (same syntax) is
 consulted before falling back to serial, so scripts and the experiment
 CLI can size pools without constructing ``Backend`` objects.  ``"pool"``
-specs resolve to one shared process-wide pool per configuration, so
-every call site naming the same spec reuses the same warm workers.
+and ``"cluster"`` specs resolve to one shared process-wide instance per
+configuration, so every call site naming the same spec reuses the same
+warm workers.
 """
 
 from __future__ import annotations
@@ -252,6 +262,35 @@ def _make_pool(
 
 _POOLS: dict = {}
 
+
+def _make_cluster(
+    max_workers: Optional[int] = None,
+    retries: Optional[int] = None,
+    lease: Optional[int] = None,
+) -> Backend:
+    """Shared clusters: one localhost cluster per spec configuration.
+
+    Same sharing contract as :func:`_make_pool` — every call site naming
+    ``cluster:4`` reuses one warm coordinator + agent set; the cache key
+    includes the retry budget and lease timeout so differently-tuned
+    specs get separate clusters.  Imported lazily: the cluster package
+    depends on this module, not the other way round.
+    """
+    from ..cluster.backend import ClusterBackend
+
+    key = (max_workers, retries, lease)
+    if key not in _CLUSTERS:
+        kwargs: dict = {}
+        if retries is not None:
+            kwargs["max_task_retries"] = retries
+        if lease is not None:
+            kwargs["lease_timeout"] = float(lease)
+        _CLUSTERS[key] = ClusterBackend(max_workers=max_workers, **kwargs)
+    return _CLUSTERS[key]
+
+
+_CLUSTERS: dict = {}
+
 _BACKENDS = {
     "serial": _make_serial,
     "thread": ThreadBackend,
@@ -260,6 +299,7 @@ _BACKENDS = {
     "processes": ProcessBackend,
     "fork": ProcessBackend,
     "pool": _make_pool,
+    "cluster": _make_cluster,
 }
 
 #: Environment variable consulted by :func:`get_backend` when no spec is
@@ -271,9 +311,10 @@ BackendLike = Union[None, str, Backend]
 
 
 #: Options a backend spec may carry after the worker count, per backend
-#: name.  Only the pool has tunables today (``retries`` → the pool's
-#: ``max_task_retries`` worker-death budget).
-_SPEC_OPTIONS = {"pool": {"retries"}}
+#: name.  ``retries`` → the per-task worker/node-death budget
+#: (``max_task_retries``); ``lease`` → the cluster's task-lease timeout
+#: in seconds before a silent node's work is resubmitted.
+_SPEC_OPTIONS = {"pool": {"retries"}, "cluster": {"retries", "lease"}}
 
 
 def parse_backend_spec(spec: str) -> tuple:
@@ -319,6 +360,10 @@ def parse_backend_spec(spec: str) -> tuple:
                 raise ValueError(
                     f"retries must be >= 0, got {options[key]}"
                 )
+            if key == "lease" and options[key] < 1:
+                raise ValueError(
+                    f"lease must be >= 1 (seconds), got {options[key]}"
+                )
         else:
             if workers is not None:
                 raise ValueError(
@@ -359,6 +404,10 @@ def get_backend(spec: BackendLike = None) -> Backend:
         factory = _BACKENDS[name]
         if name == "pool":
             return factory(workers, retries=options.get("retries"))
+        if name == "cluster":
+            return factory(
+                workers, retries=options.get("retries"), lease=options.get("lease")
+            )
         return factory(workers) if workers is not None else factory()
     raise TypeError(
         f"backend must be None, a name, or a Backend instance, got {type(spec)!r}"

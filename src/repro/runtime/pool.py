@@ -81,10 +81,8 @@ from __future__ import annotations
 import copy
 import multiprocessing
 import pickle
-import struct
 import weakref
 from collections import deque
-from dataclasses import dataclass
 from multiprocessing import connection
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
@@ -97,6 +95,7 @@ from .codec import (
     encode_broadcast,
     state_version,
 )
+from .wire import TransportStats, recv_payload, send_payload
 
 # (ticket, index_in_batch, task) — one unit of dispatched work.  The task
 # slot holds the live object parent-side; it is pickled at dispatch time.
@@ -115,89 +114,10 @@ def _broadcast_field(task: Any) -> Optional[str]:
     return None
 
 
-# ----------------------------------------------------------------------
-# Pipe framing: HIGHEST_PROTOCOL pickles with out-of-band ndarray buffers
-# ----------------------------------------------------------------------
-def _send_payload(conn, obj: Any) -> int:
-    """Send one framed payload; returns the bytes written to the pipe.
-
-    The frame is ``[buffer count][pickle head][buffer]*`` — protocol-5
-    out-of-band pickling hands every contiguous ndarray's memory over as
-    its own part, so the head stays small and array bytes are written
-    exactly once instead of being copied into the pickle stream first.
-    Objects whose buffers cannot travel out of band fall back to one
-    in-band pickle, transparently.
-    """
-    try:
-        buffers: List[pickle.PickleBuffer] = []
-        head = pickle.dumps(
-            obj, protocol=pickle.HIGHEST_PROTOCOL, buffer_callback=buffers.append
-        )
-        views = [buf.raw() for buf in buffers]
-    except Exception:
-        head = pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
-        views = []
-    header = struct.pack("<I", len(views))
-    conn.send_bytes(header)
-    conn.send_bytes(head)
-    total = len(header) + len(head)
-    for view in views:
-        conn.send_bytes(view)
-        total += view.nbytes
-    return total
-
-
-def _recv_payload(conn) -> Tuple[Any, int]:
-    """Receive one framed payload; returns ``(object, bytes read)``.
-
-    Arrays reconstructed from out-of-band buffers are zero-copy views
-    over the received ``bytes`` and therefore **read-only** — that is the
-    point (no materialisation copy).  Consumers of pool results must copy
-    before mutating in place, which every in-repo consumer already does
-    (``load_state_dict`` copies; ``state_math`` builds fresh arrays).
-    """
-    header = conn.recv_bytes()
-    (count,) = struct.unpack("<I", header)
-    head = conn.recv_bytes()
-    buffers = [conn.recv_bytes() for _ in range(count)]
-    obj = pickle.loads(head, buffers=buffers)
-    total = len(header) + len(head) + sum(len(part) for part in buffers)
-    return obj, total
-
-
-@dataclass
-class TransportStats:
-    """Bytes and broadcast wire forms for one batch (or a whole pool)."""
-
-    bytes_down: int = 0  # parent → workers, actual framed pipe bytes
-    bytes_up: int = 0  # workers → parent, actual framed pipe bytes
-    broadcast_full: int = 0  # cold-cache full-state broadcasts
-    broadcast_delta: int = 0  # warm-cache lossless XOR deltas
-    broadcast_ref: int = 0  # version refs (receiver already held it)
-    inline_tasks: int = 0  # unpicklable tasks run inline (no wire)
-
-    @property
-    def bytes_total(self) -> int:
-        return self.bytes_down + self.bytes_up
-
-    def add(self, other: "TransportStats") -> None:
-        self.bytes_down += other.bytes_down
-        self.bytes_up += other.bytes_up
-        self.broadcast_full += other.broadcast_full
-        self.broadcast_delta += other.broadcast_delta
-        self.broadcast_ref += other.broadcast_ref
-        self.inline_tasks += other.inline_tasks
-
-    def as_dict(self) -> Dict[str, int]:
-        return {
-            "bytes_down": self.bytes_down,
-            "bytes_up": self.bytes_up,
-            "bytes_total": self.bytes_total,
-            "broadcast_full": self.broadcast_full,
-            "broadcast_delta": self.broadcast_delta,
-            "broadcast_ref": self.broadcast_ref,
-            "inline_tasks": self.inline_tasks,
-        }
+# Pipe framing lives in repro.runtime.wire (shared with the cluster's
+# TCP transport); the historical private names remain importable here.
+_send_payload = send_payload
+_recv_payload = recv_payload
 
 
 def _pool_worker(task_reader, result_writer) -> None:

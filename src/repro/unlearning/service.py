@@ -374,6 +374,27 @@ class UnlearningService:
         """Barrier: block until every in-flight window certifies."""
         return self.service.drain(round_index)
 
+    def co_schedule(self, engine) -> Callable[[int], None]:
+        """Tick this service inside a live federation run.
+
+        Registers a :attr:`~repro.federated.engine.BufferedRoundEngine.pre_round_hooks`
+        hook so every aggregation event begins with one scheduling beat —
+        finished deletion windows are absorbed and ready ones submitted
+        *before* the round's clients dispatch.  With the service and the
+        engine on the same backend, retrain chains and federated rounds
+        genuinely contend for the same workers, which is what lets
+        ``deletion_sla`` meter time-to-forget under training load rather
+        than on an idle system.  Returns the hook so callers can remove
+        it (``engine.pre_round_hooks.remove(hook)``) when the service
+        detaches.
+        """
+
+        def hook(round_index: int) -> None:
+            self.tick(round_index)
+
+        engine.pre_round_hooks.append(hook)
+        return hook
+
     @property
     def windows_in_flight(self) -> int:
         return self.service.windows_in_flight
