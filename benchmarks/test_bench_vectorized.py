@@ -29,10 +29,11 @@ import time
 import numpy as np
 import pytest
 
+from repro.cluster import ClusterBackend
 from repro.data.dataset import ArrayDataset, FederatedDataset
 from repro.federated import FedAvgAggregator, FederatedSimulation
 from repro.nn.models import RegistryModelFactory
-from repro.runtime import usable_cpus
+from repro.runtime import PoolBackend, usable_cpus
 from repro.training import TrainConfig
 
 RESULTS_PATH = os.path.join(
@@ -69,7 +70,8 @@ def _previous_records() -> list:
         return json.load(handle)
 
 
-def _build_sim(model, image_size, k, per_client, epochs, batch, vectorize):
+def _build_sim(model, image_size, k, per_client, epochs, batch, vectorize,
+               backend=None):
     rng = np.random.default_rng(0)
     means = rng.normal(0.0, 3.0, size=(3, 1, image_size, image_size))
     total = k * per_client + 48
@@ -90,15 +92,22 @@ def _build_sim(model, image_size, k, per_client, epochs, batch, vectorize):
     )
     config = TrainConfig(epochs=epochs, batch_size=batch, learning_rate=0.05)
     return FederatedSimulation(
-        factory, fed, FedAvgAggregator(), config, seed=3, vectorize=vectorize
+        factory, fed, FedAvgAggregator(), config, seed=3, vectorize=vectorize,
+        backend=backend,
     )
 
 
-def _run(model, image_size, k, per_client, epochs, batch, vectorize):
-    sim = _build_sim(model, image_size, k, per_client, epochs, batch, vectorize)
-    start = time.perf_counter()
-    history = sim.run(ROUNDS)
-    wall = time.perf_counter() - start
+def _run(model, image_size, k, per_client, epochs, batch, vectorize,
+         backend=None):
+    sim = _build_sim(model, image_size, k, per_client, epochs, batch,
+                     vectorize, backend=backend)
+    try:
+        start = time.perf_counter()
+        history = sim.run(ROUNDS)
+        wall = time.perf_counter() - start
+    finally:
+        if backend is not None:
+            backend.close()
     return {
         "wall": wall,
         "accuracies": history.accuracies,
@@ -174,3 +183,95 @@ class TestVectorizedSpeedup:
                 f"{model} K={k}: speedup regressed to {speedup:.2f}x vs "
                 f"recorded baseline {recorded:.2f}x"
             )
+
+
+# Composed cells: the stacked task is itself sharded across the
+# backend's workers (stack-chunk sharding), so vectorization and
+# multi-core parallelism multiply instead of excluding each other.
+WORKERS = min(4, max(2, usable_cpus()))
+BACKENDS = {
+    "pool": lambda: PoolBackend(max_workers=WORKERS),
+    "cluster": lambda: ClusterBackend(max_workers=WORKERS),
+}
+
+_SERIAL_VECTORIZED = {}  # k -> run, shared across backend kinds
+
+
+def _serial_vectorized(name, image_size, k, per_client, epochs, batch):
+    if k not in _SERIAL_VECTORIZED:
+        _SERIAL_VECTORIZED[k] = _run(
+            name, image_size, k, per_client, epochs, batch, vectorize=True
+        )
+    return _SERIAL_VECTORIZED[k]
+
+
+class TestComposedSpeedup:
+    """vectorize × multi-worker backend vs each axis alone.
+
+    Three timed runs per cell on the MLP workload (dispatch-bound, where
+    both axes have headroom): vectorized-serial (axis A), per-client on
+    the multi-worker backend (axis B), and the composed run.  All three
+    must be bit-identical — chunked reassembly included — before any
+    wall-clock is recorded, and the composed report must show the stack
+    actually sharded into ``WORKERS`` chunks.  At K=128 with >=4 workers
+    the composed run must beat the **better** single axis — the whole
+    point of stack-chunk sharding.
+    """
+
+    @pytest.mark.parametrize("k", [32, 128], ids=["k32", "k128"])
+    @pytest.mark.parametrize("backend_kind", sorted(BACKENDS))
+    def test_composed_beats_best_single_axis(self, backend_kind, k):
+        name, image_size, per_client, epochs, batch, _ = CELLS["mlp"]
+
+        vect_serial = _serial_vectorized(
+            name, image_size, k, per_client, epochs, batch
+        )
+        backend_only = _run(
+            name, image_size, k, per_client, epochs, batch,
+            vectorize=False, backend=BACKENDS[backend_kind](),
+        )
+        composed = _run(
+            name, image_size, k, per_client, epochs, batch,
+            vectorize=True, backend=BACKENDS[backend_kind](),
+        )
+
+        # Parity across all three runs before any timing claims.
+        assert backend_only["accuracies"] == vect_serial["accuracies"]
+        assert composed["accuracies"] == vect_serial["accuracies"]
+        for key, value in vect_serial["state"].items():
+            np.testing.assert_array_equal(value, backend_only["state"][key])
+            np.testing.assert_array_equal(value, composed["state"][key])
+        # The composed fast path engaged AND sharded across the workers.
+        assert composed["report"]["rounds_vectorized"] == ROUNDS
+        assert composed["report"]["rounds_fallback"] == 0
+        assert composed["report"]["chunks"] == {WORKERS: ROUNDS}
+
+        best_single = min(vect_serial["wall"], backend_only["wall"])
+        composed_speedup = best_single / composed["wall"]
+        if k == 128 and WORKERS >= 4:
+            assert composed["wall"] < best_single, (
+                f"composed vectorize x {backend_kind}:{WORKERS} "
+                f"({composed['wall']:.2f}s) must beat the better single "
+                f"axis (vectorized-serial {vect_serial['wall']:.2f}s, "
+                f"{backend_kind}-only {backend_only['wall']:.2f}s)"
+            )
+
+        _emit(
+            {
+                "workload": "vectorized_composed",
+                "model": "mlp",
+                "k": k,
+                "rounds": ROUNDS,
+                "epochs": epochs,
+                "batch_size": batch,
+                "per_client": per_client,
+                "backend": f"{backend_kind}:{WORKERS}",
+                "chunks": {str(c): n for c, n in
+                           composed["report"]["chunks"].items()},
+                "vectorized_serial_s": round(vect_serial["wall"], 4),
+                "backend_only_s": round(backend_only["wall"], 4),
+                "composed_s": round(composed["wall"], 4),
+                "speedup_vs_best_single": round(composed_speedup, 3),
+                "cpus": usable_cpus(),
+            }
+        )

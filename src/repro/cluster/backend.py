@@ -118,6 +118,9 @@ class ClusterBackend(Backend):
         # was served inline by the serial shortcut).
         self.last_batch_stats: Optional[TransportStats] = None
 
+    def worker_count(self) -> int:
+        return self.max_workers or max(2, usable_cpus())
+
     # ------------------------------------------------------------------
     # Lifecycle
     # ------------------------------------------------------------------

@@ -943,6 +943,15 @@ def run_matrix(
             reasons = vectorize_totals.setdefault("fallback_reasons", {})
             for reason, count in vec_report["fallback_reasons"].items():
                 reasons[reason] = reasons.get(reason, 0) + count
+            # Stack-chunk fan-out tally: how many fused units were split
+            # into how many chunks (keys are chunk counts).  Stamped into
+            # provenance so a run records whether vectorization actually
+            # composed with the backend's parallelism.
+            chunk_totals = vectorize_totals.setdefault("chunks", {})
+            for chunk_count, occurrences in vec_report.get("chunks", {}).items():
+                chunk_totals[chunk_count] = (
+                    chunk_totals.get(chunk_count, 0) + occurrences
+                )
         if store is not None:
             store.put(
                 ExperimentResult(

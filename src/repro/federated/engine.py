@@ -189,17 +189,19 @@ class _VecGroup:
     """One vectorized cohort dispatch shared by its members' in-flight
     entries.
 
-    The cohort's training runs as a single unit
-    (:class:`~repro.federated.vectorized.VectorizedTrainTask`) the first
-    time any member's arrival needs a result; the per-member results are
-    then handed out as each member's own virtual arrival fires.  Virtual
-    arrival times — and therefore fold membership, staleness and drop
-    behaviour — stay per-member, exactly as in per-client dispatch.
+    The cohort's training runs as a batch of contiguous stack chunks
+    (:meth:`~repro.federated.vectorized.VectorizedTrainTask.split` sized
+    to the backend's workers, so vectorization and the pool/cluster
+    compose) the first time any member's arrival needs a result; the
+    per-member results are then handed out as each member's own virtual
+    arrival fires.  Virtual arrival times — and therefore fold
+    membership, staleness and drop behaviour — stay per-member, exactly
+    as in per-client dispatch.
     """
 
-    task: Any  # VectorizedTrainTask
-    ticket: Optional[int]  # one pool ticket for the whole group
-    results: Optional[List[TrainResult]] = None
+    chunks: List[Any]  # VectorizedTrainTask stack chunks, member order
+    ticket: Optional[int]  # one pool ticket covering every chunk
+    results: Optional[List[TrainResult]] = None  # flattened, member order
 
 
 @dataclass
@@ -421,14 +423,29 @@ class BufferedRoundEngine:
             if self.sim.vectorize:
                 reason = self.sim.cohort_fallback_reason(tasks)
                 if reason is None:
-                    from .vectorized import make_vectorized_task
+                    from .vectorized import (
+                        backend_worker_count,
+                        make_vectorized_task,
+                    )
 
                     vtask = make_vectorized_task(tasks, broadcast_state)
-                    ticket = (
-                        self.sim.backend.submit([vtask]) if self._streams else None
+                    chunks = vtask.split(
+                        max(
+                            1,
+                            min(
+                                len(tasks),
+                                backend_worker_count(self.sim.backend),
+                            ),
+                        )
                     )
-                    group = _VecGroup(task=vtask, ticket=ticket)
-                    self.sim._vectorize_stats["rounds_vectorized"] += 1
+                    ticket = (
+                        self.sim.backend.submit(chunks) if self._streams else None
+                    )
+                    group = _VecGroup(chunks=chunks, ticket=ticket)
+                    stats = self.sim._vectorize_stats
+                    stats["rounds_vectorized"] += 1
+                    chunk_tally = stats["chunks"]
+                    chunk_tally[len(chunks)] = chunk_tally.get(len(chunks), 0) + 1
                 else:
                     self.sim._record_fallback(reason)
             for member, ((client, latency), task) in enumerate(zip(wave, tasks)):
@@ -535,11 +552,17 @@ class BufferedRoundEngine:
         group = entry.group
         if group.results is None:
             if group.ticket is not None:
-                group.results = self.sim.backend.drain(group.ticket)[0]
+                per_chunk = self.sim.backend.drain(group.ticket)
                 self._claim_ticket_stats(group.ticket)
                 group.ticket = None
             else:
-                group.results = self.sim.backend.run_tasks([group.task])[0]
+                per_chunk = self.sim.backend.run_tasks(group.chunks)
+            # Chunks partition the cohort contiguously in member order,
+            # so flattening their per-member result lists restores the
+            # original member indexing.
+            group.results = [
+                result for chunk_results in per_chunk for result in chunk_results
+            ]
         return group.results[entry.member]
 
     def _claim_ticket_stats(self, ticket: int) -> None:

@@ -256,10 +256,13 @@ class FederatedSimulation:
             "rounds_vectorized": 0,
             "rounds_fallback": 0,
             "fallback_reasons": {},
+            # How many stack chunks vectorized rounds were sharded into
+            # across the backend's workers: {n_chunks: round count}.
+            "chunks": {},
         }
-        # Lazily-probed stack_modules() verdict for the shared architecture
-        # (None = not probed yet; "" = stackable; otherwise the reason).
-        self._arch_reason: Optional[str] = None
+        # Lazily-probed stack_modules() verdicts, keyed by model factory
+        # ("" = stackable; otherwise the reason).
+        self._arch_reasons: Dict[object, str] = {}
         # Buffered-async mode is strictly opt-in: without an AsyncRoundConfig
         # no engine is ever constructed and every round runs the historical
         # synchronous barrier loop bit for bit.
@@ -365,32 +368,81 @@ class FederatedSimulation:
         """Run one round's task batch: vectorized when opted in and
         eligible, per-client otherwise.  Returns per-client results in
         task order either way."""
-        if self.vectorize:
-            reason = self.cohort_fallback_reason(tasks)
-            if reason is None:
-                from .vectorized import make_vectorized_task
+        return self.run_cohort_tasks(
+            tasks, shared_basis=self.server.global_state
+        )
 
-                vtask = make_vectorized_task(tasks, self.server.global_state)
-                results = self.backend.run_tasks([vtask])[0]
-                stats = self._vectorize_stats
+    def run_cohort_tasks(
+        self, tasks, runner=None, shared_basis=None
+    ) -> "tuple[list, TransportStats]":
+        """Run one task batch through the vectorized fast path when opted
+        in and eligible — stack-chunked across the runner's workers so
+        vectorization and multi-worker backends compose — per-task
+        otherwise.  The round's transport is accounted either way (lazy
+        backends charge each *member's* dense states, pool backends the
+        real pipe bytes), added to the simulation totals, and returned
+        with the per-task results in task order.
+
+        The four unlearning protocols route their inner rounds through
+        this (their mixed batches group per task kind: eligible cohorts
+        fuse, the rest run per-task in the same batch).
+        """
+        runner = self.backend if runner is None else runner
+        tasks = list(tasks)
+        if self.vectorize and tasks:
+            from .vectorized import backend_worker_count, plan_cohort, scatter_results
+
+            plan = plan_cohort(
+                tasks,
+                arch_probe=self._arch_probe,
+                workers=backend_worker_count(runner),
+                shared_basis=shared_basis,
+            )
+            stats = self._vectorize_stats
+            for reason in plan.fallback_reasons:
+                self._record_fallback(reason, count_round=False)
+            if plan.fused_groups:
                 stats["rounds_vectorized"] += 1
-                return results, self._account_vectorized_round(vtask, results)
-            self._record_fallback(reason)
-        results = self.backend.run_tasks(tasks)
-        return results, self._account_round(tasks, results)
+                chunk_tally: Dict[int, int] = stats["chunks"]
+                for count in plan.chunk_counts:
+                    chunk_tally[count] = chunk_tally.get(count, 0) + 1
+                unit_results = runner.run_tasks(plan.units)
+                results = scatter_results(plan, unit_results)
+                # Accounting runs against the *original* tasks: the
+                # simulated federation still broadcast to every member
+                # and received every member's return (lazy backends
+                # charge per-member dense states — byte-identical to the
+                # per-client path; a pool reports the real pipe bytes of
+                # the chunked batch it just ran).
+                round_stats = account_model_traffic(runner, tasks, results)
+                self.transport.add(round_stats)
+                return results, round_stats
+            stats["rounds_fallback"] += 1
+        results = runner.run_tasks(tasks)
+        round_stats = account_model_traffic(runner, tasks, results)
+        self.transport.add(round_stats)
+        return results, round_stats
+
+    def _arch_probe(self, model_factory) -> Optional[str]:
+        """Cached :func:`~repro.nn.vmap.stackable_reason` per factory."""
+        from ..nn.vmap import stackable_reason
+
+        try:
+            cached = self._arch_reasons.get(model_factory)
+        except TypeError:  # unhashable factory: probe uncached
+            return stackable_reason(model_factory()) or None
+        if cached is None:
+            cached = stackable_reason(model_factory()) or ""
+            self._arch_reasons[model_factory] = cached
+        return cached or None
 
     def cohort_fallback_reason(self, tasks) -> Optional[str]:
         """Why this task batch cannot vectorize (``None`` = eligible)."""
-        from ..nn.vmap import stackable_reason
         from .vectorized import cohort_fallback_reason
 
-        if self._arch_reason is None:
-            # One architecture probe per simulation: try to stack a
-            # factory-fresh model ("" = stackable).
-            self._arch_reason = stackable_reason(self.model_factory()) or ""
-        return cohort_fallback_reason(tasks, self._arch_reason or None)
+        return cohort_fallback_reason(tasks, self._arch_probe(self.model_factory))
 
-    def _record_fallback(self, reason: str) -> None:
+    def _record_fallback(self, reason: str, count_round: bool = True) -> None:
         stats = self._vectorize_stats
         reasons: Dict[str, int] = stats["fallback_reasons"]
         if reason not in reasons:
@@ -400,46 +452,22 @@ class FederatedSimulation:
                 "vectorize=True fell back to per-client execution: %s", reason
             )
         reasons[reason] = reasons.get(reason, 0) + 1
-        stats["rounds_fallback"] += 1
-
-    def _account_vectorized_round(self, vtask, results) -> TransportStats:
-        """Transport accounting for one vectorized round.
-
-        Vectorization fuses host-side *execution*; the simulated
-        federation still broadcast the model to every member and received
-        every member's (possibly codec-encoded) return, so lazy backends
-        keep the per-member dense downlink charge — byte-identical to the
-        per-client path.  A pool backend reports the real pipe bytes of
-        the fused batch it actually ran, as always.
-        """
-        stats = getattr(self.backend, "last_batch_stats", None)
-        round_stats = TransportStats()
-        if stats is not None:
-            round_stats.add(stats)
-        elif vtask.model_state is not None:
-            members = len(vtask.task_ids)
-            round_stats.bytes_down = dense_nbytes(vtask.model_state) * members
-            round_stats.broadcast_full = members
-        round_stats.bytes_up = sum(result.update_nbytes for result in results)
-        self.transport.add(round_stats)
-        return round_stats
+        if count_round:
+            stats["rounds_fallback"] += 1
 
     def vectorize_report(self) -> dict:
         """How the opt-in vectorized path behaved across this simulation:
-        rounds taken vectorized, rounds fallen back, and the distinct
-        fallback reasons with their counts."""
+        rounds taken vectorized, rounds fallen back, the distinct
+        fallback reasons with their counts, and the stack-chunk counts
+        vectorized rounds were sharded into."""
         stats = self._vectorize_stats
         return {
             "requested": self.vectorize,
             "rounds_vectorized": stats["rounds_vectorized"],
             "rounds_fallback": stats["rounds_fallback"],
             "fallback_reasons": dict(stats["fallback_reasons"]),
+            "chunks": dict(stats["chunks"]),
         }
-
-    def _account_round(self, tasks, results) -> TransportStats:
-        round_stats = account_model_traffic(self.backend, tasks, results)
-        self.transport.add(round_stats)
-        return round_stats
 
     def transport_report(self) -> dict:
         """Cumulative model traffic of this simulation (both directions),

@@ -31,11 +31,18 @@ The stacked path preserves every per-client semantic:
 Eligibility
 -----------
 :func:`cohort_fallback_reason` gates the fast path: the cohort must have
-≥ 2 members with equal active dataset sizes (same step count), equal
-sample shapes and dtypes, a stackable architecture
-(:func:`repro.nn.vmap.stack_modules`), a stacked-capable loss, and no
-gradient clipping (``clip_grad_norm`` computes a per-client *global*
-norm the stacked optimizer cannot reproduce).  Ineligible cohorts fall
+≥ 2 members with equal train configs, a stackable architecture
+(:func:`repro.nn.vmap.stack_modules`), a stacked-capable loss, equal
+sample shapes and dtypes, and equal per-member *step counts*.  Member
+dataset sizes may differ as long as the step counts match: the final
+batch is then ragged and runs zero-padded, with each slice computed at
+its true row count (row-exact per-slice GEMMs, per-slice loss heads) —
+unless the architecture contains a layer whose gradients contract over
+the batch axis (``Conv2d``), which
+:func:`repro.nn.vmap.ragged_support_reason` gates out.  Gradient
+clipping runs as per-slice global norms
+(:func:`repro.nn.optim.stacked_clip_grad_norm`), matching the
+per-client ``clip_grad_norm`` slice for slice.  Ineligible cohorts fall
 back to the per-client path with a recorded reason — never silently.
 """
 
@@ -48,14 +55,16 @@ import numpy as np
 
 from ..data.dataset import ArrayDataset
 from ..data.loader import DataLoader
+from ..nn.losses import get_hard_loss
 from ..nn.module import Module
-from ..nn.optim import StackedSGD
+from ..nn.optim import StackedSGD, stacked_clip_grad_norm
 from ..nn.tensor import Tensor
 from ..nn.vmap import (
     STACKED_LOSSES,
     StackedModel,
     VmapUnsupported,
     get_stacked_loss,
+    ragged_support_reason,
     stack_modules,
 )
 from ..runtime.task import (
@@ -92,9 +101,6 @@ class VectorizedCohort:
         for dataset in datasets:
             if len(dataset) == 0:
                 raise ValueError("cannot train on an empty dataset")
-        sizes = {len(dataset) for dataset in datasets}
-        if len(sizes) != 1:
-            raise ValueError(f"cohort datasets differ in size: {sorted(sizes)}")
         # Mirror trainer.train's cast: each member's model follows its
         # dataset's floating dtype *before* stacking (stacking requires —
         # and preserves — one cohort-wide dtype).
@@ -107,26 +113,41 @@ class VectorizedCohort:
         self.rngs = list(rngs)
         self.stacked: StackedModel = stack_modules(self.models)
 
-    def train(self, config: TrainConfig) -> List[TrainHistory]:
+    def train(
+        self,
+        config: TrainConfig,
+        optimizer_factory: Optional[Callable[[List], Any]] = None,
+    ) -> List[TrainHistory]:
         """Train all members for ``config.epochs``; one history per member.
 
         After the call the *source* models hold their trained slices
         (synced back from the stack) and each member's generator sits
         exactly where its standalone training run would have left it.
+
+        ``optimizer_factory`` (stacked parameter list → optimizer)
+        substitutes a stacked protocol optimizer (e.g. B2's diagonal-FIM
+        SGD) for the default :class:`~repro.nn.optim.StackedSGD`.
         """
-        if config.grad_clip:
-            raise ValueError(
-                "grad_clip needs a per-client global gradient norm; "
-                "vectorized cohorts must be gated on grad_clip == 0"
-            )
         k = len(self.models)
+        counts = {
+            -(-len(dataset) // config.batch_size) for dataset in self.datasets
+        }
+        if len(counts) != 1:
+            raise ValueError(
+                f"cohort step counts differ (dataset sizes beyond "
+                f"final-batch padding): {sorted(counts)}"
+            )
         loss_fn = get_stacked_loss(config.loss)
-        optimizer = StackedSGD(
-            self.stacked.parameters(),
-            lr=config.learning_rate,
-            momentum=config.momentum,
-            weight_decay=config.weight_decay,
-        )
+        scalar_loss_fn = get_hard_loss(config.loss)
+        if optimizer_factory is not None:
+            optimizer = optimizer_factory(self.stacked.parameters())
+        else:
+            optimizer = StackedSGD(
+                self.stacked.parameters(),
+                lr=config.learning_rate,
+                momentum=config.momentum,
+                weight_decay=config.weight_decay,
+            )
         loaders = [
             DataLoader(dataset, batch_size=config.batch_size, shuffle=True, rng=rng)
             for dataset, rng in zip(self.datasets, self.rngs)
@@ -139,18 +160,55 @@ class VectorizedCohort:
             num_batches = 0
             # zip steps the K iterators in lockstep; each draws its epoch
             # permutation from its own client's generator at first step,
-            # exactly as the per-client DataLoader would.  Equal dataset
-            # sizes (checked in __init__) ⇒ equal batch counts and equal
-            # per-step batch shapes, so the stack is always rectangular.
+            # exactly as the per-client DataLoader would.  Equal step
+            # counts (checked above) keep the K iterators aligned; only a
+            # final batch can be ragged, and it is zero-padded with the
+            # padded rows masked out of each slice's loss (trailing zero
+            # rows change no bits of any slice's forward or gradients).
             for batches in zip(*loaders):
-                images = np.stack([images for images, _ in batches])
-                labels = np.stack([labels for _, labels in batches])
+                rows = [len(labels) for _, labels in batches]
                 optimizer.zero_grad()
-                loss_vec = loss_fn(self.stacked(Tensor(images)), labels)
-                loss_vec.sum().backward()
+                if len(set(rows)) == 1:
+                    images = np.stack([images for images, _ in batches])
+                    labels = np.stack([labels for _, labels in batches])
+                    loss_vec = loss_fn(self.stacked(Tensor(images)), labels)
+                    loss_vec.sum().backward()
+                    step_losses = [float(loss_vec.data[index]) for index in range(k)]
+                else:
+                    first_images = np.asarray(batches[0][0])
+                    width = max(rows)
+                    images = np.zeros(
+                        (k, width) + first_images.shape[1:], dtype=first_images.dtype
+                    )
+                    for index, (member_images, _) in enumerate(batches):
+                        images[index, : rows[index]] = member_images
+                    self.stacked.set_row_counts(rows)
+                    logits = self.stacked(Tensor(images))
+                    self.stacked.set_row_counts(None)
+                    # Each member's loss runs the *per-client* loss code
+                    # on its extracted slice (differentiable indexing):
+                    # identical nodes in identical order, so both the
+                    # value and — because the sequential add below seeds
+                    # every slice's subgraph with exactly 1.0 — the
+                    # gradients are bit-identical to the standalone short
+                    # batch.  Padded rows never enter a loss and receive
+                    # zero gradient through the slice-scatter backward.
+                    slice_losses = [
+                        scalar_loss_fn(
+                            logits[index, : rows[index]], batches[index][1]
+                        )
+                        for index in range(k)
+                    ]
+                    total = slice_losses[0]
+                    for slice_loss in slice_losses[1:]:
+                        total = total + slice_loss
+                    total.backward()
+                    step_losses = [float(slice_loss.data) for slice_loss in slice_losses]
+                if config.grad_clip:
+                    stacked_clip_grad_norm(optimizer.parameters, config.grad_clip)
                 optimizer.step()
                 for index in range(k):
-                    totals[index] += float(loss_vec.data[index])
+                    totals[index] += step_losses[index]
                 num_batches += 1
             for index in range(k):
                 histories[index].record(
@@ -188,11 +246,20 @@ class VectorizedTrainTask:
     codec: str = "raw"
     model_version: Optional[str] = None
     residuals: List[Optional[StateDict]] = field(default_factory=list)
+    # Per-member initial states for cohorts whose members do *not* share
+    # a broadcast basis (e.g. SISA shards mid-chain).  Empty ⇒ every
+    # member loads ``model_state`` (or trains factory-fresh when that is
+    # None too).  When set, a member's own entry is also its codec basis.
+    member_states: List[Optional[StateDict]] = field(default_factory=list)
 
     def run(self) -> List[TrainResult]:
         k = len(self.task_ids)
         models = [self.model_factory() for _ in range(k)]
-        if self.model_state is not None:
+        if self.member_states:
+            for model, state in zip(models, self.member_states):
+                if state is not None:
+                    model.load_state_dict(state)
+        elif self.model_state is not None:
             for model in models:
                 model.load_state_dict(self.model_state)
         rngs = [restore_rng(state) for state in self.rng_states]
@@ -206,10 +273,13 @@ class VectorizedTrainTask:
         residuals = self.residuals if self.residuals else [None] * k
         results: List[TrainResult] = []
         for index in range(k):
+            basis = (
+                self.member_states[index] if self.member_states else self.model_state
+            )
             state, update, update_nbytes, new_residual = encode_trained_state(
                 self.codec,
                 models[index].state_dict(),
-                self.model_state,
+                basis,
                 residuals[index],
             )
             results.append(
@@ -225,10 +295,49 @@ class VectorizedTrainTask:
             )
         return results
 
+    def split(self, n_chunks: int) -> List["VectorizedTrainTask"]:
+        """Deterministic contiguous partition of the stack into sub-stacks.
+
+        Each chunk is a self-contained :class:`VectorizedTrainTask` over a
+        contiguous member range — its members' datasets, RNG streams and
+        residuals ride along; the broadcast basis is shared by reference
+        (the pool's version-addressed cache dedupes it per worker).
+        Stacking is bit-exact per slice, so the concatenation of the
+        chunks' results equals the unsplit run member for member.
+        ``n_chunks`` is clamped to ``[1, K]``; ``split(1)`` is ``[self]``.
+        """
+        k = len(self.task_ids)
+        n_chunks = max(1, min(int(n_chunks), k))
+        if n_chunks == 1:
+            return [self]
+        chunks: List["VectorizedTrainTask"] = []
+        for part in np.array_split(np.arange(k), n_chunks):
+            lo, hi = int(part[0]), int(part[-1]) + 1
+            chunks.append(
+                VectorizedTrainTask(
+                    task_id=tuple(self.task_ids[lo:hi]),
+                    task_ids=self.task_ids[lo:hi],
+                    model_factory=self.model_factory,
+                    datasets=self.datasets[lo:hi],
+                    config=self.config,
+                    rng_states=self.rng_states[lo:hi],
+                    model_state=self.model_state,
+                    indices=self.indices[lo:hi] if self.indices else [],
+                    codec=self.codec,
+                    model_version=self.model_version,
+                    residuals=self.residuals[lo:hi] if self.residuals else [],
+                    member_states=(
+                        self.member_states[lo:hi] if self.member_states else []
+                    ),
+                )
+            )
+        return chunks
+
 
 def cohort_fallback_reason(
     tasks: Sequence[TrainTask],
     arch_reason: Optional[str],
+    ragged_reason: Optional[str] = None,
 ) -> Optional[str]:
     """Why this cohort cannot take the vectorized path (``None`` = it can).
 
@@ -236,6 +345,10 @@ def cohort_fallback_reason(
     dispatch; ``arch_reason`` is the cached
     :func:`repro.nn.vmap.stackable_reason` probe of the shared model
     architecture (the caller probes the factory once, not per round).
+    ``ragged_reason`` is the cached
+    :func:`repro.nn.vmap.ragged_support_reason` probe — consulted only
+    when member sizes differ, i.e. when zero-padded (ragged) final
+    batches would actually occur.
     """
     if arch_reason is not None:
         return f"architecture not stackable: {arch_reason}"
@@ -244,8 +357,6 @@ def cohort_fallback_reason(
     config = tasks[0].config
     if any(task.config != config for task in tasks[1:]):
         return "cohort members have different train configs"
-    if config.grad_clip:
-        return "grad_clip needs a per-client global gradient norm"
     if config.loss not in STACKED_LOSSES:
         return f"loss {config.loss!r} has no stacked implementation"
     if config.epochs == 0:
@@ -254,9 +365,21 @@ def cohort_fallback_reason(
     def active_size(task: TrainTask) -> int:
         return len(task.dataset) if task.indices is None else len(task.indices)
 
-    sizes = {active_size(task) for task in tasks}
-    if len(sizes) != 1:
-        return f"cohort active dataset sizes differ: {sorted(sizes)}"
+    sizes = [active_size(task) for task in tasks]
+    if min(sizes) == 0:
+        return "cohort member has an empty active dataset"
+    # Unequal sizes are fine as long as the K loaders stay in lockstep —
+    # i.e. equal step counts.  Only the final batch can then be ragged,
+    # which the stacked path zero-pads with the rows masked out of the
+    # loss (bit-exact).
+    counts = {-(-size // config.batch_size) for size in sizes}
+    if len(counts) != 1:
+        return (
+            f"cohort active dataset sizes differ beyond final-batch "
+            f"padding (step counts {sorted(counts)})"
+        )
+    if len(set(sizes)) != 1 and ragged_reason is not None:
+        return f"ragged cohort (unequal sizes): {ragged_reason}"
     shapes = {np.asarray(task.dataset.images).shape[1:] for task in tasks}
     if len(shapes) != 1:
         return f"cohort sample shapes differ: {sorted(map(str, shapes))}"
@@ -264,6 +387,22 @@ def cohort_fallback_reason(
     if len(dtypes) != 1:
         return f"cohort data dtypes differ: {sorted(dtypes)}"
     return None
+
+
+_RAGGED_REASONS: dict = {}
+
+
+def ragged_probe(model_factory: Callable[[], Module]) -> Optional[str]:
+    """Cached :func:`~repro.nn.vmap.ragged_support_reason` per factory.
+
+    Architecture is a property of the factory, so one probe model per
+    distinct factory suffices (mirrors the simulation's stackability
+    cache; keying by the factory object itself keeps it alive, so ids
+    are never recycled).
+    """
+    if model_factory not in _RAGGED_REASONS:
+        _RAGGED_REASONS[model_factory] = ragged_support_reason(model_factory())
+    return _RAGGED_REASONS[model_factory]
 
 
 def make_vectorized_task(
@@ -292,10 +431,191 @@ def make_vectorized_task(
     )
 
 
+# ----------------------------------------------------------------------
+# Cohort planning: group → gate → fuse → stack-chunk across workers
+# ----------------------------------------------------------------------
+def backend_worker_count(backend) -> int:
+    """The backend's genuine parallelism (1 for serial-equivalent)."""
+    probe = getattr(backend, "worker_count", None)
+    return int(probe()) if callable(probe) else 1
+
+
+def _states_equal(a: StateDict, b: StateDict) -> bool:
+    if a.keys() != b.keys():
+        return False
+    return all(
+        a[key].dtype == b[key].dtype and np.array_equal(a[key], b[key]) for key in a
+    )
+
+
+class TrainTaskFuser:
+    """Fuses stock :class:`~repro.runtime.task.TrainTask` cohorts."""
+
+    kind = "train"
+
+    def matches(self, task: Any) -> bool:
+        return type(task) is TrainTask
+
+    def model_factory(self, task: TrainTask) -> Callable[[], Module]:
+        return task.model_factory
+
+    def group_key(self, task: TrainTask) -> Any:
+        return (task.codec, task.model_version)
+
+    def fallback_reason(
+        self, tasks: Sequence[TrainTask], arch_reason: Optional[str]
+    ) -> Optional[str]:
+        return cohort_fallback_reason(
+            tasks, arch_reason, ragged_probe(tasks[0].model_factory)
+        )
+
+    def fuse(
+        self,
+        tasks: Sequence[TrainTask],
+        shared_basis: Optional[StateDict] = None,
+    ) -> VectorizedTrainTask:
+        if shared_basis is not None:
+            return make_vectorized_task(tasks, shared_basis)
+        states = [task.model_state for task in tasks]
+        first = states[0]
+        if all(state is None for state in states):
+            return make_vectorized_task(tasks, None)
+        if all(state is first for state in states) or (
+            all(state is not None for state in states)
+            and tasks[0].model_version is not None
+            and all(task.model_version == tasks[0].model_version for task in tasks)
+        ):
+            return make_vectorized_task(tasks, first)
+        if all(state is not None for state in states) and all(
+            _states_equal(state, first) for state in states[1:]
+        ):
+            # Post-broadcast cohorts carry equal-valued copies; load (and
+            # encode against) the first — bit-identical to per-member.
+            return make_vectorized_task(tasks, first)
+        vtask = make_vectorized_task(tasks, None)
+        vtask.member_states = list(states)
+        return vtask
+
+
+_FUSERS: List[Any] = [TrainTaskFuser()]
+
+
+def register_fuser(fuser: Any) -> None:
+    """Add a protocol task fuser (checked before the stock train fuser)."""
+    _FUSERS.insert(0, fuser)
+
+
+def find_fuser(task: Any) -> Optional[Any]:
+    for fuser in _FUSERS:
+        if fuser.matches(task):
+            return fuser
+    return None
+
+
+@dataclass
+class CohortPlan:
+    """One task batch's vectorized dispatch layout.
+
+    ``units`` are the dispatchable work items (stack chunks and unfused
+    singles) in submission order; ``slots[i]`` maps original task ``i``
+    to ``(unit_index, member_index_or_None)`` for reassembly.
+    """
+
+    units: List[Any] = field(default_factory=list)
+    slots: List[Any] = field(default_factory=list)
+    fused_groups: int = 0
+    fused_members: int = 0
+    chunk_counts: List[int] = field(default_factory=list)
+    fallback_reasons: List[str] = field(default_factory=list)
+
+
+def plan_cohort(
+    tasks: Sequence[Any],
+    arch_probe: Callable[[Callable[[], Module]], Optional[str]],
+    workers: int,
+    shared_basis: Optional[StateDict] = None,
+) -> CohortPlan:
+    """Group a task batch into fusable cohorts and stack-chunk each one.
+
+    Tasks of the same kind and group key form a cohort; eligible cohorts
+    (per their fuser's gate) fuse into one stacked unit split into
+    ``min(members, workers)`` contiguous chunks, so vectorization and
+    multi-worker backends compose.  Everything else dispatches as the
+    original per-member task, with the distinct reasons recorded.
+    ``arch_probe`` maps a model factory to its cached
+    :func:`~repro.nn.vmap.stackable_reason` (None = stackable).
+    """
+    tasks = list(tasks)
+    plan = CohortPlan(slots=[None] * len(tasks))
+    groups: dict = {}
+    order: List[Any] = []
+    for index, task in enumerate(tasks):
+        fuser = find_fuser(task)
+        if fuser is None:
+            reason = (
+                f"no vectorized implementation for {type(task).__name__}"
+            )
+            if reason not in plan.fallback_reasons:
+                plan.fallback_reasons.append(reason)
+            continue
+        key = (fuser.kind, fuser.group_key(task))
+        if key not in groups:
+            groups[key] = (fuser, [])
+            order.append(key)
+        groups[key][1].append(index)
+    for key in order:
+        fuser, indices = groups[key]
+        group_tasks = [tasks[i] for i in indices]
+        if len(group_tasks) < 2:
+            reason: Optional[str] = "cohort has a single participant"
+        else:
+            reason = fuser.fallback_reason(
+                group_tasks, arch_probe(fuser.model_factory(group_tasks[0]))
+            )
+        if reason is not None:
+            if reason not in plan.fallback_reasons:
+                plan.fallback_reasons.append(reason)
+            continue
+        fused = fuser.fuse(group_tasks, shared_basis)
+        chunks = fused.split(max(1, min(len(group_tasks), workers)))
+        plan.fused_groups += 1
+        plan.fused_members += len(group_tasks)
+        plan.chunk_counts.append(len(chunks))
+        member = 0
+        for chunk in chunks:
+            unit_index = len(plan.units)
+            plan.units.append(chunk)
+            for offset in range(len(chunk.task_ids)):
+                plan.slots[indices[member]] = (unit_index, offset)
+                member += 1
+    for index, task in enumerate(tasks):
+        if plan.slots[index] is None:
+            plan.slots[index] = (len(plan.units), None)
+            plan.units.append(task)
+    return plan
+
+
+def scatter_results(plan: CohortPlan, unit_results: Sequence[Any]) -> List[Any]:
+    """Reassemble per-task results in original task order."""
+    out: List[Any] = []
+    for unit_index, member in plan.slots:
+        result = unit_results[unit_index]
+        out.append(result if member is None else result[member])
+    return out
+
+
 __all__ = [
+    "CohortPlan",
+    "TrainTaskFuser",
     "VectorizedCohort",
     "VectorizedTrainTask",
     "VmapUnsupported",
+    "backend_worker_count",
     "cohort_fallback_reason",
+    "find_fuser",
     "make_vectorized_task",
+    "plan_cohort",
+    "ragged_probe",
+    "register_fuser",
+    "scatter_results",
 ]

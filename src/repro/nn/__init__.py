@@ -35,6 +35,7 @@ from .optim import (
     StackedSGD,
     StepLR,
     clip_grad_norm,
+    stacked_clip_grad_norm,
 )
 from .vmap import StackedModel, VmapUnsupported, stack_modules
 from .serialization import load_model, load_state_dict, save_model, save_state_dict
@@ -79,6 +80,7 @@ __all__ = [
     "StepLR",
     "CosineAnnealingLR",
     "clip_grad_norm",
+    "stacked_clip_grad_norm",
     "save_model",
     "load_model",
     "save_state_dict",

@@ -256,6 +256,38 @@ def clip_grad_norm(parameters: Iterable[Parameter], max_norm: float) -> float:
     return total
 
 
+def stacked_clip_grad_norm(
+    parameters: Iterable[Parameter], max_norm: float
+) -> List[float]:
+    """Per-slice :func:`clip_grad_norm` over stacked ``(K, ...)`` gradients.
+
+    Mirrors the per-client clip bit for bit: slice ``k``'s squared sum
+    per parameter is one contiguous row reduction (the same pairwise
+    summation tree as the per-client full-array sum), the totals
+    accumulate as python floats in parameter order, and only slices whose
+    norm exceeds ``max_norm`` are scaled in place by the same
+    ``max_norm / total``.  Returns the per-slice pre-clip norms.
+    """
+    if max_norm <= 0:
+        raise ValueError(f"max_norm must be positive, got {max_norm}")
+    params = [p for p in parameters if p.grad is not None]
+    if not params:
+        return []
+    k = params[0].grad.shape[0]
+    slice_sums = [
+        (param.grad ** 2).reshape(k, -1).sum(axis=1) for param in params
+    ]
+    totals: List[float] = []
+    for index in range(k):
+        total = float(np.sqrt(sum(float(sums[index]) for sums in slice_sums)))
+        totals.append(total)
+        if total > max_norm and total > 0:
+            scale = max_norm / total
+            for param in params:
+                param.grad[index] *= scale
+    return totals
+
+
 class StepLR:
     """Multiply the optimizer's learning rate by ``gamma`` every ``step_size`` epochs."""
 

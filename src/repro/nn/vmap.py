@@ -78,9 +78,92 @@ class StackedLeaf(Module):
     def __init__(self, sources: List[Module]) -> None:
         super().__init__()
         self.sources = sources
+        # Per-slice true row counts during a ragged (zero-padded) step,
+        # plumbed by StackedModel.set_row_counts; None when rectangular.
+        self.row_counts: Optional[List[int]] = None
 
     def sync_back(self) -> None:
         """Write each trained slice back into its source module."""
+
+
+def _mask_padded_rows(out: Tensor, row_counts: Optional[List[int]]) -> Tensor:
+    """Re-zero the padded rows of a ragged stacked activation.
+
+    Ragged steps rely on an invariant: padded rows are exactly zero at
+    every layer boundary, so no layer ever feeds padding-derived values
+    into a true row.  Layers with additive terms (conv bias,
+    normalisation beta) turn zero rows nonzero, so they multiply their
+    output by a 0/1 row mask: true rows scale by exactly 1.0
+    (bit-identity, forward and backward) and padded rows return to zero.
+    """
+    if row_counts is None:
+        return out
+    width = out.shape[1]
+    if all(rows == width for rows in row_counts):
+        return out
+    mask = np.zeros(out.shape, dtype=out.data.dtype)
+    for index, rows in enumerate(row_counts):
+        mask[index, :rows] = 1.0
+    return out * Tensor(mask)
+
+
+def _is_ragged(row_counts: Optional[List[int]], width: int) -> bool:
+    return row_counts is not None and any(rows != width for rows in row_counts)
+
+
+def _ragged_linear(
+    x: Tensor,
+    weight: Parameter,
+    bias: Optional[Parameter],
+    row_counts: List[int],
+) -> Tensor:
+    """Row-exact stacked linear for ragged (zero-padded) steps.
+
+    GEMM accumulation order depends on the operand shapes: the same true
+    rows inside a taller zero-padded matrix can come out an ULP off,
+    because BLAS picks its blocking per matrix size, not per row.  A
+    ragged step therefore runs one GEMM per slice at each member's
+    *true* row count — issuing exactly the contractions ``F.linear``
+    and its backward issue for that client standalone — and writes the
+    results into the padded ``(K, width, out)`` frame.  Padded rows stay
+    exactly zero and receive exactly zero gradients.
+    """
+    k_stack, width = x.shape[0], x.shape[1]
+    out_features = weight.shape[1]
+    out_dtype = np.result_type(x.data.dtype, weight.data.dtype)
+    out_data = np.zeros((k_stack, width, out_features), dtype=out_dtype)
+    for k, rows in enumerate(row_counts):
+        if rows == 0:
+            continue
+        member = x.data[k, :rows] @ weight.data[k].T
+        if bias is not None:
+            member = member + bias.data[k]
+        out_data[k, :rows] = member
+
+    def backward_fn(grad: np.ndarray) -> None:
+        if x.requires_grad:
+            grad_x = np.zeros_like(x.data)
+            for k, rows in enumerate(row_counts):
+                if rows:
+                    grad_x[k, :rows] = grad[k, :rows] @ weight.data[k]
+            x._accumulate(grad_x)
+        if weight.requires_grad:
+            grad_w = np.zeros_like(weight.data)
+            for k, rows in enumerate(row_counts):
+                if rows:
+                    # The per-client chain computes x.T @ grad into the
+                    # transposed-weight view, then transposes it back.
+                    grad_w[k] = (x.data[k, :rows].T @ grad[k, :rows]).T
+            weight._accumulate(grad_w)
+        if bias is not None and bias.requires_grad:
+            grad_b = np.zeros_like(bias.data)
+            for k, rows in enumerate(row_counts):
+                if rows:
+                    grad_b[k] = grad[k, :rows].sum(axis=(0,))
+            bias._accumulate(grad_b)
+
+    parents = (x, weight) if bias is None else (x, weight, bias)
+    return Tensor._make(out_data, parents, backward_fn)
 
 
 class StackedLinear(StackedLeaf):
@@ -94,6 +177,13 @@ class StackedLinear(StackedLeaf):
             self.bias = _stacked_parameter([m.bias.data for m in sources])
 
     def forward(self, x: Tensor) -> Tensor:
+        if _is_ragged(self.row_counts, x.shape[1]):
+            return _ragged_linear(
+                x,
+                self.weight,
+                self.bias if self.has_bias else None,
+                self.row_counts,
+            )
         # Slice k computes x[k] @ W[k].T + b[k] — the same contraction and
         # broadcast F.linear issues for one client.
         out = x @ self.weight.transpose(0, 2, 1)
@@ -124,13 +214,14 @@ class StackedConv2d(StackedLeaf):
             self.bias = _stacked_parameter([m.bias.data for m in sources])
 
     def forward(self, x: Tensor) -> Tensor:
-        return F.conv2d_stacked(
+        out = F.conv2d_stacked(
             x,
             self.weight,
             self.bias if self.has_bias else None,
             stride=self.stride,
             padding=self.padding,
         )
+        return _mask_padded_rows(out, self.row_counts)
 
     def sync_back(self) -> None:
         for k, source in enumerate(self.sources):
@@ -192,20 +283,37 @@ class StackedDropout(Module):
     Slice k's mask is drawn from client k's own generator with the same
     call (``rng.random(per_client_shape)``) the per-client layer makes,
     so stacking neither merges nor reorders any client's RNG stream.
+
+    Ragged steps (final batches of unequal size, zero-padded to the
+    stack's batch axis) set :attr:`row_counts` first: slice k then draws
+    its mask with that client's *true* batch shape — the exact call the
+    per-client layer makes — and the padded rows get zero masks (their
+    upstream gradients are already exactly zero, so the zeros change no
+    bits).
     """
 
     def __init__(self, sources: List[Dropout]) -> None:
         super().__init__()
         self.p = sources[0].p
         self._rngs = [m._rng for m in sources]
+        # Per-slice true row counts for the *current* ragged step, or
+        # None when the step is rectangular (set via
+        # StackedModel.set_row_counts).
+        self.row_counts: Optional[List[int]] = None
 
     def forward(self, x: Tensor) -> Tensor:
         if not self.training or self.p == 0.0:
             return x
         per_client = x.shape[1:]
-        mask = np.stack(
-            [(rng.random(per_client) >= self.p) / (1.0 - self.p) for rng in self._rngs]
-        )
+        if self.row_counts is None:
+            mask = np.stack(
+                [(rng.random(per_client) >= self.p) / (1.0 - self.p) for rng in self._rngs]
+            )
+        else:
+            mask = np.zeros((x.shape[0],) + per_client, dtype=np.float64)
+            for k, (rng, rows) in enumerate(zip(self._rngs, self.row_counts)):
+                drawn = (rng.random((rows,) + per_client[1:]) >= self.p) / (1.0 - self.p)
+                mask[k, :rows] = drawn
         return x * Tensor(mask)
 
 
@@ -228,7 +336,7 @@ class StackedLayerNorm(StackedLeaf):
         k_stack = x.shape[0]
         gamma = self.gamma.reshape(k_stack, 1, -1)
         beta = self.beta.reshape(k_stack, 1, -1)
-        return x_hat * gamma + beta
+        return _mask_padded_rows(x_hat * gamma + beta, self.row_counts)
 
     def sync_back(self) -> None:
         for k, source in enumerate(self.sources):
@@ -259,7 +367,7 @@ class StackedGroupNorm(StackedLeaf):
         out = normalised.reshape(k_stack, n, c, h, w)
         gamma = self.gamma.reshape(k_stack, 1, -1, 1, 1)
         beta = self.beta.reshape(k_stack, 1, -1, 1, 1)
-        return out * gamma + beta
+        return _mask_padded_rows(out * gamma + beta, self.row_counts)
 
     def sync_back(self) -> None:
         for k, source in enumerate(self.sources):
@@ -314,6 +422,22 @@ class StackedModel(Module):
         for module in self.modules():
             if isinstance(module, StackedLeaf):
                 module.sync_back()
+
+    def set_row_counts(self, row_counts: Optional[List[int]]) -> None:
+        """Declare the current step's per-slice true batch sizes.
+
+        Ragged steps (zero-padded final batches) set the counts before
+        the forward so RNG-consuming layers (dropout) draw per-slice
+        masks with each client's true batch shape, and so layers with
+        additive terms (bias / affine shift) re-zero the padded rows
+        they would otherwise turn nonzero — nonzero padding rows
+        perturb the low bits of the *true* rows in the next matmul's
+        blocked reduction, breaking bitwise parity. Rectangular steps
+        reset with ``None``.
+        """
+        for module in self.modules():
+            if isinstance(module, (StackedDropout, StackedLeaf)):
+                module.row_counts = row_counts
 
     def slice_states(self) -> List[dict]:
         """Per-slice state dicts after :meth:`sync_back`."""
@@ -432,6 +556,26 @@ def stackable_reason(model: Module) -> Optional[str]:
     return None
 
 
+def ragged_support_reason(model: Module) -> Optional[str]:
+    """Why ``model`` cannot take ragged (zero-padded) steps (``None`` = it can).
+
+    Ragged parity requires every layer to be row-exact under zero
+    padding.  ``Linear`` runs one true-row GEMM per slice
+    (:func:`_ragged_linear`); elementwise, pooling and normalisation
+    layers are row-local (their reductions never span batch rows).
+    ``Conv2d`` is not: its *weight-gradient* contraction sums over batch
+    rows × spatial positions, so padded rows lengthen the reduction and
+    the true slices' weight gradients drift by ULPs.
+    """
+    for module in model.modules():
+        if isinstance(module, Conv2d):
+            return (
+                "Conv2d weight gradients contract over the batch axis, so "
+                "zero-padded rows change the reduction extent"
+            )
+    return None
+
+
 # ----------------------------------------------------------------------
 # Stacked hard losses: per-slice means, one graph
 # ----------------------------------------------------------------------
@@ -454,29 +598,60 @@ def _check_stacked_labels(logits: Tensor, labels: np.ndarray) -> np.ndarray:
     return labels.astype(np.int64)
 
 
-def stacked_cross_entropy(logits: Tensor, labels: np.ndarray) -> Tensor:
-    """Per-slice mean softmax cross-entropy: ``(K,)`` losses, one graph.
+def stacked_cross_entropy_per_sample(logits: Tensor, labels: np.ndarray) -> Tensor:
+    """Per-sample softmax cross-entropy: a ``(K, B)`` tensor, one graph.
 
-    Slice k's value and gradient equal
-    ``cross_entropy(logits[k], labels[k])`` — the log-softmax reduces
-    along the class axis, the pick indexes within the slice, and the
-    mean divides by the same batch count.  Also serves ``nll``
-    (``nll_from_logits`` composes the identical ops).
+    Row k's values and gradients equal
+    ``cross_entropy(logits[k], labels[k], reduction="none")`` — the
+    log-softmax reduces along the class axis and the pick indexes within
+    the slice.  Also serves ``nll`` (``nll_from_logits`` composes the
+    identical ops).
     """
     labels = _check_stacked_labels(logits, labels)
     log_probs = F.log_softmax(logits, axis=-1)
     picked = _stacked_pick(log_probs, labels)
-    return (-picked).mean(axis=1)
+    return -picked
 
 
-def stacked_focal_loss(logits: Tensor, labels: np.ndarray, gamma: float = 2.0) -> Tensor:
-    """Per-slice mean focal loss, mirroring :func:`repro.nn.losses.focal_loss`."""
+def stacked_cross_entropy(logits: Tensor, labels: np.ndarray) -> Tensor:
+    """Per-slice mean softmax cross-entropy: ``(K,)`` losses, one graph.
+
+    Slice k's value and gradient equal
+    ``cross_entropy(logits[k], labels[k])`` — the per-sample values are
+    identical and the mean divides by the same batch count.
+    """
+    return stacked_cross_entropy_per_sample(logits, labels).mean(axis=1)
+
+
+def stacked_focal_loss_per_sample(
+    logits: Tensor, labels: np.ndarray, gamma: float = 2.0
+) -> Tensor:
+    """Per-sample focal loss ``(K, B)``, mirroring
+    :func:`repro.nn.losses.focal_loss`."""
     labels = _check_stacked_labels(logits, labels)
     log_probs = F.log_softmax(logits, axis=-1)
     picked_log = _stacked_pick(log_probs, labels)
     p_t = picked_log.exp()
     modulator = (1.0 - p_t) ** gamma if gamma else Tensor(np.ones_like(p_t.data))
-    return (-(modulator * picked_log)).mean(axis=1)
+    return -(modulator * picked_log)
+
+
+def stacked_focal_loss(logits: Tensor, labels: np.ndarray, gamma: float = 2.0) -> Tensor:
+    """Per-slice mean focal loss, mirroring :func:`repro.nn.losses.focal_loss`."""
+    return stacked_focal_loss_per_sample(logits, labels, gamma).mean(axis=1)
+
+
+def stacked_label_smoothing_loss_per_sample(
+    logits: Tensor, labels: np.ndarray, smoothing: float = 0.1
+) -> Tensor:
+    """Per-sample label-smoothing loss ``(K, B)``, mirroring
+    :func:`repro.nn.losses.label_smoothing_loss`."""
+    labels = _check_stacked_labels(logits, labels)
+    log_probs = F.log_softmax(logits, axis=-1)
+    picked = _stacked_pick(log_probs, labels)
+    num_classes = logits.shape[2]
+    uniform_term = log_probs.sum(axis=2) * (smoothing / num_classes)
+    return -((1.0 - smoothing) * picked + uniform_term)
 
 
 def stacked_label_smoothing_loss(
@@ -484,13 +659,7 @@ def stacked_label_smoothing_loss(
 ) -> Tensor:
     """Per-slice mean label-smoothing loss, mirroring
     :func:`repro.nn.losses.label_smoothing_loss`."""
-    labels = _check_stacked_labels(logits, labels)
-    log_probs = F.log_softmax(logits, axis=-1)
-    picked = _stacked_pick(log_probs, labels)
-    num_classes = logits.shape[2]
-    uniform_term = log_probs.sum(axis=2) * (smoothing / num_classes)
-    per_sample = -((1.0 - smoothing) * picked + uniform_term)
-    return per_sample.mean(axis=1)
+    return stacked_label_smoothing_loss_per_sample(logits, labels, smoothing).mean(axis=1)
 
 
 STACKED_LOSSES = {
@@ -500,6 +669,15 @@ STACKED_LOSSES = {
     "label_smoothing": stacked_label_smoothing_loss,
 }
 """Stacked counterparts of :data:`repro.nn.losses.HARD_LOSSES`."""
+
+STACKED_PER_SAMPLE_LOSSES = {
+    "cross_entropy": stacked_cross_entropy_per_sample,
+    "nll": stacked_cross_entropy_per_sample,
+    "focal": stacked_focal_loss_per_sample,
+    "label_smoothing": stacked_label_smoothing_loss_per_sample,
+}
+"""Unreduced ``(K, B)`` variants — ragged steps slice each row to the
+member's true batch before its per-slice mean."""
 
 
 def get_stacked_loss(name: str):
@@ -511,3 +689,35 @@ def get_stacked_loss(name: str):
             f"loss {name!r} has no stacked implementation; "
             f"available: {sorted(STACKED_LOSSES)}"
         ) from None
+
+
+def get_stacked_per_sample_loss(name: str):
+    """The unreduced ``(K, B)`` counterpart of a hard loss."""
+    try:
+        return STACKED_PER_SAMPLE_LOSSES[name]
+    except KeyError:
+        raise ValueError(
+            f"loss {name!r} has no stacked implementation; "
+            f"available: {sorted(STACKED_PER_SAMPLE_LOSSES)}"
+        ) from None
+
+
+# ----------------------------------------------------------------------
+# Stacked protocol losses (distillation / confusion), per-slice graphs
+# ----------------------------------------------------------------------
+def stacked_distillation_loss_per_sample(
+    teacher_logits: Tensor, student_logits: Tensor, temperature: float = 1.0
+) -> Tensor:
+    """Per-sample distillation loss ``(K, B)``, mirroring
+    :func:`repro.nn.losses.distillation_loss` slice for slice.
+
+    The softmax/log-softmax reduce along the class axis and the product
+    sum is per-row, so row k reproduces the per-client call bit for bit.
+    ``temperature`` is a python float (the per-client call divides by
+    ``float(T)``), keeping the weak-scalar dtype semantics identical.
+    """
+    teacher_probs = F.softmax(
+        teacher_logits.detach(), axis=2, temperature=temperature
+    )
+    student_log_probs = F.log_softmax(student_logits / float(temperature), axis=2)
+    return -(teacher_probs * student_log_probs).sum(axis=2)

@@ -83,6 +83,16 @@ class Backend(abc.ABC):
     def run_tasks(self, tasks: Sequence[Any]) -> List[Any]:
         """Run every task and return results in submission order."""
 
+    def worker_count(self) -> int:
+        """How many tasks this backend genuinely runs at once.
+
+        Callers that can shard one large work unit into independent
+        pieces (e.g. stack-chunk sharding of a
+        :class:`~repro.federated.vectorized.VectorizedTrainTask`) size
+        the shard count from this.  Serial-equivalent backends report 1.
+        """
+        return 1
+
     def __repr__(self) -> str:
         return f"{type(self).__name__}()"
 
@@ -109,6 +119,9 @@ class ThreadBackend(Backend):
         if max_workers is not None and max_workers < 1:
             raise ValueError(f"max_workers must be >= 1, got {max_workers}")
         self.max_workers = max_workers
+
+    def worker_count(self) -> int:
+        return self.max_workers or max(2, usable_cpus())
 
     def run_tasks(self, tasks: Sequence[Any]) -> List[Any]:
         tasks = list(tasks)
@@ -161,6 +174,9 @@ class ProcessBackend(Backend):
         if max_workers is not None and max_workers < 1:
             raise ValueError(f"max_workers must be >= 1, got {max_workers}")
         self.max_workers = max_workers
+
+    def worker_count(self) -> int:
+        return self.max_workers or max(2, usable_cpus())
 
     def run_tasks(self, tasks: Sequence[Any]) -> List[Any]:
         tasks = list(tasks)

@@ -666,6 +666,9 @@ class PoolBackend(Backend):
         # was served inline by the serial shortcut).
         self.last_batch_stats: Optional[TransportStats] = None
 
+    def worker_count(self) -> int:
+        return self.max_workers or max(2, usable_cpus())
+
     def run_tasks(self, tasks: Sequence[Any]) -> List[Any]:
         tasks = list(tasks)
         if len(tasks) <= 1 and not self.pool.running:

@@ -27,7 +27,7 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional
 
 from ..data.dataset import ArrayDataset
-from ..federated.simulation import FederatedSimulation, account_model_traffic
+from ..federated.simulation import FederatedSimulation
 from ..nn.module import Module
 from ..runtime import BackendLike, get_backend
 from ..runtime.task import RngState, StateDict, capture_rng, restore_rng
@@ -36,6 +36,11 @@ from ..training.trainer import train
 from .baselines.incompetent import IncompetentTeacherConfig, IncompetentTeacherUnlearner
 from .baselines.rapid import DiagonalFIMSGD
 from .goldfish import GoldfishConfig, GoldfishUnlearner
+
+# Importing the module registers the Goldfish/B2 task fusers with the
+# federated cohort planner, so sim.run_cohort_tasks can fuse the
+# protocol rounds below when vectorize=True.
+from . import vectorized as _vectorized  # noqa: E402,F401  (registration import)
 
 
 @dataclass
@@ -273,8 +278,7 @@ def federated_goldfish(
             )
             for client in sim.clients
         ]
-        results = runner.run_tasks(tasks)
-        sim.transport.add(account_model_traffic(runner, tasks, results))
+        results, _ = sim.run_cohort_tasks(tasks, runner=runner)
         local_epochs += _absorb_round(sim, results)
         sim.server.aggregate([client.upload() for client in sim.clients])
         accuracies.append(sim.server.evaluate_global()[1])
@@ -314,8 +318,7 @@ def federated_retrain(
             )
             for client in sim.clients
         ]
-        results = runner.run_tasks(tasks)
-        sim.transport.add(account_model_traffic(runner, tasks, results))
+        results, _ = sim.run_cohort_tasks(tasks, runner=runner)
         local_epochs += _absorb_round(sim, results)
         sim.server.aggregate([client.upload() for client in sim.clients])
         accuracies.append(sim.server.evaluate_global()[1])
@@ -374,8 +377,7 @@ def federated_rapid_retrain(
             )
             for client in sim.clients
         ]
-        results = runner.run_tasks(tasks)
-        sim.transport.add(account_model_traffic(runner, tasks, results))
+        results, _ = sim.run_cohort_tasks(tasks, runner=runner)
         for result in results:
             fim_states[result.task_id] = result.extra["fim"]
         local_epochs += _absorb_round(sim, results)
@@ -436,8 +438,7 @@ def federated_incompetent_teacher(
                         model_version=model_version,
                     )
                 )
-        results = runner.run_tasks(tasks)
-        sim.transport.add(account_model_traffic(runner, tasks, results))
+        results, _ = sim.run_cohort_tasks(tasks, runner=runner)
         local_epochs += _absorb_round(sim, results)
         sim.server.aggregate([client.upload() for client in sim.clients])
         accuracies.append(sim.server.evaluate_global()[1])

@@ -158,6 +158,14 @@ class SisaEnsemble:
         Execution backend for shard (re)training — ``None``/``"serial"``
         (default), ``"thread"``, ``"process"``, or a
         :class:`~repro.runtime.Backend` instance.
+    vectorize:
+        Opt in to stage-lockstep chain vectorization: eligible shard
+        chains fuse into stacked
+        :class:`~repro.federated.vectorized.VectorizedTrainTask` units
+        per slice step (stack-chunked across the backend's workers),
+        bit-identical to the per-shard path.  Ineligible batches fall
+        back per shard with the reason recorded
+        (:meth:`vectorize_report`).
     """
 
     def __init__(
@@ -167,6 +175,7 @@ class SisaEnsemble:
         config: SisaConfig = SisaConfig(),
         seed: int = 0,
         backend: BackendLike = None,
+        vectorize: bool = False,
     ) -> None:
         total_parts = config.num_shards * config.num_slices
         if len(dataset) < total_parts:
@@ -178,6 +187,17 @@ class SisaEnsemble:
         self.dataset = dataset
         self.config = config
         self.backend = get_backend(backend)
+        self.vectorize = bool(vectorize)
+        self._vectorize_stats: Dict[str, object] = {
+            "rounds_vectorized": 0,
+            "rounds_fallback": 0,
+            "fallback_reasons": {},
+            "chunks": {},
+        }
+        # Lazily probed once per ensemble: the factory's architecture is
+        # fixed, so one probe model decides chain stackability for good.
+        self._chain_arch: Optional[str] = None
+        self._chain_arch_probed = False
         self._rng = np.random.default_rng(seed)
         self._deleted: set = set()
         # Shards with a begun-but-unfinished deletion window.  Locking is
@@ -269,6 +289,57 @@ class SisaEnsemble:
             init_state=shard.checkpoints[from_slice - 1] if from_slice > 0 else None,
         )
 
+    def _chain_arch_reason(self) -> Optional[str]:
+        if not self._chain_arch_probed:
+            from .vectorized import chain_arch_reason
+
+            self._chain_arch = chain_arch_reason(self.model_factory())
+            self._chain_arch_probed = True
+        return self._chain_arch
+
+    def _run_chains(self, tasks: Sequence[ChainTask]) -> List[ChainResult]:
+        """Execute shard chains — stage-lockstep stacked when eligible.
+
+        The per-shard path is the default; with ``vectorize=True`` an
+        eligible batch (≥ 2 chains, uniform config, stackable dropout-free
+        architecture) runs through
+        :func:`~repro.unlearning.vectorized.run_chains_vectorized`, which
+        still falls back per *stage* when a stage's member cohort fails
+        the data gate (reasons tallied either way).
+        """
+        tasks = list(tasks)
+        if not self.vectorize or not tasks:
+            return self.backend.run_tasks(tasks)
+        from .vectorized import run_chains_vectorized, sisa_chain_fallback_reason
+
+        stats = self._vectorize_stats
+        reason = sisa_chain_fallback_reason(tasks, self._chain_arch_reason())
+        if reason is not None:
+            stats["rounds_fallback"] += 1
+            reasons = stats["fallback_reasons"]
+            reasons[reason] = reasons.get(reason, 0) + 1
+            return self.backend.run_tasks(tasks)
+        fused_before = sum(stats["chunks"].values())
+        results = run_chains_vectorized(tasks, self.backend, stats=stats)
+        if sum(stats["chunks"].values()) > fused_before:
+            stats["rounds_vectorized"] += 1
+        else:
+            stats["rounds_fallback"] += 1
+        return results
+
+    def vectorize_report(self) -> dict:
+        """Vectorization telemetry: batches fused vs fallen back, recorded
+        fallback reasons, and the stack-chunk fan-out tally (mirrors
+        :meth:`~repro.federated.FederatedSimulation.vectorize_report`)."""
+        stats = self._vectorize_stats
+        return {
+            "requested": self.vectorize,
+            "rounds_vectorized": stats["rounds_vectorized"],
+            "rounds_fallback": stats["rounds_fallback"],
+            "fallback_reasons": dict(stats["fallback_reasons"]),
+            "chunks": dict(stats["chunks"]),
+        }
+
     def _absorb_chain_result(self, shard: _Shard, result: ChainResult) -> int:
         """Install a finished shard chain: checkpoints, model, RNG position."""
         shard.checkpoints.update(result.checkpoints)
@@ -289,7 +360,7 @@ class SisaEnsemble:
             # Drop any stale checkpoints and start clean.
             shard.checkpoints.clear()
             tasks.append(self._shard_chain_task(shard, from_slice=0))
-        for shard, result in zip(self._shards, self.backend.run_tasks(tasks)):
+        for shard, result in zip(self._shards, self._run_chains(tasks)):
             self._absorb_chain_result(shard, result)
         self._fitted = True
         return self
@@ -302,7 +373,7 @@ class SisaEnsemble:
         cannot cover. Raises if called before :meth:`fit`."""
         pending = self.delete_begin(global_indices)
         try:
-            results = self.backend.run_tasks(pending.tasks)
+            results = self._run_chains(pending.tasks)
         except Exception:
             # Unlock rather than wedge: the logical deletion stands (the
             # points are gone either way) but the affected shards carry

@@ -1,0 +1,728 @@
+"""Vectorized inner loops for the unlearning protocols.
+
+:mod:`repro.federated.vectorized` fuses stock federation rounds; this
+module extends the same machinery to the protocol-specific round tasks —
+Goldfish teacher/student passes, B2's FIM-preconditioned retraining —
+and to SISA's per-shard chains, so ``vectorize=True`` accelerates every
+flow the paper evaluates, not just plain FedAvg rounds.
+
+Parity strategy
+---------------
+The expensive part of a protocol step — the network forward/backward —
+runs **stacked** (K members, one batched graph, bit-exact per slice by
+the :mod:`repro.nn.vmap` contract).  The protocol-specific *loss heads*
+are tiny (a few elementwise ops on ``(batch, classes)`` logits), so each
+member's composite loss is computed by extracting its slice from the
+stacked logits (differentiable indexing) and running the **existing
+per-client loss code** on it.  Slice extraction returns bit-identical
+values, the per-member loss then executes literally the per-client
+operations (own temperature, own |D_f|/|D_r| scaling, own forget cap),
+and the scalar per-member totals are summed so every member's subgraph
+receives the exact ``1.0`` upstream gradient ``loss.backward()`` would
+seed standalone.  Heterogeneous loss hyper-parameters therefore need no
+fallback gate — each slice owns its head.
+
+SISA chains vectorize in **stage lockstep**: per slice index, every
+affected shard's stage becomes one member of a fused
+:class:`~repro.federated.vectorized.VectorizedTrainTask` carrying
+per-member initial states (``member_states``), mirroring the per-chain
+path exactly because a chain stage is a fresh-optimizer training run
+whose model state round-trips losslessly through state dicts.  The one
+genuine obstacle is dropout: a per-client chain keeps *one* model (and
+its dropout stream) across stages, while stage-wise reconstruction
+would reset the stream — so dropout architectures fall back, with the
+reason recorded.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..data.dataset import ArrayDataset
+from ..data.loader import DataLoader
+from ..federated.vectorized import (
+    TrainTaskFuser,
+    VectorizedCohort,
+    backend_worker_count,
+    cohort_fallback_reason,
+    ragged_probe,
+    register_fuser,
+)
+from ..nn import Tensor, no_grad
+from ..nn.layers import Dropout
+from ..nn.module import Module
+from ..nn.optim import StackedSGD, stacked_clip_grad_norm
+from ..nn.vmap import stack_modules
+from ..runtime.task import (
+    ChainResult,
+    ChainTask,
+    RngState,
+    StateDict,
+    TrainTask,
+    capture_rng,
+    restore_rng,
+)
+from ..training.config import TrainConfig
+from .baselines.rapid import DiagonalFIMSGD
+from .goldfish import GoldfishConfig, GoldfishUnlearner, _ForgetBatchCycler
+from .losses import GoldfishLoss
+
+
+class StackedDiagonalFIMSGD(DiagonalFIMSGD):
+    """B2's FIM-preconditioned SGD over stacked ``(K, ...)`` parameters.
+
+    :class:`~repro.unlearning.baselines.rapid.DiagonalFIMSGD`'s update is
+    purely elementwise (FIM EMA, bias-corrected preconditioning, scaled
+    subtraction) driven by a scalar step counter, so — exactly like
+    :class:`~repro.nn.optim.StackedSGD` — running it over parameters with
+    a leading stack axis performs the per-slice update bitwise.  The
+    subclass exists to make the vectorized B2 path self-documenting; it
+    adds no behaviour.
+    """
+
+
+def _stack_fim_states(
+    optimizer: DiagonalFIMSGD, member_states: Sequence[dict]
+) -> None:
+    """Install K members' FIM snapshots as one stacked snapshot.
+
+    Mirrors :meth:`DiagonalFIMSGD.load_fim_state` per slice — including
+    its float64 forcing — so slice ``k`` of every stacked FIM array is
+    bit-identical to member ``k``'s standalone load.  Callers gate on a
+    uniform ``steps`` counter and a uniform per-parameter None-pattern.
+    """
+    num_parameters = len(optimizer.parameters)
+    for state in member_states:
+        if len(state["fim"]) != num_parameters:
+            raise ValueError(
+                f"FIM state holds {len(state['fim'])} entries for "
+                f"{num_parameters} parameters"
+            )
+    stacked: List[Optional[np.ndarray]] = []
+    for index in range(num_parameters):
+        entries = [state["fim"][index] for state in member_states]
+        if all(entry is None for entry in entries):
+            stacked.append(None)
+        else:
+            stacked.append(
+                np.stack([np.array(entry, dtype=np.float64) for entry in entries])
+            )
+    optimizer._fim = stacked
+    optimizer._steps = int(member_states[0]["steps"])
+
+
+def _member_fim_state(optimizer: DiagonalFIMSGD, member: int) -> dict:
+    """Member ``member``'s FIM snapshot out of the stacked optimizer —
+    the exact dict its standalone :meth:`DiagonalFIMSGD.fim_state` would
+    return."""
+    return {
+        "fim": [None if f is None else f[member].copy() for f in optimizer._fim],
+        "steps": optimizer._steps,
+    }
+
+
+def _pad_stack(batches: Sequence[tuple]) -> "tuple[np.ndarray, List[int]]":
+    """Stack per-member ``(images, labels)`` batches along a new leading
+    axis, zero-padding short members to the widest batch.  Returns the
+    padded image stack and each member's true row count (trailing zero
+    rows change no bits of any true row's forward or gradient)."""
+    rows = [len(labels) for _, labels in batches]
+    width = max(rows)
+    first = np.asarray(batches[0][0])
+    images = np.zeros((len(batches), width) + first.shape[1:], dtype=first.dtype)
+    for index, (member_images, _) in enumerate(batches):
+        images[index, : rows[index]] = member_images
+    return images, rows
+
+
+# ----------------------------------------------------------------------
+# Goldfish: fused teacher/student passes
+# ----------------------------------------------------------------------
+@dataclass
+class VectorizedGoldfishTask:
+    """K clients' Goldfish passes (Algorithm 1) as one stacked work unit.
+
+    Students and teachers stack separately; every round-step is one
+    stacked retain forward, one (no-grad) stacked teacher forward and one
+    stacked forget forward, with each member's composite loss computed on
+    its extracted slice by its own :class:`GoldfishLoss` head (own
+    adaptive temperature, own forget scale/cap).  Per-member RNG streams
+    are preserved: loaders and forget cyclers draw from each member's own
+    generator in the per-client order (cycler constructed after the
+    loaders, epoch permutations at iteration start, mid-epoch cycler
+    refills during that member's step).
+    """
+
+    task_id: Any
+    task_ids: List[Any]
+    model_factory: Callable[[], Module]
+    student_states: List[StateDict]
+    teacher_states: List[StateDict]
+    retain_sets: List[ArrayDataset]
+    forget_sets: List[Optional[ArrayDataset]]
+    config: GoldfishConfig
+    rng_states: List[RngState]
+
+    def run(self) -> List[Any]:
+        from .protocols import _ClientRoundResult
+
+        config = self.config
+        k = len(self.task_ids)
+        students = [self.model_factory() for _ in range(k)]
+        for student, state in zip(students, self.student_states):
+            student.load_state_dict(state)
+        teachers = [self.model_factory() for _ in range(k)]
+        for teacher, state in zip(teachers, self.teacher_states):
+            teacher.load_state_dict(state)
+        rngs = [restore_rng(state) for state in self.rng_states]
+
+        # One loss head per member — exactly the per-client construction,
+        # including the (possibly adaptive) temperature resolution.
+        unlearner = GoldfishUnlearner(config)
+        use_distillation = config.loss.use_distillation and config.loss.mu_d > 0
+        loss_fns: List[GoldfishLoss] = []
+        for retain_set, forget_set in zip(self.retain_sets, self.forget_sets):
+            num_forget = len(forget_set) if forget_set is not None else 0
+            temperature = unlearner._resolve_temperature(len(retain_set), num_forget)
+            loss_fns.append(
+                GoldfishLoss(
+                    replace(config.loss, temperature=temperature),
+                    num_retain=len(retain_set),
+                    num_forget=num_forget,
+                )
+            )
+
+        student_stack = stack_modules(students)
+        teacher_stack = stack_modules(teachers)
+        optimizer = StackedSGD(
+            student_stack.parameters(),
+            lr=config.train.learning_rate,
+            momentum=config.train.momentum,
+            weight_decay=config.train.weight_decay,
+        )
+        loaders = [
+            DataLoader(
+                retain_set,
+                batch_size=config.train.batch_size,
+                shuffle=True,
+                rng=rng,
+            )
+            for retain_set, rng in zip(self.retain_sets, rngs)
+        ]
+        # Constructed after the loaders, like the per-client loop: the
+        # cycler draws its first forget permutation at construction.
+        cyclers = [
+            _ForgetBatchCycler(forget_set, config.train.batch_size, rng)
+            if forget_set is not None and len(forget_set) > 0
+            else None
+            for forget_set, rng in zip(self.forget_sets, rngs)
+        ]
+        has_forget = any(cycler is not None for cycler in cyclers)
+
+        teacher_stack.eval()
+        student_stack.train()
+        epochs_run = 0
+        for _ in range(config.train.epochs):
+            for batches in zip(*loaders):
+                optimizer.zero_grad()
+                retain_images, retain_rows = _pad_stack(batches)
+                student_stack.set_row_counts(retain_rows)
+                retain_logits = student_stack(Tensor(retain_images))
+                student_stack.set_row_counts(None)
+                teacher_logits = None
+                if use_distillation:
+                    with no_grad():
+                        teacher_stack.set_row_counts(retain_rows)
+                        teacher_logits = teacher_stack(Tensor(retain_images))
+                        teacher_stack.set_row_counts(None)
+                forget_logits = None
+                forget_batches: List[Optional[tuple]] = [None] * k
+                forget_rows: List[int] = []
+                if has_forget:
+                    forget_batches = [cycler.next_batch() for cycler in cyclers]
+                    forget_images, forget_rows = _pad_stack(forget_batches)
+                    student_stack.set_row_counts(forget_rows)
+                    forget_logits = student_stack(Tensor(forget_images))
+                    student_stack.set_row_counts(None)
+                slice_totals = []
+                for index in range(k):
+                    slice_total = loss_fns[index](
+                        retain_logits[index, : retain_rows[index]],
+                        batches[index][1],
+                        teacher_logits_retain=(
+                            teacher_logits[index, : retain_rows[index]]
+                            if teacher_logits is not None
+                            else None
+                        ),
+                        student_logits_forget=(
+                            forget_logits[index, : forget_rows[index]]
+                            if forget_logits is not None
+                            else None
+                        ),
+                        labels_forget=(
+                            forget_batches[index][1]
+                            if forget_batches[index] is not None
+                            else None
+                        ),
+                    )
+                    slice_totals.append(slice_total)
+                grand_total = slice_totals[0]
+                for slice_total in slice_totals[1:]:
+                    grand_total = grand_total + slice_total
+                grand_total.backward()
+                if config.train.grad_clip:
+                    stacked_clip_grad_norm(
+                        optimizer.parameters, config.train.grad_clip
+                    )
+                optimizer.step()
+            epochs_run += 1
+
+        student_stack.sync_back()
+        return [
+            _ClientRoundResult(
+                task_id=self.task_ids[index],
+                state=students[index].state_dict(),
+                epochs_run=epochs_run,
+                rng_state=capture_rng(rngs[index]),
+            )
+            for index in range(k)
+        ]
+
+    def split(self, n_chunks: int) -> List["VectorizedGoldfishTask"]:
+        """Contiguous stack chunks — same contract as
+        :meth:`~repro.federated.vectorized.VectorizedTrainTask.split`."""
+        k = len(self.task_ids)
+        n_chunks = max(1, min(int(n_chunks), k))
+        if n_chunks == 1:
+            return [self]
+        chunks: List["VectorizedGoldfishTask"] = []
+        for part in np.array_split(np.arange(k), n_chunks):
+            lo, hi = int(part[0]), int(part[-1]) + 1
+            chunks.append(
+                VectorizedGoldfishTask(
+                    task_id=tuple(self.task_ids[lo:hi]),
+                    task_ids=self.task_ids[lo:hi],
+                    model_factory=self.model_factory,
+                    student_states=self.student_states[lo:hi],
+                    teacher_states=self.teacher_states[lo:hi],
+                    retain_sets=self.retain_sets[lo:hi],
+                    forget_sets=self.forget_sets[lo:hi],
+                    config=self.config,
+                    rng_states=self.rng_states[lo:hi],
+                )
+            )
+        return chunks
+
+
+class GoldfishTaskFuser:
+    """Fuses :class:`~repro.unlearning.protocols._GoldfishClientTask`
+    cohorts.  Members with and without forget sets group separately (both
+    groups fuse); only structural mismatches and the per-member-epochs
+    early stopper fall back."""
+
+    kind = "goldfish"
+
+    def matches(self, task: Any) -> bool:
+        from .protocols import _GoldfishClientTask
+
+        return type(task) is _GoldfishClientTask
+
+    def model_factory(self, task: Any) -> Callable[[], Module]:
+        return task.model_factory
+
+    def group_key(self, task: Any) -> Any:
+        has_forget = task.forget_set is not None and len(task.forget_set) > 0
+        return (id(task.model_factory), id(task.config), has_forget)
+
+    def fallback_reason(
+        self, tasks: Sequence[Any], arch_reason: Optional[str]
+    ) -> Optional[str]:
+        if arch_reason is not None:
+            return f"architecture not stackable: {arch_reason}"
+        config = tasks[0].config
+        if config.early_stop.enabled:
+            return "goldfish early stopping decides epochs per member"
+        if config.train.epochs == 0:
+            return "zero-epoch rounds have nothing to vectorize"
+        sizes = [len(task.retain_set) for task in tasks]
+        if min(sizes) == 0:
+            return "cohort member has an empty retain set"
+        counts = {-(-size // config.train.batch_size) for size in sizes}
+        if len(counts) != 1:
+            return (
+                f"cohort retain set sizes differ beyond final-batch "
+                f"padding (step counts {sorted(counts)})"
+            )
+        forget_sizes = {
+            len(task.forget_set)
+            for task in tasks
+            if task.forget_set is not None and len(task.forget_set) > 0
+        }
+        if len(set(sizes)) != 1 or len(forget_sizes) > 1:
+            ragged_reason = ragged_probe(tasks[0].model_factory)
+            if ragged_reason is not None:
+                return f"ragged cohort (unequal sizes): {ragged_reason}"
+        arrays = [np.asarray(task.retain_set.images) for task in tasks]
+        arrays += [
+            np.asarray(task.forget_set.images)
+            for task in tasks
+            if task.forget_set is not None and len(task.forget_set) > 0
+        ]
+        shapes = {array.shape[1:] for array in arrays}
+        if len(shapes) != 1:
+            return f"cohort sample shapes differ: {sorted(map(str, shapes))}"
+        dtypes = {str(array.dtype) for array in arrays}
+        if len(dtypes) != 1:
+            return f"cohort data dtypes differ: {sorted(dtypes)}"
+        return None
+
+    def fuse(
+        self, tasks: Sequence[Any], shared_basis: Optional[StateDict] = None
+    ) -> VectorizedGoldfishTask:
+        del shared_basis  # per-member states are carried explicitly
+        return VectorizedGoldfishTask(
+            task_id=tuple(task.task_id for task in tasks),
+            task_ids=[task.task_id for task in tasks],
+            model_factory=tasks[0].model_factory,
+            student_states=[task.student_state for task in tasks],
+            teacher_states=[task.teacher_state for task in tasks],
+            retain_sets=[task.retain_set for task in tasks],
+            forget_sets=[task.forget_set for task in tasks],
+            config=tasks[0].config,
+            rng_states=[task.rng_state for task in tasks],
+        )
+
+
+# ----------------------------------------------------------------------
+# B2 (rapid retraining): fused FIM-preconditioned rounds
+# ----------------------------------------------------------------------
+@dataclass
+class VectorizedRapidTask:
+    """K clients' B2 passes as one stacked work unit: a
+    :class:`~repro.federated.vectorized.VectorizedCohort` round driven by
+    :class:`StackedDiagonalFIMSGD`, with each member's running FIM
+    estimate stacked in and extracted back out."""
+
+    task_id: Any
+    task_ids: List[Any]
+    model_factory: Callable[[], Module]
+    model_states: List[StateDict]
+    datasets: List[ArrayDataset]
+    config: TrainConfig
+    rng_states: List[RngState]
+    lr: float
+    rho: float
+    damping: float
+    fim_states: List[dict]
+
+    def run(self) -> List[Any]:
+        from .protocols import _ClientRoundResult
+
+        k = len(self.task_ids)
+        models = [self.model_factory() for _ in range(k)]
+        for model, state in zip(models, self.model_states):
+            model.load_state_dict(state)
+        rngs = [restore_rng(state) for state in self.rng_states]
+        cohort = VectorizedCohort(models, self.datasets, rngs)
+        optimizers: List[StackedDiagonalFIMSGD] = []
+
+        def optimizer_factory(parameters):
+            optimizer = StackedDiagonalFIMSGD(
+                parameters, lr=self.lr, rho=self.rho, damping=self.damping
+            )
+            _stack_fim_states(optimizer, self.fim_states)
+            optimizers.append(optimizer)
+            return optimizer
+
+        histories = cohort.train(self.config, optimizer_factory=optimizer_factory)
+        optimizer = optimizers[0]
+        return [
+            _ClientRoundResult(
+                task_id=self.task_ids[index],
+                state=models[index].state_dict(),
+                epochs_run=len(histories[index]),
+                rng_state=capture_rng(rngs[index]),
+                extra={"fim": _member_fim_state(optimizer, index)},
+            )
+            for index in range(k)
+        ]
+
+    def split(self, n_chunks: int) -> List["VectorizedRapidTask"]:
+        """Contiguous stack chunks — same contract as
+        :meth:`~repro.federated.vectorized.VectorizedTrainTask.split`."""
+        k = len(self.task_ids)
+        n_chunks = max(1, min(int(n_chunks), k))
+        if n_chunks == 1:
+            return [self]
+        chunks: List["VectorizedRapidTask"] = []
+        for part in np.array_split(np.arange(k), n_chunks):
+            lo, hi = int(part[0]), int(part[-1]) + 1
+            chunks.append(
+                VectorizedRapidTask(
+                    task_id=tuple(self.task_ids[lo:hi]),
+                    task_ids=self.task_ids[lo:hi],
+                    model_factory=self.model_factory,
+                    model_states=self.model_states[lo:hi],
+                    datasets=self.datasets[lo:hi],
+                    config=self.config,
+                    rng_states=self.rng_states[lo:hi],
+                    lr=self.lr,
+                    rho=self.rho,
+                    damping=self.damping,
+                    fim_states=self.fim_states[lo:hi],
+                )
+            )
+        return chunks
+
+
+class _RapidTaskView:
+    """Adapter presenting a ``_RapidClientTask`` through the stock
+    :func:`~repro.federated.vectorized.cohort_fallback_reason` field
+    surface (``config`` / ``dataset`` / ``indices``)."""
+
+    __slots__ = ("config", "dataset", "indices")
+
+    def __init__(self, task: Any) -> None:
+        self.config = task.config
+        self.dataset = task.dataset
+        self.indices = None
+
+
+class RapidTaskFuser:
+    """Fuses :class:`~repro.unlearning.protocols._RapidClientTask`
+    cohorts.  The optimizer hyper-parameters and FIM step counter join
+    the group key (the scalar step counter must advance in lockstep);
+    the per-parameter FIM None-pattern is the one extra gate."""
+
+    kind = "rapid"
+
+    def matches(self, task: Any) -> bool:
+        from .protocols import _RapidClientTask
+
+        return type(task) is _RapidClientTask
+
+    def model_factory(self, task: Any) -> Callable[[], Module]:
+        return task.model_factory
+
+    def group_key(self, task: Any) -> Any:
+        return (
+            id(task.model_factory),
+            task.lr,
+            task.rho,
+            task.damping,
+            int(task.fim_state["steps"]),
+        )
+
+    def fallback_reason(
+        self, tasks: Sequence[Any], arch_reason: Optional[str]
+    ) -> Optional[str]:
+        reason = cohort_fallback_reason(
+            [_RapidTaskView(task) for task in tasks],
+            arch_reason,
+            ragged_probe(tasks[0].model_factory),
+        )
+        if reason is not None:
+            return reason
+        patterns = {
+            tuple(entry is None for entry in task.fim_state["fim"])
+            for task in tasks
+        }
+        if len(patterns) != 1:
+            return "cohort FIM sparsity patterns differ"
+        return None
+
+    def fuse(
+        self, tasks: Sequence[Any], shared_basis: Optional[StateDict] = None
+    ) -> VectorizedRapidTask:
+        del shared_basis  # per-member states are carried explicitly
+        first = tasks[0]
+        return VectorizedRapidTask(
+            task_id=tuple(task.task_id for task in tasks),
+            task_ids=[task.task_id for task in tasks],
+            model_factory=first.model_factory,
+            model_states=[task.model_state for task in tasks],
+            datasets=[task.dataset for task in tasks],
+            config=first.config,
+            rng_states=[task.rng_state for task in tasks],
+            lr=first.lr,
+            rho=first.rho,
+            damping=first.damping,
+            fim_states=[task.fim_state for task in tasks],
+        )
+
+
+# ----------------------------------------------------------------------
+# SISA: stage-lockstep chain vectorization
+# ----------------------------------------------------------------------
+def sisa_chain_fallback_reason(
+    tasks: Sequence[ChainTask], arch_reason: Optional[str]
+) -> Optional[str]:
+    """Why a batch of SISA retrain chains cannot vectorize (``None`` =
+    eligible).  ``arch_reason`` is the caller's cached architecture probe
+    — :func:`repro.nn.vmap.stackable_reason` *plus* the dropout check
+    (see :meth:`SisaEnsemble._chain_arch_reason`)."""
+    if arch_reason is not None:
+        return f"architecture not stackable: {arch_reason}"
+    if len(tasks) < 2:
+        return "cohort has a single participant"
+    config = tasks[0].config
+    if any(task.config != config for task in tasks[1:]):
+        return "cohort members have different train configs"
+    return None
+
+
+def chain_arch_reason(model: Module) -> Optional[str]:
+    """Architecture-level obstacle to stage-lockstep chain vectorization.
+
+    Beyond :func:`~repro.nn.vmap.stackable_reason`, dropout blocks
+    chains specifically: a per-client chain keeps one model — and one
+    dropout stream — across its stages, which stage-wise model
+    reconstruction would reset.
+    """
+    from ..nn.vmap import stackable_reason
+
+    reason = stackable_reason(model)
+    if reason is not None:
+        return reason
+    for module in model.modules():
+        if isinstance(module, Dropout):
+            return (
+                "dropout keeps one RNG stream across chain stages; "
+                "stage-lockstep reconstruction would reset it"
+            )
+    return None
+
+
+_TRAIN_FUSER = TrainTaskFuser()
+
+
+def run_chains_vectorized(
+    tasks: Sequence[ChainTask],
+    backend: Any,
+    stats: Optional[dict] = None,
+) -> List[ChainResult]:
+    """Run SISA retrain chains in stage lockstep, stacking across shards.
+
+    Per slice index, every chain whose stage trains becomes one member of
+    a fused :class:`~repro.federated.vectorized.VectorizedTrainTask`
+    (per-member ``member_states``, raw codec), stack-chunked across the
+    backend's workers; empty stages checkpoint the chain's current state
+    without training, exactly as :meth:`ChainTask.run` does.  The
+    emulation is exact because a chain stage is a fresh-optimizer
+    :func:`~repro.training.trainer.train` call whose model state
+    round-trips losslessly through state dicts (callers gate out dropout,
+    the one piece of cross-stage state that does not).  Stages whose
+    member batch fails the cohort gate (e.g. step counts diverged after
+    a deletion) run per-member through the same backend, with the reason
+    tallied into ``stats["fallback_reasons"]``.
+    """
+    tasks = list(tasks)
+    k = len(tasks)
+    workers = backend_worker_count(backend)
+    currents: List[Optional[StateDict]] = [task.init_state for task in tasks]
+    rng_states: List[RngState] = [task.rng_state for task in tasks]
+    checkpoints: List[Dict[int, StateDict]] = [{} for _ in tasks]
+    histories: List[list] = [[] for _ in tasks]
+    steps = [0] * k
+    stage_maps = [
+        {stage.stage_id: stage for stage in task.stages} for task in tasks
+    ]
+    stage_ids = sorted({stage_id for mapping in stage_maps for stage_id in mapping})
+
+    for stage_id in stage_ids:
+        members = [
+            index
+            for index in range(k)
+            if (stage := stage_maps[index].get(stage_id)) is not None
+            and stage.indices is not None
+            and len(stage.indices) > 0
+        ]
+        if members:
+            member_tasks = [
+                TrainTask(
+                    task_id=index,
+                    model_factory=tasks[index].model_factory,
+                    dataset=tasks[index].dataset,
+                    config=tasks[index].config,
+                    rng_state=rng_states[index],
+                    model_state=currents[index],
+                    indices=stage_maps[index][stage_id].indices,
+                )
+                for index in members
+            ]
+            # The chains' shared architecture was probed by the caller's
+            # gate; only the per-stage data checks remain.
+            reason = (
+                cohort_fallback_reason(
+                    member_tasks,
+                    None,
+                    ragged_probe(member_tasks[0].model_factory),
+                )
+                if len(member_tasks) >= 2
+                else "cohort has a single participant"
+            )
+            if reason is None:
+                fused = _TRAIN_FUSER.fuse(member_tasks)
+                chunks = fused.split(max(1, min(len(member_tasks), workers)))
+                if stats is not None:
+                    chunk_tally = stats.setdefault("chunks", {})
+                    chunk_tally[len(chunks)] = chunk_tally.get(len(chunks), 0) + 1
+                per_chunk = backend.run_tasks(chunks)
+                results = [
+                    result
+                    for chunk_results in per_chunk
+                    for result in chunk_results
+                ]
+            else:
+                if stats is not None:
+                    reasons = stats.setdefault("fallback_reasons", {})
+                    reasons[reason] = reasons.get(reason, 0) + 1
+                results = backend.run_tasks(member_tasks)
+            for member_index, result in zip(members, results):
+                currents[member_index] = result.state
+                rng_states[member_index] = result.rng_state
+                histories[member_index].append(result.history)
+                steps[member_index] += 1
+        for index in range(k):
+            if stage_id not in stage_maps[index]:
+                continue
+            if currents[index] is None:
+                # Never-trained chain checkpoints its factory-fresh state
+                # (the per-chain path snapshots the model it built at
+                # start — identical, the factory reseeds per call).
+                currents[index] = tasks[index].model_factory().state_dict()
+            checkpoints[index][stage_id] = currents[index]
+
+    results: List[ChainResult] = []
+    for index, task in enumerate(tasks):
+        if currents[index] is None:
+            currents[index] = task.model_factory().state_dict()
+        results.append(
+            ChainResult(
+                task_id=task.task_id,
+                checkpoints=checkpoints[index],
+                final_state=currents[index],
+                steps=steps[index],
+                rng_state=rng_states[index],
+                histories=histories[index],
+            )
+        )
+    return results
+
+
+register_fuser(GoldfishTaskFuser())
+register_fuser(RapidTaskFuser())
+
+__all__ = [
+    "GoldfishTaskFuser",
+    "RapidTaskFuser",
+    "StackedDiagonalFIMSGD",
+    "VectorizedGoldfishTask",
+    "VectorizedRapidTask",
+    "chain_arch_reason",
+    "run_chains_vectorized",
+    "sisa_chain_fallback_reason",
+]

@@ -71,6 +71,9 @@ class TestMatrixVectorizeSweep:
         vectorize = result.runtime["vectorize"]
         assert vectorize["requested"] is True
         assert vectorize["rounds_vectorized"] > 0
+        # Stack-chunk fan-out is part of the provenance: every
+        # vectorized round records how many chunks it was sharded into.
+        assert sum(vectorize["chunks"].values()) >= vectorize["rounds_vectorized"]
 
     def test_no_provenance_when_never_requested(self, monkeypatch):
         monkeypatch.setitem(scale_module.SCALES, "smoke", TINY)

@@ -1,0 +1,115 @@
+"""Property test: the vectorize=True contract over sampled cohorts.
+
+For any sampled cohort shape (member count, member dataset sizes),
+train config (batch size, epochs, momentum, grad_clip), architecture,
+and data dtype, turning ``vectorize=True`` on must NEVER raise and must
+leave every observable bit-identical to the per-client twin.  When the
+cohort is ineligible the round falls back per client **with a recorded
+reason** — fallbacks are allowed, silent or crashing behaviour is not.
+"""
+
+import numpy as np
+import pytest
+
+hypothesis = pytest.importorskip("hypothesis")
+
+from hypothesis import given, settings, strategies as st  # noqa: E402
+
+from repro.data import FederatedDataset  # noqa: E402
+from repro.data.dataset import ArrayDataset  # noqa: E402
+from repro.federated import FedAvgAggregator, FederatedSimulation  # noqa: E402
+from repro.nn.layers import Conv2d, Flatten, Linear, Sequential  # noqa: E402
+from repro.nn.models import MLP  # noqa: E402
+from repro.training import TrainConfig  # noqa: E402
+
+from ..conftest import make_blobs  # noqa: E402
+
+
+def mlp_factory():
+    return MLP(16, 3, np.random.default_rng(42))
+
+
+def conv_factory():
+    rng = np.random.default_rng(42)
+    return Sequential(
+        Conv2d(1, 3, 3, rng, padding=1), Flatten(), Linear(48, 3, rng)
+    )
+
+
+FACTORIES = {"mlp": mlp_factory, "conv": conv_factory}
+
+cohorts = st.fixed_dictionaries(
+    {
+        "sizes": st.lists(st.integers(8, 24), min_size=1, max_size=4),
+        "batch_size": st.sampled_from([4, 8, 10]),
+        "epochs": st.integers(1, 2),
+        "momentum": st.sampled_from([0.0, 0.9]),
+        "grad_clip": st.sampled_from([0.0, 1.0]),
+        "arch": st.sampled_from(sorted(FACTORIES)),
+        "dtype": st.sampled_from(["float64", "float32", "mixed"]),
+    }
+)
+
+
+def build_sim(params, vectorize):
+    sizes = params["sizes"]
+    total = sum(sizes) + 24
+    ds = make_blobs(num_samples=total, num_classes=3, shape=(1, 4, 4),
+                    seed=3, separation=1.2, noise=1.0)
+    clients, start = [], 0
+    for index, size in enumerate(sizes):
+        subset = ds.subset(np.arange(start, start + size))
+        if params["dtype"] == "float32" or (
+            params["dtype"] == "mixed" and index == 0
+        ):
+            subset = ArrayDataset(
+                images=subset.images, labels=subset.labels,
+                num_classes=subset.num_classes, name=subset.name,
+                dtype=np.float32,
+            )
+        clients.append(subset)
+        start += size
+    fed = FederatedDataset(
+        client_datasets=clients, test_set=ds.subset(np.arange(start, total))
+    )
+    factory = FACTORIES[params["arch"]]
+    if params["dtype"] == "float32":
+        base = factory
+        factory = lambda: base().astype(np.float32)  # noqa: E731
+    config = TrainConfig(
+        epochs=params["epochs"], batch_size=params["batch_size"],
+        learning_rate=0.1, momentum=params["momentum"],
+        grad_clip=params["grad_clip"],
+    )
+    return FederatedSimulation(
+        factory, fed, FedAvgAggregator(), config, seed=0, vectorize=vectorize,
+    )
+
+
+@settings(max_examples=25, deadline=None)
+@given(cohorts)
+def test_vectorize_is_parity_or_recorded_fallback(params):
+    ref_sim = build_sim(params, vectorize=False)
+    ref_history = ref_sim.run(1)
+
+    vec_sim = build_sim(params, vectorize=True)  # must never raise
+    history = vec_sim.run(1)
+
+    assert history.accuracies == ref_history.accuracies
+    ref_state = ref_sim.server.global_state
+    state = vec_sim.server.global_state
+    assert set(state) == set(ref_state)
+    for key in state:
+        assert state[key].dtype == ref_state[key].dtype
+        np.testing.assert_array_equal(state[key], ref_state[key])
+    for a, b in zip(ref_sim.clients, vec_sim.clients):
+        assert a.rng.bit_generator.state == b.rng.bit_generator.state
+
+    report = vec_sim.vectorize_report()
+    assert report["requested"] is True
+    if report["rounds_vectorized"] == 0:
+        # Nothing fused this round: the fallback must be on the record.
+        assert report["rounds_fallback"] == 1
+        assert report["fallback_reasons"]
+    else:
+        assert sum(report["chunks"].values()) > 0

@@ -140,6 +140,143 @@ class TestAsyncParity:
         assert vectorized.vectorize_report()["rounds_vectorized"] > 0
 
 
+class TestGradClipParity:
+    """grad_clip no longer forces a fallback: clipping runs per-slice on
+    the stacked gradients, bit-identical to each member clipping alone."""
+
+    def test_grad_clip_with_momentum_bit_identical(self):
+        config = TrainConfig(epochs=2, batch_size=8, learning_rate=0.1,
+                             momentum=0.9, grad_clip=1.0)
+        per_client, ref_history, ref_state = run_sim(
+            vectorize=False, config=config
+        )
+        vectorized, history, state = run_sim(vectorize=True, config=config)
+        assert history.accuracies == ref_history.accuracies
+        assert_states_equal(state, ref_state)
+        for a, b in zip(per_client.clients, vectorized.clients):
+            assert_states_equal(a.model.state_dict(), b.model.state_dict())
+            assert a.rng.bit_generator.state == b.rng.bit_generator.state
+        report = vectorized.vectorize_report()
+        assert report["rounds_vectorized"] == ROUNDS
+        assert report["fallback_reasons"] == {}
+
+    @pytest.mark.parametrize("grad_clip", [0.05, 5.0])
+    def test_tight_and_loose_thresholds(self, grad_clip):
+        # A tight threshold clips every step, a loose one almost never:
+        # both must agree bitwise with the per-client path.
+        config = TrainConfig(epochs=1, batch_size=8, learning_rate=0.1,
+                             grad_clip=grad_clip)
+        _, ref_history, ref_state = run_sim(vectorize=False, config=config)
+        _, history, state = run_sim(vectorize=True, config=config)
+        assert history.accuracies == ref_history.accuracies
+        assert_states_equal(state, ref_state)
+
+
+class TestRaggedParity:
+    """Unequal member dataset sizes no longer force a fallback when the
+    per-member step counts still agree: the final short batches are
+    zero-padded and every padded row is excluded from forward GEMMs,
+    loss, and gradients."""
+
+    # batch_size=8 -> 3 steps each, final batches of 8/4/2 rows.
+    SIZES = [24, 20, 18]
+
+    def test_ragged_cohort_vectorizes_bit_identical(self):
+        per_client, ref_history, ref_state = run_sim(
+            vectorize=False, client_sizes=self.SIZES
+        )
+        vectorized, history, state = run_sim(
+            vectorize=True, client_sizes=self.SIZES
+        )
+        assert history.accuracies == ref_history.accuracies
+        assert_states_equal(state, ref_state)
+        for a, b in zip(per_client.clients, vectorized.clients):
+            assert_states_equal(a.model.state_dict(), b.model.state_dict())
+            assert a.rng.bit_generator.state == b.rng.bit_generator.state
+        report = vectorized.vectorize_report()
+        assert report["rounds_vectorized"] == ROUNDS
+        assert report["rounds_fallback"] == 0
+
+    def test_ragged_with_grad_clip_and_codec(self):
+        config = TrainConfig(epochs=1, batch_size=8, learning_rate=0.1,
+                             momentum=0.9, grad_clip=1.0)
+        _, ref_history, ref_state = run_sim(
+            vectorize=False, client_sizes=self.SIZES, config=config,
+            codec="delta",
+        )
+        _, history, state = run_sim(
+            vectorize=True, client_sizes=self.SIZES, config=config,
+            codec="delta",
+        )
+        assert history.accuracies == ref_history.accuracies
+        assert_states_equal(state, ref_state)
+
+    def test_ragged_async_bit_identical(self):
+        _, ref_history, ref_state = run_sim(
+            vectorize=False, client_sizes=self.SIZES, async_mode=True
+        )
+        vectorized, history, state = run_sim(
+            vectorize=True, client_sizes=self.SIZES, async_mode=True
+        )
+        assert history.accuracies == ref_history.accuracies
+        assert_states_equal(state, ref_state)
+        assert vectorized.vectorize_report()["rounds_vectorized"] > 0
+
+
+class TestStackChunkSharding:
+    """Vectorized rounds shard the stacked task across backend workers;
+    the reassembled results stay bit-identical and the chunk fan-out is
+    tallied in the report."""
+
+    def test_single_worker_backends_run_one_chunk(self):
+        sim, _, _ = run_sim(vectorize=True)
+        assert sim.vectorize_report()["chunks"] == {1: ROUNDS}
+
+    def test_pool_backend_splits_and_stays_bit_identical(self):
+        _, ref_history, ref_state = run_sim(vectorize=False)
+        sim, history, state = run_sim(
+            vectorize=True, backend=PoolBackend(max_workers=2), shared=True
+        )
+        assert history.accuracies == ref_history.accuracies
+        assert_states_equal(state, ref_state)
+        assert sim.vectorize_report()["chunks"] == {2: ROUNDS}
+
+    def test_chunked_ragged_cohort_bit_identical(self):
+        sizes = [24, 20, 18, 17, 23]  # all 3 steps at batch_size=8
+        _, ref_history, ref_state = run_sim(
+            vectorize=False, client_sizes=sizes
+        )
+        sim, history, state = run_sim(
+            vectorize=True, client_sizes=sizes,
+            backend=PoolBackend(max_workers=4), shared=True,
+        )
+        assert history.accuracies == ref_history.accuracies
+        assert_states_equal(state, ref_state)
+        assert sim.vectorize_report()["chunks"] == {4: ROUNDS}
+
+    @pytest.mark.parametrize("codec", ["delta", "quant:8"])
+    def test_chunked_codecs_match_per_client_twin(self, codec):
+        _, ref_history, ref_state = run_sim(vectorize=False, codec=codec)
+        _, history, state = run_sim(
+            vectorize=True, codec=codec,
+            backend=PoolBackend(max_workers=2), shared=True,
+        )
+        assert history.accuracies == ref_history.accuracies
+        assert_states_equal(state, ref_state)
+
+    def test_chunked_async_bit_identical(self):
+        _, ref_history, ref_state = run_sim(vectorize=False, async_mode=True)
+        sim, history, state = run_sim(
+            vectorize=True, async_mode=True,
+            backend=PoolBackend(max_workers=2), shared=True,
+        )
+        assert history.accuracies == ref_history.accuracies
+        assert_states_equal(state, ref_state)
+        report = sim.vectorize_report()
+        assert report["rounds_vectorized"] > 0
+        assert 2 in report["chunks"]
+
+
 class TestFallback:
     def test_single_participant_falls_back(self):
         clients, test = make_blob_federation(1, per_client=24, test_size=48)
@@ -162,13 +299,33 @@ class TestFallback:
         assert report["rounds_fallback"] == ROUNDS
         assert "sizes differ" in str(report["fallback_reasons"])
 
-    def test_grad_clip_falls_back(self):
-        config = TrainConfig(epochs=1, batch_size=8, learning_rate=0.1,
-                             grad_clip=1.0)
-        sim, _, _ = run_sim(vectorize=True, config=config)
+    def test_conv_architecture_falls_back_on_ragged_cohorts_only(self):
+        # Conv2d weight gradients contract over batch rows x spatial
+        # positions, so zero-padded rows would change the reduction
+        # extent: ragged cohorts must fall back with a recorded reason,
+        # while equal-size cohorts still vectorize the same arch.
+        def factory():
+            rng = np.random.default_rng(5)
+            return Sequential(
+                Conv2d(1, 3, 3, rng, padding=1), Flatten(), Linear(48, 3, rng),
+            )
+
+        sim, _, _ = run_sim(vectorize=True, factory=factory,
+                            client_sizes=[24, 20, 18])
         report = sim.vectorize_report()
         assert report["rounds_vectorized"] == 0
-        assert "grad_clip" in str(report["fallback_reasons"])
+        assert "ragged cohort" in str(report["fallback_reasons"])
+        assert "Conv2d" in str(report["fallback_reasons"])
+
+        _, ref_history, ref_state = run_sim(vectorize=False, factory=factory,
+                                            client_sizes=[24, 20, 18])
+        _, history, state = run_sim(vectorize=True, factory=factory,
+                                    client_sizes=[24, 20, 18])
+        assert history.accuracies == ref_history.accuracies
+        assert_states_equal(state, ref_state)
+
+        sim, _, _ = run_sim(vectorize=True, factory=factory)
+        assert sim.vectorize_report()["rounds_vectorized"] == ROUNDS
 
     def test_unstackable_architecture_falls_back(self):
         def factory():
@@ -211,6 +368,7 @@ class TestReport:
             "rounds_vectorized": 0,
             "rounds_fallback": 0,
             "fallback_reasons": {},
+            "chunks": {},
         }
 
     def test_transport_report_totals_match_round_records(self):

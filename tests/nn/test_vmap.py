@@ -304,3 +304,73 @@ class TestRejection:
 
     def test_stackable_reason_none_for_supported_model(self):
         assert stackable_reason(MLP(8, 3, np.random.default_rng(0))) is None
+
+
+class TestRaggedRows:
+    """Ragged (zero-padded) stacks: slice ``k`` restricted to its true
+    ``row_counts[k]`` rows must be bit-identical to the member running
+    its true-size batch alone — each member's GEMMs are issued at the
+    member's true row count, so padding never perturbs the reduction."""
+
+    ROWS = [4, 2, 3]
+
+    def ragged_input(self, shape, seed=7):
+        x = stacked_input(shape, seed=seed)
+        for k, rows in enumerate(self.ROWS):
+            x[k, rows:] = 0.0
+        return x
+
+    def ragged_parity(self, members, stacked, x):
+        stacked_in = Tensor(x, requires_grad=True)
+        out = stacked(stacked_in)
+        out.sum().backward()
+        for k, (member, rows) in enumerate(zip(members, self.ROWS)):
+            ref_in = Tensor(x[k, :rows].copy(), requires_grad=True)
+            ref = member(ref_in)
+            ref.sum().backward()
+            assert_exact(out.data[k, :rows], ref.data)
+            assert_exact(stacked_in.grad[k, :rows], ref_in.grad)
+            for sp, mp in zip(stacked.parameters(), member.parameters()):
+                assert_exact(sp.grad[k], mp.grad)
+        # Padded rows contribute exactly nothing, not merely "almost".
+        for k, rows in enumerate(self.ROWS):
+            assert np.all(out.data[k, rows:] == 0.0)
+            assert np.all(stacked_in.grad[k, rows:] == 0.0)
+
+    def test_ragged_linear_bit_exact(self):
+        members = [Linear(5, 3, rng) for rng in rngs()]
+        stacked = stack_modules(members)
+        stacked.set_row_counts(self.ROWS)
+        self.ragged_parity(members, stacked, self.ragged_input((N, 5)))
+
+    def test_ragged_linear_no_bias(self):
+        members = [Linear(5, 3, rng, bias=False) for rng in rngs()]
+        stacked = stack_modules(members)
+        stacked.set_row_counts(self.ROWS)
+        self.ragged_parity(members, stacked, self.ragged_input((N, 5)))
+
+    def test_ragged_mlp_bit_exact(self):
+        members = [MLP(16, 3, np.random.default_rng(40 + i)) for i in range(K)]
+        stacked = stack_modules(members)
+        stacked.set_row_counts(self.ROWS)
+        self.ragged_parity(members, stacked, self.ragged_input((N, 1, 4, 4)))
+
+    def test_clearing_row_counts_restores_rectangular_path(self):
+        members = [Linear(5, 3, rng) for rng in rngs()]
+        stacked = stack_modules(members)
+        stacked.set_row_counts(self.ROWS)
+        stacked.set_row_counts(None)
+        forward_backward_parity(members, stacked, stacked_input((N, 5)))
+
+    def test_ragged_support_reason(self):
+        from repro.nn.vmap import ragged_support_reason
+
+        assert ragged_support_reason(
+            MLP(16, 3, np.random.default_rng(0))
+        ) is None
+        conv_model = Sequential(
+            Conv2d(1, 2, 3, np.random.default_rng(0)), Flatten(),
+            Linear(8, 3, np.random.default_rng(1)),
+        )
+        reason = ragged_support_reason(conv_model)
+        assert reason is not None and "Conv2d" in reason
