@@ -1,0 +1,170 @@
+"""Chaos-hardened cluster benchmark: recovery cost of a seeded fault storm.
+
+One federated run (8 clients, 6 rounds, delta codec) on a fault-free
+pool and on a ``cluster:3`` whose every agent connection is armed with a
+seeded :class:`FaultPlan` mixing frame drops, byte corruption, delays
+and a timed partition.  The run must land **bit-identical** to the
+fault-free pool — recovery re-runs tasks that carry full model state and
+RNG position — so the benchmark measures only what chaos costs in wall
+clock and how much recovery work the FaultReport ledger recorded.
+
+Appends one ``workload="cluster_chaos"`` record to
+``benchmarks/results/bench_runtime.json``::
+
+    {"workload": "cluster_chaos", "clients": ..., "rounds": ...,
+     "workers": ..., "chaos": "<schedule>", "fault_report": {...},
+     "wall_clock_s": ..., "fault_free_wall_clock_s": ...,
+     "slowdown_pct": ...}
+
+Floor assertions:
+
+* chaotic cluster ≡ fault-free pool bitwise (global state + accuracies);
+* the schedule actually fired (recovery counters are non-zero);
+* every task still completed (``tasks_failed == 0``).
+"""
+
+import json
+import os
+import time
+
+import numpy as np
+
+from repro.cluster import ClusterBackend, FaultPlan
+from repro.data.dataset import ArrayDataset, FederatedDataset
+from repro.federated import FedAvgAggregator, FederatedSimulation
+from repro.nn.models import RegistryModelFactory
+from repro.runtime import PoolBackend, usable_cpus
+from repro.training import TrainConfig
+
+RESULTS_PATH = os.path.join(
+    os.path.dirname(__file__), "results", "bench_runtime.json"
+)
+
+NUM_CLIENTS = 8
+PER_CLIENT = 64
+ROUNDS = 6
+WORKERS = 3
+CODEC = "delta"
+CONFIG = TrainConfig(epochs=2, batch_size=16, learning_rate=0.02)
+FACTORY = RegistryModelFactory(name="mlp", num_classes=3, in_channels=1, image_size=8)
+
+#: The benchmark's storm: background drops + corruption + delays, plus a
+#: timed partition early in the run so the reconnect path is on the
+#: clock too.  Seeded — every benchmark run injects the same schedule.
+CHAOS = FaultPlan(
+    seed=404,
+    drop=0.02,
+    corrupt=0.01,
+    delay=0.1,
+    delay_range=(0.001, 0.004),
+    partitions=((30, 0.3),),
+)
+
+
+def _emit(record: dict) -> None:
+    os.makedirs(os.path.dirname(RESULTS_PATH), exist_ok=True)
+    records = []
+    if os.path.exists(RESULTS_PATH):
+        with open(RESULTS_PATH) as handle:
+            records = json.load(handle)
+    records.append(record)
+    with open(RESULTS_PATH, "w") as handle:
+        json.dump(records, handle, indent=2)
+    print(json.dumps(record))
+
+
+def _build_sim(backend):
+    rng = np.random.default_rng(0)
+    means = rng.normal(0.0, 3.0, size=(3, 1, 8, 8))
+    total = NUM_CLIENTS * PER_CLIENT + 60
+    labels = np.arange(total) % 3
+    images = means[labels] + rng.normal(0.0, 0.5, size=(total, 1, 8, 8))
+    full = ArrayDataset(images=images, labels=labels, num_classes=3, name="bench")
+    clients = [
+        full.subset(range(i * PER_CLIENT, (i + 1) * PER_CLIENT))
+        for i in range(NUM_CLIENTS)
+    ]
+    fed = FederatedDataset(
+        client_datasets=clients,
+        test_set=full.subset(range(NUM_CLIENTS * PER_CLIENT, total)),
+    )
+    return FederatedSimulation(
+        FACTORY, fed, FedAvgAggregator(), CONFIG, seed=3, backend=backend,
+        codec=CODEC,
+    )
+
+
+def _run_on(backend):
+    try:
+        sim = _build_sim(backend)
+        start = time.perf_counter()
+        history = sim.run(ROUNDS)
+        wall = time.perf_counter() - start
+        return {
+            "state": sim.server.global_state,
+            "accuracies": history.accuracies,
+            "wall": wall,
+        }
+    finally:
+        backend.close()
+
+
+class TestChaosRecoveryCost:
+    def test_seeded_fault_storm_is_bit_identical_and_metered(self):
+        pool = _run_on(PoolBackend(max_workers=WORKERS))
+        cluster_backend = ClusterBackend(
+            max_workers=WORKERS,
+            max_task_retries=8,
+            heartbeat_interval=0.2,
+            heartbeat_timeout=1.0,
+            frame_timeout=5.0,
+            chaos=CHAOS,
+            agent_options={"backoff_base": 0.05, "backoff_cap": 0.5},
+        )
+        try:
+            sim = _build_sim(cluster_backend)
+            start = time.perf_counter()
+            history = sim.run(ROUNDS)
+            chaotic = {
+                "state": sim.server.global_state,
+                "accuracies": history.accuracies,
+                "wall": time.perf_counter() - start,
+            }
+            # Read the ledger while the coordinator is still up — close()
+            # tears it down along with its counters.
+            report = cluster_backend.fault_report()
+        finally:
+            cluster_backend.close()
+
+        # Bit-identical despite the storm.
+        assert chaotic["accuracies"] == pool["accuracies"]
+        for key, value in pool["state"].items():
+            np.testing.assert_array_equal(value, chaotic["state"][key])
+
+        # The storm really hit, and nothing was lost to it.
+        recovery_work = (
+            report["peer_drops"]
+            + report["corrupt_frames"]
+            + report["reconnects"]
+            + report["charged_retries"]
+            + report["free_requeues"]
+        )
+        assert recovery_work >= 1
+        assert report["tasks_failed"] == 0
+
+        slowdown = (chaotic["wall"] - pool["wall"]) / pool["wall"]
+        _emit(
+            {
+                "workload": "cluster_chaos",
+                "clients": NUM_CLIENTS,
+                "rounds": ROUNDS,
+                "workers": WORKERS,
+                "codec": CODEC,
+                "chaos": CHAOS.format(),
+                "fault_report": report,
+                "wall_clock_s": round(chaotic["wall"], 4),
+                "fault_free_wall_clock_s": round(pool["wall"], 4),
+                "slowdown_pct": round(100 * slowdown, 3),
+                "cpus": usable_cpus(),
+            }
+        )

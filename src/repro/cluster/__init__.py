@@ -6,9 +6,16 @@ every transport speak one wire format
 with them.  Architecture (DIRAC-style pilot jobs):
 
 :mod:`~repro.cluster.wire`
-    :class:`SocketChannel` — length-prefixed frames over TCP presenting
-    the pipe's ``send_bytes``/``recv_bytes`` interface, plus the
-    magic/version handshake and the transport failure taxonomy.
+    :class:`SocketChannel` — CRC32-checked, length-prefixed frames over
+    TCP presenting the pipe's ``send_bytes``/``recv_bytes`` interface,
+    plus the magic/version handshake (optionally HMAC-authenticated)
+    and the transport failure taxonomy.
+:mod:`~repro.cluster.chaos`
+    :class:`FaultPlan` / :class:`NetworkFaultInjector` — seeded,
+    schedule-driven network fault injection (drops, delays, duplicates,
+    corruption, tears, partitions) as a pure function of
+    (seed, peer, frame index), and the :class:`FaultReport` ledger the
+    coordinator stamps into provenance.
 :mod:`~repro.cluster.scheduler`
     :class:`PullScheduler` — the central queue and lease table.  Idle
     agents *pull* tasks; leases expire and resubmit when a node dies,
@@ -29,10 +36,13 @@ with them.  Architecture (DIRAC-style pilot jobs):
 """
 
 from .backend import ClusterBackend
+from .chaos import FaultPlan, FaultReport, NetworkFaultInjector
 from .coordinator import Coordinator
 from .scheduler import PullScheduler
 from .wire import (
+    AuthenticationError,
     ChannelTimeout,
+    FrameCorruption,
     PayloadTooLarge,
     ProtocolMismatch,
     SocketChannel,
@@ -53,9 +63,14 @@ def __getattr__(name):
 
 
 __all__ = [
+    "AuthenticationError",
     "ChannelTimeout",
     "ClusterBackend",
     "Coordinator",
+    "FaultPlan",
+    "FaultReport",
+    "FrameCorruption",
+    "NetworkFaultInjector",
     "PayloadTooLarge",
     "ProtocolMismatch",
     "PullScheduler",

@@ -26,16 +26,19 @@ here — see :mod:`repro.cluster.agent`.
 
 from __future__ import annotations
 
+import os
 import weakref
 from typing import Any, Dict, List, Optional, Sequence
 
 from ..runtime.backends import Backend, SerialBackend, usable_cpus
 from ..runtime.pool import _pool_context
 from ..runtime.wire import TransportStats
+from .chaos import FaultPlan, FaultReport, coerce_plan
 from .coordinator import Coordinator
+from .wire import AUTH_TOKEN_ENV_VAR, DEFAULT_FRAME_TIMEOUT
 
 
-def _agent_process(context, address, agent_id: str):
+def _agent_process(context, address, agent_id: str, kwargs: Dict[str, Any]):
     """One local node-agent subprocess, dialing the loopback coordinator."""
     # Imported here, not at module top: ``python -m repro.cluster.agent``
     # imports this package first, and preloading the agent module would
@@ -44,7 +47,11 @@ def _agent_process(context, address, agent_id: str):
     from .agent import run_agent
 
     process = context.Process(
-        target=run_agent, args=(address,), kwargs={"agent_id": agent_id}, daemon=True
+        target=run_agent,
+        args=(address,),
+        kwargs={"agent_id": agent_id, **kwargs},
+        name=agent_id,
+        daemon=True,
     )
     process.start()
     return process
@@ -83,9 +90,32 @@ class ClusterBackend(Backend):
         ``spawn_agents=False`` to serve agents on other machines.
     spawn_agents:
         When True (default) the backend owns its agents: it spawns them
-        on startup and respawns any that die.  When False it only
-        listens, and :meth:`wait_for_agents` blocks until externally
-        started agents have joined.
+        on startup and respawns any whose *process* dies.  When False it
+        only listens, and :meth:`wait_for_agents` blocks until
+        externally started agents have joined.
+    capacity:
+        Task capacity each spawned agent advertises — the coordinator
+        grants up to this many concurrent leases per agent.
+    heartbeat_interval / heartbeat_timeout:
+        Agents prove liveness every ``heartbeat_interval`` seconds (from
+        a dedicated thread, so long tasks heartbeat too); a peer silent
+        past ``heartbeat_timeout`` (default 3x the interval) is marked
+        suspect and its leases resubmit immediately.
+    auth_token:
+        Shared secret for the handshake's HMAC challenge.  Defaults to
+        ``$REPRO_CLUSTER_TOKEN`` when set; spawned agents inherit it.
+    chaos:
+        A :class:`~repro.cluster.chaos.FaultPlan` (or spec string) armed
+        on every spawned agent's send path — the deterministic fault
+        schedule the chaos tests run under.  Test harness only.
+    respawn:
+        When False, dead agent processes are *not* replaced — the
+        graceful-degradation mode: the cluster shrinks and surviving
+        agents drain the work.
+    agent_options:
+        Extra keyword arguments merged into every spawned agent's
+        :func:`~repro.cluster.agent.run_agent` call (e.g.
+        ``backoff_base`` to speed reconnects up in tests).
     """
 
     name = "cluster"
@@ -98,17 +128,46 @@ class ClusterBackend(Backend):
         host: str = "127.0.0.1",
         port: int = 0,
         spawn_agents: bool = True,
+        capacity: int = 1,
+        heartbeat_interval: float = 5.0,
+        heartbeat_timeout: Optional[float] = None,
+        frame_timeout: float = DEFAULT_FRAME_TIMEOUT,
+        auth_token: Optional[str] = None,
+        chaos: Any = None,
+        respawn: bool = True,
+        agent_options: Optional[Dict[str, Any]] = None,
     ) -> None:
         if max_workers is not None and max_workers < 1:
             raise ValueError(f"max_workers must be >= 1, got {max_workers}")
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
         self.max_workers = max_workers
         self.spawn_agents = spawn_agents
+        self.respawn = respawn
+        self.chaos: Optional[FaultPlan] = coerce_plan(chaos)
+        if auth_token is None:
+            auth_token = os.environ.get(AUTH_TOKEN_ENV_VAR)
         self._init = dict(
             lease_timeout=lease_timeout,
             max_task_retries=max_task_retries,
             host=host,
             port=port,
+            heartbeat_timeout=(
+                heartbeat_timeout
+                if heartbeat_timeout is not None
+                else 3.0 * heartbeat_interval
+            ),
+            frame_timeout=frame_timeout,
+            auth_token=auth_token,
         )
+        self._agent_kwargs = dict(
+            capacity=capacity,
+            heartbeat_interval=heartbeat_interval,
+            auth_token=auth_token,
+            chaos=self.chaos,
+            reconnect=True,
+        )
+        self._agent_kwargs.update(agent_options or {})
         self._max_task_retries = max_task_retries
         self.coordinator: Optional[Coordinator] = None
         self._agents: List[Any] = []
@@ -144,6 +203,9 @@ class ClusterBackend(Backend):
             port=self._init["port"],
             lease_timeout=self._init["lease_timeout"],
             max_task_retries=self._init["max_task_retries"],
+            heartbeat_timeout=self._init["heartbeat_timeout"],
+            frame_timeout=self._init["frame_timeout"],
+            auth_token=self._init["auth_token"],
             on_peer_lost=self._on_peer_lost,
         )
         self.coordinator = coordinator
@@ -153,7 +215,12 @@ class ClusterBackend(Backend):
             count = self.max_workers or max(2, usable_cpus())
             for _ in range(count):
                 self._agents.append(
-                    _agent_process(context, coordinator.address, self._next_agent_id())
+                    _agent_process(
+                        context,
+                        coordinator.address,
+                        self._next_agent_id(),
+                        self._agent_kwargs,
+                    )
                 )
             coordinator.wait_for_peers(count)
 
@@ -162,21 +229,41 @@ class ClusterBackend(Backend):
         return f"node-{self._agent_serial}"
 
     def _on_peer_lost(self, agent_id: str) -> None:
-        """Respawn a locally-owned agent that died (pool respawn's twin).
+        """Replace a locally-owned agent whose *process* died (pool
+        respawn's twin).
 
-        The replacement connects with a fresh identity and a cold
-        broadcast cache, so the next model it is handed ships full.
-        Externally-managed agents (``spawn_agents=False``) are the
-        operator's to restart.
+        Agents heal torn connections themselves (reconnect + backoff),
+        so a peer drop does not automatically mean a dead process —
+        only the processes actually gone are replaced, topping the
+        fleet back up to ``worker_count()``.  A replacement connects
+        with a fresh identity and a cold broadcast cache, so the next
+        model it is handed ships full.  Externally-managed agents
+        (``spawn_agents=False``) are the operator's to restart, and
+        ``respawn=False`` turns replacement off entirely (graceful
+        degradation: survivors drain the work).
         """
-        if not self.spawn_agents or self.coordinator is None:
+        if not self.spawn_agents or not self.respawn or self.coordinator is None:
             return
+        # A dying process closes its socket *before* it becomes reapable,
+        # so the EOF that got us here can land while ``is_alive()`` still
+        # says True.  Wait briefly on the named process to close that
+        # window; a genuinely-alive agent (torn connection, about to
+        # reconnect) just costs the timeout.
+        for process in self._agents:
+            if process.name == agent_id:
+                process.join(timeout=0.5)
+                break
         self._agents[:] = [p for p in self._agents if p.is_alive()]
-        self._agents.append(
-            _agent_process(
-                _pool_context(), self.coordinator.address, self._next_agent_id()
+        count = self.worker_count()
+        while len(self._agents) < count:
+            self._agents.append(
+                _agent_process(
+                    _pool_context(),
+                    self.coordinator.address,
+                    self._next_agent_id(),
+                    self._agent_kwargs,
+                )
             )
-        )
 
     def agent_pids(self) -> List[int]:
         """PIDs of the locally-spawned node agents currently alive."""
@@ -255,6 +342,13 @@ class ClusterBackend(Backend):
         if self.coordinator is None:
             return {}
         return self.coordinator.peer_stats()
+
+    def fault_report(self) -> Dict[str, int]:
+        """The coordinator's fault-tolerance ledger (suspects,
+        reconnects, retries...); all zeros before the cluster starts."""
+        if self.coordinator is None:
+            return FaultReport.zero_dict()
+        return self.coordinator.fault_report()
 
     @property
     def outstanding_tickets(self) -> List[int]:

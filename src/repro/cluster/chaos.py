@@ -1,0 +1,304 @@
+"""Deterministic network fault injection for the cluster transport.
+
+The single-host side of the system already practices seeded fault
+discipline — :mod:`repro.unlearning.faultinject` kills workers by plan
+and tears journals byte-by-byte.  This module extends the same
+discipline across the network boundary: a :class:`FaultPlan` describes a
+*schedule* of transport faults (drops, delays, duplicated frames, byte
+corruption, mid-frame tears, timed partitions), and a
+:class:`NetworkFaultInjector` executes it as a **pure function of
+(seed, peer, frame index)**.  Run the same plan twice and the same
+frames are dropped, the same bytes flipped, the same partitions cut —
+every chaos run is reproducible and therefore debuggable.
+
+Injection happens on the agent's *send* path, inside
+:class:`~repro.cluster.wire.SocketChannel` below the CRC computation —
+the exact place a flaky network lives.  Injected corruption is caught by
+the receiver's real checksum path, injected tears look like genuine
+mid-frame disconnects, and injected partitions look like an unreachable
+host, so chaos exercises the production recovery code, not a simulation
+of it.
+
+Determinism caveat, documented rather than hidden: the fault schedule is
+deterministic *per frame index*, but which protocol message lands on a
+given index can vary run-to-run (the agent's heartbeat thread interleaves
+with its task loop).  The headline invariant does not care: tasks carry
+full state + RNG position and the lease table deduplicates completions,
+so end results are bit-identical regardless of which frames the chaos
+schedule happened to eat.
+
+:class:`FaultReport` is the other half of the story — the coordinator's
+accounting of what the fault tolerance machinery actually did (suspects,
+reconnects, corrupt frames, charged retries), stamped into
+``runtime["cluster"]`` provenance so a chaos run's recovery work is
+visible next to its results.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import threading
+import time
+from dataclasses import dataclass, fields
+from typing import Any, Dict, Optional, Tuple
+
+#: Environment variable consulted for a default fault schedule
+#: (same ``key=value,...`` grammar as :meth:`FaultPlan.parse`).
+CHAOS_ENV_VAR = "REPRO_CLUSTER_CHAOS"
+
+#: Fault kinds in evaluation order.  Probabilities are cumulative bands
+#: over a single uniform draw, so at most one fault fires per frame.
+FAULT_KINDS = ("drop", "duplicate", "corrupt", "tear", "delay")
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A seeded schedule of transport faults.
+
+    Probabilities are per-sent-frame and mutually exclusive (one uniform
+    draw per frame, carved into bands); ``partitions`` lists
+    ``(frame_index, seconds)`` pairs — when the peer's lifetime frame
+    counter crosses ``frame_index``, its connection is cut and reconnects
+    are refused for ``seconds``.  ``max_faults`` caps the total number of
+    injected faults (partitions included) so a schedule can front-load
+    chaos and then let the run settle; ``None`` means unbounded.
+    """
+
+    seed: int = 0
+    drop: float = 0.0
+    duplicate: float = 0.0
+    corrupt: float = 0.0
+    tear: float = 0.0
+    delay: float = 0.0
+    delay_range: Tuple[float, float] = (0.001, 0.01)
+    partitions: Tuple[Tuple[int, float], ...] = ()
+    max_faults: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        total = self.drop + self.duplicate + self.corrupt + self.tear + self.delay
+        if total > 1.0 + 1e-9:
+            raise ValueError(
+                f"fault probabilities sum to {total:.3f} > 1.0 "
+                "(they share one uniform draw per frame)"
+            )
+        for kind in FAULT_KINDS:
+            if getattr(self, kind) < 0.0:
+                raise ValueError(f"{kind} probability must be >= 0")
+
+    @property
+    def active(self) -> bool:
+        return bool(
+            self.drop
+            or self.duplicate
+            or self.corrupt
+            or self.tear
+            or self.delay
+            or self.partitions
+        )
+
+    @classmethod
+    def parse(cls, spec: str) -> "FaultPlan":
+        """Build a plan from a ``key=value,...`` string — the grammar the
+        agent CLI's ``--chaos`` flag and :data:`CHAOS_ENV_VAR` speak.
+
+        Example: ``seed=7,drop=0.05,delay=0.1,partition=40@0.5+90@0.25``
+        (partitions are ``FRAME@SECONDS`` pairs joined by ``+``).
+        """
+        kwargs: Dict[str, Any] = {}
+        spec = spec.strip()
+        if spec:
+            for part in spec.split(","):
+                if not part.strip():
+                    continue
+                if "=" not in part:
+                    raise ValueError(
+                        f"bad chaos spec item {part!r} (want key=value)"
+                    )
+                key, _, value = part.partition("=")
+                key, value = key.strip(), value.strip()
+                if key == "seed":
+                    kwargs["seed"] = int(value)
+                elif key in FAULT_KINDS:
+                    kwargs[key] = float(value)
+                elif key == "delay_range":
+                    # Canonically LO~HI; ":" is accepted too but never
+                    # emitted — a colon inside the plan would collide
+                    # with the colon-separated backend spec grammar
+                    # (``cluster:2:chaos=...``).
+                    sep = "~" if "~" in value else ":"
+                    lo, _, hi = value.partition(sep)
+                    kwargs["delay_range"] = (float(lo), float(hi))
+                elif key == "max_faults":
+                    kwargs["max_faults"] = int(value)
+                elif key == "partition":
+                    cuts = []
+                    for cut in value.split("+"):
+                        frame_s, _, seconds_s = cut.partition("@")
+                        cuts.append((int(frame_s), float(seconds_s)))
+                    kwargs["partitions"] = tuple(cuts)
+                else:
+                    known = ", ".join(
+                        ("seed",) + FAULT_KINDS
+                        + ("delay_range", "partition", "max_faults")
+                    )
+                    raise ValueError(
+                        f"unknown chaos spec key {key!r} (known: {known})"
+                    )
+        return cls(**kwargs)
+
+    def format(self) -> str:
+        """The inverse of :meth:`parse` — a spec string other processes
+        can rebuild this plan from (how spawned agents inherit chaos)."""
+        parts = [f"seed={self.seed}"]
+        for kind in FAULT_KINDS:
+            value = getattr(self, kind)
+            if value:
+                parts.append(f"{kind}={value!r}")
+        if self.delay and self.delay_range != (0.001, 0.01):
+            parts.append(f"delay_range={self.delay_range[0]!r}~{self.delay_range[1]!r}")
+        if self.partitions:
+            cuts = "+".join(f"{frame}@{seconds!r}" for frame, seconds in self.partitions)
+            parts.append(f"partition={cuts}")
+        if self.max_faults is not None:
+            parts.append(f"max_faults={self.max_faults}")
+        return ",".join(parts)
+
+    @classmethod
+    def from_env(cls) -> Optional["FaultPlan"]:
+        spec = os.environ.get(CHAOS_ENV_VAR)
+        return cls.parse(spec) if spec else None
+
+    def as_dict(self) -> Dict[str, Any]:
+        out: Dict[str, Any] = {"seed": self.seed}
+        for kind in FAULT_KINDS:
+            value = getattr(self, kind)
+            if value:
+                out[kind] = value
+        if self.partitions:
+            out["partitions"] = [list(cut) for cut in self.partitions]
+        if self.max_faults is not None:
+            out["max_faults"] = self.max_faults
+        return out
+
+
+def coerce_plan(chaos: Any) -> Optional[FaultPlan]:
+    """Accept a :class:`FaultPlan`, a spec string, or ``None``."""
+    if chaos is None:
+        return None
+    if isinstance(chaos, FaultPlan):
+        return chaos
+    if isinstance(chaos, str):
+        return FaultPlan.parse(chaos)
+    raise TypeError(f"chaos must be a FaultPlan or spec string, got {type(chaos)!r}")
+
+
+def _unit_float(seed: int, peer: str, index: int, salt: str) -> float:
+    """A uniform float in [0, 1) as a pure function of its arguments —
+    blake2b keyed by the schedule coordinates, no shared RNG state."""
+    digest = hashlib.blake2b(
+        f"{seed}|{peer}|{salt}|{index}".encode("utf-8"), digest_size=8
+    ).digest()
+    return int.from_bytes(digest, "big") / float(1 << 64)
+
+
+class NetworkFaultInjector:
+    """Executes a :class:`FaultPlan` for one peer's send path.
+
+    The frame counter is **per agent lifetime**, not per connection — it
+    survives reconnects, so a schedule like "tear at frame 40, partition
+    at frame 90" unfolds across the very reconnections it causes.  The
+    injector is handed to each successive :class:`SocketChannel` the
+    agent opens; ``next_send_fault`` is called once per outgoing frame
+    and returns either ``None`` (deliver faithfully) or a
+    ``(kind, parameter)`` pair the channel acts out.
+
+    Thread-safe: the agent's heartbeat thread and task loop send
+    concurrently, and both the counter increment and the fault decision
+    happen under one lock so every frame index is consumed exactly once.
+    """
+
+    def __init__(self, plan: FaultPlan, peer: str) -> None:
+        self.plan = plan
+        self.peer = peer
+        self._lock = threading.Lock()
+        self._frame_index = 0
+        self._faults_injected = 0
+        self._partition_until = 0.0
+        self._partitions_fired = 0
+        self.counters: Dict[str, int] = {kind: 0 for kind in FAULT_KINDS}
+        self.counters["partition"] = 0
+
+    def next_send_fault(self) -> Optional[Tuple[str, Any]]:
+        """Decide the fate of the next outgoing frame.  Returns ``None``
+        or ``(kind, param)``; param is the delay seconds for ``delay``,
+        the position fraction for ``corrupt``/``tear``, and the partition
+        duration for ``partition``."""
+        plan = self.plan
+        with self._lock:
+            index = self._frame_index
+            self._frame_index += 1
+            budget_left = (
+                plan.max_faults is None or self._faults_injected < plan.max_faults
+            )
+            # Timed partitions trump the probability bands: they are
+            # scheduled by absolute frame index, not drawn.
+            if budget_left and self._partitions_fired < len(plan.partitions):
+                cut_frame, seconds = plan.partitions[self._partitions_fired]
+                if index >= cut_frame:
+                    self._partitions_fired += 1
+                    self._faults_injected += 1
+                    self.counters["partition"] += 1
+                    self._partition_until = time.monotonic() + seconds
+                    return ("partition", seconds)
+            if not budget_left:
+                return None
+            draw = _unit_float(plan.seed, self.peer, index, "send")
+            cursor = 0.0
+            for kind in FAULT_KINDS:
+                cursor += getattr(plan, kind)
+                if draw < cursor:
+                    self._faults_injected += 1
+                    self.counters[kind] += 1
+                    param = _unit_float(plan.seed, self.peer, index, f"param:{kind}")
+                    if kind == "delay":
+                        lo, hi = plan.delay_range
+                        return (kind, lo + param * (hi - lo))
+                    return (kind, param)
+            return None
+
+    def partition_remaining(self) -> float:
+        """Seconds until an active partition heals (0.0 when none) — the
+        agent's reconnect loop waits this out before dialling again,
+        modelling the unreachable-host half of a partition."""
+        with self._lock:
+            return max(0.0, self._partition_until - time.monotonic())
+
+    def fault_counts(self) -> Dict[str, int]:
+        with self._lock:
+            return {k: v for k, v in self.counters.items() if v}
+
+
+@dataclass
+class FaultReport:
+    """What the fault-tolerance machinery did during a run — the
+    coordinator's side of the chaos ledger, merged from its own counters
+    and the scheduler's, and stamped into ``runtime["cluster"]``."""
+
+    suspects: int = 0
+    suspect_recoveries: int = 0
+    reconnects: int = 0
+    peer_drops: int = 0
+    corrupt_frames: int = 0
+    charged_retries: int = 0
+    free_requeues: int = 0
+    lease_expiries: int = 0
+    tasks_failed: int = 0
+    stale_completions: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    @classmethod
+    def zero_dict(cls) -> Dict[str, int]:
+        return cls().as_dict()

@@ -21,10 +21,14 @@ Pull protocol (all messages are framed tuples, see
 
 ``("pull",)``
     The agent is idle.  If the queue has work, the coordinator answers
-    with a task grant; otherwise the pull is **parked** — no reply —
-    until a batch arrives, at which point parked peers are fed first.
-    The agent meanwhile heartbeats on an idle-recv timeout, so a parked
-    connection is distinguishable from a dead one.
+    with up to ``capacity`` task grants (the capacity the agent
+    advertised at handshake, tracked as per-peer outstanding leases);
+    otherwise the pull is **parked** — no reply — until a batch
+    arrives, at which point idle capacity is fed first.  The agent
+    meanwhile heartbeats on a timer, so a parked connection is
+    distinguishable from a dead one — and because heartbeats also
+    trigger grants, a pull whose frames the network ate is healed by
+    the next heartbeat instead of deadlocking the pair.
 ``("task", lease_id, task_bytes, broadcast)``
     One granted task.  The model state is lifted out of the pickle and
     shipped ref/delta/full against this peer's broadcast cache, exactly
@@ -37,6 +41,22 @@ Pull protocol (all messages are framed tuples, see
     scheduler, so exactly one completion lands per task slot.
 ``("heartbeat",)`` / ``("shutdown",)``
     Liveness while parked; coordinated teardown.
+``("corrupt", reason)``
+    The agent received a frame it could not trust (checksum mismatch,
+    undecodable stream).  Its connection state is unknowable, so the
+    coordinator drops it **charge-free** — the agent reconnects with a
+    cold cache and the tasks it held requeue without spending their
+    retry budgets, because a transport fault is never the task's fault.
+
+Liveness: when ``heartbeat_timeout`` is set, a peer silent past the
+deadline is marked **suspect** — its leases are released immediately
+(charged, like a worker death) instead of waiting out the full lease
+timeout, and it receives no further grants.  The connection stays open:
+a suspect that speaks again is recovered (counted, granted work again),
+and its late results for released leases are dropped by the lease
+table.  Every suspect/recovery/reconnect/drop is tallied into the
+:meth:`Coordinator.fault_report` ledger that runs stamp into
+``runtime["cluster"]`` provenance.
 
 Byte accounting: task dispatches and results are charged to their
 batch's :class:`~repro.runtime.wire.TransportStats` with the same
@@ -63,10 +83,13 @@ from ..runtime.codec import (
 )
 from ..runtime.pool import _broadcast_field
 from ..runtime.wire import TransportStats
+from .chaos import FaultReport
 from .scheduler import Lease, PullScheduler
 from .wire import (
+    DEFAULT_FRAME_TIMEOUT,
     DEFAULT_MAX_FRAME_BYTES,
-    ProtocolMismatch,
+    FrameCorruption,
+    PayloadTooLarge,
     SocketChannel,
     WireError,
     listen,
@@ -86,7 +109,7 @@ class _Peer:
         "pid",
         "cache_version",
         "cache_state",
-        "parked",
+        "suspect",
         "last_seen",
         "stats",
     )
@@ -94,11 +117,11 @@ class _Peer:
     def __init__(self, agent_id: str, channel: SocketChannel, info: Dict[str, Any]) -> None:
         self.agent_id = agent_id
         self.channel = channel
-        self.capacity = int(info.get("capacity") or 1)
+        self.capacity = max(1, int(info.get("capacity") or 1))
         self.pid = info.get("pid")
         self.cache_version: Optional[str] = None
         self.cache_state = None
-        self.parked = False
+        self.suspect = False
         self.last_seen = time.monotonic()
         self.stats = TransportStats()
 
@@ -119,6 +142,17 @@ class Coordinator:
     max_task_retries:
         Per-task budget of peer losses before the batch fails, identical
         to the pool's worker-death budget.
+    heartbeat_timeout:
+        Seconds of peer silence before it is marked suspect and its
+        leases released immediately.  ``None`` (the default) disables
+        suspicion and falls back to lease expiry alone;
+        :class:`~repro.cluster.backend.ClusterBackend` enables it at
+        3x the agents' heartbeat interval.
+    frame_timeout:
+        Mid-frame stall budget handed to every accepted peer channel.
+    auth_token:
+        Shared secret for the handshake's HMAC challenge; ``None``
+        admits any protocol-compatible peer (loopback default).
     on_peer_lost:
         Optional callback ``(agent_id) -> None`` fired after a peer's
         connection drops and its leases are requeued — the hook
@@ -133,12 +167,22 @@ class Coordinator:
         lease_timeout: float = 120.0,
         max_task_retries: int = 1,
         max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES,
+        heartbeat_timeout: Optional[float] = None,
+        frame_timeout: float = DEFAULT_FRAME_TIMEOUT,
+        auth_token: Optional[str] = None,
         on_peer_lost: Optional[Callable[[str], None]] = None,
     ) -> None:
+        if heartbeat_timeout is not None and heartbeat_timeout <= 0:
+            raise ValueError(
+                f"heartbeat_timeout must be > 0 or None, got {heartbeat_timeout}"
+            )
         self.scheduler = PullScheduler(
             lease_timeout=lease_timeout, max_task_retries=max_task_retries
         )
         self.max_frame_bytes = max_frame_bytes
+        self.heartbeat_timeout = heartbeat_timeout
+        self.frame_timeout = frame_timeout
+        self.auth_token = auth_token
         self.on_peer_lost = on_peer_lost
         self._listener = listen(host, port)
         self._peers: Dict[str, _Peer] = {}
@@ -147,6 +191,14 @@ class Coordinator:
         self._delta_memo: Dict[Tuple[str, str], bytes] = {}
         self._anon_peers = 0
         self._closed = False
+        # Fault-tolerance ledger (the coordinator's half of fault_report;
+        # the scheduler keeps the retry-budget half).
+        self._seen_ids: set = set()
+        self.suspects = 0
+        self.suspect_recoveries = 0
+        self.reconnects = 0
+        self.peer_drops = 0
+        self.corrupt_frames = 0
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -214,7 +266,7 @@ class Coordinator:
                     del self._ticket_stats[stale]
                 if len(self._ticket_stats) <= 512:
                     break
-        self._feed_parked()
+        self._feed_idle()
         return ticket
 
     def drain(self, ticket: int) -> List[Any]:
@@ -224,8 +276,9 @@ class Coordinator:
             self.pump(timeout=0.2)
             # A batch with work left but no peers to run it cannot finish;
             # give respawns/reconnects one lease window, then fail loudly
-            # instead of spinning forever.
-            if self._peers:
+            # instead of spinning forever.  Suspect peers do not count —
+            # they receive no grants, so they cannot finish the batch.
+            if any(not peer.suspect for peer in self._peers.values()):
                 starved_since = None
             elif starved_since is None:
                 starved_since = time.monotonic()
@@ -273,15 +326,29 @@ class Coordinator:
         """Per-connected-peer byte counters (control traffic included)."""
         return {agent_id: peer.stats for agent_id, peer in self._peers.items()}
 
+    def fault_report(self) -> Dict[str, int]:
+        """The run's fault-tolerance ledger: what the liveness, retry,
+        and integrity machinery actually did.  Merged from the
+        coordinator's connection-level counters and the scheduler's
+        retry-budget counters; stamped into ``runtime["cluster"]``."""
+        return FaultReport(
+            suspects=self.suspects,
+            suspect_recoveries=self.suspect_recoveries,
+            reconnects=self.reconnects,
+            peer_drops=self.peer_drops,
+            corrupt_frames=self.corrupt_frames,
+            **self.scheduler.fault_counters(),
+        ).as_dict()
+
     # ------------------------------------------------------------------
     # The event pump
     # ------------------------------------------------------------------
     def pump(self, timeout: float) -> None:
         """One scheduling step: accept joiners, service ready peers,
-        expire overdue leases, feed parked pulls."""
+        suspect the silent, expire overdue leases, feed idle capacity."""
         if self._closed:
             return
-        self._feed_parked()
+        self._feed_idle()
         waitables: List[Any] = [self._listener]
         by_channel: Dict[Any, _Peer] = {}
         for peer in self._peers.values():
@@ -297,24 +364,54 @@ class Coordinator:
                 peer = by_channel[obj]
                 if peer.agent_id in self._peers:  # not dropped this pump
                     self._service(peer)
+        self._check_liveness()
         if self.scheduler.expire_leases():
-            self._feed_parked()
+            self._feed_idle()
+
+    def _check_liveness(self) -> None:
+        """Heartbeat-deadline liveness: a peer silent past the deadline
+        is suspect — release its leases *now* (charged, like a worker
+        death) rather than waiting out the full lease timeout.  The
+        connection stays open so a recovered peer can resume."""
+        if self.heartbeat_timeout is None:
+            return
+        now = time.monotonic()
+        fed = False
+        for peer in self._peers.values():
+            if not peer.suspect and now - peer.last_seen > self.heartbeat_timeout:
+                peer.suspect = True
+                self.suspects += 1
+                if self.scheduler.release_peer(peer.agent_id):
+                    fed = True
+        if fed:
+            self._feed_idle()
 
     def _accept(self) -> None:
         try:
             sock, _ = self._listener.accept()
         except OSError:
             return
-        channel = SocketChannel(sock, max_frame_bytes=self.max_frame_bytes)
+        channel = SocketChannel(
+            sock,
+            max_frame_bytes=self.max_frame_bytes,
+            frame_timeout=self.frame_timeout,
+        )
         try:
-            info = server_handshake(channel)
-        except ProtocolMismatch:
+            info = server_handshake(channel, auth_token=self.auth_token)
+        except (EOFError, WireError, OSError):
+            # Bad hello (mismatch, auth failure, garbled or torn frames)
+            # or a welcome that could not be sent: not a peer.  The dial
+            # side retries; an event-loop crash would take the whole
+            # cluster down over one broken joiner.
             channel.close()
             return
         agent_id = str(info.get("agent_id") or "")
         if not agent_id:
             self._anon_peers += 1
             agent_id = f"agent-{self._anon_peers}"
+        if agent_id in self._seen_ids:
+            self.reconnects += 1
+        self._seen_ids.add(agent_id)
         stale = self._peers.pop(agent_id, None)
         if stale is not None:
             # Reconnect under the same identity: the old connection is
@@ -323,7 +420,7 @@ class Coordinator:
             # the full-state path (reconnect == pool respawn).
             stale.channel.close()
             if self.scheduler.release_peer(agent_id):
-                self._feed_parked()
+                self._feed_idle()
         peer = _Peer(agent_id, channel, info)
         # Handshake traffic, charged to the peer and the totals only.
         peer.stats.bytes_up += channel.bytes_received
@@ -335,10 +432,25 @@ class Coordinator:
     def _service(self, peer: _Peer) -> None:
         try:
             message, nbytes = recv_message(peer.channel)
+        except (FrameCorruption, PayloadTooLarge):
+            # The stream is damaged, not the peer: after a bad frame the
+            # byte stream cannot be resynchronised, so drop the
+            # connection — but charge-free, because a transport fault is
+            # never the leased task's fault.  The agent reconnects with
+            # a cold cache and the work resubmits.
+            self.corrupt_frames += 1
+            self._drop_peer(peer, charge=False)
+            return
         except (EOFError, WireError, OSError):
             self._drop_peer(peer)
             return
         peer.last_seen = time.monotonic()
+        if peer.suspect:
+            # Spoke again before reconnecting: recovered.  Its released
+            # leases stay released (late results drop harmlessly); it is
+            # simply eligible for grants again.
+            peer.suspect = False
+            self.suspect_recoveries += 1
         peer.stats.bytes_up += nbytes
         self._totals.bytes_up += nbytes
         kind = message[0] if isinstance(message, tuple) and message else None
@@ -352,23 +464,37 @@ class Coordinator:
                 peer.cache_version = None
                 peer.cache_state = None
             self.scheduler.complete(lease_id, error, payload, nbytes)
+            self._grant(peer)  # top idle capacity back up immediately
         elif kind == "heartbeat":
-            pass
+            # Heartbeats double as grant opportunities: if the network
+            # ate a pull (or this peer just recovered from suspicion),
+            # the next heartbeat re-offers its idle capacity instead of
+            # leaving the pair deadlocked.
+            self._grant(peer)
+        elif kind == "corrupt":
+            # The agent could not trust a frame *we* sent; its stream
+            # position is unknowable, so retire this connection (charge-
+            # free) and let the agent reconnect fresh.
+            self.corrupt_frames += 1
+            self._drop_peer(peer, charge=False)
         else:
             # Unknown message: protocol violation — drop the peer rather
             # than guess at the stream state.
             self._drop_peer(peer)
 
     def _grant(self, peer: _Peer) -> None:
-        """Answer a pull: lease out the next task, or park the pull."""
-        while True:
+        """Feed a peer's idle capacity: lease tasks until its advertised
+        capacity is full or the queue runs dry (then the pull parks)."""
+        while (
+            not peer.suspect
+            and peer.agent_id in self._peers
+            and self.scheduler.outstanding_for(peer.agent_id) < peer.capacity
+        ):
             lease = self.scheduler.next_task(peer.agent_id)
             if lease is None:
-                peer.parked = True
-                return
-            peer.parked = False
+                return  # queue empty: parked until the next submit
             if self._dispatch(peer, lease):
-                return
+                continue  # granted; keep topping up spare capacity
             if peer.agent_id not in self._peers:
                 return  # peer died mid-dispatch; its pull dies with it
             # Task was completed inline (unpicklable); keep feeding this
@@ -448,23 +574,28 @@ class Coordinator:
         except Exception as exc:
             self.scheduler.complete(lease.lease_id, f"{type(exc).__name__}: {exc}", None)
 
-    def _drop_peer(self, peer: _Peer) -> None:
-        """Connection-level failure: requeue the peer's leases (charging
-        their retry budgets), notify the owner, feed survivors."""
+    def _drop_peer(self, peer: _Peer, charge: bool = True) -> None:
+        """Connection-level failure: requeue the peer's leases (charged
+        against their retry budgets unless the loss was provably the
+        transport's fault), notify the owner, feed survivors."""
         peer.channel.close()
         self._peers.pop(peer.agent_id, None)
-        self.scheduler.release_peer(peer.agent_id)
+        self.peer_drops += 1
+        self.scheduler.release_peer(peer.agent_id, charge=charge)
         if self.on_peer_lost is not None:
             self.on_peer_lost(peer.agent_id)
-        self._feed_parked()
+        self._feed_idle()
 
-    def _feed_parked(self) -> None:
+    def _feed_idle(self) -> None:
+        """Offer pending work to every live peer with spare capacity —
+        how parked pulls wake on submit and how a shrunken cluster keeps
+        draining on the survivors (graceful degradation)."""
         if not self.scheduler.has_pending:
             return
         for peer in list(self._peers.values()):
             if not self.scheduler.has_pending:
                 return
-            if peer.parked and peer.agent_id in self._peers:
+            if peer.agent_id in self._peers:
                 self._grant(peer)
 
     def _prune_delta_memo(self, keep: int = 8) -> None:

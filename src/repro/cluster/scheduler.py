@@ -20,10 +20,18 @@ therefore carries all the semantics that must match the pool exactly:
   charged against the same ``max_task_retries`` budget the pool uses
   for worker deaths — so a task that keeps killing its hosts fails the
   batch instead of looping forever, and a single dead node costs one
-  resubmission, not the run;
+  resubmission, not the run.  Losses that are provably the transport's
+  fault, not the task's — a corrupt frame, a failed dispatch — requeue
+  **charge-free** (``release_peer(peer, charge=False)`` /
+  :meth:`rescind`), so a noisy network cannot exhaust a task's budget;
 * completions are keyed by lease id, so a result from an expired lease
   (the slow peer finished after we gave up on it) is recognised and
-  dropped instead of double-filling the batch slot.
+  dropped instead of double-filling the batch slot — also what makes a
+  chaos-duplicated result frame harmless;
+* grants are **capacity-aware**: :meth:`outstanding_for` counts each
+  peer's live leases and the coordinator grants up to the capacity the
+  agent advertised at handshake, so a ``--capacity 4`` node pipelines
+  four tasks while a default node keeps the one-at-a-time pull rhythm.
 
 Determinism: tasks carry their full model state and RNG position, so
 *which* peer runs a task, in what order, after how many lease
@@ -95,8 +103,17 @@ class PullScheduler:
         self._batches: Dict[int, BatchState] = {}
         self._leases: Dict[int, Lease] = {}
         self._deaths: Dict[Tuple[int, int], int] = {}  # (ticket, index) -> losses
+        self._outstanding: Dict[Any, int] = {}  # peer -> live lease count
         self._next_ticket = 0
         self._next_lease = 0
+        # Fault-tolerance ledger, folded into the coordinator's
+        # FaultReport: how often the retry budget was charged, how often
+        # a loss was forgiven, and how work was lost.
+        self.charged_losses = 0
+        self.free_requeues = 0
+        self.leases_expired = 0
+        self.tasks_failed = 0
+        self.stale_completions = 0
 
     # ------------------------------------------------------------------
     # Batch lifecycle (coordinator-facing)
@@ -136,6 +153,7 @@ class PullScheduler:
         self._pending.clear()
         self._leases.clear()
         self._deaths.clear()
+        self._outstanding.clear()
         for batch in self._batches.values():
             if batch.remaining:
                 batch.errors.append(reason)
@@ -155,7 +173,13 @@ class PullScheduler:
         lease = Lease(self._next_lease, peer, item, now + self.lease_timeout)
         self._next_lease += 1
         self._leases[lease.lease_id] = lease
+        self._outstanding[peer] = self._outstanding.get(peer, 0) + 1
         return lease
+
+    def outstanding_for(self, peer: Any) -> int:
+        """Live leases held by ``peer`` — the number the coordinator
+        compares against the peer's advertised capacity before granting."""
+        return self._outstanding.get(peer, 0)
 
     def complete(
         self, lease_id: int, error: Optional[str], payload: Any, nbytes: int = 0
@@ -170,10 +194,19 @@ class PullScheduler:
         """
         lease = self._leases.pop(lease_id, None)
         if lease is None:
+            self.stale_completions += 1
             return False
+        self._forget_outstanding(lease.peer)
         ticket, index, _ = lease.item
         self._record(ticket, index, error, payload, nbytes)
         return True
+
+    def _forget_outstanding(self, peer: Any) -> None:
+        count = self._outstanding.get(peer, 0) - 1
+        if count > 0:
+            self._outstanding[peer] = count
+        else:
+            self._outstanding.pop(peer, None)
 
     def lease_for(self, lease_id: int) -> Optional[Lease]:
         return self._leases.get(lease_id)
@@ -185,23 +218,30 @@ class PullScheduler:
         cannot be its fault.  Mirrors the pool's send-failure path."""
         lease = self._leases.pop(lease_id, None)
         if lease is not None:
+            self._forget_outstanding(lease.peer)
+            self.free_requeues += 1
             self._pending.appendleft(lease.item)
 
     # ------------------------------------------------------------------
     # Failure handling
     # ------------------------------------------------------------------
-    def release_peer(self, peer: Any) -> List[WorkItem]:
-        """A peer disconnected: requeue everything it held.
+    def release_peer(self, peer: Any, charge: bool = True) -> List[WorkItem]:
+        """A peer disconnected (or was marked suspect): requeue
+        everything it held.
 
-        Each lost task is charged one retry (the peer died *while running
-        it*, exactly like a pool worker death); tasks over budget fail
-        their batch.  Returns the items that were requeued.
+        With ``charge=True`` each lost task is charged one retry (the
+        peer died *while running it*, exactly like a pool worker death)
+        and tasks over budget fail their batch.  ``charge=False`` is for
+        losses that are provably the transport's fault — a corrupt frame
+        forced the drop, the task itself is blameless — and requeues
+        without touching the budget.  Returns the items requeued.
         """
         lost = [lease for lease in self._leases.values() if lease.peer == peer]
         requeued = []
         for lease in lost:
             del self._leases[lease.lease_id]
-            if self._requeue(lease.item):
+            self._forget_outstanding(lease.peer)
+            if self._requeue(lease.item, charge=charge):
                 requeued.append(lease.item)
         return requeued
 
@@ -213,18 +253,26 @@ class PullScheduler:
         requeued = []
         for lease in expired:
             del self._leases[lease.lease_id]
+            self._forget_outstanding(lease.peer)
+            self.leases_expired += 1
             if self._requeue(lease.item):
                 requeued.append(lease.item)
         return requeued
 
-    def _requeue(self, item: WorkItem) -> bool:
+    def _requeue(self, item: WorkItem, charge: bool = True) -> bool:
         """Front-of-queue resubmission with the pool's retry budget.
         Returns whether the item went back in the queue (False → its
         batch was charged an error instead)."""
         ticket, index, _ = item
+        if not charge:
+            self.free_requeues += 1
+            self._pending.appendleft(item)
+            return True
         deaths = self._deaths.get((ticket, index), 0) + 1
         self._deaths[(ticket, index)] = deaths
+        self.charged_losses += 1
         if deaths > self.max_task_retries:
+            self.tasks_failed += 1
             self._record(
                 ticket,
                 index,
@@ -239,6 +287,16 @@ class PullScheduler:
         # work, so it should not wait behind a long backlog.
         self._pending.appendleft(item)
         return True
+
+    def fault_counters(self) -> Dict[str, int]:
+        """The scheduler's slice of the coordinator's FaultReport."""
+        return {
+            "charged_retries": self.charged_losses,
+            "free_requeues": self.free_requeues,
+            "lease_expiries": self.leases_expired,
+            "tasks_failed": self.tasks_failed,
+            "stale_completions": self.stale_completions,
+        }
 
     def _record(
         self, ticket: int, index: int, error: Optional[str], payload: Any, nbytes: int = 0

@@ -49,7 +49,7 @@ from ..federated import RoundHistoryStore, attach_history
 from ..federated.metering import state_bytes
 from ..federated.simulation import make_aggregator, FederatedSimulation
 from ..nn.module import Module
-from ..runtime import BackendLike
+from ..runtime import BackendLike, get_backend
 from ..training import evaluate, train
 from ..unlearning import ShardedClientTrainer, UnlearnOutcome
 from ..unlearning.registry import (
@@ -851,6 +851,15 @@ def run_matrix(
     cache_hits = cache_misses = 0
     transport_totals: Dict[str, Any] = {}
     vectorize_totals: Dict[str, Any] = {}
+    # Cluster fault accounting: the resolved backend is shared (and
+    # cached) process-wide, so its FaultReport counters are cumulative —
+    # snapshot them now and stamp this run's *delta* into provenance.
+    run_backend = get_backend(None)
+    cluster_before = (
+        run_backend.fault_report()
+        if hasattr(run_backend, "fault_report")
+        else None
+    )
     result = ExperimentResult(
         experiment_id=exp.experiment_id,
         title=exp.title,
@@ -976,6 +985,11 @@ def run_matrix(
     if cache_enabled:
         result.runtime["pretrain_cache"] = {
             "hits": cache_hits, "misses": cache_misses,
+        }
+    if cluster_before is not None:
+        after = run_backend.fault_report()
+        result.runtime["cluster"] = {
+            key: after[key] - cluster_before.get(key, 0) for key in after
         }
     result.runtime["engine"] = (
         "async" if exp.scenario.federation.async_mode else "sync"

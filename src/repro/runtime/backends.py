@@ -42,8 +42,9 @@ Pick a backend by name with :func:`get_backend` (``"serial"``,
 colon — ``get_backend("process:8")``, ``get_backend("pool:4")`` — plus
 ``key=value`` options after that: ``"pool:8:retries=2"`` sets the
 pool's ``max_task_retries`` worker-death budget, and
-``"cluster:4:retries=2:lease=60"`` additionally bounds how long a
-silent node holds a task before it is resubmitted.  When the spec is
+``"cluster:4:retries=2:lease=60:capacity=2"`` additionally bounds how
+long a silent node holds a task before it is resubmitted and how many
+concurrent leases each agent may pipeline.  When the spec is
 ``None`` the ``REPRO_BACKEND`` environment variable (same syntax) is
 consulted before falling back to serial, so scripts and the experiment
 CLI can size pools without constructing ``Backend`` objects.  ``"pool"``
@@ -283,6 +284,8 @@ def _make_cluster(
     max_workers: Optional[int] = None,
     retries: Optional[int] = None,
     lease: Optional[int] = None,
+    capacity: Optional[int] = None,
+    chaos: Optional[str] = None,
 ) -> Backend:
     """Shared clusters: one localhost cluster per spec configuration.
 
@@ -294,13 +297,17 @@ def _make_cluster(
     """
     from ..cluster.backend import ClusterBackend
 
-    key = (max_workers, retries, lease)
+    key = (max_workers, retries, lease, capacity, chaos)
     if key not in _CLUSTERS:
         kwargs: dict = {}
         if retries is not None:
             kwargs["max_task_retries"] = retries
         if lease is not None:
             kwargs["lease_timeout"] = float(lease)
+        if capacity is not None:
+            kwargs["capacity"] = capacity
+        if chaos is not None:
+            kwargs["chaos"] = chaos
         _CLUSTERS[key] = ClusterBackend(max_workers=max_workers, **kwargs)
     return _CLUSTERS[key]
 
@@ -329,8 +336,17 @@ BackendLike = Union[None, str, Backend]
 #: Options a backend spec may carry after the worker count, per backend
 #: name.  ``retries`` → the per-task worker/node-death budget
 #: (``max_task_retries``); ``lease`` → the cluster's task-lease timeout
-#: in seconds before a silent node's work is resubmitted.
-_SPEC_OPTIONS = {"pool": {"retries"}, "cluster": {"retries", "lease"}}
+#: in seconds before a silent node's work is resubmitted; ``capacity``
+#: → concurrent leases each cluster agent may hold (pipelined grants);
+#: ``chaos`` → a seeded fault schedule (``repro.cluster.chaos`` grammar,
+#: e.g. ``chaos=seed=7,drop=0.05``) armed on every agent connection.
+_SPEC_OPTIONS = {
+    "pool": {"retries"},
+    "cluster": {"retries", "lease", "capacity", "chaos"},
+}
+
+#: Spec options whose values stay strings (everything else parses as int).
+_STRING_OPTIONS = {"chaos"}
 
 
 def parse_backend_spec(spec: str) -> tuple:
@@ -365,6 +381,21 @@ def parse_backend_spec(spec: str) -> tuple:
                 )
             if key in options:
                 raise ValueError(f"duplicate option {key!r} in spec {spec!r}")
+            if key in _STRING_OPTIONS:
+                if key == "chaos":
+                    # Validate the schedule grammar eagerly, like every
+                    # other spec error: a typo'd plan fails at parse time,
+                    # not after the coordinator is already up.
+                    from ..cluster.chaos import FaultPlan
+
+                    try:
+                        FaultPlan.parse(value)
+                    except ValueError as exc:
+                        raise ValueError(
+                            f"bad chaos schedule in backend spec {spec!r}: {exc}"
+                        ) from None
+                options[key] = value
+                continue
             try:
                 options[key] = int(value)
             except ValueError:
@@ -379,6 +410,10 @@ def parse_backend_spec(spec: str) -> tuple:
             if key == "lease" and options[key] < 1:
                 raise ValueError(
                     f"lease must be >= 1 (seconds), got {options[key]}"
+                )
+            if key == "capacity" and options[key] < 1:
+                raise ValueError(
+                    f"capacity must be >= 1, got {options[key]}"
                 )
         else:
             if workers is not None:
@@ -422,7 +457,11 @@ def get_backend(spec: BackendLike = None) -> Backend:
             return factory(workers, retries=options.get("retries"))
         if name == "cluster":
             return factory(
-                workers, retries=options.get("retries"), lease=options.get("lease")
+                workers,
+                retries=options.get("retries"),
+                lease=options.get("lease"),
+                capacity=options.get("capacity"),
+                chaos=options.get("chaos"),
             )
         return factory(workers) if workers is not None else factory()
     raise TypeError(

@@ -13,6 +13,9 @@ Record shape is the service's business; the journal only guarantees:
 
 * :meth:`Journal.append` — atomic-enough single-line append (JSON +
   newline, flush, fsync);
+* :meth:`Journal.compact` — atomically replace the whole history with
+  one snapshot record (temp file + fsync + ``os.replace``), bounding
+  recovery cost without ever exposing a half-written journal;
 * :func:`replay` — the records back, in order, tolerating a truncated
   tail; corruption *before* the tail (which a crash cannot produce)
   raises rather than silently dropping durable history.
@@ -67,6 +70,48 @@ class Journal:
         self._handle.write(line + "\n")
         self._handle.flush()
         os.fsync(self._handle.fileno())
+        return record
+
+    def compact(self, snapshot_record: Dict[str, Any]) -> Dict[str, Any]:
+        """Atomically collapse the journal's history into one snapshot.
+
+        The snapshot record (stamped with the next ``seq``, so ordering
+        survives compaction) is written to a sibling temp file — flushed
+        and fsync'd — and then :func:`os.replace`'d over the journal, so
+        at every instant the path holds either the full history or the
+        complete snapshot, never a mix.  A crash before the replace
+        leaves the original journal (the orphan temp file is ignored by
+        :func:`replay` and overwritten by the next compaction); a crash
+        after it leaves the snapshot.  Either way recovery sees a valid
+        journal and rebuilds identical state.
+
+        Appends after compaction continue on the new file: recovery cost
+        becomes O(live state) + O(records since last compaction) instead
+        of O(whole history).
+        """
+        if self._handle is None:
+            os.makedirs(os.path.dirname(self.path) or ".", exist_ok=True)
+            for existing in replay(self.path):
+                self._sequence = max(self._sequence, int(existing.get("seq", -1)) + 1)
+        else:
+            self._handle.close()
+            self._handle = None
+        record = dict(snapshot_record)
+        record["seq"] = self._sequence
+        self._sequence += 1
+        line = json.dumps(record, sort_keys=True, separators=(",", ":"))
+        tmp = self.path + ".compact"
+        with open(tmp, "w") as handle:
+            handle.write(line + "\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, self.path)
+        directory = os.open(os.path.dirname(self.path) or ".", os.O_RDONLY)
+        try:
+            os.fsync(directory)
+        finally:
+            os.close(directory)
+        self._handle = open(self.path, "a")
         return record
 
     def close(self) -> None:

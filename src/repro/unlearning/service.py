@@ -251,6 +251,10 @@ class UnlearningService:
         self.duplicates = 0
         self.sla = SlaMeter()
         self._windows: Dict[int, Dict[str, Any]] = {}
+        # Window ids in certification order — the order recovery must
+        # reinstall sidecars in (a later window's shard state supersedes
+        # an earlier one's), preserved across compaction snapshots.
+        self._certified_order: List[int] = []
         self._auto_id = 0
         self.manager = DeletionManager(policy)
         self.service = DeletionService(
@@ -374,6 +378,53 @@ class UnlearningService:
         """Barrier: block until every in-flight window certifies."""
         return self.service.drain(round_index)
 
+    def compact(self) -> Dict[str, Any]:
+        """Collapse the journal into one snapshot record.
+
+        The snapshot captures every live fact replay would otherwise
+        reconstruct from the full history — request records and states,
+        window plans with their certified/failed flags, the sidecar
+        installation order, duplicate and id counters — so recovery
+        after compaction is O(live state), not O(every transition ever).
+        The write is atomic (:meth:`~repro.unlearning.journal.Journal.compact`):
+        a crash at any instant mid-compaction leaves either the full
+        history or the complete snapshot, and recovery from both is
+        bit-identical.
+
+        Refused while windows are in flight: their ``retraining``
+        records are the only durable evidence of submitted work, and a
+        snapshot taken mid-flight would race the completion callbacks.
+        """
+        if self.service.windows_in_flight:
+            raise RuntimeError(
+                f"cannot compact with {self.service.windows_in_flight} "
+                "window(s) in flight — drain() first"
+            )
+        snapshot = {
+            "event": "snapshot",
+            "requests": [
+                {
+                    "request_id": request.request_id,
+                    "client_id": int(request.client_id),
+                    "indices": [int(i) for i in request.indices],
+                    "submitted_round": int(request.submitted_round),
+                    "state": request.state,
+                    "window": request.window_id,
+                    "certified_round": request.certified_round,
+                    "reason": request.failure_reason,
+                }
+                for request in self.requests.values()
+            ],
+            "windows": {
+                str(window_id): info for window_id, info in self._windows.items()
+            },
+            "certified_order": list(self._certified_order),
+            "duplicates": int(self.duplicates),
+            "auto_id": int(self._auto_id),
+            "next_window": int(self.service._next_window),
+        }
+        return self.journal.compact(snapshot)
+
     def co_schedule(self, engine) -> Callable[[int], None]:
         """Tick this service inside a live federation run.
 
@@ -471,6 +522,8 @@ class UnlearningService:
         self.journal.append(
             {"event": "certified", "window": window_id, "round": round_index}
         )
+        self._windows.setdefault(window_id, {})["certified"] = True
+        self._certified_order.append(window_id)
         self._certify_requests(self._requests_of(window_id), round_index)
 
     def _on_window_failed(self, window_id, batch, pending, round_index) -> None:
@@ -620,12 +673,16 @@ class UnlearningService:
             seed=seed,
             backend=backend,
         )
+        certified_order: List[int] = []
         for record in records:
-            if record.get("event") == "certified":
-                window_dir = os.path.join(
-                    directory, "windows", f"{int(record['window']):06d}"
-                )
-                cls._apply_window(ensemble, window_dir)
+            if record.get("event") == "snapshot":
+                certified_order = [int(w) for w in record.get("certified_order", [])]
+            elif record.get("event") == "certified":
+                certified_order.append(int(record["window"]))
+        for window_id in certified_order:
+            cls._apply_window(
+                ensemble, os.path.join(directory, "windows", f"{window_id:06d}")
+            )
         service = cls(
             ensemble,
             directory,
@@ -642,7 +699,9 @@ class UnlearningService:
         """Restore request/window state from replayed journal records."""
         for record in records:
             event = record.get("event")
-            if event == "received":
+            if event == "snapshot":
+                self._restore_snapshot(record)
+            elif event == "received":
                 request = ServiceRequest(
                     request_id=record["request_id"],
                     client_id=int(record.get("client_id", -1)),
@@ -681,11 +740,12 @@ class UnlearningService:
                 for request in self._requests_of(int(record["window"])):
                     request.state = RequestState.RETRAINING
             elif event == "certified":
+                window_id = int(record["window"])
                 self._certify_requests(
-                    self._requests_of(int(record["window"])),
-                    int(record["round"]),
+                    self._requests_of(window_id), int(record["round"])
                 )
-                self._windows[int(record["window"])]["certified"] = True
+                self._windows[window_id]["certified"] = True
+                self._certified_order.append(window_id)
             elif event == "window_failed":
                 window_id = int(record["window"])
                 self._windows[window_id]["failed"] = True
@@ -726,6 +786,36 @@ class UnlearningService:
                     request.submitted_round,
                     request_id=request.request_id,
                 )
+
+    def _restore_snapshot(self, record: Dict[str, Any]) -> None:
+        """Reload live state from a compaction snapshot; records after
+        it in the journal replay on top as usual."""
+        self.duplicates = int(record.get("duplicates", 0))
+        self._auto_id = int(record.get("auto_id", 0))
+        self.service._next_window = max(
+            self.service._next_window, int(record.get("next_window", 0))
+        )
+        self._certified_order = [int(w) for w in record.get("certified_order", [])]
+        self._windows = {
+            int(window_id): dict(info)
+            for window_id, info in record.get("windows", {}).items()
+        }
+        for item in record.get("requests", []):
+            request = ServiceRequest(
+                request_id=item["request_id"],
+                client_id=int(item["client_id"]),
+                indices=np.asarray(item["indices"], dtype=np.int64),
+                submitted_round=int(item["submitted_round"]),
+                state=item["state"],
+                window_id=item.get("window"),
+                certified_round=item.get("certified_round"),
+                failure_reason=item.get("reason"),
+            )
+            self.requests[request.request_id] = request
+            if request.state == RequestState.CERTIFIED:
+                # Round latencies survive compaction the same way they
+                # survive plain replay (wall stamps do not, as ever).
+                self.sla.record(request)
 
     def _resubmit_incomplete(self, round_index: int) -> None:
         """Re-begin every scheduled/retraining window from its journaled

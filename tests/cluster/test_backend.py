@@ -310,6 +310,37 @@ class TestSpecGrammar:
             one.close()
             other.close()
 
+    def test_parse_capacity_and_chaos_options(self):
+        assert parse_backend_spec("cluster:3:capacity=2") == (
+            "cluster",
+            3,
+            {"capacity": 2},
+        )
+        name, workers, options = parse_backend_spec(
+            "cluster:2:chaos=seed=7,drop=0.05,partition=40@0.5"
+        )
+        assert (name, workers) == ("cluster", 2)
+        assert options == {"chaos": "seed=7,drop=0.05,partition=40@0.5"}
+        with pytest.raises(ValueError, match="capacity must be >= 1"):
+            parse_backend_spec("cluster:2:capacity=0")
+        # A typo'd schedule fails at spec-parse time, not at first use.
+        with pytest.raises(ValueError, match="bad chaos schedule"):
+            parse_backend_spec("cluster:2:chaos=seed=7,jitter=0.5")
+
+    def test_chaos_spec_arms_the_backend(self):
+        from repro.cluster.chaos import FaultPlan
+
+        backend = get_backend("cluster:2:chaos=seed=9,drop=0.02")
+        try:
+            assert isinstance(backend, ClusterBackend)
+            assert backend.chaos == FaultPlan(seed=9, drop=0.02)
+            # A differently-seeded schedule is a different cluster.
+            other = get_backend("cluster:2:chaos=seed=10,drop=0.02")
+            assert other is not backend
+            other.close()
+        finally:
+            backend.close()
+
     def test_env_var_resolves_cluster_spec(self, monkeypatch):
         from repro.runtime.backends import BACKEND_ENV_VAR
 

@@ -1,0 +1,205 @@
+"""Injected network faults land in the documented failure taxonomy.
+
+Each test arms a :class:`NetworkFaultInjector` on the *sending* side of a
+``socket.socketpair`` and asserts the receiver raises the exact exception
+class the coordinator's charging logic dispatches on: checksum damage and
+stream desync are :class:`FrameCorruption` (charge-free requeue), torn
+connections are ``EOFError``/:class:`WireError` (charged — the lease's
+peer really is gone), and silence is :class:`ChannelTimeout` (no charge,
+nothing happened).  The injector itself is deterministic, so every case
+reproduces from its plan alone.
+"""
+
+import socket
+
+import pytest
+
+from repro.cluster.chaos import FaultPlan, NetworkFaultInjector, coerce_plan
+from repro.cluster.wire import (
+    ChannelTimeout,
+    FrameCorruption,
+    SocketChannel,
+    WireError,
+    recv_message,
+    send_message,
+)
+
+
+def chaotic_pair(plan, peer="agent-under-test"):
+    left_sock, right_sock = socket.socketpair()
+    injector = NetworkFaultInjector(plan, peer)
+    left = SocketChannel(left_sock, chaos=injector)
+    right = SocketChannel(right_sock)
+    return left, right, injector
+
+
+class TestInjectedFaults:
+    def test_corruption_caught_by_receiver_checksum(self):
+        left, right, injector = chaotic_pair(FaultPlan(seed=1, corrupt=1.0))
+        try:
+            left.send_bytes(b"model weights go here")
+            with pytest.raises(FrameCorruption, match="checksum"):
+                right.recv_bytes()
+            assert injector.fault_counts() == {"corrupt": 1}
+        finally:
+            left.close()
+            right.close()
+
+    def test_tear_is_wire_error_for_sender_eof_for_receiver(self):
+        left, right, injector = chaotic_pair(FaultPlan(seed=2, tear=1.0))
+        try:
+            with pytest.raises(WireError, match="torn"):
+                left.send_bytes(b"x" * 4096)
+            with pytest.raises(EOFError, match="mid-frame"):
+                right.recv_bytes()
+            assert injector.fault_counts() == {"tear": 1}
+        finally:
+            left.close()
+            right.close()
+
+    def test_dropped_frame_is_silence_then_idle_timeout(self):
+        left, right, injector = chaotic_pair(FaultPlan(seed=3, drop=1.0))
+        try:
+            left.send_bytes(b"vanishes")
+            assert left.bytes_sent == 0  # nothing hit the wire
+            with pytest.raises(ChannelTimeout):
+                right.recv_bytes(timeout=0.05)
+            assert injector.fault_counts() == {"drop": 1}
+        finally:
+            left.close()
+            right.close()
+
+    def test_duplicated_frame_desyncs_the_message_stream(self):
+        # Duplicate the first frame of a two-frame message: the second
+        # copy is a perfectly valid *frame* (its CRC passes) that is
+        # nonsense at the *message* layer — exactly the desync case
+        # recv_message converts to FrameCorruption.
+        left, right, injector = chaotic_pair(
+            FaultPlan(seed=4, duplicate=1.0, max_faults=1)
+        )
+        try:
+            send_message(left, ("pull",))
+            with pytest.raises(FrameCorruption, match="undecodable"):
+                recv_message(right)
+            assert injector.fault_counts() == {"duplicate": 1}
+        finally:
+            left.close()
+            right.close()
+
+    def test_delay_reorders_nothing_and_content_survives(self):
+        left, right, injector = chaotic_pair(
+            FaultPlan(seed=5, delay=1.0, delay_range=(0.001, 0.002))
+        )
+        try:
+            send_message(left, ("heartbeat",))
+            message, _ = recv_message(right, timeout=5.0)
+            assert message == ("heartbeat",)
+            assert injector.fault_counts()["delay"] >= 1
+        finally:
+            left.close()
+            right.close()
+
+    def test_partition_tears_down_and_gates_redial(self):
+        left, right, injector = chaotic_pair(
+            FaultPlan(seed=6, partitions=((0, 0.2),))
+        )
+        try:
+            with pytest.raises(WireError):
+                left.send_bytes(b"never makes it")
+            assert injector.partition_remaining() > 0.0
+            assert injector.fault_counts() == {"partition": 1}
+        finally:
+            left.close()
+            right.close()
+
+    def test_stall_vs_idle_timeout_stay_distinct_under_chaos(self):
+        # Idle (nothing arrived) is ChannelTimeout; a frame that *started*
+        # and stopped is a WireError stall — chaos must not blur them.
+        left, right, injector = chaotic_pair(
+            FaultPlan(seed=7, tear=1.0, max_faults=1)
+        )
+        try:
+            right.frame_timeout = 0.1
+            with pytest.raises(ChannelTimeout):
+                right.recv_bytes(timeout=0.05)  # idle: no frame yet
+            with pytest.raises(WireError):
+                left.send_bytes(b"z" * (1 << 16))  # torn mid-frame
+            with pytest.raises((EOFError, WireError)):
+                right.recv_bytes(timeout=5.0)
+        finally:
+            left.close()
+            right.close()
+
+
+class TestDeterminism:
+    def test_same_plan_same_peer_same_schedule(self):
+        plan = FaultPlan(seed=11, drop=0.2, corrupt=0.2, tear=0.1, delay=0.3)
+        a = NetworkFaultInjector(plan, "agent-1")
+        b = NetworkFaultInjector(plan, "agent-1")
+        assert [a.next_send_fault() for _ in range(400)] == [
+            b.next_send_fault() for _ in range(400)
+        ]
+
+    def test_different_peers_draw_different_schedules(self):
+        plan = FaultPlan(seed=11, drop=0.5)
+        a = NetworkFaultInjector(plan, "agent-1")
+        b = NetworkFaultInjector(plan, "agent-2")
+        assert [a.next_send_fault() for _ in range(64)] != [
+            b.next_send_fault() for _ in range(64)
+        ]
+
+    def test_max_faults_budget_lets_the_run_settle(self):
+        plan = FaultPlan(seed=12, drop=1.0, max_faults=3)
+        injector = NetworkFaultInjector(plan, "agent-1")
+        faults = [injector.next_send_fault() for _ in range(50)]
+        assert sum(f is not None for f in faults) == 3
+        assert all(f is None for f in faults[3:])
+
+    def test_partition_fires_on_frame_index_crossing(self):
+        plan = FaultPlan(seed=13, partitions=((5, 0.05),))
+        injector = NetworkFaultInjector(plan, "agent-1")
+        first_five = [injector.next_send_fault() for _ in range(5)]
+        assert all(f is None for f in first_five)
+        kind, seconds = injector.next_send_fault()
+        assert kind == "partition" and seconds == 0.05
+
+
+class TestFaultPlanGrammar:
+    def test_parse_format_roundtrip(self):
+        plan = FaultPlan(
+            seed=7,
+            drop=0.05,
+            corrupt=0.01,
+            delay=0.1,
+            delay_range=(0.002, 0.02),
+            partitions=((40, 0.5), (90, 0.25)),
+            max_faults=12,
+        )
+        assert FaultPlan.parse(plan.format()) == plan
+
+    def test_parse_examples(self):
+        plan = FaultPlan.parse("seed=7,drop=0.05,partition=40@0.5+90@0.25")
+        assert plan.seed == 7
+        assert plan.drop == 0.05
+        assert plan.partitions == ((40, 0.5), (90, 0.25))
+
+    def test_probability_overflow_rejected(self):
+        with pytest.raises(ValueError, match="sum"):
+            FaultPlan(drop=0.6, corrupt=0.6)
+
+    def test_unknown_key_rejected_with_known_list(self):
+        with pytest.raises(ValueError, match="known"):
+            FaultPlan.parse("seed=1,jitter=0.5")
+
+    def test_coerce_accepts_plan_string_none(self):
+        plan = FaultPlan(seed=1, drop=0.1)
+        assert coerce_plan(plan) is plan
+        assert coerce_plan("seed=1,drop=0.1") == plan
+        assert coerce_plan(None) is None
+        with pytest.raises(TypeError):
+            coerce_plan(42)
+
+    def test_inactive_plan_detected(self):
+        assert not FaultPlan(seed=5).active
+        assert FaultPlan(seed=5, drop=0.01).active
+        assert FaultPlan(seed=5, partitions=((1, 0.1),)).active

@@ -148,6 +148,72 @@ class TestLeaseLifecycle:
         assert batch.errors == ["coordinator closed"]
 
 
+class TestChargeTaxonomy:
+    def test_charge_free_release_never_burns_the_budget(self):
+        """Transport faults (corrupt frames, failed dispatches) requeue
+        without charging — only real losses count against the retries."""
+        sched = make_scheduler(max_task_retries=0)  # any charged loss fails
+        ticket = sched.add_batch([_Task("a")])
+        for attempt in range(3):
+            lease = sched.next_task(f"p{attempt}")
+            assert sched.release_peer(f"p{attempt}", charge=False) == [lease.item]
+        lease = sched.next_task("survivor")
+        sched.complete(lease.lease_id, None, "ok")
+        assert sched.finish_batch(ticket).results == ["ok"]
+
+    def test_fault_counters_ledger(self):
+        sched = make_scheduler(max_task_retries=10, lease_timeout=5.0)
+        sched.add_batch([_Task("a"), _Task("b")])
+        lost = sched.next_task("p1", now=100.0)
+        sched.release_peer("p1")  # charged
+        freed = sched.next_task("p2", now=100.0)
+        sched.release_peer("p2", charge=False)  # charge-free
+        expired = sched.next_task("p3", now=100.0)
+        assert sched.expire_leases(now=106.0) == [expired.item]  # charged too
+        stale = sched.next_task("p4", now=106.0)
+        sched.release_peer("p4")  # charged
+        assert not sched.complete(stale.lease_id, None, "late")  # stale
+        counters = sched.fault_counters()
+        assert counters["charged_retries"] == 3  # p1 loss + expiry + p4 loss
+        assert counters["free_requeues"] == 1
+        assert counters["lease_expiries"] == 1
+        assert counters["stale_completions"] == 1
+        assert counters["tasks_failed"] == 0
+        assert lost.item == freed.item  # same task bounced through both
+
+    def test_over_budget_loss_counts_tasks_failed(self):
+        sched = make_scheduler(max_task_retries=0)
+        ticket = sched.add_batch([_Task("a")])
+        sched.next_task("p")
+        sched.release_peer("p")
+        assert sched.fault_counters()["tasks_failed"] == 1
+        assert "giving up" in sched.finish_batch(ticket).errors[0]
+
+
+class TestCapacityAccounting:
+    def test_outstanding_tracks_grants_and_completions(self):
+        sched = make_scheduler()
+        sched.add_batch([_Task("a"), _Task("b"), _Task("c")])
+        assert sched.outstanding_for("p") == 0
+        first = sched.next_task("p")
+        second = sched.next_task("p")
+        assert sched.outstanding_for("p") == 2
+        sched.complete(first.lease_id, None, "A")
+        assert sched.outstanding_for("p") == 1
+        sched.rescind(second.lease_id)
+        assert sched.outstanding_for("p") == 0
+
+    def test_outstanding_cleared_on_release_and_expiry(self):
+        sched = make_scheduler(lease_timeout=5.0)
+        sched.add_batch([_Task("a"), _Task("b")])
+        sched.next_task("gone", now=100.0)
+        sched.next_task("slow", now=100.0)
+        sched.release_peer("gone")
+        assert sched.outstanding_for("gone") == 0
+        sched.expire_leases(now=106.0)
+        assert sched.outstanding_for("slow") == 0
+
+
 class TestValidation:
     def test_constructor_rejects_bad_knobs(self):
         with pytest.raises(ValueError):

@@ -7,13 +7,18 @@ oversized payloads, protocol mismatches) are exercised deterministically.
 
 import socket
 import struct
+import threading
+import zlib
 
 import numpy as np
 import pytest
 
 from repro.cluster.wire import (
+    FRAME_VERSION,
     MAGIC,
+    AuthenticationError,
     ChannelTimeout,
+    FrameCorruption,
     PayloadTooLarge,
     ProtocolMismatch,
     SocketChannel,
@@ -24,6 +29,11 @@ from repro.cluster.wire import (
     server_handshake,
 )
 from repro.runtime.wire import WIRE_PROTOCOL_VERSION, recv_payload, send_payload
+
+
+def _frame_header(nbytes: int, crc: int) -> bytes:
+    """A raw v2 frame header: 8-byte length + 4-byte CRC32."""
+    return struct.pack("<QI", nbytes, crc)
 
 
 @pytest.fixture
@@ -77,7 +87,7 @@ class TestFailureTaxonomy:
     def test_disconnect_mid_frame_is_eof(self, pair):
         left, right = pair
         # Announce a 1000-byte frame but deliver only 10 bytes of it.
-        left._sock.sendall(struct.pack("<Q", 1000))
+        left._sock.sendall(_frame_header(1000, 0))
         left._sock.sendall(b"x" * 10)
         left.close()
         with pytest.raises(EOFError, match="mid-frame"):
@@ -85,7 +95,7 @@ class TestFailureTaxonomy:
 
     def test_torn_length_prefix_is_eof(self, pair):
         left, right = pair
-        left._sock.sendall(b"\x04\x00")  # 2 of the 8 prefix bytes
+        left._sock.sendall(b"\x04\x00")  # 2 of the 12 header bytes
         left.close()
         with pytest.raises(EOFError):
             right.recv_bytes()
@@ -93,7 +103,7 @@ class TestFailureTaxonomy:
     def test_mid_frame_stall_raises_wire_error_not_hang(self, pair):
         left, right = pair
         right.frame_timeout = 0.1
-        left._sock.sendall(struct.pack("<Q", 100))  # frame never arrives
+        left._sock.sendall(_frame_header(100, 0))  # frame never arrives
         with pytest.raises(WireError, match="stalled"):
             right.recv_bytes()
 
@@ -117,6 +127,40 @@ class TestFailureTaxonomy:
             right.recv_bytes()
 
 
+class TestIntegrity:
+    def test_crc_mismatch_raises_frame_corruption(self, pair):
+        left, right = pair
+        payload = b"precious bits"
+        left._sock.sendall(
+            _frame_header(len(payload), zlib.crc32(payload) ^ 0xDEAD) + payload
+        )
+        with pytest.raises(FrameCorruption, match="checksum"):
+            right.recv_bytes()
+
+    def test_single_bit_flip_on_wire_detected(self, pair):
+        left, right = pair
+        payload = bytearray(b"federated weights")
+        header = _frame_header(len(payload), zlib.crc32(bytes(payload)))
+        payload[5] ^= 0x01  # flipped after the checksum was computed
+        left._sock.sendall(header + bytes(payload))
+        with pytest.raises(FrameCorruption):
+            right.recv_bytes()
+
+    def test_intact_frame_passes_crc(self, pair):
+        left, right = pair
+        payload = b"federated weights"
+        left._sock.sendall(_frame_header(len(payload), zlib.crc32(payload)) + payload)
+        assert right.recv_bytes() == payload
+
+    def test_undecodable_message_is_frame_corruption(self, pair):
+        left, right = pair
+        # A frame whose CRC is fine but whose content is not a payload
+        # header: the stream is desynchronised (lost/duplicated frame).
+        left.send_bytes(b"not-a-payload-header")
+        with pytest.raises(FrameCorruption, match="undecodable"):
+            recv_message(right)
+
+
 class TestHandshake:
     def test_matching_versions_exchange_identity(self, pair):
         left, right = pair
@@ -127,6 +171,7 @@ class TestHandshake:
                 {
                     "magic": MAGIC,
                     "protocol": WIRE_PROTOCOL_VERSION,
+                    "frame": FRAME_VERSION,
                     "agent_id": "n1",
                     "capacity": 2,
                 },
@@ -138,6 +183,7 @@ class TestHandshake:
         reply, _ = recv_message(left)
         assert reply[0] == "welcome"
         assert reply[1]["protocol"] == WIRE_PROTOCOL_VERSION
+        assert reply[1]["frame"] == FRAME_VERSION
 
     def test_version_skew_rejected_with_reason(self, pair):
         left, right = pair
@@ -172,3 +218,66 @@ class TestHandshake:
         # own hello goes into the (dead) right side harmlessly.
         with pytest.raises(ProtocolMismatch, match="rejected"):
             client_handshake(left, {"agent_id": "n2"})
+
+    def test_frame_layout_skew_rejected_by_name(self, pair):
+        left, right = pair
+        # A v1 peer never sent ``frame`` at all; the server must name the
+        # frame layout (not the wire protocol) in its reject.
+        send_message(
+            left, ("hello", {"magic": MAGIC, "protocol": WIRE_PROTOCOL_VERSION})
+        )
+        with pytest.raises(ProtocolMismatch, match="frame layout"):
+            server_handshake(right)
+        reply, _ = recv_message(left)
+        assert reply[0] == "reject"
+        assert "CRC32" in reply[1]
+
+
+class TestAuthentication:
+    def _client(self, channel, token):
+        """Run client_handshake in a thread, capturing its outcome."""
+        box = {}
+
+        def go():
+            try:
+                box["welcome"] = client_handshake(
+                    channel, {"agent_id": "n1"}, auth_token=token
+                )
+            except Exception as exc:  # surfaced by the test body
+                box["error"] = exc
+
+        thread = threading.Thread(target=go, daemon=True)
+        thread.start()
+        return thread, box
+
+    def test_shared_secret_admits_peer(self, pair):
+        left, right = pair
+        thread, box = self._client(left, "s3cret")
+        info = server_handshake(right, auth_token="s3cret")
+        thread.join(timeout=5.0)
+        assert info["agent_id"] == "n1"
+        assert "error" not in box
+
+    def test_wrong_secret_rejected_both_sides(self, pair):
+        left, right = pair
+        thread, box = self._client(left, "wrong")
+        with pytest.raises(AuthenticationError, match="HMAC"):
+            server_handshake(right, auth_token="right")
+        thread.join(timeout=5.0)
+        assert isinstance(box.get("error"), AuthenticationError)
+
+    def test_tokenless_client_told_how_to_authenticate(self, pair):
+        left, right = pair
+        # Stage the server's challenge, then run the client without a
+        # token: it must fail fast and name the flag/env var to set.
+        send_message(right, ("challenge", "ab" * 16))
+        with pytest.raises(AuthenticationError, match="auth-token"):
+            client_handshake(left, {"agent_id": "n1"})
+
+    def test_tokenless_server_skips_challenge(self, pair):
+        left, right = pair
+        thread, box = self._client(left, None)
+        info = server_handshake(right)  # no auth_token: open cluster
+        thread.join(timeout=5.0)
+        assert info["agent_id"] == "n1"
+        assert "error" not in box

@@ -1,0 +1,76 @@
+"""``runtime["cluster"]`` provenance: fault accounting rides the result.
+
+A matrix run resolved onto a ``cluster:*`` backend stamps the run's
+FaultReport *delta* (the shared backend's counters are cumulative across
+a process) into ``result.runtime["cluster"]`` — retries, suspects,
+reconnects, corrupt frames — so a persisted result records what the
+recovery machinery did underneath it.  And because recovery re-runs
+tasks carrying full state + RNG position, a chaos-armed cluster run's
+metrics match a serial run bit-for-bit.
+"""
+
+import multiprocessing
+
+import pytest
+
+from repro.cluster.chaos import FaultReport
+from repro.experiments import SMOKE, scale as scale_module
+from repro.experiments.runner import run_matrix
+from repro.experiments.spec import ExperimentSpec, clean_deletion_scenario
+from repro.runtime.backends import BACKEND_ENV_VAR, get_backend
+
+HAS_FORK = "fork" in multiprocessing.get_all_start_methods()
+
+pytestmark = pytest.mark.skipif(
+    not HAS_FORK, reason="cluster tests spawn local agents via fork"
+)
+
+TINY = SMOKE.with_overrides(
+    train_size=120, test_size=60, pretrain_rounds=1, local_epochs=1,
+    unlearn_rounds=1,
+)
+
+CHAOS_SPEC = "cluster:2:chaos=seed=17,drop=0.03"
+
+
+def tiny_matrix(experiment_id):
+    return ExperimentSpec(
+        experiment_id=experiment_id,
+        title="cluster provenance",
+        kind="matrix",
+        scenario=clean_deletion_scenario(),
+        methods=("b1",),
+    )
+
+
+class TestClusterProvenance:
+    def test_fault_report_delta_stamped_and_metrics_unperturbed(
+        self, monkeypatch
+    ):
+        monkeypatch.setitem(scale_module.SCALES, "smoke", TINY)
+        serial = run_matrix(tiny_matrix("matrix:serial-ref"), TINY, seed=0)
+
+        monkeypatch.setenv(BACKEND_ENV_VAR, CHAOS_SPEC)
+        backend = get_backend(CHAOS_SPEC)
+        try:
+            chaotic = run_matrix(tiny_matrix("matrix:chaos"), TINY, seed=0)
+        finally:
+            backend.close()
+
+        report = chaotic.runtime["cluster"]
+        assert set(report) == set(FaultReport.zero_dict())
+        assert all(
+            isinstance(value, int) and value >= 0 for value in report.values()
+        )
+        # Chaos under the backend never leaks into the science: identical
+        # metric rows to the serial reference (wall clock aside).
+        strip = lambda row: {k: v for k, v in row.items() if k != "wall_s"}
+        assert [strip(r) for r in chaotic.rows] == [
+            strip(r) for r in serial.rows
+        ]
+
+    def test_no_cluster_entry_off_cluster(self, monkeypatch):
+        monkeypatch.setitem(scale_module.SCALES, "smoke", TINY)
+        monkeypatch.delenv(BACKEND_ENV_VAR, raising=False)
+        result = run_matrix(tiny_matrix("matrix:no-cluster"), TINY, seed=0)
+        assert "cluster" not in result.runtime

@@ -424,6 +424,118 @@ class TestJournal:
         assert [r["seq"] for r in replay_journal(path)] == [0, 1]
 
 
+class TestCompaction:
+    def _run_workload(self, directory):
+        """Two certified windows + one duplicate + one still-queued request."""
+        service = UnlearningService(
+            fresh_ensemble(), str(directory), policy=BatchSizePolicy(1)
+        )
+        service.submit(0, [3], 0, request_id="r1")
+        service.tick(0)
+        service.drain(1)
+        service.submit(0, [40], 2, request_id="r2")
+        service.tick(2)
+        service.drain(3)
+        service.submit(0, [3], 4, request_id="r1")  # duplicate
+        service.submit(1, [2], 4, request_id="r3")  # queued, policy not fired
+        return service
+
+    def test_compact_collapses_history_to_one_snapshot(self, tmp_path):
+        with self._run_workload(tmp_path / "svc") as service:
+            history = len(replay_journal(str(tmp_path / "svc" / "journal.jsonl")))
+            assert history > 1
+            snapshot = service.compact()
+        records = replay_journal(str(tmp_path / "svc" / "journal.jsonl"))
+        assert [r["event"] for r in records] == ["snapshot"]
+        # Ordering survives: the snapshot takes the next seq, not seq 0.
+        assert records[0]["seq"] == snapshot["seq"] == history
+
+    def test_recovery_from_snapshot_matches_full_history(self, tmp_path):
+        with self._run_workload(tmp_path / "full") as service:
+            expected_states = service.states()
+            expected_shards = shard_states(service.ensemble)
+        with self._run_workload(tmp_path / "compacted") as service:
+            service.compact()
+        for directory in ("full", "compacted"):
+            recovered = UnlearningService.recover(
+                str(tmp_path / directory), model_factory=FACTORY, dataset=DATASET
+            )
+            with recovered:
+                assert recovered.states() == expected_states
+                assert_states_equal(shard_states(recovered.ensemble), expected_shards)
+                assert recovered.duplicates == 1
+                assert recovered.sla.num_certified == 2
+                # The queued request really re-queued (O(live state)
+                # recovery loses no pending work).
+                assert recovered.manager.num_pending == 1
+
+    def test_service_continues_after_compaction(self, tmp_path):
+        expected = reference_states([(0, [3]), (2, [40]), (5, [2])])
+        with self._run_workload(tmp_path / "svc") as service:
+            service.compact()
+            service.tick(5)  # fires the queued r3 window
+            service.drain(6)
+            assert service.states()["r3"] == "certified"
+            assert_states_equal(shard_states(service.ensemble), expected)
+        events = journal_events(tmp_path / "svc")
+        assert events[0] == "snapshot"
+        assert "certified" in events[1:]
+        recovered = UnlearningService.recover(
+            str(tmp_path / "svc"), model_factory=FACTORY, dataset=DATASET
+        )
+        with recovered:
+            assert recovered.states()["r3"] == "certified"
+            assert_states_equal(shard_states(recovered.ensemble), expected)
+
+    def test_crash_mid_compaction_recovers_bit_identically(self, tmp_path):
+        """Die after writing the snapshot temp file but before the atomic
+        replace: the original journal is untouched and the orphan temp
+        file is invisible to recovery."""
+        import repro.unlearning.journal as journal_module
+
+        with self._run_workload(tmp_path / "svc") as service:
+            expected_states = service.states()
+            expected_shards = shard_states(service.ensemble)
+            original_replace = journal_module.os.replace
+
+            def crash(src, dst):
+                raise OSError("simulated crash before atomic replace")
+
+            journal_module.os.replace = crash
+            try:
+                with pytest.raises(OSError, match="simulated"):
+                    service.compact()
+            finally:
+                journal_module.os.replace = original_replace
+        assert os.path.exists(str(tmp_path / "svc" / "journal.jsonl.compact"))
+        recovered = UnlearningService.recover(
+            str(tmp_path / "svc"), model_factory=FACTORY, dataset=DATASET
+        )
+        with recovered:
+            assert recovered.states() == expected_states
+            assert_states_equal(shard_states(recovered.ensemble), expected_shards)
+            # A later compaction overwrites the orphan and succeeds.
+            recovered.compact()
+            assert journal_events(tmp_path / "svc") == ["snapshot"]
+
+    def test_compact_refused_with_windows_in_flight(self, tmp_path):
+        backend = PoolBackend(max_workers=2)
+        ensemble = fresh_ensemble(backend=backend)
+        try:
+            service = UnlearningService(
+                ensemble, str(tmp_path / "svc"), policy=BatchSizePolicy(1)
+            )
+            service.submit(0, [3], 0, request_id="a")
+            assert service.service.maybe_submit(0) is not None
+            with pytest.raises(RuntimeError, match="in flight"):
+                service.compact()
+            service.drain(1)
+            service.compact()  # fine once drained
+            service.close()
+        finally:
+            backend.close()
+
+
 class TestLoadAndMeters:
     def test_poisson_arrivals_deterministic(self):
         first = PoissonArrivals(2.0, 64, seed=9, indices_per_request=2)
